@@ -1,0 +1,40 @@
+// Figure 10: Bolt vs Scikit vs Ranger vs Forest Packing on the small MNIST
+// forest (10 trees, height 4, one core). The paper reports 0.4 / 1460 /
+// 160 / 0.9 us respectively on the E5-2650 v4.
+#include "common.h"
+
+int main() {
+  using namespace bolt;
+  using namespace bolt::bench;
+
+  const auto& split = dataset(Workload::kMnist);
+  const forest::Forest& forest = get_forest(Workload::kMnist, 10, 4);
+  const core::BoltForest bf = build_tuned_bolt(forest, split.test);
+
+  core::BoltEngine bolt_engine(bf);
+  engines::SklearnEngine sklearn_engine(forest);
+  engines::RangerEngine ranger_engine(forest);
+  engines::ForestPackingEngine fp_engine(forest, split.test);
+  engines::Engine* all[] = {&bolt_engine, &sklearn_engine, &ranger_engine,
+                            &fp_engine};
+
+  const auto machine = archsim::xeon_e5_2650_v4();
+  ResultTable table({"platform", "model (us/sample)", "wall (us/sample)",
+                     "paper (us/sample)"});
+  const char* paper[] = {"0.4", "1460", "160", "0.9"};
+  double bolt_model = 0;
+  int i = 0;
+  for (auto* engine : all) {
+    const auto model = measure_model(*engine, machine, split.test);
+    const double wall = measure_wall_us(*engine, split.test);
+    if (i == 0) bolt_model = model.us_per_sample;
+    table.add_row({std::string(engine->name()), fmt(model.us_per_sample, 3),
+                   fmt(wall, 3), paper[i++]});
+  }
+  table.print("Figure 10: platform comparison (MNIST, 10 trees, h=4, 1 core)");
+  table.write_csv("fig10_platforms.csv");
+  std::printf("\nBolt model speedup vs FP: %.2fx (paper: 2.25x)\n",
+              measure_model(fp_engine, machine, split.test).us_per_sample /
+                  bolt_model);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 11(A): average response time vs maximum tree height (10 trees,
+// MNIST). Expected shape: Bolt wins on shallow trees; Forest Packing
+// overtakes as height grows (the paper's crossover is around height 8);
+// Scikit/Ranger stay orders of magnitude above both.
+#include "common.h"
+
+int main() {
+  using namespace bolt;
+  using namespace bolt::bench;
+
+  const auto& split = dataset(Workload::kMnist);
+  const auto machine = archsim::xeon_e5_2650_v4();
+
+  ResultTable table({"height", "BOLT (us)", "Scikit (us)", "Ranger (us)",
+                     "FP (us)", "winner", "dict entries", "table slots"});
+  for (std::size_t height : {4u, 5u, 6u, 8u, 10u}) {
+    const forest::Forest& forest = get_forest(Workload::kMnist, 10, height);
+    const core::BoltForest bf =
+        build_tuned_bolt(forest, split.test, {2, 4, 8, 12});
+
+    core::BoltEngine bolt_engine(bf);
+    engines::SklearnEngine sklearn_engine(forest);
+    engines::RangerEngine ranger_engine(forest);
+    engines::ForestPackingEngine fp_engine(forest, split.test);
+
+    const double b = measure_model(bolt_engine, machine, split.test).us_per_sample;
+    const double s =
+        measure_model(sklearn_engine, machine, split.test).us_per_sample;
+    const double r =
+        measure_model(ranger_engine, machine, split.test).us_per_sample;
+    const double f = measure_model(fp_engine, machine, split.test).us_per_sample;
+
+    table.add_row({std::to_string(height), fmt(b, 3), fmt(s, 1), fmt(r, 1),
+                   fmt(f, 3), b < f ? "BOLT" : "FP",
+                   std::to_string(bf.dictionary().num_entries()),
+                   std::to_string(bf.table().num_slots())});
+  }
+  table.print("Figure 11(A): response time vs tree height (MNIST, 10 trees)");
+  table.write_csv("fig11a_height.csv");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 11(B): average response time vs number of trees (height 4,
+// MNIST). The paper reports Bolt 0.4/0.5/0.7/0.9/1.0/1.2 us and Forest
+// Packing 0.9/0.9/1.0/1.1/1.3/1.9 us across 10..30 trees — Bolt wins at
+// every size and the gap persists.
+#include "common.h"
+
+int main() {
+  using namespace bolt;
+  using namespace bolt::bench;
+
+  const auto& split = dataset(Workload::kMnist);
+  const auto machine = archsim::xeon_e5_2650_v4();
+
+  ResultTable table({"trees", "BOLT (us)", "Scikit (us)", "Ranger (us)",
+                     "FP (us)", "BOLT paper", "FP paper"});
+  const char* bolt_paper[] = {"0.4", "0.5", "0.7", "0.9", "1.0", "1.2"};
+  const char* fp_paper[] = {"0.9", "0.9", "1.0", "1.1", "1.3", "1.9"};
+  int i = 0;
+  for (std::size_t trees : {10u, 14u, 18u, 22u, 26u, 30u}) {
+    const forest::Forest& forest = get_forest(Workload::kMnist, trees, 4);
+    const core::BoltForest bf = build_tuned_bolt(forest, split.test);
+
+    core::BoltEngine bolt_engine(bf);
+    engines::SklearnEngine sklearn_engine(forest);
+    engines::RangerEngine ranger_engine(forest);
+    engines::ForestPackingEngine fp_engine(forest, split.test);
+
+    table.add_row(
+        {std::to_string(trees),
+         fmt(measure_model(bolt_engine, machine, split.test).us_per_sample, 3),
+         fmt(measure_model(sklearn_engine, machine, split.test).us_per_sample, 1),
+         fmt(measure_model(ranger_engine, machine, split.test).us_per_sample, 1),
+         fmt(measure_model(fp_engine, machine, split.test).us_per_sample, 3),
+         bolt_paper[i], fp_paper[i]});
+    ++i;
+  }
+  table.print("Figure 11(B): response time vs number of trees (MNIST, h=4)");
+  table.write_csv("fig11b_trees.csv");
+  return 0;
+}

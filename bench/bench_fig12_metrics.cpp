@@ -1,0 +1,46 @@
+// Figure 12: execution-efficiency metrics — instructions, branches taken,
+// branch misses and cache misses per platform on the small MNIST forest.
+// Counters come from the deterministic archsim trace (DESIGN.md §3); the
+// paper's qualitative claims to check: Bolt takes the fewest branches and
+// branch misses; Scikit/Ranger execute orders of magnitude more
+// instructions; cache misses follow Scikit >> Ranger >> FP >= Bolt.
+#include "common.h"
+
+int main() {
+  using namespace bolt;
+  using namespace bolt::bench;
+
+  const auto& split = dataset(Workload::kMnist);
+  const forest::Forest& forest = get_forest(Workload::kMnist, 10, 4);
+  const core::BoltForest bf = build_tuned_bolt(forest, split.test);
+
+  core::BoltEngine bolt_engine(bf);
+  engines::SklearnEngine sklearn_engine(forest);
+  engines::RangerEngine ranger_engine(forest);
+  engines::ForestPackingEngine fp_engine(forest, split.test);
+  engines::Engine* all[] = {&bolt_engine, &sklearn_engine, &ranger_engine,
+                            &fp_engine};
+
+  const auto machine = archsim::xeon_e5_2650_v4();
+  ResultTable table({"platform", "instructions", "branches taken",
+                     "branch misses", "miss rate (%)", "L1 misses",
+                     "LLC misses", "model (us)"});
+  for (auto* engine : all) {
+    const auto r = measure_model(*engine, machine, split.test);
+    const auto& c = r.per_sample;
+    const double miss_rate =
+        c.branches ? 100.0 * static_cast<double>(c.branch_misses) /
+                         static_cast<double>(c.branches)
+                   : 0.0;
+    table.add_row({std::string(engine->name()), std::to_string(c.instructions),
+                   std::to_string(c.branches), std::to_string(c.branch_misses),
+                   fmt(miss_rate, 1), std::to_string(c.l1_misses),
+                   std::to_string(c.llc_misses), fmt(r.us_per_sample, 3)});
+  }
+  table.print(
+      "Figure 12: per-sample execution metrics (MNIST, 10 trees, h=4)");
+  table.write_csv("fig12_metrics.csv");
+  std::printf("\nnote: paper observes Bolt's branch-miss RATE is the highest "
+              "even though its totals are lowest; compare 'miss rate'.\n");
+  return 0;
+}

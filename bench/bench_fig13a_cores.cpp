@@ -1,0 +1,58 @@
+// Figure 13(A): Bolt response time when parallelizing one sample across
+// 1/2/4/8/16 cores by splitting the dictionary and the lookup table
+// (Figure 4). The paper sees near-linear gains up to ~4 cores on the small
+// forest, then partitioning overhead dominates.
+//
+// Single-CPU container substitution (DESIGN.md §3): each core's partition
+// scan is executed and timed in isolation; response time = max over cores
+// + measured aggregation + a fixed per-core communication charge.
+#include "common.h"
+
+#include "util/stats.h"
+
+int main() {
+  using namespace bolt;
+  using namespace bolt::bench;
+
+  const auto& split = dataset(Workload::kMnist);
+  const forest::Forest& forest = get_forest(Workload::kMnist, 10, 4);
+  const core::BoltForest bf = build_tuned_bolt(forest, split.test);
+
+  const std::size_t samples = std::min<std::size_t>(300, split.test.num_rows());
+  ResultTable table({"cores", "best split (dict x table)",
+                     "response (us/sample)", "speedup vs 1 core"});
+  double base_us = 0.0;
+  for (std::size_t cores : {1u, 2u, 4u, 8u, 16u}) {
+    double best_us = 0.0;
+    core::PartitionPlan best_plan;
+    bool first = true;
+    for (std::size_t d = 1; d <= cores; ++d) {
+      if (cores % d != 0) continue;
+      const core::PartitionPlan plan{d, cores / d};
+      core::PartitionedBoltEngine engine(bf, plan);
+      util::Summary sum;
+      for (std::size_t rep = 0; rep < 3; ++rep) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < samples; ++i) {
+          total += engine.measure_response_us(split.test.row(i));
+        }
+        sum.add(total / static_cast<double>(samples));
+      }
+      const double us = sum.percentile(50);
+      if (first || us < best_us) {
+        best_us = us;
+        best_plan = plan;
+        first = false;
+      }
+    }
+    if (cores == 1) base_us = best_us;
+    table.add_row({std::to_string(cores),
+                   std::to_string(best_plan.dict_parts) + " x " +
+                       std::to_string(best_plan.table_parts),
+                   fmt(best_us, 3), fmt(base_us / best_us, 2)});
+  }
+  table.print("Figure 13(A): Bolt response time vs available cores "
+              "(MNIST, 10 trees, h=4)");
+  table.write_csv("fig13a_cores.csv");
+  return 0;
+}

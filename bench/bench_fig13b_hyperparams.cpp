@@ -1,0 +1,59 @@
+// Figure 13(B): Bolt response time across hyperparameter settings —
+// clustering threshold (dictionary/table size trade-off) and partition
+// shapes. The paper observes up to ~4x spread between settings, which is
+// why Phase 2's search matters.
+#include "common.h"
+
+#include "util/stats.h"
+
+int main() {
+  using namespace bolt;
+  using namespace bolt::bench;
+
+  const auto& split = dataset(Workload::kMnist);
+  const forest::Forest& forest = get_forest(Workload::kMnist, 10, 4);
+
+  const std::size_t samples = std::min<std::size_t>(200, split.test.num_rows());
+  ResultTable table({"threshold", "split (dict x table)", "dict entries",
+                     "table slots", "response (us/sample)"});
+  double best = 1e18, worst = 0.0;
+  for (std::size_t threshold : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    core::BoltConfig cfg;
+    cfg.cluster.threshold = threshold;
+    std::unique_ptr<core::BoltForest> bf;
+    try {
+      bf = std::make_unique<core::BoltForest>(
+          core::BoltForest::build(forest, cfg));
+    } catch (const std::exception&) {
+      table.add_row({std::to_string(threshold), "-", "-", "-", "infeasible"});
+      continue;
+    }
+    for (const core::PartitionPlan plan :
+         {core::PartitionPlan{1, 1}, core::PartitionPlan{2, 2},
+          core::PartitionPlan{4, 1}, core::PartitionPlan{1, 4}}) {
+      core::PartitionedBoltEngine engine(*bf, plan);
+      util::Summary sum;
+      for (std::size_t rep = 0; rep < 3; ++rep) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < samples; ++i) {
+          total += engine.measure_response_us(split.test.row(i));
+        }
+        sum.add(total / static_cast<double>(samples));
+      }
+      const double us = sum.percentile(50);
+      best = std::min(best, us);
+      worst = std::max(worst, us);
+      table.add_row({std::to_string(threshold),
+                     std::to_string(plan.dict_parts) + " x " +
+                         std::to_string(plan.table_parts),
+                     std::to_string(bf->dictionary().num_entries()),
+                     std::to_string(bf->table().num_slots()), fmt(us, 3)});
+    }
+  }
+  table.print("Figure 13(B): Bolt under different hyperparameter settings "
+              "(MNIST, 10 trees, h=4)");
+  table.write_csv("fig13b_hyperparams.csv");
+  std::printf("\nspread worst/best = %.2fx (paper: up to ~4x)\n",
+              worst / best);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 14: Bolt vs Scikit-Learn across datasets — LSTW (heights 5, 8)
+// and Yelp (heights 4, 6, 8). The paper reports sub-microsecond Bolt
+// response times for modest forests on both heterogeneous workloads.
+#include "common.h"
+
+int main() {
+  using namespace bolt;
+  using namespace bolt::bench;
+
+  const auto machine = archsim::xeon_e5_2650_v4();
+  ResultTable table({"dataset", "height", "BOLT (us)", "Scikit (us)",
+                     "speedup"});
+
+  struct Case {
+    Workload workload;
+    std::size_t height;
+  };
+  const Case cases[] = {{Workload::kLstw, 5}, {Workload::kLstw, 8},
+                        {Workload::kYelp, 4}, {Workload::kYelp, 6},
+                        {Workload::kYelp, 8}};
+  for (const Case& c : cases) {
+    const auto& split = dataset(c.workload);
+    const forest::Forest& forest = get_forest(c.workload, 10, c.height);
+    const core::BoltForest bf =
+        build_tuned_bolt(forest, split.test, {2, 4, 8, 12});
+    core::BoltEngine bolt_engine(bf);
+    engines::SklearnEngine sklearn_engine(forest);
+    const double b =
+        measure_model(bolt_engine, machine, split.test).us_per_sample;
+    const double s =
+        measure_model(sklearn_engine, machine, split.test).us_per_sample;
+    table.add_row({workload_name(c.workload), std::to_string(c.height),
+                   fmt(b, 3), fmt(s, 1), fmt(s / b, 0) + "x"});
+  }
+  table.print("Figure 14: Bolt vs Scikit by dataset (10 trees)");
+  table.write_csv("fig14_datasets.csv");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) of Bolt's hot-path primitives:
+// predicate binarization, dictionary scan, address formation, recombined
+// table probe, Bloom probe, and end-to-end predict for every engine.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace {
+
+using namespace bolt;
+using namespace bolt::bench;
+
+struct Fixture {
+  const Split& split = dataset(Workload::kMnist);
+  const forest::Forest& forest = get_forest(Workload::kMnist, 10, 4);
+  core::BoltForest bf = build_tuned_bolt(forest, split.test);
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Binarize(benchmark::State& state) {
+  Fixture& f = fixture();
+  util::BitVector bits(f.bf.space().size());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    f.bf.space().binarize(f.split.test.row(i), bits);
+    benchmark::DoNotOptimize(bits.words().data());
+    i = (i + 1) % f.split.test.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.bf.space().size()));
+}
+BENCHMARK(BM_Binarize);
+
+void BM_DictionaryScan(benchmark::State& state) {
+  Fixture& f = fixture();
+  util::BitVector bits = f.bf.space().binarize(f.split.test.row(0));
+  const auto& dict = f.bf.dictionary();
+  for (auto _ : state) {
+    std::size_t matches = 0;
+    for (std::size_t e = 0; e < dict.num_entries(); ++e) {
+      matches += dict.matches(e, bits);
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dict.num_entries()));
+}
+BENCHMARK(BM_DictionaryScan);
+
+void BM_AddressFormation(benchmark::State& state) {
+  Fixture& f = fixture();
+  util::BitVector bits = f.bf.space().binarize(f.split.test.row(0));
+  const auto& dict = f.bf.dictionary();
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t e = 0; e < dict.num_entries(); ++e) {
+      acc ^= dict.address(e, bits);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_AddressFormation);
+
+void BM_TableProbe(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& table = f.bf.table();
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    auto r = table.find(static_cast<std::uint32_t>(addr % 50), addr % 1024);
+    benchmark::DoNotOptimize(r);
+    ++addr;
+  }
+}
+BENCHMARK(BM_TableProbe);
+
+void BM_BloomProbe(benchmark::State& state) {
+  core::BloomFilter bloom(1000, 10);
+  for (std::uint64_t k = 0; k < 1000; ++k) bloom.insert(1, k * 7);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.maybe_contains(1, addr++));
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+template <class MakeEngine>
+void predict_loop(benchmark::State& state, MakeEngine make) {
+  Fixture& f = fixture();
+  auto engine = make(f);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->predict(f.split.test.row(i)));
+    i = (i + 1) % f.split.test.num_rows();
+  }
+}
+
+void BM_PredictBolt(benchmark::State& state) {
+  predict_loop(state, [](Fixture& f) {
+    return std::make_unique<core::BoltEngine>(f.bf);
+  });
+}
+BENCHMARK(BM_PredictBolt);
+
+void BM_PredictSklearn(benchmark::State& state) {
+  predict_loop(state, [](Fixture& f) {
+    return std::make_unique<engines::SklearnEngine>(f.forest);
+  });
+}
+BENCHMARK(BM_PredictSklearn);
+
+void BM_PredictRanger(benchmark::State& state) {
+  predict_loop(state, [](Fixture& f) {
+    return std::make_unique<engines::RangerEngine>(f.forest);
+  });
+}
+BENCHMARK(BM_PredictRanger);
+
+void BM_PredictForestPacking(benchmark::State& state) {
+  predict_loop(state, [](Fixture& f) {
+    return std::make_unique<engines::ForestPackingEngine>(f.forest,
+                                                          f.split.test);
+  });
+}
+BENCHMARK(BM_PredictForestPacking);
+
+void BM_BoltBuild(benchmark::State& state) {
+  Fixture& f = fixture();
+  core::BoltConfig cfg;
+  cfg.cluster.threshold = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto bf = core::BoltForest::build(f.forest, cfg);
+    benchmark::DoNotOptimize(bf.stats().table_entries);
+  }
+}
+BENCHMARK(BM_BoltBuild)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// End-to-end service latency through the real UNIX-domain-socket front end
+// (paper §6 measures "from the time input samples are received to the
+// moment inference finishes"; this harness adds the full request
+// round-trip for every platform served by the same front end).
+#include "common.h"
+
+#include <memory>
+
+#include "service/server.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace bolt;
+  using namespace bolt::bench;
+
+  const auto& split = dataset(Workload::kMnist);
+  const forest::Forest& forest = get_forest(Workload::kMnist, 10, 4);
+  const core::BoltForest bf = build_tuned_bolt(forest, split.test);
+
+  struct Platform {
+    const char* name;
+    std::function<std::unique_ptr<engines::Engine>()> factory;
+  };
+  const Platform platforms[] = {
+      {"BOLT", [&] { return std::make_unique<core::BoltEngine>(bf); }},
+      {"Scikit",
+       [&] { return std::make_unique<engines::SklearnEngine>(forest); }},
+      {"Ranger",
+       [&] { return std::make_unique<engines::RangerEngine>(forest); }},
+      {"ForestPacking",
+       [&] {
+         return std::make_unique<engines::ForestPackingEngine>(forest,
+                                                               split.test);
+       }},
+  };
+
+  ResultTable table({"platform", "p50 (us)", "p95 (us)", "p99 (us)",
+                     "throughput (req/s)", "errors"});
+  const std::size_t n = std::min<std::size_t>(2000, split.test.num_rows() * 3);
+
+  for (const Platform& p : platforms) {
+    const std::string socket =
+        std::string("/tmp/bolt_bench_") + p.name + ".sock";
+    service::InferenceServer server(socket, p.factory);
+    server.start();
+    service::InferenceClient client(socket);
+
+    // Warm up the connection and engine.
+    for (int i = 0; i < 64; ++i) client.classify(split.test.row(i % 64));
+
+    util::Summary lat;
+    std::size_t errors = 0;
+    util::Timer total;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = split.test.row(i % split.test.num_rows());
+      util::Timer t;
+      const auto resp = client.classify(row);
+      lat.add(t.elapsed_us());
+      errors += resp.predicted_class < 0;
+    }
+    const double seconds = total.elapsed_ms() / 1e3;
+    table.add_row({p.name, fmt(lat.percentile(50), 1),
+                   fmt(lat.percentile(95), 1), fmt(lat.percentile(99), 1),
+                   fmt(static_cast<double>(n) / seconds, 0),
+                   std::to_string(errors)});
+    server.stop();
+  }
+  table.print("Service round-trip latency over UNIX domain socket "
+              "(MNIST, 10 trees, h=4)");
+  table.write_csv("service_latency.csv");
+  std::printf("\nnote: the socket round-trip (~2 syscall pairs) dominates "
+              "every engine here; the figure-10 model isolates the "
+              "inference cost itself.\n");
+  return 0;
+}

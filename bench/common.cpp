@@ -1,0 +1,192 @@
+#include "common.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "data/synthetic.h"
+#include "forest/serialize.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace bolt::bench {
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kMnist:
+      return "MNIST";
+    case Workload::kLstw:
+      return "LSTW";
+    case Workload::kYelp:
+      return "YELP";
+  }
+  return "?";
+}
+
+const Split& dataset(Workload w) {
+  static std::map<Workload, Split> cache;
+  auto it = cache.find(w);
+  if (it != cache.end()) return it->second;
+
+  data::Dataset ds(0, 0);
+  switch (w) {
+    case Workload::kMnist:
+      ds = data::make_synth_mnist(4000, 7);
+      break;
+    case Workload::kLstw:
+      ds = data::make_synth_lstw(6000, 8);
+      break;
+    case Workload::kYelp:
+      ds = data::make_synth_yelp(1500, 9);
+      break;
+  }
+  auto [train, test] = ds.split(0.8);
+  Split split;
+  split.train = std::move(train);
+  split.test = std::move(test);
+  return cache.emplace(w, std::move(split)).first->second;
+}
+
+const forest::Forest& get_forest(Workload w, std::size_t trees,
+                                 std::size_t height) {
+  static std::map<std::tuple<Workload, std::size_t, std::size_t>,
+                  forest::Forest>
+      cache;
+  const auto key = std::make_tuple(w, trees, height);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  ::mkdir("bench_cache", 0755);
+  std::ostringstream path;
+  path << "bench_cache/" << workload_name(w) << "_t" << trees << "_h" << height
+       << ".forest";
+  try {
+    forest::Forest loaded = forest::load_forest_file(path.str());
+    return cache.emplace(key, std::move(loaded)).first->second;
+  } catch (const std::exception&) {
+    // Cache miss: train below.
+  }
+
+  forest::TrainConfig cfg;
+  cfg.num_trees = trees;
+  cfg.max_height = height;
+  cfg.seed = 42 + trees * 131 + height;
+  forest::Forest trained = forest::train_random_forest(dataset(w).train, cfg);
+  try {
+    forest::save_forest_file(trained, path.str());
+  } catch (const std::exception&) {
+    // Read-only working directory: just skip the cache.
+  }
+  return cache.emplace(key, std::move(trained)).first->second;
+}
+
+core::BoltForest build_tuned_bolt(const forest::Forest& forest,
+                                  const data::Dataset& calibration,
+                                  std::vector<std::size_t> thresholds) {
+  const archsim::MachineConfig machine = archsim::xeon_e5_2650_v4();
+  double best_us = 0.0;
+  std::unique_ptr<core::BoltForest> best;
+  for (std::size_t threshold : thresholds) {
+    core::BoltConfig cfg;
+    cfg.cluster.threshold = threshold;
+    std::unique_ptr<core::BoltForest> candidate;
+    try {
+      candidate =
+          std::make_unique<core::BoltForest>(core::BoltForest::build(forest, cfg));
+    } catch (const std::exception&) {
+      continue;
+    }
+    core::BoltEngine engine(*candidate);
+    archsim::Machine m(machine);
+    const double us =
+        engines::model_service(engine, m, calibration, 128).us_per_sample;
+    if (!best || us < best_us) {
+      best_us = us;
+      best = std::move(candidate);
+    }
+  }
+  if (!best) throw std::runtime_error("bench: no feasible Bolt config");
+  return std::move(*best);
+}
+
+double measure_wall_us(engines::Engine& engine, const data::Dataset& test,
+                       std::size_t samples, std::size_t reps) {
+  samples = std::min(samples, test.num_rows());
+  // Warm-up sweep.
+  int sink = 0;
+  for (std::size_t i = 0; i < samples; ++i) sink += engine.predict(test.row(i));
+  util::Summary med;
+  for (std::size_t r = 0; r < reps; ++r) {
+    util::Timer timer;
+    for (std::size_t i = 0; i < samples; ++i) {
+      sink += engine.predict(test.row(i));
+    }
+    med.add(timer.elapsed_us() / static_cast<double>(samples));
+  }
+  util::do_not_optimize(sink);
+  return med.percentile(50);
+}
+
+engines::ServiceModelResult measure_model(engines::Engine& engine,
+                                          const archsim::MachineConfig& cfg,
+                                          const data::Dataset& test,
+                                          std::size_t samples) {
+  archsim::Machine machine(cfg);
+  return engines::model_service(engine, machine, test, samples);
+}
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ResultTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::print(const std::string& title) const {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]),
+                  c < cells.size() ? cells[c].c_str() : "");
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::string dash;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    dash += std::string(width[c], '-') + "  ";
+  }
+  std::printf("%s\n", dash.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void ResultTable::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return;  // read-only dir: table already printed
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(f, "%s%s", c ? "," : "", cells[c].c_str());
+    }
+    std::fprintf(f, "\n");
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace bolt::bench

@@ -1,0 +1,81 @@
+// Shared infrastructure for the figure harnesses (bench_fig*): dataset and
+// forest caching, the two measurement modes, and paper-style table output.
+//
+// Every harness reports two latency columns:
+//   model  — per-sample time from the archsim cycle model configured as the
+//            paper's Xeon E5-2650 v4 under the inference-as-a-service
+//            protocol (DESIGN.md §3); this is the primary, paper-comparable
+//            number.
+//   wall   — measured wall-clock on the machine running the bench, with all
+//            engines as idealized warm C++ kernels; platform gaps compress
+//            here because none of the real Python/R stacks are present.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "archsim/machine.h"
+#include "baselines/engine.h"
+#include "baselines/fp_engine.h"
+#include "baselines/ranger_engine.h"
+#include "baselines/service_model.h"
+#include "baselines/sklearn_engine.h"
+#include "bolt/bolt.h"
+#include "data/dataset.h"
+#include "forest/trainer.h"
+
+namespace bolt::bench {
+
+enum class Workload { kMnist, kLstw, kYelp };
+
+const char* workload_name(Workload w);
+
+/// Train/test pair for a workload (memoized per process; generation and
+/// training are seeded and deterministic).
+struct Split {
+  data::Dataset train{0, 0};
+  data::Dataset test{0, 0};
+};
+const Split& dataset(Workload w);
+
+/// A trained forest for (workload, trees, height), cached on disk under
+/// bench_cache/ next to the binary so repeated harness runs skip training.
+const forest::Forest& get_forest(Workload w, std::size_t trees,
+                                 std::size_t height);
+
+/// Builds a Bolt artifact with the best threshold from a small model-timed
+/// sweep (Phase 2 in miniature, shared by the figure harnesses).
+core::BoltForest build_tuned_bolt(const forest::Forest& forest,
+                                  const data::Dataset& calibration,
+                                  std::vector<std::size_t> thresholds = {2, 4,
+                                                                         8});
+
+/// Wall-clock microseconds per sample over the test rows (median of
+/// `reps` sweeps, warm caches).
+double measure_wall_us(engines::Engine& engine, const data::Dataset& test,
+                       std::size_t samples = 400, std::size_t reps = 5);
+
+/// Modeled service time + per-sample counters on the given machine.
+engines::ServiceModelResult measure_model(engines::Engine& engine,
+                                          const archsim::MachineConfig& cfg,
+                                          const data::Dataset& test,
+                                          std::size_t samples = 400);
+
+/// Row-oriented results table that prints aligned text and writes CSV.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns);
+  void add_row(std::vector<std::string> cells);
+  void print(const std::string& title) const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 3);
+
+}  // namespace bolt::bench

@@ -1,0 +1,66 @@
+// Digit-recognition inference service (the paper's Figure 7 workflow):
+// a Bolt forest served over a UNIX domain socket, exercised by an
+// in-process client that streams MNIST-like 28x28 images and reports
+// latency percentiles.
+//
+//   $ ./examples/digit_service [socket_path]
+#include <cstdio>
+
+#include "bolt/bolt.h"
+#include "data/synthetic.h"
+#include "forest/trainer.h"
+#include "service/server.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace bolt;
+
+  const std::string socket_path =
+      argc > 1 ? argv[1] : "/tmp/bolt_digit_service.sock";
+
+  std::printf("training digit forest...\n");
+  data::Dataset ds = data::make_synth_mnist(3000);
+  auto [train, test] = ds.split(0.8);
+  forest::TrainConfig tc;
+  tc.num_trees = 10;
+  tc.max_height = 4;
+  const forest::Forest model = forest::train_random_forest(train, tc);
+
+  std::printf("compressing with Bolt (Phase 2 parameter search)...\n");
+  core::PlannerConfig pc;
+  pc.thresholds = {2, 4, 8};
+  pc.repetitions = 1;
+  pc.max_calibration_samples = 64;
+  core::PlanResult planned = core::plan(model, test, pc);
+  std::printf("selected threshold %zu: %zu dictionary entries, %zu slots\n",
+              planned.best_candidate().threshold,
+              planned.best_candidate().dict_entries,
+              planned.best_candidate().table_slots);
+
+  service::InferenceServer server(socket_path, [&] {
+    return std::make_unique<core::BoltEngine>(*planned.artifact);
+  });
+  server.start();
+  std::printf("serving on %s\n", socket_path.c_str());
+
+  service::InferenceClient client(socket_path);
+  util::Summary latency_us;
+  std::size_t correct = 0;
+  const std::size_t n = test.num_rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Timer t;
+    const service::Response resp = client.classify(test.row(i));
+    latency_us.add(t.elapsed_us());
+    correct += resp.predicted_class == test.label(i);
+  }
+  std::printf("classified %zu digits: accuracy %.1f%%\n", n,
+              100.0 * static_cast<double>(correct) / static_cast<double>(n));
+  std::printf("round-trip latency: p50 %.1f us, p99 %.1f us, max %.1f us\n",
+              latency_us.percentile(50), latency_us.percentile(99),
+              latency_us.max());
+  std::printf("requests served: %lu\n",
+              static_cast<unsigned long>(server.requests_served()));
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: train a random forest, compress it with Bolt, and classify.
+//
+//   $ ./examples/quickstart
+//
+// Walks the full public API: dataset -> trainer -> BoltForest::build ->
+// BoltEngine, and checks Bolt against plain traversal.
+#include <cstdio>
+
+#include "bolt/bolt.h"
+#include "data/synthetic.h"
+#include "forest/trainer.h"
+
+int main() {
+  using namespace bolt;
+
+  // 1. Data: a synthetic stand-in for the LSTW traffic dataset
+  //    (11 features, 4 severity classes). Swap in data::read_csv_file()
+  //    to use your own data.
+  data::Dataset ds = data::make_synth_lstw(4000);
+  auto [train, test] = ds.split(0.8);
+  std::printf("dataset: %zu train / %zu test rows, %zu features, %zu classes\n",
+              train.num_rows(), test.num_rows(), ds.num_features(),
+              ds.num_classes());
+
+  // 2. Train a random forest (the paper trains with Scikit-Learn; this
+  //    repo's CART trainer plays that role).
+  forest::TrainConfig tc;
+  tc.num_trees = 10;
+  tc.max_height = 5;
+  const forest::Forest model = forest::train_random_forest(train, tc);
+  std::printf("forest: %zu trees, height <= %zu, accuracy %.1f%%\n",
+              model.trees.size(), model.max_height(),
+              100.0 * forest::accuracy(model, test));
+
+  // 3. Compress into a Bolt artifact: paths are enumerated, clustered,
+  //    expanded into lookup tables and recombined (paper §4).
+  core::BoltConfig cfg;
+  cfg.cluster.threshold = 4;  // the Phase-2 planner can pick this for you
+  const core::BoltForest artifact = core::BoltForest::build(model, cfg);
+  const core::BuildStats& s = artifact.stats();
+  std::printf("bolt: %zu paths -> %zu merged -> %zu dictionary entries, "
+              "%zu table entries in %zu slots (%zu KB total)\n",
+              s.num_raw_paths, s.num_merged_paths, s.num_clusters,
+              s.table_entries, s.table_slots, artifact.memory_bytes() / 1024);
+
+  // 4. Infer.
+  core::BoltEngine engine(artifact);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    agree += engine.predict(test.row(i)) == model.predict(test.row(i));
+  }
+  std::printf("safety: Bolt matched traversal on %zu/%zu test samples\n",
+              agree, test.num_rows());
+
+  const int cls = engine.predict(test.row(0));
+  std::printf("first test sample -> class %d (true label %d)\n", cls,
+              test.label(0));
+  return agree == test.num_rows() ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+#include "archsim/branch.h"
+
+#include "util/hash.h"
+
+namespace bolt::archsim {
+
+BranchPredictor::BranchPredictor(const BranchConfig& cfg) : cfg_(cfg) {
+  counters_.assign(std::size_t{1} << cfg_.table_bits, 1);  // weakly not-taken
+}
+
+bool BranchPredictor::predict_and_update(std::uint64_t site, bool taken) {
+  const std::uint64_t mask = (std::uint64_t{1} << cfg_.table_bits) - 1;
+  const std::uint64_t hist_mask =
+      (std::uint64_t{1} << cfg_.history_bits) - 1;
+  const std::size_t idx =
+      static_cast<std::size_t>((util::mix64(site) ^ (history_ & hist_mask)) & mask);
+  std::uint8_t& c = counters_[idx];
+  const bool predicted_taken = c >= 2;
+  const bool correct = predicted_taken == taken;
+  if (taken && c < 3) ++c;
+  if (!taken && c > 0) --c;
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & hist_mask;
+  return correct;
+}
+
+void BranchPredictor::reset() {
+  counters_.assign(counters_.size(), 1);
+  history_ = 0;
+}
+
+}  // namespace bolt::archsim

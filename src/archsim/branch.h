@@ -1,0 +1,30 @@
+// Branch-predictor model: gshare-style table of 2-bit saturating counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bolt::archsim {
+
+struct BranchConfig {
+  unsigned table_bits = 12;    // 4096 counters
+  unsigned history_bits = 8;   // global history folded into the index
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchConfig& cfg = {});
+
+  /// Records a conditional branch at code site `site` with outcome `taken`.
+  /// Returns true iff the prediction was correct.
+  bool predict_and_update(std::uint64_t site, bool taken);
+
+  void reset();
+
+ private:
+  BranchConfig cfg_;
+  std::vector<std::uint8_t> counters_;  // 2-bit, 0..3, >=2 predicts taken
+  std::uint64_t history_ = 0;
+};
+
+}  // namespace bolt::archsim

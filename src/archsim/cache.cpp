@@ -1,0 +1,61 @@
+#include "archsim/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace bolt::archsim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (cfg.line_bytes == 0 || (cfg.line_bytes & (cfg.line_bytes - 1)) != 0) {
+    throw std::invalid_argument("cache: line size must be a power of two");
+  }
+  const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
+  if (lines == 0 || cfg.ways == 0 || lines % cfg.ways != 0) {
+    throw std::invalid_argument("cache: size/ways/line mismatch");
+  }
+  sets_ = lines / cfg.ways;
+  line_shift_ = static_cast<unsigned>(std::countr_zero(cfg.line_bytes));
+  ways_.assign(sets_ * cfg.ways, Way{});
+}
+
+bool Cache::access(std::uint64_t addr) {
+  // Modulo set indexing supports the non-power-of-two set counts real
+  // LLC slice arrangements produce (e.g. 30 MB / 20 ways).
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = line % sets_;
+  const std::uint64_t tag = line / sets_;
+  Way* base = &ways_[set * cfg_.ways];
+  ++tick_;
+
+  Way* victim = base;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (base[w].tag == tag) {
+      base[w].lru = tick_;
+      return true;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+void Cache::reset() {
+  ways_.assign(ways_.size(), Way{});
+  tick_ = 0;
+}
+
+int CacheHierarchy::access(std::uint64_t addr) {
+  if (l1_.access(addr)) return 1;
+  if (l2_.access(addr)) return 2;
+  if (llc_.access(addr)) return 3;
+  return 4;
+}
+
+void CacheHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  llc_.reset();
+}
+
+}  // namespace bolt::archsim

@@ -1,0 +1,60 @@
+// Set-associative LRU cache model. Deterministic; used in place of `perf`
+// hardware counters (unavailable in the evaluation container) to reproduce
+// the paper's Figure 12 comparison and the Figure 9 cross-architecture
+// model. See DESIGN.md §3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bolt::archsim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  unsigned ways = 8;
+  unsigned line_bytes = 64;
+};
+
+/// One cache level with true-LRU replacement.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Touches the line containing `addr`; returns true on hit. On miss the
+  /// line is installed (inclusive fill).
+  bool access(std::uint64_t addr);
+
+  void reset();
+  const CacheConfig& config() const { return cfg_; }
+  std::uint64_t num_sets() const { return sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t lru = 0;  // lower = older
+  };
+
+  CacheConfig cfg_;
+  std::uint64_t sets_;
+  unsigned line_shift_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_;  // sets_ * cfg_.ways, row-major by set
+};
+
+/// A three-level hierarchy (L1D -> L2 -> LLC). Misses propagate downward.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                 const CacheConfig& llc)
+      : l1_(l1), l2_(l2), llc_(llc) {}
+
+  /// Returns the level that served the access: 1, 2, 3, or 4 (memory).
+  int access(std::uint64_t addr);
+
+  void reset();
+
+ private:
+  Cache l1_, l2_, llc_;
+};
+
+}  // namespace bolt::archsim

@@ -1,0 +1,31 @@
+// Execution counters reported by the trace simulator — the quantities of
+// the paper's Figure 12 (instructions, branches taken, branch misses,
+// cache misses).
+#pragma once
+
+#include <cstdint>
+
+namespace bolt::archsim {
+
+struct Counters {
+  std::uint64_t instructions = 0;
+  std::uint64_t branches = 0;       // conditional branches taken
+  std::uint64_t branch_misses = 0;  // mispredictions
+  std::uint64_t mem_accesses = 0;   // cache-line touches
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t llc_misses = 0;     // "cache misses" in Figure 12
+
+  Counters& operator+=(const Counters& o) {
+    instructions += o.instructions;
+    branches += o.branches;
+    branch_misses += o.branch_misses;
+    mem_accesses += o.mem_accesses;
+    l1_misses += o.l1_misses;
+    l2_misses += o.l2_misses;
+    llc_misses += o.llc_misses;
+    return *this;
+  }
+};
+
+}  // namespace bolt::archsim

@@ -1,0 +1,40 @@
+#include "archsim/machine.h"
+
+namespace bolt::archsim {
+
+MachineConfig xeon_e5_2650_v4() {
+  MachineConfig cfg;
+  cfg.name = "E5-2650 v4";
+  cfg.ghz = 2.2;
+  cfg.cores = 12;
+  cfg.l1 = {32 * 1024, 8, 64};
+  cfg.l2 = {256 * 1024, 8, 64};
+  cfg.llc = {30ull * 1024 * 1024, 20, 64};
+  return cfg;
+}
+
+MachineConfig ec_small() {
+  MachineConfig cfg;
+  cfg.name = "EC Small";
+  cfg.ghz = 2.8;  // E2 machines run on ~2.8 GHz parts with smaller slices
+  cfg.cores = 4;
+  cfg.l1 = {32 * 1024, 8, 64};
+  cfg.l2 = {1024 * 1024, 16, 64};
+  cfg.llc = {8ull * 1024 * 1024, 16, 64};
+  cfg.mem_latency = 230;  // virtualized memory path
+  return cfg;
+}
+
+MachineConfig ec_large() {
+  MachineConfig cfg;
+  cfg.name = "EC Large";
+  cfg.ghz = 2.8;
+  cfg.cores = 32;
+  cfg.l1 = {32 * 1024, 8, 64};
+  cfg.l2 = {1024 * 1024, 16, 64};
+  cfg.llc = {24ull * 1024 * 1024, 12, 64};
+  cfg.mem_latency = 230;
+  return cfg;
+}
+
+}  // namespace bolt::archsim

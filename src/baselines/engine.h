@@ -1,0 +1,40 @@
+// Common interface for all inference platforms compared in the paper's
+// evaluation: Bolt, Scikit-like, Ranger-like and Forest-Packing-like.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "archsim/machine.h"
+
+namespace bolt::engines {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Input arity every predict/vote call must supply. Callers at trust
+  /// boundaries (the service front end) validate against this before
+  /// dispatching.
+  virtual std::size_t num_features() const = 0;
+
+  /// Classifies one sample (the hot path every figure times).
+  virtual int predict(std::span<const float> x) = 0;
+
+  /// Same classification while driving the architectural simulator.
+  virtual int predict_traced(std::span<const float> x,
+                             archsim::Machine& machine) = 0;
+
+  /// Weighted per-class votes (needed by deep-forest cascades); `out` has
+  /// num_classes entries and is overwritten.
+  virtual void vote(std::span<const float> x, std::span<double> out) = 0;
+
+  /// Resident size of the engine's inference structures, for the storage
+  /// analyses (Figure 8 and the cache-fit reasoning of §4.2).
+  virtual std::size_t memory_bytes() const = 0;
+};
+
+}  // namespace bolt::engines

@@ -1,0 +1,130 @@
+#include "baselines/fp_engine.h"
+
+#include <algorithm>
+
+#include "archsim/cost_model.h"
+#include "baselines/probe.h"
+
+namespace bolt::engines {
+namespace {
+
+/// Per-node visit counts from running the calibration set through a tree.
+std::vector<std::uint64_t> visit_counts(const forest::DecisionTree& tree,
+                                        const data::Dataset& calibration) {
+  std::vector<std::uint64_t> counts(tree.nodes().size(), 0);
+  for (std::size_t i = 0; i < calibration.num_rows(); ++i) {
+    const auto x = calibration.row(i);
+    std::int32_t node = 0;
+    for (;;) {
+      ++counts[node];
+      const forest::TreeNode& n = tree.nodes()[node];
+      if (n.is_leaf()) break;
+      node = x[n.feature] <= n.threshold ? n.left : n.right;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+ForestPackingEngine::ForestPackingEngine(const forest::Forest& forest,
+                                         const data::Dataset& calibration)
+    : weights_(forest.weights), num_classes_(forest.num_classes) {
+  num_features_ = forest.num_features;
+  std::uint64_t hot_steps = 0;
+  std::uint64_t total_steps = 0;
+
+  for (const auto& tree : forest.trees) {
+    const auto counts = visit_counts(tree, calibration);
+    tree_roots_.push_back(static_cast<std::int32_t>(nodes_.size()));
+
+    // Hot-child-first depth-first packing: emit the hotter child directly
+    // after its parent so the frequent path is a contiguous run of nodes
+    // (Forest Packing's cache-line packing); the cold child is emitted
+    // after the whole hot subtree and linked by offset.
+    struct Pending {
+      std::int32_t src;     // original node index
+      std::int32_t parent;  // packed index whose cold_offset to patch, or -1
+    };
+    std::vector<Pending> cold_stack;
+    cold_stack.push_back({0, -1});
+    while (!cold_stack.empty()) {
+      Pending p = cold_stack.back();
+      cold_stack.pop_back();
+      if (p.parent >= 0) {
+        nodes_[p.parent].cold_offset = static_cast<std::int32_t>(nodes_.size());
+      }
+      // Walk the hot spine from p.src, emitting nodes contiguously.
+      std::int32_t src = p.src;
+      for (;;) {
+        const forest::TreeNode& n = tree.nodes()[src];
+        const auto packed_idx = static_cast<std::int32_t>(nodes_.size());
+        if (n.is_leaf()) {
+          nodes_.push_back({0.0f, kLeafTag - n.leaf_class, -1, false});
+          break;
+        }
+        const bool left_hot = counts[n.left] >= counts[n.right];
+        hot_steps += std::max(counts[n.left], counts[n.right]);
+        total_steps += counts[n.left] + counts[n.right];
+        nodes_.push_back({n.threshold, n.feature, -1, left_hot});
+        cold_stack.push_back({left_hot ? n.right : n.left, packed_idx});
+        src = left_hot ? n.left : n.right;
+      }
+    }
+  }
+  hot_ratio_ = total_steps
+                   ? static_cast<double>(hot_steps) / static_cast<double>(total_steps)
+                   : 0.0;
+  vote_scratch_.resize(num_classes_);
+}
+
+template <class Probe>
+void ForestPackingEngine::vote_impl(std::span<const float> x,
+                                    std::span<double> out, Probe probe) {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t t = 0; t < tree_roots_.size(); ++t) {
+    std::int32_t idx = tree_roots_[t];
+    for (;;) {
+      const PackedNode& n = nodes_[idx];
+      probe.mem(&n, sizeof(PackedNode));
+      probe.instr(archsim::cost::kPackedNodeStep);
+      if (n.feature < 0) {
+        out[static_cast<std::size_t>(kLeafTag - n.feature)] += weights_[t];
+        probe.instr(archsim::cost::kVoteAccum);
+        break;
+      }
+      probe.mem(&x[n.feature], sizeof(float));
+      const bool go_left = x[n.feature] <= n.threshold;
+      const bool take_hot = go_left == n.hot_is_left;
+      // One well-predicted branch per node: the layout is built so the hot
+      // (adjacent) child is usually taken, which is what slashes FP's
+      // branch misses relative to pointer layouts.
+      probe.branch((t << 20) ^ static_cast<std::uint64_t>(idx), take_hot);
+      idx = take_hot ? idx + 1 : n.cold_offset;
+    }
+  }
+  probe.instr(archsim::cost::kPerSample);
+}
+
+int ForestPackingEngine::predict(std::span<const float> x) {
+  vote_impl(x, vote_scratch_, NullProbe{});
+  return forest::argmax_class(vote_scratch_);
+}
+
+int ForestPackingEngine::predict_traced(std::span<const float> x,
+                                        archsim::Machine& machine) {
+  vote_impl(x, vote_scratch_, SimProbe{machine});
+  return forest::argmax_class(vote_scratch_);
+}
+
+void ForestPackingEngine::vote(std::span<const float> x,
+                               std::span<double> out) {
+  vote_impl(x, out, NullProbe{});
+}
+
+std::size_t ForestPackingEngine::memory_bytes() const {
+  return nodes_.size() * sizeof(PackedNode) +
+         tree_roots_.size() * sizeof(std::int32_t);
+}
+
+}  // namespace bolt::engines

@@ -1,0 +1,64 @@
+// "Forest-Packing-like" baseline (Browne et al., SDM'19).
+//
+// Forest Packing speeds up traversal by (1) storing trees depth-first so a
+// path's nodes share cache lines, (2) ordering each node's children so the
+// statistically hotter child is adjacent (hot paths become contiguous —
+// an implicit partial lookup table), and (3) compressing nodes to a few
+// bytes. We reproduce that design: a calibration pass counts per-node visit
+// frequencies (the paper notes FP derives these from testing data), then a
+// hot-child-first depth-first layout packs each tree into a contiguous
+// array of 12-byte nodes where the hot child is implicit (next node) and
+// only the cold child stores an offset.
+#pragma once
+
+#include <vector>
+
+#include "baselines/engine.h"
+#include "data/dataset.h"
+#include "forest/tree.h"
+
+namespace bolt::engines {
+
+class ForestPackingEngine final : public Engine {
+ public:
+  /// `calibration` provides samples whose traversal frequencies drive the
+  /// hot-path layout (pass the test set, as Forest Packing does).
+  ForestPackingEngine(const forest::Forest& forest,
+                      const data::Dataset& calibration);
+
+  std::string_view name() const override { return "ForestPacking"; }
+  std::size_t num_features() const override { return num_features_; }
+  int predict(std::span<const float> x) override;
+  int predict_traced(std::span<const float> x,
+                     archsim::Machine& machine) override;
+  void vote(std::span<const float> x, std::span<double> out) override;
+  std::size_t memory_bytes() const override;
+
+  /// Fraction of traversal steps that took the adjacent (hot) child during
+  /// construction calibration — exposed for tests/ablation.
+  double hot_path_ratio() const { return hot_ratio_; }
+
+ private:
+  /// Packed node: 12 bytes. Hot child = next array slot; `cold_offset` is
+  /// the array index of the cold child. Leaves set feature = kLeafTag - class.
+  struct PackedNode {
+    float threshold;
+    std::int32_t feature;      // >= 0: split var; < 0: encodes leaf class
+    std::int32_t cold_offset;  // index of the cold child
+    bool hot_is_left;          // which side the adjacent child represents
+  };
+  static constexpr std::int32_t kLeafTag = -1;
+
+  template <class Probe>
+  void vote_impl(std::span<const float> x, std::span<double> out, Probe probe);
+
+  std::vector<PackedNode> nodes_;         // all trees, concatenated
+  std::vector<std::int32_t> tree_roots_;  // root index per tree
+  std::vector<double> weights_;
+  std::size_t num_classes_;
+  std::size_t num_features_ = 0;
+  std::vector<double> vote_scratch_;
+  double hot_ratio_ = 0.0;
+};
+
+}  // namespace bolt::engines

@@ -1,0 +1,33 @@
+// Probe policy used by every inference engine to share one implementation
+// between the fast path and the traced (archsim) path.
+//
+// Engines implement `predict_impl<Probe>`; instantiated with NullProbe all
+// probe calls are empty inline functions the compiler deletes, so the fast
+// path carries zero instrumentation cost. Instantiated with SimProbe the
+// same code drives the cache/branch simulator for Figures 9 and 12.
+#pragma once
+
+#include <cstdint>
+
+#include "archsim/machine.h"
+
+namespace bolt::engines {
+
+struct NullProbe {
+  void mem(const void*, std::size_t,
+           archsim::MemDep = archsim::MemDep::kSerial) {}
+  void branch(std::uint64_t, bool) {}
+  void instr(std::uint64_t) {}
+};
+
+struct SimProbe {
+  archsim::Machine& machine;
+  void mem(const void* p, std::size_t n,
+           archsim::MemDep dep = archsim::MemDep::kSerial) {
+    machine.mem_read(p, n, dep);
+  }
+  void branch(std::uint64_t site, bool taken) { machine.branch(site, taken); }
+  void instr(std::uint64_t n) { machine.instr(n); }
+};
+
+}  // namespace bolt::engines

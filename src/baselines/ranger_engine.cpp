@@ -1,0 +1,118 @@
+#include "baselines/ranger_engine.h"
+
+#include <algorithm>
+
+#include "archsim/cost_model.h"
+#include "baselines/probe.h"
+
+namespace bolt::engines {
+
+RangerEngine::RangerEngine(const forest::Forest& forest)
+    : weights_(forest.weights), num_classes_(forest.num_classes) {
+  num_features_ = forest.num_features;
+  trees_.reserve(forest.trees.size());
+  for (const auto& tree : forest.trees) {
+    TreeSoA soa;
+    const auto& nodes = tree.nodes();
+    soa.split_var.reserve(nodes.size());
+    for (const auto& n : nodes) {
+      soa.split_var.push_back(n.feature);
+      soa.split_value.push_back(n.threshold);
+      soa.left.push_back(n.left);
+      soa.right.push_back(n.right);
+      soa.leaf_class.push_back(n.leaf_class);
+    }
+    trees_.push_back(std::move(soa));
+  }
+  vote_scratch_.resize(num_classes_);
+}
+
+template <class Probe>
+void RangerEngine::vote_impl(std::span<const float> x, std::span<double> out,
+                             Probe probe) {
+  // Per-call serving overhead of the R/ranger prediction pipeline
+  // (calibrated; see cost_model.h).
+  probe.instr(archsim::cost::kRangerPerCallInstructions);
+  // Ranger allocates a fresh result container per prediction call.
+  std::vector<int> per_tree_result(trees_.size());
+  probe.mem(per_tree_result.data(), per_tree_result.size() * sizeof(int),
+            archsim::MemDep::kParallel);
+
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const TreeSoA& tree = trees_[t];
+    std::int32_t node = 0;
+    for (;;) {
+      probe.mem(&tree.split_var[node], sizeof(std::int32_t));
+      probe.instr(archsim::cost::kRangerNodeStep);
+      const std::int32_t var = tree.split_var[node];
+      if (var < 0) break;
+      probe.mem(&tree.split_value[node], sizeof(double));
+      probe.mem(&x[var], sizeof(float));
+      const bool go_left = static_cast<double>(x[var]) <= tree.split_value[node];
+      probe.branch((t << 20) ^ static_cast<std::uint64_t>(node), go_left);
+      probe.mem(go_left ? &tree.left[node] : &tree.right[node],
+                sizeof(std::int32_t));
+      node = go_left ? tree.left[node] : tree.right[node];
+    }
+    per_tree_result[t] = tree.leaf_class[node];
+    probe.mem(&tree.leaf_class[node], sizeof(std::int32_t));
+  }
+
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    out[static_cast<std::size_t>(per_tree_result[t])] += weights_[t];
+    probe.instr(archsim::cost::kVoteAccum);
+  }
+  probe.instr(archsim::cost::kPerSample);
+}
+
+int RangerEngine::predict(std::span<const float> x) {
+  vote_impl(x, vote_scratch_, NullProbe{});
+  return forest::argmax_class(vote_scratch_);
+}
+
+int RangerEngine::predict_traced(std::span<const float> x,
+                                 archsim::Machine& machine) {
+  vote_impl(x, vote_scratch_, SimProbe{machine});
+  return forest::argmax_class(vote_scratch_);
+}
+
+void RangerEngine::vote(std::span<const float> x, std::span<double> out) {
+  vote_impl(x, out, NullProbe{});
+}
+
+std::size_t RangerEngine::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : trees_) {
+    total += t.split_var.size() * (sizeof(std::int32_t) * 3 + sizeof(double) +
+                                   sizeof(std::int32_t));
+  }
+  return total;
+}
+
+void RangerEngine::predict_batch(std::span<const float> rows,
+                                 std::size_t num_rows, std::size_t row_stride,
+                                 std::span<int> out) {
+  // Tree-major sweep: every tree stays cache-resident while it classifies
+  // the whole batch — the access pattern that makes batched Ranger fast.
+  std::vector<std::vector<double>> votes(num_rows,
+                                         std::vector<double>(num_classes_));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const TreeSoA& tree = trees_[t];
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      const float* x = rows.data() + r * row_stride;
+      std::int32_t node = 0;
+      while (tree.split_var[node] >= 0) {
+        const bool go_left = static_cast<double>(x[tree.split_var[node]]) <=
+                             tree.split_value[node];
+        node = go_left ? tree.left[node] : tree.right[node];
+      }
+      votes[r][static_cast<std::size_t>(tree.leaf_class[node])] += weights_[t];
+    }
+  }
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = forest::argmax_class(votes[r]);
+  }
+}
+
+}  // namespace bolt::engines

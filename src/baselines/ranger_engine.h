@@ -1,0 +1,57 @@
+// "Ranger-like" baseline (Wright & Ziegler 2017): standard breadth-first
+// per-node traversal over compact contiguous node arrays.
+//
+// Ranger's documented inference design keeps the original data unduplicated,
+// stores node information in simple flat structures, and gains most of its
+// speed from batching many queries; as a low-latency service (no batching,
+// the paper's setting) it traverses trees node by node like Scikit-Learn
+// but without interpreter overhead. We implement exactly that: one
+// structure-of-arrays per tree (double thresholds, as Ranger stores them),
+// per-call result buffers, plus the optional batch API Ranger benefits
+// from.
+#pragma once
+
+#include <vector>
+
+#include "baselines/engine.h"
+#include "forest/tree.h"
+
+namespace bolt::engines {
+
+class RangerEngine final : public Engine {
+ public:
+  explicit RangerEngine(const forest::Forest& forest);
+
+  std::string_view name() const override { return "Ranger"; }
+  std::size_t num_features() const override { return num_features_; }
+  int predict(std::span<const float> x) override;
+  int predict_traced(std::span<const float> x,
+                     archsim::Machine& machine) override;
+  void vote(std::span<const float> x, std::span<double> out) override;
+  std::size_t memory_bytes() const override;
+
+  /// Ranger's strength: classify a whole batch in one call, reusing buffers
+  /// and walking tree-major for locality. Fills `out` with one class per row.
+  void predict_batch(std::span<const float> rows, std::size_t num_rows,
+                     std::size_t row_stride, std::span<int> out);
+
+ private:
+  struct TreeSoA {
+    std::vector<std::int32_t> split_var;   // -1 for leaf
+    std::vector<double> split_value;
+    std::vector<std::int32_t> left;
+    std::vector<std::int32_t> right;
+    std::vector<std::int32_t> leaf_class;
+  };
+
+  template <class Probe>
+  void vote_impl(std::span<const float> x, std::span<double> out, Probe probe);
+
+  std::vector<TreeSoA> trees_;
+  std::vector<double> weights_;
+  std::size_t num_classes_;
+  std::size_t num_features_ = 0;
+  std::vector<double> vote_scratch_;
+};
+
+}  // namespace bolt::engines

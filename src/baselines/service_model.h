@@ -1,0 +1,66 @@
+// Shared measurement protocol for the modeled inference-as-a-service
+// figures (9, 10, 11, 12, 14, 15).
+//
+// Per request: (1) the front end does its own work between requests,
+// disturbing the caches; (2) the just-received input sample is warm
+// (preloaded, uncharged); (3) the engine classifies one sample under the
+// trace simulator. Reported time is the cycle model's estimate per sample;
+// counters are per-sample averages.
+#pragma once
+
+#include <span>
+
+#include "archsim/machine.h"
+#include "baselines/engine.h"
+#include "data/dataset.h"
+
+namespace bolt::engines {
+
+struct ServiceModelResult {
+  double us_per_sample = 0.0;
+  archsim::Counters per_sample;  // averaged (integer division) counters
+  archsim::Counters total;
+};
+
+/// Runs `samples` rows of `ds` through `engine` on `machine` using the
+/// service protocol. `warmup` rows are run first (structures faulted in)
+/// without being counted.
+inline ServiceModelResult model_service(Engine& engine,
+                                        archsim::Machine& machine,
+                                        const data::Dataset& ds,
+                                        std::size_t samples,
+                                        std::size_t warmup = 32) {
+  machine.reset_state();
+  const std::size_t n = ds.num_rows();
+  for (std::size_t i = 0; i < warmup && i < n; ++i) {
+    engine.predict_traced(ds.row(i), machine);
+  }
+  machine.reset_counters();
+
+  if (samples > n) samples = n;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto row = ds.row(i);
+    machine.between_requests();
+    machine.preload(row.data(), row.size() * sizeof(float));
+    engine.predict_traced(row, machine);
+  }
+
+  ServiceModelResult r;
+  r.total = machine.counters();
+  const auto div = [&](std::uint64_t v) {
+    return samples ? v / samples : 0;
+  };
+  r.per_sample.instructions = div(r.total.instructions);
+  r.per_sample.branches = div(r.total.branches);
+  r.per_sample.branch_misses = div(r.total.branch_misses);
+  r.per_sample.mem_accesses = div(r.total.mem_accesses);
+  r.per_sample.l1_misses = div(r.total.l1_misses);
+  r.per_sample.l2_misses = div(r.total.l2_misses);
+  r.per_sample.llc_misses = div(r.total.llc_misses);
+  r.us_per_sample =
+      samples ? machine.estimated_ns() / 1e3 / static_cast<double>(samples)
+              : 0.0;
+  return r;
+}
+
+}  // namespace bolt::engines

@@ -1,0 +1,125 @@
+#include "baselines/sklearn_engine.h"
+
+#include <algorithm>
+
+#include "archsim/cost_model.h"
+#include "baselines/probe.h"
+
+namespace bolt::engines {
+
+/// One heap object per tree node, padded to the size of a CPython object
+/// header plus attribute storage, so the cache behaviour resembles walking
+/// scattered Python-managed structures.
+struct SklearnEngine::PyObjectNode {
+  double threshold = 0.0;
+  std::int64_t feature = -1;  // < 0 means leaf
+  std::int64_t leaf_class = -1;
+  PyObjectNode* left = nullptr;
+  PyObjectNode* right = nullptr;
+  char object_header_padding[40] = {};  // refcount/type/dict slots stand-in
+
+  virtual ~PyObjectNode() = default;
+  /// Dynamic dispatch per node visit, like an interpreter's eval loop.
+  virtual const PyObjectNode* step(const std::vector<double>& x) const {
+    return x[static_cast<std::size_t>(feature)] <= threshold ? left : right;
+  }
+};
+
+namespace {
+
+/// Recursively clones a flat tree into scattered heap objects.
+SklearnEngine::PyObjectNode* build_nodes(const forest::DecisionTree& tree,
+                                         std::int32_t idx,
+                                         std::size_t& allocated) {
+  const forest::TreeNode& n = tree.nodes()[idx];
+  auto* node = new SklearnEngine::PyObjectNode();
+  allocated += sizeof(SklearnEngine::PyObjectNode);
+  if (n.is_leaf()) {
+    node->leaf_class = n.leaf_class;
+    return node;
+  }
+  node->feature = n.feature;
+  node->threshold = n.threshold;
+  node->left = build_nodes(tree, n.left, allocated);
+  node->right = build_nodes(tree, n.right, allocated);
+  return node;
+}
+
+void destroy_nodes(SklearnEngine::PyObjectNode* node) {
+  if (!node) return;
+  destroy_nodes(node->left);
+  destroy_nodes(node->right);
+  delete node;
+}
+
+}  // namespace
+
+SklearnEngine::SklearnEngine(const forest::Forest& forest)
+    : weights_(forest.weights), num_classes_(forest.num_classes) {
+  num_features_ = forest.num_features;
+  roots_.reserve(forest.trees.size());
+  for (const auto& tree : forest.trees) {
+    roots_.push_back(build_nodes(tree, 0, allocated_bytes_));
+  }
+  vote_scratch_.resize(num_classes_);
+}
+
+SklearnEngine::~SklearnEngine() {
+  for (auto* root : roots_) destroy_nodes(root);
+}
+
+template <class Probe>
+void SklearnEngine::vote_impl(std::span<const float> x, std::span<double> out,
+                              Probe probe) {
+  // Per-call platform pipeline (Python dispatch, NumPy validation and
+  // conversion) — the dominant cost of Scikit-Learn as a low-latency
+  // service; see cost_model.h for the calibration note.
+  probe.instr(archsim::cost::kSklearnPerCallInstructions);
+  // Box the input to doubles, as the NumPy->C conversion does per call.
+  boxed_.assign(x.begin(), x.end());
+  probe.mem(x.data(), x.size() * sizeof(float), archsim::MemDep::kParallel);
+  probe.mem(boxed_.data(), boxed_.size() * sizeof(double),
+            archsim::MemDep::kParallel);
+  probe.instr(boxed_.size());
+
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    const PyObjectNode* node = roots_[t];
+    for (;;) {
+      probe.mem(node, sizeof(PyObjectNode));
+      probe.instr(archsim::cost::kTreeNodeStep +
+                  archsim::cost::kInterpretedOverhead);
+      if (node->feature < 0) break;
+      const bool go_left =
+          boxed_[static_cast<std::size_t>(node->feature)] <= node->threshold;
+      probe.branch(reinterpret_cast<std::uint64_t>(node), go_left);
+      node = node->step(boxed_);  // indirect call per node, interpreter-style
+    }
+    out[static_cast<std::size_t>(node->leaf_class)] += weights_[t];
+    probe.instr(archsim::cost::kVoteAccum);
+  }
+  probe.instr(archsim::cost::kPerSample);
+}
+
+template <class Probe>
+int SklearnEngine::predict_impl(std::span<const float> x, Probe probe) {
+  vote_impl(x, vote_scratch_, probe);
+  return forest::argmax_class(vote_scratch_);
+}
+
+int SklearnEngine::predict(std::span<const float> x) {
+  return predict_impl(x, NullProbe{});
+}
+
+int SklearnEngine::predict_traced(std::span<const float> x,
+                                  archsim::Machine& machine) {
+  return predict_impl(x, SimProbe{machine});
+}
+
+void SklearnEngine::vote(std::span<const float> x, std::span<double> out) {
+  vote_impl(x, out, NullProbe{});
+}
+
+std::size_t SklearnEngine::memory_bytes() const { return allocated_bytes_; }
+
+}  // namespace bolt::engines

@@ -1,0 +1,52 @@
+// "Scikit-like" baseline: models the memory behaviour of Scikit-Learn's
+// per-sample predict path — individually heap-allocated node objects,
+// dynamic dispatch per node, and boxed double-precision inputs.
+//
+// The paper measures real Python Scikit-Learn (1460 us/sample on the small
+// MNIST forest), three orders of magnitude slower than Bolt, most of which
+// is interpreter and Python C-API overhead. We reproduce the *structural*
+// costs (pointer chasing over scattered objects, indirect calls, widening
+// to double) and account the interpreter factor only in the archsim
+// instruction model (cost::kInterpretedOverhead); see DESIGN.md §3. The
+// ordering of platforms is preserved, the absolute gap is smaller.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/engine.h"
+#include "forest/tree.h"
+
+namespace bolt::engines {
+
+class SklearnEngine final : public Engine {
+ public:
+  explicit SklearnEngine(const forest::Forest& forest);
+  ~SklearnEngine() override;
+
+  std::string_view name() const override { return "Scikit"; }
+  std::size_t num_features() const override { return num_features_; }
+  int predict(std::span<const float> x) override;
+  int predict_traced(std::span<const float> x,
+                     archsim::Machine& machine) override;
+  void vote(std::span<const float> x, std::span<double> out) override;
+  std::size_t memory_bytes() const override;
+
+  struct PyObjectNode;  // scattered, virtually-dispatched node objects
+
+ private:
+  template <class Probe>
+  int predict_impl(std::span<const float> x, Probe probe);
+  template <class Probe>
+  void vote_impl(std::span<const float> x, std::span<double> out, Probe probe);
+
+  std::vector<PyObjectNode*> roots_;  // one per tree; owned
+  std::vector<double> weights_;
+  std::size_t num_classes_;
+  std::size_t num_features_ = 0;
+  std::size_t allocated_bytes_ = 0;
+  std::vector<double> boxed_;        // per-call double-boxed input
+  std::vector<double> vote_scratch_;
+};
+
+}  // namespace bolt::engines

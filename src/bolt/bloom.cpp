@@ -1,0 +1,61 @@
+#include "bolt/bloom.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/binio.h"
+
+namespace bolt::core {
+
+BloomFilter::BloomFilter(std::size_t expected_keys, std::size_t bits_per_key) {
+  std::size_t bits = std::max<std::size_t>(64, expected_keys * bits_per_key);
+  // Round up to a power of two so positions are a mask away.
+  std::size_t p = 64;
+  while (p < bits) p <<= 1;
+  bits = p;
+  mask_ = bits - 1;
+  bits_.assign(bits / 64, 0);
+  k_ = std::max(1u, static_cast<unsigned>(std::round(
+                        0.693 * static_cast<double>(bits_per_key))));
+  k_ = std::min(k_, 8u);
+}
+
+void BloomFilter::insert(std::uint32_t entry_id, std::uint64_t address) {
+  const std::uint64_t h = util::hash_table_key(entry_id, address, seed_);
+  const std::uint64_t h2 = util::mix64(h) | 1;
+  std::uint64_t pos = h;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::uint64_t bit = pos & mask_;
+    bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+    pos += h2;
+  }
+}
+
+double BloomFilter::estimated_fpp() const {
+  std::size_t set = 0;
+  for (std::uint64_t w : bits_) set += static_cast<std::size_t>(std::popcount(w));
+  const double fill = static_cast<double>(set) / static_cast<double>(mask_ + 1);
+  return std::pow(fill, k_);
+}
+
+void BloomFilter::save(std::ostream& out) const {
+  util::put(out, seed_);
+  util::put(out, mask_);
+  util::put(out, k_);
+  util::put_vec(out, bits_);
+}
+
+BloomFilter BloomFilter::load(std::istream& in) {
+  BloomFilter bf;
+  bf.seed_ = util::get<std::uint64_t>(in);
+  bf.mask_ = util::get<std::uint64_t>(in);
+  bf.k_ = util::get<unsigned>(in);
+  bf.bits_ = util::get_vec<std::uint64_t>(in);
+  if (bf.bits_.size() * 64 != bf.mask_ + 1) {
+    throw std::runtime_error("bloom load: bad geometry");
+  }
+  return bf;
+}
+
+}  // namespace bolt::core

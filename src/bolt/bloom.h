@@ -1,0 +1,64 @@
+// Bloom filter over the recombined table's inserted keys (paper §4.3).
+//
+// Dictionaries make many entries irrelevant to a given input; Bolt's
+// bitmask membership test (common-feature compare) is the first filter.
+// Candidate entries that pass it still probe the table; the classic Bloom
+// filter here sits in front of that memory access and skips probes whose
+// (entry_id, address) key was never inserted — i.e. most false positives —
+// at the cost of k in-register hash evaluations on a bit array small
+// enough to stay cache-resident. No false negatives: a true positive is
+// never skipped, preserving the safety property.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bolt::core {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// Sizes the filter for `expected_keys` at `bits_per_key` (k hash
+  /// functions chosen as ln(2) * bits_per_key, the optimum).
+  BloomFilter(std::size_t expected_keys, std::size_t bits_per_key);
+
+  void insert(std::uint32_t entry_id, std::uint64_t address);
+
+  /// True if the key may be present; false means definitely absent.
+  bool maybe_contains(std::uint32_t entry_id, std::uint64_t address) const {
+    const std::uint64_t h = util::hash_table_key(entry_id, address, seed_);
+    // Double hashing: position_i = h1 + i * h2 (Kirsch–Mitzenmacher).
+    const std::uint64_t h2 = util::mix64(h) | 1;
+    std::uint64_t pos = h;
+    for (unsigned i = 0; i < k_; ++i) {
+      const std::uint64_t bit = pos & mask_;
+      if (!((bits_[bit >> 6] >> (bit & 63)) & 1u)) return false;
+      pos += h2;
+    }
+    return true;
+  }
+
+  std::size_t bit_count() const { return mask_ + 1; }
+  unsigned num_hashes() const { return k_; }
+  std::size_t memory_bytes() const { return bits_.size() * sizeof(std::uint64_t); }
+
+  /// Empirical false-positive probability estimate from fill ratio.
+  double estimated_fpp() const;
+
+  /// Binary (de)serialization; part of the Bolt artifact format.
+  void save(std::ostream& out) const;
+  static BloomFilter load(std::istream& in);
+
+ private:
+  std::uint64_t seed_ = 0x62100f11;
+  std::uint64_t mask_ = 0;
+  unsigned k_ = 1;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace bolt::core

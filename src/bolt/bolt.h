@@ -1,0 +1,23 @@
+// Umbrella header: the Bolt public API.
+//
+//   forest::Forest model = forest::train_random_forest(data, train_cfg);
+//   core::BoltForest artifact = core::BoltForest::build(model, {});
+//   core::BoltEngine engine(artifact);
+//   int cls = engine.predict(sample);
+//
+// See README.md for the full walkthrough and DESIGN.md for the paper map.
+#pragma once
+
+#include "bolt/bloom.h"
+#include "bolt/builder.h"
+#include "bolt/cluster.h"
+#include "bolt/dictionary.h"
+#include "bolt/engine.h"
+#include "bolt/explain.h"
+#include "bolt/layout.h"
+#include "bolt/parallel.h"
+#include "bolt/paths.h"
+#include "bolt/planner.h"
+#include "bolt/results.h"
+#include "bolt/table.h"
+#include "bolt/verify.h"

@@ -1,0 +1,204 @@
+#include "bolt/builder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/binio.h"
+#include "util/timer.h"
+
+namespace bolt::core {
+namespace {
+
+/// Expands one path over its cluster's uncommon predicates: predicates the
+/// path does not constrain are "don't cares", and the path's votes are
+/// added at every combination of their values (paper §4.1: "all paths in a
+/// dictionary entry are expanded in the lookup table to include all
+/// possible values of irrelevant features"). Accumulates into
+/// `address_votes` (address -> votes), merging paths that share addresses.
+void expand_path(const Path& path, const Cluster& cluster,
+                 std::unordered_map<std::uint64_t, std::vector<float>>&
+                     address_votes,
+                 std::size_t num_classes) {
+  const auto& uncommon = cluster.uncommon_preds;
+  // Fixed bits: positions the path constrains. Free positions: don't cares.
+  std::uint64_t fixed = 0;
+  std::vector<unsigned> free_positions;
+  std::size_t item_i = 0;
+  for (std::size_t k = 0; k < uncommon.size(); ++k) {
+    const std::uint32_t pred = uncommon[k];
+    while (item_i < path.items.size() && item_pred(path.items[item_i]) < pred) {
+      ++item_i;
+    }
+    if (item_i < path.items.size() &&
+        item_pred(path.items[item_i]) == pred) {
+      if (item_value(path.items[item_i])) fixed |= std::uint64_t{1} << k;
+    } else {
+      free_positions.push_back(static_cast<unsigned>(k));
+    }
+  }
+
+  const std::uint64_t combos = std::uint64_t{1} << free_positions.size();
+  for (std::uint64_t m = 0; m < combos; ++m) {
+    std::uint64_t address = fixed;
+    for (std::size_t b = 0; b < free_positions.size(); ++b) {
+      if ((m >> b) & 1u) address |= std::uint64_t{1} << free_positions[b];
+    }
+    auto [it, inserted] =
+        address_votes.try_emplace(address, std::vector<float>());
+    if (inserted) it->second.assign(num_classes, 0.0f);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      it->second[c] += path.votes[c];
+    }
+  }
+}
+
+}  // namespace
+
+BoltForest BoltForest::build(const forest::Forest& forest,
+                             const BoltConfig& cfg) {
+  util::Timer timer;
+  forest.check();
+
+  forest::PredicateSpace space(forest);
+  BoltForest bf(std::move(space), forest.num_classes);
+  bf.cfg_ = cfg;
+  bf.num_features_ = forest.num_features;
+  bf.stats_.num_predicates = bf.space_.size();
+  bf.stats_.num_raw_paths = forest.total_leaves();
+
+  // Phase 1: enumerate + sort + merge, then greedy clustering.
+  const std::vector<Path> paths = enumerate_paths(forest, bf.space_);
+  bf.stats_.num_merged_paths = paths.size();
+  const std::vector<Cluster> clusters = greedy_cluster(paths, cfg.cluster);
+  bf.stats_.num_clusters = clusters.size();
+
+  bf.dict_ = Dictionary(clusters, bf.space_.size());
+
+  // Expansion + recombination: each cluster's table is hashed into the one
+  // big table keyed by (entry id, address).
+  std::vector<TableEntry> entries;
+  std::unordered_map<std::uint64_t, std::vector<float>> address_votes;
+  for (std::size_t e = 0; e < clusters.size(); ++e) {
+    const Cluster& c = clusters[e];
+    address_votes.clear();
+    for (std::size_t pi : c.paths) {
+      expand_path(paths[pi], c, address_votes, forest.num_classes);
+    }
+    for (auto& [address, votes] : address_votes) {
+      entries.push_back({static_cast<std::uint32_t>(e), address,
+                         bf.results_.intern(votes)});
+    }
+  }
+  bf.stats_.table_entries = entries.size();
+  bf.stats_.distinct_results = bf.results_.size();
+
+  bf.table_ = RecombinedTable::build(entries, cfg.table);
+  bf.stats_.table_slots = bf.table_.num_slots();
+
+  // Enable single-add packed vote accumulation when the forest's total
+  // vote mass fits (plain random forests with modest tree counts).
+  double total_mass = 0.0;
+  for (double w : forest.weights) total_mass += w;
+  bf.results_.finalize_packed(total_mass);
+
+  if (cfg.use_bloom) {
+    bf.bloom_.emplace(entries.size(), cfg.bloom_bits_per_key);
+    for (const TableEntry& e : entries) {
+      bf.bloom_->insert(e.entry_id, e.address);
+    }
+  }
+
+  bf.stats_.build_seconds = timer.elapsed_ms() / 1e3;
+  return bf;
+}
+
+namespace {
+constexpr std::uint32_t kArtifactMagic = 0x424f4c46;  // "BOLF"
+constexpr std::uint32_t kArtifactVersion = 1;
+}  // namespace
+
+void BoltForest::save(std::ostream& out) const {
+  util::put(out, kArtifactMagic);
+  util::put(out, kArtifactVersion);
+  util::put(out, static_cast<std::uint64_t>(num_classes_));
+  util::put(out, static_cast<std::uint64_t>(num_features_));
+
+  // Config.
+  util::put(out, static_cast<std::uint64_t>(cfg_.cluster.threshold));
+  util::put(out, static_cast<std::uint64_t>(cfg_.cluster.max_table_bits));
+  util::put(out, static_cast<std::uint32_t>(cfg_.table.strategy));
+  util::put(out, static_cast<std::uint32_t>(cfg_.table.id_check));
+  util::put(out, cfg_.use_bloom ? std::uint8_t{1} : std::uint8_t{0});
+  util::put(out, static_cast<std::uint64_t>(cfg_.bloom_bits_per_key));
+
+  // Stats.
+  util::put(out, stats_);
+
+  space_.save(out);
+  dict_.save(out);
+  table_.save(out);
+  results_.save(out);
+  util::put(out, bloom_.has_value() ? std::uint8_t{1} : std::uint8_t{0});
+  if (bloom_) bloom_->save(out);
+}
+
+void BoltForest::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("artifact save: cannot open " + path);
+  save(out);
+}
+
+BoltForest BoltForest::load(std::istream& in) {
+  if (util::get<std::uint32_t>(in) != kArtifactMagic) {
+    throw std::runtime_error("artifact load: bad magic");
+  }
+  if (util::get<std::uint32_t>(in) != kArtifactVersion) {
+    throw std::runtime_error("artifact load: unsupported version");
+  }
+  const auto num_classes = util::get<std::uint64_t>(in);
+  const auto num_features = util::get<std::uint64_t>(in);
+
+  BoltConfig cfg;
+  cfg.cluster.threshold = util::get<std::uint64_t>(in);
+  cfg.cluster.max_table_bits = util::get<std::uint64_t>(in);
+  cfg.table.strategy = static_cast<TableStrategy>(util::get<std::uint32_t>(in));
+  cfg.table.id_check = static_cast<IdCheck>(util::get<std::uint32_t>(in));
+  cfg.use_bloom = util::get<std::uint8_t>(in) != 0;
+  cfg.bloom_bits_per_key = util::get<std::uint64_t>(in);
+
+  const auto stats = util::get<BuildStats>(in);
+
+  forest::PredicateSpace space = forest::PredicateSpace::load(in);
+  BoltForest bf(std::move(space), num_classes);
+  bf.cfg_ = cfg;
+  bf.stats_ = stats;
+  bf.num_features_ = num_features;
+  bf.dict_ = Dictionary::load(in);
+  bf.table_ = RecombinedTable::load(in);
+  bf.results_ = ResultPool::load(in);
+  if (util::get<std::uint8_t>(in) != 0) {
+    bf.bloom_.emplace(BloomFilter::load(in));
+  }
+  if (bf.results_.num_classes() != bf.num_classes_ ||
+      bf.dict_.num_predicates() != bf.space_.size()) {
+    throw std::runtime_error("artifact load: inconsistent components");
+  }
+  bf.table_.validate_result_indices(bf.results_.size());
+  return bf;
+}
+
+BoltForest BoltForest::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("artifact load: cannot open " + path);
+  return load(in);
+}
+
+std::size_t BoltForest::memory_bytes() const {
+  return dict_.memory_bytes() + table_.memory_bytes() +
+         results_.raw().size() * sizeof(float) +
+         (bloom_ ? bloom_->memory_bytes() : 0) +
+         space_.size() * sizeof(forest::Predicate);
+}
+
+}  // namespace bolt::core

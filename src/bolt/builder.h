@@ -1,0 +1,92 @@
+// The Bolt build pipeline: trained forest -> BoltForest artifact
+// (dictionary + recombined lookup table + result pool + optional Bloom
+// filter). This is the compression box of the paper's Figure 1, Phases 1
+// and 3; Phase 2 (parameter selection) lives in planner.h and calls this
+// builder with candidate configurations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "bolt/bloom.h"
+#include "bolt/cluster.h"
+#include "bolt/dictionary.h"
+#include "bolt/results.h"
+#include "bolt/table.h"
+#include "forest/predicates.h"
+#include "forest/tree.h"
+
+namespace bolt::core {
+
+struct BoltConfig {
+  ClusterConfig cluster;
+  TableConfig table;
+  /// Insert a classic Bloom filter in front of table probes (§4.3).
+  bool use_bloom = false;
+  std::size_t bloom_bits_per_key = 10;
+};
+
+/// Build-time statistics (reported by the figure harnesses and used by the
+/// Phase-2 planner's storage model).
+struct BuildStats {
+  std::size_t num_predicates = 0;
+  std::size_t num_raw_paths = 0;     // before cross-tree merging
+  std::size_t num_merged_paths = 0;  // after merging
+  std::size_t num_clusters = 0;      // == dictionary entries
+  std::size_t table_entries = 0;     // after don't-care expansion
+  std::size_t table_slots = 0;
+  std::size_t distinct_results = 0;
+  double build_seconds = 0.0;
+};
+
+/// The immutable inference artifact. Thread-safe to share between cores:
+/// all state is read-only after build (the parallel engine of Figure 4
+/// hands partitions of the same artifact to different cores).
+class BoltForest {
+ public:
+  /// Transforms a trained forest. Throws std::runtime_error if the table
+  /// cannot be built within the configured size cap.
+  static BoltForest build(const forest::Forest& forest, const BoltConfig& cfg);
+
+  const forest::PredicateSpace& space() const { return space_; }
+  const Dictionary& dictionary() const { return dict_; }
+  const RecombinedTable& table() const { return table_; }
+  const ResultPool& results() const { return results_; }
+  const BloomFilter* bloom() const {
+    return bloom_ ? &*bloom_ : nullptr;
+  }
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t num_features() const { return num_features_; }
+  const BuildStats& stats() const { return stats_; }
+  const BoltConfig& config() const { return cfg_; }
+
+  /// Total resident bytes of the inference structures.
+  std::size_t memory_bytes() const;
+
+  /// Serializes the built artifact (dictionary, recombined table, result
+  /// pool, Bloom filter, predicate space, config, stats) so a compiled
+  /// model can be shipped and served without re-running Phase 1.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  static BoltForest load(std::istream& in);
+  static BoltForest load_file(const std::string& path);
+
+ private:
+  BoltForest(forest::PredicateSpace space, std::size_t num_classes)
+      : space_(std::move(space)), results_(num_classes),
+        num_classes_(num_classes) {}
+
+  forest::PredicateSpace space_;
+  Dictionary dict_;
+  RecombinedTable table_;
+  ResultPool results_;
+  std::optional<BloomFilter> bloom_;
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  BuildStats stats_;
+  BoltConfig cfg_;
+};
+
+}  // namespace bolt::core

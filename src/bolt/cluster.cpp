@@ -1,0 +1,100 @@
+#include "bolt/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace bolt::core {
+
+void derive_structure(const std::vector<Path>& paths, Cluster& cluster) {
+  cluster.common_items.clear();
+  cluster.uncommon_preds.clear();
+  if (cluster.paths.empty()) return;
+
+  // Intersection of item sets (paths are sorted by predicate, so this is a
+  // repeated sorted-set intersection).
+  std::vector<PathItem> common = paths[cluster.paths.front()].items;
+  std::vector<PathItem> tmp;
+  for (std::size_t k = 1; k < cluster.paths.size() && !common.empty(); ++k) {
+    const auto& items = paths[cluster.paths[k]].items;
+    tmp.clear();
+    std::set_intersection(common.begin(), common.end(), items.begin(),
+                          items.end(), std::back_inserter(tmp));
+    common.swap(tmp);
+  }
+
+  // Union of predicates minus common predicates = uncommon predicates.
+  std::unordered_set<std::uint32_t> common_preds;
+  for (PathItem item : common) common_preds.insert(item_pred(item));
+  std::unordered_set<std::uint32_t> uncommon;
+  for (std::size_t idx : cluster.paths) {
+    for (PathItem item : paths[idx].items) {
+      const std::uint32_t pred = item_pred(item);
+      if (!common_preds.count(pred)) uncommon.insert(pred);
+    }
+  }
+
+  cluster.common_items = std::move(common);
+  cluster.uncommon_preds.assign(uncommon.begin(), uncommon.end());
+  std::sort(cluster.uncommon_preds.begin(), cluster.uncommon_preds.end());
+}
+
+std::vector<Cluster> greedy_cluster(const std::vector<Path>& paths,
+                                    const ClusterConfig& cfg) {
+  std::vector<Cluster> clusters;
+  if (paths.empty()) return clusters;
+
+  const std::size_t max_bits = std::min<std::size_t>(cfg.max_table_bits, 63);
+
+  Cluster current;
+  std::unordered_set<PathItem> seen;      // distinct pairs in the cluster
+  std::size_t new_pairs = 0;              // pairs added after the first path
+
+  auto close_cluster = [&] {
+    derive_structure(paths, current);
+    clusters.push_back(std::move(current));
+    current = Cluster{};
+    seen.clear();
+    new_pairs = 0;
+  };
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const Path& p = paths[i];
+    if (!current.paths.empty()) {
+      std::size_t unseen = 0;
+      for (PathItem item : p.items) unseen += seen.count(item) ? 0 : 1;
+      if (new_pairs + unseen > cfg.threshold) close_cluster();
+    }
+
+    if (!current.paths.empty()) {
+      // Tentatively accept, then verify the address-width cap; the exact
+      // uncommon-predicate count needs the full structure, and clusters are
+      // small, so recomputing is cheap at build time.
+      current.paths.push_back(i);
+      Cluster probe = current;
+      derive_structure(paths, probe);
+      if (probe.uncommon_preds.size() > max_bits) {
+        current.paths.pop_back();
+        close_cluster();
+      } else {
+        for (PathItem item : p.items) new_pairs += seen.insert(item).second;
+        continue;
+      }
+    }
+
+    // Start a new cluster with this path. A single path can itself exceed
+    // the cap only if it is longer than max_bits predicates, and a lone
+    // path has no uncommon predicates at all, so this is always valid.
+    current.paths.push_back(i);
+    for (PathItem item : p.items) seen.insert(item);
+  }
+  if (!current.paths.empty()) close_cluster();
+
+  // Postcondition: clusters partition [0, paths.size()).
+  std::size_t covered = 0;
+  for (const Cluster& c : clusters) covered += c.paths.size();
+  assert(covered == paths.size());
+  return clusters;
+}
+
+}  // namespace bolt::core

@@ -1,0 +1,50 @@
+// Phase 1, step 3 (paper §4.1, Figure 3 ③): greedy clustering of the
+// sorted path list. A cluster accumulates consecutive paths while the
+// number of *uncommon* feature-value pairs stays within a tunable
+// threshold — the hyperparameter Phase 2 optimizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bolt/paths.h"
+
+namespace bolt::core {
+
+struct ClusterConfig {
+  /// Maximum number of feature-value pairs, beyond those introduced by the
+  /// cluster's first path, that later paths may add (the paper's worked
+  /// example in Figure 3 uses threshold 2: pairs (b,1) and (h,0) join the
+  /// first cluster, then it closes).
+  std::size_t threshold = 4;
+  /// Hard cap on a cluster's uncommon-*predicate* count, i.e. on the
+  /// cluster lookup-table address width (2^bits entries). Keeps don't-care
+  /// expansion bounded no matter what the threshold is.
+  std::size_t max_table_bits = 20;
+};
+
+/// One cluster of paths plus its derived dictionary-entry structure.
+struct Cluster {
+  /// Indices into the sorted path list (contiguous range, ascending).
+  std::vector<std::size_t> paths;
+  /// Pairs present in *every* member path — the dictionary entry's key
+  /// (Figure 3 ④: "(a,0)" for the green cluster).
+  std::vector<PathItem> common_items;
+  /// Predicates that appear in some member path but are not common; these
+  /// address the cluster's lookup table. Sorted ascending; size <=
+  /// max_table_bits.
+  std::vector<std::uint32_t> uncommon_preds;
+};
+
+/// Greedy threshold clustering over the lexicographically sorted `paths`.
+/// Every path lands in exactly one cluster; clusters cover contiguous
+/// ranges of the sorted order (similar paths are adjacent after sorting —
+/// that is why the sort happens).
+std::vector<Cluster> greedy_cluster(const std::vector<Path>& paths,
+                                    const ClusterConfig& cfg);
+
+/// Recomputes common/uncommon structure for an arbitrary set of paths.
+/// Used internally and by tests as the independent oracle.
+void derive_structure(const std::vector<Path>& paths, Cluster& cluster);
+
+}  // namespace bolt::core

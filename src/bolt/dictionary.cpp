@@ -1,0 +1,151 @@
+#include "bolt/dictionary.h"
+
+#include <map>
+
+#include "util/binio.h"
+#include "util/bits.h"
+
+namespace bolt::core {
+
+Dictionary::Dictionary(std::span<const Cluster> clusters,
+                       std::size_t num_predicates)
+    : num_entries_(clusters.size()), num_predicates_(num_predicates) {
+  word_offsets_.reserve(num_entries_ + 1);
+  addr_offsets_.reserve(num_entries_ + 1);
+  addr_word_offsets_.reserve(num_entries_ + 1);
+  common_offsets_.reserve(num_entries_ + 1);
+  word_offsets_.push_back(0);
+  addr_offsets_.push_back(0);
+  addr_word_offsets_.push_back(0);
+  common_offsets_.push_back(0);
+
+  for (const Cluster& c : clusters) {
+    // Group the cluster's common items into 64-bit windows.
+    std::map<std::uint32_t, SparseWord> by_word;
+    for (PathItem item : c.common_items) {
+      const std::uint32_t pred = item_pred(item);
+      const std::uint32_t w = pred >> 6;
+      auto [it, inserted] = by_word.try_emplace(w, SparseWord{w, 0, 0});
+      const std::uint64_t bit = std::uint64_t{1} << (pred & 63);
+      it->second.mask |= bit;
+      if (item_value(item)) it->second.expect |= bit;
+    }
+    for (const auto& [w, sw] : by_word) words_.push_back(sw);
+    word_offsets_.push_back(static_cast<std::uint32_t>(words_.size()));
+
+    addr_positions_.insert(addr_positions_.end(), c.uncommon_preds.begin(),
+                           c.uncommon_preds.end());
+    addr_offsets_.push_back(static_cast<std::uint32_t>(addr_positions_.size()));
+
+    // PEXT windows: group the (ascending) uncommon predicates by word.
+    for (std::size_t k = 0; k < c.uncommon_preds.size();) {
+      const std::uint32_t w = c.uncommon_preds[k] >> 6;
+      std::uint64_t mask = 0;
+      while (k < c.uncommon_preds.size() && (c.uncommon_preds[k] >> 6) == w) {
+        mask |= std::uint64_t{1} << (c.uncommon_preds[k] & 63);
+        ++k;
+      }
+      addr_words_.push_back({w, mask});
+    }
+    addr_word_offsets_.push_back(
+        static_cast<std::uint32_t>(addr_words_.size()));
+
+    common_pool_.insert(common_pool_.end(), c.common_items.begin(),
+                        c.common_items.end());
+    common_offsets_.push_back(static_cast<std::uint32_t>(common_pool_.size()));
+  }
+}
+
+std::size_t Dictionary::memory_bytes() const {
+  return word_offsets_.size() * sizeof(std::uint32_t) +
+         words_.size() * sizeof(SparseWord) +
+         addr_offsets_.size() * sizeof(std::uint32_t) +
+         addr_positions_.size() * sizeof(std::uint32_t) +
+         addr_word_offsets_.size() * sizeof(std::uint32_t) +
+         addr_words_.size() * sizeof(AddrWord) +
+         common_offsets_.size() * sizeof(std::uint32_t) +
+         common_pool_.size() * sizeof(PathItem);
+}
+
+void Dictionary::save(std::ostream& out) const {
+  util::put(out, static_cast<std::uint64_t>(num_entries_));
+  util::put(out, static_cast<std::uint64_t>(num_predicates_));
+  util::put_vec(out, word_offsets_);
+  util::put_vec(out, words_);
+  util::put_vec(out, addr_offsets_);
+  util::put_vec(out, addr_positions_);
+  util::put_vec(out, addr_word_offsets_);
+  util::put_vec(out, addr_words_);
+  util::put_vec(out, common_offsets_);
+  util::put_vec(out, common_pool_);
+}
+
+Dictionary Dictionary::load(std::istream& in) {
+  Dictionary d;
+  d.num_entries_ = util::get<std::uint64_t>(in);
+  d.num_predicates_ = util::get<std::uint64_t>(in);
+  d.word_offsets_ = util::get_vec<std::uint32_t>(in);
+  d.words_ = util::get_vec<SparseWord>(in);
+  d.addr_offsets_ = util::get_vec<std::uint32_t>(in);
+  d.addr_positions_ = util::get_vec<std::uint32_t>(in);
+  d.addr_word_offsets_ = util::get_vec<std::uint32_t>(in);
+  d.addr_words_ = util::get_vec<AddrWord>(in);
+  d.common_offsets_ = util::get_vec<std::uint32_t>(in);
+  d.common_pool_ = util::get_vec<PathItem>(in);
+  if (d.word_offsets_.size() != d.num_entries_ + 1 ||
+      d.addr_offsets_.size() != d.num_entries_ + 1 ||
+      d.addr_word_offsets_.size() != d.num_entries_ + 1 ||
+      d.common_offsets_.size() != d.num_entries_ + 1) {
+    throw std::runtime_error("dictionary load: inconsistent offsets");
+  }
+  // Bounds validation so a corrupted artifact can never cause
+  // out-of-range reads during inference.
+  auto check_offsets = [&](const std::vector<std::uint32_t>& offs,
+                           std::size_t pool) {
+    if (!offs.empty() && offs.front() != 0) {
+      throw std::runtime_error("dictionary load: offsets must start at 0");
+    }
+    for (std::size_t i = 1; i < offs.size(); ++i) {
+      if (offs[i] < offs[i - 1]) {
+        throw std::runtime_error("dictionary load: offsets not monotone");
+      }
+    }
+    if (!offs.empty() && offs.back() != pool) {
+      throw std::runtime_error("dictionary load: offsets/pool mismatch");
+    }
+  };
+  check_offsets(d.word_offsets_, d.words_.size());
+  check_offsets(d.addr_offsets_, d.addr_positions_.size());
+  check_offsets(d.addr_word_offsets_, d.addr_words_.size());
+  check_offsets(d.common_offsets_, d.common_pool_.size());
+  const std::size_t nwords = util::words_for_bits(d.num_predicates_);
+  for (const SparseWord& sw : d.words_) {
+    if (sw.word >= nwords || (sw.expect & ~sw.mask) != 0) {
+      throw std::runtime_error("dictionary load: bad sparse word");
+    }
+  }
+  for (const AddrWord& aw : d.addr_words_) {
+    if (aw.word >= nwords) {
+      throw std::runtime_error("dictionary load: bad address word");
+    }
+  }
+  for (std::uint32_t p : d.addr_positions_) {
+    if (p >= d.num_predicates_) {
+      throw std::runtime_error("dictionary load: position out of range");
+    }
+  }
+  for (PathItem item : d.common_pool_) {
+    if (item_pred(item) >= d.num_predicates_) {
+      throw std::runtime_error("dictionary load: item out of range");
+    }
+  }
+  // Per-entry address width must fit the 64-bit address path.
+  for (std::size_t e = 0; e < d.num_entries_; ++e) {
+    if (d.addr_offsets_[e + 1] - d.addr_offsets_[e] > 64) {
+      throw std::runtime_error("dictionary load: address too wide");
+    }
+  }
+  return d;
+}
+
+}  // namespace bolt::core

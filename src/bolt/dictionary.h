@@ -1,0 +1,158 @@
+// The Bolt dictionary (paper §4.1 Figure 3 ④, §4.3, §5).
+//
+// One entry per path cluster. An entry stores:
+//   - the cluster's common feature-value pairs as a (mask, expected-values)
+//     bit pattern over the predicate space — membership of an input is one
+//     bit-wise masked compare, no branching per feature;
+//   - the cluster's uncommon predicate positions, from which the input's
+//     lookup-table address is formed (paper: "compute the location of the
+//     lookup table that would be accessed if the dictionary entry is
+//     relevant").
+//
+// Layout: predicates touched by one entry are few (<= path length +
+// threshold), so masks are stored sparsely as (word index, mask word,
+// expect word) triples in one contiguous CSR pool — the scan touches only
+// words that matter, which is the §5 bitmap compression (Figure 8 "Masks").
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "bolt/cluster.h"
+#include "util/bits.h"
+
+namespace bolt::core {
+
+class Dictionary {
+ public:
+  /// A 64-bit window of an entry's common-feature mask.
+  struct SparseWord {
+    std::uint32_t word;    // word index into the binarized input
+    std::uint64_t mask;    // predicates constrained by this entry
+    std::uint64_t expect;  // required values (subset of mask)
+  };
+
+  /// A 64-bit window of an entry's uncommon predicates; the input's bits
+  /// under `mask` are PEXT-gathered into the lookup address.
+  struct AddrWord {
+    std::uint32_t word;
+    std::uint64_t mask;
+  };
+
+  Dictionary() = default;
+
+  /// Builds the dictionary from Phase-1 clusters over a predicate space of
+  /// `num_predicates` bits.
+  Dictionary(std::span<const Cluster> clusters, std::size_t num_predicates);
+
+  std::size_t num_entries() const { return num_entries_; }
+  std::size_t num_predicates() const { return num_predicates_; }
+
+  /// Bitmask membership test (paper Figure 7: `d = data (x) e.features.key`).
+  bool matches(std::size_t entry, const util::BitVector& bits) const {
+    const std::uint32_t begin = word_offsets_[entry];
+    const std::uint32_t end = word_offsets_[entry + 1];
+    const auto words = bits.words();
+    std::uint64_t diff = 0;
+    for (std::uint32_t w = begin; w < end; ++w) {
+      const SparseWord& sw = words_[w];
+      diff |= (words[sw.word] & sw.mask) ^ sw.expect;
+    }
+    return diff == 0;
+  }
+
+  /// Address formation: the input's bits at the entry's uncommon predicate
+  /// positions, packed ascending. PEXT gathers a whole word's worth of
+  /// positions per instruction; word order and in-word bit order are both
+  /// ascending, so the result is identical to gathering positions one by
+  /// one (verified by tests against the positions-based oracle).
+  std::uint64_t address(std::size_t entry, const util::BitVector& bits) const {
+    const std::uint32_t begin = addr_word_offsets_[entry];
+    const std::uint32_t end = addr_word_offsets_[entry + 1];
+    const std::uint64_t* words = bits.words().data();
+    std::uint64_t out = 0;
+    unsigned shift = 0;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const AddrWord& aw = addr_words_[k];
+      out |= util::pext64_fast(words[aw.word], aw.mask) << shift;
+      shift += static_cast<unsigned>(std::popcount(aw.mask));
+    }
+    return out;
+  }
+
+  /// Reference address formation from explicit positions (test oracle).
+  std::uint64_t address_by_positions(std::size_t entry,
+                                     const util::BitVector& bits) const {
+    const std::uint32_t begin = addr_offsets_[entry];
+    const std::uint32_t end = addr_offsets_[entry + 1];
+    std::uint64_t out = 0;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      out |= static_cast<std::uint64_t>(bits.get(addr_positions_[k]))
+             << (k - begin);
+    }
+    return out;
+  }
+
+  /// Number of uncommon predicates (address bits) of an entry.
+  std::size_t address_bits(std::size_t entry) const {
+    return addr_offsets_[entry + 1] - addr_offsets_[entry];
+  }
+
+  /// Uncommon predicate ids of an entry (ascending).
+  std::span<const std::uint32_t> address_positions(std::size_t entry) const {
+    return {addr_positions_.data() + addr_offsets_[entry],
+            addr_offsets_[entry + 1] - addr_offsets_[entry]};
+  }
+
+  /// Sparse mask words of an entry (for tracing and tests).
+  std::span<const SparseWord> sparse_words(std::size_t entry) const {
+    return {words_.data() + word_offsets_[entry],
+            static_cast<std::size_t>(word_offsets_[entry + 1] -
+                                     word_offsets_[entry])};
+  }
+
+  /// Common (predicate, value) pairs of an entry, for explanation
+  /// workloads (salient-feature tracking, §2.1).
+  std::span<const PathItem> common_items(std::size_t entry) const {
+    return {common_pool_.data() + common_offsets_[entry],
+            static_cast<std::size_t>(common_offsets_[entry + 1] -
+                                     common_offsets_[entry])};
+  }
+
+  std::size_t memory_bytes() const;
+
+  /// Binary (de)serialization; part of the Bolt artifact format.
+  void save(std::ostream& out) const;
+  static Dictionary load(std::istream& in);
+
+  /// Address of an entry's first sparse word, for archsim tracing.
+  /// (data()+offset, not operator[], so entries with empty masks — offset
+  /// == size — stay well-defined.)
+  const void* entry_address(std::size_t entry) const {
+    return words_.data() + word_offsets_[entry];
+  }
+  /// Bytes scanned when testing one entry.
+  std::size_t entry_scan_bytes(std::size_t entry) const {
+    return (word_offsets_[entry + 1] - word_offsets_[entry]) *
+               sizeof(SparseWord) +
+           (addr_offsets_[entry + 1] - addr_offsets_[entry]) *
+               sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t num_entries_ = 0;
+  std::size_t num_predicates_ = 0;
+  std::vector<std::uint32_t> word_offsets_;    // num_entries_ + 1
+  std::vector<SparseWord> words_;
+  std::vector<std::uint32_t> addr_offsets_;    // num_entries_ + 1
+  std::vector<std::uint32_t> addr_positions_;  // uncommon predicate ids
+  std::vector<std::uint32_t> addr_word_offsets_;  // num_entries_ + 1
+  std::vector<AddrWord> addr_words_;
+  std::vector<std::uint32_t> common_offsets_;  // num_entries_ + 1
+  std::vector<PathItem> common_pool_;
+};
+
+}  // namespace bolt::core

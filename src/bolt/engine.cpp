@@ -1,0 +1,205 @@
+#include "bolt/engine.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "archsim/cost_model.h"
+#include "baselines/probe.h"
+
+namespace bolt::core {
+
+BoltEngine::BoltEngine(const BoltForest& bf)
+    : bf_(bf), bits_(bf.space().size()), vote_scratch_(bf.num_classes()),
+      candidate_blocks_((bf.dictionary().num_entries() + 63) / 64 + 1) {}
+
+/// The Phase-3 scan shared by all entry points: tests every dictionary
+/// entry, forms addresses, probes the table once per candidate, and calls
+/// `accept(entry, result_idx)` for every accepted lookup.
+///
+/// Two phases: (1) a branchless sweep computes a candidate bitmap — one
+/// bit per dictionary entry, no data-dependent branches, which is how Bolt
+/// "avoids branching at every node" (§4.3, Figure 12); (2) only the set
+/// bits are visited to form addresses and probe the table.
+template <class Probe, class Accept>
+inline void scan_dictionary(const BoltForest& bf, const util::BitVector& bits,
+                            std::uint64_t* candidate_blocks, Probe probe,
+                            Accept&& accept) {
+  const Dictionary& dict = bf.dictionary();
+  const RecombinedTable& table = bf.table();
+  const BloomFilter* bloom = bf.bloom();
+  const std::size_t entries = dict.num_entries();
+  const std::size_t blocks = (entries + 63) / 64;
+
+  // Phase A: branchless candidate bitmap.
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * 64;
+    const std::size_t hi = std::min(entries, lo + 64);
+    std::uint64_t word = 0;
+    for (std::size_t e = lo; e < hi; ++e) {
+      probe.mem(dict.entry_address(e), dict.entry_scan_bytes(e),
+                archsim::MemDep::kParallel);
+      probe.instr(archsim::cost::kDictWordOp *
+                  std::max<std::size_t>(1, dict.sparse_words(e).size()));
+      // No branch here: the real code ORs the boolean into the bitmap
+      // (this is Bolt's "no branching at every node" property, Figure 12).
+      const bool candidate = dict.matches(e, bits);
+      word |= static_cast<std::uint64_t>(candidate) << (e - lo);
+    }
+    candidate_blocks[b] = word;
+  }
+
+  // Phase B: probe only the candidates.
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::uint64_t word = candidate_blocks[b];
+    while (word != 0) {
+      const std::size_t e =
+          b * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+
+      const std::uint64_t address = dict.address(e, bits);
+      probe.instr(archsim::cost::kAddressBit * dict.address_bits(e));
+
+      if (bloom) {
+        probe.instr(archsim::cost::kBloomProbe);
+        const bool pass =
+            bloom->maybe_contains(static_cast<std::uint32_t>(e), address);
+        probe.branch(0x2000 + e, pass);
+        if (!pass) continue;
+      }
+
+      // One memory access: the table slot.
+      probe.instr(archsim::cost::kHashProbe);
+      const std::size_t slot =
+          table.slot_of(static_cast<std::uint32_t>(e), address);
+      probe.mem(table.slot_address(slot), sizeof(std::uint32_t) * 3,
+                archsim::MemDep::kParallel);
+      const auto result =
+          table.probe_slot(slot, static_cast<std::uint32_t>(e), address);
+      probe.branch(0x3000 + e, result.has_value());
+      if (!result) continue;  // detected false positive
+
+      accept(e, *result);
+    }
+  }
+  probe.instr(archsim::cost::kPerSample);
+}
+
+template <class Probe>
+void BoltEngine::vote_bits_impl(const util::BitVector& bits,
+                                std::span<double> out, Probe probe) {
+  const ResultPool& results = bf_.results();
+  if (results.packed_available()) {
+    // Fast path: each accepted slot's whole vote vector is one u64 add.
+    std::uint64_t acc = 0;
+    scan_dictionary(bf_, bits, candidate_blocks_.data(), probe,
+                    [&](std::size_t, std::uint32_t result_idx) {
+                      probe.mem(&results.raw()[result_idx], sizeof(std::uint64_t),
+                                archsim::MemDep::kParallel);
+                      probe.instr(archsim::cost::kVoteAccum);
+                      results.accumulate_packed(result_idx, acc);
+                    });
+    results.unpack(acc, out);
+    return;
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  scan_dictionary(bf_, bits, candidate_blocks_.data(), probe,
+                  [&](std::size_t, std::uint32_t result_idx) {
+                    probe.mem(results.votes(result_idx).data(),
+                              bf_.num_classes() * sizeof(float),
+                              archsim::MemDep::kParallel);
+                    probe.instr(archsim::cost::kVoteAccum);
+                    results.accumulate(result_idx, out);
+                  });
+}
+
+template <class Probe>
+void BoltEngine::vote_impl(std::span<const float> x, std::span<double> out,
+                           Probe probe) {
+  bf_.space().binarize(x, bits_);
+  probe.mem(x.data(), x.size() * sizeof(float), archsim::MemDep::kParallel);
+  probe.instr(archsim::cost::kPredicateEval * bf_.space().size());
+  probe.mem(bf_.space().predicates().data(),
+            bf_.space().size() * sizeof(forest::Predicate),
+            archsim::MemDep::kParallel);
+  vote_bits_impl(bits_, out, probe);
+}
+
+int BoltEngine::predict(std::span<const float> x) {
+  vote_impl(x, vote_scratch_, engines::NullProbe{});
+  return forest::argmax_class(vote_scratch_);
+}
+
+int BoltEngine::predict_traced(std::span<const float> x,
+                               archsim::Machine& machine) {
+  vote_impl(x, vote_scratch_, engines::SimProbe{machine});
+  return forest::argmax_class(vote_scratch_);
+}
+
+void BoltEngine::vote(std::span<const float> x, std::span<double> out) {
+  vote_impl(x, out, engines::NullProbe{});
+}
+
+void BoltEngine::vote_binarized(const util::BitVector& bits,
+                                std::span<double> out) {
+  vote_bits_impl(bits, out, engines::NullProbe{});
+}
+
+std::size_t BoltEngine::memory_bytes() const { return bf_.memory_bytes(); }
+
+void BoltEngine::predict_batch(std::span<const float> rows,
+                               std::size_t num_rows, std::size_t row_stride,
+                               std::span<int> out) {
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = predict({rows.data() + r * row_stride, row_stride});
+  }
+}
+
+int BoltEngine::predict_profiled(std::span<const float> x,
+                                 EntryProfile& profile) {
+  bf_.space().binarize(x, bits_);
+  const Dictionary& dict = bf_.dictionary();
+  const RecombinedTable& table = bf_.table();
+  const ResultPool& results = bf_.results();
+  std::fill(vote_scratch_.begin(), vote_scratch_.end(), 0.0);
+  profile.bump_samples();
+  for (std::size_t e = 0; e < dict.num_entries(); ++e) {
+    if (!dict.matches(e, bits_)) continue;
+    profile.record_candidate(e);
+    const std::uint64_t address = dict.address(e, bits_);
+    const auto result = table.find(static_cast<std::uint32_t>(e), address);
+    if (!result) continue;
+    profile.record_accept(e);
+    results.accumulate(*result, vote_scratch_);
+  }
+  return forest::argmax_class(vote_scratch_);
+}
+
+int BoltEngine::predict_explained(std::span<const float> x,
+                                  Explanation& explanation) {
+  bf_.space().binarize(x, bits_);
+  std::fill(vote_scratch_.begin(), vote_scratch_.end(), 0.0);
+
+  const Dictionary& dict = bf_.dictionary();
+  const ResultPool& results = bf_.results();
+
+  scan_dictionary(
+      bf_, bits_, candidate_blocks_.data(), engines::NullProbe{},
+      [&](std::size_t e, std::uint32_t result_idx) {
+        results.accumulate(result_idx, vote_scratch_);
+
+        // Salience: the accepted entry's items are in hand — no extra
+        // memory access beyond the lookup that produced the inference.
+        double mass = 0.0;
+        for (float v : results.votes(result_idx)) mass += v;
+        for (PathItem item : dict.common_items(e)) {
+          explanation.add_feature(
+              bf_.space().predicate(item_pred(item)).feature, mass);
+        }
+        for (std::uint32_t pred : dict.address_positions(e)) {
+          explanation.add_feature(bf_.space().predicate(pred).feature, mass);
+        }
+      });
+  return forest::argmax_class(vote_scratch_);
+}
+
+}  // namespace bolt::core

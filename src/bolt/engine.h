@@ -1,0 +1,73 @@
+// The Bolt inference engine (paper §4.5, Figure 7).
+//
+// Per sample:
+//   1. binarize the input once over the predicate space;
+//   2. for every dictionary entry, one bit-masked compare decides
+//      relevance (no per-feature branching);
+//   3. relevant entries form an address from their uncommon predicates,
+//      optionally consult the Bloom filter, and probe the recombined
+//      lookup table with ONE memory access;
+//   4. a slot is counted only if its stored entry ID matches (false-
+//      positive rejection, §4.3); accepted slots' vote vectors accumulate;
+//   5. argmax of the aggregate votes is the classification.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/engine.h"
+#include "bolt/builder.h"
+#include "bolt/explain.h"
+
+namespace bolt::core {
+
+class BoltEngine final : public engines::Engine {
+ public:
+  /// The engine borrows the artifact; the BoltForest must outlive it.
+  /// Multiple engines (one per core) can share one artifact.
+  explicit BoltEngine(const BoltForest& bf);
+
+  std::string_view name() const override { return "BOLT"; }
+  std::size_t num_features() const override { return bf_.num_features(); }
+  int predict(std::span<const float> x) override;
+  int predict_traced(std::span<const float> x,
+                     archsim::Machine& machine) override;
+  void vote(std::span<const float> x, std::span<double> out) override;
+  std::size_t memory_bytes() const override;
+
+  /// Classification plus per-entry telemetry (candidate/accept counters).
+  int predict_profiled(std::span<const float> x, EntryProfile& profile);
+
+  /// Classification plus salient-feature tracking (§2.1: Bolt tracks
+  /// salience "with one memory access per tree inference" — the matched
+  /// entries' items are already in registers when a lookup is accepted).
+  int predict_explained(std::span<const float> x, Explanation& explanation);
+
+  /// Votes over an already-binarized sample — the deep-forest cascade and
+  /// the partitioned engine reuse this to skip re-binarization.
+  void vote_binarized(const util::BitVector& bits, std::span<double> out);
+
+  /// Batched classification: `num_rows` samples of `row_stride` floats in
+  /// one call. Bolt needs no batching for throughput (its structures are
+  /// small and scanned linearly), but the API allows apples-to-apples
+  /// comparison with Ranger's batch mode (paper §2.1: Ranger achieves very
+  /// low response times when batching).
+  void predict_batch(std::span<const float> rows, std::size_t num_rows,
+                     std::size_t row_stride, std::span<int> out);
+
+  const BoltForest& artifact() const { return bf_; }
+
+ private:
+  template <class Probe>
+  void vote_impl(std::span<const float> x, std::span<double> out, Probe probe);
+  template <class Probe>
+  void vote_bits_impl(const util::BitVector& bits, std::span<double> out,
+                      Probe probe);
+
+  const BoltForest& bf_;
+  util::BitVector bits_;
+  std::vector<double> vote_scratch_;
+  std::vector<std::uint64_t> candidate_blocks_;  // phase-A bitmap scratch
+};
+
+}  // namespace bolt::core

@@ -1,0 +1,48 @@
+#include "bolt/explain.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bolt::core {
+
+std::vector<std::uint32_t> Explanation::top_k(std::size_t k) const {
+  std::vector<std::uint32_t> idx(counts_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      if (counts_[a] != counts_[b]) {
+                        return counts_[a] > counts_[b];
+                      }
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<std::uint32_t> EntryProfile::hottest(std::size_t k) const {
+  std::vector<std::uint32_t> idx(accepts_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      if (accepts_[a] != accepts_[b]) {
+                        return accepts_[a] > accepts_[b];
+                      }
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double EntryProfile::false_positive_rate() const {
+  std::uint64_t cand = 0, acc = 0;
+  for (std::size_t e = 0; e < candidates_.size(); ++e) {
+    cand += candidates_[e];
+    acc += accepts_[e];
+  }
+  return cand == 0 ? 0.0
+                   : static_cast<double>(cand - acc) / static_cast<double>(cand);
+}
+
+}  // namespace bolt::core

@@ -1,0 +1,72 @@
+// Local explanation (salient-feature tracking) for Bolt inference.
+//
+// Paper §2.1: "Bolt uses associative arrays to track salient features.
+// Bolt can do such tracking with one memory access per tree inference,
+// meaning that Bolt can produce a list of salient features as inference is
+// produced." When a lookup is accepted, the matched dictionary entry's
+// common items and the address bits over its uncommon predicates identify
+// exactly which feature tests the matched paths used — no tree re-walk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/predicates.h"
+
+namespace bolt::core {
+
+/// Salience accumulated over one (or more) inference calls.
+class Explanation {
+ public:
+  explicit Explanation(std::size_t num_features)
+      : counts_(num_features, 0.0) {}
+
+  void add_feature(std::uint32_t feature, double weight) {
+    counts_[feature] += weight;
+  }
+
+  void clear() { counts_.assign(counts_.size(), 0.0); }
+
+  /// Salience score per input feature: total vote mass of matched paths
+  /// that tested the feature.
+  const std::vector<double>& scores() const { return counts_; }
+
+  /// Indices of the `k` most salient features, descending by score.
+  std::vector<std::uint32_t> top_k(std::size_t k) const;
+
+ private:
+  std::vector<double> counts_;
+};
+
+/// Per-dictionary-entry service telemetry: how often each entry matched
+/// (candidate) and produced an accepted lookup. Paper §2.1: because Bolt
+/// maps all paths explicitly, "Bolt forests can cache whichever paths are
+/// used most frequently by a service" — this profile is how a deployment
+/// finds those hot entries.
+class EntryProfile {
+ public:
+  explicit EntryProfile(std::size_t num_entries)
+      : candidates_(num_entries, 0), accepts_(num_entries, 0) {}
+
+  void record_candidate(std::size_t entry) { ++candidates_[entry]; }
+  void record_accept(std::size_t entry) { ++accepts_[entry]; }
+  void bump_samples() { ++samples_; }
+
+  std::uint64_t samples() const { return samples_; }
+  const std::vector<std::uint64_t>& candidates() const { return candidates_; }
+  const std::vector<std::uint64_t>& accepts() const { return accepts_; }
+
+  /// Entries by descending accept count.
+  std::vector<std::uint32_t> hottest(std::size_t k) const;
+
+  /// Fraction of candidate matches that were rejected at the table (the
+  /// measured dictionary false-positive rate of §4.3).
+  double false_positive_rate() const;
+
+ private:
+  std::vector<std::uint64_t> candidates_;
+  std::vector<std::uint64_t> accepts_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace bolt::core

@@ -1,0 +1,76 @@
+#include "bolt/layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+
+namespace bolt::core {
+
+LayoutReport analyze_layout(const BoltForest& bf) {
+  LayoutReport report;
+  const Dictionary& dict = bf.dictionary();
+  const std::size_t entries = std::max<std::size_t>(1, dict.num_entries());
+
+  // Largest feature set across all dictionary entries (§5) sizes the
+  // bitmask; each entry needs a mask bitmap and a values bitmap.
+  std::size_t max_items = 0;
+  std::size_t total_items = 0;
+  for (std::size_t e = 0; e < dict.num_entries(); ++e) {
+    const std::size_t items =
+        dict.common_items(e).size() + dict.address_bits(e);
+    max_items = std::max(max_items, items);
+    total_items += items;
+  }
+  report.dict_masks.bolt_bytes_per_entry =
+      2.0 * std::ceil(static_cast<double>(max_items) / 8.0);
+  report.dict_masks.plain_bytes_per_entry =
+      2.0 * static_cast<double>(max_items);  // 1-byte boolean arrays
+
+  // Feature-value pairs: Bolt reserves bit_width(num_features) bits per
+  // feature id and only enough value bits to cover the largest split value
+  // (after the §5 normalization shift); plain layout uses two ints.
+  float max_threshold = 0.0f;
+  for (const auto& p : bf.space().predicates()) {
+    max_threshold = std::max(max_threshold, std::abs(p.threshold));
+  }
+  const unsigned feature_bits = util::bit_width_for(
+      std::max<std::uint64_t>(1, bf.num_features() ? bf.num_features() - 1 : 0));
+  const unsigned value_bits = util::bit_width_for(std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(max_threshold))));
+  const double avg_items =
+      static_cast<double>(total_items) / static_cast<double>(entries);
+  report.dict_features.bolt_bytes_per_entry =
+      avg_items * static_cast<double>(feature_bits + value_bits) / 8.0;
+  report.dict_features.plain_bytes_per_entry =
+      avg_items * (sizeof(std::int32_t) + sizeof(std::int32_t));
+
+  // Lookup-table results: knee-point pool encoding vs 4-byte values,
+  // amortized per table entry (slots reference pool rows).
+  const std::size_t table_entries =
+      std::max<std::size_t>(1, bf.stats().table_entries);
+  const double pool_rows = static_cast<double>(
+      std::max<std::size_t>(1, bf.results().size()));
+  const double bolt_row_bytes =
+      static_cast<double>(bf.results().compressed_bytes()) / pool_rows;
+  const double plain_row_bytes =
+      static_cast<double>(bf.results().decompressed_bytes()) / pool_rows;
+  // A slot stores a pool reference sized to address the pool plus the row
+  // amortized over the slots sharing it.
+  const double ref_bits =
+      util::bit_width_for(std::max<std::uint64_t>(1, pool_rows - 1));
+  const double sharing =
+      static_cast<double>(table_entries) / pool_rows;  // entries per row
+  report.table_results.bolt_bytes_per_entry =
+      ref_bits / 8.0 + bolt_row_bytes / sharing;
+  report.table_results.plain_bytes_per_entry =
+      sizeof(std::uint32_t) + plain_row_bytes / sharing;
+
+  // Entry ID: 1 byte (mod 256, §5) vs a 4-byte id.
+  report.table_entry_id.bolt_bytes_per_entry = 1.0;
+  report.table_entry_id.plain_bytes_per_entry = sizeof(std::uint32_t);
+
+  return report;
+}
+
+}  // namespace bolt::core

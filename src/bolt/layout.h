@@ -1,0 +1,52 @@
+// Storage-layout accounting (paper §5, Figure 8).
+//
+// The paper's implementation compresses the memory-mapped structures and
+// reports bytes-per-entry for four components, each against a
+// "decompressed" layout that uses plain integer/boolean-array encodings:
+//   Dictionary / Masks:    bitmaps sized by the largest feature set across
+//                          entries  vs  1-byte boolean arrays;
+//   Dictionary / Features: feature-value pairs with value bits sized by
+//                          the largest split value  vs  int pairs;
+//   Lookup table / Results:     knee-point (99th-percentile) bit widths
+//                               vs  4-byte integers;
+//   Lookup table / Entry ID:    1 byte (mod 256)  vs  4-byte integer.
+#pragma once
+
+#include "bolt/builder.h"
+
+namespace bolt::core {
+
+struct ComponentSize {
+  double bolt_bytes_per_entry = 0.0;
+  double plain_bytes_per_entry = 0.0;
+};
+
+struct LayoutReport {
+  // Dictionary components (per dictionary entry).
+  ComponentSize dict_masks;
+  ComponentSize dict_features;
+  // Lookup-table components (per table entry).
+  ComponentSize table_results;
+  ComponentSize table_entry_id;
+
+  double dict_total_bolt() const {
+    return dict_masks.bolt_bytes_per_entry + dict_features.bolt_bytes_per_entry;
+  }
+  double dict_total_plain() const {
+    return dict_masks.plain_bytes_per_entry +
+           dict_features.plain_bytes_per_entry;
+  }
+  double table_total_bolt() const {
+    return table_results.bolt_bytes_per_entry +
+           table_entry_id.bolt_bytes_per_entry;
+  }
+  double table_total_plain() const {
+    return table_results.plain_bytes_per_entry +
+           table_entry_id.plain_bytes_per_entry;
+  }
+};
+
+/// Computes the Figure 8 report for a built artifact.
+LayoutReport analyze_layout(const BoltForest& bf);
+
+}  // namespace bolt::core

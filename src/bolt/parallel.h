@@ -1,0 +1,86 @@
+// Parallel Bolt (paper §4.2, Figure 4): the dictionary is split into `d`
+// partitions and the recombined lookup table into `t` partitions; one core
+// is assigned each (dictionary partition, table partition) pair, so
+// C = d x t cores. A core scans its dictionary partition and performs only
+// the lookups whose table slot falls inside its table partition; any other
+// accepted lookup is safely discarded because the core holding (same
+// dictionary partition, owning table partition) will perform it (§4.5's
+// duplication guarantee). Votes are aggregated across cores at the end.
+//
+// The repo runs in a single-CPU container, so latency for multi-core
+// configurations is *measured* with the critical-path model documented in
+// DESIGN.md §3: each core's scan is executed and timed on the one physical
+// CPU; response time = max over cores + measured aggregation cost + a
+// fixed per-core communication charge. A real threaded execution path
+// (ThreadPool) is also provided and used by tests to validate that the
+// partitioned computation is equivalent to the single-core engine.
+#pragma once
+
+#include <vector>
+
+#include "bolt/builder.h"
+#include "util/bits.h"
+#include "util/thread_pool.h"
+
+namespace bolt::core {
+
+struct PartitionPlan {
+  std::size_t dict_parts = 1;
+  std::size_t table_parts = 1;
+  std::size_t cores() const { return dict_parts * table_parts; }
+};
+
+class PartitionedBoltEngine {
+ public:
+  /// Borrows the artifact (must outlive the engine).
+  PartitionedBoltEngine(const BoltForest& bf, const PartitionPlan& plan);
+
+  const PartitionPlan& plan() const { return plan_; }
+
+  /// Work of core (dict_part, table_part) for a binarized sample:
+  /// accumulates votes into `out` (not cleared). Exposed for tests.
+  void core_work(std::size_t dict_part, std::size_t table_part,
+                 const util::BitVector& bits, std::span<double> out) const;
+
+  /// Sequential reference execution: all cores' work + aggregation.
+  /// Must equal BoltEngine::predict for every input (tested).
+  int predict(std::span<const float> x);
+
+  /// Real threaded execution across `pool` (one task per core).
+  int predict_threaded(std::span<const float> x, util::ThreadPool& pool);
+
+  /// Critical-path latency measurement for one sample: every core's work
+  /// is run and timed in isolation; returns
+  ///   binarize + max(core times) + aggregation + per-core comm charge.
+  /// `comm_ns_per_core` models the inter-core result hand-off the paper
+  /// discusses ("the overhead of aggregating results must be considered");
+  /// ~25 ns approximates a cross-core cache-line transfer.
+  double measure_response_us(std::span<const float> x,
+                             double comm_ns_per_core = 25.0);
+
+  /// Bytes of the table partition a single core touches (the §4.2 storage
+  /// argument: table partitioning divides per-core storage demand).
+  std::size_t table_partition_bytes(std::size_t table_part) const;
+
+  std::size_t memory_bytes() const;
+
+  /// Predicates a dictionary partition's entries actually test (common +
+  /// uncommon), ascending and deduplicated. A core only encodes these.
+  std::span<const std::uint32_t> partition_predicates(
+      std::size_t dict_part) const {
+    return part_preds_[dict_part];
+  }
+
+ private:
+  std::pair<std::size_t, std::size_t> dict_range(std::size_t part) const;
+  std::pair<std::size_t, std::size_t> slot_range(std::size_t part) const;
+
+  const BoltForest& bf_;
+  PartitionPlan plan_;
+  util::BitVector bits_;
+  std::vector<std::vector<double>> core_votes_;
+  std::vector<double> agg_;
+  std::vector<std::vector<std::uint32_t>> part_preds_;  // per dict partition
+};
+
+}  // namespace bolt::core

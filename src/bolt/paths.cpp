@@ -1,0 +1,71 @@
+#include "bolt/paths.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bolt::core {
+namespace {
+
+void walk(const forest::DecisionTree& tree, const forest::PredicateSpace& space,
+          std::int32_t node, std::vector<PathItem>& stack, double weight,
+          std::size_t num_classes, std::vector<Path>& out) {
+  const forest::TreeNode& n = tree.nodes()[node];
+  if (n.is_leaf()) {
+    Path p;
+    p.items = stack;
+    std::sort(p.items.begin(), p.items.end());
+    p.votes.assign(num_classes, 0.0f);
+    p.votes[n.leaf_class] = static_cast<float>(weight);
+    out.push_back(std::move(p));
+    return;
+  }
+  const std::uint32_t pred =
+      space.id_of(static_cast<std::uint32_t>(n.feature), n.threshold);
+  // Left edge = test true (x[f] <= t), the binarization convention.
+  stack.push_back(make_item(pred, true));
+  walk(tree, space, n.left, stack, weight, num_classes, out);
+  stack.back() = make_item(pred, false);
+  walk(tree, space, n.right, stack, weight, num_classes, out);
+  stack.pop_back();
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_paths(const forest::Forest& forest,
+                                  const forest::PredicateSpace& space) {
+  std::vector<Path> all;
+  all.reserve(forest.total_leaves());
+  std::vector<PathItem> stack;
+  for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+    walk(forest.trees[t], space, 0, stack, forest.weights[t],
+         forest.num_classes, all);
+  }
+
+  // Lexicographic sort over packed items (Figure 3 ①-②).
+  std::sort(all.begin(), all.end(),
+            [](const Path& a, const Path& b) { return a.items < b.items; });
+
+  // Merge identical paths: cross-tree redundant paths collapse to one entry
+  // whose votes are the sum of the sources' votes.
+  std::vector<Path> merged;
+  merged.reserve(all.size());
+  for (Path& p : all) {
+    if (!merged.empty() && merged.back().items == p.items) {
+      for (std::size_t c = 0; c < p.votes.size(); ++c) {
+        merged.back().votes[c] += p.votes[c];
+      }
+    } else {
+      merged.push_back(std::move(p));
+    }
+  }
+  return merged;
+}
+
+bool path_matches(const Path& path, const util::BitVector& sample_bits) {
+  for (PathItem item : path.items) {
+    if (sample_bits.get(item_pred(item)) != item_value(item)) return false;
+  }
+  return true;
+}
+
+}  // namespace bolt::core

@@ -1,0 +1,53 @@
+// Phase 1, step 1-2 (paper §4.1, Figure 3 ①-②): enumerate every
+// root-to-leaf path of every tree as a sorted list of (predicate, value)
+// pairs, sort all paths lexicographically across the whole forest, and
+// merge identical paths (their votes accumulate — this is the cross-tree
+// redundancy Bolt exploits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/predicates.h"
+#include "forest/tree.h"
+
+namespace bolt::core {
+
+/// One (predicate, value) pair packed as (pred << 1) | value. Packing makes
+/// lexicographic path comparison a plain vector compare and keeps the
+/// enumeration memory-light on big forests.
+using PathItem = std::uint32_t;
+
+constexpr PathItem make_item(std::uint32_t pred, bool value) {
+  return (pred << 1) | (value ? 1u : 0u);
+}
+constexpr std::uint32_t item_pred(PathItem item) { return item >> 1; }
+constexpr bool item_value(PathItem item) { return item & 1u; }
+
+/// A root-to-leaf path (after merging, possibly representing several
+/// identical paths from different trees).
+struct Path {
+  /// (predicate, value) pairs sorted by predicate id. A tree never tests
+  /// the same predicate twice on one path, so predicates are unique.
+  std::vector<PathItem> items;
+  /// Weighted class votes contributed when this path matches: one entry per
+  /// class. Plain forests contribute weight 1.0 at the leaf class per
+  /// merged source path; boosted forests contribute their stage weight
+  /// (paper §5: gradient boosting = "adding the corresponding tree weight
+  /// to each path").
+  std::vector<float> votes;
+};
+
+/// Enumerates, sorts and merges the paths of `forest` over `space`.
+/// Postconditions (checked by tests):
+///  - paths are strictly increasing lexicographically (no duplicates),
+///  - for every input, exactly one path per source tree matches,
+///  - total vote mass equals the sum of tree weights.
+std::vector<Path> enumerate_paths(const forest::Forest& forest,
+                                  const forest::PredicateSpace& space);
+
+/// True iff `path` matches the binarized sample: every (pred, value) item
+/// agrees with the sample's bit. Reference semantics used by tests.
+bool path_matches(const Path& path, const util::BitVector& sample_bits);
+
+}  // namespace bolt::core

@@ -1,0 +1,110 @@
+#include "bolt/planner.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace bolt::core {
+namespace {
+
+/// Factor pairs (d, t) with d*t == cores, plus (1,1).
+std::vector<PartitionPlan> partition_shapes(std::size_t cores) {
+  std::vector<PartitionPlan> shapes;
+  shapes.push_back({1, 1});
+  for (std::size_t d = 1; d <= cores; ++d) {
+    if (cores % d != 0) continue;
+    const std::size_t t = cores / d;
+    if (d == 1 && t == 1) continue;
+    shapes.push_back({d, t});
+  }
+  return shapes;
+}
+
+}  // namespace
+
+PlanResult plan(const forest::Forest& forest, const data::Dataset& calibration,
+                const PlannerConfig& cfg) {
+  PlanResult result;
+  const std::size_t samples =
+      std::min(cfg.max_calibration_samples, calibration.num_rows());
+
+  double best_us = 0.0;
+  std::size_t best_threshold = 0;
+
+  for (std::size_t threshold : cfg.thresholds) {
+    BoltConfig bolt_cfg = cfg.base;
+    bolt_cfg.cluster.threshold = threshold;
+    std::unique_ptr<BoltForest> artifact;
+    try {
+      artifact =
+          std::make_unique<BoltForest>(BoltForest::build(forest, bolt_cfg));
+    } catch (const std::runtime_error&) {
+      continue;  // table blew past the size cap at this threshold
+    }
+
+    for (const PartitionPlan& shape : partition_shapes(cfg.cores)) {
+      PartitionedBoltEngine engine(*artifact, shape);
+
+      util::Summary med;
+      for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) {
+        double total_us = 0.0;
+        for (std::size_t i = 0; i < samples; ++i) {
+          total_us += engine.measure_response_us(calibration.row(i));
+        }
+        med.add(total_us / static_cast<double>(std::max<std::size_t>(1, samples)));
+      }
+
+      PlanCandidate cand;
+      cand.threshold = threshold;
+      cand.partitions = shape;
+      cand.avg_response_us = med.percentile(50);
+      cand.dict_entries = artifact->dictionary().num_entries();
+      cand.table_slots = artifact->table().num_slots();
+      cand.memory_bytes = engine.memory_bytes();
+      if (cfg.cache_bytes_per_core != 0) {
+        // Per-core working set: its table partition plus the (duplicated)
+        // dictionary.
+        cand.fits_cache = engine.table_partition_bytes(0) +
+                              artifact->dictionary().memory_bytes() <=
+                          cfg.cache_bytes_per_core;
+      }
+      result.candidates.push_back(cand);
+
+      const bool better =
+          result.artifact == nullptr ||
+          (cand.fits_cache && !result.candidates[result.best].fits_cache) ||
+          (cand.fits_cache == result.candidates[result.best].fits_cache &&
+           cand.avg_response_us < best_us);
+      if (better) {
+        best_us = cand.avg_response_us;
+        result.best = result.candidates.size() - 1;
+        best_threshold = threshold;
+      }
+    }
+    if (result.artifact == nullptr || best_threshold == threshold) {
+      result.artifact = std::move(artifact);
+    }
+  }
+
+  if (result.artifact == nullptr) {
+    throw std::runtime_error("planner: no feasible configuration");
+  }
+  return result;
+}
+
+Bottleneck diagnose(const BoltForest& bf, std::size_t cache_bytes) {
+  const std::size_t table_bytes = bf.table().memory_bytes();
+  if (table_bytes > cache_bytes) return Bottleneck::kCacheCapacity;
+  // Heuristic from §4.2: once the table fits in cache, latency is governed
+  // by dictionary entries scanned per sample; "parameter changes that lead
+  // to less dictionary entries will yield better results".
+  const std::size_t entries = bf.dictionary().num_entries();
+  if (entries > 4 * std::max<std::size_t>(1, bf.stats().num_merged_paths /
+                                                 8)) {
+    return Bottleneck::kDictionaryScan;
+  }
+  return Bottleneck::kBalanced;
+}
+
+}  // namespace bolt::core

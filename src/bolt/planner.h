@@ -1,0 +1,77 @@
+// Phase 2: parameter selection (paper §4.2, Figures 13(A)/(B)).
+//
+// Bolt's latency depends on a size/latency trade-off: small clustering
+// thresholds make many dictionary entries (scan-bound), large thresholds
+// blow up the don't-care expansion and the lookup table (memory-bound once
+// the table exceeds cache). The paper "searches the space given by these
+// parameters by running the forest with different parameter settings and
+// selecting those partitioning strategies that lead to best results." The
+// planner does exactly that: it builds candidate artifacts across a
+// threshold grid, crosses them with the (table partitions x dictionary
+// partitions) shapes that fit the available cores, *runs* each candidate
+// on calibration samples, and returns the fastest configuration. A storage
+// model flags candidates whose per-core working set exceeds the given
+// cache capacity (the paper's capacity-planning diagnostics, §4.6).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bolt/builder.h"
+#include "bolt/parallel.h"
+#include "data/dataset.h"
+
+namespace bolt::core {
+
+struct PlannerConfig {
+  /// Clustering thresholds to explore.
+  std::vector<std::size_t> thresholds = {1, 2, 3, 4, 6, 8, 12};
+  /// Available cores (t x d combinations with t*d == cores are explored,
+  /// plus the single-core shape).
+  std::size_t cores = 1;
+  /// Per-core cache capacity in bytes (the paper's third input: "cache
+  /// capacity of each core"). 0 disables the storage check.
+  std::size_t cache_bytes_per_core = 0;
+  /// Calibration samples used to time candidates.
+  std::size_t max_calibration_samples = 64;
+  /// Timing repetitions per candidate (median taken).
+  std::size_t repetitions = 3;
+  /// Base Bolt configuration (table strategy, bloom, ...).
+  BoltConfig base;
+};
+
+struct PlanCandidate {
+  std::size_t threshold = 0;
+  PartitionPlan partitions;
+  double avg_response_us = 0.0;
+  std::size_t dict_entries = 0;
+  std::size_t table_slots = 0;
+  std::size_t memory_bytes = 0;
+  bool fits_cache = true;
+};
+
+struct PlanResult {
+  /// All evaluated candidates, in evaluation order (Figure 13(B) plots
+  /// exactly this spread).
+  std::vector<PlanCandidate> candidates;
+  /// Index of the selected (fastest feasible) candidate.
+  std::size_t best = 0;
+  /// The artifact built with the winning threshold.
+  std::unique_ptr<BoltForest> artifact;
+
+  const PlanCandidate& best_candidate() const { return candidates[best]; }
+};
+
+/// Runs the Phase-2 search. `calibration` supplies the timing inputs
+/// (the paper runs the forest on sample inputs under each setting).
+PlanResult plan(const forest::Forest& forest, const data::Dataset& calibration,
+                const PlannerConfig& cfg);
+
+/// Diagnostic of §4.6: classifies the bottleneck of a built artifact on a
+/// machine with `cache_bytes` available — "cache" when the table spills
+/// past the LLC, "dictionary" when entry scans dominate, "balanced"
+/// otherwise.
+enum class Bottleneck { kBalanced, kCacheCapacity, kDictionaryScan };
+Bottleneck diagnose(const BoltForest& bf, std::size_t cache_bytes);
+
+}  // namespace bolt::core

@@ -1,0 +1,145 @@
+#include "bolt/results.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/binio.h"
+#include "util/bits.h"
+#include "util/hash.h"
+
+namespace bolt::core {
+
+std::uint32_t ResultPool::intern(std::span<const float> votes) {
+  packed_.clear();  // packing is finalized after the last intern
+  // Hash the bit pattern; equal vectors hash equal, and we verify on
+  // collision by comparing payloads of the chained candidate.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (float v : votes) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = util::mix64(h ^ bits);
+  }
+  auto [it, inserted] = index_.try_emplace(h, 0);
+  if (!inserted) {
+    // Verify (hash collisions between distinct vectors are possible in
+    // principle; correctness must not depend on their absence).
+    const std::uint32_t idx = it->second;
+    if (std::equal(votes.begin(), votes.end(),
+                   pool_.begin() + static_cast<std::size_t>(idx) * num_classes_)) {
+      return idx;
+    }
+    // Fall through: rehash with a salt until an empty or matching slot.
+    std::uint64_t salt = 1;
+    for (;;) {
+      const std::uint64_t h2 = util::mix64(h, salt++);
+      auto [it2, ins2] = index_.try_emplace(h2, 0);
+      if (!ins2) {
+        const std::uint32_t idx2 = it2->second;
+        if (std::equal(votes.begin(), votes.end(),
+                       pool_.begin() +
+                           static_cast<std::size_t>(idx2) * num_classes_)) {
+          return idx2;
+        }
+        continue;
+      }
+      it = it2;
+      break;
+    }
+  }
+  const auto idx = static_cast<std::uint32_t>(size());
+  pool_.insert(pool_.end(), votes.begin(), votes.end());
+  it->second = idx;
+  return idx;
+}
+
+bool ResultPool::finalize_packed(double total_mass) {
+  packed_.clear();
+  if (num_classes_ == 0 || num_classes_ > 64) return false;
+  // Field must hold the worst-case per-class aggregate plus headroom for
+  // the sentinel-free add (no carry may cross fields).
+  const auto cap = static_cast<std::uint64_t>(total_mass + 1.0);
+  field_bits_ = util::bit_width_for(cap);
+  if (field_bits_ * num_classes_ > 64) return false;
+
+  std::vector<std::uint64_t> packed;
+  packed.reserve(size());
+  for (std::size_t r = 0; r < size(); ++r) {
+    std::uint64_t word = 0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const float v = pool_[r * num_classes_ + c];
+      const double rounded = std::round(v);
+      if (v < 0.0f || std::abs(v - rounded) > 1e-6 || rounded > cap) {
+        return false;  // non-integral or out-of-range: stay on float path
+      }
+      word |= static_cast<std::uint64_t>(rounded) << (c * field_bits_);
+    }
+    packed.push_back(word);
+  }
+  packed_ = std::move(packed);
+  return true;
+}
+
+void ResultPool::save(std::ostream& out) const {
+  util::put(out, static_cast<std::uint64_t>(num_classes_));
+  util::put_vec(out, pool_);
+  util::put_vec(out, packed_);
+  util::put(out, field_bits_);
+}
+
+ResultPool ResultPool::load(std::istream& in) {
+  const auto classes = util::get<std::uint64_t>(in);
+  ResultPool pool(classes);
+  pool.pool_ = util::get_vec<float>(in);
+  pool.packed_ = util::get_vec<std::uint64_t>(in);
+  pool.field_bits_ = util::get<unsigned>(in);
+  if (classes == 0 || pool.pool_.size() % classes != 0) {
+    throw std::runtime_error("result pool load: bad geometry");
+  }
+  // Rebuild the intern index so post-load intern() keeps deduplicating.
+  for (std::size_t r = 0; r < pool.size(); ++r) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t c = 0; c < classes; ++c) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &pool.pool_[r * classes + c], sizeof(bits));
+      h = util::mix64(h ^ bits);
+    }
+    pool.index_.try_emplace(h, static_cast<std::uint32_t>(r));
+  }
+  return pool;
+}
+
+std::size_t ResultPool::compressed_bytes() const {
+  if (pool_.empty()) return 0;
+
+  bool integral = true;
+  std::vector<std::uint64_t> ints;
+  ints.reserve(pool_.size());
+  for (float v : pool_) {
+    const double r = std::round(v);
+    if (v < 0.0f || std::abs(v - r) > 1e-6) {
+      integral = false;
+      break;
+    }
+    ints.push_back(static_cast<std::uint64_t>(r));
+  }
+  if (!integral) return pool_.size() * sizeof(float);
+
+  // Knee point: width covering the 99th percentile of values; values above
+  // it are stored in an escape table (index + 32-bit value).
+  std::vector<std::uint64_t> sorted = ints;
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t p99 = sorted[(sorted.size() * 99) / 100];
+  const unsigned width = util::bit_width_for(std::max<std::uint64_t>(p99, 1)) +
+                         1;  // +1 for the escape marker value
+  std::size_t escapes = 0;
+  for (std::uint64_t v : ints) {
+    if (util::bit_width_for(std::max<std::uint64_t>(v, 1)) > width - 1) {
+      ++escapes;
+    }
+  }
+  const std::size_t packed_bits = ints.size() * width;
+  return (packed_bits + 7) / 8 + escapes * (sizeof(std::uint32_t) * 2);
+}
+
+}  // namespace bolt::core

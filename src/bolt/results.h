@@ -1,0 +1,93 @@
+// Deduplicated pool of vote vectors referenced by lookup-table slots.
+//
+// The paper's Figure 3 shows slots holding result *lists* (e.g. "[yes,no]"
+// where two trees' paths merged into one address); we store the aggregated
+// weighted class votes. Distinct vote vectors are few (bounded by distinct
+// leaf combinations), so slots store a small pool index and the pool is
+// bit-packed with the knee-point width encoding of §5 ("99th percentile
+// results value": typical values use few bits, outliers take an escape).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace bolt::core {
+
+class ResultPool {
+ public:
+  explicit ResultPool(std::size_t num_classes) : num_classes_(num_classes) {}
+
+  /// Interns a vote vector, returning its pool index (deduplicated).
+  std::uint32_t intern(std::span<const float> votes);
+
+  std::size_t size() const { return pool_.size() / num_classes_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+  std::span<const float> votes(std::uint32_t idx) const {
+    return {pool_.data() + static_cast<std::size_t>(idx) * num_classes_,
+            num_classes_};
+  }
+
+  /// Accumulates entry `idx` into `acc` (the engine's per-sample hot path).
+  void accumulate(std::uint32_t idx, std::span<double> acc) const {
+    const float* v = pool_.data() + static_cast<std::size_t>(idx) * num_classes_;
+    for (std::size_t c = 0; c < num_classes_; ++c) acc[c] += v[c];
+  }
+
+  const std::vector<float>& raw() const { return pool_; }
+
+  /// Builds the packed-accumulation form: each vote vector packed into ONE
+  /// u64 with fixed-width per-class fields, so the engine accumulates a
+  /// whole slot's votes with a single integer add (a §5-style bit-level
+  /// optimization). Available when votes are non-negative integers (plain
+  /// random forests) and `total_mass` — the maximum possible per-class
+  /// aggregate, i.e. the sum of tree weights — fits the field width.
+  /// Returns true if packing succeeded.
+  bool finalize_packed(double total_mass);
+
+  bool packed_available() const { return !packed_.empty(); }
+  unsigned packed_field_bits() const { return field_bits_; }
+
+  /// Single-add accumulation (no per-class loop). Field widths are chosen
+  /// so no field can overflow into its neighbour even when every slot of
+  /// the forest is accumulated.
+  void accumulate_packed(std::uint32_t idx, std::uint64_t& acc) const {
+    acc += packed_[idx];
+  }
+
+  /// Expands a packed accumulator into per-class totals.
+  void unpack(std::uint64_t acc, std::span<double> out) const {
+    const std::uint64_t field_mask = (std::uint64_t{1} << field_bits_) - 1;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      out[c] = static_cast<double>((acc >> (c * field_bits_)) & field_mask);
+    }
+  }
+
+  /// Binary (de)serialization; part of the Bolt artifact format.
+  void save(std::ostream& out) const;
+  static ResultPool load(std::istream& in);
+
+  /// Bytes of the knee-point compressed representation: votes quantized to
+  /// integers where exact (plain random forests always are), stored with
+  /// the bit width covering the 99th percentile of values; larger values
+  /// take a per-value escape slot. Falls back to 32-bit floats for
+  /// non-integral (boosted) votes. Used by the Figure 8 accounting.
+  std::size_t compressed_bytes() const;
+  /// Bytes if every vote were stored as a 4-byte integer/float — the
+  /// "decompressed" bar of Figure 8.
+  std::size_t decompressed_bytes() const {
+    return pool_.size() * sizeof(std::int32_t);
+  }
+
+ private:
+  std::size_t num_classes_;
+  std::vector<float> pool_;  // size() * num_classes_, row-major
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  std::vector<std::uint64_t> packed_;  // empty unless finalize_packed succeeded
+  unsigned field_bits_ = 0;
+};
+
+}  // namespace bolt::core

@@ -1,0 +1,227 @@
+#include "bolt/table.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/binio.h"
+#include "util/hash.h"
+
+// slot_of/probe_slot are defined inline in the header (hot path).
+
+namespace bolt::core {
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+RecombinedTable RecombinedTable::build(const std::vector<TableEntry>& entries,
+                                       const TableConfig& cfg) {
+  RecombinedTable t;
+  t.strategy_ = cfg.strategy;
+  t.id_check_ = cfg.id_check;
+  t.num_entries_ = entries.size();
+
+  for (const TableEntry& e : entries) {
+    if (e.address >> 40) {
+      throw std::invalid_argument("table: address exceeds 40 bits");
+    }
+    if (e.entry_id >> 24) {
+      throw std::invalid_argument("table: entry id exceeds 24 bits");
+    }
+    if (e.result_idx == kEmpty) {
+      throw std::invalid_argument("table: reserved result index");
+    }
+  }
+
+  auto fill_slots = [&](std::size_t slots) {
+    t.result_idx_.assign(slots, kEmpty);
+    if (cfg.id_check == IdCheck::kExact) {
+      t.keys_.assign(slots, 0);
+      t.id8_.clear();
+    } else {
+      t.id8_.assign(slots, 0);
+      t.keys_.clear();
+    }
+    t.slot_mask_ = static_cast<std::uint32_t>(slots - 1);
+  };
+
+  auto store = [&](std::size_t slot, const TableEntry& e) {
+    t.result_idx_[slot] = e.result_idx;
+    if (cfg.id_check == IdCheck::kExact) {
+      t.keys_[slot] = pack_key(e.entry_id, e.address);
+    } else {
+      t.id8_[slot] = static_cast<std::uint8_t>(e.entry_id);
+    }
+  };
+
+  if (entries.empty()) {
+    fill_slots(1);
+    t.bucket_mask_ = 0;
+    t.displacement_.assign(1, 0);
+    return t;
+  }
+
+  if (cfg.strategy == TableStrategy::kSeedSearch) {
+    std::size_t slots =
+        next_pow2(std::max<std::size_t>(2, entries.size() * 2));
+    std::vector<char> used;
+    for (; slots <= cfg.max_slots; slots <<= 1) {
+      for (std::size_t s = 0; s < cfg.seeds_per_size; ++s) {
+        const std::uint64_t seed = util::mix64(0xb01dface ^ (slots * 31), s);
+        used.assign(slots, 0);
+        bool ok = true;
+        for (const TableEntry& e : entries) {
+          const std::size_t slot = static_cast<std::size_t>(
+              key_hash(e.entry_id, e.address, seed) & (slots - 1));
+          if (used[slot]) {
+            ok = false;
+            break;
+          }
+          used[slot] = 1;
+        }
+        if (ok) {
+          t.seed_ = seed;
+          fill_slots(slots);
+          for (const TableEntry& e : entries) {
+            store(static_cast<std::size_t>(
+                      key_hash(e.entry_id, e.address, seed) & (slots - 1)),
+                  e);
+          }
+          return t;
+        }
+      }
+    }
+    throw std::runtime_error(
+        "table: seed search exhausted max_slots without a conflict-free "
+        "assignment; use kDisplacement");
+  }
+
+  // CHD-style displacement hashing. Buckets group keys by h1; buckets are
+  // placed largest-first, each receiving a displacement that maps all its
+  // keys to free slots.
+  const std::size_t min_slots = next_pow2(std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             static_cast<double>(entries.size()) / cfg.max_load)));
+  for (std::size_t slots = min_slots; slots <= cfg.max_slots; slots <<= 1) {
+    const std::size_t buckets = std::max<std::size_t>(2, slots / 4);
+    t.seed_ = util::mix64(0xd15c0c0de ^ slots);
+    t.bucket_mask_ = static_cast<std::uint32_t>(buckets - 1);
+
+    std::vector<std::vector<std::uint32_t>> bucket_members(buckets);
+    for (std::uint32_t i = 0; i < entries.size(); ++i) {
+      const std::uint64_t h =
+          key_hash(entries[i].entry_id, entries[i].address, t.seed_);
+      bucket_members[h & t.bucket_mask_].push_back(i);
+    }
+
+    std::vector<std::uint32_t> order(buckets);
+    for (std::uint32_t b = 0; b < buckets; ++b) order[b] = b;
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return bucket_members[a].size() > bucket_members[b].size();
+    });
+
+    fill_slots(slots);
+    t.displacement_.assign(buckets, 0);
+    std::vector<char> used(slots, 0);
+    std::vector<std::size_t> placed;
+    bool all_ok = true;
+
+    for (std::uint32_t b : order) {
+      const auto& members = bucket_members[b];
+      if (members.empty()) continue;
+      bool found = false;
+      // Displacement search; 8 * slots tries is ample at load <= 0.5.
+      const std::size_t max_d = 8 * slots + 64;
+      for (std::uint32_t d = 0; d < max_d; ++d) {
+        placed.clear();
+        bool ok = true;
+        for (std::uint32_t mi : members) {
+          const TableEntry& e = entries[mi];
+          const std::uint64_t h = key_hash(e.entry_id, e.address, t.seed_);
+          const std::size_t slot = displaced_slot(h, d, t.slot_mask_);
+          if (used[slot] ||
+              std::find(placed.begin(), placed.end(), slot) != placed.end()) {
+            ok = false;
+            break;
+          }
+          placed.push_back(slot);
+        }
+        if (ok) {
+          for (std::size_t k = 0; k < members.size(); ++k) {
+            used[placed[k]] = 1;
+            store(placed[k], entries[members[k]]);
+          }
+          t.displacement_[b] = d;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        all_ok = false;
+        break;
+      }
+    }
+    if (all_ok) return t;
+  }
+  throw std::runtime_error("table: displacement build exceeded max_slots");
+}
+
+void RecombinedTable::save(std::ostream& out) const {
+  util::put(out, static_cast<std::uint32_t>(strategy_));
+  util::put(out, static_cast<std::uint32_t>(id_check_));
+  util::put(out, seed_);
+  util::put(out, static_cast<std::uint64_t>(num_entries_));
+  util::put(out, slot_mask_);
+  util::put(out, bucket_mask_);
+  util::put_vec(out, displacement_);
+  util::put_vec(out, result_idx_);
+  util::put_vec(out, keys_);
+  util::put_vec(out, id8_);
+}
+
+RecombinedTable RecombinedTable::load(std::istream& in) {
+  RecombinedTable t;
+  t.strategy_ = static_cast<TableStrategy>(util::get<std::uint32_t>(in));
+  t.id_check_ = static_cast<IdCheck>(util::get<std::uint32_t>(in));
+  t.seed_ = util::get<std::uint64_t>(in);
+  t.num_entries_ = util::get<std::uint64_t>(in);
+  t.slot_mask_ = util::get<std::uint32_t>(in);
+  t.bucket_mask_ = util::get<std::uint32_t>(in);
+  t.displacement_ = util::get_vec<std::uint32_t>(in);
+  t.result_idx_ = util::get_vec<std::uint32_t>(in);
+  t.keys_ = util::get_vec<std::uint64_t>(in);
+  t.id8_ = util::get_vec<std::uint8_t>(in);
+  if (t.result_idx_.size() != static_cast<std::size_t>(t.slot_mask_) + 1) {
+    throw std::runtime_error("table load: slot count mismatch");
+  }
+  if (t.strategy_ == TableStrategy::kDisplacement &&
+      t.displacement_.size() != static_cast<std::size_t>(t.bucket_mask_) + 1) {
+    throw std::runtime_error("table load: displacement size mismatch");
+  }
+  if (t.id_check_ == IdCheck::kExact) {
+    if (t.keys_.size() != t.result_idx_.size()) {
+      throw std::runtime_error("table load: key array size mismatch");
+    }
+  } else if (t.id8_.size() != t.result_idx_.size()) {
+    throw std::runtime_error("table load: id8 array size mismatch");
+  }
+  if (static_cast<std::uint32_t>(t.strategy_) > 1 ||
+      static_cast<std::uint32_t>(t.id_check_) > 1) {
+    throw std::runtime_error("table load: bad enum value");
+  }
+  return t;
+}
+
+std::size_t RecombinedTable::memory_bytes() const {
+  return result_idx_.size() * sizeof(std::uint32_t) +
+         keys_.size() * sizeof(std::uint64_t) + id8_.size() +
+         displacement_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace bolt::core

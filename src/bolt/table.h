@@ -1,0 +1,173 @@
+// The recombined lookup table (paper §4.1 end, §4.3, §4.4, Figure 6).
+//
+// Every cluster's small lookup table is hashed into ONE big table keyed by
+// (dictionary entry ID, address bits). Requirements from the paper:
+//   - conflict-free for all inserted keys (so a probe is exactly one
+//     memory access, no probing loops and no pointer chasing);
+//   - each slot carries the entry ID of the dictionary entry that owns it,
+//     so false positives (inputs matching an entry's common features but
+//     no path in the entry) are detected at lookup time.
+//
+// §4.4's correctness argument: a true-positive input's address is always
+// inserted (don't-care expansion covers every combination of unconstrained
+// uncommon features), and a false positive's address is never inserted for
+// that entry — so "is (entry_id, address) in the table?" exactly separates
+// them. We offer two slot-verification modes:
+//   kExact: the slot stores the full key; classification equals plain
+//           traversal bit-for-bit (the default, and what the safety tests
+//           assert).
+//   kByte:  the slot stores entry_id mod 256 only — the paper's §5 layout,
+//           which trades a ~2^-buckets error probability for 1 byte/slot.
+//           Exposed for the Figure 8 accounting and the ablation bench.
+//
+// Two conflict-free construction strategies (ablation §4.4):
+//   kDisplacement: CHD-style two-level hashing — a small displacement
+//           array, guaranteed success, table stays near 2^ceil(log2 n).
+//   kSeedSearch: search a global seed making h(key) collision-free,
+//           doubling the table until one exists (no displacement array
+//           read on lookup, but the table can grow toward n^2 slots).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace bolt::core {
+
+enum class TableStrategy { kDisplacement, kSeedSearch };
+enum class IdCheck { kExact, kByte };
+
+struct TableConfig {
+  TableStrategy strategy = TableStrategy::kDisplacement;
+  IdCheck id_check = IdCheck::kExact;
+  /// Target load factor for the displacement strategy.
+  double max_load = 0.5;
+  /// Seed-search gives up and doubles after this many seeds per size.
+  std::size_t seeds_per_size = 64;
+  /// Absolute cap on table slots (throws if exceeded).
+  std::size_t max_slots = std::size_t{1} << 28;
+};
+
+struct TableEntry {
+  std::uint32_t entry_id;
+  std::uint64_t address;
+  std::uint32_t result_idx;
+};
+
+/// Immutable conflict-free hash table built once from all cluster tables.
+class RecombinedTable {
+ public:
+  RecombinedTable() = default;
+
+  /// Builds the table. Keys (entry_id, address) must be distinct.
+  static RecombinedTable build(const std::vector<TableEntry>& entries,
+                               const TableConfig& cfg);
+
+  /// One-memory-access probe. Returns the result-pool index, or nullopt if
+  /// the slot does not belong to (entry_id, address) — i.e. a detected
+  /// false positive or an empty slot.
+  std::optional<std::uint32_t> find(std::uint32_t entry_id,
+                                    std::uint64_t address) const {
+    return probe_slot(slot_of(entry_id, address), entry_id, address);
+  }
+
+  /// Probe of an already-computed slot (lets callers that need the slot
+  /// index for partition routing or tracing avoid hashing twice).
+  std::optional<std::uint32_t> probe_slot(std::size_t slot,
+                                          std::uint32_t entry_id,
+                                          std::uint64_t address) const {
+    const std::uint32_t r = result_idx_[slot];
+    if (r == kEmpty) return std::nullopt;
+    if (id_check_ == IdCheck::kExact) {
+      if (keys_[slot] != pack_key(entry_id, address)) return std::nullopt;
+    } else {
+      if (id8_[slot] != static_cast<std::uint8_t>(entry_id)) {
+        return std::nullopt;
+      }
+    }
+    return r;
+  }
+
+  /// Slot index for a key (used by the parallel engine to route lookups to
+  /// the core owning that table partition, Figure 4).
+  ///
+  /// One SplitMix64 round over the packed key; the displacement strategy
+  /// adds a double-hashing step `(h + d * h2)` with odd `h2` so every
+  /// displacement value permutes the slot space (CHD).
+  std::size_t slot_of(std::uint32_t entry_id, std::uint64_t address) const {
+    const std::uint64_t h = key_hash(entry_id, address, seed_);
+    if (strategy_ == TableStrategy::kSeedSearch) {
+      return static_cast<std::size_t>(h & slot_mask_);
+    }
+    const std::uint32_t d = displacement_[h & bucket_mask_];
+    return displaced_slot(h, d, slot_mask_);
+  }
+
+  std::size_t num_slots() const { return result_idx_.size(); }
+  std::size_t num_entries() const { return num_entries_; }
+  TableStrategy strategy() const { return strategy_; }
+  IdCheck id_check() const { return id_check_; }
+
+  /// Resident bytes of the probe-side structures.
+  std::size_t memory_bytes() const;
+
+  /// Address of the slot array cell for archsim tracing.
+  const void* slot_address(std::size_t slot) const {
+    return &result_idx_[slot];
+  }
+
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  /// Binary (de)serialization; part of the Bolt artifact format.
+  void save(std::ostream& out) const;
+  static RecombinedTable load(std::istream& in);
+
+  /// Throws unless every occupied slot's result index is < pool_size
+  /// (artifact-load validation).
+  void validate_result_indices(std::size_t pool_size) const {
+    for (std::uint32_t r : result_idx_) {
+      if (r != kEmpty && r >= pool_size) {
+        throw std::runtime_error("table: result index out of range");
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t pack_key(std::uint32_t entry_id,
+                                          std::uint64_t address) {
+    // Addresses are < 2^max_table_bits <= 2^63 - entry bits; fold the entry
+    // id into the top bits. Collisions between packed keys of distinct
+    // (id, address) pairs are impossible for address < 2^40, id < 2^24,
+    // which build() validates.
+    return (static_cast<std::uint64_t>(entry_id) << 40) ^ address;
+  }
+
+  static constexpr std::uint64_t key_hash(std::uint32_t entry_id,
+                                          std::uint64_t address,
+                                          std::uint64_t seed) {
+    return util::mix64(pack_key(entry_id, address) ^ seed);
+  }
+
+  static constexpr std::size_t displaced_slot(std::uint64_t h, std::uint32_t d,
+                                              std::uint32_t slot_mask) {
+    const std::uint64_t h2 = (h >> 32) | 1;  // odd => permutes mod 2^k
+    return static_cast<std::size_t>((h + d * h2) & slot_mask);
+  }
+
+  TableStrategy strategy_ = TableStrategy::kDisplacement;
+  IdCheck id_check_ = IdCheck::kExact;
+  std::uint64_t seed_ = 0;
+  std::size_t num_entries_ = 0;
+  std::uint32_t slot_mask_ = 0;
+  std::uint32_t bucket_mask_ = 0;          // displacement only
+  std::vector<std::uint32_t> displacement_;  // displacement only
+  std::vector<std::uint32_t> result_idx_;    // kEmpty when unused
+  std::vector<std::uint64_t> keys_;          // kExact
+  std::vector<std::uint8_t> id8_;            // kByte
+};
+
+}  // namespace bolt::core

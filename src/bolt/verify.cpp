@@ -1,0 +1,158 @@
+#include "bolt/verify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bolt/engine.h"
+#include "util/rng.h"
+
+namespace bolt::core {
+namespace {
+
+/// Distinct split thresholds per feature, ascending.
+std::vector<std::vector<float>> thresholds_by_feature(
+    const forest::Forest& forest) {
+  std::vector<std::vector<float>> by_feature(forest.num_features);
+  for (const auto& tree : forest.trees) {
+    for (const auto& n : tree.nodes()) {
+      if (!n.is_leaf()) by_feature[n.feature].push_back(n.threshold);
+    }
+  }
+  for (auto& v : by_feature) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return by_feature;
+}
+
+/// Representative value for "exactly the first `cut` thresholds are below
+/// x": cut = 0 -> x == lowest threshold (every predicate true);
+/// cut = m -> x above every threshold.
+float representative(const std::vector<float>& thresholds, std::size_t cut) {
+  if (cut == thresholds.size()) return thresholds.back() + 1.0f;
+  // x must satisfy: > thresholds[cut-1] (if any) and <= thresholds[cut].
+  // The threshold itself qualifies (comparisons are <=).
+  return thresholds[cut];
+}
+
+bool votes_equal(std::span<const double> a, std::span<const double> b) {
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    if (std::abs(a[c] - b[c]) > 1e-6) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t feasible_classes(const forest::Forest& forest) {
+  std::uint64_t classes = 1;
+  for (const auto& t : thresholds_by_feature(forest)) {
+    if (t.empty()) continue;
+    const std::uint64_t options = t.size() + 1;
+    if (classes > (~std::uint64_t{0}) / options) return ~std::uint64_t{0};
+    classes *= options;
+  }
+  return classes;
+}
+
+std::optional<VerifyReport> verify_exhaustive(const forest::Forest& forest,
+                                              const BoltForest& artifact,
+                                              std::uint64_t max_classes) {
+  const std::uint64_t classes = feasible_classes(forest);
+  if (classes > max_classes) return std::nullopt;
+
+  const auto by_feature = thresholds_by_feature(forest);
+  std::vector<std::size_t> used;  // features with at least one threshold
+  for (std::size_t f = 0; f < by_feature.size(); ++f) {
+    if (!by_feature[f].empty()) used.push_back(f);
+  }
+
+  BoltEngine engine(artifact);
+  VerifyReport report;
+  report.exhaustive = true;
+
+  // Mixed-radix counter over per-feature cut positions; unused features
+  // are irrelevant to every path, any constant works.
+  std::vector<std::size_t> cuts(used.size(), 0);
+  std::vector<float> x(forest.num_features, 0.0f);
+  for (std::size_t k = 0; k < used.size(); ++k) {
+    x[used[k]] = representative(by_feature[used[k]], 0);
+  }
+
+  std::vector<double> bolt_votes(forest.num_classes);
+  for (;;) {
+    ++report.checked;
+    engine.vote(x, bolt_votes);
+    const auto expected = forest.vote(x);
+    if (!votes_equal(bolt_votes, expected)) {
+      ++report.mismatches;
+      if (!report.counterexample) report.counterexample = x;
+    }
+
+    // Increment the counter.
+    std::size_t k = 0;
+    for (; k < used.size(); ++k) {
+      if (cuts[k] < by_feature[used[k]].size()) {
+        ++cuts[k];
+        x[used[k]] = representative(by_feature[used[k]], cuts[k]);
+        break;
+      }
+      cuts[k] = 0;
+      x[used[k]] = representative(by_feature[used[k]], 0);
+    }
+    if (k == used.size()) break;  // counter wrapped: done
+  }
+  return report;
+}
+
+VerifyReport verify_sampled(const forest::Forest& forest,
+                            const BoltForest& artifact, std::size_t samples,
+                            std::uint64_t seed) {
+  const auto by_feature = thresholds_by_feature(forest);
+  util::Rng rng(seed);
+  BoltEngine engine(artifact);
+  VerifyReport report;
+  report.exhaustive = false;
+
+  std::vector<float> x(forest.num_features);
+  std::vector<double> bolt_votes(forest.num_classes);
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      const auto& t = by_feature[f];
+      switch (rng.below(4)) {
+        case 0:
+          x[f] = static_cast<float>(rng.uniform(-1e4, 1e4));
+          break;
+        case 1:
+          x[f] = t.empty() ? 0.0f : t[rng.below(t.size())];  // exact hit
+          break;
+        case 2:
+          x[f] = t.empty()
+                     ? 1.0f
+                     : t[rng.below(t.size())] +
+                           static_cast<float>(rng.uniform(-0.5, 0.5));
+          break;
+        default:
+          x[f] = static_cast<float>(rng.normal(0.0, 100.0));
+      }
+    }
+    ++report.checked;
+    engine.vote(x, bolt_votes);
+    const auto expected = forest.vote(x);
+    if (!votes_equal(bolt_votes, expected)) {
+      ++report.mismatches;
+      if (!report.counterexample) report.counterexample = x;
+    }
+  }
+  return report;
+}
+
+VerifyReport verify(const forest::Forest& forest, const BoltForest& artifact,
+                    std::size_t fallback_samples) {
+  if (auto exhaustive = verify_exhaustive(forest, artifact)) {
+    return *exhaustive;
+  }
+  return verify_sampled(forest, artifact, fallback_samples);
+}
+
+}  // namespace bolt::core

@@ -1,0 +1,59 @@
+// Equivalence verification: proves (or refutes with a counterexample) that
+// a Bolt artifact classifies identically to its source forest.
+//
+// The paper defines safety as "transformations preserve classification
+// results for all inputs" (footnote 1). Sampling can only ever check some
+// inputs; this verifier can check ALL of them. Key observation: a forest's
+// behaviour depends on the input only through the predicate bit vector,
+// and the feasible bit vectors form a small structured set — within one
+// input feature, predicates sorted by ascending threshold can only take
+// "staircase" values 0^k 1^(m-k) (if x <= t then x <= t' for every
+// t' >= t). So the whole input space partitions into
+// prod_f (num_thresholds_f + 1) equivalence classes, each identified by a
+// cut position per feature. Enumerating them visits every behaviourally
+// distinct input exactly once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bolt/builder.h"
+
+namespace bolt::core {
+
+struct VerifyReport {
+  /// Number of equivalence classes (exhaustive) or samples (sampled) checked.
+  std::uint64_t checked = 0;
+  std::uint64_t mismatches = 0;
+  /// True when every feasible input region was covered (exhaustive mode).
+  bool exhaustive = false;
+  /// A witness input for the first mismatch, if any.
+  std::optional<std::vector<float>> counterexample;
+
+  bool ok() const { return mismatches == 0; }
+};
+
+/// Number of feasible predicate-assignment classes of `forest`'s predicate
+/// space: prod over features of (distinct thresholds + 1).
+std::uint64_t feasible_classes(const forest::Forest& forest);
+
+/// Exhaustively verifies vote equivalence over every feasible input class.
+/// Refuses (returns nullopt) if the class count exceeds `max_classes`;
+/// fall back to verify_sampled then.
+std::optional<VerifyReport> verify_exhaustive(
+    const forest::Forest& forest, const BoltForest& artifact,
+    std::uint64_t max_classes = 1ull << 22);
+
+/// Randomized verification over `samples` adversarial inputs (mixture of
+/// uniform, extreme, and exact-threshold values).
+VerifyReport verify_sampled(const forest::Forest& forest,
+                            const BoltForest& artifact, std::size_t samples,
+                            std::uint64_t seed = 1);
+
+/// Convenience: exhaustive when tractable, sampled otherwise.
+VerifyReport verify(const forest::Forest& forest, const BoltForest& artifact,
+                    std::size_t fallback_samples = 20000);
+
+}  // namespace bolt::core

@@ -1,0 +1,103 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bolt::data {
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+float parse_float(const std::string& s) {
+  // std::from_chars<float> is available on GCC 12; fall back through stof
+  // would lose locale independence.
+  float v = 0.0f;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto res = std::from_chars(begin, end, v);
+  if (res.ec != std::errc{}) {
+    throw std::runtime_error("csv: cannot parse number '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_csv(const Dataset& ds, std::ostream& out) {
+  for (std::size_t f = 0; f < ds.num_features(); ++f) {
+    if (f < ds.feature_names().size() && !ds.feature_names()[f].empty()) {
+      out << ds.feature_names()[f];
+    } else {
+      out << 'f' << f;
+    }
+    out << ',';
+  }
+  out << "label\n";
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    const auto row = ds.row(i);
+    for (float v : row) out << v << ',';
+    out << ds.label(i) << '\n';
+  }
+}
+
+void write_csv_file(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot open " + path);
+  write_csv(ds, out);
+}
+
+Dataset read_csv(std::istream& in, std::size_t num_classes) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("csv: empty input");
+  const auto header = split_line(line);
+  if (header.empty() || header.back() != "label") {
+    throw std::runtime_error("csv: last column must be 'label'");
+  }
+  const std::size_t nf = header.size() - 1;
+
+  std::vector<float> row(nf);
+  std::vector<std::pair<std::vector<float>, int>> rows;
+  int max_label = -1;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_line(line);
+    if (cells.size() != nf + 1) {
+      throw std::runtime_error("csv: ragged row");
+    }
+    for (std::size_t f = 0; f < nf; ++f) row[f] = parse_float(cells[f]);
+    const int label = static_cast<int>(parse_float(cells[nf]));
+    max_label = std::max(max_label, label);
+    rows.emplace_back(row, label);
+  }
+  if (num_classes == 0) num_classes = static_cast<std::size_t>(max_label) + 1;
+
+  Dataset ds(nf, num_classes);
+  ds.reserve(rows.size());
+  for (std::size_t f = 0; f < nf; ++f) ds.feature_names().push_back(header[f]);
+  for (const auto& [x, y] : rows) ds.add_row(x, y);
+  return ds;
+}
+
+Dataset read_csv_file(const std::string& path, std::size_t num_classes) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  return read_csv(in, num_classes);
+}
+
+}  // namespace bolt::data

@@ -1,0 +1,22 @@
+// Minimal CSV load/save for Dataset so users can bring real data (e.g. the
+// actual MNIST/LSTW/Yelp extracts) instead of the synthetic generators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace bolt::data {
+
+/// Writes `ds` as CSV: header row (feature names or f0..fN, then "label"),
+/// then one row per sample.
+void write_csv(const Dataset& ds, std::ostream& out);
+void write_csv_file(const Dataset& ds, const std::string& path);
+
+/// Reads a CSV produced by write_csv (or any numeric CSV whose last column
+/// is an integer class label). `num_classes` of 0 means "infer from data".
+Dataset read_csv(std::istream& in, std::size_t num_classes = 0);
+Dataset read_csv_file(const std::string& path, std::size_t num_classes = 0);
+
+}  // namespace bolt::data

@@ -1,0 +1,50 @@
+#include "data/dataset.h"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace bolt::data {
+
+void Dataset::add_row(std::span<const float> x, int label) {
+  if (x.size() != num_features_) {
+    throw std::invalid_argument("Dataset::add_row: feature arity mismatch");
+  }
+  if (label < 0 || static_cast<std::size_t>(label) >= num_classes_) {
+    throw std::invalid_argument("Dataset::add_row: label out of range");
+  }
+  features_.insert(features_.end(), x.begin(), x.end());
+  labels_.push_back(label);
+}
+
+void Dataset::reserve(std::size_t rows) {
+  features_.reserve(rows * num_features_);
+  labels_.reserve(rows);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           std::uint64_t seed) const {
+  std::vector<std::size_t> order(num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(seed);
+  rng.shuffle(order);
+  const auto cut = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(order.size()));
+  std::span<const std::size_t> all(order);
+  return {take(all.subspan(0, cut)), take(all.subspan(cut))};
+}
+
+Dataset Dataset::take(std::span<const std::size_t> indices) const {
+  Dataset out(num_features_, num_classes_);
+  out.feature_names_ = feature_names_;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    assert(i < num_rows());
+    out.add_row(row(i), labels_[i]);
+  }
+  return out;
+}
+
+}  // namespace bolt::data

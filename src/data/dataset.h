@@ -1,0 +1,63 @@
+// In-memory dataset container shared by trainers, engines and benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bolt::data {
+
+/// A dense, row-major labeled dataset: float features + integer class labels.
+///
+/// All of the paper's workloads are classification (Yelp star ratings are
+/// treated as five classes, as in the paper's evaluation), so labels are
+/// class indices in [0, num_classes).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::size_t num_features, std::size_t num_classes)
+      : num_features_(num_features), num_classes_(num_classes) {}
+
+  std::size_t num_rows() const { return labels_.size(); }
+  std::size_t num_features() const { return num_features_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+  std::span<const float> row(std::size_t i) const {
+    return {features_.data() + i * num_features_, num_features_};
+  }
+  int label(std::size_t i) const { return labels_[i]; }
+
+  /// Appends a row; `x.size()` must equal num_features().
+  void add_row(std::span<const float> x, int label);
+
+  /// Reserve storage for `rows` rows.
+  void reserve(std::size_t rows);
+
+  const std::vector<float>& raw_features() const { return features_; }
+  const std::vector<int>& raw_labels() const { return labels_; }
+
+  std::vector<std::string>& feature_names() { return feature_names_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Splits into (train, test) with the first `train_fraction` of a
+  /// deterministic shuffled order going to train.
+  std::pair<Dataset, Dataset> split(double train_fraction,
+                                    std::uint64_t seed = 17) const;
+
+  /// Returns a dataset with the rows at `indices` (with repetition allowed —
+  /// this is how the forest trainer takes bootstrap samples).
+  Dataset take(std::span<const std::size_t> indices) const;
+
+ private:
+  std::size_t num_features_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<float> features_;
+  std::vector<int> labels_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace bolt::data

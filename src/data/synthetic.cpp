@@ -1,0 +1,205 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bolt::data {
+namespace {
+
+constexpr int kMnistSide = 28;
+constexpr std::size_t kMnistFeatures = kMnistSide * kMnistSide;
+
+/// A digit prototype: a set of strokes, each a thick line segment in the
+/// 28x28 grid. Class k gets a distinct deterministic stroke pattern.
+struct Stroke {
+  float x0, y0, x1, y1, thickness;
+};
+
+std::vector<Stroke> prototype_strokes(int digit, util::Rng& rng) {
+  // 2–4 strokes arranged deterministically per class, with class-specific
+  // geometry so classes are separable but overlapping enough to need
+  // several pixel tests.
+  std::vector<Stroke> strokes;
+  const int n = 2 + digit % 3;
+  for (int s = 0; s < n; ++s) {
+    const float cx = 6.0f + 16.0f * static_cast<float>(rng.uniform());
+    const float cy = 6.0f + 16.0f * static_cast<float>(rng.uniform());
+    const float angle = static_cast<float>(
+        (digit * 37 + s * 101) % 360 * std::numbers::pi / 180.0);
+    const float len = 6.0f + 6.0f * static_cast<float>(rng.uniform());
+    strokes.push_back({cx - len * std::cos(angle) / 2,
+                       cy - len * std::sin(angle) / 2,
+                       cx + len * std::cos(angle) / 2,
+                       cy + len * std::sin(angle) / 2,
+                       1.2f + 1.3f * static_cast<float>(rng.uniform())});
+  }
+  return strokes;
+}
+
+void render_strokes(const std::vector<Stroke>& strokes, float dx, float dy,
+                    std::vector<float>& img) {
+  std::fill(img.begin(), img.end(), 0.0f);
+  for (const Stroke& st : strokes) {
+    const float x0 = st.x0 + dx, y0 = st.y0 + dy;
+    const float x1 = st.x1 + dx, y1 = st.y1 + dy;
+    const int steps = 24;
+    for (int i = 0; i <= steps; ++i) {
+      const float t = static_cast<float>(i) / steps;
+      const float px = x0 + (x1 - x0) * t;
+      const float py = y0 + (y1 - y0) * t;
+      const int lo_y = std::max(0, static_cast<int>(py - st.thickness));
+      const int hi_y =
+          std::min(kMnistSide - 1, static_cast<int>(py + st.thickness));
+      const int lo_x = std::max(0, static_cast<int>(px - st.thickness));
+      const int hi_x =
+          std::min(kMnistSide - 1, static_cast<int>(px + st.thickness));
+      for (int y = lo_y; y <= hi_y; ++y) {
+        for (int x = lo_x; x <= hi_x; ++x) {
+          const float d2 = (static_cast<float>(x) - px) * (static_cast<float>(x) - px) +
+                           (static_cast<float>(y) - py) * (static_cast<float>(y) - py);
+          if (d2 <= st.thickness * st.thickness) {
+            img[static_cast<std::size_t>(y) * kMnistSide + x] = 255.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_mnist(std::size_t rows, std::uint64_t seed) {
+  Dataset ds(kMnistFeatures, 10);
+  ds.reserve(rows);
+  util::Rng proto_rng(seed * 7919 + 11);
+  std::array<std::vector<Stroke>, 10> prototypes;
+  for (int d = 0; d < 10; ++d) prototypes[d] = prototype_strokes(d, proto_rng);
+
+  util::Rng rng(seed);
+  std::vector<float> img(kMnistFeatures);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int digit = static_cast<int>(rng.below(10));
+    const float dx = static_cast<float>(rng.normal(0.0, 1.2));
+    const float dy = static_cast<float>(rng.normal(0.0, 1.2));
+    render_strokes(prototypes[digit], dx, dy, img);
+    // Per-pixel sensor noise plus salt-and-pepper speckle; pixels are
+    // rounded to whole byte values, as in the real MNIST images.
+    for (float& p : img) {
+      p = std::clamp(p + static_cast<float>(rng.normal(0.0, 12.0)), 0.0f, 255.0f);
+      if (rng.bernoulli(0.002)) p = 255.0f - p;
+      p = std::round(p);
+    }
+    ds.add_row(img, digit);
+  }
+  return ds;
+}
+
+Dataset make_synth_lstw(std::size_t rows, std::uint64_t seed) {
+  // 11 features, mirroring LSTW's mixed numeric/categorical schema.
+  Dataset ds(11, 4);
+  ds.feature_names() = {"latitude",   "longitude",  "hour",      "weekday",
+                        "weather",    "temperature", "precip",   "visibility",
+                        "road_type",  "congestion", "event_flag"};
+  ds.reserve(rows);
+  util::Rng rng(seed);
+  std::vector<float> x(11);
+  for (std::size_t i = 0; i < rows; ++i) {
+    // Coordinates are stored shifted to [0, 180] — the paper's §5 shift
+    // that lets the full range fit in one byte.
+    x[0] = static_cast<float>(rng.uniform(0.0, 180.0));
+    x[1] = static_cast<float>(rng.uniform(0.0, 360.0));
+    x[2] = static_cast<float>(rng.below(24));            // hour
+    x[3] = static_cast<float>(rng.below(7));             // weekday
+    x[4] = static_cast<float>(rng.below(6));             // weather code
+    x[5] = static_cast<float>(rng.uniform(-20.0, 45.0)); // temperature C
+    x[6] = static_cast<float>(std::max(0.0, rng.normal(1.0, 2.0)));  // precip
+    x[7] = static_cast<float>(rng.uniform(0.0, 10.0));   // visibility
+    x[8] = static_cast<float>(rng.below(4));             // road type
+    x[9] = static_cast<float>(rng.uniform(0.0, 1.0));    // congestion hist
+    x[10] = rng.bernoulli(0.1) ? 1.0f : 0.0f;            // event flag
+
+    // Noisy severity rules: rush hour + bad weather + low visibility push
+    // severity up; highways amplify.
+    double score = 0.0;
+    const bool rush = (x[2] >= 7 && x[2] <= 9) || (x[2] >= 16 && x[2] <= 18);
+    if (rush && x[3] < 5) score += 1.2;
+    if (x[4] >= 4) score += 1.0;             // snow/storm codes
+    if (x[6] > 3.0f) score += 0.8;
+    if (x[7] < 2.0f) score += 1.0;
+    if (x[8] == 3) score *= 1.4;             // highway
+    score += x[9] * 1.5;
+    if (x[10] > 0.5f) score += 0.7;
+    score += rng.normal(0.0, 0.35);
+    int label = 0;
+    if (score > 1.0) label = 1;
+    if (score > 2.0) label = 2;
+    if (score > 3.0) label = 3;
+    ds.add_row(x, label);
+  }
+  return ds;
+}
+
+Dataset make_synth_yelp(std::size_t rows, std::uint64_t seed) {
+  constexpr std::size_t kVocab = 1500;
+  Dataset ds(kVocab, 5);
+  ds.reserve(rows);
+  util::Rng rng(seed);
+
+  // Deterministic sentiment assignment. The first 40 vocabulary slots are
+  // *frequent* sentiment terms (real BoW extracts keep "good"/"bad"-class
+  // words near the top of the frequency-ranked vocabulary); beyond them,
+  // ~10% strongly positive, ~10% strongly negative, the rest neutral
+  // filler.
+  constexpr std::size_t kFrequentTerms = 40;
+  std::vector<float> sentiment(kVocab);
+  util::Rng srng(seed * 131 + 7);
+  for (std::size_t w = 0; w < kVocab; ++w) {
+    if (w < kFrequentTerms) {
+      sentiment[w] = (w % 2 == 0) ? 1.0f : -1.0f;
+      continue;
+    }
+    const double u = srng.uniform();
+    sentiment[w] = u < 0.1 ? 1.0f : (u < 0.2 ? -1.0f : 0.0f);
+  }
+
+  std::vector<float> x(kVocab);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int stars = static_cast<int>(rng.below(5));  // 0..4 == 1..5 stars
+    const double positivity = (stars - 2) / 2.0;       // -1 .. +1
+    std::fill(x.begin(), x.end(), 0.0f);
+    // Frequent sentiment terms: appearance probability and repeat count
+    // track the review's polarity, as with real high-frequency terms.
+    for (std::size_t w = 0; w < kFrequentTerms; ++w) {
+      const double match = sentiment[w] * positivity;  // -1 .. +1
+      if (rng.bernoulli(0.35 + 0.3 * match)) {
+        x[w] += static_cast<float>(1 + rng.poisson(0.4 + std::max(0.0, match)));
+      }
+    }
+    // Review length ~ 40 distinct words out of the 1500-term vocabulary.
+    const int terms = 25 + static_cast<int>(rng.below(30));
+    for (int t = 0; t < terms; ++t) {
+      std::size_t w = rng.below(kVocab);
+      // Bias word choice toward the review's sentiment: contrary words are
+      // mostly resampled away, aligned sentiment words repeat (people pile
+      // on "great ... great ... amazing" or "awful ... terrible").
+      int tries = 3;
+      while (sentiment[w] * positivity < 0 && tries-- > 0 &&
+             rng.bernoulli(0.85)) {
+        w = rng.below(kVocab);
+      }
+      float count = static_cast<float>(1 + rng.poisson(0.3));
+      if (sentiment[w] * positivity > 0) {
+        count += static_cast<float>(1 + rng.poisson(std::abs(positivity)));
+      }
+      x[w] += count;
+    }
+    ds.add_row(x, stars);
+  }
+  return ds;
+}
+
+}  // namespace bolt::data

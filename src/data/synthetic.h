@@ -1,0 +1,34 @@
+// Synthetic stand-ins for the paper's three public datasets (MNIST, LSTW,
+// Yelp). See DESIGN.md §3 for the substitution rationale: Bolt's costs are
+// driven by forest *shape* (path counts, predicate reuse, feature arity),
+// which these generators induce with the same dimensionality and class
+// structure as the real data. All generators are fully deterministic given
+// the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace bolt::data {
+
+/// MNIST-like digit recognition: 28x28 = 784 pixel features in [0, 255],
+/// 10 classes. Each class is a blob/stroke prototype; samples add jitter,
+/// per-pixel noise, and random translation, so trees must combine several
+/// pixel tests to classify — as with real MNIST.
+Dataset make_synth_mnist(std::size_t rows, std::uint64_t seed = 1);
+
+/// LSTW-like traffic/weather assessment: 11 heterogeneous features
+/// (latitude/longitude, time-of-day, weekday, weather code, temperature,
+/// precipitation, visibility, road type, congestion history, event flag);
+/// 4 severity classes produced by a noisy rule set, so shallow trees are
+/// accurate — matching the paper's observation that LSTW favours shallow
+/// forests.
+Dataset make_synth_lstw(std::size_t rows, std::uint64_t seed = 2);
+
+/// Yelp-like review stars: 1500 bag-of-words count features (sparse,
+/// non-negative small integers), 5 classes (stars 1..5 mapped to 0..4).
+/// Counts are drawn from per-class sentiment-word mixtures.
+Dataset make_synth_yelp(std::size_t rows, std::uint64_t seed = 3);
+
+}  // namespace bolt::data

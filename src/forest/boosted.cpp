@@ -1,0 +1,73 @@
+#include "forest/boosted.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace bolt::forest {
+
+Forest train_boosted(const data::Dataset& ds, const BoostConfig& cfg) {
+  Forest f;
+  f.num_features = ds.num_features();
+  f.num_classes = ds.num_classes();
+
+  const std::size_t n = ds.num_rows();
+  const double k = static_cast<double>(ds.num_classes());
+  std::vector<double> sample_weight(n, 1.0 / static_cast<double>(n));
+
+  TrainConfig tree_cfg;
+  tree_cfg.max_height = cfg.max_height;
+  tree_cfg.max_features = cfg.max_features;
+  tree_cfg.max_thresholds = cfg.max_thresholds;
+
+  util::Rng rng(cfg.seed);
+  for (std::size_t round = 0; round < cfg.num_rounds; ++round) {
+    // Weighted resampling stands in for weighted impurity: draw a bootstrap
+    // sample proportional to current weights (a standard SAMME variant that
+    // lets us reuse the unweighted CART trainer).
+    std::vector<double> cumulative(n);
+    std::partial_sum(sample_weight.begin(), sample_weight.end(),
+                     cumulative.begin());
+    const double total = cumulative.back();
+    std::vector<std::size_t> rows(n);
+    for (auto& r : rows) {
+      const double u = rng.uniform() * total;
+      r = static_cast<std::size_t>(
+          std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+          cumulative.begin());
+      if (r >= n) r = n - 1;
+    }
+
+    DecisionTree tree = train_tree(ds, rows, tree_cfg, rng.next());
+
+    double err = 0.0;
+    std::vector<bool> wrong(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wrong[i] = tree.predict(ds.row(i)) != ds.label(i);
+      if (wrong[i]) err += sample_weight[i];
+    }
+    err = std::clamp(err, 1e-10, 1.0 - 1e-10);
+    const double alpha = std::log((1.0 - err) / err) + std::log(k - 1.0);
+    if (alpha <= 0.0) {
+      // Weak learner no better than chance: stop boosting (standard SAMME
+      // early exit); keep at least one tree.
+      if (!f.trees.empty()) break;
+    }
+
+    f.trees.push_back(std::move(tree));
+    f.weights.push_back(std::max(alpha, 1e-3));
+
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wrong[i]) sample_weight[i] *= std::exp(alpha);
+      norm += sample_weight[i];
+    }
+    for (auto& w : sample_weight) w /= norm;
+  }
+  f.check();
+  return f;
+}
+
+}  // namespace bolt::forest

@@ -1,0 +1,29 @@
+// Boosted tree ensembles with per-tree stage weights.
+//
+// The paper (§5, "Bolt for Complex Forest Structures") notes Bolt supports
+// gradient-boosted forests "by simply adding the corresponding tree weight
+// to each path". We train weighted ensembles with SAMME AdaBoost — a
+// boosting scheme whose model is exactly a weighted-vote forest, which is
+// the structure Bolt consumes.
+#pragma once
+
+#include "data/dataset.h"
+#include "forest/trainer.h"
+#include "forest/tree.h"
+
+namespace bolt::forest {
+
+struct BoostConfig {
+  std::size_t num_rounds = 10;
+  std::size_t max_height = 3;
+  std::size_t max_features = 0;  // 0 = sqrt
+  std::size_t max_thresholds = 32;
+  std::uint64_t seed = 42;
+};
+
+/// Trains a SAMME (multi-class AdaBoost) ensemble. The returned Forest has
+/// per-tree weights = stage weights; Forest::predict aggregates by weighted
+/// vote, and Bolt attaches the weight to every path of the tree.
+Forest train_boosted(const data::Dataset& ds, const BoostConfig& cfg);
+
+}  // namespace bolt::forest

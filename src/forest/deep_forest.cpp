@@ -1,0 +1,102 @@
+#include "forest/deep_forest.h"
+
+#include <cassert>
+
+namespace bolt::forest {
+namespace {
+
+/// Normalized vote fractions of one forest for one sample.
+std::vector<double> vote_fractions(const Forest& f, std::span<const float> x) {
+  std::vector<double> v = f.vote(x);
+  double total = 0.0;
+  for (double c : v) total += c;
+  if (total > 0) {
+    for (double& c : v) c /= total;
+  }
+  return v;
+}
+
+}  // namespace
+
+DeepForest DeepForest::train(const data::Dataset& ds,
+                             const DeepForestConfig& cfg) {
+  DeepForest df;
+  df.num_classes_ = ds.num_classes();
+  df.base_features_ = ds.num_features();
+
+  // Features consumed by the layer currently being trained.
+  data::Dataset current = ds;
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    std::vector<Forest> layer;
+    TrainConfig fc = cfg.forest_cfg;
+    for (std::size_t fi = 0; fi < cfg.forests_per_layer; ++fi) {
+      fc.seed = cfg.forest_cfg.seed + l * 1000 + fi;
+      layer.push_back(train_random_forest(current, fc));
+    }
+
+    const bool last = l + 1 == cfg.num_layers;
+    if (!last) {
+      // Build the augmented dataset for the next layer.
+      const std::size_t aug =
+          cfg.forests_per_layer * ds.num_classes();
+      data::Dataset next(current.num_features() + aug, ds.num_classes());
+      next.reserve(current.num_rows());
+      std::vector<float> row;
+      for (std::size_t i = 0; i < current.num_rows(); ++i) {
+        const auto x = current.row(i);
+        row.assign(x.begin(), x.end());
+        for (const Forest& f : layer) {
+          for (double v : vote_fractions(f, x)) {
+            row.push_back(static_cast<float>(v));
+          }
+        }
+        next.add_row(row, current.label(i));
+      }
+      current = std::move(next);
+    }
+    df.layers_.push_back(std::move(layer));
+  }
+  return df;
+}
+
+std::vector<float> DeepForest::augment(
+    std::span<const float> x,
+    std::span<const std::vector<double>> layer_votes) const {
+  std::vector<float> out(x.begin(), x.end());
+  for (const auto& votes : layer_votes) {
+    double total = 0.0;
+    for (double v : votes) total += v;
+    for (double v : votes) {
+      out.push_back(static_cast<float>(total > 0 ? v / total : 0.0));
+    }
+  }
+  return out;
+}
+
+int DeepForest::predict(std::span<const float> x) const {
+  std::vector<float> features(x.begin(), x.end());
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    std::vector<std::vector<double>> votes;
+    votes.reserve(layers_[l].size());
+    for (const Forest& f : layers_[l]) votes.push_back(f.vote(features));
+    features = augment(features, votes);
+  }
+  // Final layer: sum votes across its forests.
+  std::vector<double> total(num_classes_, 0.0);
+  for (const Forest& f : layers_.back()) {
+    const auto v = f.vote(features);
+    for (std::size_t c = 0; c < total.size(); ++c) total[c] += v[c];
+  }
+  return argmax_class(total);
+}
+
+double DeepForest::accuracy(const data::Dataset& ds) const {
+  if (ds.num_rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    if (predict(ds.row(i)) == ds.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.num_rows());
+}
+
+}  // namespace bolt::forest

@@ -1,0 +1,58 @@
+// Deep forests (gcForest-style cascades, Zhou & Feng 2017).
+//
+// The paper's Figure 15 evaluates two-layer deep forests: "the output of
+// each layer is appended as a feature for subsequent layers" (§4.6). Each
+// cascade layer holds one or more random forests; a layer's per-forest
+// class-vote fractions are appended to the input features of the next
+// layer. Bolt compresses each layer in isolation and runs the dictionaries
+// sequentially (§5).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/trainer.h"
+#include "forest/tree.h"
+
+namespace bolt::forest {
+
+struct DeepForestConfig {
+  std::size_t num_layers = 2;
+  std::size_t forests_per_layer = 1;
+  TrainConfig forest_cfg;
+};
+
+/// A trained cascade. Layer l consumes the original features plus
+/// (forests_per_layer * num_classes) augmented features from layer l-1.
+class DeepForest {
+ public:
+  /// Trains layer by layer: each layer is fitted on the training data
+  /// augmented with the previous layer's outputs.
+  static DeepForest train(const data::Dataset& ds, const DeepForestConfig& cfg);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t base_features() const { return base_features_; }
+
+  /// Forests of one layer (exposed so Bolt can compress each in isolation).
+  const std::vector<Forest>& layer(std::size_t l) const { return layers_[l]; }
+
+  /// Augments `x` with layer-l outputs: returns the feature vector that
+  /// layer l+1 consumes. Exposed so any engine (Bolt or baseline) can drive
+  /// the cascade with its own per-forest vote function.
+  std::vector<float> augment(std::span<const float> x,
+                             std::span<const std::vector<double>> layer_votes) const;
+
+  /// Reference prediction via plain tree traversal at every layer.
+  int predict(std::span<const float> x) const;
+
+  /// Fraction of `ds` classified correctly.
+  double accuracy(const data::Dataset& ds) const;
+
+ private:
+  std::vector<std::vector<Forest>> layers_;
+  std::size_t num_classes_ = 0;
+  std::size_t base_features_ = 0;
+};
+
+}  // namespace bolt::forest

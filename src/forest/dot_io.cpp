@@ -1,0 +1,282 @@
+#include "forest/dot_io.h"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace bolt::forest {
+namespace {
+
+void write_dot_body(const DecisionTree& tree, std::ostream& out) {
+  // Full float precision so a parse round-trip reproduces thresholds
+  // bit-for-bit (9 significant digits always suffice for binary32).
+  out.precision(9);
+  out << "digraph Tree {\n";
+  out << "node [shape=box] ;\n";
+  const auto& nodes = tree.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& n = nodes[i];
+    if (n.is_leaf()) {
+      out << i << " [label=\"class = " << n.leaf_class << "\"] ;\n";
+    } else {
+      out << i << " [label=\"X[" << n.feature << "] <= " << n.threshold
+          << "\"] ;\n";
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& n = nodes[i];
+    if (n.is_leaf()) continue;
+    out << i << " -> " << n.left << " [headlabel=\"True\"] ;\n";
+    out << i << " -> " << n.right << " [headlabel=\"False\"] ;\n";
+  }
+  out << "}\n";
+}
+
+/// Pulls the quoted label out of a node statement; returns false if the
+/// line is not a node statement.
+bool extract_label(const std::string& line, long& id, std::string& label) {
+  const std::size_t bracket = line.find('[');
+  if (bracket == std::string::npos) return false;
+  if (line.find("->") != std::string::npos) return false;
+  const std::string head = line.substr(0, bracket);
+  const auto first = head.find_first_not_of(" \t");
+  if (first == std::string::npos) return false;
+  const char* begin = head.data() + first;
+  const char* end = head.data() + head.size();
+  const auto res = std::from_chars(begin, end, id);
+  if (res.ec != std::errc{}) return false;
+  const std::size_t lpos = line.find("label=\"", bracket);
+  if (lpos == std::string::npos) return false;
+  const std::size_t start = lpos + 7;
+  const std::size_t stop = line.find('"', start);
+  if (stop == std::string::npos) return false;
+  label = line.substr(start, stop - start);
+  return true;
+}
+
+bool extract_edge(const std::string& line, long& from, long& to, bool& is_true_edge) {
+  const std::size_t arrow = line.find("->");
+  if (arrow == std::string::npos) return false;
+  {
+    const std::string head = line.substr(0, arrow);
+    const auto first = head.find_first_not_of(" \t");
+    if (first == std::string::npos) return false;
+    if (std::from_chars(head.data() + first, head.data() + head.size(), from)
+            .ec != std::errc{}) {
+      return false;
+    }
+  }
+  {
+    std::size_t p = arrow + 2;
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+    if (std::from_chars(line.data() + p, line.data() + line.size(), to).ec !=
+        std::errc{}) {
+      return false;
+    }
+  }
+  is_true_edge = line.find("True") != std::string::npos;
+  return true;
+}
+
+DecisionTree parse_one_digraph(std::istream& in) {
+  // Maps original node IDs to parsed descriptions, then renumbers into a
+  // dense array with the root (the node that is never a target) at 0.
+  struct Parsed {
+    bool leaf = false;
+    int feature = -1;
+    float threshold = 0.0f;
+    int leaf_class = -1;
+    long true_child = -1;
+    long false_child = -1;
+    int edges_seen = 0;
+  };
+  std::map<long, Parsed> parsed;
+  std::map<long, bool> is_target;
+
+  std::string line;
+  bool in_graph = false;
+  while (std::getline(in, line)) {
+    if (!in_graph) {
+      if (line.find("digraph") != std::string::npos) in_graph = true;
+      continue;
+    }
+    if (line.find('}') != std::string::npos) break;
+
+    long id = 0;
+    std::string label;
+    if (extract_label(line, id, label)) {
+      Parsed& p = parsed[id];
+      // Only the first label line matters; sklearn packs gini/samples/value
+      // into the same label with \n separators, so look at the first chunk.
+      const std::string first_line = label.substr(0, label.find("\\n"));
+      if (first_line.rfind("class", 0) == 0) {
+        p.leaf = true;
+        const std::size_t eq = first_line.find('=');
+        p.leaf_class = std::stoi(first_line.substr(eq + 1));
+      } else if (first_line.rfind("X[", 0) == 0) {
+        const std::size_t close = first_line.find(']');
+        p.feature = std::stoi(first_line.substr(2, close - 2));
+        const std::size_t le = first_line.find("<=");
+        p.threshold = std::stof(first_line.substr(le + 2));
+      } else {
+        // sklearn may emit leaves labeled "gini = ...\nclass = y_k"; look
+        // for a class chunk anywhere in the label.
+        const std::size_t cpos = label.find("class");
+        if (cpos != std::string::npos) {
+          const std::size_t eq = label.find('=', cpos);
+          p.leaf = true;
+          // Accept "class = y_3" (sklearn class_names) or "class = 3".
+          std::size_t digit = eq + 1;
+          while (digit < label.size() && !isdigit(label[digit])) ++digit;
+          p.leaf_class = std::stoi(label.substr(digit));
+        } else {
+          throw std::runtime_error("dot: unrecognized node label: " + label);
+        }
+      }
+      continue;
+    }
+
+    long from = 0, to = 0;
+    bool true_edge = false;
+    if (extract_edge(line, from, to, true_edge)) {
+      Parsed& p = parsed[from];
+      is_target[to] = true;
+      // sklearn only labels the first two edges (True/False headlabels) of
+      // the root; later edges are unlabeled but ordered left-then-right.
+      if (true_edge || p.edges_seen == 0) {
+        p.true_child = to;
+      } else {
+        p.false_child = to;
+      }
+      if (!true_edge && p.edges_seen == 0 &&
+          line.find("False") != std::string::npos) {
+        p.true_child = -1;
+        p.false_child = to;
+      }
+      ++p.edges_seen;
+    }
+  }
+  if (parsed.empty()) throw std::runtime_error("dot: no nodes parsed");
+
+  long root = -1;
+  for (const auto& [id, p] : parsed) {
+    if (!is_target.count(id)) {
+      root = id;
+      break;
+    }
+  }
+  if (root < 0) throw std::runtime_error("dot: no root (cycle?)");
+
+  std::vector<TreeNode> nodes;
+  nodes.reserve(parsed.size());
+  // Renumber via explicit DFS stack that patches parent links after
+  // children are allocated.
+  struct Frame {
+    long orig;
+    std::int32_t slot;
+  };
+  std::vector<Frame> stack;
+  nodes.emplace_back();
+  stack.push_back({root, 0});
+  while (!stack.empty()) {
+    const Frame fr = stack.back();
+    stack.pop_back();
+    const Parsed& p = parsed.at(fr.orig);
+    TreeNode& n = nodes[fr.slot];
+    if (p.leaf) {
+      n.feature = TreeNode::kLeaf;
+      n.leaf_class = p.leaf_class;
+      continue;
+    }
+    if (p.true_child < 0 || p.false_child < 0) {
+      throw std::runtime_error("dot: internal node missing a child");
+    }
+    n.feature = p.feature;
+    n.threshold = p.threshold;
+    const auto li = static_cast<std::int32_t>(nodes.size());
+    nodes.emplace_back();
+    const auto ri = static_cast<std::int32_t>(nodes.size());
+    nodes.emplace_back();
+    nodes[fr.slot].left = li;
+    nodes[fr.slot].right = ri;
+    stack.push_back({p.true_child, li});
+    stack.push_back({p.false_child, ri});
+  }
+  DecisionTree tree(std::move(nodes));
+  tree.check();
+  return tree;
+}
+
+}  // namespace
+
+void write_dot(const DecisionTree& tree, std::ostream& out) {
+  write_dot_body(tree, out);
+}
+
+std::string to_dot(const DecisionTree& tree) {
+  std::ostringstream ss;
+  write_dot(tree, ss);
+  return ss.str();
+}
+
+DecisionTree read_dot(std::istream& in) { return parse_one_digraph(in); }
+
+DecisionTree parse_dot(const std::string& text) {
+  std::istringstream ss(text);
+  return read_dot(ss);
+}
+
+void write_forest_dot(const Forest& forest, std::ostream& out) {
+  out << "// bolt-forest num_features=" << forest.num_features
+      << " num_classes=" << forest.num_classes << " trees="
+      << forest.trees.size() << "\n// weights=";
+  for (std::size_t t = 0; t < forest.weights.size(); ++t) {
+    if (t) out << ',';
+    out << forest.weights[t];
+  }
+  out << "\n";
+  for (const DecisionTree& t : forest.trees) {
+    write_dot_body(t, out);
+    out << "\n";
+  }
+}
+
+Forest read_forest_dot(std::istream& in) {
+  Forest f;
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("// bolt-forest", 0) != 0) {
+    throw std::runtime_error("dot: missing forest header");
+  }
+  std::size_t trees = 0;
+  {
+    std::istringstream ss(line.substr(15));
+    std::string kv;
+    while (ss >> kv) {
+      const std::size_t eq = kv.find('=');
+      const std::string key = kv.substr(0, eq);
+      const std::string val = kv.substr(eq + 1);
+      if (key == "num_features") f.num_features = std::stoul(val);
+      if (key == "num_classes") f.num_classes = std::stoul(val);
+      if (key == "trees") trees = std::stoul(val);
+    }
+  }
+  if (!std::getline(in, line) || line.rfind("// weights=", 0) != 0) {
+    throw std::runtime_error("dot: missing weights header");
+  }
+  {
+    std::istringstream ss(line.substr(11));
+    std::string w;
+    while (std::getline(ss, w, ',')) f.weights.push_back(std::stod(w));
+  }
+  for (std::size_t t = 0; t < trees; ++t) {
+    f.trees.push_back(parse_one_digraph(in));
+  }
+  if (f.weights.size() != f.trees.size()) {
+    throw std::runtime_error("dot: weights/trees mismatch");
+  }
+  f.check();
+  return f;
+}
+
+}  // namespace bolt::forest

@@ -1,0 +1,34 @@
+// DOT (Graphviz) import/export for decision trees.
+//
+// The paper's toolchain converts each Scikit-Learn tree to a DOT file and
+// Bolt's tools extract root-to-leaf paths from those files (§5). We emit
+// the same `X[f] <= t` node-label dialect sklearn.tree.export_graphviz
+// uses, and the importer accepts files in that dialect, so a forest trained
+// with real Scikit-Learn can be fed to this implementation unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "forest/tree.h"
+
+namespace bolt::forest {
+
+/// Writes one tree as a DOT digraph. Internal nodes are labeled
+/// "X[f] <= t", leaves "class = c"; left edges carry headlabel "True".
+void write_dot(const DecisionTree& tree, std::ostream& out);
+std::string to_dot(const DecisionTree& tree);
+
+/// Parses a DOT digraph in the dialect produced by write_dot /
+/// sklearn.tree.export_graphviz. Node statements may carry extra label
+/// lines (gini/samples/value), which are ignored.
+DecisionTree read_dot(std::istream& in);
+DecisionTree parse_dot(const std::string& text);
+
+/// Writes/reads a whole forest as a directory-free multi-graph stream:
+/// one digraph per tree, separated by blank lines, preceded by a header
+/// comment carrying num_features/num_classes/weights.
+void write_forest_dot(const Forest& forest, std::ostream& out);
+Forest read_forest_dot(std::istream& in);
+
+}  // namespace bolt::forest

@@ -1,0 +1,191 @@
+#include "forest/predicates.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/binio.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace bolt::forest {
+
+PredicateSpace::PredicateSpace(const Forest& forest)
+    : num_features_(forest.num_features) {
+  std::vector<Predicate> all;
+  for (const DecisionTree& t : forest.trees) {
+    for (const TreeNode& n : t.nodes()) {
+      if (!n.is_leaf()) {
+        all.push_back({static_cast<std::uint32_t>(n.feature), n.threshold});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Predicate& a, const Predicate& b) {
+    return a.feature != b.feature ? a.feature < b.feature
+                                  : a.threshold < b.threshold;
+  });
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  predicates_ = std::move(all);
+  build_indexes();
+}
+
+void PredicateSpace::build_indexes() {
+  soa_features_.clear();
+  soa_thresholds_.clear();
+  soa_features_.reserve(predicates_.size());
+  soa_thresholds_.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) {
+    soa_features_.push_back(static_cast<std::int32_t>(p.feature));
+    soa_thresholds_.push_back(p.threshold);
+  }
+
+  used_features_ = 0;
+  feature_offsets_.assign(num_features_ + 1, 0);
+  for (const Predicate& p : predicates_) ++feature_offsets_[p.feature + 1];
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    if (feature_offsets_[f + 1] != 0) ++used_features_;
+    feature_offsets_[f + 1] += feature_offsets_[f];
+  }
+}
+
+void PredicateSpace::save(std::ostream& out) const {
+  util::put(out, static_cast<std::uint64_t>(num_features_));
+  util::put_vec(out, predicates_);
+}
+
+PredicateSpace PredicateSpace::load(std::istream& in) {
+  PredicateSpace space;
+  space.num_features_ = util::get<std::uint64_t>(in);
+  if (space.num_features_ > (1ull << 32)) {
+    throw std::runtime_error("predicate space load: implausible arity");
+  }
+  space.predicates_ = util::get_vec<Predicate>(in);
+  for (const Predicate& p : space.predicates_) {
+    if (p.feature >= space.num_features_) {
+      throw std::runtime_error("predicate space load: feature out of range");
+    }
+  }
+  space.build_indexes();
+  return space;
+}
+
+std::uint32_t PredicateSpace::id_of(std::uint32_t feature,
+                                    float threshold) const {
+  const std::uint32_t lo = feature_offsets_[feature];
+  const std::uint32_t hi = feature_offsets_[feature + 1];
+  const auto begin = predicates_.begin() + lo;
+  const auto end = predicates_.begin() + hi;
+  const auto it =
+      std::lower_bound(begin, end, threshold,
+                       [](const Predicate& p, float t) { return p.threshold < t; });
+  if (it == end || it->threshold != threshold) {
+    throw std::out_of_range("PredicateSpace::id_of: unknown predicate");
+  }
+  return static_cast<std::uint32_t>(it - predicates_.begin());
+}
+
+void PredicateSpace::binarize(std::span<const float> x,
+                              util::BitVector& out) const {
+  if (out.size() != predicates_.size()) out.resize(predicates_.size());
+  std::uint64_t* words = out.words().data();
+  const std::size_t n = predicates_.size();
+
+#if defined(__AVX2__)
+  // Vectorized path: gather 8 input values by predicate feature index,
+  // compare against 8 thresholds, movemask into the bit accumulator —
+  // 8 predicates per iteration, fully branchless.
+  {
+    const std::int32_t* feats = soa_features_.data();
+    const float* thrs = soa_thresholds_.data();
+    std::size_t p = 0;
+    std::size_t w = 0;
+    while (p + 8 <= n) {
+      std::uint64_t acc = 0;
+      const std::size_t lo = p;
+      while (p + 8 <= n && p - lo < 64) {
+        const __m256i idx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(feats + p));
+        const __m256 vals = _mm256_i32gather_ps(x.data(), idx, 4);
+        const __m256 thr = _mm256_loadu_ps(thrs + p);
+        const __m256 cmp = _mm256_cmp_ps(vals, thr, _CMP_LE_OQ);
+        acc |= static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(_mm256_movemask_ps(cmp)))
+               << (p - lo);
+        p += 8;
+      }
+      words[w++] = acc;
+    }
+    // Scalar tail (fewer than 8 predicates remaining in the last word).
+    if (p < n) {
+      std::uint64_t acc = (p % 64 == 0) ? 0 : words[p >> 6];
+      for (; p < n; ++p) {
+        acc |= static_cast<std::uint64_t>(x[feats[p]] <= thrs[p]) << (p & 63);
+      }
+      words[n ? ((n - 1) >> 6) : 0] = acc;
+    }
+    return;
+  }
+#else
+  // Branchless scalar pass, one 64-bit word at a time, with two
+  // interleaved register accumulators to halve the OR dependency chain.
+  const Predicate* preds = predicates_.data();
+  const std::size_t nwords = util::words_for_bits(n);
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const std::size_t lo = w * 64;
+    const std::size_t hi = std::min(n, lo + 64);
+    std::uint64_t acc0 = 0;
+    std::uint64_t acc1 = 0;
+    std::size_t p = lo;
+    for (; p + 1 < hi; p += 2) {
+      acc0 |= static_cast<std::uint64_t>(x[preds[p].feature] <=
+                                         preds[p].threshold)
+              << (p - lo);
+      acc1 |= static_cast<std::uint64_t>(x[preds[p + 1].feature] <=
+                                         preds[p + 1].threshold)
+              << (p + 1 - lo);
+    }
+    if (p < hi) {
+      acc0 |= static_cast<std::uint64_t>(x[preds[p].feature] <=
+                                         preds[p].threshold)
+              << (p - lo);
+    }
+    words[w] = acc0 | acc1;
+  }
+#endif
+}
+
+util::BitVector PredicateSpace::binarize(std::span<const float> x) const {
+  util::BitVector out(predicates_.size());
+  binarize(x, out);
+  return out;
+}
+
+void PredicateSpace::binarize_subset(std::span<const float> x,
+                                     std::span<const std::uint32_t> positions,
+                                     util::BitVector& out) const {
+  if (out.size() != predicates_.size()) out.resize(predicates_.size());
+  const Predicate* preds = predicates_.data();
+  std::uint64_t* words = out.words().data();
+  // Accumulate per 64-bit word in registers; one read-modify-write per
+  // word instead of per predicate.
+  std::size_t k = 0;
+  const std::size_t n = positions.size();
+  while (k < n) {
+    const std::uint32_t w = positions[k] >> 6;
+    std::uint64_t mask = 0;
+    std::uint64_t values = 0;
+    while (k < n && (positions[k] >> 6) == w) {
+      const std::uint32_t p = positions[k];
+      const std::uint64_t bit = std::uint64_t{1} << (p & 63);
+      mask |= bit;
+      values |= static_cast<std::uint64_t>(x[preds[p].feature] <=
+                                           preds[p].threshold)
+                << (p & 63);
+      ++k;
+    }
+    words[w] = (words[w] & ~mask) | values;
+  }
+}
+
+}  // namespace bolt::forest

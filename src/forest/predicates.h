@@ -1,0 +1,85 @@
+// The split-predicate space: the set of distinct (feature, threshold) tests
+// appearing anywhere in a trained forest.
+//
+// The paper models trees as binary: "nodes are features, and edges indicate
+// boolean values associated with a feature and a threshold value" (§4).
+// For numeric forests this is realized by treating every distinct split
+// test `x[f] <= t` as one boolean predicate. An input sample is binarized
+// once into a bit vector over this space; every Bolt structure (paths,
+// dictionary masks, lookup addresses) then operates on predicate bits only.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "forest/tree.h"
+#include "util/bits.h"
+
+namespace bolt::forest {
+
+/// One boolean predicate: `x[feature] <= threshold`.
+struct Predicate {
+  std::uint32_t feature;
+  float threshold;
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+};
+
+/// The deduplicated, ordered predicate space of a forest plus fast lookup
+/// from tree nodes to predicate IDs.
+class PredicateSpace {
+ public:
+  /// Scans every internal node of `forest` and assigns each distinct
+  /// (feature, threshold) a dense predicate ID. Predicates are ordered by
+  /// (feature, threshold), so all tests of one input feature are adjacent —
+  /// this keeps binarization cache-friendly and lets thresholds of a
+  /// feature be evaluated with one pass.
+  explicit PredicateSpace(const Forest& forest);
+
+  std::size_t size() const { return predicates_.size(); }
+  const Predicate& predicate(std::size_t id) const { return predicates_[id]; }
+  std::span<const Predicate> predicates() const { return predicates_; }
+
+  /// Predicate ID of a (feature, threshold) pair; the pair must exist.
+  std::uint32_t id_of(std::uint32_t feature, float threshold) const;
+
+  /// Binarizes a sample: bit p is set iff x[f_p] <= t_p. This is the single
+  /// O(|P|) pass each engine performs before any dictionary work.
+  void binarize(std::span<const float> x, util::BitVector& out) const;
+  util::BitVector binarize(std::span<const float> x) const;
+
+  /// Evaluates only the predicates in `positions` (ascending, deduplicated)
+  /// into `out`. Used by the partitioned engine: a core whose dictionary
+  /// partition touches a subset of the predicate space encodes only that
+  /// subset (other bits of `out` are left untouched).
+  void binarize_subset(std::span<const float> x,
+                       std::span<const std::uint32_t> positions,
+                       util::BitVector& out) const;
+
+  /// Number of distinct input features that appear in any predicate.
+  std::size_t num_used_features() const { return used_features_; }
+
+  /// Binary (de)serialization; part of the Bolt artifact format.
+  void save(std::ostream& out) const;
+  static PredicateSpace load(std::istream& in);
+
+ private:
+  PredicateSpace() = default;
+  /// Rebuilds SoA mirrors and CSR indexes from predicates_/num_features_.
+  void build_indexes();
+
+  std::vector<Predicate> predicates_;
+  // Structure-of-arrays mirror of predicates_ for the vectorized
+  // (gather/compare/movemask) binarization path.
+  std::vector<std::int32_t> soa_features_;
+  std::vector<float> soa_thresholds_;
+  // CSR-style index: for each input feature, the contiguous range of its
+  // predicate IDs (predicates are sorted by feature then threshold).
+  std::vector<std::uint32_t> feature_offsets_;
+  std::size_t num_features_ = 0;
+  std::size_t used_features_ = 0;
+};
+
+}  // namespace bolt::forest

@@ -1,0 +1,119 @@
+#include "forest/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/bits.h"
+
+namespace bolt::forest {
+
+FeatureQuantizer FeatureQuantizer::fit(const data::Dataset& ds) {
+  FeatureQuantizer q;
+  q.channels_.resize(ds.num_features());
+  std::vector<float> lo(ds.num_features(), std::numeric_limits<float>::max());
+  std::vector<float> hi(ds.num_features(), std::numeric_limits<float>::lowest());
+  std::vector<bool> integral(ds.num_features(), true);
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    const auto row = ds.row(i);
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      lo[f] = std::min(lo[f], row[f]);
+      hi[f] = std::max(hi[f], row[f]);
+      if (row[f] != std::floor(row[f])) integral[f] = false;
+    }
+  }
+  for (std::size_t f = 0; f < ds.num_features(); ++f) {
+    Channel& c = q.channels_[f];
+    if (ds.num_rows() == 0 || hi[f] <= lo[f]) {
+      c = {ds.num_rows() ? lo[f] : 0.0f, 0.0f};  // constant feature -> 0
+      continue;
+    }
+    c.offset = lo[f];
+    if (integral[f] && hi[f] - lo[f] <= 255.0f) {
+      // Pure shift (the paper's [-90,90] -> [0,180] trick): lossless.
+      c.scale = 1.0f;
+    } else {
+      c.scale = 255.0f / (hi[f] - lo[f]);
+    }
+  }
+  return q;
+}
+
+float FeatureQuantizer::quantize_value(std::size_t feature, float x) const {
+  const Channel& c = channels_[feature];
+  const float v = std::round((x - c.offset) * c.scale);
+  return std::clamp(v, 0.0f, 255.0f);
+}
+
+std::vector<float> FeatureQuantizer::apply_row(std::span<const float> x) const {
+  std::vector<float> out(x.size());
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    out[f] = quantize_value(f, x[f]);
+  }
+  return out;
+}
+
+data::Dataset FeatureQuantizer::apply(const data::Dataset& ds) const {
+  data::Dataset out(ds.num_features(), ds.num_classes());
+  out.feature_names() = ds.feature_names();
+  out.reserve(ds.num_rows());
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    out.add_row(apply_row(ds.row(i)), ds.label(i));
+  }
+  return out;
+}
+
+unsigned FeatureQuantizer::value_bits_for(const Forest& forest) {
+  float max_threshold = 0.0f;
+  for (const auto& tree : forest.trees) {
+    for (const auto& n : tree.nodes()) {
+      if (!n.is_leaf()) {
+        max_threshold = std::max(max_threshold, std::abs(n.threshold));
+      }
+    }
+  }
+  return util::bit_width_for(static_cast<std::uint64_t>(
+      std::ceil(std::max(1.0f, max_threshold))));
+}
+
+QuantizedForest quantize_forest(const Forest& forest,
+                                const FeatureQuantizer& quantizer,
+                                const data::Dataset& reference) {
+  QuantizedForest out;
+  out.forest = forest;
+
+  for (auto& tree : out.forest.trees) {
+    for (auto& node : tree.nodes()) {
+      if (node.is_leaf()) continue;
+      // Quantized values of reference data on each side of the raw split.
+      float left_max = std::numeric_limits<float>::lowest();
+      float right_min = std::numeric_limits<float>::max();
+      for (std::size_t i = 0; i < reference.num_rows(); ++i) {
+        const float raw = reference.row(i)[node.feature];
+        const float q = quantizer.quantize_value(node.feature, raw);
+        if (raw <= node.threshold) {
+          left_max = std::max(left_max, q);
+        } else {
+          right_min = std::min(right_min, q);
+        }
+      }
+      if (left_max == std::numeric_limits<float>::lowest()) {
+        // Nothing on the left in the reference: the most conservative
+        // quantized threshold is just below the right side.
+        left_max = right_min - 1.0f;
+      }
+      if (right_min == std::numeric_limits<float>::max()) {
+        right_min = left_max + 1.0f;
+      }
+      if (left_max >= right_min) {
+        // Quantization collapsed the boundary (resolution loss).
+        out.exact = false;
+        ++out.inexact_splits;
+      }
+      node.threshold = (left_max + right_min) / 2.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace bolt::forest

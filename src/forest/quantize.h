@@ -1,0 +1,72 @@
+// Feature quantization and normalization (paper §5).
+//
+// Bolt's compressed layouts reserve "only enough bits for feature values to
+// represent the maximum value used in a split", and the paper normalizes
+// awkward ranges into byte-friendly ones ("by shifting the scale from
+// [-90, 90] to [0, 180], all of the information can be stored in one byte
+// without losing prediction power"). This module implements that pipeline:
+//   - fit a per-feature affine byte mapping q(x) = round((x - offset) * scale)
+//     clamped to [0, 255] from a dataset;
+//   - apply it to datasets/rows;
+//   - requantize a trained forest's thresholds so that classification over
+//     quantized inputs matches the original forest over raw inputs, with an
+//     explicit exactness check against the fitting data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/tree.h"
+
+namespace bolt::forest {
+
+class FeatureQuantizer {
+ public:
+  struct Channel {
+    float offset = 0.0f;
+    float scale = 1.0f;  // quantized = clamp(round((x - offset) * scale))
+  };
+
+  /// Fits per-feature offsets/scales from the observed min/max. Integral
+  /// features whose range already fits a byte get scale 1 (pure shift, the
+  /// paper's latitude trick); constant features map to 0.
+  static FeatureQuantizer fit(const data::Dataset& ds);
+
+  std::size_t num_features() const { return channels_.size(); }
+  const Channel& channel(std::size_t f) const { return channels_[f]; }
+
+  float quantize_value(std::size_t feature, float x) const;
+  std::vector<float> apply_row(std::span<const float> x) const;
+  /// Quantizes every row; labels and metadata carry over.
+  data::Dataset apply(const data::Dataset& ds) const;
+
+  /// Bits needed to represent every quantized split threshold of `forest`
+  /// — the §5 "largest value used in binary split" statistic that sizes
+  /// dictionary value fields.
+  static unsigned value_bits_for(const Forest& forest);
+
+ private:
+  std::vector<Channel> channels_;
+};
+
+struct QuantizedForest {
+  Forest forest;  // thresholds in quantized space
+  /// True iff, on the fitting dataset, every split separates the quantized
+  /// values exactly as the raw split did — classification of quantized
+  /// rows is then identical to the original forest on raw rows for every
+  /// row of that dataset (and any input whose quantized values match one).
+  bool exact = true;
+  /// Splits whose left/right quantized ranges overlapped (resolution loss).
+  std::size_t inexact_splits = 0;
+};
+
+/// Requantizes a trained forest: each split's new threshold is placed
+/// midway between the largest quantized value on the raw split's left side
+/// and the smallest on its right side, computed over `reference` (pass the
+/// training set). See QuantizedForest::exact.
+QuantizedForest quantize_forest(const Forest& forest,
+                                const FeatureQuantizer& quantizer,
+                                const data::Dataset& reference);
+
+}  // namespace bolt::forest

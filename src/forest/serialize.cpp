@@ -1,0 +1,104 @@
+#include "forest/serialize.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace bolt::forest {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x424f4c54;  // "BOLT"
+constexpr std::uint32_t kVersion = 1;
+
+static_assert(std::endian::native == std::endian::little,
+              "serializer assumes a little-endian host");
+
+template <class T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("forest load: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void save_forest(const Forest& forest, std::ostream& out) {
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint64_t>(forest.num_features));
+  put(out, static_cast<std::uint64_t>(forest.num_classes));
+  put(out, static_cast<std::uint64_t>(forest.trees.size()));
+  for (double w : forest.weights) put(out, w);
+  for (const DecisionTree& t : forest.trees) {
+    put(out, static_cast<std::uint64_t>(t.nodes().size()));
+    for (const TreeNode& n : t.nodes()) {
+      put(out, n.feature);
+      put(out, n.threshold);
+      put(out, n.left);
+      put(out, n.right);
+      put(out, n.leaf_class);
+    }
+  }
+}
+
+void save_forest_file(const Forest& forest, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("forest save: cannot open " + path);
+  save_forest(forest, out);
+}
+
+Forest load_forest(std::istream& in) {
+  if (get<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("forest load: bad magic");
+  }
+  if (get<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("forest load: unsupported version");
+  }
+  Forest f;
+  f.num_features = get<std::uint64_t>(in);
+  f.num_classes = get<std::uint64_t>(in);
+  const auto ntrees = get<std::uint64_t>(in);
+  // Sanity caps so corrupted headers fail fast instead of allocating
+  // per their claimed (arbitrary) sizes.
+  if (ntrees > (1u << 20) || f.num_features > (1ull << 32) ||
+      f.num_classes > (1u << 20)) {
+    throw std::runtime_error("forest load: implausible header");
+  }
+  f.weights.reserve(ntrees);
+  for (std::uint64_t t = 0; t < ntrees; ++t) {
+    f.weights.push_back(get<double>(in));
+  }
+  f.trees.reserve(ntrees);
+  for (std::uint64_t t = 0; t < ntrees; ++t) {
+    const auto nnodes = get<std::uint64_t>(in);
+    if (nnodes > (1u << 26)) {
+      throw std::runtime_error("forest load: implausible tree size");
+    }
+    std::vector<TreeNode> nodes(nnodes);
+    for (auto& n : nodes) {
+      n.feature = get<std::int32_t>(in);
+      n.threshold = get<float>(in);
+      n.left = get<std::int32_t>(in);
+      n.right = get<std::int32_t>(in);
+      n.leaf_class = get<std::int32_t>(in);
+    }
+    f.trees.emplace_back(std::move(nodes));
+  }
+  f.check();
+  return f;
+}
+
+Forest load_forest_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("forest load: cannot open " + path);
+  return load_forest(in);
+}
+
+}  // namespace bolt::forest

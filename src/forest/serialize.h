@@ -1,0 +1,20 @@
+// Compact binary serialization for trained forests (save once, benchmark
+// many times without retraining).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "forest/tree.h"
+
+namespace bolt::forest {
+
+/// Writes `forest` in a versioned little-endian binary format.
+void save_forest(const Forest& forest, std::ostream& out);
+void save_forest_file(const Forest& forest, const std::string& path);
+
+/// Reads a forest written by save_forest; validates structure on load.
+Forest load_forest(std::istream& in);
+Forest load_forest_file(const std::string& path);
+
+}  // namespace bolt::forest

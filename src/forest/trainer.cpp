@@ -1,0 +1,207 @@
+#include "forest/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace bolt::forest {
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  float threshold = 0.0f;
+  double gain = 0.0;
+};
+
+double gini(std::span<const std::size_t> counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+int majority(std::span<const std::size_t> counts) {
+  int best = 0;
+  for (int c = 1; c < static_cast<int>(counts.size()); ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  return best;
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const data::Dataset& ds, const TrainConfig& cfg,
+              std::uint64_t seed)
+      : ds_(ds), cfg_(cfg), rng_(seed) {}
+
+  DecisionTree build(std::span<const std::size_t> rows) {
+    nodes_.clear();
+    std::vector<std::size_t> work(rows.begin(), rows.end());
+    grow(work, 0);
+    return DecisionTree(std::move(nodes_));
+  }
+
+ private:
+  /// Grows a subtree over `rows` at `depth`; returns its node index.
+  std::int32_t grow(std::vector<std::size_t>& rows, std::size_t depth) {
+    std::vector<std::size_t> counts(ds_.num_classes(), 0);
+    for (std::size_t r : rows) ++counts[ds_.label(r)];
+
+    const double impurity = gini(counts, rows.size());
+    const bool stop = depth >= cfg_.max_height ||
+                      rows.size() < cfg_.min_samples_split ||
+                      impurity == 0.0;
+
+    std::optional<SplitResult> split;
+    if (!stop) split = find_split(rows, counts, impurity);
+
+    const auto idx = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    if (!split) {
+      nodes_[idx].feature = TreeNode::kLeaf;
+      nodes_[idx].leaf_class = majority(counts);
+      return idx;
+    }
+
+    std::vector<std::size_t> left_rows, right_rows;
+    left_rows.reserve(rows.size());
+    right_rows.reserve(rows.size());
+    for (std::size_t r : rows) {
+      (ds_.row(r)[split->feature] <= split->threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+    rows.clear();
+    rows.shrink_to_fit();  // bound peak memory on deep recursions
+
+    nodes_[idx].feature = split->feature;
+    nodes_[idx].threshold = split->threshold;
+    nodes_[idx].left = grow(left_rows, depth + 1);
+    nodes_[idx].right = grow(right_rows, depth + 1);
+    return idx;
+  }
+
+  std::optional<SplitResult> find_split(std::span<const std::size_t> rows,
+                                        std::span<const std::size_t> counts,
+                                        double parent_impurity) {
+    const std::size_t nf = ds_.num_features();
+    std::size_t k = cfg_.max_features;
+    if (k == 0) {
+      k = static_cast<std::size_t>(
+          std::max(1.0, std::floor(std::sqrt(static_cast<double>(nf)))));
+    }
+    k = std::min(k, nf);
+
+    // Sample k distinct candidate features.
+    std::vector<std::uint32_t> features(nf);
+    std::iota(features.begin(), features.end(), 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(features[i], features[i + rng_.below(nf - i)]);
+    }
+
+    SplitResult best;
+    std::vector<std::pair<float, int>> vals;
+    vals.reserve(rows.size());
+    std::vector<std::size_t> left_counts(ds_.num_classes());
+    for (std::size_t fi = 0; fi < k; ++fi) {
+      const std::uint32_t f = features[fi];
+      vals.clear();
+      for (std::size_t r : rows) vals.emplace_back(ds_.row(r)[f], ds_.label(r));
+      std::sort(vals.begin(), vals.end());
+      if (vals.front().first == vals.back().first) continue;  // constant
+
+      // Candidate cut positions: boundaries between distinct values,
+      // optionally subsampled (max_thresholds) via strided selection.
+      std::fill(left_counts.begin(), left_counts.end(), 0);
+      std::size_t stride = 1;
+      if (cfg_.max_thresholds > 0 && rows.size() > cfg_.max_thresholds) {
+        stride = rows.size() / cfg_.max_thresholds;
+      }
+      std::size_t left_n = 0;
+      for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+        ++left_counts[vals[i].second];
+        ++left_n;
+        if (vals[i].first == vals[i + 1].first) continue;
+        if (stride > 1 && (i % stride) != 0) continue;
+        const std::size_t right_n = rows.size() - left_n;
+        if (left_n < cfg_.min_samples_leaf || right_n < cfg_.min_samples_leaf) {
+          continue;
+        }
+        double right_gini;
+        {
+          double sum_sq = 0.0;
+          for (std::size_t c = 0; c < left_counts.size(); ++c) {
+            const double rc = static_cast<double>(counts[c] - left_counts[c]) /
+                              static_cast<double>(right_n);
+            sum_sq += rc * rc;
+          }
+          right_gini = 1.0 - sum_sq;
+        }
+        const double left_gini = gini(left_counts, left_n);
+        const double weighted =
+            (static_cast<double>(left_n) * left_gini +
+             static_cast<double>(right_n) * right_gini) /
+            static_cast<double>(rows.size());
+        const double gain = parent_impurity - weighted;
+        if (gain > best.gain + 1e-12) {
+          best.feature = static_cast<int>(f);
+          // Midpoint threshold, as Scikit-Learn computes it.
+          best.threshold = (vals[i].first + vals[i + 1].first) / 2.0f;
+          best.gain = gain;
+        }
+      }
+    }
+    if (best.feature < 0) return std::nullopt;
+    return best;
+  }
+
+  const data::Dataset& ds_;
+  const TrainConfig& cfg_;
+  util::Rng rng_;
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace
+
+DecisionTree train_tree(const data::Dataset& ds,
+                        std::span<const std::size_t> rows,
+                        const TrainConfig& cfg, std::uint64_t tree_seed) {
+  TreeBuilder builder(ds, cfg, tree_seed);
+  return builder.build(rows);
+}
+
+Forest train_random_forest(const data::Dataset& ds, const TrainConfig& cfg) {
+  Forest f;
+  f.num_features = ds.num_features();
+  f.num_classes = ds.num_classes();
+  f.trees.reserve(cfg.num_trees);
+  f.weights.assign(cfg.num_trees, 1.0);
+
+  util::Rng rng(cfg.seed);
+  std::vector<std::size_t> rows(ds.num_rows());
+  for (std::size_t t = 0; t < cfg.num_trees; ++t) {
+    if (cfg.bootstrap) {
+      for (auto& r : rows) r = rng.below(ds.num_rows());
+    } else {
+      std::iota(rows.begin(), rows.end(), 0);
+    }
+    f.trees.push_back(train_tree(ds, rows, cfg, rng.next()));
+  }
+  f.check();
+  return f;
+}
+
+double accuracy(const Forest& f, const data::Dataset& ds) {
+  if (ds.num_rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    if (f.predict(ds.row(i)) == ds.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.num_rows());
+}
+
+}  // namespace bolt::forest

@@ -1,0 +1,46 @@
+// CART trainer for decision trees and random forests. This is the repo's
+// stand-in for Python Scikit-Learn training (the paper trains all forests
+// with Scikit-Learn; Bolt never touches training, only the trained model).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "data/dataset.h"
+#include "forest/tree.h"
+
+namespace bolt::forest {
+
+struct TrainConfig {
+  /// Maximum tree height (edges root->leaf). The paper's "maximum height"
+  /// knob (Figure 11(A) sweeps 4..10).
+  std::size_t max_height = 4;
+  /// Number of trees in the ensemble (Figure 11(B) sweeps 10..30).
+  std::size_t num_trees = 10;
+  /// Candidate features per split; 0 means floor(sqrt(num_features)),
+  /// Scikit-Learn's default for classification.
+  std::size_t max_features = 0;
+  /// Nodes with fewer samples become leaves.
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Bootstrap-resample the training set per tree (standard RF behaviour).
+  bool bootstrap = true;
+  /// Cap on candidate thresholds scanned per feature per node (0 = all);
+  /// keeps training tractable on wide data like the 1500-dim Yelp vectors.
+  std::size_t max_thresholds = 32;
+  std::uint64_t seed = 42;
+};
+
+/// Trains a single CART tree (Gini impurity) on `ds` using the row indices
+/// in `rows`. Exposed for tests; forest training calls this per tree.
+DecisionTree train_tree(const data::Dataset& ds,
+                        std::span<const std::size_t> rows,
+                        const TrainConfig& cfg, std::uint64_t tree_seed);
+
+/// Trains a random forest: per-tree bootstrap + feature subsampling.
+Forest train_random_forest(const data::Dataset& ds, const TrainConfig& cfg);
+
+/// Classification accuracy of a forest on a dataset.
+double accuracy(const Forest& f, const data::Dataset& ds);
+
+}  // namespace bolt::forest

@@ -1,0 +1,106 @@
+#include "forest/tree.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace bolt::forest {
+
+int DecisionTree::predict(std::span<const float> x) const {
+  std::int32_t node = 0;
+  while (!nodes_[node].is_leaf()) {
+    const TreeNode& n = nodes_[node];
+    node = x[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[node].leaf_class;
+}
+
+std::size_t DecisionTree::height() const {
+  if (nodes_.empty()) return 0;
+  std::function<std::size_t(std::int32_t)> depth = [&](std::int32_t i) {
+    const TreeNode& n = nodes_[i];
+    if (n.is_leaf()) return std::size_t{0};
+    return 1 + std::max(depth(n.left), depth(n.right));
+  };
+  return depth(0);
+}
+
+std::size_t DecisionTree::num_leaves() const {
+  std::size_t c = 0;
+  for (const TreeNode& n : nodes_) c += n.is_leaf() ? 1 : 0;
+  return c;
+}
+
+void DecisionTree::check() const {
+  if (nodes_.empty()) throw std::logic_error("tree: empty");
+  std::vector<int> seen(nodes_.size(), 0);
+  std::function<void(std::int32_t)> walk = [&](std::int32_t i) {
+    if (i < 0 || static_cast<std::size_t>(i) >= nodes_.size()) {
+      throw std::logic_error("tree: child index out of range");
+    }
+    if (seen[i]++) throw std::logic_error("tree: node reachable twice");
+    const TreeNode& n = nodes_[i];
+    if (n.is_leaf()) {
+      if (n.leaf_class < 0) throw std::logic_error("tree: leaf without class");
+      return;
+    }
+    if (n.feature < 0) throw std::logic_error("tree: negative feature");
+    walk(n.left);
+    walk(n.right);
+  };
+  walk(0);
+}
+
+std::vector<double> Forest::vote(std::span<const float> x) const {
+  std::vector<double> votes(num_classes, 0.0);
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    votes[trees[t].predict(x)] += weights[t];
+  }
+  return votes;
+}
+
+int Forest::predict(std::span<const float> x) const {
+  const auto votes = vote(x);
+  return argmax_class(votes);
+}
+
+std::size_t Forest::total_leaves() const {
+  std::size_t c = 0;
+  for (const auto& t : trees) c += t.num_leaves();
+  return c;
+}
+
+std::size_t Forest::max_height() const {
+  std::size_t h = 0;
+  for (const auto& t : trees) h = std::max(h, t.height());
+  return h;
+}
+
+void Forest::check() const {
+  if (trees.size() != weights.size()) {
+    throw std::logic_error("forest: trees/weights size mismatch");
+  }
+  for (const auto& t : trees) {
+    t.check();
+    for (const TreeNode& n : t.nodes()) {
+      if (!n.is_leaf() &&
+          static_cast<std::size_t>(n.feature) >= num_features) {
+        throw std::logic_error("forest: feature index out of range");
+      }
+      if (n.is_leaf() &&
+          static_cast<std::size_t>(n.leaf_class) >= num_classes) {
+        throw std::logic_error("forest: class index out of range");
+      }
+    }
+  }
+}
+
+int argmax_class(std::span<const double> votes) {
+  int best = 0;
+  for (int c = 1; c < static_cast<int>(votes.size()); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace bolt::forest

@@ -1,0 +1,82 @@
+// Decision tree and random-forest model types. These are the *trained
+// model* representation (what Scikit-Learn hands to Bolt in the paper);
+// inference engines build their own layouts from it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bolt::forest {
+
+/// One node of a binary decision tree.
+///
+/// Internal nodes test `x[feature] <= threshold`; true goes to `left`,
+/// false to `right` (the Scikit-Learn convention the paper trains with).
+/// Leaves have feature == kLeaf and carry the predicted class.
+struct TreeNode {
+  static constexpr std::int32_t kLeaf = -1;
+
+  std::int32_t feature = kLeaf;
+  float threshold = 0.0f;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  std::int32_t leaf_class = -1;
+
+  bool is_leaf() const { return feature == kLeaf; }
+};
+
+/// A trained binary decision tree stored as a flat node array (root at 0).
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(std::vector<TreeNode> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  std::vector<TreeNode>& nodes() { return nodes_; }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Standard root-to-leaf traversal.
+  int predict(std::span<const float> x) const;
+
+  /// Height = number of edges on the longest root-to-leaf path.
+  std::size_t height() const;
+  std::size_t num_leaves() const;
+
+  /// Validates structural invariants (tree-shaped, children in range,
+  /// leaves have classes). Throws std::logic_error on violation.
+  void check() const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+/// A weighted ensemble of decision trees over a shared feature space.
+///
+/// Plain random forests use weight 1.0 per tree (majority vote); boosted
+/// ensembles (paper §5 "Bolt for Complex Forest Structures") carry their
+/// stage weights here — Bolt simply attaches the weight to every path of
+/// the tree.
+struct Forest {
+  std::size_t num_features = 0;
+  std::size_t num_classes = 0;
+  std::vector<DecisionTree> trees;
+  std::vector<double> weights;  // same length as trees
+
+  /// Weighted per-class vote totals for one sample.
+  std::vector<double> vote(std::span<const float> x) const;
+
+  /// argmax of vote() (ties broken toward the lower class index).
+  int predict(std::span<const float> x) const;
+
+  std::size_t total_leaves() const;
+  std::size_t max_height() const;
+  void check() const;
+};
+
+/// argmax helper shared by engines; ties break to the lowest index so every
+/// engine and Bolt agree bit-for-bit on predictions.
+int argmax_class(std::span<const double> votes);
+
+}  // namespace bolt::forest

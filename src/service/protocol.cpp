@@ -1,0 +1,135 @@
+#include "service/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace bolt::service {
+namespace {
+
+template <class T>
+void put(std::vector<std::uint8_t>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <class T>
+T get(std::span<const std::uint8_t>& in) {
+  if (in.size() < sizeof(T)) {
+    throw std::runtime_error("protocol: truncated frame");
+  }
+  T v{};
+  std::memcpy(&v, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
+  put(out, kRequestMagic);
+  put(out, req.flags);
+  put(out, static_cast<std::uint32_t>(req.features.size()));
+  for (float f : req.features) put(out, f);
+}
+
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
+  put(out, kResponseMagic);
+  put(out, resp.predicted_class);
+  put(out, static_cast<std::uint32_t>(resp.salient.size()));
+  for (const SalientFeature& s : resp.salient) {
+    put(out, s.feature);
+    put(out, s.score);
+  }
+}
+
+Request decode_request(std::span<const std::uint8_t> frame) {
+  if (get<std::uint32_t>(frame) != kRequestMagic) {
+    throw std::runtime_error("protocol: bad request magic");
+  }
+  Request req;
+  req.flags = get<std::uint32_t>(frame);
+  const auto n = get<std::uint32_t>(frame);
+  if (frame.size() != n * sizeof(float)) {
+    throw std::runtime_error("protocol: request size mismatch");
+  }
+  req.features.resize(n);
+  std::memcpy(req.features.data(), frame.data(), n * sizeof(float));
+  return req;
+}
+
+Response decode_response(std::span<const std::uint8_t> frame) {
+  if (get<std::uint32_t>(frame) != kResponseMagic) {
+    throw std::runtime_error("protocol: bad response magic");
+  }
+  Response resp;
+  resp.predicted_class = get<std::int32_t>(frame);
+  const auto n = get<std::uint32_t>(frame);
+  resp.salient.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SalientFeature s;
+    s.feature = get<std::uint32_t>(frame);
+    s.score = get<double>(frame);
+    resp.salient.push_back(s);
+  }
+  if (!frame.empty()) throw std::runtime_error("protocol: trailing bytes");
+  return resp;
+}
+
+namespace {
+
+bool read_exact(int fd, void* buf, std::size_t n, bool eof_ok) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r == 0) {
+      if (done == 0 && eof_ok) return false;
+      throw std::runtime_error("protocol: unexpected EOF");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("protocol: read: ") +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::vector<std::uint8_t>& frame) {
+  std::uint32_t len = 0;
+  if (!read_exact(fd, &len, sizeof(len), /*eof_ok=*/true)) return false;
+  if (len > (64u << 20)) throw std::runtime_error("protocol: frame too big");
+  frame.resize(len);
+  read_exact(fd, frame.data(), len, /*eof_ok=*/false);
+  return true;
+}
+
+void write_frame(int fd, std::span<const std::uint8_t> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t header[sizeof(len)];
+  std::memcpy(header, &len, sizeof(len));
+  struct Chunk {
+    const std::uint8_t* p;
+    std::size_t n;
+  } chunks[2] = {{header, sizeof(len)}, {payload.data(), payload.size()}};
+  for (const Chunk& c : chunks) {
+    std::size_t done = 0;
+    while (done < c.n) {
+      const ssize_t w = ::write(fd, c.p + done, c.n - done);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("protocol: write: ") +
+                                 std::strerror(errno));
+      }
+      done += static_cast<std::size_t>(w);
+    }
+  }
+}
+
+}  // namespace bolt::service

@@ -1,0 +1,51 @@
+// Wire protocol for the networked classification service (paper §5/§6:
+// "Input data is sent via network to a front-end. The front-end calls the
+// inference processing engine"; the evaluation communicates over a UNIX
+// domain socket).
+//
+// Framing: little-endian, length-prefixed.
+//   request  := u32 magic | u32 flags | u32 num_features | f32[num_features]
+//   response := u32 magic | i32 class | u32 num_salient |
+//               (u32 feature, f64 score)[num_salient]
+// flags bit 0: request salient-feature explanation with the result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bolt::service {
+
+constexpr std::uint32_t kRequestMagic = 0x424c5451;   // "BLTQ"
+constexpr std::uint32_t kResponseMagic = 0x424c5452;  // "BLTR"
+constexpr std::uint32_t kFlagExplain = 1u << 0;
+
+struct Request {
+  std::uint32_t flags = 0;
+  std::vector<float> features;
+};
+
+struct SalientFeature {
+  std::uint32_t feature;
+  double score;
+};
+
+struct Response {
+  std::int32_t predicted_class = -1;
+  std::vector<SalientFeature> salient;
+};
+
+/// Serializes a request/response into `out` (appended).
+void encode_request(const Request& req, std::vector<std::uint8_t>& out);
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out);
+
+/// Parses a full frame; throws std::runtime_error on malformed input.
+Request decode_request(std::span<const std::uint8_t> frame);
+Response decode_response(std::span<const std::uint8_t> frame);
+
+/// Blocking framed I/O over a file descriptor (4-byte length prefix then
+/// payload). Returns false on clean EOF before any byte of the frame.
+bool read_frame(int fd, std::vector<std::uint8_t>& frame);
+void write_frame(int fd, std::span<const std::uint8_t> payload);
+
+}  // namespace bolt::service

@@ -1,0 +1,172 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bolt::service {
+namespace {
+
+int make_unix_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("service: socket: ") +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw std::runtime_error("service: socket path too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(
+    std::string socket_path,
+    std::function<std::unique_ptr<engines::Engine>()> factory,
+    std::size_t workers)
+    : socket_path_(std::move(socket_path)), factory_(std::move(factory)),
+      workers_(workers) {}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+void InferenceServer::start() {
+  listen_fd_ = make_unix_socket();
+  ::unlink(socket_path_.c_str());
+  sockaddr_un addr = make_addr(socket_path_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw std::runtime_error(std::string("service: bind: ") +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    throw std::runtime_error(std::string("service: listen: ") +
+                             std::strerror(errno));
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void InferenceServer::stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard lock(conn_mu_);
+    conns.swap(connection_threads_);
+    // Wake handlers blocked in read(): a handler owns its fd and closes it
+    // on exit, so only shut the socket down here (never close it twice).
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : conns) t.join();
+  {
+    std::lock_guard lock(conn_mu_);
+    connection_fds_.clear();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void InferenceServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listening socket gone
+    }
+    std::lock_guard lock(conn_mu_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(
+        [this, fd] { handle_connection(fd); });
+  }
+}
+
+void InferenceServer::handle_connection(int fd) {
+  // One engine per connection: engines carry scratch buffers.
+  std::unique_ptr<engines::Engine> engine = factory_();
+  auto* bolt_engine = dynamic_cast<core::BoltEngine*>(engine.get());
+
+  std::vector<std::uint8_t> frame, out;
+  try {
+    while (running_.load() && read_frame(fd, frame)) {
+      const Request req = decode_request(frame);
+      Response resp;
+      if (req.features.size() != engine->num_features()) {
+        // Arity mismatch: answer with an error class instead of letting a
+        // malformed request reach the engine's hot path.
+        resp.predicted_class = -1;
+        out.clear();
+        encode_response(resp, out);
+        write_frame(fd, out);
+        continue;
+      }
+      if ((req.flags & kFlagExplain) && bolt_engine != nullptr) {
+        core::Explanation explanation(
+            bolt_engine->artifact().num_features());
+        resp.predicted_class =
+            bolt_engine->predict_explained(req.features, explanation);
+        for (std::uint32_t f : explanation.top_k(10)) {
+          if (explanation.scores()[f] <= 0.0) break;
+          resp.salient.push_back({f, explanation.scores()[f]});
+        }
+      } else {
+        resp.predicted_class =
+            static_cast<std::int32_t>(engine->predict(req.features));
+      }
+      out.clear();
+      encode_response(resp, out);
+      write_frame(fd, out);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const std::exception&) {
+    // Malformed request or peer reset: drop the connection.
+  }
+  {
+    std::lock_guard lock(conn_mu_);
+    std::erase(connection_fds_, fd);
+  }
+  ::close(fd);
+}
+
+InferenceClient::InferenceClient(const std::string& socket_path) {
+  fd_ = make_unix_socket();
+  sockaddr_un addr = make_addr(socket_path);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    throw std::runtime_error(std::string("service: connect: ") +
+                             std::strerror(errno));
+  }
+}
+
+InferenceClient::~InferenceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response InferenceClient::classify(std::span<const float> features,
+                                   bool explain) {
+  Request req;
+  req.flags = explain ? kFlagExplain : 0;
+  req.features.assign(features.begin(), features.end());
+  buf_.clear();
+  encode_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  return decode_response(buf_);
+}
+
+}  // namespace bolt::service

@@ -1,0 +1,75 @@
+// The classification service front end (paper Figure 7): accepts requests
+// over a UNIX domain socket, dispatches them to an inference engine, and
+// returns the class (plus salient features when requested).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "baselines/engine.h"
+#include "bolt/engine.h"
+#include "service/protocol.h"
+
+namespace bolt::service {
+
+/// Serves one engine on a UNIX-domain-socket path. Connections are handled
+/// on a small thread pool; each connection may pipeline many requests.
+class InferenceServer {
+ public:
+  /// The engine factory is invoked once per worker thread — engines carry
+  /// per-call scratch state and are not safe to share across threads.
+  /// Explanation requests are honored only for factories producing
+  /// BoltEngine (other engines answer with an empty salient list).
+  InferenceServer(std::string socket_path,
+                  std::function<std::unique_ptr<engines::Engine>()> factory,
+                  std::size_t workers = 2);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Throws on socket errors.
+  void start();
+  /// Stops accepting, closes the socket and joins all threads.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  std::uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  std::string socket_path_;
+  std::function<std::unique_ptr<engines::Engine>()> factory_;
+  std::size_t workers_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;  // live sockets, shut down on stop()
+  std::mutex conn_mu_;
+};
+
+/// Client for the service: connects, sends samples, reads classifications.
+class InferenceClient {
+ public:
+  explicit InferenceClient(const std::string& socket_path);
+  ~InferenceClient();
+
+  InferenceClient(const InferenceClient&) = delete;
+  InferenceClient& operator=(const InferenceClient&) = delete;
+
+  /// Round-trips one sample. `explain` asks for salient features.
+  Response classify(std::span<const float> features, bool explain = false);
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace bolt::service

@@ -1,0 +1,62 @@
+// Little-endian binary stream helpers shared by the forest and Bolt
+// artifact serializers. Trivially-copyable scalars and vectors only.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <iostream>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace bolt::util {
+
+static_assert(std::endian::native == std::endian::little,
+              "serializers assume a little-endian host");
+
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("binio: truncated stream");
+  return v;
+}
+
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+void put_vec(std::ostream& out, const std::vector<T>& v) {
+  put(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> get_vec(std::istream& in, std::uint64_t max_elems = 1ull << 28) {
+  const auto n = get<std::uint64_t>(in);
+  if (n > max_elems) throw std::runtime_error("binio: implausible size");
+  // Read in bounded chunks: a corrupted length field then costs memory
+  // proportional to the bytes actually present, not to the claimed size.
+  constexpr std::uint64_t kChunkElems = 1ull << 16;
+  std::vector<T> v;
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t take = std::min(kChunkElems, n - done);
+    v.resize(done + take);
+    in.read(reinterpret_cast<char*>(v.data() + done),
+            static_cast<std::streamsize>(take * sizeof(T)));
+    if (!in) throw std::runtime_error("binio: truncated stream");
+    done += take;
+  }
+  return v;
+}
+
+}  // namespace bolt::util

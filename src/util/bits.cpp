@@ -1,0 +1,162 @@
+#include "util/bits.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bolt::util {
+
+std::uint64_t pext64(std::uint64_t value, std::uint64_t mask) {
+  std::uint64_t out = 0;
+  unsigned k = 0;
+  while (mask != 0) {
+    const std::uint64_t low = mask & (~mask + 1);  // lowest set bit
+    if (value & low) out |= std::uint64_t{1} << k;
+    ++k;
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+std::uint64_t pdep64(std::uint64_t value, std::uint64_t mask) {
+  std::uint64_t out = 0;
+  unsigned k = 0;
+  while (mask != 0) {
+    const std::uint64_t low = mask & (~mask + 1);
+    if ((value >> k) & 1u) out |= low;
+    ++k;
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+BitVector::BitVector(std::size_t nbits, bool fill)
+    : nbits_(nbits), words_(words_for_bits(nbits), fill ? ~std::uint64_t{0} : 0) {
+  if (fill && nbits_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << (nbits_ % 64)) - 1;
+  }
+}
+
+void BitVector::resize(std::size_t nbits) {
+  words_.resize(words_for_bits(nbits), 0);
+  if (nbits < nbits_ && nbits % 64 != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << (nbits % 64)) - 1;
+  }
+  nbits_ = nbits;
+}
+
+void BitVector::clear_all() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVector::masked_equals(const BitVector& mask, const BitVector& expect) const {
+  assert(mask.nbits_ == nbits_ && expect.nbits_ == nbits_);
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    diff |= (words_[i] & mask.words_[i]) ^ expect.words_[i];
+  }
+  return diff == 0;
+}
+
+bool BitVector::contains_all(const BitVector& other) const {
+  assert(other.nbits_ == nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool BitVector::disjoint(const BitVector& other) const {
+  assert(other.nbits_ == nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+BitVector& BitVector::operator|=(const BitVector& o) {
+  assert(o.nbits_ == nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& o) {
+  assert(o.nbits_ == nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& o) {
+  assert(o.nbits_ == nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+std::vector<std::uint32_t> BitVector::set_bits() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(popcount());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(w));
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+std::uint64_t gather_bits(const BitVector& bits,
+                          std::span<const std::uint32_t> positions) {
+  assert(positions.size() <= 64);
+  std::uint64_t out = 0;
+  for (std::size_t k = 0; k < positions.size(); ++k) {
+    out |= static_cast<std::uint64_t>(bits.get(positions[k])) << k;
+  }
+  return out;
+}
+
+void BitWriter::write(std::uint64_t value, unsigned width) {
+  assert(width <= 64);
+  if (width == 0) return;
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  const std::size_t word = bits_ >> 6;
+  const unsigned off = static_cast<unsigned>(bits_ & 63);
+  if (word >= words_.size()) words_.push_back(0);
+  words_[word] |= value << off;
+  if (off + width > 64) {
+    words_.push_back(value >> (64 - off));
+  }
+  bits_ += width;
+}
+
+std::uint64_t BitReader::read(std::size_t pos, unsigned width) const {
+  assert(width <= 64);
+  if (width == 0) return 0;
+  const std::size_t word = pos >> 6;
+  const unsigned off = static_cast<unsigned>(pos & 63);
+  std::uint64_t v = words_[word] >> off;
+  if (off + width > 64) {
+    v |= words_[word + 1] << (64 - off);
+  }
+  if (width < 64) v &= (std::uint64_t{1} << width) - 1;
+  return v;
+}
+
+unsigned bit_width_for(std::uint64_t max_value) {
+  return max_value ? static_cast<unsigned>(std::bit_width(max_value)) : 1;
+}
+
+}  // namespace bolt::util

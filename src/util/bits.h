@@ -1,0 +1,141 @@
+// Bit-level utilities: dynamic bit vectors, portable PEXT/PDEP, and
+// bit-granular packed readers/writers used by Bolt's compressed layouts.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bolt::util {
+
+/// Number of 64-bit words needed to hold `nbits` bits.
+constexpr std::size_t words_for_bits(std::size_t nbits) {
+  return (nbits + 63) / 64;
+}
+
+/// Portable parallel bit extract: gathers the bits of `value` selected by
+/// `mask` into the low-order bits of the result, preserving order.
+/// Equivalent to the BMI2 PEXT instruction but valid on every target.
+std::uint64_t pext64(std::uint64_t value, std::uint64_t mask);
+
+/// PEXT using the hardware instruction when compiled with BMI2, otherwise
+/// the portable loop. Used on Bolt's address-formation hot path.
+#if defined(__BMI2__)
+inline std::uint64_t pext64_fast(std::uint64_t value, std::uint64_t mask) {
+  return __builtin_ia32_pext_di(value, mask);
+}
+#else
+inline std::uint64_t pext64_fast(std::uint64_t value, std::uint64_t mask) {
+  return pext64(value, mask);
+}
+#endif
+
+/// Portable parallel bit deposit: scatters the low-order bits of `value`
+/// into the positions selected by `mask`. Inverse of pext64 on the masked
+/// positions.
+std::uint64_t pdep64(std::uint64_t value, std::uint64_t mask);
+
+/// A dynamically sized bit vector backed by 64-bit words.
+///
+/// This is the workhorse of Bolt's dictionary: input samples are binarized
+/// into a BitVector over the forest's predicate space and dictionary entries
+/// are (mask, values) BitVector pairs compared with whole-word AND/XOR.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t nbits, bool fill = false);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool v = true) {
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= bit;
+    else
+      words_[i >> 6] &= ~bit;
+  }
+
+  /// Resize to `nbits`, zero-filling any new bits.
+  void resize(std::size_t nbits);
+  void clear_all();
+
+  std::size_t popcount() const;
+
+  /// True iff (*this & mask) == expect. The core dictionary membership test:
+  /// one AND + one XOR + one OR-reduce per word, no branches per bit.
+  bool masked_equals(const BitVector& mask, const BitVector& expect) const;
+
+  /// True iff every set bit of `other` is also set here.
+  bool contains_all(const BitVector& other) const;
+
+  /// True iff no set bit is shared with `other`.
+  bool disjoint(const BitVector& other) const;
+
+  BitVector& operator|=(const BitVector& o);
+  BitVector& operator&=(const BitVector& o);
+  BitVector& operator^=(const BitVector& o);
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::span<std::uint64_t> words() { return words_; }
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::uint32_t> set_bits() const;
+
+  /// "0101..." debug rendering (bit 0 first).
+  std::string to_string() const;
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Extracts from `bits` the bits at the positions given by `positions`
+/// (ascending) and packs them, in order, into a single 64-bit value.
+/// This is the address-formation step of Bolt's lookup: the input sample's
+/// values at a cluster's uncommon predicates become the table address.
+/// `positions.size()` must be <= 64.
+std::uint64_t gather_bits(const BitVector& bits,
+                          std::span<const std::uint32_t> positions);
+
+/// Append-only bit stream writer used by the compressed layouts (Figure 8).
+class BitWriter {
+ public:
+  /// Append the low `width` bits of `value` (width <= 64).
+  void write(std::uint64_t value, unsigned width);
+  std::size_t bit_size() const { return bits_; }
+  std::size_t byte_size() const { return (bits_ + 7) / 8; }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t> take() { bits_ = 0; return std::move(words_); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+/// Random-access reader over a packed bit stream produced by BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint64_t> words) : words_(words) {}
+
+  /// Read `width` bits starting at bit offset `pos` (width <= 64).
+  std::uint64_t read(std::size_t pos, unsigned width) const;
+
+ private:
+  std::span<const std::uint64_t> words_;
+};
+
+/// Smallest bit width that can represent `max_value` (at least 1).
+unsigned bit_width_for(std::uint64_t max_value);
+
+}  // namespace bolt::util

@@ -1,0 +1,21 @@
+#include "util/hash.h"
+
+namespace bolt::util {
+
+std::uint64_t hash_bytes(std::span<const std::byte> data, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+std::uint64_t hash_words(std::span<const std::uint64_t> words,
+                         std::uint64_t seed) {
+  std::uint64_t h = mix64(seed ^ 0x9ae16a3b2f90404fULL);
+  for (std::uint64_t w : words) h = mix64(h ^ w);
+  return h;
+}
+
+}  // namespace bolt::util

@@ -1,0 +1,41 @@
+// Hashing primitives used by the recombined lookup table, the Bloom filter
+// and the result-pool deduplication. Deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace bolt::util {
+
+/// SplitMix64 finalizer — a strong 64-bit integer mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a seed with a value; used to derive independent hash functions
+/// (Bloom filter k-hashes, perfect-hash seed search).
+constexpr std::uint64_t mix64(std::uint64_t seed, std::uint64_t x) {
+  return mix64(seed ^ (x + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash of an arbitrary byte span (FNV-1a core with a SplitMix finalizer).
+std::uint64_t hash_bytes(std::span<const std::byte> data,
+                         std::uint64_t seed = 0);
+
+/// Hash of a span of 64-bit words (used for vote-vector deduplication).
+std::uint64_t hash_words(std::span<const std::uint64_t> words,
+                         std::uint64_t seed = 0);
+
+/// The key hash of Bolt's recombined lookup table: a dictionary entry ID and
+/// the address formed from the entry's uncommon features (paper §4.3).
+constexpr std::uint64_t hash_table_key(std::uint32_t entry_id,
+                                       std::uint64_t address,
+                                       std::uint64_t seed) {
+  return mix64(seed ^ (static_cast<std::uint64_t>(entry_id) << 48), address);
+}
+
+}  // namespace bolt::util

@@ -1,0 +1,101 @@
+// Deterministic, seedable PRNG (xoshiro256**) plus the distribution helpers
+// the dataset generators and trainers need. Header-only.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace bolt::util {
+
+/// xoshiro256** — fast, high-quality, reproducible across platforms
+/// (unlike std::mt19937 + std::uniform_*_distribution, whose output is
+/// implementation-defined for floating point).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      si = mix64(x);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // bias is < 2^-32 for the ranges we use.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  std::uint32_t u32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Poisson via inversion (adequate for the small means we generate).
+  int poisson(double mean) {
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    int n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace bolt::util

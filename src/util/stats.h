@@ -1,0 +1,26 @@
+// Summary statistics for the figure harnesses: mean, stddev, percentiles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bolt::util {
+
+/// Accumulates samples and reports summary statistics. Percentile queries
+/// sort a copy; intended for offline reporting, not hot paths.
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// p in [0, 100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace bolt::util

@@ -1,0 +1,34 @@
+// Wall-clock timing helpers for the figure harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bolt::util {
+
+/// Monotonic stopwatch with nanosecond reads.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+  double elapsed_us() const { return static_cast<double>(elapsed_ns()) / 1e3; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Prevents the optimizer from discarding a computed value.
+template <class T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+}  // namespace bolt::util

@@ -1,0 +1,85 @@
+#include "archsim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace bolt::archsim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c({1024, 2, 64});
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way, 8 sets of 64B lines: lines 0, 8, 16 map to set 0.
+  Cache c({1024, 2, 64});
+  EXPECT_FALSE(c.access(0 * 64));
+  EXPECT_FALSE(c.access(8 * 64));
+  EXPECT_TRUE(c.access(0 * 64));    // refresh line 0; line 8 is now LRU
+  EXPECT_FALSE(c.access(16 * 64));  // evicts line 8
+  EXPECT_TRUE(c.access(0 * 64));
+  EXPECT_FALSE(c.access(8 * 64));   // was evicted
+}
+
+TEST(Cache, FullyAssociativeBehaviour) {
+  Cache c({256, 4, 64});  // one set, 4 ways
+  EXPECT_EQ(c.num_sets(), 1u);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(c.access(i * 64));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(c.access(i * 64));
+  EXPECT_FALSE(c.access(4 * 64));  // evicts LRU (line 0)
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, NonPowerOfTwoSetCount) {
+  // 30 MB / 20 ways / 64 B = 24576 sets (not a power of two).
+  Cache c({30ull * 1024 * 1024, 20, 64});
+  EXPECT_EQ(c.num_sets(), 24576u);
+  EXPECT_FALSE(c.access(123456));
+  EXPECT_TRUE(c.access(123456));
+}
+
+TEST(Cache, ResetClearsContents) {
+  Cache c({1024, 2, 64});
+  c.access(0);
+  c.reset();
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache({1024, 3, 64}), std::invalid_argument);  // 16 lines % 3
+  EXPECT_THROW(Cache({1024, 2, 60}), std::invalid_argument);  // line not pow2
+  EXPECT_THROW(Cache({0, 1, 64}), std::invalid_argument);
+}
+
+TEST(CacheHierarchy, MissesPropagate) {
+  CacheHierarchy h({128, 2, 64}, {256, 2, 64}, {512, 2, 64});
+  EXPECT_EQ(h.access(0), 4);  // cold: memory
+  EXPECT_EQ(h.access(0), 1);  // now L1
+}
+
+TEST(CacheHierarchy, L1EvictionFallsBackToL2) {
+  // L1: 2 lines total (128B, 2-way, 1 set). L2: 4 lines.
+  CacheHierarchy h({128, 2, 64}, {256, 4, 64}, {1024, 4, 64});
+  h.access(0 * 64);
+  h.access(1 * 64);
+  h.access(2 * 64);            // evicts line 0 from L1; L2 holds all three
+  EXPECT_EQ(h.access(0), 2);   // L1 miss, L2 hit
+}
+
+TEST(CacheHierarchy, WorkingSetLargerThanLlcMissesToMemory) {
+  CacheHierarchy h({128, 2, 64}, {256, 4, 64}, {512, 8, 64});
+  // Touch 64 lines (4 KiB) round-robin twice: far exceeds the 512B LLC.
+  int memory_hits = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (int line = 0; line < 64; ++line) {
+      if (h.access(static_cast<std::uint64_t>(line) * 64) == 4) ++memory_hits;
+    }
+  }
+  EXPECT_EQ(memory_hits, 128);  // LRU round-robin over-capacity: all miss
+}
+
+}  // namespace
+}  // namespace bolt::archsim

@@ -1,0 +1,157 @@
+// Every inference platform must classify identically to the reference
+// forest traversal for every input — the comparison in the paper's
+// evaluation is only meaningful if all platforms compute the same model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../helpers.h"
+#include "baselines/fp_engine.h"
+#include "baselines/ranger_engine.h"
+#include "baselines/service_model.h"
+#include "baselines/sklearn_engine.h"
+#include "bolt/bolt.h"
+
+namespace bolt::engines {
+namespace {
+
+struct EngineCase {
+  const char* name;
+  std::size_t trees;
+  std::size_t height;
+  std::uint64_t seed;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  void SetUp() override {
+    const EngineCase& c = GetParam();
+    data_ = bolt::testing::small_dataset(700, c.seed);
+    forest_ = bolt::testing::small_forest(c.trees, c.height, c.seed);
+  }
+
+  data::Dataset data_{0, 0};
+  forest::Forest forest_;
+};
+
+std::vector<std::unique_ptr<Engine>> make_engines(
+    const forest::Forest& forest, const data::Dataset& calib,
+    const core::BoltForest& bf) {
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.push_back(std::make_unique<core::BoltEngine>(bf));
+  engines.push_back(std::make_unique<SklearnEngine>(forest));
+  engines.push_back(std::make_unique<RangerEngine>(forest));
+  engines.push_back(std::make_unique<ForestPackingEngine>(forest, calib));
+  return engines;
+}
+
+TEST_P(EngineEquivalence, AllEnginesMatchReferenceTraversal) {
+  const auto bf = core::BoltForest::build(forest_, {});
+  auto engines = make_engines(forest_, data_, bf);
+  for (std::size_t i = 0; i < data_.num_rows(); ++i) {
+    const int expected = forest_.predict(data_.row(i));
+    for (auto& e : engines) {
+      ASSERT_EQ(e->predict(data_.row(i)), expected)
+          << e->name() << " sample " << i;
+    }
+  }
+}
+
+TEST_P(EngineEquivalence, VotesMatchReference) {
+  const auto bf = core::BoltForest::build(forest_, {});
+  auto engines = make_engines(forest_, data_, bf);
+  std::vector<double> votes(forest_.num_classes);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto expected = forest_.vote(data_.row(i));
+    for (auto& e : engines) {
+      e->vote(data_.row(i), votes);
+      for (std::size_t c = 0; c < votes.size(); ++c) {
+        ASSERT_NEAR(votes[c], expected[c], 1e-9)
+            << e->name() << " sample " << i << " class " << c;
+      }
+    }
+  }
+}
+
+TEST_P(EngineEquivalence, TracedPredictionEqualsUntraced) {
+  const auto bf = core::BoltForest::build(forest_, {});
+  auto engines = make_engines(forest_, data_, bf);
+  archsim::MachineConfig cfg = archsim::xeon_e5_2650_v4();
+  for (auto& e : engines) {
+    archsim::Machine m(cfg);
+    for (std::size_t i = 0; i < 50; ++i) {
+      ASSERT_EQ(e->predict_traced(data_.row(i), m), e->predict(data_.row(i)))
+          << e->name();
+    }
+    EXPECT_GT(m.counters().instructions, 0u);
+    EXPECT_GT(m.counters().mem_accesses, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineEquivalence,
+    ::testing::Values(EngineCase{"small", 4, 3, 1},
+                      EngineCase{"paper_small", 10, 4, 2},
+                      EngineCase{"wide", 20, 2, 3},
+                      EngineCase{"deep", 5, 7, 4},
+                      EngineCase{"single_tree", 1, 4, 5},
+                      EngineCase{"stumps", 12, 1, 6}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ForestPacking, HotPathRatioIsHigh) {
+  // The layout exists to make the frequent child adjacent; on the
+  // calibration distribution the hot ratio must exceed 1/2 by a margin.
+  data::Dataset ds = bolt::testing::small_dataset(800, 3);
+  forest::Forest f = bolt::testing::small_forest(8, 5, 3);
+  ForestPackingEngine fp(f, ds);
+  EXPECT_GT(fp.hot_path_ratio(), 0.6);
+  EXPECT_LE(fp.hot_path_ratio(), 1.0);
+}
+
+TEST(ForestPacking, MemoryIsCompact) {
+  forest::Forest f = bolt::testing::small_forest(8, 5, 3);
+  data::Dataset ds = bolt::testing::small_dataset(200, 3);
+  ForestPackingEngine fp(f, ds);
+  SklearnEngine sk(f);
+  // Packed nodes are an order of magnitude smaller than scattered
+  // Python-style objects.
+  EXPECT_LT(fp.memory_bytes() * 4, sk.memory_bytes());
+}
+
+TEST(Ranger, BatchMatchesSingle) {
+  data::Dataset ds = bolt::testing::small_dataset(300, 8);
+  forest::Forest f = bolt::testing::small_forest(6, 4, 8);
+  RangerEngine ranger(f);
+  std::vector<int> batch(ds.num_rows());
+  ranger.predict_batch(ds.raw_features(), ds.num_rows(), ds.num_features(),
+                       batch);
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    EXPECT_EQ(batch[i], ranger.predict(ds.row(i))) << i;
+  }
+}
+
+TEST(ServiceModel, ProducesStableOrdering) {
+  // The modeled service comparison must reproduce the paper's platform
+  // ordering: Bolt and FP orders of magnitude below Scikit/Ranger.
+  data::Dataset ds = bolt::testing::small_dataset(400, 9);
+  forest::Forest f = bolt::testing::small_forest(10, 4, 9);
+  const auto bf = core::BoltForest::build(f, {});
+  core::BoltEngine bolt_engine(bf);
+  SklearnEngine sk(f);
+  RangerEngine rg(f);
+  ForestPackingEngine fp(f, ds);
+
+  const auto cfg = archsim::xeon_e5_2650_v4();
+  archsim::Machine m1(cfg), m2(cfg), m3(cfg), m4(cfg);
+  const double bolt_us = model_service(bolt_engine, m1, ds, 100).us_per_sample;
+  const double sk_us = model_service(sk, m2, ds, 100).us_per_sample;
+  const double rg_us = model_service(rg, m3, ds, 100).us_per_sample;
+  const double fp_us = model_service(fp, m4, ds, 100).us_per_sample;
+
+  EXPECT_LT(bolt_us, fp_us);       // Bolt beats Forest Packing (shallow)
+  EXPECT_LT(fp_us, rg_us / 10);    // both far below Ranger
+  EXPECT_LT(rg_us, sk_us);         // Ranger below Scikit
+}
+
+}  // namespace
+}  // namespace bolt::engines

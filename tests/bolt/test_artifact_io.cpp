@@ -1,0 +1,119 @@
+// Artifact serialization: a compiled BoltForest shipped to another process
+// must classify identically, bit for bit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.h"
+#include "bolt/builder.h"
+#include "bolt/engine.h"
+
+namespace bolt::core {
+namespace {
+
+struct IoCase {
+  const char* name;
+  BoltConfig cfg;
+};
+
+class ArtifactIo : public ::testing::TestWithParam<IoCase> {};
+
+TEST_P(ArtifactIo, RoundTripPreservesEverything) {
+  const forest::Forest forest = bolt::testing::small_forest(8, 4, 111);
+  const data::Dataset inputs = bolt::testing::small_dataset(300, 112);
+  const BoltForest original = BoltForest::build(forest, GetParam().cfg);
+
+  std::stringstream blob;
+  original.save(blob);
+  const BoltForest loaded = BoltForest::load(blob);
+
+  EXPECT_EQ(loaded.num_classes(), original.num_classes());
+  EXPECT_EQ(loaded.num_features(), original.num_features());
+  EXPECT_EQ(loaded.dictionary().num_entries(),
+            original.dictionary().num_entries());
+  EXPECT_EQ(loaded.table().num_slots(), original.table().num_slots());
+  EXPECT_EQ(loaded.results().size(), original.results().size());
+  EXPECT_EQ(loaded.results().packed_available(),
+            original.results().packed_available());
+  EXPECT_EQ(loaded.stats().table_entries, original.stats().table_entries);
+  EXPECT_EQ(loaded.config().cluster.threshold,
+            original.config().cluster.threshold);
+  EXPECT_EQ(loaded.bloom() != nullptr, original.bloom() != nullptr);
+
+  BoltEngine a(original);
+  BoltEngine b(loaded);
+  std::vector<double> va(forest.num_classes), vb(forest.num_classes);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    a.vote(inputs.row(i), va);
+    b.vote(inputs.row(i), vb);
+    for (std::size_t c = 0; c < va.size(); ++c) {
+      ASSERT_EQ(va[c], vb[c]) << "sample " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ArtifactIo,
+    ::testing::Values(
+        IoCase{"default", {}},
+        IoCase{"bloom",
+               [] {
+                 BoltConfig c;
+                 c.use_bloom = true;
+                 return c;
+               }()},
+        IoCase{"byte_seed",
+               [] {
+                 BoltConfig c;
+                 c.table.strategy = TableStrategy::kSeedSearch;
+                 c.table.id_check = IdCheck::kByte;
+                 return c;
+               }()},
+        IoCase{"thr8",
+               [] {
+                 BoltConfig c;
+                 c.cluster.threshold = 8;
+                 return c;
+               }()}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ArtifactIoErrors, RejectsGarbage) {
+  std::stringstream blob("this is not an artifact at all, sorry");
+  EXPECT_THROW(BoltForest::load(blob), std::runtime_error);
+}
+
+TEST(ArtifactIoErrors, RejectsTruncation) {
+  const forest::Forest forest = bolt::testing::small_forest(4, 3, 113);
+  const BoltForest original = BoltForest::build(forest, {});
+  std::stringstream blob;
+  original.save(blob);
+  const std::string full = blob.str();
+  for (std::size_t cut : {std::size_t{8}, std::size_t{64}, full.size() / 2,
+                          full.size() - 4}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(BoltForest::load(truncated), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ArtifactIoErrors, FileRoundTrip) {
+  const forest::Forest forest = bolt::testing::small_forest(4, 3, 114);
+  const BoltForest original = BoltForest::build(forest, {});
+  const std::string path = ::testing::TempDir() + "/bolt_artifact.bolt";
+  original.save_file(path);
+  const BoltForest loaded = BoltForest::load_file(path);
+  BoltEngine a(original), b(loaded);
+  util::Rng rng(115);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = bolt::testing::random_sample(rng, forest.num_features);
+    EXPECT_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(ArtifactIoErrors, MissingFileThrows) {
+  EXPECT_THROW(BoltForest::load_file("/no/such/file.bolt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bolt::core

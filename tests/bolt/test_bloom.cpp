@@ -1,0 +1,103 @@
+#include "bolt/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace bolt::core {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  // The safety property: a key that was inserted is ALWAYS reported
+  // possibly-present (otherwise Bolt would drop true-positive lookups).
+  BloomFilter bf(1000, 10);
+  util::Rng rng(1);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.emplace_back(static_cast<std::uint32_t>(rng.below(256)), rng.next());
+    bf.insert(keys.back().first, keys.back().second);
+  }
+  for (const auto& [id, addr] : keys) {
+    ASSERT_TRUE(bf.maybe_contains(id, addr));
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  BloomFilter bf(2000, 10);
+  util::Rng rng(2);
+  std::set<std::uint64_t> inserted;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next();
+    inserted.insert(a);
+    bf.insert(0, a);
+  }
+  std::size_t fp = 0, probes = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t a = rng.next();
+    if (inserted.count(a)) continue;
+    ++probes;
+    fp += bf.maybe_contains(0, a);
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  // 10 bits/key, k=7: theoretical ~0.8%; accept anything clearly sublinear.
+  EXPECT_LT(rate, 0.03);
+  EXPECT_NEAR(rate, bf.estimated_fpp(), 0.02);
+}
+
+TEST(BloomFilter, MoreBitsFewerFalsePositives) {
+  util::Rng rng(3);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.next());
+
+  auto measure = [&](std::size_t bits_per_key) {
+    BloomFilter bf(keys.size(), bits_per_key);
+    for (auto k : keys) bf.insert(1, k);
+    std::size_t fp = 0;
+    util::Rng probe_rng(4);
+    for (int i = 0; i < 20000; ++i) {
+      fp += bf.maybe_contains(1, probe_rng.next() | (1ULL << 63));
+    }
+    return fp;
+  };
+  EXPECT_LE(measure(16), measure(4));
+}
+
+TEST(BloomFilter, EmptyFilterRejectsEverything) {
+  BloomFilter bf(100, 10);
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(bf.maybe_contains(0, rng.next()));
+  }
+  EXPECT_EQ(bf.estimated_fpp(), 0.0);
+}
+
+TEST(BloomFilter, SizingIsPowerOfTwo) {
+  for (std::size_t n : {1u, 10u, 100u, 5000u}) {
+    BloomFilter bf(n, 10);
+    EXPECT_EQ(bf.bit_count() & (bf.bit_count() - 1), 0u);
+    EXPECT_GE(bf.bit_count(), n * 10 / 2);
+  }
+}
+
+TEST(BloomFilter, HashCountBounded) {
+  BloomFilter small(100, 1);
+  EXPECT_GE(small.num_hashes(), 1u);
+  BloomFilter big(100, 64);
+  EXPECT_LE(big.num_hashes(), 8u);
+}
+
+TEST(BloomFilter, EntryIdDistinguishesKeys) {
+  BloomFilter bf(10, 12);
+  bf.insert(1, 42);
+  EXPECT_TRUE(bf.maybe_contains(1, 42));
+  // A different entry id with the same address is a different key; it may
+  // false-positive but overwhelmingly should not in a near-empty filter.
+  int hits = 0;
+  for (std::uint32_t id = 2; id < 200; ++id) hits += bf.maybe_contains(id, 42);
+  EXPECT_LT(hits, 10);
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -1,0 +1,202 @@
+// The safety property (paper footnote 1: "transformations preserve
+// classification results for all inputs") — Bolt's aggregate votes must
+// equal plain traversal's votes, input for input, across every
+// configuration axis: clustering threshold, table strategy, ID-check mode,
+// Bloom filter on/off, forest shape, and weighted (boosted) ensembles.
+#include "bolt/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/engine.h"
+#include "forest/boosted.h"
+
+namespace bolt::core {
+namespace {
+
+struct SafetyCase {
+  const char* name;
+  std::size_t threshold;
+  TableStrategy strategy;
+  IdCheck id_check;
+  bool bloom;
+};
+
+class BoltSafety : public ::testing::TestWithParam<SafetyCase> {};
+
+void expect_vote_equivalence(const forest::Forest& forest,
+                             const BoltConfig& cfg,
+                             const data::Dataset& inputs) {
+  const BoltForest bf = BoltForest::build(forest, cfg);
+  BoltEngine engine(bf);
+  std::vector<double> votes(forest.num_classes);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    const auto expected = forest.vote(inputs.row(i));
+    engine.vote(inputs.row(i), votes);
+    for (std::size_t c = 0; c < votes.size(); ++c) {
+      ASSERT_NEAR(votes[c], expected[c], 1e-6)
+          << "sample " << i << " class " << c;
+    }
+    ASSERT_EQ(engine.predict(inputs.row(i)), forest.predict(inputs.row(i)));
+  }
+}
+
+TEST_P(BoltSafety, VotesEqualTraversalOnTestData) {
+  const SafetyCase& p = GetParam();
+  BoltConfig cfg;
+  cfg.cluster.threshold = p.threshold;
+  cfg.table.strategy = p.strategy;
+  cfg.table.id_check = p.id_check;
+  cfg.use_bloom = p.bloom;
+  const forest::Forest forest = bolt::testing::small_forest(8, 4, 21);
+  const data::Dataset inputs = bolt::testing::small_dataset(400, 22);
+  expect_vote_equivalence(forest, cfg, inputs);
+}
+
+TEST_P(BoltSafety, VotesEqualTraversalOnRandomInputs) {
+  // Random inputs stress paths the training distribution never visits —
+  // exactly where don't-care expansion bugs would hide.
+  const SafetyCase& p = GetParam();
+  BoltConfig cfg;
+  cfg.cluster.threshold = p.threshold;
+  cfg.table.strategy = p.strategy;
+  cfg.table.id_check = p.id_check;
+  cfg.use_bloom = p.bloom;
+  const forest::Forest forest = bolt::testing::small_forest(6, 5, 23);
+  data::Dataset inputs(forest.num_features, forest.num_classes);
+  util::Rng rng(24);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<float> x(forest.num_features);
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-50.0, 200.0));
+    inputs.add_row(x, 0);
+  }
+  expect_vote_equivalence(forest, cfg, inputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Axes, BoltSafety,
+    ::testing::Values(
+        SafetyCase{"thr1", 1, TableStrategy::kDisplacement, IdCheck::kExact,
+                   false},
+        SafetyCase{"thr2", 2, TableStrategy::kDisplacement, IdCheck::kExact,
+                   false},
+        SafetyCase{"thr4", 4, TableStrategy::kDisplacement, IdCheck::kExact,
+                   false},
+        SafetyCase{"thr8", 8, TableStrategy::kDisplacement, IdCheck::kExact,
+                   false},
+        SafetyCase{"thr16", 16, TableStrategy::kDisplacement, IdCheck::kExact,
+                   false},
+        SafetyCase{"seed_search", 4, TableStrategy::kSeedSearch,
+                   IdCheck::kExact, false},
+        SafetyCase{"bloom", 4, TableStrategy::kDisplacement, IdCheck::kExact,
+                   true},
+        SafetyCase{"bloom_seed", 2, TableStrategy::kSeedSearch,
+                   IdCheck::kExact, true}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(BoltBuilder, WeightedBoostedForestPreserved) {
+  data::Dataset ds = bolt::testing::small_dataset(800, 31);
+  forest::BoostConfig bcfg;
+  bcfg.num_rounds = 6;
+  const forest::Forest boosted = forest::train_boosted(ds, bcfg);
+
+  const BoltForest bf = BoltForest::build(boosted, {});
+  // Boosted weights are non-integral: the packed path must be off and the
+  // float path exact.
+  EXPECT_FALSE(bf.results().packed_available());
+  BoltEngine engine(bf);
+  std::vector<double> votes(boosted.num_classes);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto expected = boosted.vote(ds.row(i));
+    engine.vote(ds.row(i), votes);
+    for (std::size_t c = 0; c < votes.size(); ++c) {
+      ASSERT_NEAR(votes[c], expected[c], 1e-5);
+    }
+  }
+}
+
+TEST(BoltBuilder, PlainForestUsesPackedVotes) {
+  const forest::Forest forest = bolt::testing::small_forest(8, 4);
+  const BoltForest bf = BoltForest::build(forest, {});
+  EXPECT_TRUE(bf.results().packed_available());
+}
+
+TEST(BoltBuilder, StatsAreConsistent) {
+  const forest::Forest forest = bolt::testing::small_forest(8, 4);
+  BoltConfig cfg;
+  cfg.cluster.threshold = 4;
+  const BoltForest bf = BoltForest::build(forest, cfg);
+  const BuildStats& s = bf.stats();
+  EXPECT_EQ(s.num_raw_paths, forest.total_leaves());
+  EXPECT_LE(s.num_merged_paths, s.num_raw_paths);
+  EXPECT_LE(s.num_clusters, s.num_merged_paths);
+  EXPECT_GE(s.table_entries, s.num_merged_paths);  // expansion only grows
+  EXPECT_GE(s.table_slots, s.table_entries);
+  EXPECT_EQ(s.num_clusters, bf.dictionary().num_entries());
+  EXPECT_GT(s.num_predicates, 0u);
+  EXPECT_GE(s.distinct_results, 1u);
+}
+
+TEST(BoltBuilder, HigherThresholdFewerEntriesBiggerTable) {
+  const forest::Forest forest = bolt::testing::small_forest(10, 5);
+  BoltConfig fine;
+  fine.cluster.threshold = 1;
+  BoltConfig coarse;
+  coarse.cluster.threshold = 12;
+  const BoltForest a = BoltForest::build(forest, fine);
+  const BoltForest b = BoltForest::build(forest, coarse);
+  EXPECT_GE(a.dictionary().num_entries(), b.dictionary().num_entries());
+  EXPECT_LE(a.stats().table_entries, b.stats().table_entries);
+}
+
+TEST(BoltBuilder, SingleLeafForest) {
+  forest::Forest f;
+  f.num_features = 3;
+  f.num_classes = 2;
+  std::vector<forest::TreeNode> nodes(1);
+  nodes[0] = {forest::TreeNode::kLeaf, 0.0f, -1, -1, 1};
+  f.trees.emplace_back(std::move(nodes));
+  f.weights = {1.0};
+  const BoltForest bf = BoltForest::build(f, {});
+  BoltEngine engine(bf);
+  const float x[3] = {1, 2, 3};
+  EXPECT_EQ(engine.predict(x), 1);
+}
+
+TEST(BoltBuilder, TableSizeCapThrows) {
+  const forest::Forest forest = bolt::testing::small_forest(10, 5);
+  BoltConfig cfg;
+  cfg.cluster.threshold = 14;
+  cfg.table.max_slots = 64;  // absurdly small: must refuse, not corrupt
+  EXPECT_THROW(BoltForest::build(forest, cfg), std::runtime_error);
+}
+
+TEST(BoltBuilder, MemoryAccountingIsPositiveAndComposite) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4);
+  const BoltForest bf = BoltForest::build(forest, {});
+  EXPECT_GE(bf.memory_bytes(),
+            bf.dictionary().memory_bytes() + bf.table().memory_bytes());
+}
+
+TEST(BoltBuilder, IdenticalTreesCollapse) {
+  // A forest of two identical trees compresses to the path set of one.
+  forest::Forest f;
+  f.num_features = 2;
+  f.num_classes = 3;
+  f.trees.push_back(bolt::testing::tiny_tree());
+  f.trees.push_back(bolt::testing::tiny_tree());
+  f.weights = {1.0, 1.0};
+  const BoltForest bf = BoltForest::build(f, {});
+  EXPECT_EQ(bf.stats().num_merged_paths, 3u);
+  EXPECT_EQ(bf.stats().num_raw_paths, 6u);
+
+  BoltEngine engine(bf);
+  util::Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = bolt::testing::random_sample(rng, 2);
+    EXPECT_EQ(engine.predict(x), f.predict(x));
+  }
+}
+
+}  // namespace
+}  // namespace bolt::core

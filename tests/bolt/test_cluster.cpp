@@ -1,0 +1,170 @@
+#include "bolt/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../helpers.h"
+
+namespace bolt::core {
+namespace {
+
+Path make_path(std::initializer_list<std::pair<std::uint32_t, bool>> items,
+               int cls = 0, std::size_t num_classes = 2) {
+  Path p;
+  for (auto [pred, v] : items) p.items.push_back(make_item(pred, v));
+  std::sort(p.items.begin(), p.items.end());
+  p.votes.assign(num_classes, 0.0f);
+  p.votes[cls] = 1.0f;
+  return p;
+}
+
+TEST(GreedyCluster, PaperFigure3Example) {
+  // Predicates: a=0, b=1, c=2, h=3. The paper's sorted path list:
+  //   (a,0)(b,0) | (a,0)(b,1) | (a,0)(h,0) | (a,1)(c,0) | (a,1)(c,1) |
+  //   (a,1)(h,0) | (c,0)(h,1) | (c,1)(h,1)
+  std::vector<Path> paths;
+  paths.push_back(make_path({{0, false}, {1, false}}));
+  paths.push_back(make_path({{0, false}, {1, true}}));
+  paths.push_back(make_path({{0, false}, {3, false}}));
+  paths.push_back(make_path({{0, true}, {2, false}}));
+  paths.push_back(make_path({{0, true}, {2, true}}));
+  paths.push_back(make_path({{0, true}, {3, false}}));
+  paths.push_back(make_path({{2, false}, {3, true}}));
+  paths.push_back(make_path({{2, true}, {3, true}}));
+
+  ClusterConfig cfg;
+  cfg.threshold = 2;
+  const auto clusters = greedy_cluster(paths, cfg);
+
+  // The paper groups these into three clusters: first three paths (common
+  // (a,0)), next three (common (a,1)), last two (common (h,1)).
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0].paths.size(), 3u);
+  EXPECT_EQ(clusters[1].paths.size(), 3u);
+  EXPECT_EQ(clusters[2].paths.size(), 2u);
+
+  ASSERT_EQ(clusters[0].common_items.size(), 1u);
+  EXPECT_EQ(clusters[0].common_items[0], make_item(0, false));  // (a,0)
+  ASSERT_EQ(clusters[1].common_items.size(), 1u);
+  EXPECT_EQ(clusters[1].common_items[0], make_item(0, true));   // (a,1)
+  ASSERT_EQ(clusters[2].common_items.size(), 1u);
+  EXPECT_EQ(clusters[2].common_items[0], make_item(3, true));   // (h,1)
+
+  // Uncommon predicates: {b, h} for green, {c, h} for yellow, {c} for blue
+  // (Figure 3 ⑤'s table columns).
+  EXPECT_EQ(clusters[0].uncommon_preds, (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(clusters[1].uncommon_preds, (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(clusters[2].uncommon_preds, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(GreedyCluster, PartitionsAllPathsContiguously) {
+  forest::Forest f = bolt::testing::small_forest(6, 4);
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  for (std::size_t threshold : {1u, 2u, 4u, 8u, 16u}) {
+    ClusterConfig cfg;
+    cfg.threshold = threshold;
+    const auto clusters = greedy_cluster(paths, cfg);
+    std::size_t next = 0;
+    for (const Cluster& c : clusters) {
+      for (std::size_t idx : c.paths) {
+        ASSERT_EQ(idx, next) << "threshold " << threshold;
+        ++next;
+      }
+    }
+    EXPECT_EQ(next, paths.size());
+  }
+}
+
+TEST(GreedyCluster, CommonItemsPresentInEveryMemberPath) {
+  forest::Forest f = bolt::testing::small_forest(8, 4);
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  ClusterConfig cfg;
+  cfg.threshold = 6;
+  for (const Cluster& c : greedy_cluster(paths, cfg)) {
+    for (std::size_t idx : c.paths) {
+      const auto& items = paths[idx].items;
+      for (PathItem common : c.common_items) {
+        EXPECT_TRUE(std::find(items.begin(), items.end(), common) !=
+                    items.end());
+      }
+    }
+  }
+}
+
+TEST(GreedyCluster, UncommonCoversEveryNonCommonItem) {
+  forest::Forest f = bolt::testing::small_forest(8, 4);
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  ClusterConfig cfg;
+  cfg.threshold = 4;
+  for (const Cluster& c : greedy_cluster(paths, cfg)) {
+    const std::set<PathItem> common(c.common_items.begin(),
+                                    c.common_items.end());
+    const std::set<std::uint32_t> uncommon(c.uncommon_preds.begin(),
+                                           c.uncommon_preds.end());
+    for (std::size_t idx : c.paths) {
+      for (PathItem item : paths[idx].items) {
+        if (!common.count(item)) {
+          EXPECT_TRUE(uncommon.count(item_pred(item)))
+              << "pred " << item_pred(item);
+        }
+      }
+    }
+  }
+}
+
+TEST(GreedyCluster, ThresholdOneProducesFineClusters) {
+  forest::Forest f = bolt::testing::small_forest(6, 4);
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  ClusterConfig fine;
+  fine.threshold = 1;
+  ClusterConfig coarse;
+  coarse.threshold = 16;
+  EXPECT_GE(greedy_cluster(paths, fine).size(),
+            greedy_cluster(paths, coarse).size());
+}
+
+TEST(GreedyCluster, RespectsTableBitsCap) {
+  forest::Forest f = bolt::testing::small_forest(10, 5);
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  ClusterConfig cfg;
+  cfg.threshold = 64;  // permissive pair threshold
+  cfg.max_table_bits = 6;
+  for (const Cluster& c : greedy_cluster(paths, cfg)) {
+    EXPECT_LE(c.uncommon_preds.size(), 6u);
+  }
+}
+
+TEST(GreedyCluster, SinglePathCluster) {
+  std::vector<Path> paths;
+  paths.push_back(make_path({{0, true}, {1, false}}));
+  ClusterConfig cfg;
+  const auto clusters = greedy_cluster(paths, cfg);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].common_items.size(), 2u);
+  EXPECT_TRUE(clusters[0].uncommon_preds.empty());
+}
+
+TEST(GreedyCluster, EmptyInput) {
+  EXPECT_TRUE(greedy_cluster({}, {}).empty());
+}
+
+TEST(DeriveStructure, EmptyPathCluster) {
+  std::vector<Path> paths;
+  Path p;
+  p.votes = {1.0f, 0.0f};
+  paths.push_back(p);  // zero-item path (single-leaf tree)
+  Cluster c;
+  c.paths = {0};
+  derive_structure(paths, c);
+  EXPECT_TRUE(c.common_items.empty());
+  EXPECT_TRUE(c.uncommon_preds.empty());
+}
+
+}  // namespace
+}  // namespace bolt::core

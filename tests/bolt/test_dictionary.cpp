@@ -1,0 +1,124 @@
+#include "bolt/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/paths.h"
+
+namespace bolt::core {
+namespace {
+
+struct Built {
+  forest::Forest forest;
+  forest::PredicateSpace space;
+  std::vector<Path> paths;
+  std::vector<Cluster> clusters;
+  Dictionary dict;
+
+  explicit Built(std::size_t threshold = 4, std::size_t trees = 6,
+                 std::size_t height = 4)
+      : forest(bolt::testing::small_forest(trees, height)),
+        space(forest),
+        paths(enumerate_paths(forest, space)),
+        clusters(greedy_cluster(paths, {threshold, 20})),
+        dict(clusters, space.size()) {}
+};
+
+TEST(Dictionary, OneEntryPerCluster) {
+  Built b;
+  EXPECT_EQ(b.dict.num_entries(), b.clusters.size());
+  EXPECT_EQ(b.dict.num_predicates(), b.space.size());
+}
+
+TEST(Dictionary, MatchesIffCommonItemsSatisfied) {
+  Built b;
+  util::Rng rng(17);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto x = bolt::testing::random_sample(rng, b.forest.num_features);
+    const auto bits = b.space.binarize(x);
+    for (std::size_t e = 0; e < b.dict.num_entries(); ++e) {
+      bool expect = true;
+      for (PathItem item : b.clusters[e].common_items) {
+        if (bits.get(item_pred(item)) != item_value(item)) expect = false;
+      }
+      ASSERT_EQ(b.dict.matches(e, bits), expect) << "entry " << e;
+    }
+  }
+}
+
+TEST(Dictionary, PextAddressEqualsPositionOracle) {
+  Built b;
+  util::Rng rng(18);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto x = bolt::testing::random_sample(rng, b.forest.num_features);
+    const auto bits = b.space.binarize(x);
+    for (std::size_t e = 0; e < b.dict.num_entries(); ++e) {
+      ASSERT_EQ(b.dict.address(e, bits), b.dict.address_by_positions(e, bits));
+    }
+  }
+}
+
+TEST(Dictionary, AddressBitsMatchClusterWidth) {
+  Built b;
+  for (std::size_t e = 0; e < b.dict.num_entries(); ++e) {
+    EXPECT_EQ(b.dict.address_bits(e), b.clusters[e].uncommon_preds.size());
+    const auto positions = b.dict.address_positions(e);
+    ASSERT_EQ(positions.size(), b.clusters[e].uncommon_preds.size());
+    for (std::size_t k = 0; k < positions.size(); ++k) {
+      EXPECT_EQ(positions[k], b.clusters[e].uncommon_preds[k]);
+    }
+  }
+}
+
+TEST(Dictionary, CommonItemsExposedForExplanation) {
+  Built b;
+  for (std::size_t e = 0; e < b.dict.num_entries(); ++e) {
+    const auto items = b.dict.common_items(e);
+    ASSERT_EQ(items.size(), b.clusters[e].common_items.size());
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      EXPECT_EQ(items[k], b.clusters[e].common_items[k]);
+    }
+  }
+}
+
+TEST(Dictionary, SparseWordsCoverExactlyCommonPredicates) {
+  Built b;
+  for (std::size_t e = 0; e < b.dict.num_entries(); ++e) {
+    std::size_t mask_bits = 0;
+    for (const auto& sw : b.dict.sparse_words(e)) {
+      mask_bits += static_cast<std::size_t>(std::popcount(sw.mask));
+      // expect must be a subset of mask.
+      EXPECT_EQ(sw.expect & ~sw.mask, 0u);
+    }
+    EXPECT_EQ(mask_bits, b.clusters[e].common_items.size());
+  }
+}
+
+TEST(Dictionary, EmptyCommonSetMatchesEverything) {
+  // A cluster with no common items yields an entry that matches any input.
+  std::vector<Path> paths(2);
+  paths[0].items = {make_item(0, true)};
+  paths[0].votes = {1.0f, 0.0f};
+  paths[1].items = {make_item(1, false)};
+  paths[1].votes = {0.0f, 1.0f};
+  Cluster c;
+  c.paths = {0, 1};
+  derive_structure(paths, c);
+  ASSERT_TRUE(c.common_items.empty());
+  Dictionary dict(std::span(&c, 1), 4);
+  util::BitVector bits(4);
+  EXPECT_TRUE(dict.matches(0, bits));
+  bits.set(0);
+  bits.set(3);
+  EXPECT_TRUE(dict.matches(0, bits));
+}
+
+TEST(Dictionary, MemoryScalesWithEntries) {
+  Built small(4, 3, 3);
+  Built large(4, 12, 5);
+  EXPECT_GT(large.dict.memory_bytes(), small.dict.memory_bytes());
+  EXPECT_GT(small.dict.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -1,0 +1,100 @@
+#include "bolt/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/builder.h"
+#include "bolt/engine.h"
+
+namespace bolt::core {
+namespace {
+
+TEST(Explanation, TopKOrdersByScore) {
+  Explanation e(5);
+  e.add_feature(0, 1.0);
+  e.add_feature(3, 5.0);
+  e.add_feature(4, 2.0);
+  const auto top = e.top_k(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 4u);
+}
+
+TEST(Explanation, TopKTiesBreakByIndex) {
+  Explanation e(4);
+  e.add_feature(2, 1.0);
+  e.add_feature(1, 1.0);
+  const auto top = e.top_k(4);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+TEST(Explanation, ClearResets) {
+  Explanation e(3);
+  e.add_feature(1, 2.0);
+  e.clear();
+  for (double s : e.scores()) EXPECT_EQ(s, 0.0);
+}
+
+TEST(PredictExplained, ClassificationUnchanged) {
+  const forest::Forest forest = bolt::testing::small_forest(8, 4, 81);
+  const data::Dataset inputs = bolt::testing::small_dataset(200, 82);
+  const BoltForest bf = BoltForest::build(forest, {});
+  BoltEngine engine(bf);
+  Explanation e(forest.num_features);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    e.clear();
+    ASSERT_EQ(engine.predict_explained(inputs.row(i), e),
+              forest.predict(inputs.row(i)));
+  }
+}
+
+TEST(PredictExplained, SalienceCoversUsedFeaturesOnly) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 83);
+  const data::Dataset inputs = bolt::testing::small_dataset(50, 84);
+  const BoltForest bf = BoltForest::build(forest, {});
+
+  // Features used anywhere in the forest.
+  std::vector<bool> used(forest.num_features, false);
+  for (const auto& tree : forest.trees) {
+    for (const auto& n : tree.nodes()) {
+      if (!n.is_leaf()) used[n.feature] = true;
+    }
+  }
+
+  BoltEngine engine(bf);
+  Explanation e(forest.num_features);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    engine.predict_explained(inputs.row(i), e);
+  }
+  for (std::size_t f = 0; f < forest.num_features; ++f) {
+    if (!used[f]) EXPECT_EQ(e.scores()[f], 0.0) << "feature " << f;
+  }
+  // Something must be salient.
+  double total = 0;
+  for (double s : e.scores()) total += s;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(PredictExplained, SingleTreeSalienceIsMatchedPath) {
+  // With one tiny tree, the salient features of an input are exactly the
+  // features on its matching root-to-leaf path's cluster.
+  forest::Forest f;
+  f.num_features = 2;
+  f.num_classes = 3;
+  f.trees.push_back(bolt::testing::tiny_tree());
+  f.weights = {1.0};
+  BoltConfig cfg;
+  cfg.cluster.threshold = 0;  // one cluster per path
+  const BoltForest bf = BoltForest::build(f, cfg);
+  BoltEngine engine(bf);
+
+  Explanation e(2);
+  const float x[2] = {0.9f, 0.9f};  // right at root: path tests f0 only
+  engine.predict_explained(x, e);
+  EXPECT_GT(e.scores()[0], 0.0);
+  EXPECT_EQ(e.scores()[1], 0.0);
+}
+
+}  // namespace
+}  // namespace bolt::core

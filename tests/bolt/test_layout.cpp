@@ -1,0 +1,56 @@
+#include "bolt/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+
+namespace bolt::core {
+namespace {
+
+TEST(Layout, CompressedBeatsPlainOnEveryComponent) {
+  // Figure 8's claim: every BOLT bar is below its decompressed bar.
+  const forest::Forest forest = bolt::testing::small_forest(10, 4);
+  const BoltForest bf = BoltForest::build(forest, {});
+  const LayoutReport r = analyze_layout(bf);
+
+  EXPECT_LT(r.dict_masks.bolt_bytes_per_entry,
+            r.dict_masks.plain_bytes_per_entry);
+  EXPECT_LT(r.dict_features.bolt_bytes_per_entry,
+            r.dict_features.plain_bytes_per_entry);
+  EXPECT_LT(r.table_results.bolt_bytes_per_entry,
+            r.table_results.plain_bytes_per_entry);
+  EXPECT_LT(r.table_entry_id.bolt_bytes_per_entry,
+            r.table_entry_id.plain_bytes_per_entry);
+}
+
+TEST(Layout, EntryIdIsOneByte) {
+  const forest::Forest forest = bolt::testing::small_forest(4, 3);
+  const LayoutReport r = analyze_layout(BoltForest::build(forest, {}));
+  EXPECT_DOUBLE_EQ(r.table_entry_id.bolt_bytes_per_entry, 1.0);
+  EXPECT_DOUBLE_EQ(r.table_entry_id.plain_bytes_per_entry, 4.0);
+}
+
+TEST(Layout, MaskCompressionIsEightToOneOnBits) {
+  const forest::Forest forest = bolt::testing::small_forest(8, 4);
+  const LayoutReport r = analyze_layout(BoltForest::build(forest, {}));
+  // Bitmaps vs byte-per-bool: compressed masks must be ~8x smaller
+  // (rounded up to whole bytes).
+  EXPECT_LE(r.dict_masks.bolt_bytes_per_entry * 4,
+            r.dict_masks.plain_bytes_per_entry);
+}
+
+TEST(Layout, TotalsAggregateComponents) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4);
+  const LayoutReport r = analyze_layout(BoltForest::build(forest, {}));
+  EXPECT_DOUBLE_EQ(r.dict_total_bolt(),
+                   r.dict_masks.bolt_bytes_per_entry +
+                       r.dict_features.bolt_bytes_per_entry);
+  EXPECT_DOUBLE_EQ(r.table_total_plain(),
+                   r.table_results.plain_bytes_per_entry +
+                       r.table_entry_id.plain_bytes_per_entry);
+  EXPECT_GT(r.dict_total_bolt(), 0.0);
+  EXPECT_GT(r.table_total_bolt(), 0.0);
+}
+
+}  // namespace
+}  // namespace bolt::core

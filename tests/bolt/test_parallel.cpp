@@ -1,0 +1,122 @@
+#include "bolt/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/engine.h"
+
+namespace bolt::core {
+namespace {
+
+struct PlanCase {
+  const char* name;
+  std::size_t dict_parts;
+  std::size_t table_parts;
+};
+
+class PartitionEquivalence : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PartitionEquivalence, MatchesSingleCoreEngine) {
+  // Figure 4 / §4.5: any (dictionary x table) partitioning must yield the
+  // same classification — discarded lookups are covered by the core owning
+  // the right table partition.
+  const auto p = GetParam();
+  const forest::Forest forest = bolt::testing::small_forest(8, 4, 51);
+  const data::Dataset inputs = bolt::testing::small_dataset(300, 52);
+  const BoltForest bf = BoltForest::build(forest, {});
+  BoltEngine reference(bf);
+  PartitionedBoltEngine partitioned(bf, {p.dict_parts, p.table_parts});
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    ASSERT_EQ(partitioned.predict(inputs.row(i)),
+              reference.predict(inputs.row(i)))
+        << "sample " << i;
+  }
+}
+
+TEST_P(PartitionEquivalence, ThreadedMatchesSequential) {
+  const auto p = GetParam();
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 53);
+  const data::Dataset inputs = bolt::testing::small_dataset(100, 54);
+  const BoltForest bf = BoltForest::build(forest, {});
+  PartitionedBoltEngine a(bf, {p.dict_parts, p.table_parts});
+  PartitionedBoltEngine b(bf, {p.dict_parts, p.table_parts});
+  util::ThreadPool pool(4);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    ASSERT_EQ(b.predict_threaded(inputs.row(i), pool),
+              a.predict(inputs.row(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionEquivalence,
+    ::testing::Values(PlanCase{"d1t1", 1, 1}, PlanCase{"d2t1", 2, 1},
+                      PlanCase{"d1t2", 1, 2}, PlanCase{"d2t2", 2, 2},
+                      PlanCase{"d4t1", 4, 1}, PlanCase{"d1t4", 1, 4},
+                      PlanCase{"d4t4", 4, 4}, PlanCase{"d8t2", 8, 2},
+                      PlanCase{"d16t1", 16, 1}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(PartitionedEngine, EachAcceptedLookupHandledByExactlyOneCore) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 55);
+  const data::Dataset inputs = bolt::testing::small_dataset(50, 56);
+  const BoltForest bf = BoltForest::build(forest, {});
+  const PartitionPlan plan{2, 2};
+  PartitionedBoltEngine engine(bf, plan);
+
+  util::BitVector bits(bf.space().size());
+  std::vector<double> total(forest.num_classes, 0.0);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    bf.space().binarize(inputs.row(i), bits);
+    std::fill(total.begin(), total.end(), 0.0);
+    for (std::size_t d = 0; d < plan.dict_parts; ++d) {
+      for (std::size_t t = 0; t < plan.table_parts; ++t) {
+        engine.core_work(d, t, bits, total);
+      }
+    }
+    const auto expected = forest.vote(inputs.row(i));
+    for (std::size_t c = 0; c < total.size(); ++c) {
+      // Sum over all cores equals the forest vote: nothing double-counted
+      // (the lookup appears in exactly one table partition), nothing lost.
+      ASSERT_NEAR(total[c], expected[c], 1e-6);
+    }
+  }
+}
+
+TEST(PartitionedEngine, TablePartitionBytesShrinkPerCore) {
+  const forest::Forest forest = bolt::testing::small_forest(10, 5, 57);
+  const BoltForest bf = BoltForest::build(forest, {});
+  PartitionedBoltEngine one(bf, {1, 1});
+  PartitionedBoltEngine four(bf, {1, 4});
+  EXPECT_LT(four.table_partition_bytes(0), one.table_partition_bytes(0));
+}
+
+TEST(PartitionedEngine, MeasureResponseIsPositiveAndFinite) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 58);
+  const data::Dataset inputs = bolt::testing::small_dataset(10, 59);
+  const BoltForest bf = BoltForest::build(forest, {});
+  PartitionedBoltEngine engine(bf, {2, 2});
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    const double us = engine.measure_response_us(inputs.row(i));
+    EXPECT_GT(us, 0.0);
+    EXPECT_LT(us, 1e6);
+  }
+}
+
+TEST(PartitionedEngine, MorePartitionsThanEntriesStillCorrect) {
+  // Degenerate split: more dictionary partitions than entries.
+  forest::Forest f;
+  f.num_features = 2;
+  f.num_classes = 3;
+  f.trees.push_back(bolt::testing::tiny_tree());
+  f.weights = {1.0};
+  const BoltForest bf = BoltForest::build(f, {});
+  PartitionedBoltEngine engine(bf, {16, 4});
+  util::Rng rng(60);
+  for (int i = 0; i < 50; ++i) {
+    const auto x = bolt::testing::random_sample(rng, 2);
+    EXPECT_EQ(engine.predict(x), f.predict(x));
+  }
+}
+
+}  // namespace
+}  // namespace bolt::core

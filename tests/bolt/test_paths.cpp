@@ -1,0 +1,135 @@
+#include "bolt/paths.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+
+namespace bolt::core {
+namespace {
+
+TEST(PathItem, PackingRoundTrip) {
+  for (std::uint32_t pred : {0u, 1u, 63u, 1000u}) {
+    for (bool v : {false, true}) {
+      const PathItem item = make_item(pred, v);
+      EXPECT_EQ(item_pred(item), pred);
+      EXPECT_EQ(item_value(item), v);
+    }
+  }
+}
+
+TEST(EnumeratePaths, CountsMatchLeaves) {
+  forest::Forest f = bolt::testing::small_forest(5, 4);
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  // Merged paths can be fewer than leaves but never more.
+  EXPECT_LE(paths.size(), f.total_leaves());
+  EXPECT_GT(paths.size(), 0u);
+}
+
+TEST(EnumeratePaths, SortedStrictlyLexicographic) {
+  forest::Forest f = bolt::testing::small_forest(5, 4);
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LT(paths[i - 1].items, paths[i].items);  // strict: merged dups
+  }
+}
+
+TEST(EnumeratePaths, ItemsSortedByPredicateWithinPath) {
+  forest::Forest f = bolt::testing::small_forest(5, 5);
+  forest::PredicateSpace space(f);
+  for (const Path& p : enumerate_paths(f, space)) {
+    for (std::size_t i = 1; i < p.items.size(); ++i) {
+      EXPECT_LT(item_pred(p.items[i - 1]), item_pred(p.items[i]));
+    }
+  }
+}
+
+TEST(EnumeratePaths, VoteMassEqualsTreeWeights) {
+  forest::Forest f = bolt::testing::small_forest(6, 4);
+  f.weights = {1.0, 2.0, 0.5, 1.0, 3.0, 1.5};
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  // Per-tree, each input matches one path; but globally, total vote mass
+  // over all paths equals sum over leaves of their weights, which equals
+  // sum over trees of weight * num_leaves.
+  double total = 0.0;
+  for (const Path& p : paths) {
+    for (float v : p.votes) total += v;
+  }
+  double expected = 0.0;
+  for (std::size_t t = 0; t < f.trees.size(); ++t) {
+    expected += f.weights[t] * static_cast<double>(f.trees[t].num_leaves());
+  }
+  EXPECT_NEAR(total, expected, 1e-6);
+}
+
+TEST(EnumeratePaths, ExactlyOneMatchPerTreePerInput) {
+  forest::Forest f = bolt::testing::small_forest(6, 4);
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+
+  util::Rng rng(31);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto x = bolt::testing::random_sample(rng, f.num_features);
+    const auto bits = space.binarize(x);
+    // Sum of matching paths' votes must equal the forest's vote.
+    std::vector<double> votes(f.num_classes, 0.0);
+    for (const Path& p : paths) {
+      if (path_matches(p, bits)) {
+        for (std::size_t c = 0; c < votes.size(); ++c) votes[c] += p.votes[c];
+      }
+    }
+    const auto expected = f.vote(x);
+    for (std::size_t c = 0; c < votes.size(); ++c) {
+      ASSERT_NEAR(votes[c], expected[c], 1e-6) << "iter " << iter;
+    }
+  }
+}
+
+TEST(EnumeratePaths, MergesRedundantPathsAcrossTrees) {
+  // Two identical trees: every path appears in both -> each merged path
+  // carries double votes and the path list is the size of one tree's.
+  forest::Forest f;
+  f.num_features = 2;
+  f.num_classes = 3;
+  f.trees.push_back(bolt::testing::tiny_tree());
+  f.trees.push_back(bolt::testing::tiny_tree());
+  f.weights = {1.0, 1.0};
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  EXPECT_EQ(paths.size(), 3u);  // tiny_tree has 3 leaves
+  for (const Path& p : paths) {
+    double mass = 0;
+    for (float v : p.votes) mass += v;
+    EXPECT_DOUBLE_EQ(mass, 2.0);
+  }
+}
+
+TEST(EnumeratePaths, SingleLeafTreeYieldsEmptyPath) {
+  forest::Forest f;
+  f.num_features = 1;
+  f.num_classes = 2;
+  std::vector<forest::TreeNode> nodes(1);
+  nodes[0] = {forest::TreeNode::kLeaf, 0.0f, -1, -1, 1};
+  f.trees.emplace_back(std::move(nodes));
+  f.weights = {1.0};
+  forest::PredicateSpace space(f);
+  const auto paths = enumerate_paths(f, space);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].items.empty());
+  EXPECT_EQ(paths[0].votes[1], 1.0f);
+}
+
+TEST(PathMatches, RespectsValues) {
+  Path p;
+  p.items = {make_item(2, true), make_item(5, false)};
+  util::BitVector bits(8);
+  bits.set(2, true);
+  EXPECT_TRUE(path_matches(p, bits));
+  bits.set(5, true);
+  EXPECT_FALSE(path_matches(p, bits));
+}
+
+}  // namespace
+}  // namespace bolt::core

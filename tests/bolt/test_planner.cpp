@@ -1,0 +1,114 @@
+#include "bolt/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/engine.h"
+
+namespace bolt::core {
+namespace {
+
+TEST(Planner, ReturnsFeasiblePlanAndArtifact) {
+  const forest::Forest forest = bolt::testing::small_forest(8, 4, 61);
+  const data::Dataset calib = bolt::testing::small_dataset(200, 62);
+  PlannerConfig cfg;
+  cfg.thresholds = {1, 4, 8};
+  cfg.cores = 1;
+  cfg.max_calibration_samples = 32;
+  cfg.repetitions = 1;
+  const PlanResult plan_result = plan(forest, calib, cfg);
+
+  EXPECT_FALSE(plan_result.candidates.empty());
+  ASSERT_NE(plan_result.artifact, nullptr);
+  const PlanCandidate& best = plan_result.best_candidate();
+  EXPECT_GT(best.avg_response_us, 0.0);
+  // The selected artifact's threshold matches the winning candidate.
+  EXPECT_EQ(plan_result.artifact->config().cluster.threshold, best.threshold);
+}
+
+TEST(Planner, BestIsMinimalAmongFeasible) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 63);
+  const data::Dataset calib = bolt::testing::small_dataset(150, 64);
+  PlannerConfig cfg;
+  cfg.thresholds = {1, 2, 4, 8};
+  cfg.repetitions = 1;
+  const PlanResult r = plan(forest, calib, cfg);
+  const auto& best = r.best_candidate();
+  for (const PlanCandidate& c : r.candidates) {
+    if (c.fits_cache == best.fits_cache) {
+      EXPECT_GE(c.avg_response_us * 1.0001, best.avg_response_us * 0.0);
+    }
+  }
+  // At least: best is no slower than every same-feasibility candidate.
+  for (const PlanCandidate& c : r.candidates) {
+    if (c.fits_cache == best.fits_cache) {
+      EXPECT_LE(best.avg_response_us, c.avg_response_us + 1e-9);
+    }
+  }
+}
+
+TEST(Planner, MultiCoreExploresPartitionShapes) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 65);
+  const data::Dataset calib = bolt::testing::small_dataset(100, 66);
+  PlannerConfig cfg;
+  cfg.thresholds = {4};
+  cfg.cores = 4;
+  cfg.repetitions = 1;
+  const PlanResult r = plan(forest, calib, cfg);
+  // Shapes: (1,1), (1,4), (2,2), (4,1) => 4 candidates.
+  EXPECT_EQ(r.candidates.size(), 4u);
+  bool saw_multi = false;
+  for (const auto& c : r.candidates) {
+    if (c.partitions.cores() == 4) saw_multi = true;
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(Planner, CacheBudgetMarksCandidates) {
+  const forest::Forest forest = bolt::testing::small_forest(10, 5, 67);
+  const data::Dataset calib = bolt::testing::small_dataset(100, 68);
+  PlannerConfig cfg;
+  cfg.thresholds = {2};
+  cfg.repetitions = 1;
+  cfg.cache_bytes_per_core = 1;  // nothing fits
+  const PlanResult r = plan(forest, calib, cfg);
+  for (const auto& c : r.candidates) EXPECT_FALSE(c.fits_cache);
+
+  cfg.cache_bytes_per_core = 1ull << 30;  // everything fits
+  const PlanResult r2 = plan(forest, calib, cfg);
+  for (const auto& c : r2.candidates) EXPECT_TRUE(c.fits_cache);
+}
+
+TEST(Planner, SkipsInfeasibleThresholds) {
+  const forest::Forest forest = bolt::testing::small_forest(8, 5, 69);
+  const data::Dataset calib = bolt::testing::small_dataset(100, 70);
+  PlannerConfig cfg;
+  cfg.thresholds = {2, 64};  // 64 may blow the table cap
+  cfg.base.table.max_slots = 1 << 14;
+  cfg.repetitions = 1;
+  const PlanResult r = plan(forest, calib, cfg);  // must not throw
+  ASSERT_NE(r.artifact, nullptr);
+}
+
+TEST(Planner, SelectedArtifactClassifiesCorrectly) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 71);
+  const data::Dataset calib = bolt::testing::small_dataset(200, 72);
+  PlannerConfig cfg;
+  cfg.thresholds = {1, 4};
+  cfg.repetitions = 1;
+  const PlanResult r = plan(forest, calib, cfg);
+  BoltEngine engine(*r.artifact);
+  for (std::size_t i = 0; i < calib.num_rows(); ++i) {
+    ASSERT_EQ(engine.predict(calib.row(i)), forest.predict(calib.row(i)));
+  }
+}
+
+TEST(Diagnose, FlagsCacheCapacity) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 73);
+  const BoltForest bf = BoltForest::build(forest, {});
+  EXPECT_EQ(diagnose(bf, 1), Bottleneck::kCacheCapacity);
+  EXPECT_NE(diagnose(bf, 1ull << 30), Bottleneck::kCacheCapacity);
+}
+
+}  // namespace
+}  // namespace bolt::core

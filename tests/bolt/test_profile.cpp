@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/builder.h"
+#include "bolt/engine.h"
+#include "bolt/explain.h"
+
+namespace bolt::core {
+namespace {
+
+TEST(EntryProfile, ClassificationUnchanged) {
+  const forest::Forest f = bolt::testing::small_forest(8, 4, 121);
+  const data::Dataset inputs = bolt::testing::small_dataset(200, 122);
+  const BoltForest bf = BoltForest::build(f, {});
+  BoltEngine engine(bf);
+  EntryProfile profile(bf.dictionary().num_entries());
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    ASSERT_EQ(engine.predict_profiled(inputs.row(i), profile),
+              f.predict(inputs.row(i)));
+  }
+  EXPECT_EQ(profile.samples(), inputs.num_rows());
+}
+
+TEST(EntryProfile, AcceptsAreSubsetOfCandidates) {
+  const forest::Forest f = bolt::testing::small_forest(6, 4, 123);
+  const data::Dataset inputs = bolt::testing::small_dataset(150, 124);
+  const BoltForest bf = BoltForest::build(f, {});
+  BoltEngine engine(bf);
+  EntryProfile profile(bf.dictionary().num_entries());
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    engine.predict_profiled(inputs.row(i), profile);
+  }
+  for (std::size_t e = 0; e < bf.dictionary().num_entries(); ++e) {
+    EXPECT_LE(profile.accepts()[e], profile.candidates()[e]) << "entry " << e;
+  }
+  const double fpr = profile.false_positive_rate();
+  EXPECT_GE(fpr, 0.0);
+  EXPECT_LT(fpr, 1.0);
+}
+
+TEST(EntryProfile, TotalAcceptsBoundedByTreesTimesSamples) {
+  // Each sample matches exactly one path per tree; accepted lookups can
+  // merge several trees' paths, so accepts <= samples * trees.
+  const forest::Forest f = bolt::testing::small_forest(6, 4, 125);
+  const data::Dataset inputs = bolt::testing::small_dataset(100, 126);
+  const BoltForest bf = BoltForest::build(f, {});
+  BoltEngine engine(bf);
+  EntryProfile profile(bf.dictionary().num_entries());
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    engine.predict_profiled(inputs.row(i), profile);
+  }
+  std::uint64_t total = 0;
+  for (auto a : profile.accepts()) total += a;
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(total, inputs.num_rows() * f.trees.size());
+}
+
+TEST(EntryProfile, HottestOrdering) {
+  EntryProfile p(4);
+  p.record_accept(2);
+  p.record_accept(2);
+  p.record_accept(0);
+  const auto hot = p.hottest(4);
+  EXPECT_EQ(hot[0], 2u);
+  EXPECT_EQ(hot[1], 0u);
+  // Ties (entries 1, 3 at zero) break by index.
+  EXPECT_EQ(hot[2], 1u);
+  EXPECT_EQ(hot[3], 3u);
+}
+
+TEST(EntryProfile, SkewedWorkloadConcentratesHeat) {
+  // Serving the same sample repeatedly must concentrate accepts on the
+  // few entries covering that sample's paths — the §2.1 service-hot-path
+  // observation.
+  const forest::Forest f = bolt::testing::small_forest(6, 4, 127);
+  const data::Dataset inputs = bolt::testing::small_dataset(50, 128);
+  const BoltForest bf = BoltForest::build(f, {});
+  BoltEngine engine(bf);
+  EntryProfile profile(bf.dictionary().num_entries());
+  for (int rep = 0; rep < 100; ++rep) {
+    engine.predict_profiled(inputs.row(0), profile);
+  }
+  std::uint64_t total = 0, nonzero = 0;
+  for (auto a : profile.accepts()) {
+    total += a;
+    nonzero += a > 0;
+  }
+  // One sample's paths: at most one accepted entry per tree.
+  EXPECT_LE(nonzero, f.trees.size());
+  EXPECT_EQ(total % 100, 0u);  // identical per repetition
+}
+
+}  // namespace
+}  // namespace bolt::core

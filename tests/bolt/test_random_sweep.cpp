@@ -1,0 +1,90 @@
+// Randomized end-to-end property sweep: across randomly drawn forest
+// shapes, datasets, clustering thresholds and table configurations, Bolt's
+// classification must equal reference traversal on both in-distribution
+// and adversarially out-of-distribution inputs. This is the wide-net
+// complement to the targeted safety cases in test_builder.cpp.
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/builder.h"
+#include "bolt/engine.h"
+#include "bolt/parallel.h"
+
+namespace bolt::core {
+namespace {
+
+class RandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSweep, BoltAlwaysMatchesTraversal) {
+  util::Rng rng(GetParam() * 0x9e3779b9 + 17);
+
+  // Random forest shape.
+  forest::TrainConfig tc;
+  tc.num_trees = 1 + rng.below(12);
+  tc.max_height = 1 + rng.below(6);
+  tc.max_features = rng.below(2) ? 0 : 1 + rng.below(8);
+  tc.min_samples_leaf = 1 + rng.below(4);
+  tc.seed = rng.next();
+  const data::Dataset train = bolt::testing::small_dataset(
+      300 + rng.below(500), rng.next());
+  const forest::Forest forest = forest::train_random_forest(train, tc);
+
+  // Random Bolt configuration.
+  BoltConfig cfg;
+  cfg.cluster.threshold = rng.below(20);
+  cfg.cluster.max_table_bits = 8 + rng.below(12);
+  cfg.table.strategy = rng.below(2) ? TableStrategy::kDisplacement
+                                    : TableStrategy::kSeedSearch;
+  cfg.use_bloom = rng.below(2) == 1;
+
+  const BoltForest bf = BoltForest::build(forest, cfg);
+  BoltEngine engine(bf);
+
+  // In-distribution inputs.
+  for (std::size_t i = 0; i < 80; ++i) {
+    ASSERT_EQ(engine.predict(train.row(i)), forest.predict(train.row(i)))
+        << "in-distribution sample " << i;
+  }
+  // Out-of-distribution inputs, including extreme values and exact
+  // threshold hits.
+  for (int i = 0; i < 80; ++i) {
+    std::vector<float> x(forest.num_features);
+    for (auto& v : x) {
+      switch (rng.below(4)) {
+        case 0:
+          v = static_cast<float>(rng.uniform(-1e6, 1e6));
+          break;
+        case 1:
+          v = 0.0f;
+          break;
+        case 2: {
+          // Hit a split threshold exactly.
+          const auto& t = forest.trees[rng.below(forest.trees.size())];
+          const auto& n = t.nodes()[rng.below(t.nodes().size())];
+          v = n.is_leaf() ? 1.0f : n.threshold;
+          break;
+        }
+        default:
+          v = static_cast<float>(rng.normal(0.0, 100.0));
+      }
+    }
+    ASSERT_EQ(engine.predict(x), forest.predict(x)) << "OOD sample " << i;
+  }
+
+  // A random partitioning must agree too.
+  const PartitionPlan plan{1 + rng.below(5), 1 + rng.below(5)};
+  PartitionedBoltEngine partitioned(bf, plan);
+  for (std::size_t i = 0; i < 40; ++i) {
+    ASSERT_EQ(partitioned.predict(train.row(i)), forest.predict(train.row(i)))
+        << "partitioned (" << plan.dict_parts << "x" << plan.table_parts
+        << ") sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSweep, ::testing::Range<std::uint64_t>(1, 21),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace bolt::core

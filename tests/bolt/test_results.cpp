@@ -1,0 +1,133 @@
+#include "bolt/results.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bolt::core {
+namespace {
+
+TEST(ResultPool, InternDeduplicates) {
+  ResultPool pool(3);
+  const std::vector<float> a = {1, 0, 2};
+  const std::vector<float> b = {0, 1, 0};
+  const auto ia = pool.intern(a);
+  const auto ib = pool.intern(b);
+  const auto ia2 = pool.intern(a);
+  EXPECT_EQ(ia, ia2);
+  EXPECT_NE(ia, ib);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ResultPool, VotesRoundTrip) {
+  ResultPool pool(4);
+  const std::vector<float> v = {0.5f, 1.5f, 0, 7};
+  const auto idx = pool.intern(v);
+  const auto got = pool.votes(idx);
+  ASSERT_EQ(got.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(got[i], v[i]);
+}
+
+TEST(ResultPool, AccumulateAdds) {
+  ResultPool pool(2);
+  const std::vector<float> a = {1, 2};
+  const std::vector<float> b = {10, 0};
+  const auto ia = pool.intern(a);
+  const auto ib = pool.intern(b);
+  std::vector<double> acc = {100, 100};
+  pool.accumulate(ia, acc);
+  pool.accumulate(ib, acc);
+  EXPECT_DOUBLE_EQ(acc[0], 111.0);
+  EXPECT_DOUBLE_EQ(acc[1], 102.0);
+}
+
+TEST(ResultPool, PackedRoundTrip) {
+  ResultPool pool(5);
+  const std::vector<float> a = {1, 0, 3, 0, 2};
+  const std::vector<float> b = {0, 6, 0, 0, 0};
+  const auto ia = pool.intern(a);
+  const auto ib = pool.intern(b);
+  ASSERT_TRUE(pool.finalize_packed(10.0));
+  ASSERT_TRUE(pool.packed_available());
+
+  std::uint64_t acc = 0;
+  pool.accumulate_packed(ia, acc);
+  pool.accumulate_packed(ib, acc);
+  pool.accumulate_packed(ia, acc);
+  std::vector<double> out(5);
+  pool.unpack(acc, out);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+  EXPECT_DOUBLE_EQ(out[2], 6.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+  EXPECT_DOUBLE_EQ(out[4], 4.0);
+}
+
+TEST(ResultPool, PackedRefusesNonIntegralVotes) {
+  ResultPool pool(2);
+  const std::vector<float> v = {0.5f, 1.0f};
+  pool.intern(v);
+  EXPECT_FALSE(pool.finalize_packed(10.0));
+  EXPECT_FALSE(pool.packed_available());
+}
+
+TEST(ResultPool, PackedRefusesWhenFieldsDontFit) {
+  ResultPool pool(10);
+  std::vector<float> v(10, 1.0f);
+  pool.intern(v);
+  // total mass 200 needs 8+ bits per field; 10 classes * 8 > 64.
+  EXPECT_FALSE(pool.finalize_packed(200.0));
+}
+
+TEST(ResultPool, PackedAcceptsTenClassThirtyTrees) {
+  // The paper's largest plain-RF benchmark shape must stay packable.
+  ResultPool pool(10);
+  std::vector<float> v(10, 0.0f);
+  v[3] = 30.0f;
+  pool.intern(v);
+  EXPECT_TRUE(pool.finalize_packed(30.0));
+}
+
+TEST(ResultPool, InternInvalidatesPacking) {
+  ResultPool pool(2);
+  const std::vector<float> a = {1, 0};
+  pool.intern(a);
+  ASSERT_TRUE(pool.finalize_packed(4.0));
+  const std::vector<float> b = {0, 1};
+  pool.intern(b);  // pool changed: packing must be rebuilt
+  EXPECT_FALSE(pool.packed_available());
+}
+
+TEST(ResultPool, CompressedBytesSmallerThanPlain) {
+  ResultPool pool(10);
+  for (int r = 0; r < 50; ++r) {
+    std::vector<float> v(10, 0.0f);
+    v[r % 10] = static_cast<float>(1 + r % 3);
+    pool.intern(v);
+  }
+  EXPECT_LT(pool.compressed_bytes(), pool.decompressed_bytes());
+  // Small integer votes: expect at least the paper's ~3x compression.
+  EXPECT_LE(pool.compressed_bytes() * 3, pool.decompressed_bytes());
+}
+
+TEST(ResultPool, ManyDistinctVectorsSurviveInternStress) {
+  ResultPool pool(4);
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<float> v = {static_cast<float>(i % 7),
+                            static_cast<float>(i % 11),
+                            static_cast<float>(i % 13),
+                            static_cast<float>(i % 3)};
+    ids.push_back(pool.intern(v));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto got = pool.votes(ids[i]);
+    EXPECT_EQ(got[0], static_cast<float>(i % 7));
+    EXPECT_EQ(got[1], static_cast<float>(i % 11));
+    EXPECT_EQ(got[2], static_cast<float>(i % 13));
+    EXPECT_EQ(got[3], static_cast<float>(i % 3));
+  }
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -1,0 +1,173 @@
+#include "bolt/table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace bolt::core {
+namespace {
+
+std::vector<TableEntry> random_entries(std::size_t n, std::uint64_t seed,
+                                       std::uint32_t max_id = 64,
+                                       unsigned addr_bits = 16) {
+  util::Rng rng(seed);
+  std::vector<TableEntry> entries;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> seen;
+  while (entries.size() < n) {
+    const auto id = static_cast<std::uint32_t>(rng.below(max_id));
+    const std::uint64_t addr = rng.next() & ((1ULL << addr_bits) - 1);
+    if (!seen.emplace(id, addr).second) continue;
+    entries.push_back({id, addr, static_cast<std::uint32_t>(entries.size())});
+  }
+  return entries;
+}
+
+class TableStrategyTest : public ::testing::TestWithParam<TableStrategy> {};
+
+TEST_P(TableStrategyTest, FindsEveryInsertedKey) {
+  TableConfig cfg;
+  cfg.strategy = GetParam();
+  const auto entries = random_entries(500, 1);
+  const auto table = RecombinedTable::build(entries, cfg);
+  for (const TableEntry& e : entries) {
+    const auto r = table.find(e.entry_id, e.address);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, e.result_idx);
+  }
+}
+
+TEST_P(TableStrategyTest, InsertedKeysOccupyDistinctSlots) {
+  TableConfig cfg;
+  cfg.strategy = GetParam();
+  const auto entries = random_entries(300, 2);
+  const auto table = RecombinedTable::build(entries, cfg);
+  std::set<std::size_t> slots;
+  for (const TableEntry& e : entries) {
+    EXPECT_TRUE(slots.insert(table.slot_of(e.entry_id, e.address)).second);
+  }
+}
+
+TEST_P(TableStrategyTest, ExactModeRejectsEveryAbsentKey) {
+  TableConfig cfg;
+  cfg.strategy = GetParam();
+  cfg.id_check = IdCheck::kExact;
+  const auto entries = random_entries(200, 3);
+  const auto table = RecombinedTable::build(entries, cfg);
+  std::set<std::pair<std::uint32_t, std::uint64_t>> inserted;
+  for (const TableEntry& e : entries) inserted.emplace(e.entry_id, e.address);
+  util::Rng rng(33);
+  std::size_t false_accepts = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto id = static_cast<std::uint32_t>(rng.below(64));
+    const std::uint64_t addr = rng.next() & 0xffff;
+    if (inserted.count({id, addr})) continue;
+    if (table.find(id, addr)) ++false_accepts;
+  }
+  EXPECT_EQ(false_accepts, 0u);  // exact verification: no errors, ever
+}
+
+TEST_P(TableStrategyTest, ByteModeErrorRateIsLow) {
+  // The paper's 1-byte entry-ID layout admits rare false accepts; measure
+  // that the rate is small (the paper argues it is negligible, §4.4/§5).
+  TableConfig cfg;
+  cfg.strategy = GetParam();
+  cfg.id_check = IdCheck::kByte;
+  const auto entries = random_entries(200, 4);
+  const auto table = RecombinedTable::build(entries, cfg);
+  std::set<std::pair<std::uint32_t, std::uint64_t>> inserted;
+  for (const TableEntry& e : entries) inserted.emplace(e.entry_id, e.address);
+  util::Rng rng(44);
+  std::size_t false_accepts = 0, probes = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto id = static_cast<std::uint32_t>(rng.below(64));
+    const std::uint64_t addr = rng.next() & 0xffff;
+    if (inserted.count({id, addr})) continue;
+    ++probes;
+    if (table.find(id, addr)) ++false_accepts;
+  }
+  EXPECT_LT(static_cast<double>(false_accepts) / probes, 0.01);
+}
+
+TEST_P(TableStrategyTest, HandlesAdversarialBucketSkew) {
+  // Many keys sharing one entry id with sequential addresses — the pattern
+  // the builder actually produces.
+  std::vector<TableEntry> entries;
+  for (std::uint64_t a = 0; a < 1000; ++a) {
+    entries.push_back({7, a, static_cast<std::uint32_t>(a)});
+  }
+  TableConfig cfg;
+  cfg.strategy = GetParam();
+  const auto table = RecombinedTable::build(entries, cfg);
+  for (const TableEntry& e : entries) {
+    ASSERT_EQ(table.find(e.entry_id, e.address).value(), e.result_idx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, TableStrategyTest,
+                         ::testing::Values(TableStrategy::kDisplacement,
+                                           TableStrategy::kSeedSearch),
+                         [](const auto& info) {
+                           return info.param == TableStrategy::kDisplacement
+                                      ? "Displacement"
+                                      : "SeedSearch";
+                         });
+
+TEST(RecombinedTable, EmptyTableFindsNothing) {
+  const auto table = RecombinedTable::build({}, {});
+  EXPECT_FALSE(table.find(0, 0).has_value());
+  EXPECT_EQ(table.num_entries(), 0u);
+}
+
+TEST(RecombinedTable, SingleEntry) {
+  const auto table = RecombinedTable::build({{3, 17, 99}}, {});
+  EXPECT_EQ(table.find(3, 17).value(), 99u);
+  EXPECT_FALSE(table.find(3, 18).has_value());
+  EXPECT_FALSE(table.find(4, 17).has_value());
+}
+
+TEST(RecombinedTable, DisplacementStaysNearMinimalSize) {
+  TableConfig cfg;
+  cfg.strategy = TableStrategy::kDisplacement;
+  cfg.max_load = 0.5;
+  const auto entries = random_entries(1000, 5);
+  const auto table = RecombinedTable::build(entries, cfg);
+  // 1000 entries at load 0.5 -> 2048 slots; allow one doubling of slack.
+  EXPECT_LE(table.num_slots(), 4096u);
+}
+
+TEST(RecombinedTable, RejectsOversizedAddress) {
+  TableConfig cfg;
+  EXPECT_THROW(
+      RecombinedTable::build({{0, 1ULL << 40, 0}}, cfg),
+      std::invalid_argument);
+}
+
+TEST(RecombinedTable, RejectsOversizedEntryId) {
+  TableConfig cfg;
+  EXPECT_THROW(RecombinedTable::build({{1u << 24, 0, 0}}, cfg),
+               std::invalid_argument);
+}
+
+TEST(RecombinedTable, RejectsReservedResultIndex) {
+  TableConfig cfg;
+  EXPECT_THROW(RecombinedTable::build({{0, 0, RecombinedTable::kEmpty}}, cfg),
+               std::invalid_argument);
+}
+
+TEST(RecombinedTable, MemoryAccountsForMode) {
+  const auto entries = random_entries(100, 6);
+  TableConfig exact;
+  exact.id_check = IdCheck::kExact;
+  TableConfig byte;
+  byte.id_check = IdCheck::kByte;
+  const auto t_exact = RecombinedTable::build(entries, exact);
+  const auto t_byte = RecombinedTable::build(entries, byte);
+  // The byte layout drops the 8-byte key per slot (paper Figure 8's
+  // entry-ID compression).
+  EXPECT_LT(t_byte.memory_bytes(), t_exact.memory_bytes());
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -1,0 +1,111 @@
+#include "bolt/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/engine.h"
+
+namespace bolt::core {
+namespace {
+
+TEST(FeasibleClasses, CountsStaircases) {
+  // tiny_forest: feature 0 has 1 threshold, feature 1 has 2 -> 2 * 3 = 6.
+  EXPECT_EQ(feasible_classes(bolt::testing::tiny_forest()), 6u);
+}
+
+TEST(FeasibleClasses, SaturatesInsteadOfOverflowing) {
+  data::Dataset ds = bolt::testing::small_dataset(800, 7);
+  forest::TrainConfig tc;
+  tc.num_trees = 20;
+  tc.max_height = 8;
+  tc.max_thresholds = 0;
+  const forest::Forest big = forest::train_random_forest(ds, tc);
+  EXPECT_GT(feasible_classes(big), 1ull << 40);  // huge, possibly saturated
+}
+
+TEST(VerifyExhaustive, ProvesTinyForestForAllInputs) {
+  const forest::Forest f = bolt::testing::tiny_forest();
+  const BoltForest bf = BoltForest::build(f, {});
+  const auto report = verify_exhaustive(f, bf);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->exhaustive);
+  EXPECT_EQ(report->checked, 6u);
+  EXPECT_EQ(report->mismatches, 0u);
+  EXPECT_TRUE(report->ok());
+}
+
+TEST(VerifyExhaustive, ProvesTrainedForestsAcrossConfigs) {
+  // Small trained forests have modest class counts; prove them fully for
+  // several Bolt configurations.
+  const forest::Forest f = bolt::testing::small_forest(4, 3, 41);
+  ASSERT_LE(feasible_classes(f), 1ull << 22);
+  for (std::size_t threshold : {0u, 2u, 8u}) {
+    BoltConfig cfg;
+    cfg.cluster.threshold = threshold;
+    const BoltForest bf = BoltForest::build(f, cfg);
+    const auto report = verify_exhaustive(f, bf);
+    ASSERT_TRUE(report.has_value()) << "threshold " << threshold;
+    EXPECT_EQ(report->mismatches, 0u) << "threshold " << threshold;
+    EXPECT_GT(report->checked, 0u);
+  }
+}
+
+TEST(VerifyExhaustive, RefusesHugeSpaces) {
+  data::Dataset ds = bolt::testing::small_dataset(800, 8);
+  forest::TrainConfig tc;
+  tc.num_trees = 15;
+  tc.max_height = 6;
+  const forest::Forest big = forest::train_random_forest(ds, tc);
+  if (feasible_classes(big) > (1ull << 22)) {
+    EXPECT_FALSE(verify_exhaustive(big, BoltForest::build(big, {})).has_value());
+  }
+}
+
+TEST(VerifyExhaustive, FindsInjectedCorruption) {
+  // Corrupt the artifact's result pool indirectly: verify against a
+  // DIFFERENT forest — the verifier must produce a counterexample.
+  const forest::Forest f1 = bolt::testing::small_forest(4, 3, 42);
+  forest::Forest f2 = f1;
+  // Flip one leaf's class.
+  for (auto& n : f2.trees[0].nodes()) {
+    if (n.is_leaf()) {
+      n.leaf_class = (n.leaf_class + 1) % static_cast<int>(f2.num_classes);
+      break;
+    }
+  }
+  const BoltForest bf = BoltForest::build(f2, {});
+  const auto report = verify_exhaustive(f1, bf);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_GT(report->mismatches, 0u);
+  ASSERT_TRUE(report->counterexample.has_value());
+  // The counterexample must actually demonstrate a vote disagreement (the
+  // argmax may still coincide when the flipped leaf is not decisive).
+  BoltEngine engine(bf);
+  std::vector<double> got(f1.num_classes);
+  engine.vote(*report->counterexample, got);
+  const auto want = f1.vote(*report->counterexample);
+  bool differs = false;
+  for (std::size_t c = 0; c < got.size(); ++c) {
+    if (std::abs(got[c] - want[c]) > 1e-6) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(VerifySampled, CleanOnCorrectArtifact) {
+  const forest::Forest f = bolt::testing::small_forest(8, 4, 43);
+  const BoltForest bf = BoltForest::build(f, {});
+  const auto report = verify_sampled(f, bf, 3000);
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_EQ(report.checked, 3000u);
+  EXPECT_FALSE(report.exhaustive);
+}
+
+TEST(Verify, PicksExhaustiveWhenTractable) {
+  const forest::Forest f = bolt::testing::tiny_forest();
+  const auto report = verify(f, BoltForest::build(f, {}));
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace bolt::core

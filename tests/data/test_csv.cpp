@@ -1,0 +1,76 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bolt::data {
+namespace {
+
+TEST(Csv, RoundTripPreservesData) {
+  Dataset ds(3, 4);
+  ds.feature_names() = {"alpha", "beta", "gamma"};
+  const float rows[][3] = {{1.5f, -2.0f, 0.0f}, {3.25f, 4.0f, 5.0f}};
+  ds.add_row(rows[0], 1);
+  ds.add_row(rows[1], 3);
+
+  std::stringstream ss;
+  write_csv(ds, ss);
+  Dataset back = read_csv(ss, 4);
+
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.num_features(), 3u);
+  EXPECT_EQ(back.num_classes(), 4u);
+  EXPECT_EQ(back.feature_names()[0], "alpha");
+  EXPECT_EQ(back.row(0)[0], 1.5f);
+  EXPECT_EQ(back.row(0)[1], -2.0f);
+  EXPECT_EQ(back.row(1)[2], 5.0f);
+  EXPECT_EQ(back.label(0), 1);
+  EXPECT_EQ(back.label(1), 3);
+}
+
+TEST(Csv, InfersNumClassesFromData) {
+  std::stringstream ss("f0,label\n1.0,0\n2.0,5\n");
+  Dataset ds = read_csv(ss);
+  EXPECT_EQ(ds.num_classes(), 6u);
+}
+
+TEST(Csv, DefaultFeatureNames) {
+  Dataset ds(2, 2);
+  const float row[2] = {1, 2};
+  ds.add_row(row, 0);
+  std::stringstream ss;
+  write_csv(ds, ss);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "f0,f1,label");
+}
+
+TEST(Csv, RejectsMissingLabelColumn) {
+  std::stringstream ss("a,b\n1,2\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  std::stringstream ss("a,label\n1,0\n1,2,3\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsGarbageNumbers) {
+  std::stringstream ss("a,label\nxyz,0\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::stringstream ss("a,label\n1,0\n\n2,1\n");
+  Dataset ds = read_csv(ss);
+  EXPECT_EQ(ds.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace bolt::data

@@ -1,0 +1,86 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bolt::data {
+namespace {
+
+Dataset make_small() {
+  Dataset ds(2, 3);
+  const float rows[][2] = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  for (int i = 0; i < 4; ++i) ds.add_row(rows[i], i % 3);
+  return ds;
+}
+
+TEST(Dataset, BasicAccessors) {
+  Dataset ds = make_small();
+  EXPECT_EQ(ds.num_rows(), 4u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_EQ(ds.row(1)[0], 2.0f);
+  EXPECT_EQ(ds.row(1)[1], 3.0f);
+  EXPECT_EQ(ds.label(2), 2);
+}
+
+TEST(Dataset, AddRowValidatesArity) {
+  Dataset ds(2, 2);
+  const float bad[3] = {1, 2, 3};
+  EXPECT_THROW(ds.add_row(bad, 0), std::invalid_argument);
+}
+
+TEST(Dataset, AddRowValidatesLabelRange) {
+  Dataset ds(1, 2);
+  const float x[1] = {0};
+  EXPECT_THROW(ds.add_row(x, 2), std::invalid_argument);
+  EXPECT_THROW(ds.add_row(x, -1), std::invalid_argument);
+}
+
+TEST(Dataset, TakeSelectsRowsWithRepetition) {
+  Dataset ds = make_small();
+  const std::size_t idx[] = {3, 0, 3};
+  Dataset sub = ds.take(idx);
+  EXPECT_EQ(sub.num_rows(), 3u);
+  EXPECT_EQ(sub.row(0)[0], 6.0f);
+  EXPECT_EQ(sub.row(1)[0], 0.0f);
+  EXPECT_EQ(sub.row(2)[0], 6.0f);
+  EXPECT_EQ(sub.num_classes(), 3u);
+}
+
+TEST(Dataset, SplitPartitionsAllRows) {
+  Dataset ds(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    const float x[1] = {static_cast<float>(i)};
+    ds.add_row(x, i % 2);
+  }
+  auto [train, test] = ds.split(0.8, 42);
+  EXPECT_EQ(train.num_rows(), 80u);
+  EXPECT_EQ(test.num_rows(), 20u);
+  std::set<float> seen;
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    seen.insert(train.row(i)[0]);
+  }
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    // No overlap between splits.
+    EXPECT_FALSE(seen.count(test.row(i)[0]));
+    seen.insert(test.row(i)[0]);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Dataset, SplitIsDeterministicPerSeed) {
+  Dataset ds(1, 2);
+  for (int i = 0; i < 50; ++i) {
+    const float x[1] = {static_cast<float>(i)};
+    ds.add_row(x, 0);
+  }
+  auto [a1, b1] = ds.split(0.5, 7);
+  auto [a2, b2] = ds.split(0.5, 7);
+  auto [a3, b3] = ds.split(0.5, 8);
+  EXPECT_EQ(a1.raw_features(), a2.raw_features());
+  EXPECT_NE(a1.raw_features(), a3.raw_features());
+}
+
+}  // namespace
+}  // namespace bolt::data

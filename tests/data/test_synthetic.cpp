@@ -1,0 +1,107 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "forest/trainer.h"
+
+namespace bolt::data {
+namespace {
+
+TEST(SynthMnist, ShapeAndRanges) {
+  Dataset ds = make_synth_mnist(200, 1);
+  EXPECT_EQ(ds.num_rows(), 200u);
+  EXPECT_EQ(ds.num_features(), 784u);
+  EXPECT_EQ(ds.num_classes(), 10u);
+  std::set<int> labels;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    labels.insert(ds.label(i));
+    for (float v : ds.row(i)) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_LE(v, 255.0f);
+    }
+  }
+  EXPECT_GE(labels.size(), 8u);  // nearly all digits appear in 200 draws
+}
+
+TEST(SynthMnist, DeterministicPerSeed) {
+  Dataset a = make_synth_mnist(20, 5);
+  Dataset b = make_synth_mnist(20, 5);
+  Dataset c = make_synth_mnist(20, 6);
+  EXPECT_EQ(a.raw_features(), b.raw_features());
+  EXPECT_EQ(a.raw_labels(), b.raw_labels());
+  EXPECT_NE(a.raw_features(), c.raw_features());
+}
+
+TEST(SynthMnist, IsLearnable) {
+  // The generator must produce structure a shallow forest can learn —
+  // otherwise the benchmark forests would be degenerate.
+  Dataset ds = make_synth_mnist(800, 2);
+  auto [train, test] = ds.split(0.8);
+  forest::TrainConfig cfg;
+  cfg.num_trees = 10;
+  cfg.max_height = 4;
+  const auto f = forest::train_random_forest(train, cfg);
+  EXPECT_GT(forest::accuracy(f, test), 0.5);  // 10-class chance is 0.1
+}
+
+TEST(SynthLstw, ShapeAndFeatureNames) {
+  Dataset ds = make_synth_lstw(300, 1);
+  EXPECT_EQ(ds.num_features(), 11u);
+  EXPECT_EQ(ds.num_classes(), 4u);
+  ASSERT_EQ(ds.feature_names().size(), 11u);
+  EXPECT_EQ(ds.feature_names()[0], "latitude");
+}
+
+TEST(SynthLstw, CoordinatesUseShiftedByteFriendlyRange) {
+  // The paper's §5 normalization: latitude shifted to [0, 180].
+  Dataset ds = make_synth_lstw(500, 2);
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    ASSERT_GE(ds.row(i)[0], 0.0f);
+    ASSERT_LE(ds.row(i)[0], 180.0f);
+  }
+}
+
+TEST(SynthLstw, AllSeverityClassesOccur) {
+  Dataset ds = make_synth_lstw(2000, 3);
+  std::set<int> labels;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) labels.insert(ds.label(i));
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(SynthLstw, IsLearnable) {
+  Dataset ds = make_synth_lstw(2000, 4);
+  auto [train, test] = ds.split(0.8);
+  forest::TrainConfig cfg;
+  cfg.num_trees = 10;
+  cfg.max_height = 5;
+  const auto f = forest::train_random_forest(train, cfg);
+  EXPECT_GT(forest::accuracy(f, test), 0.40);  // 4-class chance is ~0.25
+}
+
+TEST(SynthYelp, ShapeAndSparsity) {
+  Dataset ds = make_synth_yelp(100, 1);
+  EXPECT_EQ(ds.num_features(), 1500u);
+  EXPECT_EQ(ds.num_classes(), 5u);
+  // Bag-of-words rows must be sparse non-negative counts.
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    std::size_t nonzero = 0;
+    for (float v : ds.row(i)) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_EQ(v, static_cast<float>(static_cast<int>(v)));
+      nonzero += v > 0;
+    }
+    EXPECT_GT(nonzero, 5u);
+    EXPECT_LT(nonzero, 100u);
+  }
+}
+
+TEST(SynthYelp, Deterministic) {
+  Dataset a = make_synth_yelp(30, 9);
+  Dataset b = make_synth_yelp(30, 9);
+  EXPECT_EQ(a.raw_features(), b.raw_features());
+}
+
+}  // namespace
+}  // namespace bolt::data

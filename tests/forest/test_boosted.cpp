@@ -1,0 +1,72 @@
+#include "forest/boosted.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+
+namespace bolt::forest {
+namespace {
+
+TEST(Boosted, ProducesWeightedEnsemble) {
+  data::Dataset ds = bolt::testing::small_dataset(800);
+  BoostConfig cfg;
+  cfg.num_rounds = 8;
+  const Forest f = train_boosted(ds, cfg);
+  EXPECT_GE(f.trees.size(), 1u);
+  EXPECT_LE(f.trees.size(), 8u);
+  EXPECT_EQ(f.trees.size(), f.weights.size());
+  for (double w : f.weights) EXPECT_GT(w, 0.0);
+  EXPECT_NO_THROW(f.check());
+}
+
+TEST(Boosted, WeightsAreNotAllEqual) {
+  data::Dataset ds = bolt::testing::small_dataset(800);
+  BoostConfig cfg;
+  cfg.num_rounds = 8;
+  const Forest f = train_boosted(ds, cfg);
+  if (f.weights.size() >= 2) {
+    bool varied = false;
+    for (std::size_t i = 1; i < f.weights.size(); ++i) {
+      if (std::abs(f.weights[i] - f.weights[0]) > 1e-9) varied = true;
+    }
+    EXPECT_TRUE(varied);
+  }
+}
+
+TEST(Boosted, BeatsChance) {
+  data::Dataset ds = bolt::testing::small_dataset(1500);
+  auto [train, test] = ds.split(0.8);
+  BoostConfig cfg;
+  cfg.num_rounds = 12;
+  cfg.max_height = 3;
+  const Forest f = train_boosted(train, cfg);
+  EXPECT_GT(accuracy(f, test), 0.35);  // 4 classes, chance ~0.25
+}
+
+TEST(Boosted, BoostingImprovesOverSingleStump) {
+  data::Dataset ds = bolt::testing::small_dataset(1500);
+  auto [train, test] = ds.split(0.8);
+  BoostConfig one;
+  one.num_rounds = 1;
+  one.max_height = 2;
+  BoostConfig many = one;
+  many.num_rounds = 15;
+  const double acc1 = accuracy(train_boosted(train, one), test);
+  const double acc15 = accuracy(train_boosted(train, many), test);
+  EXPECT_GE(acc15 + 0.02, acc1);  // no meaningful regression
+}
+
+TEST(Boosted, Deterministic) {
+  data::Dataset ds = bolt::testing::small_dataset(500);
+  BoostConfig cfg;
+  cfg.num_rounds = 4;
+  const Forest a = train_boosted(ds, cfg);
+  const Forest b = train_boosted(ds, cfg);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t i = 0; i < a.weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weights[i], b.weights[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bolt::forest

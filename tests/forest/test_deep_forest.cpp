@@ -1,0 +1,73 @@
+#include "forest/deep_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+
+namespace bolt::forest {
+namespace {
+
+DeepForestConfig small_cfg() {
+  DeepForestConfig cfg;
+  cfg.num_layers = 2;
+  cfg.forests_per_layer = 2;
+  cfg.forest_cfg.num_trees = 5;
+  cfg.forest_cfg.max_height = 4;
+  return cfg;
+}
+
+TEST(DeepForest, StructureMatchesConfig) {
+  data::Dataset ds = bolt::testing::small_dataset(600);
+  const DeepForest df = DeepForest::train(ds, small_cfg());
+  EXPECT_EQ(df.num_layers(), 2u);
+  EXPECT_EQ(df.layer(0).size(), 2u);
+  EXPECT_EQ(df.layer(1).size(), 2u);
+  EXPECT_EQ(df.base_features(), ds.num_features());
+  // Layer 1 consumes base + 2 forests * 4 classes augmented features.
+  EXPECT_EQ(df.layer(1)[0].num_features, ds.num_features() + 8);
+}
+
+TEST(DeepForest, PredictsValidClasses) {
+  data::Dataset ds = bolt::testing::small_dataset(600);
+  const DeepForest df = DeepForest::train(ds, small_cfg());
+  for (std::size_t i = 0; i < 50; ++i) {
+    const int c = df.predict(ds.row(i));
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, static_cast<int>(ds.num_classes()));
+  }
+}
+
+TEST(DeepForest, BeatsChance) {
+  data::Dataset ds = bolt::testing::small_dataset(1500);
+  auto [train, test] = ds.split(0.8);
+  const DeepForest df = DeepForest::train(train, small_cfg());
+  EXPECT_GT(df.accuracy(test), 0.35);
+}
+
+TEST(DeepForest, AugmentAppendsNormalizedVotes) {
+  data::Dataset ds = bolt::testing::small_dataset(300);
+  const DeepForest df = DeepForest::train(ds, small_cfg());
+  const auto x = ds.row(0);
+  std::vector<std::vector<double>> votes = {{2.0, 1.0, 1.0, 0.0},
+                                            {0.0, 0.0, 4.0, 0.0}};
+  const auto augmented = df.augment(x, votes);
+  ASSERT_EQ(augmented.size(), x.size() + 8);
+  EXPECT_FLOAT_EQ(augmented[x.size() + 0], 0.5f);
+  EXPECT_FLOAT_EQ(augmented[x.size() + 1], 0.25f);
+  EXPECT_FLOAT_EQ(augmented[x.size() + 6], 1.0f);
+}
+
+TEST(DeepForest, SingleLayerEqualsForestVote) {
+  data::Dataset ds = bolt::testing::small_dataset(400);
+  DeepForestConfig cfg = small_cfg();
+  cfg.num_layers = 1;
+  cfg.forests_per_layer = 1;
+  const DeepForest df = DeepForest::train(ds, cfg);
+  // One layer, one forest: cascade prediction == that forest's prediction.
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(df.predict(ds.row(i)), df.layer(0)[0].predict(ds.row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace bolt::forest

@@ -1,0 +1,110 @@
+#include "forest/dot_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.h"
+#include "forest/trainer.h"
+
+namespace bolt::forest {
+namespace {
+
+bool trees_equal(const DecisionTree& a, const DecisionTree& b) {
+  if (a.nodes().size() != b.nodes().size()) return false;
+  // Compare by structure: predictions on a probe grid.
+  return true;
+}
+
+TEST(DotIo, RoundTripPreservesPredictions) {
+  DecisionTree t = bolt::testing::tiny_tree();
+  DecisionTree back = parse_dot(to_dot(t));
+  for (float a : {0.1f, 0.4f, 0.6f, 0.9f}) {
+    for (float b : {0.1f, 0.4f, 0.6f, 0.9f}) {
+      const float x[2] = {a, b};
+      EXPECT_EQ(back.predict(x), t.predict(x));
+    }
+  }
+}
+
+TEST(DotIo, EmitsSklearnDialect) {
+  const std::string dot = to_dot(bolt::testing::tiny_tree());
+  EXPECT_NE(dot.find("digraph Tree"), std::string::npos);
+  EXPECT_NE(dot.find("X[0] <= 0.5"), std::string::npos);
+  EXPECT_NE(dot.find("class = 2"), std::string::npos);
+  EXPECT_NE(dot.find("headlabel=\"True\""), std::string::npos);
+}
+
+TEST(DotIo, ParsesSklearnStyleLabelsWithExtras) {
+  // Labels as sklearn.tree.export_graphviz writes them: gini/samples/value
+  // packed into the label with \n separators.
+  const std::string dot = R"(digraph Tree {
+node [shape=box] ;
+0 [label="X[3] <= 2.45\ngini = 0.667\nsamples = 150\nvalue = [50, 50, 50]"] ;
+1 [label="gini = 0.0\nsamples = 50\nvalue = [50, 0, 0]\nclass = 0"] ;
+2 [label="gini = 0.5\nsamples = 100\nvalue = [0, 50, 50]\nclass = 2"] ;
+0 -> 1 [labeldistance=2.5, labelangle=45, headlabel="True"] ;
+0 -> 2 [labeldistance=2.5, labelangle=-45, headlabel="False"] ;
+}
+)";
+  DecisionTree t = parse_dot(dot);
+  const float left[4] = {0, 0, 0, 1.0f};
+  const float right[4] = {0, 0, 0, 3.0f};
+  EXPECT_EQ(t.predict(left), 0);
+  EXPECT_EQ(t.predict(right), 2);
+}
+
+TEST(DotIo, SingleLeafGraph) {
+  const std::string dot = "digraph Tree {\n0 [label=\"class = 4\"] ;\n}\n";
+  DecisionTree t = parse_dot(dot);
+  const float x[1] = {0};
+  EXPECT_EQ(t.predict(x), 4);
+}
+
+TEST(DotIo, RejectsGarbage) {
+  EXPECT_THROW(parse_dot("digraph Tree {\n}\n"), std::runtime_error);
+  EXPECT_THROW(parse_dot("not dot at all"), std::runtime_error);
+}
+
+TEST(DotIo, RejectsMissingChild) {
+  const std::string dot = R"(digraph Tree {
+0 [label="X[0] <= 1.0"] ;
+1 [label="class = 0"] ;
+0 -> 1 [headlabel="True"] ;
+}
+)";
+  EXPECT_THROW(parse_dot(dot), std::runtime_error);
+}
+
+TEST(DotIo, ForestRoundTripPreservesEverything) {
+  Forest f = bolt::testing::small_forest(5, 4);
+  f.weights = {1.0, 2.0, 0.5, 1.5, 3.0};
+  std::stringstream ss;
+  write_forest_dot(f, ss);
+  Forest back = read_forest_dot(ss);
+
+  EXPECT_EQ(back.num_features, f.num_features);
+  EXPECT_EQ(back.num_classes, f.num_classes);
+  EXPECT_EQ(back.weights, f.weights);
+  ASSERT_EQ(back.trees.size(), f.trees.size());
+
+  util::Rng rng(9);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto x = bolt::testing::random_sample(rng, f.num_features);
+    EXPECT_EQ(back.predict(x), f.predict(x));
+  }
+  (void)trees_equal;
+}
+
+TEST(DotIo, TrainedTreeRoundTrip) {
+  Forest f = bolt::testing::small_forest(1, 5);
+  DecisionTree back = parse_dot(to_dot(f.trees[0]));
+  util::Rng rng(10);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto x = bolt::testing::random_sample(rng, f.num_features);
+    EXPECT_EQ(back.predict(x), f.trees[0].predict(x));
+  }
+}
+
+}  // namespace
+}  // namespace bolt::forest

@@ -1,0 +1,122 @@
+#include "forest/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+
+namespace bolt::forest {
+namespace {
+
+TEST(PredicateSpace, DeduplicatesSharedSplits) {
+  // tiny_forest: tree0 uses (0, 0.5) and (1, 0.5); tree1 uses (1, 0.25).
+  Forest f = bolt::testing::tiny_forest();
+  PredicateSpace space(f);
+  EXPECT_EQ(space.size(), 3u);
+  EXPECT_EQ(space.num_used_features(), 2u);
+}
+
+TEST(PredicateSpace, OrderedByFeatureThenThreshold) {
+  Forest f = bolt::testing::tiny_forest();
+  PredicateSpace space(f);
+  for (std::size_t i = 1; i < space.size(); ++i) {
+    const auto& a = space.predicate(i - 1);
+    const auto& b = space.predicate(i);
+    EXPECT_TRUE(a.feature < b.feature ||
+                (a.feature == b.feature && a.threshold < b.threshold));
+  }
+}
+
+TEST(PredicateSpace, IdOfFindsEveryPredicate) {
+  Forest f = bolt::testing::small_forest();
+  PredicateSpace space(f);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto& p = space.predicate(i);
+    EXPECT_EQ(space.id_of(p.feature, p.threshold), i);
+  }
+}
+
+TEST(PredicateSpace, IdOfThrowsOnUnknown) {
+  Forest f = bolt::testing::tiny_forest();
+  PredicateSpace space(f);
+  EXPECT_THROW(space.id_of(0, 123.0f), std::out_of_range);
+}
+
+TEST(PredicateSpace, BinarizeMatchesDefinition) {
+  Forest f = bolt::testing::small_forest();
+  PredicateSpace space(f);
+  util::Rng rng(21);
+  util::BitVector bits(space.size());
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto x = bolt::testing::random_sample(rng, f.num_features);
+    space.binarize(x, bits);
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      const auto& pr = space.predicate(p);
+      EXPECT_EQ(bits.get(p), x[pr.feature] <= pr.threshold)
+          << "predicate " << p;
+    }
+  }
+}
+
+TEST(PredicateSpace, BinarizeBoundaryIsInclusive) {
+  Forest f = bolt::testing::tiny_forest();
+  PredicateSpace space(f);
+  std::vector<float> x = {0.5f, 0.25f};  // exactly on both thresholds
+  util::BitVector bits = space.binarize(x);
+  EXPECT_TRUE(bits.get(space.id_of(0, 0.5f)));
+  EXPECT_TRUE(bits.get(space.id_of(1, 0.25f)));
+}
+
+TEST(PredicateSpace, BinarizeHandlesWordBoundaries) {
+  // Build a forest whose predicate count crosses 64/128 bit words: many
+  // stumps with distinct thresholds.
+  data::Dataset ds(3, 2);
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const float x[3] = {static_cast<float>(rng.uniform()),
+                        static_cast<float>(rng.uniform()),
+                        static_cast<float>(rng.uniform())};
+    ds.add_row(x, x[0] > 0.5f);
+  }
+  TrainConfig cfg;
+  cfg.num_trees = 100;
+  cfg.max_height = 4;
+  cfg.max_thresholds = 0;
+  Forest f = train_random_forest(ds, cfg);
+  PredicateSpace space(f);
+  ASSERT_GT(space.size(), 128u);
+
+  util::BitVector bits(space.size());
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto x = bolt::testing::random_sample(rng, 3);
+    space.binarize(x, bits);
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      const auto& pr = space.predicate(p);
+      ASSERT_EQ(bits.get(p), x[pr.feature] <= pr.threshold);
+    }
+  }
+}
+
+TEST(PredicateSpace, TreePredictionRecoverableFromBits) {
+  // Walking a tree using only binarized predicate values must agree with
+  // float traversal — the foundation of Bolt's safety.
+  Forest f = bolt::testing::small_forest();
+  PredicateSpace space(f);
+  util::Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto x = bolt::testing::random_sample(rng, f.num_features);
+    const util::BitVector bits = space.binarize(x);
+    for (const auto& tree : f.trees) {
+      std::int32_t node = 0;
+      while (!tree.nodes()[node].is_leaf()) {
+        const auto& n = tree.nodes()[node];
+        const bool left = bits.get(
+            space.id_of(static_cast<std::uint32_t>(n.feature), n.threshold));
+        node = left ? n.left : n.right;
+      }
+      EXPECT_EQ(tree.nodes()[node].leaf_class, tree.predict(x));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bolt::forest

@@ -1,0 +1,148 @@
+#include "forest/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/builder.h"
+#include "bolt/engine.h"
+#include "data/synthetic.h"
+#include "forest/trainer.h"
+
+namespace bolt::forest {
+
+using data::Dataset;
+using data::make_synth_mnist;
+namespace {
+
+TEST(Quantizer, PureShiftForByteRangedIntegralFeatures) {
+  // Latitude-style data: integral values in [-90, 90] must map by shift
+  // only (the paper's §5 normalization), losing nothing.
+  Dataset ds(1, 2);
+  for (int v = -90; v <= 90; ++v) {
+    const float x[1] = {static_cast<float>(v)};
+    ds.add_row(x, v > 0);
+  }
+  const FeatureQuantizer q = FeatureQuantizer::fit(ds);
+  EXPECT_EQ(q.channel(0).offset, -90.0f);
+  EXPECT_EQ(q.channel(0).scale, 1.0f);
+  EXPECT_EQ(q.quantize_value(0, -90.0f), 0.0f);
+  EXPECT_EQ(q.quantize_value(0, 90.0f), 180.0f);
+}
+
+TEST(Quantizer, ScalesWideRangesIntoByte) {
+  Dataset ds(1, 2);
+  for (int v = 0; v <= 100; ++v) {
+    const float x[1] = {static_cast<float>(v) * 100.0f};
+    ds.add_row(x, 0);
+  }
+  const FeatureQuantizer q = FeatureQuantizer::fit(ds);
+  EXPECT_EQ(q.quantize_value(0, 0.0f), 0.0f);
+  EXPECT_EQ(q.quantize_value(0, 10000.0f), 255.0f);
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    const float v = q.quantize_value(0, ds.row(i)[0]);
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 255.0f);
+  }
+}
+
+TEST(Quantizer, ConstantFeatureMapsToZero) {
+  Dataset ds(2, 2);
+  for (int i = 0; i < 10; ++i) {
+    const float x[2] = {7.0f, static_cast<float>(i)};
+    ds.add_row(x, 0);
+  }
+  const FeatureQuantizer q = FeatureQuantizer::fit(ds);
+  EXPECT_EQ(q.quantize_value(0, 7.0f), 0.0f);
+  EXPECT_EQ(q.quantize_value(0, 100.0f), 0.0f);
+}
+
+TEST(Quantizer, ApplyPreservesShapeAndLabels) {
+  Dataset ds = bolt::testing::small_dataset(100);
+  const FeatureQuantizer q = FeatureQuantizer::fit(ds);
+  const Dataset quantized = q.apply(ds);
+  ASSERT_EQ(quantized.num_rows(), ds.num_rows());
+  ASSERT_EQ(quantized.num_features(), ds.num_features());
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    EXPECT_EQ(quantized.label(i), ds.label(i));
+    for (float v : quantized.row(i)) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 255.0f);
+      EXPECT_EQ(v, std::round(v));
+    }
+  }
+}
+
+TEST(QuantizeForest, ExactOnBytePixelData) {
+  // MNIST-like pixels are integral bytes: requantization must be exact and
+  // every prediction preserved.
+  Dataset ds = make_synth_mnist(400, 3);
+  TrainConfig tc;
+  tc.num_trees = 6;
+  tc.max_height = 4;
+  const Forest model = train_random_forest(ds, tc);
+
+  const FeatureQuantizer q = FeatureQuantizer::fit(ds);
+  const QuantizedForest qf = quantize_forest(model, q, ds);
+  EXPECT_TRUE(qf.exact);
+  EXPECT_EQ(qf.inexact_splits, 0u);
+
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    const auto qrow = q.apply_row(ds.row(i));
+    ASSERT_EQ(qf.forest.predict(qrow), model.predict(ds.row(i)))
+        << "sample " << i;
+  }
+}
+
+TEST(QuantizeForest, PredictionsPreservedOnReferenceWhenExact) {
+  Dataset ds = bolt::testing::small_dataset(600, 21);
+  TrainConfig tc;
+  tc.num_trees = 8;
+  tc.max_height = 4;
+  const Forest model = train_random_forest(ds, tc);
+  const FeatureQuantizer q = FeatureQuantizer::fit(ds);
+  const QuantizedForest qf = quantize_forest(model, q, ds);
+
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    agree += qf.forest.predict(q.apply_row(ds.row(i))) ==
+             model.predict(ds.row(i));
+  }
+  if (qf.exact) {
+    EXPECT_EQ(agree, ds.num_rows());
+  } else {
+    // Continuous features can lose resolution; the drop must be small.
+    EXPECT_GT(static_cast<double>(agree) / ds.num_rows(), 0.95);
+  }
+}
+
+TEST(QuantizeForest, QuantizedPipelineThroughBolt) {
+  // End-to-end: quantize data + forest, compress the quantized forest with
+  // Bolt, and verify Bolt(quantized input) == raw traversal for exact
+  // quantizations. Also: the value bits statistic must shrink to <= 9.
+  Dataset ds = make_synth_mnist(300, 4);
+  TrainConfig tc;
+  tc.num_trees = 5;
+  tc.max_height = 4;
+  const Forest model = train_random_forest(ds, tc);
+  const FeatureQuantizer q = FeatureQuantizer::fit(ds);
+  const QuantizedForest qf = quantize_forest(model, q, ds);
+  ASSERT_TRUE(qf.exact);
+
+  const core::BoltForest bf = core::BoltForest::build(qf.forest, {});
+  core::BoltEngine engine(bf);
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    ASSERT_EQ(engine.predict(q.apply_row(ds.row(i))),
+              model.predict(ds.row(i)));
+  }
+  EXPECT_LE(FeatureQuantizer::value_bits_for(qf.forest), 9u);
+}
+
+TEST(ValueBits, MatchesLargestThreshold) {
+  Forest f = bolt::testing::tiny_forest();  // thresholds 0.5, 0.25
+  EXPECT_EQ(FeatureQuantizer::value_bits_for(f), 1u);
+  f.trees[0].nodes()[0].threshold = 200.0f;
+  EXPECT_EQ(FeatureQuantizer::value_bits_for(f), 8u);
+}
+
+}  // namespace
+}  // namespace bolt::forest

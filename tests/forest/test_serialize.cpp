@@ -1,0 +1,70 @@
+#include "forest/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.h"
+#include "forest/trainer.h"
+
+namespace bolt::forest {
+namespace {
+
+TEST(Serialize, RoundTripBitExact) {
+  Forest f = bolt::testing::small_forest(4, 4);
+  f.weights = {1.0, 0.25, 3.5, 2.0};
+  std::stringstream ss;
+  save_forest(f, ss);
+  Forest back = load_forest(ss);
+
+  EXPECT_EQ(back.num_features, f.num_features);
+  EXPECT_EQ(back.num_classes, f.num_classes);
+  EXPECT_EQ(back.weights, f.weights);
+  ASSERT_EQ(back.trees.size(), f.trees.size());
+  for (std::size_t t = 0; t < f.trees.size(); ++t) {
+    const auto& a = f.trees[t].nodes();
+    const auto& b = back.trees[t].nodes();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t n = 0; n < a.size(); ++n) {
+      EXPECT_EQ(a[n].feature, b[n].feature);
+      EXPECT_EQ(a[n].threshold, b[n].threshold);
+      EXPECT_EQ(a[n].left, b[n].left);
+      EXPECT_EQ(a[n].right, b[n].right);
+      EXPECT_EQ(a[n].leaf_class, b[n].leaf_class);
+    }
+  }
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream ss("garbage data here and more of it");
+  EXPECT_THROW(load_forest(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Forest f = bolt::testing::small_forest(2, 3);
+  std::stringstream ss;
+  save_forest(f, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_forest(cut), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Forest f = bolt::testing::small_forest(2, 3);
+  const std::string path = ::testing::TempDir() + "/bolt_forest.bin";
+  save_forest_file(f, path);
+  Forest back = load_forest_file(path);
+  util::Rng rng(14);
+  for (int i = 0; i < 50; ++i) {
+    const auto x = bolt::testing::random_sample(rng, f.num_features);
+    EXPECT_EQ(back.predict(x), f.predict(x));
+  }
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_forest_file("/nonexistent/path/f.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bolt::forest

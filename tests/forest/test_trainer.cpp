@@ -1,0 +1,162 @@
+#include "forest/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "data/synthetic.h"
+
+namespace bolt::forest {
+namespace {
+
+data::Dataset xor_dataset(std::size_t n = 400) {
+  // XOR of two thresholded features — requires height >= 2 to separate.
+  data::Dataset ds(2, 2);
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    const float x[2] = {a, b};
+    ds.add_row(x, (a > 0.5f) != (b > 0.5f) ? 1 : 0);
+  }
+  return ds;
+}
+
+TEST(Trainer, RespectsMaxHeight) {
+  data::Dataset ds = bolt::testing::small_dataset();
+  for (std::size_t h : {1u, 2u, 4u, 6u}) {
+    TrainConfig cfg;
+    cfg.max_height = h;
+    cfg.num_trees = 4;
+    const Forest f = train_random_forest(ds, cfg);
+    EXPECT_LE(f.max_height(), h);
+  }
+}
+
+TEST(Trainer, ProducesRequestedTreeCount) {
+  data::Dataset ds = bolt::testing::small_dataset();
+  TrainConfig cfg;
+  cfg.num_trees = 7;
+  const Forest f = train_random_forest(ds, cfg);
+  EXPECT_EQ(f.trees.size(), 7u);
+  EXPECT_EQ(f.weights.size(), 7u);
+  for (double w : f.weights) EXPECT_EQ(w, 1.0);
+}
+
+TEST(Trainer, LearnsXorWithSufficientHeight) {
+  data::Dataset ds = xor_dataset();
+  auto [train, test] = ds.split(0.8);
+  TrainConfig cfg;
+  cfg.max_height = 4;
+  cfg.num_trees = 15;
+  cfg.max_features = 2;
+  const Forest f = train_random_forest(train, cfg);
+  EXPECT_GT(accuracy(f, test), 0.9);
+}
+
+TEST(Trainer, HeightOneCannotLearnXor) {
+  data::Dataset ds = xor_dataset();
+  auto [train, test] = ds.split(0.8);
+  TrainConfig cfg;
+  cfg.max_height = 1;
+  cfg.num_trees = 15;
+  cfg.max_features = 2;
+  const Forest f = train_random_forest(train, cfg);
+  EXPECT_LT(accuracy(f, test), 0.70);
+}
+
+TEST(Trainer, DeterministicPerSeed) {
+  data::Dataset ds = bolt::testing::small_dataset();
+  TrainConfig cfg;
+  cfg.num_trees = 3;
+  cfg.seed = 99;
+  const Forest a = train_random_forest(ds, cfg);
+  const Forest b = train_random_forest(ds, cfg);
+  ASSERT_EQ(a.trees.size(), b.trees.size());
+  for (std::size_t t = 0; t < a.trees.size(); ++t) {
+    ASSERT_EQ(a.trees[t].nodes().size(), b.trees[t].nodes().size());
+    for (std::size_t n = 0; n < a.trees[t].nodes().size(); ++n) {
+      EXPECT_EQ(a.trees[t].nodes()[n].feature, b.trees[t].nodes()[n].feature);
+      EXPECT_EQ(a.trees[t].nodes()[n].threshold,
+                b.trees[t].nodes()[n].threshold);
+    }
+  }
+}
+
+TEST(Trainer, DifferentSeedsDiffer) {
+  data::Dataset ds = bolt::testing::small_dataset();
+  TrainConfig cfg;
+  cfg.num_trees = 3;
+  cfg.seed = 1;
+  const Forest a = train_random_forest(ds, cfg);
+  cfg.seed = 2;
+  const Forest b = train_random_forest(ds, cfg);
+  bool identical = true;
+  for (std::size_t t = 0; t < a.trees.size() && identical; ++t) {
+    if (a.trees[t].nodes().size() != b.trees[t].nodes().size()) {
+      identical = false;
+    }
+  }
+  // Bootstrap + feature sampling make identical forests essentially
+  // impossible on this data.
+  EXPECT_FALSE(identical && a.trees[0].nodes().size() ==
+                                b.trees[0].nodes().size() &&
+               a.trees[0].nodes()[0].feature == b.trees[0].nodes()[0].feature &&
+               a.trees[0].nodes()[0].threshold == b.trees[0].nodes()[0].threshold);
+}
+
+TEST(Trainer, PureNodeBecomesLeaf) {
+  // Single-class data: the tree must be a single leaf.
+  data::Dataset ds(2, 2);
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const float x[2] = {static_cast<float>(rng.uniform()),
+                        static_cast<float>(rng.uniform())};
+    ds.add_row(x, 1);
+  }
+  TrainConfig cfg;
+  cfg.num_trees = 1;
+  cfg.bootstrap = false;
+  const Forest f = train_random_forest(ds, cfg);
+  EXPECT_EQ(f.trees[0].num_leaves(), 1u);
+  const float x[2] = {0.5f, 0.5f};
+  EXPECT_EQ(f.predict(x), 1);
+}
+
+TEST(Trainer, ConstantFeaturesYieldLeaf) {
+  data::Dataset ds(2, 2);
+  for (int i = 0; i < 20; ++i) {
+    const float x[2] = {1.0f, 2.0f};
+    ds.add_row(x, i % 2);
+  }
+  TrainConfig cfg;
+  cfg.num_trees = 1;
+  cfg.bootstrap = false;
+  const Forest f = train_random_forest(ds, cfg);
+  EXPECT_EQ(f.trees[0].num_leaves(), 1u);
+}
+
+TEST(Trainer, MinSamplesLeafRespected) {
+  data::Dataset ds = bolt::testing::small_dataset(200);
+  TrainConfig cfg;
+  cfg.num_trees = 1;
+  cfg.bootstrap = false;
+  cfg.min_samples_leaf = 20;
+  cfg.max_height = 10;
+  const Forest f = train_random_forest(ds, cfg);
+  // With 200 rows and >= 20 rows per leaf there can be at most 10 leaves.
+  EXPECT_LE(f.trees[0].num_leaves(), 10u);
+}
+
+TEST(Trainer, TrainedForestPassesCheck) {
+  const Forest f = bolt::testing::small_forest();
+  EXPECT_NO_THROW(f.check());
+}
+
+TEST(Accuracy, EmptyDatasetIsZero) {
+  const Forest f = bolt::testing::tiny_forest();
+  data::Dataset empty(2, 3);
+  EXPECT_EQ(accuracy(f, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace bolt::forest

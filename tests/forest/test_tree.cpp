@@ -1,0 +1,110 @@
+#include "forest/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+
+namespace bolt::forest {
+namespace {
+
+TEST(DecisionTree, PredictFollowsSplits) {
+  DecisionTree t = bolt::testing::tiny_tree();
+  const float a[] = {0.2f, 0.2f};  // left, left -> class 0
+  const float b[] = {0.2f, 0.8f};  // left, right -> class 1
+  const float c[] = {0.8f, 0.0f};  // right -> class 2
+  EXPECT_EQ(t.predict(a), 0);
+  EXPECT_EQ(t.predict(b), 1);
+  EXPECT_EQ(t.predict(c), 2);
+}
+
+TEST(DecisionTree, BoundaryGoesLeft) {
+  // x <= threshold goes left (Scikit-Learn convention).
+  DecisionTree t = bolt::testing::tiny_tree();
+  const float exact[] = {0.5f, 0.5f};
+  EXPECT_EQ(t.predict(exact), 0);
+}
+
+TEST(DecisionTree, HeightAndLeaves) {
+  DecisionTree t = bolt::testing::tiny_tree();
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_EQ(t.num_leaves(), 3u);
+}
+
+TEST(DecisionTree, SingleLeafTree) {
+  std::vector<TreeNode> nodes(1);
+  nodes[0] = {TreeNode::kLeaf, 0.0f, -1, -1, 1};
+  DecisionTree t(std::move(nodes));
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_EQ(t.num_leaves(), 1u);
+  const float x[] = {0.0f};
+  EXPECT_EQ(t.predict(x), 1);
+  EXPECT_NO_THROW(t.check());
+}
+
+TEST(DecisionTree, CheckRejectsLeafWithoutClass) {
+  std::vector<TreeNode> nodes(1);
+  nodes[0] = {TreeNode::kLeaf, 0.0f, -1, -1, -1};
+  DecisionTree t(std::move(nodes));
+  EXPECT_THROW(t.check(), std::logic_error);
+}
+
+TEST(DecisionTree, CheckRejectsOutOfRangeChild) {
+  std::vector<TreeNode> nodes(2);
+  nodes[0] = {0, 0.5f, 1, 7, -1};  // right child out of range
+  nodes[1] = {TreeNode::kLeaf, 0.0f, -1, -1, 0};
+  DecisionTree t(std::move(nodes));
+  EXPECT_THROW(t.check(), std::logic_error);
+}
+
+TEST(DecisionTree, CheckRejectsSharedSubtree) {
+  std::vector<TreeNode> nodes(2);
+  nodes[0] = {0, 0.5f, 1, 1, -1};  // both children point at node 1
+  nodes[1] = {TreeNode::kLeaf, 0.0f, -1, -1, 0};
+  DecisionTree t(std::move(nodes));
+  EXPECT_THROW(t.check(), std::logic_error);
+}
+
+TEST(Forest, WeightedVoteAndPredict) {
+  Forest f = bolt::testing::tiny_forest();
+  f.weights = {1.0, 2.5};
+  const float x[] = {0.2f, 0.2f};  // tree0 -> 0, tree1 -> 1
+  const auto votes = f.vote(x);
+  EXPECT_DOUBLE_EQ(votes[0], 1.0);
+  EXPECT_DOUBLE_EQ(votes[1], 2.5);
+  EXPECT_DOUBLE_EQ(votes[2], 0.0);
+  EXPECT_EQ(f.predict(x), 1);
+}
+
+TEST(Forest, TieBreaksTowardLowerClass) {
+  Forest f = bolt::testing::tiny_forest();  // equal weights
+  const float x[] = {0.2f, 0.2f};           // votes: class0=1, class1=1
+  EXPECT_EQ(f.predict(x), 0);
+}
+
+TEST(Forest, CheckValidatesFeatureRange) {
+  Forest f = bolt::testing::tiny_forest();
+  f.num_features = 1;  // tree uses feature 1 -> out of range
+  EXPECT_THROW(f.check(), std::logic_error);
+}
+
+TEST(Forest, CheckValidatesWeightArity) {
+  Forest f = bolt::testing::tiny_forest();
+  f.weights.pop_back();
+  EXPECT_THROW(f.check(), std::logic_error);
+}
+
+TEST(Forest, Totals) {
+  Forest f = bolt::testing::tiny_forest();
+  EXPECT_EQ(f.total_leaves(), 5u);
+  EXPECT_EQ(f.max_height(), 2u);
+}
+
+TEST(ArgmaxClass, FirstMaxWins) {
+  const double v1[] = {0.0, 3.0, 3.0};
+  EXPECT_EQ(argmax_class(v1), 1);
+  const double v2[] = {5.0};
+  EXPECT_EQ(argmax_class(v2), 0);
+}
+
+}  // namespace
+}  // namespace bolt::forest

@@ -1,0 +1,132 @@
+// Deterministic fuzz-lite robustness tests: every parser/loader must
+// either succeed or throw — never crash, hang, or corrupt memory — on
+// arbitrary byte streams and on mutations of valid inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.h"
+#include "bolt/builder.h"
+#include "bolt/engine.h"
+#include "data/csv.h"
+#include "forest/dot_io.h"
+#include "forest/serialize.h"
+#include "service/protocol.h"
+#include "util/rng.h"
+
+namespace bolt {
+namespace {
+
+std::string random_bytes(util::Rng& rng, std::size_t max_len) {
+  std::string s(rng.below(max_len + 1), '\0');
+  for (char& c : s) c = static_cast<char>(rng.below(256));
+  return s;
+}
+
+/// Flips a few random bytes of a valid blob.
+std::string mutate(util::Rng& rng, std::string blob) {
+  const std::size_t flips = 1 + rng.below(8);
+  for (std::size_t i = 0; i < flips && !blob.empty(); ++i) {
+    blob[rng.below(blob.size())] = static_cast<char>(rng.below(256));
+  }
+  return blob;
+}
+
+template <class Fn>
+void expect_no_crash(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception&) {
+    // Throwing is the contract; crashing is the bug.
+  }
+}
+
+TEST(Fuzz, DotParserOnGarbage) {
+  util::Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    expect_no_crash([&] { forest::parse_dot(random_bytes(rng, 400)); });
+  }
+}
+
+TEST(Fuzz, DotParserOnMutatedValidInput) {
+  util::Rng rng(2);
+  const std::string valid = forest::to_dot(bolt::testing::tiny_tree());
+  for (int i = 0; i < 300; ++i) {
+    expect_no_crash([&] { forest::parse_dot(mutate(rng, valid)); });
+  }
+}
+
+TEST(Fuzz, CsvReaderOnGarbage) {
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    expect_no_crash([&] {
+      std::istringstream in(random_bytes(rng, 400));
+      data::read_csv(in);
+    });
+  }
+}
+
+TEST(Fuzz, ForestLoaderOnGarbageAndMutations) {
+  util::Rng rng(4);
+  std::stringstream valid;
+  forest::save_forest(bolt::testing::tiny_forest(), valid);
+  const std::string blob = valid.str();
+  for (int i = 0; i < 200; ++i) {
+    expect_no_crash([&] {
+      std::istringstream in(random_bytes(rng, 300));
+      forest::load_forest(in);
+    });
+    expect_no_crash([&] {
+      std::istringstream in(mutate(rng, blob));
+      forest::load_forest(in);
+    });
+  }
+}
+
+TEST(Fuzz, ArtifactLoaderOnMutations) {
+  util::Rng rng(5);
+  std::stringstream valid;
+  core::BoltForest::build(bolt::testing::tiny_forest(), {}).save(valid);
+  const std::string blob = valid.str();
+  for (int i = 0; i < 200; ++i) {
+    expect_no_crash([&] {
+      std::istringstream in(mutate(rng, blob));
+      auto loaded = core::BoltForest::load(in);
+      // If a mutation slips through validation, using the artifact must
+      // still be memory-safe when the caller honours the arity contract.
+      if (loaded.num_features() > 4096) return;  // absurd arity: skip use
+      core::BoltEngine engine(loaded);
+      std::vector<float> x(loaded.num_features(), 0.5f);
+      (void)engine.predict(x);
+    });
+  }
+}
+
+TEST(Fuzz, ProtocolDecodersOnGarbage) {
+  util::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const std::string bytes = random_bytes(rng, 200);
+    const std::span<const std::uint8_t> frame(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    expect_no_crash([&] { service::decode_request(frame); });
+    expect_no_crash([&] { service::decode_response(frame); });
+  }
+}
+
+TEST(Fuzz, ProtocolDecodersOnMutatedValidFrames) {
+  util::Rng rng(7);
+  service::Request req;
+  req.features = {1.0f, 2.0f, 3.0f};
+  std::vector<std::uint8_t> valid;
+  service::encode_request(req, valid);
+  std::string blob(valid.begin(), valid.end());
+  for (int i = 0; i < 300; ++i) {
+    const std::string m = mutate(rng, blob);
+    const std::span<const std::uint8_t> frame(
+        reinterpret_cast<const std::uint8_t*>(m.data()), m.size());
+    expect_no_crash([&] { service::decode_request(frame); });
+  }
+}
+
+}  // namespace
+}  // namespace bolt

@@ -1,0 +1,69 @@
+// Shared fixtures/helpers for the test suite: small deterministic datasets
+// and forests that keep individual test processes fast.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "forest/trainer.h"
+#include "forest/tree.h"
+#include "util/rng.h"
+
+namespace bolt::testing {
+
+/// Small LSTW-like dataset: 11 features, 4 classes — cheap to train on.
+inline data::Dataset small_dataset(std::size_t rows = 600,
+                                   std::uint64_t seed = 11) {
+  return data::make_synth_lstw(rows, seed);
+}
+
+/// A quick random forest over the small dataset.
+inline forest::Forest small_forest(std::size_t trees = 6,
+                                   std::size_t height = 4,
+                                   std::uint64_t seed = 5) {
+  data::Dataset ds = small_dataset(500, seed);
+  forest::TrainConfig cfg;
+  cfg.num_trees = trees;
+  cfg.max_height = height;
+  cfg.seed = seed;
+  return forest::train_random_forest(ds, cfg);
+}
+
+/// Hand-built tree: (f0 <= 0.5) ? ((f1 <= 0.5) ? c0 : c1) : c2.
+inline forest::DecisionTree tiny_tree() {
+  using forest::TreeNode;
+  std::vector<TreeNode> nodes(5);
+  nodes[0] = {0, 0.5f, 1, 2, -1};
+  nodes[1] = {1, 0.5f, 3, 4, -1};
+  nodes[2] = {TreeNode::kLeaf, 0.0f, -1, -1, 2};
+  nodes[3] = {TreeNode::kLeaf, 0.0f, -1, -1, 0};
+  nodes[4] = {TreeNode::kLeaf, 0.0f, -1, -1, 1};
+  return forest::DecisionTree(std::move(nodes));
+}
+
+/// A two-tree forest over 2 features / 3 classes built from tiny trees.
+inline forest::Forest tiny_forest() {
+  forest::Forest f;
+  f.num_features = 2;
+  f.num_classes = 3;
+  f.trees.push_back(tiny_tree());
+  // Second tree: (f1 <= 0.25) ? c1 : c2.
+  using forest::TreeNode;
+  std::vector<TreeNode> nodes(3);
+  nodes[0] = {1, 0.25f, 1, 2, -1};
+  nodes[1] = {TreeNode::kLeaf, 0.0f, -1, -1, 1};
+  nodes[2] = {TreeNode::kLeaf, 0.0f, -1, -1, 2};
+  f.trees.emplace_back(std::move(nodes));
+  f.weights = {1.0, 1.0};
+  return f;
+}
+
+/// Uniform random sample in [0,1)^n.
+inline std::vector<float> random_sample(util::Rng& rng, std::size_t n) {
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  return x;
+}
+
+}  // namespace bolt::testing

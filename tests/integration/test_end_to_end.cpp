@@ -1,0 +1,183 @@
+// Cross-module integration: the full paper pipeline — train, export to
+// DOT (the paper's Scikit-Learn -> Bolt hand-off), re-import, compress
+// with Bolt, plan parameters, serve, and verify against traversal on all
+// three (synthetic) paper datasets. Also the deep-forest cascade through
+// Bolt engines (Figure 15's workload).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.h"
+#include "baselines/fp_engine.h"
+#include "baselines/service_model.h"
+#include "baselines/sklearn_engine.h"
+#include "bolt/bolt.h"
+#include "data/synthetic.h"
+#include "forest/deep_forest.h"
+#include "forest/dot_io.h"
+#include "forest/serialize.h"
+#include "forest/trainer.h"
+#include "service/server.h"
+
+namespace bolt {
+namespace {
+
+struct DatasetCase {
+  const char* name;
+  data::Dataset (*make)(std::size_t, std::uint64_t);
+  std::size_t rows;
+  std::size_t height;
+};
+
+class PipelineOnDataset : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(PipelineOnDataset, TrainDotRoundTripBoltServe) {
+  const DatasetCase& p = GetParam();
+  data::Dataset ds = p.make(p.rows, 7);
+  auto [train, test] = ds.split(0.8);
+
+  forest::TrainConfig tc;
+  tc.num_trees = 8;
+  tc.max_height = p.height;
+  const forest::Forest trained = forest::train_random_forest(train, tc);
+
+  // The paper's hand-off: trained forest -> DOT files -> Bolt tools.
+  std::stringstream dot;
+  forest::write_forest_dot(trained, dot);
+  const forest::Forest imported = forest::read_forest_dot(dot);
+
+  const core::BoltForest bf = core::BoltForest::build(imported, {});
+  core::BoltEngine engine(bf);
+
+  const std::size_t n = std::min<std::size_t>(test.num_rows(), 150);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(engine.predict(test.row(i)), trained.predict(test.row(i)))
+        << p.name << " sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDatasets, PipelineOnDataset,
+    ::testing::Values(
+        DatasetCase{"mnist", data::make_synth_mnist, 600, 4},
+        DatasetCase{"lstw", data::make_synth_lstw, 1000, 5},
+        DatasetCase{"yelp", data::make_synth_yelp, 300, 4}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Integration, PlannerFeedsServiceWhichMatchesTraversal) {
+  data::Dataset ds = bolt::testing::small_dataset(800, 101);
+  auto [train, test] = ds.split(0.8);
+  forest::TrainConfig tc;
+  tc.num_trees = 10;
+  tc.max_height = 4;
+  const forest::Forest trained = forest::train_random_forest(train, tc);
+
+  core::PlannerConfig pc;
+  pc.thresholds = {1, 4, 8};
+  pc.repetitions = 1;
+  pc.max_calibration_samples = 32;
+  core::PlanResult planned = core::plan(trained, test, pc);
+
+  const std::string path =
+      ::testing::TempDir() + "/bolt_int_" + std::to_string(::getpid());
+  service::InferenceServer server(path, [&] {
+    return std::make_unique<core::BoltEngine>(*planned.artifact);
+  });
+  server.start();
+  service::InferenceClient client(path);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(client.classify(test.row(i)).predicted_class,
+              trained.predict(test.row(i)));
+  }
+  server.stop();
+}
+
+TEST(Integration, DeepForestThroughBoltMatchesCascade) {
+  // Figure 15's structure: compress each layer's forests in isolation and
+  // run the dictionaries sequentially, appending vote fractions.
+  data::Dataset ds = bolt::testing::small_dataset(1000, 103);
+  forest::DeepForestConfig cfg;
+  cfg.num_layers = 2;
+  cfg.forests_per_layer = 2;
+  cfg.forest_cfg.num_trees = 5;
+  cfg.forest_cfg.max_height = 4;
+  const forest::DeepForest df = forest::DeepForest::train(ds, cfg);
+
+  // Bolt-compress every forest of every layer.
+  std::vector<std::vector<core::BoltForest>> layers;
+  for (std::size_t l = 0; l < df.num_layers(); ++l) {
+    std::vector<core::BoltForest> row;
+    for (const forest::Forest& f : df.layer(l)) {
+      row.push_back(core::BoltForest::build(f, {}));
+    }
+    layers.push_back(std::move(row));
+  }
+
+  for (std::size_t i = 0; i < 100; ++i) {
+    // Drive the cascade with Bolt vote functions.
+    std::vector<float> features(ds.row(i).begin(), ds.row(i).end());
+    for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+      std::vector<std::vector<double>> votes;
+      for (core::BoltForest& bf : layers[l]) {
+        core::BoltEngine engine(bf);
+        std::vector<double> v(ds.num_classes());
+        engine.vote(features, v);
+        votes.push_back(std::move(v));
+      }
+      features = df.augment(features, votes);
+    }
+    std::vector<double> total(ds.num_classes(), 0.0);
+    for (core::BoltForest& bf : layers.back()) {
+      core::BoltEngine engine(bf);
+      std::vector<double> v(ds.num_classes());
+      engine.vote(features, v);
+      for (std::size_t c = 0; c < total.size(); ++c) total[c] += v[c];
+    }
+    ASSERT_EQ(forest::argmax_class(total), df.predict(ds.row(i)))
+        << "sample " << i;
+  }
+}
+
+TEST(Integration, SerializedForestSurvivesFullPipeline) {
+  data::Dataset ds = bolt::testing::small_dataset(600, 104);
+  const forest::Forest trained = bolt::testing::small_forest(8, 4, 104);
+  std::stringstream blob;
+  forest::save_forest(trained, blob);
+  const forest::Forest loaded = forest::load_forest(blob);
+  const core::BoltForest bf = core::BoltForest::build(loaded, {});
+  core::BoltEngine engine(bf);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(engine.predict(ds.row(i)), trained.predict(ds.row(i)));
+  }
+}
+
+TEST(Integration, ModeledCountersShowBoltAdvantages) {
+  // Figure 12's robust qualitative claims as assertions: Bolt takes fewer
+  // branches and suffers fewer branch misses than Forest Packing (bit-mask
+  // scans replace per-node conditionals), and both are orders of magnitude
+  // below the Scikit-like platform in instructions.
+  data::Dataset ds = data::make_synth_lstw(1200, 105);
+  auto [train, test] = ds.split(0.8);
+  forest::TrainConfig tc;
+  tc.num_trees = 10;
+  tc.max_height = 4;
+  const forest::Forest trained = forest::train_random_forest(train, tc);
+  const core::BoltForest bf = core::BoltForest::build(trained, {});
+  core::BoltEngine bolt_engine(bf);
+  engines::ForestPackingEngine fp(trained, test);
+  engines::SklearnEngine sk(trained);
+
+  const auto cfg = archsim::xeon_e5_2650_v4();
+  archsim::Machine m1(cfg), m2(cfg), m3(cfg);
+  const auto rb = engines::model_service(bolt_engine, m1, test, 200);
+  const auto rf = engines::model_service(fp, m2, test, 200);
+  const auto rs = engines::model_service(sk, m3, test, 200);
+
+  EXPECT_LT(rb.per_sample.branches, rf.per_sample.branches);
+  EXPECT_LE(rb.per_sample.branch_misses, rf.per_sample.branch_misses);
+  EXPECT_LT(rb.per_sample.instructions * 100, rs.per_sample.instructions);
+  EXPECT_LT(rf.per_sample.instructions * 100, rs.per_sample.instructions);
+}
+
+}  // namespace
+}  // namespace bolt

@@ -1,0 +1,179 @@
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../helpers.h"
+#include "baselines/ranger_engine.h"
+#include "service/protocol.h"
+
+namespace bolt::service {
+namespace {
+
+std::string temp_socket(const char* tag) {
+  return ::testing::TempDir() + "/bolt_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  Request req;
+  req.flags = kFlagExplain;
+  req.features = {1.5f, -2.0f, 3.25f};
+  std::vector<std::uint8_t> buf;
+  encode_request(req, buf);
+  const Request back = decode_request(buf);
+  EXPECT_EQ(back.flags, kFlagExplain);
+  EXPECT_EQ(back.features, req.features);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response resp;
+  resp.predicted_class = 7;
+  resp.salient = {{3, 1.5}, {100, 0.25}};
+  std::vector<std::uint8_t> buf;
+  encode_response(resp, buf);
+  const Response back = decode_response(buf);
+  EXPECT_EQ(back.predicted_class, 7);
+  ASSERT_EQ(back.salient.size(), 2u);
+  EXPECT_EQ(back.salient[0].feature, 3u);
+  EXPECT_EQ(back.salient[1].score, 0.25);
+}
+
+TEST(Protocol, RejectsBadMagic) {
+  std::vector<std::uint8_t> buf(16, 0xab);
+  EXPECT_THROW(decode_request(buf), std::runtime_error);
+  EXPECT_THROW(decode_response(buf), std::runtime_error);
+}
+
+TEST(Protocol, RejectsTruncation) {
+  Request req;
+  req.features = {1.0f, 2.0f};
+  std::vector<std::uint8_t> buf;
+  encode_request(req, buf);
+  buf.pop_back();
+  EXPECT_THROW(decode_request(buf), std::runtime_error);
+}
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    forest_ = bolt::testing::small_forest(6, 4, 91);
+    inputs_ = bolt::testing::small_dataset(100, 92);
+    artifact_ = std::make_unique<core::BoltForest>(
+        core::BoltForest::build(forest_, {}));
+  }
+
+  forest::Forest forest_;
+  data::Dataset inputs_{0, 0};
+  std::unique_ptr<core::BoltForest> artifact_;
+};
+
+TEST_F(ServiceFixture, EndToEndClassification) {
+  const std::string path = temp_socket("e2e");
+  InferenceServer server(
+      path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); });
+  server.start();
+
+  InferenceClient client(path);
+  for (std::size_t i = 0; i < inputs_.num_rows(); ++i) {
+    const Response resp = client.classify(inputs_.row(i));
+    EXPECT_EQ(resp.predicted_class, forest_.predict(inputs_.row(i)));
+    EXPECT_TRUE(resp.salient.empty());
+  }
+  EXPECT_EQ(server.requests_served(), inputs_.num_rows());
+  server.stop();
+}
+
+TEST_F(ServiceFixture, ExplanationsReturned) {
+  const std::string path = temp_socket("explain");
+  InferenceServer server(
+      path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); });
+  server.start();
+
+  InferenceClient client(path);
+  const Response resp = client.classify(inputs_.row(0), /*explain=*/true);
+  EXPECT_EQ(resp.predicted_class, forest_.predict(inputs_.row(0)));
+  EXPECT_FALSE(resp.salient.empty());
+  for (const auto& s : resp.salient) {
+    EXPECT_LT(s.feature, forest_.num_features);
+    EXPECT_GT(s.score, 0.0);
+  }
+  server.stop();
+}
+
+TEST_F(ServiceFixture, ServesBaselineEnginesToo) {
+  const std::string path = temp_socket("ranger");
+  InferenceServer server(path, [&] {
+    return std::make_unique<engines::RangerEngine>(forest_);
+  });
+  server.start();
+  InferenceClient client(path);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(client.classify(inputs_.row(i)).predicted_class,
+              forest_.predict(inputs_.row(i)));
+  }
+  server.stop();
+}
+
+TEST_F(ServiceFixture, MultipleConcurrentClients) {
+  const std::string path = temp_socket("multi");
+  InferenceServer server(
+      path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); });
+  server.start();
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      InferenceClient client(path);
+      for (std::size_t i = c; i < 60; i += 4) {
+        if (client.classify(inputs_.row(i)).predicted_class !=
+            forest_.predict(inputs_.row(i))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+TEST_F(ServiceFixture, RejectsWrongArity) {
+  const std::string path = temp_socket("arity");
+  InferenceServer server(
+      path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); });
+  server.start();
+  InferenceClient client(path);
+  // Too few and too many features: the front end must answer class -1
+  // rather than dispatch a malformed request to the engine.
+  std::vector<float> too_few(forest_.num_features - 1, 0.0f);
+  std::vector<float> too_many(forest_.num_features + 5, 0.0f);
+  EXPECT_EQ(client.classify(too_few).predicted_class, -1);
+  EXPECT_EQ(client.classify(too_many).predicted_class, -1);
+  // The connection survives and valid requests still work.
+  EXPECT_EQ(client.classify(inputs_.row(0)).predicted_class,
+            forest_.predict(inputs_.row(0)));
+  server.stop();
+}
+
+TEST_F(ServiceFixture, StopIsIdempotentAndRestartable) {
+  const std::string path = temp_socket("restart");
+  {
+    InferenceServer server(
+        path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); });
+    server.start();
+    server.stop();
+    server.stop();  // no-op
+  }
+  InferenceServer server2(
+      path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); });
+  server2.start();
+  InferenceClient client(path);
+  EXPECT_GE(client.classify(inputs_.row(0)).predicted_class, 0);
+  server2.stop();
+}
+
+}  // namespace
+}  // namespace bolt::service

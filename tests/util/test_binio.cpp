@@ -1,0 +1,60 @@
+#include "util/binio.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bolt::util {
+namespace {
+
+TEST(BinIo, ScalarRoundTrip) {
+  std::stringstream ss;
+  put(ss, std::uint32_t{0xdeadbeef});
+  put(ss, -1.5);
+  put(ss, std::uint8_t{7});
+  EXPECT_EQ(get<std::uint32_t>(ss), 0xdeadbeefu);
+  EXPECT_EQ(get<double>(ss), -1.5);
+  EXPECT_EQ(get<std::uint8_t>(ss), 7u);
+}
+
+TEST(BinIo, VectorRoundTrip) {
+  std::stringstream ss;
+  const std::vector<std::uint64_t> v = {1, 2, 3, ~0ull};
+  put_vec(ss, v);
+  EXPECT_EQ(get_vec<std::uint64_t>(ss), v);
+}
+
+TEST(BinIo, EmptyVector) {
+  std::stringstream ss;
+  put_vec(ss, std::vector<float>{});
+  EXPECT_TRUE(get_vec<float>(ss).empty());
+}
+
+TEST(BinIo, TruncatedScalarThrows) {
+  std::stringstream ss;
+  put(ss, std::uint16_t{1});
+  EXPECT_THROW(get<std::uint64_t>(ss), std::runtime_error);
+}
+
+TEST(BinIo, TruncatedVectorThrows) {
+  std::stringstream ss;
+  put_vec(ss, std::vector<std::uint64_t>{1, 2, 3});
+  const std::string s = ss.str();
+  std::stringstream cut(s.substr(0, s.size() - 4));
+  EXPECT_THROW(get_vec<std::uint64_t>(cut), std::runtime_error);
+}
+
+TEST(BinIo, ImplausibleSizeRejectedBeforeAllocation) {
+  std::stringstream ss;
+  put(ss, ~std::uint64_t{0});  // claims 2^64-1 elements
+  EXPECT_THROW(get_vec<std::uint64_t>(ss), std::runtime_error);
+}
+
+TEST(BinIo, CustomElementLimit) {
+  std::stringstream ss;
+  put_vec(ss, std::vector<std::uint8_t>(100, 1));
+  EXPECT_THROW(get_vec<std::uint8_t>(ss, 50), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bolt::util

@@ -1,0 +1,205 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bolt::util {
+namespace {
+
+TEST(Pext, EmptyMaskYieldsZero) {
+  EXPECT_EQ(pext64(0xdeadbeef, 0), 0u);
+}
+
+TEST(Pext, FullMaskIsIdentity) {
+  EXPECT_EQ(pext64(0x123456789abcdef0ULL, ~0ULL), 0x123456789abcdef0ULL);
+}
+
+TEST(Pext, GathersSelectedBitsInOrder) {
+  // value bits at positions 1 and 3 -> result bits 0 and 1.
+  EXPECT_EQ(pext64(0b1010, 0b1010), 0b11u);
+  EXPECT_EQ(pext64(0b1000, 0b1010), 0b10u);
+  EXPECT_EQ(pext64(0b0010, 0b1010), 0b01u);
+}
+
+TEST(Pext, FastVariantMatchesPortable) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next();
+    const std::uint64_t m = rng.next() & rng.next();  // sparse-ish mask
+    EXPECT_EQ(pext64_fast(v, m), pext64(v, m)) << "v=" << v << " m=" << m;
+  }
+}
+
+TEST(Pdep, InverseOfPextOnMask) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next();
+    const std::uint64_t m = rng.next();
+    EXPECT_EQ(pdep64(pext64(v, m), m), v & m);
+  }
+}
+
+TEST(BitVector, StartsCleared) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.popcount(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bv.get(i));
+}
+
+TEST(BitVector, FillConstructorSetsExactlyNBits) {
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.popcount(), 70u);
+  // Trailing bits of the last word must not be set (masked_equals and
+  // popcount depend on it).
+  BitVector other(70);
+  other.resize(70);
+  EXPECT_TRUE(bv.contains_all(other));
+}
+
+TEST(BitVector, SetAndClearRoundTrip) {
+  BitVector bv(200);
+  bv.set(0);
+  bv.set(63);
+  bv.set(64);
+  bv.set(199);
+  EXPECT_EQ(bv.popcount(), 4u);
+  EXPECT_TRUE(bv.get(63));
+  EXPECT_TRUE(bv.get(64));
+  bv.set(63, false);
+  EXPECT_FALSE(bv.get(63));
+  EXPECT_EQ(bv.popcount(), 3u);
+}
+
+TEST(BitVector, MaskedEqualsMatchesNaiveSemantics) {
+  Rng rng(7);
+  const std::size_t n = 150;
+  for (int iter = 0; iter < 200; ++iter) {
+    BitVector data(n), mask(n), expect(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data.set(i, rng.bernoulli(0.5));
+      const bool m = rng.bernoulli(0.3);
+      mask.set(i, m);
+      if (m) expect.set(i, rng.bernoulli(0.5));
+    }
+    bool naive = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask.get(i) && data.get(i) != expect.get(i)) naive = false;
+    }
+    EXPECT_EQ(data.masked_equals(mask, expect), naive);
+  }
+}
+
+TEST(BitVector, ContainsAllAndDisjoint) {
+  BitVector a(100), b(100), c(100);
+  a.set(3);
+  a.set(50);
+  a.set(99);
+  b.set(3);
+  b.set(99);
+  c.set(4);
+  EXPECT_TRUE(a.contains_all(b));
+  EXPECT_FALSE(b.contains_all(a));
+  EXPECT_TRUE(a.disjoint(c));
+  EXPECT_FALSE(a.disjoint(b));
+}
+
+TEST(BitVector, BitwiseOperators) {
+  BitVector a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(1);
+  b.set(2);
+  BitVector o = a;
+  o |= b;
+  EXPECT_TRUE(o.get(1));
+  EXPECT_TRUE(o.get(2));
+  EXPECT_TRUE(o.get(65));
+  BitVector n = a;
+  n &= b;
+  EXPECT_TRUE(n.get(1));
+  EXPECT_FALSE(n.get(2));
+  EXPECT_FALSE(n.get(65));
+  BitVector x = a;
+  x ^= b;
+  EXPECT_FALSE(x.get(1));
+  EXPECT_TRUE(x.get(2));
+  EXPECT_TRUE(x.get(65));
+}
+
+TEST(BitVector, SetBitsAscending) {
+  BitVector bv(300);
+  const std::vector<std::uint32_t> want = {0, 63, 64, 128, 299};
+  for (auto i : want) bv.set(i);
+  EXPECT_EQ(bv.set_bits(), want);
+}
+
+TEST(BitVector, ResizeShrinkClearsTrailingBits) {
+  BitVector bv(100, true);
+  bv.resize(70);
+  EXPECT_EQ(bv.popcount(), 70u);
+  bv.resize(100);
+  EXPECT_EQ(bv.popcount(), 70u);  // re-grown bits are zero
+}
+
+TEST(GatherBits, MatchesBitOrder) {
+  BitVector bv(100);
+  bv.set(5);
+  bv.set(70);
+  const std::vector<std::uint32_t> positions = {5, 6, 70};
+  // bit0 <- pos5 (1), bit1 <- pos6 (0), bit2 <- pos70 (1).
+  EXPECT_EQ(gather_bits(bv, positions), 0b101u);
+}
+
+TEST(BitStream, WriteReadRoundTrip) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0xffff, 16);
+  w.write(1, 1);
+  w.write(0x123456789abcdefULL, 60);
+  BitReader r(w.words());
+  EXPECT_EQ(r.read(0, 3), 0b101u);
+  EXPECT_EQ(r.read(3, 16), 0xffffu);
+  EXPECT_EQ(r.read(19, 1), 1u);
+  EXPECT_EQ(r.read(20, 60), 0x123456789abcdefULL);
+  EXPECT_EQ(w.bit_size(), 80u);
+  EXPECT_EQ(w.byte_size(), 10u);
+}
+
+TEST(BitStream, RandomizedRoundTrip) {
+  Rng rng(42);
+  std::vector<std::pair<std::uint64_t, unsigned>> values;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+    const std::uint64_t v =
+        width == 64 ? rng.next() : rng.next() & ((1ULL << width) - 1);
+    values.emplace_back(v, width);
+    w.write(v, width);
+  }
+  BitReader r(w.words());
+  std::size_t pos = 0;
+  for (const auto& [v, width] : values) {
+    EXPECT_EQ(r.read(pos, width), v);
+    pos += width;
+  }
+}
+
+TEST(BitWidthFor, Boundaries) {
+  EXPECT_EQ(bit_width_for(0), 1u);
+  EXPECT_EQ(bit_width_for(1), 1u);
+  EXPECT_EQ(bit_width_for(2), 2u);
+  EXPECT_EQ(bit_width_for(255), 8u);
+  EXPECT_EQ(bit_width_for(256), 9u);
+  EXPECT_EQ(bit_width_for(~0ULL), 64u);
+}
+
+TEST(WordsForBits, Rounding) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+}
+
+}  // namespace
+}  // namespace bolt::util

@@ -1,0 +1,75 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+namespace bolt::util {
+namespace {
+
+TEST(Mix64, Deterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Mix64, SeededVariantsDiffer) {
+  EXPECT_NE(mix64(1, 100), mix64(2, 100));
+  EXPECT_NE(mix64(1, 100), mix64(1, 101));
+}
+
+TEST(Mix64, AvalancheOnLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    total += std::popcount(mix64(x) ^ mix64(x ^ 1));
+  }
+  const double avg = total / 256.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashBytes, EmptyAndSeedSensitivity) {
+  const std::uint64_t h0 = hash_bytes({}, 0);
+  const std::uint64_t h1 = hash_bytes({}, 1);
+  EXPECT_NE(h0, h1);
+}
+
+TEST(HashBytes, ContentSensitivity) {
+  const char a[] = "hello";
+  const char b[] = "hellp";
+  const auto sa = std::as_bytes(std::span(a, 5));
+  const auto sb = std::as_bytes(std::span(b, 5));
+  EXPECT_NE(hash_bytes(sa), hash_bytes(sb));
+  EXPECT_EQ(hash_bytes(sa), hash_bytes(sa));
+}
+
+TEST(HashWords, OrderSensitive) {
+  const std::uint64_t a[] = {1, 2};
+  const std::uint64_t b[] = {2, 1};
+  EXPECT_NE(hash_words(a), hash_words(b));
+}
+
+TEST(HashTableKey, DistinctKeysRarelyCollideInLowBits) {
+  // The recombined table uses low bits for slots; check distribution over
+  // a small slot space.
+  std::set<std::uint64_t> slots;
+  const std::uint64_t mask = (1 << 16) - 1;
+  int collisions = 0;
+  for (std::uint32_t id = 0; id < 64; ++id) {
+    for (std::uint64_t addr = 0; addr < 64; ++addr) {
+      const std::uint64_t s = hash_table_key(id, addr, 7) & mask;
+      if (!slots.insert(s).second) ++collisions;
+    }
+  }
+  // 4096 keys into 65536 slots: expect ~124 birthday collisions; fail only
+  // on gross clustering.
+  EXPECT_LT(collisions, 400);
+}
+
+TEST(HashTableKey, SeedChangesMapping) {
+  EXPECT_NE(hash_table_key(1, 2, 3), hash_table_key(1, 2, 4));
+}
+
+}  // namespace
+}  // namespace bolt::util

@@ -1,0 +1,85 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace bolt::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(1), b(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsProduceDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.2);
+  EXPECT_NEAR(hits, 2000, 200);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) sum += rng.poisson(2.5);
+  EXPECT_NEAR(sum / 10000, 2.5, 0.15);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // overwhelmingly likely
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+}  // namespace
+}  // namespace bolt::util

@@ -1,0 +1,51 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace bolt::util {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_EQ(s.mean(), 7.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.percentile(0), 7.0);
+  EXPECT_EQ(s.percentile(100), 7.0);
+}
+
+TEST(Summary, MeanAndStddev) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_EQ(s.percentile(0), 1.0);
+  EXPECT_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+}
+
+TEST(Summary, MinMax) {
+  Summary s;
+  s.add(3);
+  s.add(-1);
+  s.add(10);
+  EXPECT_EQ(s.min(), -1.0);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+}  // namespace
+}  // namespace bolt::util

@@ -1,0 +1,55 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace bolt::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(200, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 200);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroRequestedStillWorks) {
+  ThreadPool pool(0);  // clamps to 1
+  EXPECT_EQ(pool.size(), 1u);
+  auto f = pool.submit([] {});
+  f.get();
+}
+
+TEST(ThreadPool, DestructionDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&] { counter.fetch_add(1); }).get();
+    }
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace bolt::util

@@ -1,0 +1,347 @@
+// bolt — command-line front end for the library's file-based workflows.
+//
+//   bolt synth    --dataset mnist|lstw|yelp --rows N --out data.csv
+//   bolt train    --data train.csv --trees 10 --height 4 --out model.forest
+//                 [--boosted] [--export-dot model.dot]
+//   bolt compress --model model.forest --out model.bolt
+//                 [--threshold T | --plan --calibration data.csv --cores C]
+//   bolt predict  --artifact model.bolt --data test.csv [--explain K]
+//                 [--profile]
+//   bolt verify   --model model.forest --artifact model.bolt [--samples N]
+//   bolt serve    --artifact model.bolt --socket /tmp/bolt.sock
+//   bolt inspect  --model model.forest | --artifact model.bolt
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "bolt/bolt.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "forest/boosted.h"
+#include "forest/dot_io.h"
+#include "forest/serialize.h"
+#include "forest/trainer.h"
+#include "service/server.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace bolt;
+
+/// Minimal `--key value` / `--flag` argument map.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::runtime_error("expected --flag, got: " + key);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("missing required --" + key);
+    return values_.at(key);
+  }
+  long get_int(const std::string& key, long fallback) const {
+    return has(key) ? std::stol(values_.at(key)) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_synth(const Args& args) {
+  const std::string which = args.require("dataset");
+  const auto rows = static_cast<std::size_t>(args.get_int("rows", 2000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  data::Dataset ds(0, 0);
+  if (which == "mnist") {
+    ds = data::make_synth_mnist(rows, seed);
+  } else if (which == "lstw") {
+    ds = data::make_synth_lstw(rows, seed);
+  } else if (which == "yelp") {
+    ds = data::make_synth_yelp(rows, seed);
+  } else {
+    throw std::runtime_error("unknown dataset: " + which);
+  }
+  data::write_csv_file(ds, args.require("out"));
+  std::printf("wrote %zu rows x %zu features (%zu classes) to %s\n",
+              ds.num_rows(), ds.num_features(), ds.num_classes(),
+              args.get("out").c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  data::Dataset ds = data::read_csv_file(args.require("data"));
+  std::printf("loaded %zu rows x %zu features, %zu classes\n", ds.num_rows(),
+              ds.num_features(), ds.num_classes());
+  util::Timer timer;
+  forest::Forest model;
+  if (args.has("boosted")) {
+    forest::BoostConfig cfg;
+    cfg.num_rounds = static_cast<std::size_t>(args.get_int("trees", 10));
+    cfg.max_height = static_cast<std::size_t>(args.get_int("height", 4));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    model = forest::train_boosted(ds, cfg);
+  } else {
+    forest::TrainConfig cfg;
+    cfg.num_trees = static_cast<std::size_t>(args.get_int("trees", 10));
+    cfg.max_height = static_cast<std::size_t>(args.get_int("height", 4));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    model = forest::train_random_forest(ds, cfg);
+  }
+  std::printf("trained %zu trees (max height %zu) in %.1f ms; "
+              "training accuracy %.1f%%\n",
+              model.trees.size(), model.max_height(), timer.elapsed_ms(),
+              100.0 * forest::accuracy(model, ds));
+  forest::save_forest_file(model, args.require("out"));
+  if (args.has("export-dot")) {
+    std::ofstream dot(args.get("export-dot"));
+    forest::write_forest_dot(model, dot);
+    std::printf("exported DOT to %s\n", args.get("export-dot").c_str());
+  }
+  std::printf("saved model to %s\n", args.get("out").c_str());
+  return 0;
+}
+
+int cmd_compress(const Args& args) {
+  const forest::Forest model =
+      forest::load_forest_file(args.require("model"));
+  util::Timer timer;
+  core::BoltForest artifact = [&] {
+    if (args.has("plan")) {
+      data::Dataset calibration =
+          data::read_csv_file(args.require("calibration"));
+      core::PlannerConfig pc;
+      pc.cores = static_cast<std::size_t>(args.get_int("cores", 1));
+      core::PlanResult planned = core::plan(model, calibration, pc);
+      const auto& best = planned.best_candidate();
+      std::printf("planner: threshold %zu, split %zu x %zu, %.3f us/sample "
+                  "over %zu candidates\n",
+                  best.threshold, best.partitions.dict_parts,
+                  best.partitions.table_parts, best.avg_response_us,
+                  planned.candidates.size());
+      return std::move(*planned.artifact);
+    }
+    core::BoltConfig cfg;
+    cfg.cluster.threshold =
+        static_cast<std::size_t>(args.get_int("threshold", 4));
+    cfg.use_bloom = args.has("bloom");
+    return core::BoltForest::build(model, cfg);
+  }();
+  const auto& s = artifact.stats();
+  std::printf("compressed in %.1f ms: %zu paths -> %zu merged -> %zu "
+              "dictionary entries, %zu table entries in %zu slots, %zu KB\n",
+              timer.elapsed_ms(), s.num_raw_paths, s.num_merged_paths,
+              s.num_clusters, s.table_entries, s.table_slots,
+              artifact.memory_bytes() / 1024);
+  artifact.save_file(args.require("out"));
+  std::printf("saved artifact to %s\n", args.get("out").c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const core::BoltForest artifact =
+      core::BoltForest::load_file(args.require("artifact"));
+  data::Dataset ds = data::read_csv_file(args.require("data"));
+  core::BoltEngine engine(artifact);
+  const auto explain_k = static_cast<std::size_t>(args.get_int("explain", 0));
+  const bool profile = args.has("profile");
+  core::EntryProfile entry_profile(artifact.dictionary().num_entries());
+
+  std::size_t correct = 0;
+  util::Timer timer;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    int cls;
+    if (profile) {
+      cls = engine.predict_profiled(ds.row(i), entry_profile);
+      correct += cls == ds.label(i);
+      continue;
+    }
+    if (explain_k > 0) {
+      core::Explanation why(artifact.num_features());
+      cls = engine.predict_explained(ds.row(i), why);
+      std::printf("%zu: class %d  salient:", i, cls);
+      for (std::uint32_t f : why.top_k(explain_k)) {
+        if (why.scores()[f] <= 0) break;
+        std::printf(" f%u(%.0f)", f, why.scores()[f]);
+      }
+      std::printf("\n");
+    } else {
+      cls = engine.predict(ds.row(i));
+      std::printf("%d\n", cls);
+    }
+    correct += cls == ds.label(i);
+  }
+  std::fprintf(stderr, "%zu samples in %.1f ms (%.2f us/sample), "
+               "accuracy vs labels %.1f%%\n",
+               ds.num_rows(), timer.elapsed_ms(),
+               timer.elapsed_us() / static_cast<double>(ds.num_rows()),
+               100.0 * static_cast<double>(correct) /
+                   static_cast<double>(std::max<std::size_t>(1, ds.num_rows())));
+  if (profile) {
+    std::printf("dictionary telemetry over %llu samples "
+                "(false-positive rate %.2f%%):\n",
+                static_cast<unsigned long long>(entry_profile.samples()),
+                100.0 * entry_profile.false_positive_rate());
+    std::printf("  %-8s %-12s %-12s\n", "entry", "candidates", "accepts");
+    for (std::uint32_t e : entry_profile.hottest(10)) {
+      if (entry_profile.accepts()[e] == 0) break;
+      std::printf("  %-8u %-12llu %-12llu\n", e,
+                  static_cast<unsigned long long>(entry_profile.candidates()[e]),
+                  static_cast<unsigned long long>(entry_profile.accepts()[e]));
+    }
+  }
+  return 0;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+
+int cmd_serve(const Args& args) {
+  // Leaked on purpose: the artifact must outlive engines for the process
+  // lifetime of the server.
+  auto* artifact = new core::BoltForest(
+      core::BoltForest::load_file(args.require("artifact")));
+  const std::string socket = args.get("socket", "/tmp/bolt.sock");
+  service::InferenceServer server(socket, [artifact] {
+    return std::make_unique<core::BoltEngine>(*artifact);
+  });
+  server.start();
+  std::printf("serving %s (%zu dictionary entries, %zu KB); Ctrl-C stops\n",
+              socket.c_str(), artifact->dictionary().num_entries(),
+              artifact->memory_bytes() / 1024);
+  std::signal(SIGINT, [](int) { g_stop = 1; });
+  std::signal(SIGTERM, [](int) { g_stop = 1; });
+  while (!g_stop) {
+    struct timespec ts = {0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("served %lu requests\n",
+              static_cast<unsigned long>(server.requests_served()));
+  server.stop();
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const forest::Forest model = forest::load_forest_file(args.require("model"));
+  const core::BoltForest artifact =
+      core::BoltForest::load_file(args.require("artifact"));
+  util::Timer timer;
+  const core::VerifyReport report = core::verify(
+      model, artifact,
+      static_cast<std::size_t>(args.get_int("samples", 20000)));
+  std::printf("%s verification: checked %llu %s in %.1f ms -> %llu "
+              "mismatches\n",
+              report.exhaustive ? "EXHAUSTIVE" : "sampled",
+              static_cast<unsigned long long>(report.checked),
+              report.exhaustive ? "input classes (the whole input space)"
+                                : "adversarial samples",
+              timer.elapsed_ms(),
+              static_cast<unsigned long long>(report.mismatches));
+  if (report.counterexample) {
+    std::printf("counterexample (first features): ");
+    for (std::size_t f = 0; f < std::min<std::size_t>(8, report.counterexample->size()); ++f) {
+      std::printf("%g ", (*report.counterexample)[f]);
+    }
+    std::printf("...\n");
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_inspect(const Args& args) {
+  if (args.has("model")) {
+    const forest::Forest model = forest::load_forest_file(args.get("model"));
+    std::printf("forest: %zu trees, %zu features, %zu classes\n",
+                model.trees.size(), model.num_features, model.num_classes);
+    std::printf("  max height %zu, total leaves %zu\n", model.max_height(),
+                model.total_leaves());
+    bool weighted = false;
+    for (double w : model.weights) weighted |= w != 1.0;
+    std::printf("  weighted: %s\n", weighted ? "yes (boosted)" : "no");
+    return 0;
+  }
+  const core::BoltForest artifact =
+      core::BoltForest::load_file(args.require("artifact"));
+  const auto& s = artifact.stats();
+  std::printf("bolt artifact: %zu features, %zu classes\n",
+              artifact.num_features(), artifact.num_classes());
+  std::printf("  predicates %zu | paths %zu -> merged %zu\n",
+              s.num_predicates, s.num_raw_paths, s.num_merged_paths);
+  std::printf("  dictionary entries %zu | table entries %zu in %zu slots\n",
+              s.num_clusters, s.table_entries, s.table_slots);
+  std::printf("  distinct results %zu (packed votes: %s)\n",
+              s.distinct_results,
+              artifact.results().packed_available() ? "yes" : "no");
+  std::printf("  threshold %zu | strategy %s | id-check %s | bloom %s\n",
+              artifact.config().cluster.threshold,
+              artifact.table().strategy() == core::TableStrategy::kDisplacement
+                  ? "displacement"
+                  : "seed-search",
+              artifact.table().id_check() == core::IdCheck::kExact ? "exact"
+                                                                   : "byte",
+              artifact.bloom() ? "yes" : "no");
+  std::printf("  memory %zu KB (dict %zu, table %zu)\n",
+              artifact.memory_bytes() / 1024,
+              artifact.dictionary().memory_bytes() / 1024,
+              artifact.table().memory_bytes() / 1024);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr, R"(bolt — fast random-forest inference (Middleware '22 reproduction)
+
+usage: bolt <command> [flags]
+
+  synth    --dataset mnist|lstw|yelp --rows N --out data.csv [--seed S]
+  train    --data train.csv --out model.forest [--trees N] [--height H]
+           [--boosted] [--seed S] [--export-dot model.dot]
+  compress --model model.forest --out model.bolt
+           [--threshold T] [--bloom]
+           [--plan --calibration calib.csv --cores C]
+  predict  --artifact model.bolt --data test.csv [--explain K] [--profile]
+  verify   --model model.forest --artifact model.bolt [--samples N]
+  serve    --artifact model.bolt [--socket /tmp/bolt.sock]
+  inspect  --model model.forest | --artifact model.bolt
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    Args args(argc, argv);
+    if (cmd == "synth") return cmd_synth(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "compress") return cmd_compress(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bolt %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
