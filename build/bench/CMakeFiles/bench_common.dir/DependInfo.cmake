@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench/CMakeFiles/bench_common.dir/common.cpp.o" "gcc" "bench/CMakeFiles/bench_common.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bolt/CMakeFiles/bolt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bolt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/bolt_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bolt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/bolt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_compression.dir/bench_fig08_compression.cpp.o"
+  "CMakeFiles/bench_fig08_compression.dir/bench_fig08_compression.cpp.o.d"
+  "bench_fig08_compression"
+  "bench_fig08_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_platforms.dir/bench_fig10_platforms.cpp.o"
+  "CMakeFiles/bench_fig10_platforms.dir/bench_fig10_platforms.cpp.o.d"
+  "bench_fig10_platforms"
+  "bench_fig10_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_height.dir/bench_fig11a_height.cpp.o"
+  "CMakeFiles/bench_fig11a_height.dir/bench_fig11a_height.cpp.o.d"
+  "bench_fig11a_height"
+  "bench_fig11a_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

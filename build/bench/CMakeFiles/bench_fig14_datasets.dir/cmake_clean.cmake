@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_datasets.dir/bench_fig14_datasets.cpp.o"
+  "CMakeFiles/bench_fig14_datasets.dir/bench_fig14_datasets.cpp.o.d"
+  "bench_fig14_datasets"
+  "bench_fig14_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_deepforest.dir/bench_fig15_deepforest.cpp.o"
+  "CMakeFiles/bench_fig15_deepforest.dir/bench_fig15_deepforest.cpp.o.d"
+  "bench_fig15_deepforest"
+  "bench_fig15_deepforest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_deepforest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

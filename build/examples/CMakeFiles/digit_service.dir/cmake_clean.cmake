@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_service.dir/digit_service.cpp.o"
+  "CMakeFiles/digit_service.dir/digit_service.cpp.o.d"
+  "digit_service"
+  "digit_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

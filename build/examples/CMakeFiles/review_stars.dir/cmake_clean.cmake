@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/review_stars.dir/review_stars.cpp.o"
+  "CMakeFiles/review_stars.dir/review_stars.cpp.o.d"
+  "review_stars"
+  "review_stars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/review_stars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_explain.dir/traffic_explain.cpp.o"
+  "CMakeFiles/traffic_explain.dir/traffic_explain.cpp.o.d"
+  "traffic_explain"
+  "traffic_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

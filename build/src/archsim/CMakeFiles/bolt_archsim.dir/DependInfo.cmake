@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archsim/branch.cpp" "src/archsim/CMakeFiles/bolt_archsim.dir/branch.cpp.o" "gcc" "src/archsim/CMakeFiles/bolt_archsim.dir/branch.cpp.o.d"
+  "/root/repo/src/archsim/cache.cpp" "src/archsim/CMakeFiles/bolt_archsim.dir/cache.cpp.o" "gcc" "src/archsim/CMakeFiles/bolt_archsim.dir/cache.cpp.o.d"
+  "/root/repo/src/archsim/machine.cpp" "src/archsim/CMakeFiles/bolt_archsim.dir/machine.cpp.o" "gcc" "src/archsim/CMakeFiles/bolt_archsim.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

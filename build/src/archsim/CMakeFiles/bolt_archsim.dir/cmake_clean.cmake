@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_archsim.dir/branch.cpp.o"
+  "CMakeFiles/bolt_archsim.dir/branch.cpp.o.d"
+  "CMakeFiles/bolt_archsim.dir/cache.cpp.o"
+  "CMakeFiles/bolt_archsim.dir/cache.cpp.o.d"
+  "CMakeFiles/bolt_archsim.dir/machine.cpp.o"
+  "CMakeFiles/bolt_archsim.dir/machine.cpp.o.d"
+  "libbolt_archsim.a"
+  "libbolt_archsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_archsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

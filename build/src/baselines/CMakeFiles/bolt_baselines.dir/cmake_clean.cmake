@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_baselines.dir/fp_engine.cpp.o"
+  "CMakeFiles/bolt_baselines.dir/fp_engine.cpp.o.d"
+  "CMakeFiles/bolt_baselines.dir/ranger_engine.cpp.o"
+  "CMakeFiles/bolt_baselines.dir/ranger_engine.cpp.o.d"
+  "CMakeFiles/bolt_baselines.dir/sklearn_engine.cpp.o"
+  "CMakeFiles/bolt_baselines.dir/sklearn_engine.cpp.o.d"
+  "libbolt_baselines.a"
+  "libbolt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

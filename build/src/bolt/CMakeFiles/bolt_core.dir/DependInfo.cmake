@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bolt/bloom.cpp" "src/bolt/CMakeFiles/bolt_core.dir/bloom.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/bloom.cpp.o.d"
+  "/root/repo/src/bolt/builder.cpp" "src/bolt/CMakeFiles/bolt_core.dir/builder.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/builder.cpp.o.d"
+  "/root/repo/src/bolt/cluster.cpp" "src/bolt/CMakeFiles/bolt_core.dir/cluster.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/bolt/dictionary.cpp" "src/bolt/CMakeFiles/bolt_core.dir/dictionary.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/dictionary.cpp.o.d"
+  "/root/repo/src/bolt/engine.cpp" "src/bolt/CMakeFiles/bolt_core.dir/engine.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/engine.cpp.o.d"
+  "/root/repo/src/bolt/explain.cpp" "src/bolt/CMakeFiles/bolt_core.dir/explain.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/explain.cpp.o.d"
+  "/root/repo/src/bolt/layout.cpp" "src/bolt/CMakeFiles/bolt_core.dir/layout.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/layout.cpp.o.d"
+  "/root/repo/src/bolt/parallel.cpp" "src/bolt/CMakeFiles/bolt_core.dir/parallel.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/parallel.cpp.o.d"
+  "/root/repo/src/bolt/paths.cpp" "src/bolt/CMakeFiles/bolt_core.dir/paths.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/paths.cpp.o.d"
+  "/root/repo/src/bolt/planner.cpp" "src/bolt/CMakeFiles/bolt_core.dir/planner.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/planner.cpp.o.d"
+  "/root/repo/src/bolt/results.cpp" "src/bolt/CMakeFiles/bolt_core.dir/results.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/results.cpp.o.d"
+  "/root/repo/src/bolt/table.cpp" "src/bolt/CMakeFiles/bolt_core.dir/table.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/table.cpp.o.d"
+  "/root/repo/src/bolt/verify.cpp" "src/bolt/CMakeFiles/bolt_core.dir/verify.cpp.o" "gcc" "src/bolt/CMakeFiles/bolt_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forest/CMakeFiles/bolt_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bolt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/bolt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bolt_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_core.dir/bloom.cpp.o"
+  "CMakeFiles/bolt_core.dir/bloom.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/builder.cpp.o"
+  "CMakeFiles/bolt_core.dir/builder.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/cluster.cpp.o"
+  "CMakeFiles/bolt_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/dictionary.cpp.o"
+  "CMakeFiles/bolt_core.dir/dictionary.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/engine.cpp.o"
+  "CMakeFiles/bolt_core.dir/engine.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/explain.cpp.o"
+  "CMakeFiles/bolt_core.dir/explain.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/layout.cpp.o"
+  "CMakeFiles/bolt_core.dir/layout.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/parallel.cpp.o"
+  "CMakeFiles/bolt_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/paths.cpp.o"
+  "CMakeFiles/bolt_core.dir/paths.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/planner.cpp.o"
+  "CMakeFiles/bolt_core.dir/planner.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/results.cpp.o"
+  "CMakeFiles/bolt_core.dir/results.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/table.cpp.o"
+  "CMakeFiles/bolt_core.dir/table.cpp.o.d"
+  "CMakeFiles/bolt_core.dir/verify.cpp.o"
+  "CMakeFiles/bolt_core.dir/verify.cpp.o.d"
+  "libbolt_core.a"
+  "libbolt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_data.dir/csv.cpp.o"
+  "CMakeFiles/bolt_data.dir/csv.cpp.o.d"
+  "CMakeFiles/bolt_data.dir/dataset.cpp.o"
+  "CMakeFiles/bolt_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/bolt_data.dir/synthetic.cpp.o"
+  "CMakeFiles/bolt_data.dir/synthetic.cpp.o.d"
+  "libbolt_data.a"
+  "libbolt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

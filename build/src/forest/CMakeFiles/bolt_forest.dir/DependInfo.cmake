@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forest/boosted.cpp" "src/forest/CMakeFiles/bolt_forest.dir/boosted.cpp.o" "gcc" "src/forest/CMakeFiles/bolt_forest.dir/boosted.cpp.o.d"
+  "/root/repo/src/forest/deep_forest.cpp" "src/forest/CMakeFiles/bolt_forest.dir/deep_forest.cpp.o" "gcc" "src/forest/CMakeFiles/bolt_forest.dir/deep_forest.cpp.o.d"
+  "/root/repo/src/forest/dot_io.cpp" "src/forest/CMakeFiles/bolt_forest.dir/dot_io.cpp.o" "gcc" "src/forest/CMakeFiles/bolt_forest.dir/dot_io.cpp.o.d"
+  "/root/repo/src/forest/predicates.cpp" "src/forest/CMakeFiles/bolt_forest.dir/predicates.cpp.o" "gcc" "src/forest/CMakeFiles/bolt_forest.dir/predicates.cpp.o.d"
+  "/root/repo/src/forest/quantize.cpp" "src/forest/CMakeFiles/bolt_forest.dir/quantize.cpp.o" "gcc" "src/forest/CMakeFiles/bolt_forest.dir/quantize.cpp.o.d"
+  "/root/repo/src/forest/serialize.cpp" "src/forest/CMakeFiles/bolt_forest.dir/serialize.cpp.o" "gcc" "src/forest/CMakeFiles/bolt_forest.dir/serialize.cpp.o.d"
+  "/root/repo/src/forest/trainer.cpp" "src/forest/CMakeFiles/bolt_forest.dir/trainer.cpp.o" "gcc" "src/forest/CMakeFiles/bolt_forest.dir/trainer.cpp.o.d"
+  "/root/repo/src/forest/tree.cpp" "src/forest/CMakeFiles/bolt_forest.dir/tree.cpp.o" "gcc" "src/forest/CMakeFiles/bolt_forest.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bolt_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

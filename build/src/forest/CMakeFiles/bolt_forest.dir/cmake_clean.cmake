@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_forest.dir/boosted.cpp.o"
+  "CMakeFiles/bolt_forest.dir/boosted.cpp.o.d"
+  "CMakeFiles/bolt_forest.dir/deep_forest.cpp.o"
+  "CMakeFiles/bolt_forest.dir/deep_forest.cpp.o.d"
+  "CMakeFiles/bolt_forest.dir/dot_io.cpp.o"
+  "CMakeFiles/bolt_forest.dir/dot_io.cpp.o.d"
+  "CMakeFiles/bolt_forest.dir/predicates.cpp.o"
+  "CMakeFiles/bolt_forest.dir/predicates.cpp.o.d"
+  "CMakeFiles/bolt_forest.dir/quantize.cpp.o"
+  "CMakeFiles/bolt_forest.dir/quantize.cpp.o.d"
+  "CMakeFiles/bolt_forest.dir/serialize.cpp.o"
+  "CMakeFiles/bolt_forest.dir/serialize.cpp.o.d"
+  "CMakeFiles/bolt_forest.dir/trainer.cpp.o"
+  "CMakeFiles/bolt_forest.dir/trainer.cpp.o.d"
+  "CMakeFiles/bolt_forest.dir/tree.cpp.o"
+  "CMakeFiles/bolt_forest.dir/tree.cpp.o.d"
+  "libbolt_forest.a"
+  "libbolt_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_service.dir/protocol.cpp.o"
+  "CMakeFiles/bolt_service.dir/protocol.cpp.o.d"
+  "CMakeFiles/bolt_service.dir/server.cpp.o"
+  "CMakeFiles/bolt_service.dir/server.cpp.o.d"
+  "libbolt_service.a"
+  "libbolt_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

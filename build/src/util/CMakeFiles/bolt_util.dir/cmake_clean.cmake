@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_util.dir/bits.cpp.o"
+  "CMakeFiles/bolt_util.dir/bits.cpp.o.d"
+  "CMakeFiles/bolt_util.dir/hash.cpp.o"
+  "CMakeFiles/bolt_util.dir/hash.cpp.o.d"
+  "CMakeFiles/bolt_util.dir/stats.cpp.o"
+  "CMakeFiles/bolt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bolt_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/bolt_util.dir/thread_pool.cpp.o.d"
+  "libbolt_util.a"
+  "libbolt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_archsim.dir/archsim/test_branch.cpp.o"
+  "CMakeFiles/tests_archsim.dir/archsim/test_branch.cpp.o.d"
+  "CMakeFiles/tests_archsim.dir/archsim/test_cache.cpp.o"
+  "CMakeFiles/tests_archsim.dir/archsim/test_cache.cpp.o.d"
+  "CMakeFiles/tests_archsim.dir/archsim/test_cache_oracle.cpp.o"
+  "CMakeFiles/tests_archsim.dir/archsim/test_cache_oracle.cpp.o.d"
+  "CMakeFiles/tests_archsim.dir/archsim/test_machine.cpp.o"
+  "CMakeFiles/tests_archsim.dir/archsim/test_machine.cpp.o.d"
+  "tests_archsim"
+  "tests_archsim.pdb"
+  "tests_archsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_archsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bolt/test_artifact_io.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_artifact_io.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_artifact_io.cpp.o.d"
+  "/root/repo/tests/bolt/test_bloom.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_bloom.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_bloom.cpp.o.d"
+  "/root/repo/tests/bolt/test_builder.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_builder.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_builder.cpp.o.d"
+  "/root/repo/tests/bolt/test_cluster.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_cluster.cpp.o.d"
+  "/root/repo/tests/bolt/test_dictionary.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_dictionary.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_dictionary.cpp.o.d"
+  "/root/repo/tests/bolt/test_explain.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_explain.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_explain.cpp.o.d"
+  "/root/repo/tests/bolt/test_layout.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_layout.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_layout.cpp.o.d"
+  "/root/repo/tests/bolt/test_parallel.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_parallel.cpp.o.d"
+  "/root/repo/tests/bolt/test_paths.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_paths.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_paths.cpp.o.d"
+  "/root/repo/tests/bolt/test_planner.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_planner.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_planner.cpp.o.d"
+  "/root/repo/tests/bolt/test_profile.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_profile.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_profile.cpp.o.d"
+  "/root/repo/tests/bolt/test_random_sweep.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_random_sweep.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_random_sweep.cpp.o.d"
+  "/root/repo/tests/bolt/test_results.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_results.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_results.cpp.o.d"
+  "/root/repo/tests/bolt/test_table.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_table.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_table.cpp.o.d"
+  "/root/repo/tests/bolt/test_verify.cpp" "tests/CMakeFiles/tests_bolt.dir/bolt/test_verify.cpp.o" "gcc" "tests/CMakeFiles/tests_bolt.dir/bolt/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bolt/CMakeFiles/bolt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/bolt_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bolt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/bolt_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/bolt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bolt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

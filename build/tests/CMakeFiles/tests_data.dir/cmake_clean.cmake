@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_data.dir/data/test_csv.cpp.o"
+  "CMakeFiles/tests_data.dir/data/test_csv.cpp.o.d"
+  "CMakeFiles/tests_data.dir/data/test_dataset.cpp.o"
+  "CMakeFiles/tests_data.dir/data/test_dataset.cpp.o.d"
+  "CMakeFiles/tests_data.dir/data/test_synthetic.cpp.o"
+  "CMakeFiles/tests_data.dir/data/test_synthetic.cpp.o.d"
+  "tests_data"
+  "tests_data.pdb"
+  "tests_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

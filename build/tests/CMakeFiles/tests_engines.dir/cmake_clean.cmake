@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_engines.dir/baselines/test_engines.cpp.o"
+  "CMakeFiles/tests_engines.dir/baselines/test_engines.cpp.o.d"
+  "CMakeFiles/tests_engines.dir/baselines/test_service_model.cpp.o"
+  "CMakeFiles/tests_engines.dir/baselines/test_service_model.cpp.o.d"
+  "tests_engines"
+  "tests_engines.pdb"
+  "tests_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

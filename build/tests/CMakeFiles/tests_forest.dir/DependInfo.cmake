@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/forest/test_boosted.cpp" "tests/CMakeFiles/tests_forest.dir/forest/test_boosted.cpp.o" "gcc" "tests/CMakeFiles/tests_forest.dir/forest/test_boosted.cpp.o.d"
+  "/root/repo/tests/forest/test_deep_forest.cpp" "tests/CMakeFiles/tests_forest.dir/forest/test_deep_forest.cpp.o" "gcc" "tests/CMakeFiles/tests_forest.dir/forest/test_deep_forest.cpp.o.d"
+  "/root/repo/tests/forest/test_dot_io.cpp" "tests/CMakeFiles/tests_forest.dir/forest/test_dot_io.cpp.o" "gcc" "tests/CMakeFiles/tests_forest.dir/forest/test_dot_io.cpp.o.d"
+  "/root/repo/tests/forest/test_predicates.cpp" "tests/CMakeFiles/tests_forest.dir/forest/test_predicates.cpp.o" "gcc" "tests/CMakeFiles/tests_forest.dir/forest/test_predicates.cpp.o.d"
+  "/root/repo/tests/forest/test_quantize.cpp" "tests/CMakeFiles/tests_forest.dir/forest/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/tests_forest.dir/forest/test_quantize.cpp.o.d"
+  "/root/repo/tests/forest/test_serialize.cpp" "tests/CMakeFiles/tests_forest.dir/forest/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/tests_forest.dir/forest/test_serialize.cpp.o.d"
+  "/root/repo/tests/forest/test_trainer.cpp" "tests/CMakeFiles/tests_forest.dir/forest/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/tests_forest.dir/forest/test_trainer.cpp.o.d"
+  "/root/repo/tests/forest/test_tree.cpp" "tests/CMakeFiles/tests_forest.dir/forest/test_tree.cpp.o" "gcc" "tests/CMakeFiles/tests_forest.dir/forest/test_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bolt/CMakeFiles/bolt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/bolt_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bolt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/bolt_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/archsim/CMakeFiles/bolt_archsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bolt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

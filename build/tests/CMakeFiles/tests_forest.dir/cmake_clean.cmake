@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_forest.dir/forest/test_boosted.cpp.o"
+  "CMakeFiles/tests_forest.dir/forest/test_boosted.cpp.o.d"
+  "CMakeFiles/tests_forest.dir/forest/test_deep_forest.cpp.o"
+  "CMakeFiles/tests_forest.dir/forest/test_deep_forest.cpp.o.d"
+  "CMakeFiles/tests_forest.dir/forest/test_dot_io.cpp.o"
+  "CMakeFiles/tests_forest.dir/forest/test_dot_io.cpp.o.d"
+  "CMakeFiles/tests_forest.dir/forest/test_predicates.cpp.o"
+  "CMakeFiles/tests_forest.dir/forest/test_predicates.cpp.o.d"
+  "CMakeFiles/tests_forest.dir/forest/test_quantize.cpp.o"
+  "CMakeFiles/tests_forest.dir/forest/test_quantize.cpp.o.d"
+  "CMakeFiles/tests_forest.dir/forest/test_serialize.cpp.o"
+  "CMakeFiles/tests_forest.dir/forest/test_serialize.cpp.o.d"
+  "CMakeFiles/tests_forest.dir/forest/test_trainer.cpp.o"
+  "CMakeFiles/tests_forest.dir/forest/test_trainer.cpp.o.d"
+  "CMakeFiles/tests_forest.dir/forest/test_tree.cpp.o"
+  "CMakeFiles/tests_forest.dir/forest/test_tree.cpp.o.d"
+  "tests_forest"
+  "tests_forest.pdb"
+  "tests_forest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_service.dir/service/test_service.cpp.o"
+  "CMakeFiles/tests_service.dir/service/test_service.cpp.o.d"
+  "tests_service"
+  "tests_service.pdb"
+  "tests_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_util.dir/util/test_binio.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_binio.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_bits.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_bits.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_hash.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_hash.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_thread_pool.cpp.o.d"
+  "tests_util"
+  "tests_util.pdb"
+  "tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_util[1]_include.cmake")
+include("/root/repo/build/tests/tests_data[1]_include.cmake")
+include("/root/repo/build/tests/tests_forest[1]_include.cmake")
+include("/root/repo/build/tests/tests_archsim[1]_include.cmake")
+include("/root/repo/build/tests/tests_engines[1]_include.cmake")
+include("/root/repo/build/tests/tests_bolt[1]_include.cmake")
+include("/root/repo/build/tests/tests_service[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_fuzz[1]_include.cmake")
