@@ -21,28 +21,36 @@ int main() {
   struct Platform {
     const char* name;
     std::function<std::unique_ptr<engines::Engine>()> factory;
+    bool metrics;
   };
   const Platform platforms[] = {
-      {"BOLT", [&] { return std::make_unique<core::BoltEngine>(bf); }},
+      {"BOLT (metrics off)",
+       [&] { return std::make_unique<core::BoltEngine>(bf); }, false},
+      {"BOLT", [&] { return std::make_unique<core::BoltEngine>(bf); }, true},
       {"Scikit",
-       [&] { return std::make_unique<engines::SklearnEngine>(forest); }},
+       [&] { return std::make_unique<engines::SklearnEngine>(forest); }, true},
       {"Ranger",
-       [&] { return std::make_unique<engines::RangerEngine>(forest); }},
+       [&] { return std::make_unique<engines::RangerEngine>(forest); }, true},
       {"ForestPacking",
        [&] {
          return std::make_unique<engines::ForestPackingEngine>(forest,
                                                                split.test);
-       }},
+       },
+       true},
   };
 
   ResultTable table({"platform", "p50 (us)", "p95 (us)", "p99 (us)",
                      "throughput (req/s)", "errors"});
   const std::size_t n = std::min<std::size_t>(2000, split.test.num_rows() * 3);
 
+  double bolt_p50_metrics_off = 0.0, bolt_p50_metrics_on = 0.0;
+  std::string bolt_stats_dump;
   for (const Platform& p : platforms) {
     const std::string socket =
-        std::string("/tmp/bolt_bench_") + p.name + ".sock";
-    service::InferenceServer server(socket, p.factory);
+        std::string("/tmp/bolt_bench_") + std::to_string(&p - platforms) +
+        ".sock";
+    service::InferenceServer server(socket, p.factory,
+                                    service::ServerOptions{.metrics = p.metrics});
     server.start();
     service::InferenceClient client(socket);
 
@@ -64,11 +72,26 @@ int main() {
                    fmt(lat.percentile(95), 1), fmt(lat.percentile(99), 1),
                    fmt(static_cast<double>(n) / seconds, 0),
                    std::to_string(errors)});
+    if (std::string(p.name) == "BOLT (metrics off)") {
+      bolt_p50_metrics_off = lat.percentile(50);
+    } else if (std::string(p.name) == "BOLT") {
+      bolt_p50_metrics_on = lat.percentile(50);
+      bolt_stats_dump = client.stats();
+    }
     server.stop();
   }
   table.print("Service round-trip latency over UNIX domain socket "
               "(MNIST, 10 trees, h=4)");
   table.write_csv("service_latency.csv");
+  std::printf("\nmetrics overhead (BOLT p50): off %.2f us -> on %.2f us "
+              "(%+.2f%%; acceptance gate < 2%%)\n",
+              bolt_p50_metrics_off, bolt_p50_metrics_on,
+              bolt_p50_metrics_off > 0.0
+                  ? 100.0 * (bolt_p50_metrics_on - bolt_p50_metrics_off) /
+                        bolt_p50_metrics_off
+                  : 0.0);
+  std::printf("\nlive STATS scrape from the instrumented BOLT server:\n%s",
+              bolt_stats_dump.c_str());
   std::printf("\nnote: the socket round-trip (~2 syscall pairs) dominates "
               "every engine here; the figure-10 model isolates the "
               "inference cost itself.\n");

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "archsim/machine.h"
+#include "util/metrics.h"
 
 namespace bolt::engines {
 
@@ -35,6 +36,14 @@ class Engine {
   /// Resident size of the engine's inference structures, for the storage
   /// analyses (Figure 8 and the cache-fit reasoning of §4.2).
   virtual std::size_t memory_bytes() const = 0;
+
+  /// Optional observability hook: engines that implement it record into the
+  /// bundle on every predict/vote (the bundle's atomics may be shared
+  /// across engine instances and threads). The bundle must outlive the
+  /// engine; pass nullptr to detach. Default: metrics are ignored.
+  virtual void attach_metrics(const util::EngineMetrics* metrics) {
+    (void)metrics;
+  }
 };
 
 }  // namespace bolt::engines

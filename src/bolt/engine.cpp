@@ -2,11 +2,24 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "archsim/cost_model.h"
 #include "baselines/probe.h"
 
 namespace bolt::core {
+namespace {
+
+/// One clock read, skipped entirely when metrics are detached so the
+/// uninstrumented hot path pays only a predictable branch.
+inline std::int64_t metrics_now_ns(const util::EngineMetrics* metrics) {
+  if (metrics == nullptr) return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 BoltEngine::BoltEngine(const BoltForest& bf)
     : bf_(bf), bits_(bf.space().size()), vote_scratch_(bf.num_classes()),
@@ -87,6 +100,8 @@ inline void scan_dictionary(const BoltForest& bf, const util::BitVector& bits,
 template <class Probe>
 void BoltEngine::vote_bits_impl(const util::BitVector& bits,
                                 std::span<double> out, Probe probe) {
+  const std::int64_t scan_start = metrics_now_ns(metrics_);
+  std::uint64_t accepted = 0;
   const ResultPool& results = bf_.results();
   if (results.packed_available()) {
     // Fast path: each accepted slot's whole vote vector is one u64 add.
@@ -97,25 +112,51 @@ void BoltEngine::vote_bits_impl(const util::BitVector& bits,
                                 archsim::MemDep::kParallel);
                       probe.instr(archsim::cost::kVoteAccum);
                       results.accumulate_packed(result_idx, acc);
+                      ++accepted;
                     });
     results.unpack(acc, out);
-    return;
+  } else {
+    std::fill(out.begin(), out.end(), 0.0);
+    scan_dictionary(bf_, bits, candidate_blocks_.data(), probe,
+                    [&](std::size_t, std::uint32_t result_idx) {
+                      probe.mem(results.votes(result_idx).data(),
+                                bf_.num_classes() * sizeof(float),
+                                archsim::MemDep::kParallel);
+                      probe.instr(archsim::cost::kVoteAccum);
+                      results.accumulate(result_idx, out);
+                      ++accepted;
+                    });
   }
-  std::fill(out.begin(), out.end(), 0.0);
-  scan_dictionary(bf_, bits, candidate_blocks_.data(), probe,
-                  [&](std::size_t, std::uint32_t result_idx) {
-                    probe.mem(results.votes(result_idx).data(),
-                              bf_.num_classes() * sizeof(float),
-                              archsim::MemDep::kParallel);
-                    probe.instr(archsim::cost::kVoteAccum);
-                    results.accumulate(result_idx, out);
-                  });
+  if (metrics_ != nullptr) {
+    record_scan_metrics(accepted, metrics_now_ns(metrics_) - scan_start);
+  }
+}
+
+void BoltEngine::record_scan_metrics(std::uint64_t accepted,
+                                     std::int64_t elapsed_ns) const {
+  // The phase-A bitmap is still live in the scratch buffer: candidate
+  // count is a popcount sweep, no rescan.
+  std::uint64_t candidates = 0;
+  const std::size_t blocks = (bf_.dictionary().num_entries() + 63) / 64;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    candidates += static_cast<std::uint64_t>(std::popcount(candidate_blocks_[b]));
+  }
+  metrics_->samples->inc();
+  metrics_->candidates->inc(candidates);
+  metrics_->accepts->inc(accepted);
+  metrics_->rejected->inc(candidates - accepted);
+  metrics_->scan_ns->record(static_cast<double>(elapsed_ns));
 }
 
 template <class Probe>
 void BoltEngine::vote_impl(std::span<const float> x, std::span<double> out,
                            Probe probe) {
+  const std::int64_t binarize_start = metrics_now_ns(metrics_);
   bf_.space().binarize(x, bits_);
+  if (metrics_ != nullptr) {
+    metrics_->binarize_ns->record(
+        static_cast<double>(metrics_now_ns(metrics_) - binarize_start));
+  }
   probe.mem(x.data(), x.size() * sizeof(float), archsim::MemDep::kParallel);
   probe.instr(archsim::cost::kPredicateEval * bf_.space().size());
   probe.mem(bf_.space().predicates().data(),

@@ -35,6 +35,14 @@ class BoltEngine final : public engines::Engine {
   void vote(std::span<const float> x, std::span<double> out) override;
   std::size_t memory_bytes() const override;
 
+  /// Observability: when attached, every predict/vote records binarize and
+  /// scan timings plus candidate/accept/rejected counts. Costs two clock
+  /// reads and a handful of relaxed atomic adds per sample when attached,
+  /// one predictable branch when not.
+  void attach_metrics(const util::EngineMetrics* metrics) override {
+    metrics_ = metrics;
+  }
+
   /// Classification plus per-entry telemetry (candidate/accept counters).
   int predict_profiled(std::span<const float> x, EntryProfile& profile);
 
@@ -63,11 +71,14 @@ class BoltEngine final : public engines::Engine {
   template <class Probe>
   void vote_bits_impl(const util::BitVector& bits, std::span<double> out,
                       Probe probe);
+  void record_scan_metrics(std::uint64_t accepted,
+                           std::int64_t elapsed_ns) const;
 
   const BoltForest& bf_;
   util::BitVector bits_;
   std::vector<double> vote_scratch_;
   std::vector<std::uint64_t> candidate_blocks_;  // phase-A bitmap scratch
+  const util::EngineMetrics* metrics_ = nullptr;
 };
 
 }  // namespace bolt::core

@@ -57,6 +57,7 @@ void PartitionedBoltEngine::core_work(std::size_t dict_part,
   const auto [e_begin, e_end] = dict_range(dict_part);
   const auto [s_begin, s_end] = slot_range(table_part);
 
+  std::uint64_t discarded = 0;
   for (std::size_t e = e_begin; e < e_end; ++e) {
     if (!dict.matches(e, bits)) continue;
     const std::uint64_t address = dict.address(e, bits);
@@ -67,10 +68,16 @@ void PartitionedBoltEngine::core_work(std::size_t dict_part,
     // Partition routing (Figure 4): only probe slots this core owns.
     const std::size_t slot =
         table.slot_of(static_cast<std::uint32_t>(e), address);
-    if (slot < s_begin || slot >= s_end) continue;
+    if (slot < s_begin || slot >= s_end) {
+      ++discarded;  // another core owns this slot and performs the lookup
+      continue;
+    }
     const auto result = table.find(static_cast<std::uint32_t>(e), address);
     if (!result) continue;
     results.accumulate(*result, out);
+  }
+  if (metrics_ != nullptr && discarded != 0) {
+    metrics_->discarded_lookups->inc(discarded);
   }
 }
 
@@ -92,7 +99,13 @@ int PartitionedBoltEngine::predict_threaded(std::span<const float> x,
   pool.parallel_for(plan_.cores(), [&](std::size_t core) {
     const std::size_t d = core / plan_.table_parts;
     const std::size_t t = core % plan_.table_parts;
-    core_work(d, t, bits_, core_votes_[core]);
+    if (metrics_ != nullptr) {
+      util::Timer timer;
+      core_work(d, t, bits_, core_votes_[core]);
+      metrics_->core_work_ns->record(static_cast<double>(timer.elapsed_ns()));
+    } else {
+      core_work(d, t, bits_, core_votes_[core]);
+    }
   });
   std::fill(agg_.begin(), agg_.end(), 0.0);
   for (const auto& v : core_votes_) {

@@ -20,6 +20,7 @@
 
 #include "bolt/builder.h"
 #include "util/bits.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace bolt::core {
@@ -64,6 +65,14 @@ class PartitionedBoltEngine {
 
   std::size_t memory_bytes() const;
 
+  /// Observability: when attached, `core_work` counts lookups it discards
+  /// because they route to another core's table partition (the Figure 4
+  /// duplication overhead), and `predict_threaded` records each core's
+  /// scan time. The bundle must outlive the engine; nullptr detaches.
+  void attach_metrics(const util::PartitionMetrics* metrics) {
+    metrics_ = metrics;
+  }
+
   /// Predicates a dictionary partition's entries actually test (common +
   /// uncommon), ascending and deduplicated. A core only encodes these.
   std::span<const std::uint32_t> partition_predicates(
@@ -81,6 +90,7 @@ class PartitionedBoltEngine {
   std::vector<std::vector<double>> core_votes_;
   std::vector<double> agg_;
   std::vector<std::vector<std::uint32_t>> part_preds_;  // per dict partition
+  const util::PartitionMetrics* metrics_ = nullptr;
 };
 
 }  // namespace bolt::core

@@ -45,6 +45,20 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
   }
 }
 
+void encode_stats_request(const StatsRequest& req,
+                          std::vector<std::uint8_t>& out) {
+  put(out, kStatsRequestMagic);
+  put(out, req.flags);
+}
+
+void encode_stats_response(const StatsResponse& resp,
+                           std::vector<std::uint8_t>& out) {
+  put(out, kStatsResponseMagic);
+  put(out, static_cast<std::uint32_t>(resp.body.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(resp.body.data());
+  out.insert(out.end(), p, p + resp.body.size());
+}
+
 Request decode_request(std::span<const std::uint8_t> frame) {
   if (get<std::uint32_t>(frame) != kRequestMagic) {
     throw std::runtime_error("protocol: bad request magic");
@@ -76,6 +90,36 @@ Response decode_response(std::span<const std::uint8_t> frame) {
   }
   if (!frame.empty()) throw std::runtime_error("protocol: trailing bytes");
   return resp;
+}
+
+StatsRequest decode_stats_request(std::span<const std::uint8_t> frame) {
+  if (get<std::uint32_t>(frame) != kStatsRequestMagic) {
+    throw std::runtime_error("protocol: bad stats request magic");
+  }
+  StatsRequest req;
+  req.flags = get<std::uint32_t>(frame);
+  if (!frame.empty()) throw std::runtime_error("protocol: trailing bytes");
+  return req;
+}
+
+StatsResponse decode_stats_response(std::span<const std::uint8_t> frame) {
+  if (get<std::uint32_t>(frame) != kStatsResponseMagic) {
+    throw std::runtime_error("protocol: bad stats response magic");
+  }
+  const auto n = get<std::uint32_t>(frame);
+  if (frame.size() != n) {
+    throw std::runtime_error("protocol: stats size mismatch");
+  }
+  StatsResponse resp;
+  resp.body.assign(reinterpret_cast<const char*>(frame.data()), n);
+  return resp;
+}
+
+std::uint32_t frame_magic(std::span<const std::uint8_t> frame) {
+  if (frame.size() < sizeof(std::uint32_t)) return 0;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, frame.data(), sizeof(magic));
+  return magic;
 }
 
 namespace {

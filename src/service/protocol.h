@@ -8,17 +8,28 @@
 //   response := u32 magic | i32 class | u32 num_salient |
 //               (u32 feature, f64 score)[num_salient]
 // flags bit 0: request salient-feature explanation with the result.
+//
+// A second op shares the framing: STATS scrapes the server's metrics
+// registry (docs/OBSERVABILITY.md) from a live service.
+//   stats request  := u32 magic | u32 flags          (flags bit 0: JSON)
+//   stats response := u32 magic | u32 num_bytes | u8[num_bytes]
+// The server dispatches on the leading magic, so classification and STATS
+// requests interleave freely on one connection.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace bolt::service {
 
 constexpr std::uint32_t kRequestMagic = 0x424c5451;   // "BLTQ"
 constexpr std::uint32_t kResponseMagic = 0x424c5452;  // "BLTR"
+constexpr std::uint32_t kStatsRequestMagic = 0x424c5453;   // "BLTS"
+constexpr std::uint32_t kStatsResponseMagic = 0x424c5454;  // "BLTT"
 constexpr std::uint32_t kFlagExplain = 1u << 0;
+constexpr std::uint32_t kStatsFlagJson = 1u << 0;
 
 struct Request {
   std::uint32_t flags = 0;
@@ -35,13 +46,32 @@ struct Response {
   std::vector<SalientFeature> salient;
 };
 
+struct StatsRequest {
+  std::uint32_t flags = 0;
+};
+
+struct StatsResponse {
+  std::string body;  // text or JSON metrics dump
+};
+
 /// Serializes a request/response into `out` (appended).
 void encode_request(const Request& req, std::vector<std::uint8_t>& out);
 void encode_response(const Response& resp, std::vector<std::uint8_t>& out);
 
+void encode_stats_request(const StatsRequest& req,
+                          std::vector<std::uint8_t>& out);
+void encode_stats_response(const StatsResponse& resp,
+                           std::vector<std::uint8_t>& out);
+
 /// Parses a full frame; throws std::runtime_error on malformed input.
 Request decode_request(std::span<const std::uint8_t> frame);
 Response decode_response(std::span<const std::uint8_t> frame);
+StatsRequest decode_stats_request(std::span<const std::uint8_t> frame);
+StatsResponse decode_stats_response(std::span<const std::uint8_t> frame);
+
+/// Leading magic of a frame (0 if shorter than 4 bytes) — how the server
+/// dispatches between classification and STATS ops.
+std::uint32_t frame_magic(std::span<const std::uint8_t> frame);
 
 /// Blocking framed I/O over a file descriptor (4-byte length prefix then
 /// payload). Returns false on clean EOF before any byte of the frame.

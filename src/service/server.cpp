@@ -7,6 +7,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/timer.h"
+
 namespace bolt::service {
 namespace {
 
@@ -35,8 +37,26 @@ InferenceServer::InferenceServer(
     std::string socket_path,
     std::function<std::unique_ptr<engines::Engine>()> factory,
     std::size_t workers)
+    : InferenceServer(std::move(socket_path), std::move(factory),
+                      ServerOptions{.workers = workers}) {}
+
+InferenceServer::InferenceServer(
+    std::string socket_path,
+    std::function<std::unique_ptr<engines::Engine>()> factory,
+    const ServerOptions& options)
     : socket_path_(std::move(socket_path)), factory_(std::move(factory)),
-      workers_(workers) {}
+      options_(options) {
+  // Metric objects exist even when recording is disabled so STATS always
+  // answers with a well-formed (if all-zero) snapshot.
+  engine_metrics_ = util::EngineMetrics::in(metrics_, "engine");
+  requests_total_ = &metrics_.counter("service.requests");
+  errors_total_ = &metrics_.counter("service.errors");
+  malformed_total_ = &metrics_.counter("service.malformed_requests");
+  stats_requests_total_ = &metrics_.counter("service.stats_requests");
+  connections_total_ = &metrics_.counter("service.connections_total");
+  active_connections_ = &metrics_.gauge("service.active_connections");
+  request_latency_us_ = &metrics_.histogram("service.request_latency_us");
+}
 
 InferenceServer::~InferenceServer() { stop(); }
 
@@ -95,25 +115,55 @@ void InferenceServer::accept_loop() {
 }
 
 void InferenceServer::handle_connection(int fd) {
-  // One engine per connection: engines carry scratch buffers.
+  // One engine per connection: engines carry scratch buffers. All
+  // connections share the registry-owned atomics, so STATS totals are
+  // service-wide.
   std::unique_ptr<engines::Engine> engine = factory_();
   auto* bolt_engine = dynamic_cast<core::BoltEngine*>(engine.get());
+  const bool record = options_.metrics;
+  if (record) {
+    engine->attach_metrics(&engine_metrics_);
+    connections_total_->inc();
+    active_connections_->add(1);
+  }
 
   std::vector<std::uint8_t> frame, out;
   try {
     while (running_.load() && read_frame(fd, frame)) {
-      const Request req = decode_request(frame);
+      if (frame_magic(frame) == kStatsRequestMagic) {
+        // STATS op: scrape the registry. Not counted as an inference
+        // request; totals therefore match classification ground truth.
+        StatsRequest sreq;
+        try {
+          sreq = decode_stats_request(frame);
+        } catch (const std::exception&) {
+          if (record) malformed_total_->inc();
+          throw;
+        }
+        if (record) stats_requests_total_->inc();
+        const util::MetricsSnapshot snap = metrics_.snapshot();
+        StatsResponse sresp;
+        sresp.body =
+            (sreq.flags & kStatsFlagJson) ? snap.to_json() : snap.to_text();
+        out.clear();
+        encode_stats_response(sresp, out);
+        write_frame(fd, out);
+        continue;
+      }
+      util::Timer request_timer;
+      Request req;
+      try {
+        req = decode_request(frame);
+      } catch (const std::exception&) {
+        if (record) malformed_total_->inc();
+        throw;  // undecodable peer: drop the connection
+      }
       Response resp;
       if (req.features.size() != engine->num_features()) {
         // Arity mismatch: answer with an error class instead of letting a
         // malformed request reach the engine's hot path.
         resp.predicted_class = -1;
-        out.clear();
-        encode_response(resp, out);
-        write_frame(fd, out);
-        continue;
-      }
-      if ((req.flags & kFlagExplain) && bolt_engine != nullptr) {
+      } else if ((req.flags & kFlagExplain) && bolt_engine != nullptr) {
         core::Explanation explanation(
             bolt_engine->artifact().num_features());
         resp.predicted_class =
@@ -128,12 +178,22 @@ void InferenceServer::handle_connection(int fd) {
       }
       out.clear();
       encode_response(resp, out);
-      write_frame(fd, out);
+      // Account for the request *before* the response leaves: once a client
+      // holds the response, a scrape (STATS or requests_served()) must
+      // already include it. The latency histogram therefore covers
+      // decode + inference + encode, not the final write syscall.
       requests_served_.fetch_add(1, std::memory_order_relaxed);
+      if (record) {
+        requests_total_->inc();
+        if (resp.predicted_class < 0) errors_total_->inc();
+        request_latency_us_->record(request_timer.elapsed_us());
+      }
+      write_frame(fd, out);
     }
   } catch (const std::exception&) {
     // Malformed request or peer reset: drop the connection.
   }
+  if (record) active_connections_->sub(1);
   {
     std::lock_guard lock(conn_mu_);
     std::erase(connection_fds_, fd);
@@ -167,6 +227,18 @@ Response InferenceClient::classify(std::span<const float> features,
     throw std::runtime_error("service: server closed connection");
   }
   return decode_response(buf_);
+}
+
+std::string InferenceClient::stats(bool json) {
+  StatsRequest req;
+  req.flags = json ? kStatsFlagJson : 0;
+  buf_.clear();
+  encode_stats_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  return decode_stats_response(buf_).body;
 }
 
 }  // namespace bolt::service

@@ -12,8 +12,18 @@
 #include "baselines/engine.h"
 #include "bolt/engine.h"
 #include "service/protocol.h"
+#include "util/metrics.h"
 
 namespace bolt::service {
+
+/// Tunables for InferenceServer beyond the socket path and engine factory.
+struct ServerOptions {
+  std::size_t workers = 2;
+  /// When false the server records nothing and answers STATS with an empty
+  /// registry snapshot — the knob bench_service uses to price the
+  /// instrumentation itself.
+  bool metrics = true;
+};
 
 /// Serves one engine on a UNIX-domain-socket path. Connections are handled
 /// on a small thread pool; each connection may pipeline many requests.
@@ -26,6 +36,9 @@ class InferenceServer {
   InferenceServer(std::string socket_path,
                   std::function<std::unique_ptr<engines::Engine>()> factory,
                   std::size_t workers = 2);
+  InferenceServer(std::string socket_path,
+                  std::function<std::unique_ptr<engines::Engine>()> factory,
+                  const ServerOptions& options);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -39,13 +52,19 @@ class InferenceServer {
   const std::string& socket_path() const { return socket_path_; }
   std::uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// The server's metrics registry (exported metric names are listed in
+  /// docs/OBSERVABILITY.md). Remote scrapes arrive via the STATS op; local
+  /// callers can register additional metrics here before start().
+  util::MetricsRegistry& metrics() { return metrics_; }
+  bool metrics_enabled() const { return options_.metrics; }
+
  private:
   void accept_loop();
   void handle_connection(int fd);
 
   std::string socket_path_;
   std::function<std::unique_ptr<engines::Engine>()> factory_;
-  std::size_t workers_;
+  ServerOptions options_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
@@ -53,6 +72,17 @@ class InferenceServer {
   std::vector<std::thread> connection_threads_;
   std::vector<int> connection_fds_;  // live sockets, shut down on stop()
   std::mutex conn_mu_;
+
+  // Registry-owned instrumentation, shared by every connection handler.
+  util::MetricsRegistry metrics_;
+  util::EngineMetrics engine_metrics_;
+  util::Counter* requests_total_ = nullptr;
+  util::Counter* errors_total_ = nullptr;
+  util::Counter* malformed_total_ = nullptr;
+  util::Counter* stats_requests_total_ = nullptr;
+  util::Counter* connections_total_ = nullptr;
+  util::Gauge* active_connections_ = nullptr;
+  util::Histogram* request_latency_us_ = nullptr;
 };
 
 /// Client for the service: connects, sends samples, reads classifications.
@@ -66,6 +96,10 @@ class InferenceClient {
 
   /// Round-trips one sample. `explain` asks for salient features.
   Response classify(std::span<const float> features, bool explain = false);
+
+  /// Scrapes the server's metrics registry (STATS op). Returns the text
+  /// dump, or JSON when `json` is set.
+  std::string stats(bool json = false);
 
  private:
   int fd_ = -1;

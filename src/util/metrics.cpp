@@ -1,0 +1,228 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace bolt::util {
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (b >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double into =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("metrics: histogram needs >= 1 bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("metrics: bounds must be strictly ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::record(double v) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> Histogram::default_latency_bounds_us() {
+  std::vector<double> bounds;
+  for (double decade = 0.5; decade <= 5e5; decade *= 10.0) {
+    bounds.push_back(decade);          // 0.5, 5, 50, ...
+    bounds.push_back(decade * 2.0);    // 1, 10, 100, ...
+    bounds.push_back(decade * 4.0);    // 2, 20, 200, ...
+  }
+  std::sort(bounds.begin(), bounds.end());
+  return bounds;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_text() const {
+  // One metric per line: `name value`. Histograms render as
+  // `name count=N sum=S mean=M p50=.. p95=.. p99=..`.
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name;
+    out += " count=";
+    out += std::to_string(h.count);
+    out += " sum=";
+    append_number(out, h.sum);
+    out += " mean=";
+    append_number(out, h.mean());
+    out += " p50=";
+    append_number(out, h.percentile(50));
+    out += " p95=";
+    append_number(out, h.percentile(95));
+    out += " p99=";
+    append_number(out, h.percentile(99));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"count\":" + std::to_string(h.count) + ",\"sum\":";
+    append_number(out, h.sum);
+    out += ",\"p50\":";
+    append_number(out, h.percentile(50));
+    out += ",\"p95\":";
+    append_number(out, h.percentile(95));
+    out += ",\"p99\":";
+    append_number(out, h.percentile(99));
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) out += ',';
+      out += "[";
+      append_number(out, b < h.bounds.size() ? h.bounds[b]
+                                             : std::numeric_limits<double>::max());
+      out += ',' + std::to_string(h.counts[b]) + ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+EngineMetrics EngineMetrics::in(MetricsRegistry& reg, const std::string& prefix) {
+  EngineMetrics m;
+  m.samples = &reg.counter(prefix + ".samples");
+  m.candidates = &reg.counter(prefix + ".candidates");
+  m.accepts = &reg.counter(prefix + ".accepts");
+  m.rejected = &reg.counter(prefix + ".rejected");
+  m.binarize_ns = &reg.histogram(prefix + ".binarize_ns",
+                                 Histogram::exponential_bounds(64, 2.0, 20));
+  m.scan_ns = &reg.histogram(prefix + ".scan_ns",
+                             Histogram::exponential_bounds(64, 2.0, 20));
+  return m;
+}
+
+PartitionMetrics PartitionMetrics::in(MetricsRegistry& reg,
+                                      const std::string& prefix) {
+  PartitionMetrics m;
+  m.core_work_ns = &reg.histogram(prefix + ".core_work_ns",
+                                  Histogram::exponential_bounds(64, 2.0, 20));
+  m.discarded_lookups = &reg.counter(prefix + ".discarded_lookups");
+  return m;
+}
+
+}  // namespace bolt::util

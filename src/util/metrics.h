@@ -1,0 +1,143 @@
+// Low-overhead service metrics: atomic counters, gauges and fixed-bucket
+// latency histograms with percentile extraction.
+//
+// Design contract (docs/OBSERVABILITY.md): the *record* path is lock-free —
+// a counter bump is one relaxed fetch_add, a histogram record is a short
+// branchless-ish bucket search plus two relaxed fetch_adds — so engines and
+// the service front end can record from every request without perturbing
+// the latencies they measure. *Reads* take a snapshot under the registry's
+// registration mutex; snapshots are internally consistent per metric (each
+// atomic is read once) but not across metrics, which is the usual trade for
+// a lock-free hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bolt::util {
+
+/// Monotonic event count. Increment is one relaxed atomic add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (e.g. active connections).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Point-in-time copy of a histogram, with percentile extraction.
+struct HistogramSnapshot {
+  /// Finite bucket upper bounds, ascending; bucket i counts samples in
+  /// (bounds[i-1], bounds[i]]. One extra overflow bucket follows the last
+  /// bound, so counts.size() == bounds.size() + 1.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  /// p in [0, 100]. Linear interpolation inside the bucket holding the
+  /// target rank; samples in the overflow bucket report the last finite
+  /// bound (the histogram cannot resolve beyond it).
+  double percentile(double p) const;
+};
+
+/// Fixed-bucket histogram. Bucket bounds are chosen at construction; a
+/// record is a binary search over ~32 doubles plus two relaxed atomic adds.
+class Histogram {
+ public:
+  /// `bounds` are finite upper bounds, strictly ascending, non-empty; an
+  /// overflow bucket is appended automatically.
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v);
+  HistogramSnapshot snapshot() const;
+
+  /// 1-2-5 series from 0.5 to 2e6 — microsecond latencies spanning sub-µs
+  /// engine phases to multi-second stalls (21 finite bounds).
+  static std::vector<double> default_latency_bounds_us();
+  /// Geometric series: start, start*factor, ... (`n` finite bounds).
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t n);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One named snapshot of every metric in a registry, renderable as a text
+/// dump (one metric per line) or JSON — the payload of the STATS wire op.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Owns metrics by name. Registration (first lookup of a name) takes a
+/// mutex; the returned references are stable for the registry's lifetime,
+/// so callers hold them and record lock-free afterwards. Re-requesting a
+/// name returns the same object.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first registration of `name`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds =
+                           Histogram::default_latency_bounds_us());
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Instrumentation bundle an inference engine records into (all pointers
+/// registry-owned, so copies of the bundle share the same atomics).
+struct EngineMetrics {
+  Counter* samples = nullptr;          // predict/vote calls
+  Counter* candidates = nullptr;       // dictionary entries matched
+  Counter* accepts = nullptr;          // lookups accepted (entry-ID verified)
+  Counter* rejected = nullptr;         // candidates dropped (Bloom or ID check)
+  Histogram* binarize_ns = nullptr;    // input binarization time
+  Histogram* scan_ns = nullptr;        // dictionary scan + lookup time
+
+  /// Registers `<prefix>.samples` etc. in `reg` and returns the bundle.
+  static EngineMetrics in(MetricsRegistry& reg, const std::string& prefix);
+};
+
+/// Instrumentation for the partitioned (multi-core) engine.
+struct PartitionMetrics {
+  Histogram* core_work_ns = nullptr;   // per-core scan time (one record/core)
+  Counter* discarded_lookups = nullptr;  // routed to another core's table part
+
+  static PartitionMetrics in(MetricsRegistry& reg, const std::string& prefix);
+};
+
+}  // namespace bolt::util

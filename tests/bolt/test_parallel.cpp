@@ -56,6 +56,37 @@ INSTANTIATE_TEST_SUITE_P(
                       PlanCase{"d16t1", 16, 1}),
     [](const auto& info) { return info.param.name; });
 
+TEST(PartitionedEngine, MetricsCountDiscardsAndCoreWork) {
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 57);
+  const data::Dataset inputs = bolt::testing::small_dataset(50, 58);
+  const BoltForest bf = BoltForest::build(forest, {});
+
+  util::MetricsRegistry registry;
+  const util::PartitionMetrics pm =
+      util::PartitionMetrics::in(registry, "partitioned");
+
+  // Table partitioning routes lookups across cores: with t > 1 a core must
+  // discard the accepted lookups another core owns (Figure 4), and each
+  // threaded predict records one core_work timing per core.
+  PartitionedBoltEngine engine(bf, {2, 2});
+  engine.attach_metrics(&pm);
+  util::ThreadPool pool(4);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    engine.predict_threaded(inputs.row(i), pool);
+  }
+  EXPECT_EQ(pm.core_work_ns->snapshot().count,
+            inputs.num_rows() * engine.plan().cores());
+
+  // With t=2, every address formed in a dictionary partition is routed by
+  // both of its cores and owned by one, so a run this size must discard
+  // lookups; detaching stops the recording.
+  EXPECT_GT(pm.discarded_lookups->value(), 0u);
+  const std::uint64_t before = pm.discarded_lookups->value();
+  engine.attach_metrics(nullptr);
+  engine.predict(inputs.row(0));
+  EXPECT_EQ(pm.discarded_lookups->value(), before);
+}
+
 TEST(PartitionedEngine, EachAcceptedLookupHandledByExactlyOneCore) {
   const forest::Forest forest = bolt::testing::small_forest(6, 4, 55);
   const data::Dataset inputs = bolt::testing::small_dataset(50, 56);

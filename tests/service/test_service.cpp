@@ -16,6 +16,27 @@ std::string temp_socket(const char* tag) {
          std::to_string(::getpid()) + ".sock";
 }
 
+/// Value of `name` in a STATS text dump (`name 123` or `name count=123 ...`
+/// lines — `field` selects a key=value field, empty reads the plain value).
+std::uint64_t stat_value(const std::string& text, const std::string& name,
+                         const std::string& field = "") {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    if (text.compare(pos, name.size(), name) == 0 &&
+        pos + name.size() < eol && text[pos + name.size()] == ' ') {
+      const std::string line = text.substr(pos, eol - pos);
+      std::string token = field.empty() ? line.substr(name.size() + 1)
+                                        : line.substr(line.find(field + "=") +
+                                                      field.size() + 1);
+      return std::stoull(token);
+    }
+    pos = eol + 1;
+  }
+  ADD_FAILURE() << "metric not found: " << name << "\n" << text;
+  return 0;
+}
+
 TEST(Protocol, RequestRoundTrip) {
   Request req;
   req.flags = kFlagExplain;
@@ -53,6 +74,42 @@ TEST(Protocol, RejectsTruncation) {
   encode_request(req, buf);
   buf.pop_back();
   EXPECT_THROW(decode_request(buf), std::runtime_error);
+}
+
+TEST(Protocol, StatsRoundTrip) {
+  StatsRequest req;
+  req.flags = kStatsFlagJson;
+  std::vector<std::uint8_t> buf;
+  encode_stats_request(req, buf);
+  EXPECT_EQ(frame_magic(buf), kStatsRequestMagic);
+  EXPECT_EQ(decode_stats_request(buf).flags, kStatsFlagJson);
+
+  StatsResponse resp;
+  resp.body = "service.requests 12\n";
+  buf.clear();
+  encode_stats_response(resp, buf);
+  EXPECT_EQ(frame_magic(buf), kStatsResponseMagic);
+  EXPECT_EQ(decode_stats_response(buf).body, resp.body);
+}
+
+TEST(Protocol, StatsRejectsMalformed) {
+  std::vector<std::uint8_t> buf;
+  encode_stats_request({}, buf);
+  buf.push_back(0);  // trailing byte
+  EXPECT_THROW(decode_stats_request(buf), std::runtime_error);
+
+  buf.clear();
+  encode_stats_response({"abc"}, buf);
+  buf.pop_back();  // body shorter than declared
+  EXPECT_THROW(decode_stats_response(buf), std::runtime_error);
+
+  EXPECT_EQ(frame_magic(std::vector<std::uint8_t>{1, 2}), 0u);
+  // A classification frame must not be mistaken for a STATS frame.
+  Request req;
+  req.features = {1.0f};
+  buf.clear();
+  encode_request(req, buf);
+  EXPECT_EQ(frame_magic(buf), kRequestMagic);
 }
 
 class ServiceFixture : public ::testing::Test {
@@ -155,6 +212,100 @@ TEST_F(ServiceFixture, RejectsWrongArity) {
   // The connection survives and valid requests still work.
   EXPECT_EQ(client.classify(inputs_.row(0)).predicted_class,
             forest_.predict(inputs_.row(0)));
+  server.stop();
+}
+
+TEST_F(ServiceFixture, StatsTotalsMatchClientGroundTruth) {
+  // Acceptance gate: after a multi-threaded pipelined run, the STATS
+  // request count, error count and latency-histogram total must agree with
+  // what the clients actually sent.
+  const std::string path = temp_socket("stats");
+  InferenceServer server(
+      path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); });
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr std::size_t kPerClient = 60;
+  constexpr std::size_t kBadPerClient = 3;  // wrong arity -> error class
+  std::atomic<std::uint64_t> ok_sent{0}, bad_sent{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      InferenceClient client(path);
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const auto row = inputs_.row((c * kPerClient + i) % inputs_.num_rows());
+        ASSERT_GE(client.classify(row).predicted_class, 0);
+        ok_sent.fetch_add(1);
+      }
+      std::vector<float> bad(forest_.num_features + 1, 0.0f);
+      for (std::size_t i = 0; i < kBadPerClient; ++i) {
+        ASSERT_EQ(client.classify(bad).predicted_class, -1);
+        bad_sent.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const std::uint64_t total = ok_sent.load() + bad_sent.load();
+  EXPECT_EQ(total, kClients * (kPerClient + kBadPerClient));
+  EXPECT_EQ(server.requests_served(), total);
+
+  InferenceClient scraper(path);
+  const std::string text = scraper.stats();
+  EXPECT_EQ(stat_value(text, "service.requests"), total);
+  EXPECT_EQ(stat_value(text, "service.errors"), bad_sent.load());
+  EXPECT_EQ(stat_value(text, "service.malformed_requests"), 0u);
+  EXPECT_EQ(stat_value(text, "service.request_latency_us", "count"), total);
+  // Only well-formed requests reach the engine's hot path.
+  EXPECT_EQ(stat_value(text, "engine.samples"), ok_sent.load());
+  EXPECT_EQ(stat_value(text, "engine.candidates"),
+            stat_value(text, "engine.accepts") +
+                stat_value(text, "engine.rejected"));
+  EXPECT_EQ(stat_value(text, "service.stats_requests"), 1u);
+  EXPECT_EQ(stat_value(text, "service.connections_total"),
+            static_cast<std::uint64_t>(kClients) + 1);
+
+  // The JSON rendering reports the same totals.
+  const std::string json = scraper.stats(/*json=*/true);
+  EXPECT_NE(
+      json.find("\"service.requests\":" + std::to_string(total)),
+      std::string::npos);
+
+  // STATS did not perturb the inference request count.
+  EXPECT_EQ(server.requests_served(), total);
+  server.stop();
+}
+
+TEST_F(ServiceFixture, StatsInterleavesWithClassification) {
+  const std::string path = temp_socket("interleave");
+  InferenceServer server(
+      path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); });
+  server.start();
+  InferenceClient client(path);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(client.classify(inputs_.row(round)).predicted_class,
+              forest_.predict(inputs_.row(round)));
+    const std::string text = client.stats();
+    EXPECT_EQ(stat_value(text, "service.requests"),
+              static_cast<std::uint64_t>(round) + 1);
+  }
+  server.stop();
+}
+
+TEST_F(ServiceFixture, MetricsDisabledServerStillServesAndAnswersStats) {
+  const std::string path = temp_socket("nometrics");
+  InferenceServer server(
+      path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); },
+      ServerOptions{.metrics = false});
+  server.start();
+  InferenceClient client(path);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client.classify(inputs_.row(i)).predicted_class,
+              forest_.predict(inputs_.row(i)));
+  }
+  EXPECT_EQ(server.requests_served(), 10u);
+  const std::string text = client.stats();
+  EXPECT_EQ(stat_value(text, "service.requests"), 0u);  // recording off
   server.stop();
 }
 

@@ -1,0 +1,192 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace bolt::util {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(12);
+  EXPECT_EQ(g.value(), 3);
+  g.set(-4);
+  EXPECT_EQ(g.value(), -4);
+}
+
+TEST(Histogram, BucketAssignment) {
+  // Bucket i counts samples in (bounds[i-1], bounds[i]]; one overflow
+  // bucket past the last bound.
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  h.record(0.5);   // bucket 0
+  h.record(1.0);   // bucket 0 (inclusive upper bound)
+  h.record(1.5);   // bucket 1
+  h.record(4.0);   // bucket 2
+  h.record(8.1);   // overflow bucket
+  h.record(100.0); // overflow bucket
+
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 5u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 0u);
+  EXPECT_EQ(snap.counts[4], 2u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 4.0 + 8.1 + 100.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), snap.sum / 6.0);
+}
+
+TEST(Histogram, PercentilesInterpolateWithinBuckets) {
+  // 100 samples uniform over (0, 100] with decade-width buckets: pXX must
+  // land at XX exactly under linear interpolation.
+  std::vector<double> bounds;
+  for (double b = 10.0; b <= 100.0; b += 10.0) bounds.push_back(b);
+  Histogram h(bounds);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i) + 0.5);
+
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(100), 100.0);
+  EXPECT_GT(snap.percentile(1), 0.0);
+}
+
+TEST(Histogram, OverflowBucketClampsToLastBound) {
+  Histogram h({1.0, 10.0});
+  for (int i = 0; i < 10; ++i) h.record(1e6);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(50), 10.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(99), 10.0);
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  Histogram h({1.0});
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreAscending) {
+  const auto bounds = Histogram::default_latency_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  Histogram h(bounds);  // must construct
+  h.record(3.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(Metrics, ConcurrentRecordingIsLossless) {
+  // N threads hammer one counter and one histogram; every event must be
+  // accounted for and bucket counts must sum to the total.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  Counter c;
+  Histogram h({10.0, 25.0, 50.0, 75.0, 100.0});
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(c.value(), total);
+
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, total);
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t n : snap.counts) bucket_sum += n;
+  EXPECT_EQ(bucket_sum, total);
+  // Sum of i%100 over kPerThread i's, per thread — integer-valued doubles
+  // below 2^53 add exactly, so this is deterministic despite the races.
+  const double per_thread = (kPerThread / 100) * 4950.0;
+  EXPECT_DOUBLE_EQ(snap.sum, per_thread * kThreads);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(&reg.histogram("h"), &reg.histogram("h"));
+  EXPECT_EQ(&reg.gauge("g"), &reg.gauge("g"));
+}
+
+TEST(Registry, SnapshotRendersTextAndJson) {
+  MetricsRegistry reg;
+  reg.counter("svc.requests").inc(7);
+  reg.gauge("svc.active").set(2);
+  reg.histogram("svc.lat", {1.0, 10.0}).record(0.5);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "svc.requests");
+  EXPECT_EQ(snap.counters[0].second, 7u);
+
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("svc.requests 7"), std::string::npos);
+  EXPECT_NE(text.find("svc.active 2"), std::string::npos);
+  EXPECT_NE(text.find("svc.lat count=1"), std::string::npos);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"svc.requests\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"svc.active\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+}
+
+TEST(Registry, EngineAndPartitionBundlesRegisterPrefixedNames) {
+  MetricsRegistry reg;
+  const EngineMetrics em = EngineMetrics::in(reg, "engine");
+  const PartitionMetrics pm = PartitionMetrics::in(reg, "partitioned");
+  ASSERT_NE(em.samples, nullptr);
+  ASSERT_NE(pm.discarded_lookups, nullptr);
+  em.samples->inc(3);
+  em.scan_ns->record(128.0);
+  pm.discarded_lookups->inc();
+  pm.core_work_ns->record(256.0);
+
+  const std::string text = reg.snapshot().to_text();
+  EXPECT_NE(text.find("engine.samples 3"), std::string::npos);
+  EXPECT_NE(text.find("engine.scan_ns count=1"), std::string::npos);
+  EXPECT_NE(text.find("partitioned.discarded_lookups 1"), std::string::npos);
+  EXPECT_NE(text.find("partitioned.core_work_ns count=1"), std::string::npos);
+  // Bundles copy freely: copies share the registry-owned atomics.
+  const EngineMetrics copy = em;
+  copy.samples->inc();
+  EXPECT_EQ(em.samples->value(), 4u);
+}
+
+}  // namespace
+}  // namespace bolt::util

@@ -9,6 +9,7 @@
 //                 [--profile]
 //   bolt verify   --model model.forest --artifact model.bolt [--samples N]
 //   bolt serve    --artifact model.bolt --socket /tmp/bolt.sock
+//   bolt stats    --socket /tmp/bolt.sock [--json]
 //   bolt inspect  --model model.forest | --artifact model.bolt
 #include <csignal>
 #include <cstdio>
@@ -223,9 +224,10 @@ int cmd_serve(const Args& args) {
     return std::make_unique<core::BoltEngine>(*artifact);
   });
   server.start();
-  std::printf("serving %s (%zu dictionary entries, %zu KB); Ctrl-C stops\n",
+  std::printf("serving %s (%zu dictionary entries, %zu KB); Ctrl-C stops\n"
+              "scrape live metrics with: bolt stats --socket %s\n",
               socket.c_str(), artifact->dictionary().num_entries(),
-              artifact->memory_bytes() / 1024);
+              artifact->memory_bytes() / 1024, socket.c_str());
   std::signal(SIGINT, [](int) { g_stop = 1; });
   std::signal(SIGTERM, [](int) { g_stop = 1; });
   while (!g_stop) {
@@ -235,6 +237,14 @@ int cmd_serve(const Args& args) {
   std::printf("served %lu requests\n",
               static_cast<unsigned long>(server.requests_served()));
   server.stop();
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"));
+  const std::string body = client.stats(args.has("json"));
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  if (!body.empty() && body.back() != '\n') std::printf("\n");
   return 0;
 }
 
@@ -317,6 +327,7 @@ usage: bolt <command> [flags]
   predict  --artifact model.bolt --data test.csv [--explain K] [--profile]
   verify   --model model.forest --artifact model.bolt [--samples N]
   serve    --artifact model.bolt [--socket /tmp/bolt.sock]
+  stats    [--socket /tmp/bolt.sock] [--json]   scrape a live server
   inspect  --model model.forest | --artifact model.bolt
 )");
 }
@@ -336,6 +347,7 @@ int main(int argc, char** argv) {
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "stats") return cmd_stats(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "inspect") return cmd_inspect(args);
     usage();
