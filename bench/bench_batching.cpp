@@ -1,36 +1,72 @@
 // Batching study (paper §2.1): "when batching queries Ranger can benefit
-// from its optimizations and achieve very low response times" — but a
-// low-latency service cannot wait to assemble batches. This harness
-// measures per-sample wall time for single-query and batched APIs of
-// Ranger and Bolt across batch sizes, quantifying what batching buys each
-// design and why Bolt does not need it.
+// from its optimizations and achieve very low response times". Bolt's
+// single-sample scan is already flat, but under heavy traffic the batch
+// entry point is where throughput is won: the amortized entry-major kernel
+// loads each dictionary entry and table slot once per tile instead of once
+// per row. This harness sweeps batch sizes and compares the naive per-row
+// loop, the amortized kernel, the pool-parallel row fan-out, Ranger's
+// tree-major batch mode, and the full BATCH-op server round-trip.
+//
+// Acceptance gate (ISSUE 2): amortized >= 1.5x naive samples/sec at
+// batch >= 64, with batch output bit-identical to per-row predict.
 #include "common.h"
 
+#include <memory>
+
+#include "service/server.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 int main() {
   using namespace bolt;
   using namespace bolt::bench;
 
+  // A serving-scale forest: at 100 trees / height 8 the Bolt artifact is
+  // ~14 MB — well past L2 — which is where per-row inference is dominated
+  // by the cache misses the amortized kernel exists to hide. (At the tiny
+  // 10-tree/h=4 figure-bench size the whole artifact is L1-resident and
+  // batching has nothing to amortize.)
   const auto& split = dataset(Workload::kMnist);
-  const forest::Forest& forest = get_forest(Workload::kMnist, 10, 4);
+  const forest::Forest& forest = get_forest(Workload::kMnist, 100, 8);
   const core::BoltForest bf = build_tuned_bolt(forest, split.test);
   core::BoltEngine bolt_engine(bf);
   engines::RangerEngine ranger_engine(forest);
+  core::PartitionedBoltEngine parallel_engine(bf, {});
+  util::ThreadPool pool(4);
 
   const std::size_t n = std::min<std::size_t>(512, split.test.num_rows());
   const std::size_t stride = split.test.num_features();
-  std::vector<int> out(n);
+  const float* rows = split.test.raw_features().data();
+  std::vector<int> out(n), reference(n);
 
-  ResultTable table({"batch size", "Ranger batched (us/sample)",
-                     "BOLT batched (us/sample)", "Ranger single",
-                     "BOLT single"});
+  // Bit-identical gate: the amortized kernel (serial and pool-parallel)
+  // must reproduce per-row predict exactly.
+  for (std::size_t i = 0; i < n; ++i) {
+    reference[i] = bolt_engine.predict(split.test.row(i));
+  }
+  bolt_engine.predict_batch({rows, n * stride}, n, stride, out);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < n; ++i) mismatches += out[i] != reference[i];
+  parallel_engine.predict_batch({rows, n * stride}, n, stride, out, pool);
+  for (std::size_t i = 0; i < n; ++i) mismatches += out[i] != reference[i];
+  std::printf("bit-identical check: %zu mismatches over %zu rows "
+              "(serial + pool kernels)\n\n", mismatches, n);
 
-  const double ranger_single = measure_wall_us(ranger_engine, split.test, n);
-  const double bolt_single = measure_wall_us(bolt_engine, split.test, n);
+  // Server round-trip arm: the BATCH op against a live front end.
+  const std::string socket = "/tmp/bolt_bench_batching.sock";
+  service::InferenceServer server(
+      socket, [&] { return std::make_unique<core::BoltEngine>(bf); });
+  server.start();
+  service::InferenceClient client(socket);
 
-  for (std::size_t batch : {1u, 8u, 32u, 128u, 512u}) {
+  ResultTable table({"batch size", "naive (us/row)", "amortized (us/row)",
+                     "speedup", "pool x4 (us/row)", "Ranger batched",
+                     "server BATCH (us/row)"});
+
+  double naive_64 = 0.0, amortized_64 = 0.0;
+  for (std::size_t batch : {1u, 8u, 32u, 64u, 128u, 512u}) {
     const std::size_t batches = n / batch;
+    if (batches == 0) continue;
     auto run = [&](auto&& call) {
       // Warm-up + best-of-3 sweeps.
       call();
@@ -44,31 +80,59 @@ int main() {
       }
       return best;
     };
+    auto sweep = [&](auto&& one_batch) {
+      return run([&] {
+        for (std::size_t b = 0; b < batches; ++b) {
+          one_batch(std::span<const float>{rows + b * batch * stride,
+                                           batch * stride},
+                    batch, std::span<int>{out.data(), batch});
+        }
+      });
+    };
 
-    const double ranger_us = run([&] {
-      for (std::size_t b = 0; b < batches; ++b) {
-        ranger_engine.predict_batch(
-            {split.test.raw_features().data() + b * batch * stride,
-             batch * stride},
-            batch, stride, {out.data(), batch});
-      }
-    });
-    const double bolt_us = run([&] {
-      for (std::size_t b = 0; b < batches; ++b) {
-        bolt_engine.predict_batch(
-            {split.test.raw_features().data() + b * batch * stride,
-             batch * stride},
-            batch, stride, {out.data(), batch});
-      }
-    });
-    table.add_row({std::to_string(batch), fmt(ranger_us, 3), fmt(bolt_us, 3),
-                   fmt(ranger_single, 3), fmt(bolt_single, 3)});
+    const double naive_us =
+        sweep([&](std::span<const float> r, std::size_t nb, std::span<int> o) {
+          bolt_engine.predict_batch_naive(r, nb, stride, o);
+        });
+    const double amortized_us =
+        sweep([&](std::span<const float> r, std::size_t nb, std::span<int> o) {
+          bolt_engine.predict_batch(r, nb, stride, o);
+        });
+    const double pool_us =
+        sweep([&](std::span<const float> r, std::size_t nb, std::span<int> o) {
+          parallel_engine.predict_batch(r, nb, stride, o, pool);
+        });
+    const double ranger_us =
+        sweep([&](std::span<const float> r, std::size_t nb, std::span<int> o) {
+          ranger_engine.predict_batch(r, nb, stride, o);
+        });
+    const double server_us =
+        sweep([&](std::span<const float> r, std::size_t nb, std::span<int>) {
+          const auto classes = client.classify_batch(r, nb, stride);
+          (void)classes;
+        });
+    if (batch == 64) {
+      naive_64 = naive_us;
+      amortized_64 = amortized_us;
+    }
+    table.add_row({std::to_string(batch), fmt(naive_us, 3),
+                   fmt(amortized_us, 3), fmt(naive_us / amortized_us, 2),
+                   fmt(pool_us, 3), fmt(ranger_us, 3), fmt(server_us, 3)});
   }
-  table.print("Batching: amortized per-sample wall time (MNIST, 10 trees, "
-              "h=4)");
+  server.stop();
+
+  table.print("Batching: amortized per-row wall time (MNIST, 100 trees, h=8)");
   table.write_csv("batching.csv");
-  std::printf("\nReading: Ranger's batched tree-major sweep amortizes its "
-              "per-call costs; Bolt is already flat because one sample costs "
-              "one scan regardless of arrival pattern.\n");
-  return 0;
+  std::printf("\namortized-kernel gate at batch 64: naive %.3f us -> "
+              "amortized %.3f us (%.2fx; acceptance gate >= 1.5x, "
+              "bit-identical to per-row predict: %s)\n",
+              naive_64, amortized_64,
+              amortized_64 > 0.0 ? naive_64 / amortized_64 : 0.0,
+              mismatches == 0 ? "yes" : "NO");
+  std::printf("\nReading: the naive loop re-streams the dictionary and "
+              "table through cache per row; the entry-major kernel pays "
+              "each entry's misses once per 64-row tile. The server BATCH "
+              "row amortizes the syscall pair over the whole batch on top "
+              "of the kernel win.\n");
+  return mismatches == 0 ? 0 : 1;
 }

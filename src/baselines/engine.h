@@ -33,6 +33,18 @@ class Engine {
   /// num_classes entries and is overwritten.
   virtual void vote(std::span<const float> x, std::span<double> out) = 0;
 
+  /// Batched classification: `num_rows` samples of `row_stride` floats each
+  /// (row i starts at rows[i * row_stride]); out[i] receives the class.
+  /// Results must be identical to per-row `predict`. The default is a
+  /// per-row loop; engines with a genuinely amortized batch path (Bolt's
+  /// entry-major tile kernel, Ranger's tree-major sweep) override it.
+  virtual void predict_batch(std::span<const float> rows, std::size_t num_rows,
+                             std::size_t row_stride, std::span<int> out) {
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      out[r] = predict({rows.data() + r * row_stride, row_stride});
+    }
+  }
+
   /// Resident size of the engine's inference structures, for the storage
   /// analyses (Figure 8 and the cache-fit reasoning of §4.2).
   virtual std::size_t memory_bytes() const = 0;

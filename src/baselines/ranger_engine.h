@@ -33,7 +33,7 @@ class RangerEngine final : public Engine {
   /// Ranger's strength: classify a whole batch in one call, reusing buffers
   /// and walking tree-major for locality. Fills `out` with one class per row.
   void predict_batch(std::span<const float> rows, std::size_t num_rows,
-                     std::size_t row_stride, std::span<int> out);
+                     std::size_t row_stride, std::span<int> out) override;
 
  private:
   struct TreeSoA {

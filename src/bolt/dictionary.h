@@ -53,9 +53,16 @@ class Dictionary {
 
   /// Bitmask membership test (paper Figure 7: `d = data (x) e.features.key`).
   bool matches(std::size_t entry, const util::BitVector& bits) const {
+    return matches_words(entry, bits.words().data());
+  }
+
+  /// Raw-word form of `matches`: `words` is a binarized sample laid out as
+  /// by BitVector. The batch kernel tiles B samples as B such word rows and
+  /// tests each dictionary entry against all of them while the entry's
+  /// sparse words are still in cache.
+  bool matches_words(std::size_t entry, const std::uint64_t* words) const {
     const std::uint32_t begin = word_offsets_[entry];
     const std::uint32_t end = word_offsets_[entry + 1];
-    const auto words = bits.words();
     std::uint64_t diff = 0;
     for (std::uint32_t w = begin; w < end; ++w) {
       const SparseWord& sw = words_[w];
@@ -70,9 +77,14 @@ class Dictionary {
   /// ascending, so the result is identical to gathering positions one by
   /// one (verified by tests against the positions-based oracle).
   std::uint64_t address(std::size_t entry, const util::BitVector& bits) const {
+    return address_words(entry, bits.words().data());
+  }
+
+  /// Raw-word form of `address` (see `matches_words`).
+  std::uint64_t address_words(std::size_t entry,
+                              const std::uint64_t* words) const {
     const std::uint32_t begin = addr_word_offsets_[entry];
     const std::uint32_t end = addr_word_offsets_[entry + 1];
-    const std::uint64_t* words = bits.words().data();
     std::uint64_t out = 0;
     unsigned shift = 0;
     for (std::uint32_t k = begin; k < end; ++k) {

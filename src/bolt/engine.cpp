@@ -187,9 +187,152 @@ void BoltEngine::vote_binarized(const util::BitVector& bits,
 
 std::size_t BoltEngine::memory_bytes() const { return bf_.memory_bytes(); }
 
+BatchScratch::BatchScratch(const BoltForest& bf)
+    : words_per_row(util::words_for_bits(bf.space().size())),
+      tile_words(kTileRows * words_per_row), packed_acc(kTileRows),
+      votes(kTileRows * bf.num_classes()), row_bits(bf.space().size()),
+      probe_entries(kProbeWindow), probe_rows(kProbeWindow),
+      probe_slots(kProbeWindow), probe_addrs(kProbeWindow) {}
+
+namespace {
+
+/// One tile (n <= kTileRows rows) of the amortized kernel. Funnel counters
+/// are accumulated into the caller's totals so metrics cost one set of
+/// atomic adds per predict_batch call, not per tile.
+void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
+                std::size_t stride, int* out, BatchScratch& s,
+                std::uint64_t& candidates_total,
+                std::uint64_t& accepted_total) {
+  const Dictionary& dict = bf.dictionary();
+  const RecombinedTable& table = bf.table();
+  const ResultPool& results = bf.results();
+  const BloomFilter* bloom = bf.bloom();
+  const std::size_t wpr = s.words_per_row;
+  const std::size_t classes = bf.num_classes();
+  const bool packed = results.packed_available();
+
+  // Binarize the tile: one bit row per sample, contiguous so the scan's
+  // inner row loop walks a small L1-resident block.
+  for (std::size_t r = 0; r < n; ++r) {
+    bf.space().binarize({rows + r * stride, stride}, s.row_bits);
+    std::copy_n(s.row_bits.words().data(), wpr, s.tile_words.data() + r * wpr);
+  }
+  if (packed) {
+    std::fill_n(s.packed_acc.begin(), n, std::uint64_t{0});
+  } else {
+    std::fill_n(s.votes.begin(), n * classes, 0.0);
+  }
+
+  // Entry-major scan: each entry's sparse words are loaded once and tested
+  // against every row (branchless — matches ORs into a tile-wide candidate
+  // bitmap); its address words are then read for just the matching rows
+  // while still cache-hot. This is the single-row Phase A/Phase B with the
+  // loop nest inverted: dictionary misses are paid once per tile instead
+  // of once per row.
+  //
+  // Table probes are pipelined rather than issued inline. In the per-row
+  // path each probe is a dependent random access — one full cache miss of
+  // latency, serialized. Here the slot is computed and prefetched as soon
+  // as the address is formed, the probe is buffered, and the window drains
+  // kProbeWindow at a time: by drain time the slot lines are in flight or
+  // resident, so the misses overlap instead of queueing.
+  std::uint64_t candidates = 0, accepted = 0;
+  const std::size_t entries = dict.num_entries();
+  const std::uint64_t* tile = s.tile_words.data();
+  std::size_t pending = 0;
+  auto drain = [&] {
+    for (std::size_t i = 0; i < pending; ++i) {
+      const auto result = table.probe_slot(s.probe_slots[i], s.probe_entries[i],
+                                           s.probe_addrs[i]);
+      if (!result) continue;  // detected false positive
+      ++accepted;
+      const std::size_t r = s.probe_rows[i];
+      if (packed) {
+        results.accumulate_packed(*result, s.packed_acc[r]);
+      } else {
+        results.accumulate(*result, {s.votes.data() + r * classes, classes});
+      }
+    }
+    pending = 0;
+  };
+  for (std::size_t e = 0; e < entries; ++e) {
+    std::uint64_t rowmask = 0;
+    const std::uint64_t* row_words = tile;
+    for (std::size_t r = 0; r < n; ++r, row_words += wpr) {
+      rowmask |= static_cast<std::uint64_t>(dict.matches_words(e, row_words))
+                 << r;
+    }
+    candidates += static_cast<std::uint64_t>(std::popcount(rowmask));
+    while (rowmask != 0) {
+      const std::size_t r = static_cast<std::size_t>(std::countr_zero(rowmask));
+      rowmask &= rowmask - 1;
+      const std::uint64_t address = dict.address_words(e, tile + r * wpr);
+      if (bloom &&
+          !bloom->maybe_contains(static_cast<std::uint32_t>(e), address)) {
+        continue;
+      }
+      const std::size_t slot =
+          table.slot_of(static_cast<std::uint32_t>(e), address);
+      table.prefetch_slot(slot);
+      s.probe_entries[pending] = static_cast<std::uint32_t>(e);
+      s.probe_rows[pending] = static_cast<std::uint32_t>(r);
+      s.probe_slots[pending] = slot;
+      s.probe_addrs[pending] = address;
+      if (++pending == BatchScratch::kProbeWindow) drain();
+    }
+  }
+  drain();
+
+  for (std::size_t r = 0; r < n; ++r) {
+    std::span<double> votes{s.votes.data() + r * classes, classes};
+    if (packed) results.unpack(s.packed_acc[r], votes);
+    out[r] = forest::argmax_class(votes);
+  }
+  candidates_total += candidates;
+  accepted_total += accepted;
+}
+
+}  // namespace
+
+void predict_batch_amortized(const BoltForest& bf, std::span<const float> rows,
+                             std::size_t num_rows, std::size_t row_stride,
+                             std::span<int> out, BatchScratch& scratch,
+                             const util::EngineMetrics* metrics) {
+  std::uint64_t candidates = 0, accepted = 0;
+  for (std::size_t begin = 0; begin < num_rows;
+       begin += BatchScratch::kTileRows) {
+    const std::size_t n =
+        std::min(BatchScratch::kTileRows, num_rows - begin);
+    batch_tile(bf, rows.data() + begin * row_stride, n, row_stride,
+               out.data() + begin, scratch, candidates, accepted);
+  }
+  if (metrics != nullptr) {
+    // Batch rows feed the same funnel counters as single-sample predicts
+    // (candidates == accepts + rejected stays invariant) plus the batch
+    // totals; the per-phase timing histograms stay single-sample-only.
+    metrics->samples->inc(num_rows);
+    metrics->candidates->inc(candidates);
+    metrics->accepts->inc(accepted);
+    metrics->rejected->inc(candidates - accepted);
+    metrics->batch_rows->inc(num_rows);
+    metrics->batch_size->record(static_cast<double>(num_rows));
+  }
+}
+
 void BoltEngine::predict_batch(std::span<const float> rows,
                                std::size_t num_rows, std::size_t row_stride,
                                std::span<int> out) {
+  if (batch_scratch_ == nullptr) {
+    batch_scratch_ = std::make_unique<BatchScratch>(bf_);
+  }
+  predict_batch_amortized(bf_, rows, num_rows, row_stride, out,
+                          *batch_scratch_, metrics_);
+}
+
+void BoltEngine::predict_batch_naive(std::span<const float> rows,
+                                     std::size_t num_rows,
+                                     std::size_t row_stride,
+                                     std::span<int> out) {
   for (std::size_t r = 0; r < num_rows; ++r) {
     out[r] = predict({rows.data() + r * row_stride, row_stride});
   }

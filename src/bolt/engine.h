@@ -21,6 +21,52 @@
 
 namespace bolt::core {
 
+/// Per-thread scratch of the amortized batch kernel: the binarized row tile
+/// plus per-row vote accumulators. Allocate once (per serving thread / pool
+/// worker) and reuse across calls; predict_batch_amortized never allocates.
+struct BatchScratch {
+  /// Rows binarized per tile. 64 keeps the whole tile's bit rows inside a
+  /// few KB (L1-resident beside the dictionary stream) and lets the kernel
+  /// track per-entry matching rows in a single 64-bit row bitmap.
+  static constexpr std::size_t kTileRows = 64;
+
+  /// Deferred table probes buffered between prefetch and access. 128
+  /// outstanding lines (~16 KB of slots + keys) fit L1 beside the tile
+  /// while giving the memory system a deep pipeline of independent loads.
+  static constexpr std::size_t kProbeWindow = 128;
+
+  explicit BatchScratch(const BoltForest& bf);
+
+  std::size_t words_per_row;
+  std::vector<std::uint64_t> tile_words;  // kTileRows x words_per_row
+  std::vector<std::uint64_t> packed_acc;  // kTileRows packed-vote accumulators
+  std::vector<double> votes;              // kTileRows x num_classes
+  util::BitVector row_bits;               // single-row binarize staging
+  // Probe pipeline: (entry, row, slot, address) tuples awaiting their
+  // prefetched slot lines.
+  std::vector<std::uint32_t> probe_entries;  // kProbeWindow
+  std::vector<std::uint32_t> probe_rows;     // kProbeWindow
+  std::vector<std::size_t> probe_slots;      // kProbeWindow
+  std::vector<std::uint64_t> probe_addrs;    // kProbeWindow
+};
+
+/// The amortized batch path (the throughput side of the paper's one-access
+/// claim): binarize a tile of up to BatchScratch::kTileRows rows, then scan
+/// the dictionary *entry-major* — each entry's sparse words are loaded once
+/// and tested against every row of the tile, producing a tile-wide bitmap
+/// of matching rows per entry; the entry's address words are likewise read
+/// while still cache-hot. Table probes are not issued inline: each
+/// candidate's slot is prefetched and the (entry, row, slot, address) tuple
+/// buffered, and the window is drained once kProbeWindow probes are
+/// pending — so the random table accesses that serialize the per-row path
+/// (each probe a dependent cache miss) overlap as in-flight loads.
+/// Classifications are bit-identical to per-row `BoltEngine::predict`
+/// (the same tests run in a different order).
+void predict_batch_amortized(const BoltForest& bf, std::span<const float> rows,
+                             std::size_t num_rows, std::size_t row_stride,
+                             std::span<int> out, BatchScratch& scratch,
+                             const util::EngineMetrics* metrics = nullptr);
+
 class BoltEngine final : public engines::Engine {
  public:
   /// The engine borrows the artifact; the BoltForest must outlive it.
@@ -55,13 +101,18 @@ class BoltEngine final : public engines::Engine {
   /// the partitioned engine reuse this to skip re-binarization.
   void vote_binarized(const util::BitVector& bits, std::span<double> out);
 
-  /// Batched classification: `num_rows` samples of `row_stride` floats in
-  /// one call. Bolt needs no batching for throughput (its structures are
-  /// small and scanned linearly), but the API allows apples-to-apples
-  /// comparison with Ranger's batch mode (paper §2.1: Ranger achieves very
-  /// low response times when batching).
+  /// Batched classification via the amortized entry-major tile kernel
+  /// (predict_batch_amortized); bit-identical to per-row `predict`. The
+  /// scratch tile is allocated lazily on first use, so single-sample
+  /// engines pay nothing.
   void predict_batch(std::span<const float> rows, std::size_t num_rows,
-                     std::size_t row_stride, std::span<int> out);
+                     std::size_t row_stride, std::span<int> out) override;
+
+  /// The pre-amortization baseline — a plain per-row `predict` loop that
+  /// re-streams the dictionary and table through cache for every sample.
+  /// Kept as the comparison arm of bench_batching.
+  void predict_batch_naive(std::span<const float> rows, std::size_t num_rows,
+                           std::size_t row_stride, std::span<int> out);
 
   const BoltForest& artifact() const { return bf_; }
 
@@ -78,6 +129,7 @@ class BoltEngine final : public engines::Engine {
   util::BitVector bits_;
   std::vector<double> vote_scratch_;
   std::vector<std::uint64_t> candidate_blocks_;  // phase-A bitmap scratch
+  std::unique_ptr<BatchScratch> batch_scratch_;  // lazily built tile buffers
   const util::EngineMetrics* metrics_ = nullptr;
 };
 

@@ -114,6 +114,31 @@ int PartitionedBoltEngine::predict_threaded(std::span<const float> x,
   return forest::argmax_class(agg_);
 }
 
+void PartitionedBoltEngine::predict_batch(std::span<const float> rows,
+                                          std::size_t num_rows,
+                                          std::size_t row_stride,
+                                          std::span<int> out,
+                                          util::ThreadPool& pool) {
+  if (num_rows == 0) return;
+  constexpr std::size_t kTile = BatchScratch::kTileRows;
+  const std::size_t tiles = (num_rows + kTile - 1) / kTile;
+  const std::size_t tasks = std::min(pool.size(), tiles);
+  while (batch_scratch_.size() < tasks) batch_scratch_.emplace_back(bf_);
+  const std::size_t tiles_per_task = (tiles + tasks - 1) / tasks;
+  pool.parallel_for(tasks, [&](std::size_t task) {
+    const std::size_t tile_begin = task * tiles_per_task;
+    const std::size_t tile_end = std::min(tiles, tile_begin + tiles_per_task);
+    if (tile_begin >= tile_end) return;
+    const std::size_t row_begin = tile_begin * kTile;
+    const std::size_t row_count =
+        std::min(num_rows, tile_end * kTile) - row_begin;
+    predict_batch_amortized(bf_, rows.subspan(row_begin * row_stride),
+                            row_count, row_stride,
+                            out.subspan(row_begin, row_count),
+                            batch_scratch_[task]);
+  });
+}
+
 double PartitionedBoltEngine::measure_response_us(std::span<const float> x,
                                                   double comm_ns_per_core) {
   // Per-core times are ~100 ns — amortize the clock reads over `kReps`

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bolt/builder.h"
+#include "bolt/engine.h"
 #include "util/bits.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -49,6 +50,17 @@ class PartitionedBoltEngine {
 
   /// Real threaded execution across `pool` (one task per core).
   int predict_threaded(std::span<const float> x, util::ThreadPool& pool);
+
+  /// Row-parallel amortized batch classification across `pool`: rows are
+  /// split into contiguous tile-aligned chunks, one chunk per worker, each
+  /// running the entry-major amortized kernel (predict_batch_amortized)
+  /// with its own scratch — throughput scales with cores while every
+  /// worker keeps the once-per-tile cache amortization. Output rows are
+  /// disjoint per chunk, so no aggregation or locking is needed; results
+  /// are bit-identical to single-threaded BoltEngine::predict_batch.
+  void predict_batch(std::span<const float> rows, std::size_t num_rows,
+                     std::size_t row_stride, std::span<int> out,
+                     util::ThreadPool& pool);
 
   /// Critical-path latency measurement for one sample: every core's work
   /// is run and timed in isolation; returns
@@ -87,6 +99,7 @@ class PartitionedBoltEngine {
   const BoltForest& bf_;
   PartitionPlan plan_;
   util::BitVector bits_;
+  std::vector<BatchScratch> batch_scratch_;  // one per pool worker, lazy
   std::vector<std::vector<double>> core_votes_;
   std::vector<double> agg_;
   std::vector<std::vector<std::uint32_t>> part_preds_;  // per dict partition

@@ -107,6 +107,19 @@ class RecombinedTable {
     return displaced_slot(h, d, slot_mask_);
   }
 
+  /// Hints the cache lines probe_slot(slot, ...) will touch (slot payload
+  /// plus the verification key). The batch kernel issues these a window
+  /// ahead so a tile's probes — serial dependent misses in the per-row
+  /// path — resolve as overlapped in-flight loads.
+  void prefetch_slot(std::size_t slot) const {
+    __builtin_prefetch(&result_idx_[slot]);
+    if (id_check_ == IdCheck::kExact) {
+      __builtin_prefetch(&keys_[slot]);
+    } else {
+      __builtin_prefetch(&id8_[slot]);
+    }
+  }
+
   std::size_t num_slots() const { return result_idx_.size(); }
   std::size_t num_entries() const { return num_entries_; }
   TableStrategy strategy() const { return strategy_; }

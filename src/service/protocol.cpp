@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -81,6 +82,13 @@ Response decode_response(std::span<const std::uint8_t> frame) {
   Response resp;
   resp.predicted_class = get<std::int32_t>(frame);
   const auto n = get<std::uint32_t>(frame);
+  // Validate the declared count against the bytes actually present BEFORE
+  // reserving (mirrors decode_request): a corrupt peer must not be able to
+  // force a multi-GB allocation with a 16-byte frame.
+  if (frame.size() != static_cast<std::uint64_t>(n) *
+                          (sizeof(std::uint32_t) + sizeof(double))) {
+    throw std::runtime_error("protocol: response size mismatch");
+  }
   resp.salient.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     SalientFeature s;
@@ -88,7 +96,6 @@ Response decode_response(std::span<const std::uint8_t> frame) {
     s.score = get<double>(frame);
     resp.salient.push_back(s);
   }
-  if (!frame.empty()) throw std::runtime_error("protocol: trailing bytes");
   return resp;
 }
 
@@ -112,6 +119,80 @@ StatsResponse decode_stats_response(std::span<const std::uint8_t> frame) {
   }
   StatsResponse resp;
   resp.body.assign(reinterpret_cast<const char*>(frame.data()), n);
+  return resp;
+}
+
+bool BatchRequest::uniform_arity(std::size_t arity) const {
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    if (row_offsets[i + 1] - row_offsets[i] != arity) return false;
+  }
+  return true;
+}
+
+void encode_batch_request(const BatchRequest& req,
+                          std::vector<std::uint8_t>& out) {
+  put(out, kBatchRequestMagic);
+  put(out, req.flags);
+  put(out, static_cast<std::uint32_t>(req.num_rows()));
+  for (std::size_t i = 0; i < req.num_rows(); ++i) {
+    const std::span<const float> row = req.row(i);
+    put(out, static_cast<std::uint32_t>(row.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(row.data());
+    out.insert(out.end(), p, p + row.size() * sizeof(float));
+  }
+}
+
+void encode_batch_response(const BatchResponse& resp,
+                           std::vector<std::uint8_t>& out) {
+  put(out, kBatchResponseMagic);
+  put(out, static_cast<std::uint32_t>(resp.classes.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(resp.classes.data());
+  out.insert(out.end(), p, p + resp.classes.size() * sizeof(std::int32_t));
+}
+
+BatchRequest decode_batch_request(std::span<const std::uint8_t> frame) {
+  if (get<std::uint32_t>(frame) != kBatchRequestMagic) {
+    throw std::runtime_error("protocol: bad batch request magic");
+  }
+  BatchRequest req;
+  req.flags = get<std::uint32_t>(frame);
+  const auto num_rows = get<std::uint32_t>(frame);
+  // Every declared row costs at least its 4-byte length prefix; checking
+  // that bound (and each row's span below) before any reserve keeps a
+  // corrupt count from forcing a huge allocation.
+  if (static_cast<std::uint64_t>(num_rows) * sizeof(std::uint32_t) >
+      frame.size()) {
+    throw std::runtime_error("protocol: batch row count exceeds frame");
+  }
+  req.row_offsets.reserve(num_rows + 1);
+  req.features.reserve(frame.size() / sizeof(float));
+  for (std::uint32_t i = 0; i < num_rows; ++i) {
+    const auto n = get<std::uint32_t>(frame);
+    if (static_cast<std::uint64_t>(n) * sizeof(float) > frame.size()) {
+      throw std::runtime_error("protocol: batch row exceeds frame");
+    }
+    const std::size_t begin = req.features.size();
+    req.features.resize(begin + n);
+    std::memcpy(req.features.data() + begin, frame.data(), n * sizeof(float));
+    frame = frame.subspan(n * sizeof(float));
+    req.row_offsets.push_back(static_cast<std::uint32_t>(req.features.size()));
+  }
+  if (!frame.empty()) throw std::runtime_error("protocol: trailing bytes");
+  return req;
+}
+
+BatchResponse decode_batch_response(std::span<const std::uint8_t> frame) {
+  if (get<std::uint32_t>(frame) != kBatchResponseMagic) {
+    throw std::runtime_error("protocol: bad batch response magic");
+  }
+  const auto n = get<std::uint32_t>(frame);
+  if (frame.size() !=
+      static_cast<std::uint64_t>(n) * sizeof(std::int32_t)) {
+    throw std::runtime_error("protocol: batch response size mismatch");
+  }
+  BatchResponse resp;
+  resp.classes.resize(n);
+  std::memcpy(resp.classes.data(), frame.data(), n * sizeof(std::int32_t));
   return resp;
 }
 
@@ -165,9 +246,15 @@ void write_frame(int fd, std::span<const std::uint8_t> payload) {
   for (const Chunk& c : chunks) {
     std::size_t done = 0;
     while (done < c.n) {
-      const ssize_t w = ::write(fd, c.p + done, c.n - done);
+      // MSG_NOSIGNAL: a peer that vanished between request and response
+      // must surface as EPIPE (thrown, handled by the caller's connection
+      // teardown), never as a process-wide SIGPIPE.
+      const ssize_t w = ::send(fd, c.p + done, c.n - done, MSG_NOSIGNAL);
       if (w < 0) {
         if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          throw std::runtime_error("protocol: peer closed connection");
+        }
         throw std::runtime_error(std::string("protocol: write: ") +
                                  std::strerror(errno));
       }

@@ -15,6 +15,14 @@
 //   stats response := u32 magic | u32 num_bytes | u8[num_bytes]
 // The server dispatches on the leading magic, so classification and STATS
 // requests interleave freely on one connection.
+//
+// A third op carries amortized batches (N rows in, N classes out) to the
+// engine's entry-major batch kernel. Rows are individually length-prefixed
+// so one malformed row (wrong arity) yields class -1 for that row without
+// poisoning the rest of the batch:
+//   batch request  := u32 magic | u32 flags | u32 num_rows |
+//                     (u32 num_features | f32[num_features])[num_rows]
+//   batch response := u32 magic | u32 num_rows | i32[num_rows]
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,8 @@ constexpr std::uint32_t kRequestMagic = 0x424c5451;   // "BLTQ"
 constexpr std::uint32_t kResponseMagic = 0x424c5452;  // "BLTR"
 constexpr std::uint32_t kStatsRequestMagic = 0x424c5453;   // "BLTS"
 constexpr std::uint32_t kStatsResponseMagic = 0x424c5454;  // "BLTT"
+constexpr std::uint32_t kBatchRequestMagic = 0x424c5455;   // "BLTU"
+constexpr std::uint32_t kBatchResponseMagic = 0x424c5456;  // "BLTV"
 constexpr std::uint32_t kFlagExplain = 1u << 0;
 constexpr std::uint32_t kStatsFlagJson = 1u << 0;
 
@@ -54,6 +64,33 @@ struct StatsResponse {
   std::string body;  // text or JSON metrics dump
 };
 
+/// A batch of samples, stored flat (rows back to back) with a CSR offset
+/// array so uniform-arity batches reach the engine's batch kernel without
+/// per-row copies.
+struct BatchRequest {
+  std::uint32_t flags = 0;
+  std::vector<std::uint32_t> row_offsets{0};  // num_rows + 1 offsets
+  std::vector<float> features;                // row_offsets.back() floats
+
+  std::size_t num_rows() const { return row_offsets.size() - 1; }
+  std::span<const float> row(std::size_t i) const {
+    return {features.data() + row_offsets[i],
+            row_offsets[i + 1] - row_offsets[i]};
+  }
+  void add_row(std::span<const float> row) {
+    features.insert(features.end(), row.begin(), row.end());
+    row_offsets.push_back(static_cast<std::uint32_t>(features.size()));
+  }
+  /// True iff every row has exactly `arity` features (the engine batch-
+  /// kernel fast path: `features` is then a contiguous stride-`arity`
+  /// matrix).
+  bool uniform_arity(std::size_t arity) const;
+};
+
+struct BatchResponse {
+  std::vector<std::int32_t> classes;  // one per row; -1 = arity mismatch
+};
+
 /// Serializes a request/response into `out` (appended).
 void encode_request(const Request& req, std::vector<std::uint8_t>& out);
 void encode_response(const Response& resp, std::vector<std::uint8_t>& out);
@@ -63,19 +100,29 @@ void encode_stats_request(const StatsRequest& req,
 void encode_stats_response(const StatsResponse& resp,
                            std::vector<std::uint8_t>& out);
 
+void encode_batch_request(const BatchRequest& req,
+                          std::vector<std::uint8_t>& out);
+void encode_batch_response(const BatchResponse& resp,
+                           std::vector<std::uint8_t>& out);
+
 /// Parses a full frame; throws std::runtime_error on malformed input.
 Request decode_request(std::span<const std::uint8_t> frame);
 Response decode_response(std::span<const std::uint8_t> frame);
 StatsRequest decode_stats_request(std::span<const std::uint8_t> frame);
 StatsResponse decode_stats_response(std::span<const std::uint8_t> frame);
+BatchRequest decode_batch_request(std::span<const std::uint8_t> frame);
+BatchResponse decode_batch_response(std::span<const std::uint8_t> frame);
 
 /// Leading magic of a frame (0 if shorter than 4 bytes) — how the server
 /// dispatches between classification and STATS ops.
 std::uint32_t frame_magic(std::span<const std::uint8_t> frame);
 
-/// Blocking framed I/O over a file descriptor (4-byte length prefix then
-/// payload). Returns false on clean EOF before any byte of the frame.
+/// Blocking framed I/O over a socket (4-byte length prefix then payload).
+/// Returns false on clean EOF before any byte of the frame.
 bool read_frame(int fd, std::vector<std::uint8_t>& frame);
+/// Writes with MSG_NOSIGNAL: a peer that disconnected mid-response raises
+/// EPIPE (translated to std::runtime_error, the caller's drop-the-
+/// connection path) instead of a process-killing SIGPIPE.
 void write_frame(int fd, std::span<const std::uint8_t> payload);
 
 }  // namespace bolt::service

@@ -53,9 +53,13 @@ InferenceServer::InferenceServer(
   errors_total_ = &metrics_.counter("service.errors");
   malformed_total_ = &metrics_.counter("service.malformed_requests");
   stats_requests_total_ = &metrics_.counter("service.stats_requests");
+  batch_requests_total_ = &metrics_.counter("service.batch_requests");
   connections_total_ = &metrics_.counter("service.connections_total");
+  rejected_connections_ = &metrics_.counter("service.rejected_connections");
   active_connections_ = &metrics_.gauge("service.active_connections");
   request_latency_us_ = &metrics_.histogram("service.request_latency_us");
+  batch_size_ = &metrics_.histogram(
+      "service.batch_size", util::Histogram::exponential_bounds(1, 2.0, 14));
 }
 
 InferenceServer::~InferenceServer() { stop(); }
@@ -83,20 +87,20 @@ void InferenceServer::stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> conns;
-  {
-    std::lock_guard lock(conn_mu_);
-    conns.swap(connection_threads_);
-    // Wake handlers blocked in read(): a handler owns its fd and closes it
-    // on exit, so only shut the socket down here (never close it twice).
-    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (auto& t : conns) t.join();
-  {
-    std::lock_guard lock(conn_mu_);
-    connection_fds_.clear();
-  }
+  // Handlers are detached and self-reaping: wake any blocked in read() by
+  // shutting their sockets down (a handler owns its fd and closes it on
+  // exit — never close here), then wait for the live count to drain.
+  std::unique_lock lock(conn_mu_);
+  for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  conn_cv_.wait(lock, [this] { return active_handlers_ == 0; });
+  connection_fds_.clear();
+  lock.unlock();
   ::unlink(socket_path_.c_str());
+}
+
+std::size_t InferenceServer::active_handler_count() const {
+  std::lock_guard lock(conn_mu_);
+  return active_handlers_;
 }
 
 void InferenceServer::accept_loop() {
@@ -107,10 +111,22 @@ void InferenceServer::accept_loop() {
       if (errno == EINTR) continue;
       return;  // listening socket gone
     }
-    std::lock_guard lock(conn_mu_);
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back(
-        [this, fd] { handle_connection(fd); });
+    {
+      std::lock_guard lock(conn_mu_);
+      // Explicit backpressure: beyond the cap, refuse instead of piling up
+      // handler threads until OOM.
+      if (options_.max_connections != 0 &&
+          active_handlers_ >= options_.max_connections) {
+        rejected_connections_->inc();
+        ::close(fd);
+        continue;
+      }
+      connection_fds_.push_back(fd);
+      ++active_handlers_;
+    }
+    // Detached: the handler reaps itself on exit (finished threads never
+    // accumulate); stop() waits on active_handlers_ via conn_cv_.
+    std::thread([this, fd] { handle_connection(fd); }).detach();
   }
 }
 
@@ -147,6 +163,59 @@ void InferenceServer::handle_connection(int fd) {
             (sreq.flags & kStatsFlagJson) ? snap.to_json() : snap.to_text();
         out.clear();
         encode_stats_response(sresp, out);
+        write_frame(fd, out);
+        continue;
+      }
+      if (frame_magic(frame) == kBatchRequestMagic) {
+        // BATCH op: N rows in, N classes out, classified by the engine's
+        // amortized batch kernel. Counted as one request per row so the
+        // service totals stay row-denominated.
+        util::Timer batch_timer;
+        BatchRequest breq;
+        try {
+          breq = decode_batch_request(frame);
+        } catch (const std::exception&) {
+          if (record) malformed_total_->inc();
+          throw;
+        }
+        const std::size_t rows = breq.num_rows();
+        BatchResponse bresp;
+        bresp.classes.assign(rows, -1);
+        const std::size_t arity = engine->num_features();
+        if (breq.uniform_arity(arity)) {
+          // Fast path: the flat feature buffer is already a contiguous
+          // stride-`arity` matrix — zero copies to the kernel.
+          engine->predict_batch(breq.features, rows, arity, bresp.classes);
+        } else {
+          // Mixed batch: arity-mismatched rows answer -1; the rest are
+          // gathered into a contiguous matrix and batch-classified.
+          std::vector<float> good;
+          std::vector<std::size_t> good_idx;
+          good.reserve(breq.features.size());
+          for (std::size_t i = 0; i < rows; ++i) {
+            const auto row = breq.row(i);
+            if (row.size() != arity) continue;
+            good.insert(good.end(), row.begin(), row.end());
+            good_idx.push_back(i);
+          }
+          std::vector<int> good_out(good_idx.size());
+          engine->predict_batch(good, good_idx.size(), arity, good_out);
+          for (std::size_t k = 0; k < good_idx.size(); ++k) {
+            bresp.classes[good_idx[k]] = good_out[k];
+          }
+        }
+        std::uint64_t batch_errors = 0;
+        for (std::int32_t c : bresp.classes) batch_errors += c < 0;
+        out.clear();
+        encode_batch_response(bresp, out);
+        requests_served_.fetch_add(rows, std::memory_order_relaxed);
+        if (record) {
+          batch_requests_total_->inc();
+          batch_size_->record(static_cast<double>(rows));
+          requests_total_->inc(rows);
+          errors_total_->inc(batch_errors);
+          request_latency_us_->record(batch_timer.elapsed_us());
+        }
         write_frame(fd, out);
         continue;
       }
@@ -191,14 +260,23 @@ void InferenceServer::handle_connection(int fd) {
       write_frame(fd, out);
     }
   } catch (const std::exception&) {
-    // Malformed request or peer reset: drop the connection.
+    // Malformed request or peer reset (e.g. EPIPE from write_frame when
+    // the client vanished mid-response): drop the connection.
   }
   if (record) active_connections_->sub(1);
   {
+    // Self-reap: remove and close the fd, then announce the exit. stop()
+    // returns only after every handler has passed this point, so no fd or
+    // detached thread outlives the server.
     std::lock_guard lock(conn_mu_);
     std::erase(connection_fds_, fd);
+    ::close(fd);
+    --active_handlers_;
+    // Notify under the lock: stop() cannot pass its predicate re-check (and
+    // destroy *this) until this handler has released the mutex, after which
+    // the handler touches nothing of the server.
+    conn_cv_.notify_all();
   }
-  ::close(fd);
 }
 
 InferenceClient::InferenceClient(const std::string& socket_path) {
@@ -227,6 +305,30 @@ Response InferenceClient::classify(std::span<const float> features,
     throw std::runtime_error("service: server closed connection");
   }
   return decode_response(buf_);
+}
+
+std::vector<std::int32_t> InferenceClient::classify_batch(
+    std::span<const float> rows, std::size_t num_rows,
+    std::size_t row_stride) {
+  BatchRequest req;
+  req.features.assign(rows.begin(),
+                      rows.begin() + static_cast<std::ptrdiff_t>(
+                                         num_rows * row_stride));
+  req.row_offsets.resize(num_rows + 1);
+  for (std::size_t i = 0; i <= num_rows; ++i) {
+    req.row_offsets[i] = static_cast<std::uint32_t>(i * row_stride);
+  }
+  buf_.clear();
+  encode_batch_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  BatchResponse resp = decode_batch_response(buf_);
+  if (resp.classes.size() != num_rows) {
+    throw std::runtime_error("service: batch response row count mismatch");
+  }
+  return std::move(resp.classes);
 }
 
 std::string InferenceClient::stats(bool json) {

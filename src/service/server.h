@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <string>
@@ -23,6 +24,11 @@ struct ServerOptions {
   /// registry snapshot — the knob bench_service uses to price the
   /// instrumentation itself.
   bool metrics = true;
+  /// Concurrent-connection cap: an accept beyond it is closed immediately
+  /// (counted in service.rejected_connections), making backpressure under
+  /// connection floods explicit instead of an unbounded handler-thread
+  /// pile-up. 0 = unlimited.
+  std::size_t max_connections = 256;
 };
 
 /// Serves one engine on a UNIX-domain-socket path. Connections are handled
@@ -52,6 +58,10 @@ class InferenceServer {
   const std::string& socket_path() const { return socket_path_; }
   std::uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// Live connection handlers right now (drains to zero after churn — the
+  /// regression gate for the historical unbounded handler-thread leak).
+  std::size_t active_handler_count() const;
+
   /// The server's metrics registry (exported metric names are listed in
   /// docs/OBSERVABILITY.md). Remote scrapes arrive via the STATS op; local
   /// callers can register additional metrics here before start().
@@ -69,9 +79,14 @@ class InferenceServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
+  // Handler threads are detached and self-reaping: each handler removes its
+  // fd and decrements active_handlers_ on exit (no per-connection join
+  // bookkeeping to grow without bound under churn); stop() shuts every live
+  // fd down and waits on conn_cv_ until the count drains to zero.
   std::vector<int> connection_fds_;  // live sockets, shut down on stop()
-  std::mutex conn_mu_;
+  std::size_t active_handlers_ = 0;
+  std::condition_variable conn_cv_;
+  mutable std::mutex conn_mu_;
 
   // Registry-owned instrumentation, shared by every connection handler.
   util::MetricsRegistry metrics_;
@@ -80,9 +95,12 @@ class InferenceServer {
   util::Counter* errors_total_ = nullptr;
   util::Counter* malformed_total_ = nullptr;
   util::Counter* stats_requests_total_ = nullptr;
+  util::Counter* batch_requests_total_ = nullptr;
   util::Counter* connections_total_ = nullptr;
+  util::Counter* rejected_connections_ = nullptr;
   util::Gauge* active_connections_ = nullptr;
   util::Histogram* request_latency_us_ = nullptr;
+  util::Histogram* batch_size_ = nullptr;
 };
 
 /// Client for the service: connects, sends samples, reads classifications.
@@ -96,6 +114,14 @@ class InferenceClient {
 
   /// Round-trips one sample. `explain` asks for salient features.
   Response classify(std::span<const float> features, bool explain = false);
+
+  /// Round-trips a batch of `num_rows` samples of `row_stride` floats each
+  /// (row i at rows[i * row_stride]) through the BATCH op: one frame each
+  /// way, classified server-side by the amortized batch kernel. Returns one
+  /// class per row (-1 for arity-mismatched rows).
+  std::vector<std::int32_t> classify_batch(std::span<const float> rows,
+                                           std::size_t num_rows,
+                                           std::size_t row_stride);
 
   /// Scrapes the server's metrics registry (STATS op). Returns the text
   /// dump, or JSON when `json` is set.

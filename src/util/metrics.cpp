@@ -213,6 +213,9 @@ EngineMetrics EngineMetrics::in(MetricsRegistry& reg, const std::string& prefix)
                                  Histogram::exponential_bounds(64, 2.0, 20));
   m.scan_ns = &reg.histogram(prefix + ".scan_ns",
                              Histogram::exponential_bounds(64, 2.0, 20));
+  m.batch_rows = &reg.counter(prefix + ".batch_rows");
+  m.batch_size = &reg.histogram(prefix + ".batch_size",
+                                Histogram::exponential_bounds(1, 2.0, 14));
   return m;
 }
 

@@ -127,6 +127,8 @@ struct EngineMetrics {
   Counter* rejected = nullptr;         // candidates dropped (Bloom or ID check)
   Histogram* binarize_ns = nullptr;    // input binarization time
   Histogram* scan_ns = nullptr;        // dictionary scan + lookup time
+  Counter* batch_rows = nullptr;       // rows classified via the batch kernel
+  Histogram* batch_size = nullptr;     // rows per predict_batch call
 
   /// Registers `<prefix>.samples` etc. in `reg` and returns the bundle.
   static EngineMetrics in(MetricsRegistry& reg, const std::string& prefix);

@@ -1,0 +1,104 @@
+// The amortized batch kernel's contract: `predict_batch` runs the same
+// tests as per-row `predict` in a different order, so classifications must
+// be bit-identical for every batch size — empty, sub-tile, exactly one
+// tile, tile+1 (the ragged-tail path), and multi-tile.
+#include "bolt/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+#include "bolt/parallel.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace bolt::core {
+namespace {
+
+class BatchFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    forest_ = bolt::testing::small_forest(6, 4, 17);
+    inputs_ = bolt::testing::small_dataset(200, 18);
+    artifact_ =
+        std::make_unique<BoltForest>(BoltForest::build(forest_, {}));
+    reference_.resize(inputs_.num_rows());
+    BoltEngine ref(*artifact_);
+    for (std::size_t i = 0; i < inputs_.num_rows(); ++i) {
+      reference_[i] = ref.predict(inputs_.row(i));
+    }
+  }
+
+  // Batch sizes straddling the kTileRows = 64 tile boundary.
+  static constexpr std::size_t kSizes[] = {0, 1, 63, 64, 65, 200};
+
+  forest::Forest forest_;
+  data::Dataset inputs_{0, 0};
+  std::unique_ptr<BoltForest> artifact_;
+  std::vector<int> reference_;
+};
+
+TEST_F(BatchFixture, AmortizedKernelBitIdenticalToPredict) {
+  BoltEngine engine(*artifact_);
+  const float* rows = inputs_.raw_features().data();
+  const std::size_t stride = inputs_.num_features();
+  for (std::size_t n : kSizes) {
+    std::vector<int> out(n, -2);
+    engine.predict_batch({rows, n * stride}, n, stride, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], reference_[i]) << "row " << i << " of batch " << n;
+    }
+  }
+}
+
+TEST_F(BatchFixture, NaiveLoopMatchesAmortizedKernel) {
+  BoltEngine engine(*artifact_);
+  const float* rows = inputs_.raw_features().data();
+  const std::size_t stride = inputs_.num_features();
+  const std::size_t n = inputs_.num_rows();
+  std::vector<int> naive(n), amortized(n);
+  engine.predict_batch_naive({rows, n * stride}, n, stride, naive);
+  engine.predict_batch({rows, n * stride}, n, stride, amortized);
+  EXPECT_EQ(naive, amortized);
+}
+
+TEST_F(BatchFixture, PoolParallelBatchBitIdentical) {
+  PartitionedBoltEngine engine(*artifact_, {});
+  util::ThreadPool pool(3);
+  const float* rows = inputs_.raw_features().data();
+  const std::size_t stride = inputs_.num_features();
+  for (std::size_t n : kSizes) {
+    std::vector<int> out(n, -2);
+    engine.predict_batch({rows, n * stride}, n, stride, out, pool);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], reference_[i]) << "row " << i << " of batch " << n;
+    }
+  }
+}
+
+TEST_F(BatchFixture, BatchMetricsFeedTheSameFunnel) {
+  util::MetricsRegistry reg;
+  const util::EngineMetrics metrics = util::EngineMetrics::in(reg, "engine");
+  BoltEngine engine(*artifact_);
+  engine.attach_metrics(&metrics);
+
+  const float* rows = inputs_.raw_features().data();
+  const std::size_t stride = inputs_.num_features();
+  const std::size_t n = 150;  // two full tiles + a ragged tail
+  std::vector<int> out(n);
+  engine.predict_batch({rows, n * stride}, n, stride, out);
+
+  EXPECT_EQ(metrics.samples->value(), n);
+  EXPECT_EQ(metrics.batch_rows->value(), n);
+  EXPECT_EQ(metrics.candidates->value(),
+            metrics.accepts->value() + metrics.rejected->value());
+  EXPECT_GT(metrics.accepts->value(), 0u);
+  const auto sizes = metrics.batch_size->snapshot();
+  EXPECT_EQ(sizes.count, 1u);
+  EXPECT_EQ(sizes.sum, static_cast<double>(n));
+  // Per-phase timing histograms stay single-sample-only.
+  EXPECT_EQ(metrics.scan_ns->snapshot().count, 0u);
+  EXPECT_EQ(metrics.binarize_ns->snapshot().count, 0u);
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -1,0 +1,335 @@
+// BATCH op + serving-robustness regression tests:
+//   - BATCH protocol round-trips (empty, single-row, ragged batches) and
+//     pre-reserve validation of attacker-controlled counts;
+//   - the SIGPIPE fix (peer disconnecting between request and response
+//     must not kill the server process);
+//   - bounded connection handling (handler count drains after churn,
+//     max_connections backpressure).
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "../helpers.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace bolt::service {
+namespace {
+
+std::string temp_socket(const char* tag) {
+  return ::testing::TempDir() + "/bolt_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Raw client socket for tests that need to misbehave (disconnect early,
+/// send crafted frames) in ways InferenceClient never would.
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++n;
+  }
+  return n;
+}
+
+std::size_t thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::stoul(line.substr(8));
+    }
+  }
+  return 0;
+}
+
+TEST(BatchProtocol, RoundTripRaggedRows) {
+  BatchRequest req;
+  req.flags = 0;
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{4.5f};
+  const std::vector<float> c{};
+  req.add_row(a);
+  req.add_row(b);
+  req.add_row(c);
+  std::vector<std::uint8_t> buf;
+  encode_batch_request(req, buf);
+  EXPECT_EQ(frame_magic(buf), kBatchRequestMagic);
+
+  const BatchRequest back = decode_batch_request(buf);
+  ASSERT_EQ(back.num_rows(), 3u);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), back.row(0).begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), back.row(1).begin()));
+  EXPECT_TRUE(back.row(2).empty());
+  EXPECT_FALSE(back.uniform_arity(3));
+
+  BatchResponse resp;
+  resp.classes = {4, -1, 0};
+  buf.clear();
+  encode_batch_response(resp, buf);
+  EXPECT_EQ(frame_magic(buf), kBatchResponseMagic);
+  EXPECT_EQ(decode_batch_response(buf).classes, resp.classes);
+}
+
+TEST(BatchProtocol, RoundTripEmptyBatch) {
+  std::vector<std::uint8_t> buf;
+  encode_batch_request(BatchRequest{}, buf);
+  EXPECT_EQ(decode_batch_request(buf).num_rows(), 0u);
+  buf.clear();
+  encode_batch_response(BatchResponse{}, buf);
+  EXPECT_TRUE(decode_batch_response(buf).classes.empty());
+}
+
+TEST(BatchProtocol, UniformArityDetected) {
+  BatchRequest req;
+  const std::vector<float> row{1.0f, 2.0f};
+  req.add_row(row);
+  req.add_row(row);
+  EXPECT_TRUE(req.uniform_arity(2));
+  EXPECT_FALSE(req.uniform_arity(3));
+  req.add_row(std::vector<float>{9.0f});
+  EXPECT_FALSE(req.uniform_arity(2));
+}
+
+TEST(BatchProtocol, RejectsDeclaredCountsLargerThanFrame) {
+  // A crafted frame declaring 2^32-1 rows but carrying none must throw on
+  // the size check, not reserve gigabytes first.
+  std::vector<std::uint8_t> frame;
+  append_u32(frame, kBatchRequestMagic);
+  append_u32(frame, 0);            // flags
+  append_u32(frame, 0xffffffffu);  // num_rows
+  EXPECT_THROW(decode_batch_request(frame), std::runtime_error);
+
+  // Same for a single row declaring more floats than the frame holds.
+  frame.clear();
+  append_u32(frame, kBatchRequestMagic);
+  append_u32(frame, 0);
+  append_u32(frame, 1);            // num_rows
+  append_u32(frame, 0x40000000u);  // row arity
+  EXPECT_THROW(decode_batch_request(frame), std::runtime_error);
+
+  frame.clear();
+  append_u32(frame, kBatchResponseMagic);
+  append_u32(frame, 0x7fffffffu);  // num_rows, no payload
+  EXPECT_THROW(decode_batch_response(frame), std::runtime_error);
+}
+
+TEST(BatchProtocol, ResponseDecodeValidatesSalientCountBeforeReserve) {
+  // Regression: decode_response used to reserve() the attacker-controlled
+  // salient count before checking it against the frame size.
+  std::vector<std::uint8_t> frame;
+  append_u32(frame, kResponseMagic);
+  append_u32(frame, 3);            // predicted class
+  append_u32(frame, 0xfffffff0u);  // num_salient, nothing behind it
+  EXPECT_THROW(decode_response(frame), std::runtime_error);
+}
+
+class BatchServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    forest_ = bolt::testing::small_forest(6, 4, 91);
+    inputs_ = bolt::testing::small_dataset(100, 92);
+    artifact_ = std::make_unique<core::BoltForest>(
+        core::BoltForest::build(forest_, {}));
+  }
+
+  std::unique_ptr<InferenceServer> make_server(const std::string& path,
+                                               ServerOptions options = {}) {
+    return std::make_unique<InferenceServer>(
+        path, [&] { return std::make_unique<core::BoltEngine>(*artifact_); },
+        options);
+  }
+
+  forest::Forest forest_;
+  data::Dataset inputs_{0, 0};
+  std::unique_ptr<core::BoltForest> artifact_;
+};
+
+TEST_F(BatchServiceFixture, BatchEndToEndMatchesPerRowPredict) {
+  const std::string path = temp_socket("batch_e2e");
+  auto server = make_server(path);
+  server->start();
+  InferenceClient client(path);
+
+  const std::size_t n = inputs_.num_rows();
+  const std::size_t stride = inputs_.num_features();
+  const auto classes =
+      client.classify_batch(inputs_.raw_features(), n, stride);
+  ASSERT_EQ(classes.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(classes[i], forest_.predict(inputs_.row(i))) << "row " << i;
+  }
+  EXPECT_EQ(server->requests_served(), n);
+
+  // Empty and single-row batches round-trip too.
+  EXPECT_TRUE(client.classify_batch({}, 0, stride).empty());
+  const auto one = client.classify_batch(inputs_.row(0), 1, stride);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], forest_.predict(inputs_.row(0)));
+  server->stop();
+}
+
+TEST_F(BatchServiceFixture, ArityMismatchRowAnswersMinusOneWithoutPoisoning) {
+  const std::string path = temp_socket("batch_arity");
+  auto server = make_server(path);
+  server->start();
+
+  // A ragged batch needs a hand-built request; InferenceClient only sends
+  // uniform ones.
+  BatchRequest req;
+  req.add_row(inputs_.row(0));
+  std::vector<float> bad(inputs_.num_features() + 3, 0.0f);
+  req.add_row(bad);
+  req.add_row(inputs_.row(1));
+  std::vector<std::uint8_t> buf;
+  encode_batch_request(req, buf);
+
+  const int fd = raw_connect(path);
+  write_frame(fd, buf);
+  ASSERT_TRUE(read_frame(fd, buf));
+  const BatchResponse resp = decode_batch_response(buf);
+  ASSERT_EQ(resp.classes.size(), 3u);
+  EXPECT_EQ(resp.classes[0], forest_.predict(inputs_.row(0)));
+  EXPECT_EQ(resp.classes[1], -1);
+  EXPECT_EQ(resp.classes[2], forest_.predict(inputs_.row(1)));
+  ::close(fd);
+  server->stop();
+}
+
+TEST_F(BatchServiceFixture, OversizedBatchFrameDropsConnectionNotServer) {
+  const std::string path = temp_socket("batch_cap");
+  auto server = make_server(path);
+  server->start();
+
+  // Claim a frame beyond the 64 MB cap; the server must drop the
+  // connection without reading (or allocating) the payload.
+  const int fd = raw_connect(path);
+  const std::uint32_t huge = 256u << 20;
+  ASSERT_EQ(::send(fd, &huge, sizeof(huge), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(huge)));
+  std::uint8_t byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // clean EOF: connection dropped
+  ::close(fd);
+
+  // The server survives and keeps serving other clients.
+  InferenceClient client(path);
+  const auto classes = client.classify_batch(inputs_.row(0), 1,
+                                             inputs_.num_features());
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], forest_.predict(inputs_.row(0)));
+  server->stop();
+}
+
+TEST_F(BatchServiceFixture, ClientDisconnectMidResponseDoesNotKillServer) {
+  // Regression: write_frame used plain write(); a peer that closed after
+  // sending its request made the response write raise SIGPIPE and kill the
+  // whole server process. With MSG_NOSIGNAL the handler sees EPIPE and
+  // just drops the connection.
+  const std::string path = temp_socket("sigpipe");
+  auto server = make_server(path);
+  server->start();
+
+  Request req;
+  req.features.assign(inputs_.num_features(), 0.25f);
+  std::vector<std::uint8_t> buf;
+  encode_request(req, buf);
+
+  for (int i = 0; i < 50; ++i) {
+    const int fd = raw_connect(path);
+    write_frame(fd, buf);
+    // Close before reading the response: the handler's write lands on a
+    // dead peer. (shutdown first so the close is visible immediately.)
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+
+  // If SIGPIPE fired, this process is already gone; prove the server is
+  // still answering.
+  InferenceClient client(path);
+  EXPECT_EQ(client.classify(inputs_.row(0)).predicted_class,
+            forest_.predict(inputs_.row(0)));
+  server->stop();
+}
+
+TEST_F(BatchServiceFixture, ConnectionChurnDoesNotAccumulateThreadsOrFds) {
+  const std::string path = temp_socket("churn");
+  auto server = make_server(path);
+  server->start();
+
+  // Let the first connection settle so baseline counts include any
+  // lazily-created service state.
+  {
+    InferenceClient warmup(path);
+    warmup.classify(inputs_.row(0));
+  }
+  const std::size_t fds_before = open_fd_count();
+  const std::size_t threads_before = thread_count();
+
+  for (int i = 0; i < 100; ++i) {
+    InferenceClient client(path);
+    client.classify(inputs_.row(i % inputs_.num_rows()));
+  }
+
+  // Handlers are detached and self-reaping; give them a moment to drain.
+  for (int i = 0; i < 200 && server->active_handler_count() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->active_handler_count(), 0u);
+  for (int i = 0; i < 200 && thread_count() > threads_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Pre-fix, 100 churned connections left 100 zombie thread handles and
+  // their stacks. Allow a little slack for unrelated runtime threads.
+  EXPECT_LE(thread_count(), threads_before + 2);
+  EXPECT_LE(open_fd_count(), fds_before + 2);
+  server->stop();
+}
+
+TEST_F(BatchServiceFixture, MaxConnectionsRejectsExcessAccepts) {
+  const std::string path = temp_socket("conncap");
+  auto server = make_server(path, ServerOptions{.max_connections = 2});
+  server->start();
+
+  InferenceClient a(path), b(path);
+  // Pin both handlers live.
+  EXPECT_GE(a.classify(inputs_.row(0)).predicted_class, 0);
+  EXPECT_GE(b.classify(inputs_.row(1)).predicted_class, 0);
+
+  // The third connection is accepted then immediately closed by the cap.
+  const int fd = raw_connect(path);
+  std::uint8_t byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // EOF: rejected
+  ::close(fd);
+
+  // Existing connections are unaffected.
+  EXPECT_GE(a.classify(inputs_.row(2)).predicted_class, 0);
+  server->stop();
+}
+
+}  // namespace
+}  // namespace bolt::service

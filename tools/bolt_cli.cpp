@@ -10,6 +10,8 @@
 //   bolt verify   --model model.forest --artifact model.bolt [--samples N]
 //   bolt serve    --artifact model.bolt --socket /tmp/bolt.sock
 //   bolt stats    --socket /tmp/bolt.sock [--json]
+//   bolt batch    --data test.csv (--socket /tmp/bolt.sock |
+//                 --artifact model.bolt [--naive]) [--batch N]
 //   bolt inspect  --model model.forest | --artifact model.bolt
 #include <csignal>
 #include <cstdio>
@@ -248,6 +250,59 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+int cmd_batch(const Args& args) {
+  data::Dataset ds = data::read_csv_file(args.require("data"));
+  const std::size_t stride = ds.num_features();
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 64));
+  if (batch == 0) throw std::runtime_error("--batch must be positive");
+  std::vector<int> classes(ds.num_rows());
+
+  util::Timer timer;
+  if (args.has("socket")) {
+    // Remote: one BATCH frame per `batch` rows through a live server.
+    service::InferenceClient client(args.get("socket"));
+    for (std::size_t begin = 0; begin < ds.num_rows(); begin += batch) {
+      const std::size_t n = std::min(batch, ds.num_rows() - begin);
+      const auto out = client.classify_batch(
+          {ds.raw_features().data() + begin * stride, n * stride}, n, stride);
+      std::copy(out.begin(), out.end(), classes.begin() + begin);
+    }
+  } else {
+    // Local: the amortized batch kernel (or, with --naive, the per-row
+    // loop it replaced, for quick A/B runs).
+    const core::BoltForest artifact =
+        core::BoltForest::load_file(args.require("artifact"));
+    core::BoltEngine engine(artifact);
+    for (std::size_t begin = 0; begin < ds.num_rows(); begin += batch) {
+      const std::size_t n = std::min(batch, ds.num_rows() - begin);
+      std::span<const float> rows{ds.raw_features().data() + begin * stride,
+                                  n * stride};
+      std::span<int> out{classes.data() + begin, n};
+      if (args.has("naive")) {
+        engine.predict_batch_naive(rows, n, stride, out);
+      } else {
+        engine.predict_batch(rows, n, stride, out);
+      }
+    }
+  }
+  const double us = timer.elapsed_us();
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    std::printf("%d\n", classes[i]);
+    correct += classes[i] == ds.label(i);
+  }
+  std::fprintf(stderr,
+               "%zu rows in batches of %zu: %.1f ms total, %.3f us/row "
+               "(%.0f rows/s), accuracy vs labels %.1f%%\n",
+               ds.num_rows(), batch, us / 1e3,
+               us / static_cast<double>(std::max<std::size_t>(1, ds.num_rows())),
+               ds.num_rows() / (us / 1e6),
+               100.0 * static_cast<double>(correct) /
+                   static_cast<double>(std::max<std::size_t>(1, ds.num_rows())));
+  return 0;
+}
+
 int cmd_verify(const Args& args) {
   const forest::Forest model = forest::load_forest_file(args.require("model"));
   const core::BoltForest artifact =
@@ -328,6 +383,8 @@ usage: bolt <command> [flags]
   verify   --model model.forest --artifact model.bolt [--samples N]
   serve    --artifact model.bolt [--socket /tmp/bolt.sock]
   stats    [--socket /tmp/bolt.sock] [--json]   scrape a live server
+  batch    --data test.csv (--socket /tmp/bolt.sock |
+           --artifact model.bolt [--naive]) [--batch N]
   inspect  --model model.forest | --artifact model.bolt
 )");
 }
@@ -348,6 +405,7 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "batch") return cmd_batch(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "inspect") return cmd_inspect(args);
     usage();
