@@ -4,7 +4,9 @@
 // round-trip for every platform served by the same front end).
 #include "common.h"
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "service/server.h"
 #include "util/stats.h"
@@ -95,5 +97,108 @@ int main() {
   std::printf("\nnote: the socket round-trip (~2 syscall pairs) dominates "
               "every engine here; the figure-10 model isolates the "
               "inference cost itself.\n");
+
+  // ------------------------------------------------------------------
+  // Dynamic-batching sweep: many concurrent single-row clients against
+  // the production-size forest (100 trees, h=8), scheduler off vs on.
+  // The scheduler aggregates rows arriving on different connections into
+  // one predict_batch tile, amortising per-row dispatch; the gate below
+  // is the PR's acceptance criterion.
+  // ------------------------------------------------------------------
+  const forest::Forest& big = get_forest(Workload::kMnist, 100, 8);
+  const core::BoltForest big_bf = build_tuned_bolt(big, split.test);
+
+  // Ground truth from the unbatched engine: the scheduler must be
+  // bit-identical, not just fast.
+  std::vector<int> expected(split.test.num_rows());
+  {
+    core::BoltEngine ref(big_bf);
+    for (std::size_t i = 0; i < split.test.num_rows(); ++i) {
+      expected[i] = ref.predict(split.test.row(i));
+    }
+  }
+
+  struct SweepPoint {
+    double throughput = 0.0;
+    std::size_t mismatches = 0;
+    std::size_t errors = 0;
+  };
+  const auto run_concurrent = [&](int clients, std::size_t per_client,
+                                  bool batching) -> SweepPoint {
+    const std::string socket = std::string("/tmp/bolt_bench_sched_") +
+                               (batching ? "on" : "off") + ".sock";
+    service::ServerOptions opts;
+    opts.metrics = false;
+    opts.max_connections = static_cast<std::size_t>(clients) + 4;
+    opts.scheduler.enabled = batching;
+    opts.scheduler.max_batch_size = 64;
+    opts.scheduler.max_queue_delay_us = 400;
+    service::InferenceServer server(
+        socket, [&] { return std::make_unique<core::BoltEngine>(big_bf); },
+        opts);
+    server.start();
+
+    {  // Warm the engine(s) and the accept path before timing.
+      service::InferenceClient warm(socket);
+      for (int i = 0; i < 32; ++i) warm.classify(split.test.row(i % 32));
+    }
+
+    SweepPoint point;
+    std::atomic<std::size_t> mismatches{0}, errors{0};
+    std::vector<std::thread> threads;
+    util::Timer total;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        service::InferenceClient client(socket);
+        for (std::size_t i = 0; i < per_client; ++i) {
+          const std::size_t row =
+              (static_cast<std::size_t>(c) * per_client + i) %
+              split.test.num_rows();
+          const auto resp = client.classify(split.test.row(row));
+          if (resp.predicted_class < 0) {
+            errors.fetch_add(1);
+          } else if (resp.predicted_class != expected[row]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds = total.elapsed_ms() / 1e3;
+    server.stop();
+    point.throughput =
+        static_cast<double>(clients) * static_cast<double>(per_client) /
+        seconds;
+    point.mismatches = mismatches.load();
+    point.errors = errors.load();
+    return point;
+  };
+
+  ResultTable sweep({"clients", "plain (req/s)", "batched (req/s)", "speedup",
+                     "mismatches", "errors"});
+  constexpr std::size_t kPerClient = 150;
+  double speedup_at_16 = 0.0;
+  bool identical = true;
+  for (const int clients : {4, 16, 32}) {
+    const SweepPoint off = run_concurrent(clients, kPerClient, false);
+    const SweepPoint on = run_concurrent(clients, kPerClient, true);
+    const double speedup =
+        off.throughput > 0.0 ? on.throughput / off.throughput : 0.0;
+    if (clients >= 16) speedup_at_16 = std::max(speedup_at_16, speedup);
+    identical = identical && off.mismatches == 0 && on.mismatches == 0 &&
+                off.errors == 0 && on.errors == 0;
+    sweep.add_row({std::to_string(clients), fmt(off.throughput, 0),
+                   fmt(on.throughput, 0), fmt(speedup, 2),
+                   std::to_string(off.mismatches + on.mismatches),
+                   std::to_string(off.errors + on.errors)});
+  }
+  sweep.print("Dynamic batching under concurrent single-row clients "
+              "(MNIST, 100 trees, h=8)");
+  sweep.write_csv("service_batching_sweep.csv");
+  std::printf("\ndynamic batching gate: best speedup at >=16 clients %.2fx "
+              "(acceptance gate >= 1.30x) — %s\n",
+              speedup_at_16, speedup_at_16 >= 1.30 ? "PASS" : "FAIL");
+  std::printf("bit-identical to unbatched path: %s\n",
+              identical ? "yes" : "NO — MISMATCHES");
   return 0;
 }

@@ -216,6 +216,11 @@ bool read_exact(int fd, void* buf, std::size_t n, bool eof_ok) {
     }
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO elapsed: the peer went quiet. Surface as the
+        // dedicated timeout type so the server can count the reap.
+        throw ReadTimeoutError("protocol: receive timed out");
+      }
       throw std::runtime_error(std::string("protocol: read: ") +
                                std::strerror(errno));
     }

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,26 @@ constexpr std::uint32_t kBatchRequestMagic = 0x424c5455;   // "BLTU"
 constexpr std::uint32_t kBatchResponseMagic = 0x424c5456;  // "BLTV"
 constexpr std::uint32_t kFlagExplain = 1u << 0;
 constexpr std::uint32_t kStatsFlagJson = 1u << 0;
+
+/// Status codes carried in Response::predicted_class (and per row of a
+/// batch response). Real classes are >= 0, so negatives are unambiguous:
+///   kClassError   — arity mismatch / malformed row / engine failure
+///   kClassBusy    — shed by backpressure (scheduler queue full, or the
+///                   server is shutting down); retry later
+///   kClassExpired — the request's deadline passed while it was queued;
+///                   inference was never run
+constexpr std::int32_t kClassError = -1;
+constexpr std::int32_t kClassBusy = -2;
+constexpr std::int32_t kClassExpired = -3;
+
+/// Thrown by read_frame when the socket's receive timeout (the server's
+/// idle-timeout reaper for slow-loris clients) elapses mid-wait. A
+/// distinct type so the server can count reaps separately from malformed
+/// peers; both end with the connection dropped.
+class ReadTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct Request {
   std::uint32_t flags = 0;

@@ -1,0 +1,204 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+
+namespace bolt::service {
+
+BatchScheduler::BatchScheduler(
+    std::function<std::unique_ptr<engines::Engine>()> factory,
+    const SchedulerOptions& options, util::MetricsRegistry& registry,
+    bool record)
+    : factory_(std::move(factory)), options_(options), record_(record) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  queue_depth_ = &registry.gauge("scheduler.queue_depth");
+  batches_ = &registry.counter("scheduler.batches");
+  batch_size_ = &registry.histogram(
+      "scheduler.batch_size", util::Histogram::exponential_bounds(1, 2.0, 14));
+  queue_wait_us_ = &registry.histogram("scheduler.queue_wait_us");
+  shed_ = &registry.counter("scheduler.shed");
+  expired_ = &registry.counter("scheduler.expired");
+}
+
+BatchScheduler::~BatchScheduler() { stop(); }
+
+void BatchScheduler::start() {
+  {
+    std::lock_guard lock(mu_);
+    if (!stopping_) return;  // already running
+    stopping_ = false;
+  }
+  std::size_t n = options_.workers;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void BatchScheduler::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  // Workers only exit once the queue is empty, so every accepted request
+  // has been answered by now.
+}
+
+std::size_t BatchScheduler::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+bool BatchScheduler::enqueue(Pending* p, Status& why) {
+  p->enqueued = Clock::now();
+  p->deadline = options_.deadline_us == 0
+                    ? Clock::time_point::max()
+                    : p->enqueued + std::chrono::microseconds(
+                                        options_.deadline_us);
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      why = Status::kShutdown;
+      return false;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      why = Status::kBusy;
+      if (record_) shed_->inc();
+      return false;
+    }
+    queue_.push_back(p);
+    if (record_) queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+BatchScheduler::Result BatchScheduler::classify(
+    std::span<const float> features) {
+  Pending p;
+  p.features = features;
+  std::future<Result> fut = p.done.get_future();
+  Status why;
+  if (!enqueue(&p, why)) return {why, -1};
+  return fut.get();
+}
+
+void BatchScheduler::classify_many(std::span<const float> rows,
+                                   std::size_t num_rows,
+                                   std::size_t row_stride,
+                                   std::span<Result> out) {
+  std::vector<Pending> pending(num_rows);
+  std::vector<std::future<Result>> futures;
+  std::vector<std::size_t> submitted;
+  futures.reserve(num_rows);
+  submitted.reserve(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    pending[i].features = {rows.data() + i * row_stride, row_stride};
+    std::future<Result> fut = pending[i].done.get_future();
+    Status why;
+    if (!enqueue(&pending[i], why)) {
+      out[i] = {why, -1};
+      continue;
+    }
+    futures.push_back(std::move(fut));
+    submitted.push_back(i);
+  }
+  for (std::size_t k = 0; k < submitted.size(); ++k) {
+    out[submitted[k]] = futures[k].get();
+  }
+}
+
+void BatchScheduler::worker_loop() {
+  const std::unique_ptr<engines::Engine> engine = factory_();
+  std::vector<Pending*> tile;
+  std::vector<float> rows;
+  std::vector<int> classes;
+  tile.reserve(options_.max_batch_size);
+  for (;;) {
+    tile.clear();
+    {
+      std::unique_lock lock(mu_);
+      for (;;) {
+        if (queue_.empty()) {
+          if (stopping_) return;
+          cv_.wait(lock);
+          continue;
+        }
+        // Aggregation policy: run as soon as the tile is full, the head
+        // request has waited max_queue_delay_us, or we are draining for
+        // shutdown — whichever comes first.
+        if (stopping_ || queue_.size() >= options_.max_batch_size) break;
+        const Clock::time_point fill_deadline =
+            queue_.front()->enqueued +
+            std::chrono::microseconds(options_.max_queue_delay_us);
+        if (Clock::now() >= fill_deadline) break;
+        cv_.wait_until(lock, fill_deadline);
+      }
+      const std::size_t n =
+          std::min(queue_.size(), options_.max_batch_size);
+      tile.assign(queue_.begin(),
+                  queue_.begin() + static_cast<std::ptrdiff_t>(n));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(n));
+      if (record_) queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+      if (!queue_.empty()) cv_.notify_one();  // hand off to another worker
+    }
+    run_tile(*engine, tile, rows, classes);
+  }
+}
+
+void BatchScheduler::run_tile(engines::Engine& engine,
+                              std::vector<Pending*>& tile,
+                              std::vector<float>& rows,
+                              std::vector<int>& classes) {
+  const std::size_t arity = engine.num_features();
+  const Clock::time_point now = Clock::now();
+  rows.clear();
+  std::vector<Pending*> live;
+  live.reserve(tile.size());
+  for (Pending* p : tile) {
+    if (record_) {
+      queue_wait_us_->record(
+          std::chrono::duration<double, std::micro>(now - p->enqueued)
+              .count());
+    }
+    if (now > p->deadline) {
+      if (record_) expired_->inc();
+      p->done.set_value({Status::kExpired, -1});
+      continue;
+    }
+    if (p->features.size() != arity) {
+      // Defensive: the server validates arity before submitting, so this
+      // only fires on a misuse of the library API.
+      p->done.set_value({Status::kError, -1});
+      continue;
+    }
+    live.push_back(p);
+    rows.insert(rows.end(), p->features.begin(), p->features.end());
+  }
+  if (record_) {
+    batches_->inc();
+    batch_size_->record(static_cast<double>(tile.size()));
+  }
+  if (live.empty()) return;
+  classes.resize(live.size());
+  try {
+    engine.predict_batch(rows, live.size(), arity, classes);
+  } catch (const std::exception&) {
+    // A throwing engine must not leave callers blocked on their futures.
+    for (Pending* p : live) p->done.set_value({Status::kError, -1});
+    return;
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i]->done.set_value({Status::kOk, classes[i]});
+  }
+}
+
+}  // namespace bolt::service

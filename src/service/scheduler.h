@@ -1,0 +1,145 @@
+// Dynamic-batching request scheduler: decouples connection I/O from
+// inference so concurrent single-row CLASSIFY requests from *different*
+// connections reach the engine's amortized batch kernel together.
+//
+// Connection handlers enqueue requests (a borrowed feature span plus a
+// completion slot) into a bounded MPMC queue; a small pool of inference
+// workers drains the queue into tiles of up to `max_batch_size` rows —
+// waiting at most `max_queue_delay_us` for a tile to fill — and answers
+// every request in the tile with one `predict_batch` call. Results are
+// bit-identical to the per-row path by the batch kernel's contract.
+//
+// Overload never blocks the accept loop or a connection handler forever:
+//   - a full queue sheds the request immediately (Status::kBusy);
+//   - a request whose deadline passes while queued is answered
+//     Status::kExpired without running inference;
+//   - stop() drains everything already accepted, then rejects new
+//     submissions with Status::kShutdown.
+// Every submitted request is answered exactly once.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "baselines/engine.h"
+#include "util/metrics.h"
+
+namespace bolt::service {
+
+/// Tunables for the dynamic-batching scheduler (docs/SERVING.md).
+struct SchedulerOptions {
+  /// Off by default: the server then runs inference on the connection
+  /// handler thread exactly as before.
+  bool enabled = false;
+  /// Largest tile handed to predict_batch in one call.
+  std::size_t max_batch_size = 64;
+  /// Longest a queued request may wait for its tile to fill before the
+  /// worker runs a partial tile (latency bound under light load).
+  std::uint32_t max_queue_delay_us = 200;
+  /// Bounded queue: a submit beyond this sheds with Status::kBusy instead
+  /// of blocking the connection handler.
+  std::size_t queue_capacity = 1024;
+  /// Per-request deadline measured from enqueue; a request still queued
+  /// past it is answered Status::kExpired, never silently computed.
+  /// 0 disables deadlines.
+  std::uint32_t deadline_us = 0;
+  /// Inference worker threads (each owns one engine from the factory).
+  /// 0 = hardware concurrency.
+  std::size_t workers = 0;
+};
+
+/// The scheduler. Thread-safe: any number of threads may call classify /
+/// classify_many concurrently between start() and stop().
+class BatchScheduler {
+ public:
+  enum class Status : std::uint8_t {
+    kOk,        ///< classified; Result::predicted_class is valid
+    kBusy,      ///< shed: queue full at submit time
+    kExpired,   ///< deadline passed while queued; not computed
+    kShutdown,  ///< submitted after stop(); not computed
+    kError,     ///< engine threw or row arity mismatched
+  };
+
+  struct Result {
+    Status status = Status::kShutdown;
+    std::int32_t predicted_class = -1;
+  };
+
+  /// The factory is invoked once per worker thread (engines carry scratch
+  /// state and are not shared). Metrics are registered in `registry` under
+  /// the `scheduler.` prefix; `record` mirrors ServerOptions::metrics.
+  BatchScheduler(std::function<std::unique_ptr<engines::Engine>()> factory,
+                 const SchedulerOptions& options,
+                 util::MetricsRegistry& registry, bool record);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Spawns the worker pool. Submissions before start() are kShutdown.
+  void start();
+  /// Drains the queue (every accepted request is answered), joins the
+  /// workers, and rejects later submissions with kShutdown. Idempotent.
+  void stop();
+
+  /// Blocking: enqueues one row and waits for its tile to be classified.
+  /// `features` must stay alive until this returns (it is borrowed, not
+  /// copied, until the worker gathers the tile) and must match the
+  /// engine's arity — the server validates before submitting.
+  Result classify(std::span<const float> features);
+
+  /// Enqueues `num_rows` rows (row i at rows[i * row_stride]) as
+  /// independent requests sharing the queue with every other connection,
+  /// then waits for all of them. Rows shed by backpressure are answered
+  /// kBusy individually; the rest proceed.
+  void classify_many(std::span<const float> rows, std::size_t num_rows,
+                     std::size_t row_stride, std::span<Result> out);
+
+  /// Requests currently queued (not yet gathered into a tile).
+  std::size_t queue_depth() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::span<const float> features;  // borrowed from the submitting caller
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // Clock::time_point::max() = none
+    std::promise<Result> done;
+  };
+
+  /// Returns false (with `why` set) when shedding; on success the worker
+  /// pool owns answering `p->done`.
+  bool enqueue(Pending* p, Status& why);
+  void worker_loop();
+  void run_tile(engines::Engine& engine, std::vector<Pending*>& tile,
+                std::vector<float>& rows, std::vector<int>& classes);
+
+  std::function<std::unique_ptr<engines::Engine>()> factory_;
+  SchedulerOptions options_;
+  bool record_ = true;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending*> queue_;
+  bool stopping_ = true;  // start() flips to false
+  std::vector<std::thread> workers_;
+
+  // Registry-owned instrumentation (docs/OBSERVABILITY.md).
+  util::Gauge* queue_depth_ = nullptr;       // scheduler.queue_depth
+  util::Counter* batches_ = nullptr;         // scheduler.batches
+  util::Histogram* batch_size_ = nullptr;    // scheduler.batch_size
+  util::Histogram* queue_wait_us_ = nullptr; // scheduler.queue_wait_us
+  util::Counter* shed_ = nullptr;            // scheduler.shed
+  util::Counter* expired_ = nullptr;         // scheduler.expired
+};
+
+}  // namespace bolt::service

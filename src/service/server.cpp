@@ -31,14 +31,33 @@ sockaddr_un make_addr(const std::string& path) {
   return addr;
 }
 
+/// Maps a scheduler verdict onto the wire's class-code convention.
+std::int32_t class_code(const BatchScheduler::Result& r) {
+  switch (r.status) {
+    case BatchScheduler::Status::kOk:
+      return r.predicted_class;
+    case BatchScheduler::Status::kBusy:
+    case BatchScheduler::Status::kShutdown:
+      return kClassBusy;
+    case BatchScheduler::Status::kExpired:
+      return kClassExpired;
+    case BatchScheduler::Status::kError:
+      return kClassError;
+  }
+  return kClassError;
+}
+
 }  // namespace
 
 InferenceServer::InferenceServer(
     std::string socket_path,
     std::function<std::unique_ptr<engines::Engine>()> factory,
     std::size_t workers)
-    : InferenceServer(std::move(socket_path), std::move(factory),
-                      ServerOptions{.workers = workers}) {}
+    : InferenceServer(std::move(socket_path), std::move(factory), [&] {
+        ServerOptions o;
+        o.workers = workers;
+        return o;
+      }()) {}
 
 InferenceServer::InferenceServer(
     std::string socket_path,
@@ -56,6 +75,7 @@ InferenceServer::InferenceServer(
   batch_requests_total_ = &metrics_.counter("service.batch_requests");
   connections_total_ = &metrics_.counter("service.connections_total");
   rejected_connections_ = &metrics_.counter("service.rejected_connections");
+  idle_timeouts_ = &metrics_.counter("service.idle_timeouts");
   active_connections_ = &metrics_.gauge("service.active_connections");
   request_latency_us_ = &metrics_.histogram("service.request_latency_us");
   batch_size_ = &metrics_.histogram(
@@ -65,6 +85,11 @@ InferenceServer::InferenceServer(
 InferenceServer::~InferenceServer() { stop(); }
 
 void InferenceServer::start() {
+  if (options_.scheduler.enabled && scheduler_ == nullptr) {
+    scheduler_ = std::make_unique<BatchScheduler>(
+        factory_, options_.scheduler, metrics_, options_.metrics);
+    scheduler_->start();
+  }
   listen_fd_ = make_unix_socket();
   ::unlink(socket_path_.c_str());
   sockaddr_un addr = make_addr(socket_path_);
@@ -87,6 +112,10 @@ void InferenceServer::stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain the scheduler first: handlers blocked on a completion future are
+  // released with a real answer (and later submissions shed kShutdown), so
+  // no handler can be parked on inference when we shut its socket down.
+  if (scheduler_) scheduler_->stop();
   // Handlers are detached and self-reaping: wake any blocked in read() by
   // shutting their sockets down (a handler owns its fd and closes it on
   // exit — never close here), then wait for the live count to drain.
@@ -95,6 +124,9 @@ void InferenceServer::stop() {
   conn_cv_.wait(lock, [this] { return active_handlers_ == 0; });
   connection_fds_.clear();
   lock.unlock();
+  // Destroy only after every handler has exited (none can hold a pointer
+  // to it past this line); start() rebuilds it for a restarted server.
+  scheduler_.reset();
   ::unlink(socket_path_.c_str());
 }
 
@@ -131,6 +163,15 @@ void InferenceServer::accept_loop() {
 }
 
 void InferenceServer::handle_connection(int fd) {
+  if (options_.idle_timeout_ms > 0) {
+    // Slow-loris defence: a peer that stops sending (before or mid-frame)
+    // trips SO_RCVTIMEO, read_frame throws ReadTimeoutError, and the
+    // handler exits — freeing its max_connections slot.
+    timeval tv{};
+    tv.tv_sec = options_.idle_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(options_.idle_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   // One engine per connection: engines carry scratch buffers. All
   // connections share the registry-owned atomics, so STATS totals are
   // service-wide.
@@ -180,12 +221,21 @@ void InferenceServer::handle_connection(int fd) {
         }
         const std::size_t rows = breq.num_rows();
         BatchResponse bresp;
-        bresp.classes.assign(rows, -1);
+        bresp.classes.assign(rows, kClassError);
         const std::size_t arity = engine->num_features();
         if (breq.uniform_arity(arity)) {
           // Fast path: the flat feature buffer is already a contiguous
-          // stride-`arity` matrix — zero copies to the kernel.
-          engine->predict_batch(breq.features, rows, arity, bresp.classes);
+          // stride-`arity` matrix — zero copies to the kernel (or to the
+          // scheduler, which borrows the rows until the tiles complete).
+          if (scheduler_) {
+            std::vector<BatchScheduler::Result> results(rows);
+            scheduler_->classify_many(breq.features, rows, arity, results);
+            for (std::size_t i = 0; i < rows; ++i) {
+              bresp.classes[i] = class_code(results[i]);
+            }
+          } else {
+            engine->predict_batch(breq.features, rows, arity, bresp.classes);
+          }
         } else {
           // Mixed batch: arity-mismatched rows answer -1; the rest are
           // gathered into a contiguous matrix and batch-classified.
@@ -198,10 +248,18 @@ void InferenceServer::handle_connection(int fd) {
             good.insert(good.end(), row.begin(), row.end());
             good_idx.push_back(i);
           }
-          std::vector<int> good_out(good_idx.size());
-          engine->predict_batch(good, good_idx.size(), arity, good_out);
-          for (std::size_t k = 0; k < good_idx.size(); ++k) {
-            bresp.classes[good_idx[k]] = good_out[k];
+          if (scheduler_) {
+            std::vector<BatchScheduler::Result> results(good_idx.size());
+            scheduler_->classify_many(good, good_idx.size(), arity, results);
+            for (std::size_t k = 0; k < good_idx.size(); ++k) {
+              bresp.classes[good_idx[k]] = class_code(results[k]);
+            }
+          } else {
+            std::vector<int> good_out(good_idx.size());
+            engine->predict_batch(good, good_idx.size(), arity, good_out);
+            for (std::size_t k = 0; k < good_idx.size(); ++k) {
+              bresp.classes[good_idx[k]] = good_out[k];
+            }
           }
         }
         std::uint64_t batch_errors = 0;
@@ -231,7 +289,12 @@ void InferenceServer::handle_connection(int fd) {
       if (req.features.size() != engine->num_features()) {
         // Arity mismatch: answer with an error class instead of letting a
         // malformed request reach the engine's hot path.
-        resp.predicted_class = -1;
+        resp.predicted_class = kClassError;
+      } else if (scheduler_ && (req.flags & kFlagExplain) == 0) {
+        // Dynamic batching: park this handler on the completion slot while
+        // the scheduler aggregates rows from every connection into one
+        // amortized-kernel tile. Explanations stay on the per-row path.
+        resp.predicted_class = class_code(scheduler_->classify(req.features));
       } else if ((req.flags & kFlagExplain) && bolt_engine != nullptr) {
         core::Explanation explanation(
             bolt_engine->artifact().num_features());
@@ -259,6 +322,10 @@ void InferenceServer::handle_connection(int fd) {
       }
       write_frame(fd, out);
     }
+  } catch (const ReadTimeoutError&) {
+    // Idle-timeout reap: the peer held the connection without completing a
+    // frame for idle_timeout_ms. Drop it and free the slot.
+    if (record) idle_timeouts_->inc();
   } catch (const std::exception&) {
     // Malformed request or peer reset (e.g. EPIPE from write_frame when
     // the client vanished mid-response): drop the connection.

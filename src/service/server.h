@@ -13,6 +13,7 @@
 #include "baselines/engine.h"
 #include "bolt/engine.h"
 #include "service/protocol.h"
+#include "service/scheduler.h"
 #include "util/metrics.h"
 
 namespace bolt::service {
@@ -29,6 +30,17 @@ struct ServerOptions {
   /// connection floods explicit instead of an unbounded handler-thread
   /// pile-up. 0 = unlimited.
   std::size_t max_connections = 256;
+  /// Receive timeout per connection (SO_RCVTIMEO): a client that connects
+  /// and never sends a complete frame is reaped after this long, freeing
+  /// its max_connections slot (the slow-loris defence; counted in
+  /// service.idle_timeouts). 0 = wait forever.
+  std::uint32_t idle_timeout_ms = 0;
+  /// Dynamic-batching scheduler (docs/SERVING.md). When
+  /// scheduler.enabled, CLASSIFY and BATCH requests from every connection
+  /// are aggregated into shared tiles for the engine's amortized batch
+  /// kernel; shed/expired requests answer kClassBusy/kClassExpired.
+  /// Explanation requests bypass the scheduler (per-row by nature).
+  SchedulerOptions scheduler;
 };
 
 /// Serves one engine on a UNIX-domain-socket path. Connections are handled
@@ -68,6 +80,10 @@ class InferenceServer {
   util::MetricsRegistry& metrics() { return metrics_; }
   bool metrics_enabled() const { return options_.metrics; }
 
+  /// The dynamic-batching scheduler, live between start() and stop() when
+  /// ServerOptions::scheduler.enabled; nullptr otherwise.
+  BatchScheduler* scheduler() { return scheduler_.get(); }
+
  private:
   void accept_loop();
   void handle_connection(int fd);
@@ -75,6 +91,7 @@ class InferenceServer {
   std::string socket_path_;
   std::function<std::unique_ptr<engines::Engine>()> factory_;
   ServerOptions options_;
+  std::unique_ptr<BatchScheduler> scheduler_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
@@ -98,6 +115,7 @@ class InferenceServer {
   util::Counter* batch_requests_total_ = nullptr;
   util::Counter* connections_total_ = nullptr;
   util::Counter* rejected_connections_ = nullptr;
+  util::Counter* idle_timeouts_ = nullptr;
   util::Gauge* active_connections_ = nullptr;
   util::Histogram* request_latency_us_ = nullptr;
   util::Histogram* batch_size_ = nullptr;

@@ -31,7 +31,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // A task that throws must not take the worker thread down with it
+    // (deadlocking everything queued behind it). submit() routes through
+    // packaged_task, whose future rethrows for the caller; for post()ed
+    // tasks the exception is deliberately swallowed here.
+    try {
+      task();
+    } catch (...) {
+    }
   }
 }
 
@@ -42,7 +49,17 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([i, &fn] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before rethrowing: bailing on the first failure
+  // would return (and destroy `fn`) while queued tasks still reference it.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace bolt::util

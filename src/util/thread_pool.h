@@ -37,7 +37,23 @@ class ThreadPool {
     return fut;
   }
 
+  /// Fire-and-forget enqueue: no future, no packaged_task allocation. An
+  /// exception escaping the task is swallowed by the worker loop (the
+  /// worker thread survives and pending tasks still run) — use submit()
+  /// when the caller needs to observe failures.
+  template <class F>
+  void post(F&& f) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace(std::forward<F>(f));
+    }
+    cv_.notify_one();
+  }
+
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// If any fn(i) throws, every index still runs to completion (no task is
+  /// abandoned mid-queue holding a reference to `fn`) and the first
+  /// exception is rethrown afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

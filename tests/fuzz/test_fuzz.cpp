@@ -83,6 +83,42 @@ TEST(Fuzz, ForestLoaderOnGarbageAndMutations) {
   }
 }
 
+TEST(Fuzz, ForestLoaderOnTruncatedInput) {
+  // Every strict prefix of a valid serialized forest is incomplete; the
+  // loader must throw on each one rather than crash or over-read.
+  std::stringstream valid;
+  forest::save_forest(bolt::testing::tiny_forest(), valid);
+  const std::string blob = valid.str();
+  ASSERT_GT(blob.size(), 0u);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    std::istringstream in(blob.substr(0, len));
+    EXPECT_THROW(forest::load_forest(in), std::exception) << "prefix " << len;
+  }
+  // The untruncated blob still round-trips.
+  std::istringstream in(blob);
+  const forest::Forest loaded = forest::load_forest(in);
+  EXPECT_EQ(loaded.trees.size(), bolt::testing::tiny_forest().trees.size());
+}
+
+TEST(Fuzz, ForestLoaderMutationsThatLoadAreStillUsable) {
+  // When a mutation slips past validation, the loaded forest must still
+  // be safe to evaluate — predictions may differ, memory safety may not.
+  util::Rng rng(8);
+  std::stringstream valid;
+  forest::save_forest(bolt::testing::tiny_forest(), valid);
+  const std::string blob = valid.str();
+  for (int i = 0; i < 200; ++i) {
+    expect_no_crash([&] {
+      std::istringstream in(mutate(rng, blob));
+      const forest::Forest loaded = forest::load_forest(in);
+      if (loaded.num_features == 0 || loaded.num_features > 4096) return;
+      std::vector<float> x(loaded.num_features, 0.5f);
+      (void)loaded.predict(x);
+      (void)loaded.vote(x);
+    });
+  }
+}
+
 TEST(Fuzz, ArtifactLoaderOnMutations) {
   util::Rng rng(5);
   std::stringstream valid;

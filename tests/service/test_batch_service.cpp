@@ -331,5 +331,89 @@ TEST_F(BatchServiceFixture, MaxConnectionsRejectsExcessAccepts) {
   server->stop();
 }
 
+std::uint64_t idle_timeouts(InferenceServer& server) {
+  for (const auto& [n, v] : server.metrics().snapshot().counters) {
+    if (n == "service.idle_timeouts") return v;
+  }
+  return 0;
+}
+
+TEST_F(BatchServiceFixture, SlowLorisConnectionIsReapedAndSlotFreed) {
+  // Regression: pre-fix, a client that connected and never sent a frame
+  // held a max_connections slot forever (no receive timeout), so a handful
+  // of idle sockets could wedge the whole service.
+  const std::string path = temp_socket("loris");
+  ServerOptions opts;
+  opts.max_connections = 1;
+  opts.idle_timeout_ms = 100;
+  auto server = make_server(path, opts);
+  server->start();
+
+  const int idle_fd = raw_connect(path);  // sends nothing, ever
+  // Wait for the accept loop to hand the connection to a handler...
+  for (int i = 0; i < 500 && server->active_handler_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // ...which occupies the only slot until the idle timeout reaps it.
+  for (int i = 0; i < 500 && server->active_handler_count() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->active_handler_count(), 0u);
+  EXPECT_EQ(idle_timeouts(*server), 1u);
+
+  // The slot is genuinely free again: a real client connects and is served.
+  InferenceClient client(path);
+  EXPECT_EQ(client.classify(inputs_.row(0)).predicted_class,
+            forest_.predict(inputs_.row(0)));
+  ::close(idle_fd);
+  server->stop();
+}
+
+TEST_F(BatchServiceFixture, MidFrameStallIsAlsoReaped) {
+  // A slow-loris variant: send a length prefix then stall. The receive
+  // timeout must fire mid-frame too, not only before the first byte.
+  const std::string path = temp_socket("loris_mid");
+  ServerOptions opts;
+  opts.idle_timeout_ms = 100;
+  auto server = make_server(path, opts);
+  server->start();
+
+  const int fd = raw_connect(path);
+  std::vector<std::uint8_t> prefix;
+  append_u32(prefix, 64);  // promises 64 bytes, never delivers them
+  EXPECT_EQ(::send(fd, prefix.data(), prefix.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(prefix.size()));
+  for (int i = 0; i < 500 && server->active_handler_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (int i = 0; i < 500 && server->active_handler_count() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->active_handler_count(), 0u);
+  EXPECT_EQ(idle_timeouts(*server), 1u);
+  ::close(fd);
+  server->stop();
+}
+
+TEST_F(BatchServiceFixture, ActiveClientsSurviveIdleTimeoutWindow) {
+  // The reaper must only fire on silence: a client that keeps sending
+  // requests (each well within the window) is never disconnected, even
+  // across a total connection lifetime many times the timeout.
+  const std::string path = temp_socket("loris_active");
+  ServerOptions opts;
+  opts.idle_timeout_ms = 80;
+  auto server = make_server(path, opts);
+  server->start();
+
+  InferenceClient client(path);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client.classify(inputs_.row(i)).predicted_class,
+              forest_.predict(inputs_.row(i)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_EQ(idle_timeouts(*server), 0u);
+  server->stop();
+}
+
 }  // namespace
 }  // namespace bolt::service

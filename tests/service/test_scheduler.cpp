@@ -1,0 +1,469 @@
+// BatchScheduler unit tests (no sockets): aggregation triggers (full tile
+// vs delay bound), cross-request row integrity, backpressure shedding,
+// per-request deadlines, shutdown drain, and the scheduler.* metrics
+// invariants. A controllable fake engine stands in for Bolt so tests can
+// hold a worker inside predict_batch and observe the queue deterministically.
+#include "service/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "../helpers.h"
+#include "bolt/engine.h"
+
+namespace bolt::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Open/closed gate a test uses to park scheduler workers mid-inference.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = true;
+  std::atomic<int> waiting{0};
+
+  void close() {
+    std::lock_guard lock(mu);
+    open = false;
+  }
+  void release() {
+    {
+      std::lock_guard lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void pass() {
+    waiting.fetch_add(1);
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return open; });
+    waiting.fetch_sub(1);
+  }
+  /// Blocks until a worker is parked at the gate.
+  void await_waiter() {
+    while (waiting.load() == 0) std::this_thread::sleep_for(1ms);
+  }
+};
+
+/// Telemetry shared across every FakeEngine the factory hands out.
+struct FakeState {
+  Gate gate;
+  std::mutex mu;
+  std::vector<std::size_t> batch_sizes;  // per predict_batch call
+  std::atomic<std::uint64_t> rows_seen{0};
+};
+
+/// Arity-3 engine whose class for a row is `(int)row[0]` — so a response
+/// carrying the wrong class pinpoints cross-request row mixing in the
+/// scheduler's tile gather.
+class FakeEngine final : public engines::Engine {
+ public:
+  explicit FakeEngine(FakeState* state) : state_(state) {}
+
+  std::string_view name() const override { return "fake"; }
+  std::size_t num_features() const override { return 3; }
+  int predict(std::span<const float> x) override {
+    return static_cast<int>(x[0]);
+  }
+  int predict_traced(std::span<const float> x, archsim::Machine&) override {
+    return predict(x);
+  }
+  void vote(std::span<const float>, std::span<double> out) override {
+    for (auto& v : out) v = 0.0;
+  }
+  void predict_batch(std::span<const float> rows, std::size_t num_rows,
+                     std::size_t row_stride, std::span<int> out) override {
+    state_->gate.pass();
+    {
+      std::lock_guard lock(state_->mu);
+      state_->batch_sizes.push_back(num_rows);
+    }
+    state_->rows_seen.fetch_add(num_rows);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      out[r] = static_cast<int>(rows[r * row_stride]);
+    }
+  }
+  std::size_t memory_bytes() const override { return 0; }
+
+ private:
+  FakeState* state_;
+};
+
+std::vector<float> row_of(float v) { return {v, 0.0f, 0.0f}; }
+
+std::uint64_t counter_value(const util::MetricsRegistry& reg,
+                            const std::string& name) {
+  for (const auto& [n, v] : reg.snapshot().counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+std::uint64_t histogram_count(const util::MetricsRegistry& reg,
+                              const std::string& name) {
+  for (const auto& [n, h] : reg.snapshot().histograms) {
+    if (n == name) return h.count;
+  }
+  ADD_FAILURE() << "histogram not found: " << name;
+  return 0;
+}
+
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<BatchScheduler> make(const SchedulerOptions& opts) {
+    SchedulerOptions o = opts;
+    o.enabled = true;
+    return std::make_unique<BatchScheduler>(
+        [this] { return std::make_unique<FakeEngine>(&state_); }, o,
+        registry_, /*record=*/true);
+  }
+
+  FakeState state_;
+  util::MetricsRegistry registry_;
+};
+
+TEST_F(SchedulerFixture, ClassifiesAndReturnsPerRowAnswers) {
+  SchedulerOptions opts;
+  opts.workers = 2;
+  auto sched = make(opts);
+  sched->start();
+  for (int v = 0; v < 20; ++v) {
+    const auto r = sched->classify(row_of(static_cast<float>(v)));
+    ASSERT_EQ(r.status, BatchScheduler::Status::kOk);
+    EXPECT_EQ(r.predicted_class, v);
+  }
+  sched->stop();
+  EXPECT_EQ(state_.rows_seen.load(), 20u);
+}
+
+TEST_F(SchedulerFixture, ConcurrentRequestsNeverMixRows) {
+  SchedulerOptions opts;
+  opts.workers = 2;
+  opts.max_batch_size = 8;
+  opts.max_queue_delay_us = 500;
+  auto sched = make(opts);
+  sched->start();
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        const int v = t * 1000 + i;
+        const auto r = sched->classify(row_of(static_cast<float>(v)));
+        if (r.status != BatchScheduler::Status::kOk ||
+            r.predicted_class != v) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(state_.rows_seen.load(), 800u);
+  sched->stop();
+}
+
+TEST_F(SchedulerFixture, AggregatesQueuedRequestsIntoOneTile) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_batch_size = 16;
+  opts.max_queue_delay_us = 50000;  // don't run partial tiles early
+  auto sched = make(opts);
+  sched->start();
+
+  // Park the single worker inside predict_batch on a first request, queue
+  // eight more behind it, then release: the backlog must drain as ONE tile.
+  state_.gate.close();
+  std::thread head([&] {
+    EXPECT_EQ(sched->classify(row_of(0)).status, BatchScheduler::Status::kOk);
+  });
+  state_.gate.await_waiter();
+  std::vector<std::thread> queued;
+  for (int v = 1; v <= 8; ++v) {
+    queued.emplace_back([&, v] {
+      const auto r = sched->classify(row_of(static_cast<float>(v)));
+      EXPECT_EQ(r.status, BatchScheduler::Status::kOk);
+      EXPECT_EQ(r.predicted_class, v);
+    });
+  }
+  while (sched->queue_depth() < 8) std::this_thread::sleep_for(1ms);
+  state_.gate.release();
+  head.join();
+  for (auto& th : queued) th.join();
+  sched->stop();
+
+  std::lock_guard lock(state_.mu);
+  ASSERT_EQ(state_.batch_sizes.size(), 2u);
+  EXPECT_EQ(state_.batch_sizes[0], 1u);
+  EXPECT_EQ(state_.batch_sizes[1], 8u);
+}
+
+TEST_F(SchedulerFixture, FullTileRunsWithoutWaitingForDelay) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_batch_size = 4;
+  opts.max_queue_delay_us = 2'000'000;  // 2 s: a timer-based run would hang
+  auto sched = make(opts);
+  sched->start();
+
+  state_.gate.close();
+  std::thread head([&] { sched->classify(row_of(99)); });
+  state_.gate.await_waiter();
+  std::vector<std::thread> queued;
+  for (int v = 0; v < 4; ++v) {
+    queued.emplace_back([&, v] {
+      EXPECT_EQ(sched->classify(row_of(static_cast<float>(v))).predicted_class,
+                v);
+    });
+  }
+  while (sched->queue_depth() < 4) std::this_thread::sleep_for(1ms);
+  const auto t0 = std::chrono::steady_clock::now();
+  state_.gate.release();
+  head.join();
+  for (auto& th : queued) th.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // The 4-row tile is full, so it must run immediately, not after the 2 s
+  // delay bound (generous margin for slow CI).
+  EXPECT_LT(elapsed, 1s);
+  sched->stop();
+}
+
+TEST_F(SchedulerFixture, PartialTileRunsAfterDelayBound) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_batch_size = 64;
+  opts.max_queue_delay_us = 10000;  // 10 ms
+  auto sched = make(opts);
+  sched->start();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = sched->classify(row_of(7));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r.status, BatchScheduler::Status::kOk);
+  EXPECT_EQ(r.predicted_class, 7);
+  // A lone request must not wait for 63 peers that never come; it runs
+  // once the head has aged max_queue_delay_us (plus scheduling noise).
+  EXPECT_LT(elapsed, 5s);
+  std::lock_guard lock(state_.mu);
+  ASSERT_EQ(state_.batch_sizes.size(), 1u);
+  EXPECT_EQ(state_.batch_sizes[0], 1u);
+}
+
+TEST_F(SchedulerFixture, FullQueueShedsInsteadOfBlocking) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_batch_size = 1;
+  opts.queue_capacity = 2;
+  opts.max_queue_delay_us = 0;
+  auto sched = make(opts);
+  sched->start();
+
+  state_.gate.close();
+  std::thread head([&] { sched->classify(row_of(0)); });
+  state_.gate.await_waiter();  // worker busy; queue empty
+  std::vector<std::thread> queued;
+  for (int v = 1; v <= 2; ++v) {
+    queued.emplace_back([&, v] {
+      EXPECT_EQ(sched->classify(row_of(static_cast<float>(v))).status,
+                BatchScheduler::Status::kOk);
+    });
+  }
+  while (sched->queue_depth() < 2) std::this_thread::sleep_for(1ms);
+
+  // Queue full: the third submission is answered kBusy immediately — the
+  // caller is never blocked and nothing is silently dropped.
+  const auto shed = sched->classify(row_of(3));
+  EXPECT_EQ(shed.status, BatchScheduler::Status::kBusy);
+
+  state_.gate.release();
+  head.join();
+  for (auto& th : queued) th.join();
+  sched->stop();
+  EXPECT_EQ(state_.rows_seen.load(), 3u);  // the shed row never ran
+  EXPECT_EQ(counter_value(registry_, "scheduler.shed"), 1u);
+}
+
+TEST_F(SchedulerFixture, ExpiredRequestIsAnsweredNotComputed) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_batch_size = 4;
+  opts.deadline_us = 1000;  // 1 ms
+  auto sched = make(opts);
+  sched->start();
+
+  state_.gate.close();
+  std::thread head([&] { sched->classify(row_of(0)); });
+  state_.gate.await_waiter();
+  BatchScheduler::Result late;
+  std::thread waiter([&] { late = sched->classify(row_of(1)); });
+  while (sched->queue_depth() < 1) std::this_thread::sleep_for(1ms);
+  std::this_thread::sleep_for(20ms);  // let the queued deadline lapse
+  state_.gate.release();
+  head.join();
+  waiter.join();
+  sched->stop();
+
+  EXPECT_EQ(late.status, BatchScheduler::Status::kExpired);
+  EXPECT_EQ(late.predicted_class, -1);
+  EXPECT_EQ(state_.rows_seen.load(), 1u);  // only the head row ran
+  EXPECT_EQ(counter_value(registry_, "scheduler.expired"), 1u);
+}
+
+TEST_F(SchedulerFixture, StopDrainsAcceptedWorkThenRejectsNew) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_batch_size = 8;
+  auto sched = make(opts);
+  sched->start();
+
+  state_.gate.close();
+  std::thread head([&] {
+    EXPECT_EQ(sched->classify(row_of(0)).status, BatchScheduler::Status::kOk);
+  });
+  state_.gate.await_waiter();
+  std::vector<std::thread> queued;
+  std::atomic<int> ok{0};
+  for (int v = 1; v <= 3; ++v) {
+    queued.emplace_back([&, v] {
+      if (sched->classify(row_of(static_cast<float>(v))).status ==
+          BatchScheduler::Status::kOk) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  while (sched->queue_depth() < 3) std::this_thread::sleep_for(1ms);
+
+  std::thread stopper([&] { sched->stop(); });
+  std::this_thread::sleep_for(10ms);
+  state_.gate.release();
+  stopper.join();
+  head.join();
+  for (auto& th : queued) th.join();
+
+  // Everything accepted before stop() was answered with a real result...
+  EXPECT_EQ(ok.load(), 3);
+  EXPECT_EQ(state_.rows_seen.load(), 4u);
+  // ...and new work is refused, not queued into a dead scheduler.
+  EXPECT_EQ(sched->classify(row_of(9)).status,
+            BatchScheduler::Status::kShutdown);
+}
+
+TEST_F(SchedulerFixture, SubmitBeforeStartIsRejected) {
+  auto sched = make({});
+  EXPECT_EQ(sched->classify(row_of(1)).status,
+            BatchScheduler::Status::kShutdown);
+}
+
+TEST_F(SchedulerFixture, ClassifyManySharesTheQueueAndShedsPerRow) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.max_batch_size = 2;
+  opts.queue_capacity = 2;
+  auto sched = make(opts);
+  sched->start();
+
+  state_.gate.close();
+  std::thread head([&] { sched->classify(row_of(100)); });
+  state_.gate.await_waiter();
+
+  // 6 rows into a capacity-2 queue: rows 0-1 are accepted, rows 2-5 shed
+  // individually with kBusy. Release the gate from the side so the blocking
+  // classify_many can complete.
+  std::vector<float> rows;
+  for (int v = 0; v < 6; ++v) {
+    const auto r = row_of(static_cast<float>(v));
+    rows.insert(rows.end(), r.begin(), r.end());
+  }
+  std::vector<BatchScheduler::Result> results(6);
+  std::thread opener([&] {
+    std::this_thread::sleep_for(30ms);
+    state_.gate.release();
+  });
+  sched->classify_many(rows, 6, 3, results);
+  opener.join();
+  head.join();
+
+  EXPECT_EQ(results[0].status, BatchScheduler::Status::kOk);
+  EXPECT_EQ(results[0].predicted_class, 0);
+  EXPECT_EQ(results[1].status, BatchScheduler::Status::kOk);
+  EXPECT_EQ(results[1].predicted_class, 1);
+  for (int v = 2; v < 6; ++v) {
+    EXPECT_EQ(results[v].status, BatchScheduler::Status::kBusy);
+  }
+  sched->stop();
+  EXPECT_EQ(counter_value(registry_, "scheduler.shed"), 4u);
+}
+
+TEST_F(SchedulerFixture, MetricsInvariantsHold) {
+  SchedulerOptions opts;
+  opts.workers = 2;
+  opts.max_batch_size = 8;
+  auto sched = make(opts);
+  sched->start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        sched->classify(row_of(static_cast<float>(t * 50 + i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  sched->stop();
+
+  // Every request passed through the queue exactly once: the queue-wait
+  // histogram count equals rows inferred + rows expired (none here), and
+  // the tile-size histogram matches the batches counter.
+  EXPECT_EQ(histogram_count(registry_, "scheduler.queue_wait_us"),
+            state_.rows_seen.load() +
+                counter_value(registry_, "scheduler.expired"));
+  EXPECT_EQ(histogram_count(registry_, "scheduler.batch_size"),
+            counter_value(registry_, "scheduler.batches"));
+  EXPECT_EQ(state_.rows_seen.load(), 200u);
+  EXPECT_EQ(counter_value(registry_, "scheduler.shed"), 0u);
+  // Quiescent scheduler: nothing left queued.
+  EXPECT_EQ(sched->queue_depth(), 0u);
+}
+
+TEST_F(SchedulerFixture, BitIdenticalToUnbatchedBoltEngine) {
+  // The real engine through the scheduler must answer exactly what the
+  // unbatched per-row path answers (the batch kernel's contract, exercised
+  // here through the scheduler's gather/scatter).
+  const forest::Forest forest = bolt::testing::small_forest(6, 4, 17);
+  const data::Dataset inputs = bolt::testing::small_dataset(200, 18);
+  const core::BoltForest artifact = core::BoltForest::build(forest, {});
+
+  SchedulerOptions opts;
+  opts.enabled = true;
+  opts.workers = 2;
+  opts.max_batch_size = 16;
+  opts.max_queue_delay_us = 300;
+  BatchScheduler sched(
+      [&] { return std::make_unique<core::BoltEngine>(artifact); }, opts,
+      registry_, true);
+  sched.start();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = t; i < inputs.num_rows(); i += 8) {
+        const auto r = sched.classify(inputs.row(i));
+        if (r.status != BatchScheduler::Status::kOk ||
+            r.predicted_class != forest.predict(inputs.row(i))) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  sched.stop();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace bolt::service

@@ -51,5 +51,69 @@ TEST(ThreadPool, DestructionDrainsCleanly) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ThreadPool, DestructionRunsTasksStillQueued) {
+  // Tasks enqueued but not yet started when the destructor fires must
+  // still run (the pool drains, it does not drop).
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    pool.post([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+    for (int i = 0; i < 20; ++i) {
+      pool.post([&] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ThrowingPostedTaskDoesNotKillWorkerOrDeadlockQueue) {
+  // A single-threaded pool proves the worker survived: every later task
+  // must run on that same (only) thread.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.post([] { throw std::runtime_error("escaping"); });
+    pool.post([&] { counter.fetch_add(1); });
+  }
+  pool.submit([] {}).get();  // barrier: queue fully drained
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPool, ThrowingTaskInDestructorDrainIsSwallowed) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    pool.post([] { throw std::logic_error("mid-drain"); });
+    pool.post([&] { counter.fetch_add(1); });
+  }  // destructor joins; a live exception here would terminate the process
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ZeroThreadPoolSurvivesThrowingTasks) {
+  ThreadPool pool(0);  // clamps to 1 worker
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = pool.submit([] {});
+  good.get();  // the lone worker is still alive
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexEvenWhenSomeThrow) {
+  // parallel_for must not abandon queued iterations (which still hold a
+  // reference to fn) when an early index throws — it drains everything,
+  // then rethrows the first failure.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.parallel_for(hits.size(),
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i % 7 == 0) {
+                                     throw std::runtime_error("index failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace bolt::util

@@ -9,6 +9,7 @@
 //                 [--profile]
 //   bolt verify   --model model.forest --artifact model.bolt [--samples N]
 //   bolt serve    --artifact model.bolt --socket /tmp/bolt.sock
+//                 [--batching ...] [--idle-timeout-ms MS]
 //   bolt stats    --socket /tmp/bolt.sock [--json]
 //   bolt batch    --data test.csv (--socket /tmp/bolt.sock |
 //                 --artifact model.bolt [--naive]) [--batch N]
@@ -222,14 +223,35 @@ int cmd_serve(const Args& args) {
   auto* artifact = new core::BoltForest(
       core::BoltForest::load_file(args.require("artifact")));
   const std::string socket = args.get("socket", "/tmp/bolt.sock");
-  service::InferenceServer server(socket, [artifact] {
-    return std::make_unique<core::BoltEngine>(*artifact);
-  });
+  service::ServerOptions opts;
+  opts.max_connections =
+      static_cast<std::size_t>(args.get_int("max-connections", 256));
+  opts.idle_timeout_ms =
+      static_cast<std::uint32_t>(args.get_int("idle-timeout-ms", 0));
+  if (args.has("batching")) {
+    opts.scheduler.enabled = true;
+    opts.scheduler.max_batch_size =
+        static_cast<std::size_t>(args.get_int("max-batch", 64));
+    opts.scheduler.max_queue_delay_us =
+        static_cast<std::uint32_t>(args.get_int("batch-delay-us", 200));
+    opts.scheduler.queue_capacity =
+        static_cast<std::size_t>(args.get_int("queue-capacity", 1024));
+    opts.scheduler.deadline_us =
+        static_cast<std::uint32_t>(args.get_int("deadline-us", 0));
+    opts.scheduler.workers =
+        static_cast<std::size_t>(args.get_int("sched-workers", 0));
+  }
+  service::InferenceServer server(
+      socket,
+      [artifact] { return std::make_unique<core::BoltEngine>(*artifact); },
+      opts);
   server.start();
   std::printf("serving %s (%zu dictionary entries, %zu KB); Ctrl-C stops\n"
-              "scrape live metrics with: bolt stats --socket %s\n",
+              "dynamic batching %s; scrape live metrics with: "
+              "bolt stats --socket %s\n",
               socket.c_str(), artifact->dictionary().num_entries(),
-              artifact->memory_bytes() / 1024, socket.c_str());
+              artifact->memory_bytes() / 1024,
+              opts.scheduler.enabled ? "ON" : "off", socket.c_str());
   std::signal(SIGINT, [](int) { g_stop = 1; });
   std::signal(SIGTERM, [](int) { g_stop = 1; });
   while (!g_stop) {
@@ -382,6 +404,9 @@ usage: bolt <command> [flags]
   predict  --artifact model.bolt --data test.csv [--explain K] [--profile]
   verify   --model model.forest --artifact model.bolt [--samples N]
   serve    --artifact model.bolt [--socket /tmp/bolt.sock]
+           [--max-connections N] [--idle-timeout-ms MS]
+           [--batching [--max-batch N] [--batch-delay-us D]
+            [--queue-capacity Q] [--deadline-us T] [--sched-workers W]]
   stats    [--socket /tmp/bolt.sock] [--json]   scrape a live server
   batch    --data test.csv (--socket /tmp/bolt.sock |
            --artifact model.bolt [--naive]) [--batch N]
