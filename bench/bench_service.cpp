@@ -56,8 +56,10 @@ int main() {
     server.start();
     service::InferenceClient client(socket);
 
-    // Warm up the connection and engine.
+    // Warm up the connection and engine, then zero the registry so the
+    // measured arm's STATS dump covers exactly the timed requests.
     for (int i = 0; i < 64; ++i) client.classify(split.test.row(i % 64));
+    server.metrics().reset_for_testing();
 
     util::Summary lat;
     std::size_t errors = 0;
@@ -85,7 +87,10 @@ int main() {
   table.print("Service round-trip latency over UNIX domain socket "
               "(MNIST, 10 trees, h=4)");
   table.write_csv("service_latency.csv");
-  std::printf("\nmetrics overhead (BOLT p50): off %.2f us -> on %.2f us "
+  // Both arms carry tracing compiled in with sampling off, so this gate
+  // also prices the tracing probes' untraced path (nullptr tests).
+  std::printf("\nmetrics overhead (BOLT p50, tracing compiled in): "
+              "off %.2f us -> on %.2f us "
               "(%+.2f%%; acceptance gate < 2%%)\n",
               bolt_p50_metrics_off, bolt_p50_metrics_on,
               bolt_p50_metrics_off > 0.0
@@ -97,6 +102,48 @@ int main() {
   std::printf("\nnote: the socket round-trip (~2 syscall pairs) dominates "
               "every engine here; the figure-10 model isolates the "
               "inference cost itself.\n");
+
+  // ------------------------------------------------------------------
+  // Request-scoped tracing: round-trip one traced request and show the
+  // per-stage breakdown. The gate checks attribution quality — the spans
+  // must sum to within 10% of the server-measured request latency (the
+  // derived dispatch span exists precisely to close that gap).
+  // ------------------------------------------------------------------
+  {
+    const std::string socket = "/tmp/bolt_bench_trace.sock";
+    service::InferenceServer server(
+        socket, [&] { return std::make_unique<core::BoltEngine>(bf); },
+        service::ServerOptions{});
+    server.start();
+    service::InferenceClient client(socket);
+    for (int i = 0; i < 64; ++i) client.classify(split.test.row(i % 64));
+    // Several rounds; keep the median-ish last to dodge cold-cache noise.
+    service::Response traced;
+    for (int i = 0; i < 8; ++i) {
+      traced = client.classify_traced(split.test.row(i));
+    }
+    server.stop();
+    std::printf("\nper-stage breakdown of a traced request (bolt trace):\n");
+    std::uint64_t spans_ns = 0;
+    for (const service::TraceSpan& s : traced.trace) {
+      spans_ns += s.total_ns;
+      std::printf("  %-12s %9.2f us  (x%u)\n",
+                  util::stage_name(static_cast<util::Stage>(s.stage)),
+                  static_cast<double>(s.total_ns) / 1e3, s.count);
+    }
+    const double total_us =
+        static_cast<double>(traced.trace_total_ns) / 1e3;
+    const double pct =
+        traced.trace_total_ns > 0
+            ? 100.0 * static_cast<double>(spans_ns) /
+                  static_cast<double>(traced.trace_total_ns)
+            : 0.0;
+    std::printf("tracing attribution gate: spans sum %.2f us of %.2f us "
+                "measured (%.0f%%; acceptance gate within 10%%) — %s\n",
+                static_cast<double>(spans_ns) / 1e3, total_us, pct,
+                traced.traced && pct >= 90.0 && pct <= 110.0 ? "PASS"
+                                                             : "FAIL");
+  }
 
   // ------------------------------------------------------------------
   // Dynamic-batching sweep: many concurrent single-row clients against

@@ -8,6 +8,7 @@
 
 #include "archsim/machine.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace bolt::engines {
 
@@ -56,6 +57,14 @@ class Engine {
   virtual void attach_metrics(const util::EngineMetrics* metrics) {
     (void)metrics;
   }
+
+  /// Optional request-tracing hook: engines that implement it record
+  /// binarize/scan/table_probe/aggregate spans into `trace` on every
+  /// predict/vote/predict_batch call until detached (nullptr). The
+  /// context must outlive its attachment; its accumulators are relaxed
+  /// atomics, so partitioned engines may record from several worker
+  /// threads at once. Default: traces are ignored.
+  virtual void attach_trace(util::TraceContext* trace) { (void)trace; }
 };
 
 }  // namespace bolt::engines

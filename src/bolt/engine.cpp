@@ -12,11 +12,15 @@ namespace {
 
 /// One clock read, skipped entirely when metrics are detached so the
 /// uninstrumented hot path pays only a predictable branch.
-inline std::int64_t metrics_now_ns(const util::EngineMetrics* metrics) {
-  if (metrics == nullptr) return 0;
+inline std::int64_t engine_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+inline std::int64_t metrics_now_ns(const util::EngineMetrics* metrics) {
+  if (metrics == nullptr) return 0;
+  return engine_now_ns();
 }
 
 }  // namespace
@@ -36,7 +40,8 @@ BoltEngine::BoltEngine(const BoltForest& bf)
 template <class Probe, class Accept>
 inline void scan_dictionary(const BoltForest& bf, const util::BitVector& bits,
                             std::uint64_t* candidate_blocks, Probe probe,
-                            Accept&& accept) {
+                            Accept&& accept,
+                            util::TraceContext* trace = nullptr) {
   const Dictionary& dict = bf.dictionary();
   const RecombinedTable& table = bf.table();
   const BloomFilter* bloom = bf.bloom();
@@ -44,6 +49,8 @@ inline void scan_dictionary(const BoltForest& bf, const util::BitVector& bits,
   const std::size_t blocks = (entries + 63) / 64;
 
   // Phase A: branchless candidate bitmap.
+  const std::int64_t phase_a_start =
+      trace != nullptr ? util::TraceContext::now_ns() : 0;
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t lo = b * 64;
     const std::size_t hi = std::min(entries, lo + 64);
@@ -62,6 +69,11 @@ inline void scan_dictionary(const BoltForest& bf, const util::BitVector& bits,
   }
 
   // Phase B: probe only the candidates.
+  std::int64_t phase_b_start = 0;
+  if (trace != nullptr) {
+    phase_b_start = util::TraceContext::now_ns();
+    trace->add(util::Stage::kScan, phase_b_start - phase_a_start);
+  }
   for (std::size_t b = 0; b < blocks; ++b) {
     std::uint64_t word = candidate_blocks[b];
     while (word != 0) {
@@ -94,6 +106,10 @@ inline void scan_dictionary(const BoltForest& bf, const util::BitVector& bits,
       accept(e, *result);
     }
   }
+  if (trace != nullptr) {
+    trace->add(util::Stage::kTableProbe,
+               util::TraceContext::now_ns() - phase_b_start);
+  }
   probe.instr(archsim::cost::kPerSample);
 }
 
@@ -113,7 +129,9 @@ void BoltEngine::vote_bits_impl(const util::BitVector& bits,
                       probe.instr(archsim::cost::kVoteAccum);
                       results.accumulate_packed(result_idx, acc);
                       ++accepted;
-                    });
+                    },
+                    trace_);
+    util::TraceContext::Span agg(trace_, util::Stage::kAggregate);
     results.unpack(acc, out);
   } else {
     std::fill(out.begin(), out.end(), 0.0);
@@ -125,7 +143,8 @@ void BoltEngine::vote_bits_impl(const util::BitVector& bits,
                       probe.instr(archsim::cost::kVoteAccum);
                       results.accumulate(result_idx, out);
                       ++accepted;
-                    });
+                    },
+                    trace_);
   }
   if (metrics_ != nullptr) {
     record_scan_metrics(accepted, metrics_now_ns(metrics_) - scan_start);
@@ -151,11 +170,15 @@ void BoltEngine::record_scan_metrics(std::uint64_t accepted,
 template <class Probe>
 void BoltEngine::vote_impl(std::span<const float> x, std::span<double> out,
                            Probe probe) {
-  const std::int64_t binarize_start = metrics_now_ns(metrics_);
+  const bool timed = metrics_ != nullptr || trace_ != nullptr;
+  const std::int64_t binarize_start = timed ? engine_now_ns() : 0;
   bf_.space().binarize(x, bits_);
-  if (metrics_ != nullptr) {
-    metrics_->binarize_ns->record(
-        static_cast<double>(metrics_now_ns(metrics_) - binarize_start));
+  if (timed) {
+    const std::int64_t elapsed = engine_now_ns() - binarize_start;
+    if (metrics_ != nullptr) {
+      metrics_->binarize_ns->record(static_cast<double>(elapsed));
+    }
+    if (trace_ != nullptr) trace_->add(util::Stage::kBinarize, elapsed);
   }
   probe.mem(x.data(), x.size() * sizeof(float), archsim::MemDep::kParallel);
   probe.instr(archsim::cost::kPredicateEval * bf_.space().size());
@@ -167,6 +190,7 @@ void BoltEngine::vote_impl(std::span<const float> x, std::span<double> out,
 
 int BoltEngine::predict(std::span<const float> x) {
   vote_impl(x, vote_scratch_, engines::NullProbe{});
+  util::TraceContext::Span agg(trace_, util::Stage::kAggregate);
   return forest::argmax_class(vote_scratch_);
 }
 
@@ -201,8 +225,8 @@ namespace {
 /// atomic adds per predict_batch call, not per tile.
 void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
                 std::size_t stride, int* out, BatchScratch& s,
-                std::uint64_t& candidates_total,
-                std::uint64_t& accepted_total) {
+                std::uint64_t& candidates_total, std::uint64_t& accepted_total,
+                util::TraceContext* trace) {
   const Dictionary& dict = bf.dictionary();
   const RecombinedTable& table = bf.table();
   const ResultPool& results = bf.results();
@@ -213,9 +237,14 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
 
   // Binarize the tile: one bit row per sample, contiguous so the scan's
   // inner row loop walks a small L1-resident block.
+  const bool traced = trace != nullptr;
+  const std::int64_t binarize_start = traced ? engine_now_ns() : 0;
   for (std::size_t r = 0; r < n; ++r) {
     bf.space().binarize({rows + r * stride, stride}, s.row_bits);
     std::copy_n(s.row_bits.words().data(), wpr, s.tile_words.data() + r * wpr);
+  }
+  if (traced) {
+    trace->add(util::Stage::kBinarize, engine_now_ns() - binarize_start);
   }
   if (packed) {
     std::fill_n(s.packed_acc.begin(), n, std::uint64_t{0});
@@ -240,7 +269,12 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
   const std::size_t entries = dict.num_entries();
   const std::uint64_t* tile = s.tile_words.data();
   std::size_t pending = 0;
+  // Drain time accumulates separately so the traced scan span excludes
+  // the probe window (drains interleave with the entry sweep).
+  std::int64_t probe_ns = 0;
+  std::uint32_t drains = 0;
   auto drain = [&] {
+    const std::int64_t drain_start = traced ? engine_now_ns() : 0;
     for (std::size_t i = 0; i < pending; ++i) {
       const auto result = table.probe_slot(s.probe_slots[i], s.probe_entries[i],
                                            s.probe_addrs[i]);
@@ -254,7 +288,12 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
       }
     }
     pending = 0;
+    if (traced) {
+      probe_ns += engine_now_ns() - drain_start;
+      ++drains;
+    }
   };
+  const std::int64_t scan_start = traced ? engine_now_ns() : 0;
   for (std::size_t e = 0; e < entries; ++e) {
     std::uint64_t rowmask = 0;
     const std::uint64_t* row_words = tile;
@@ -282,11 +321,20 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
     }
   }
   drain();
+  if (traced) {
+    trace->add(util::Stage::kScan, engine_now_ns() - scan_start - probe_ns);
+    trace->add(util::Stage::kTableProbe, probe_ns,
+               std::max<std::uint32_t>(1, drains));
+  }
 
+  const std::int64_t aggregate_start = traced ? engine_now_ns() : 0;
   for (std::size_t r = 0; r < n; ++r) {
     std::span<double> votes{s.votes.data() + r * classes, classes};
     if (packed) results.unpack(s.packed_acc[r], votes);
     out[r] = forest::argmax_class(votes);
+  }
+  if (traced) {
+    trace->add(util::Stage::kAggregate, engine_now_ns() - aggregate_start);
   }
   candidates_total += candidates;
   accepted_total += accepted;
@@ -297,14 +345,15 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
 void predict_batch_amortized(const BoltForest& bf, std::span<const float> rows,
                              std::size_t num_rows, std::size_t row_stride,
                              std::span<int> out, BatchScratch& scratch,
-                             const util::EngineMetrics* metrics) {
+                             const util::EngineMetrics* metrics,
+                             util::TraceContext* trace) {
   std::uint64_t candidates = 0, accepted = 0;
   for (std::size_t begin = 0; begin < num_rows;
        begin += BatchScratch::kTileRows) {
     const std::size_t n =
         std::min(BatchScratch::kTileRows, num_rows - begin);
     batch_tile(bf, rows.data() + begin * row_stride, n, row_stride,
-               out.data() + begin, scratch, candidates, accepted);
+               out.data() + begin, scratch, candidates, accepted, trace);
   }
   if (metrics != nullptr) {
     // Batch rows feed the same funnel counters as single-sample predicts
@@ -326,7 +375,7 @@ void BoltEngine::predict_batch(std::span<const float> rows,
     batch_scratch_ = std::make_unique<BatchScratch>(bf_);
   }
   predict_batch_amortized(bf_, rows, num_rows, row_stride, out,
-                          *batch_scratch_, metrics_);
+                          *batch_scratch_, metrics_, trace_);
 }
 
 void BoltEngine::predict_batch_naive(std::span<const float> rows,
@@ -382,7 +431,8 @@ int BoltEngine::predict_explained(std::span<const float> x,
         for (std::uint32_t pred : dict.address_positions(e)) {
           explanation.add_feature(bf_.space().predicate(pred).feature, mass);
         }
-      });
+      },
+      trace_);
   return forest::argmax_class(vote_scratch_);
 }
 

@@ -65,7 +65,8 @@ struct BatchScratch {
 void predict_batch_amortized(const BoltForest& bf, std::span<const float> rows,
                              std::size_t num_rows, std::size_t row_stride,
                              std::span<int> out, BatchScratch& scratch,
-                             const util::EngineMetrics* metrics = nullptr);
+                             const util::EngineMetrics* metrics = nullptr,
+                             util::TraceContext* trace = nullptr);
 
 class BoltEngine final : public engines::Engine {
  public:
@@ -88,6 +89,12 @@ class BoltEngine final : public engines::Engine {
   void attach_metrics(const util::EngineMetrics* metrics) override {
     metrics_ = metrics;
   }
+
+  /// Request tracing: when attached, every predict/vote/predict_batch
+  /// records binarize/scan/table_probe/aggregate spans into the context.
+  /// Same cost model as metrics — a few clock reads when attached, one
+  /// predictable branch per phase when not.
+  void attach_trace(util::TraceContext* trace) override { trace_ = trace; }
 
   /// Classification plus per-entry telemetry (candidate/accept counters).
   int predict_profiled(std::span<const float> x, EntryProfile& profile);
@@ -131,6 +138,7 @@ class BoltEngine final : public engines::Engine {
   std::vector<std::uint64_t> candidate_blocks_;  // phase-A bitmap scratch
   std::unique_ptr<BatchScratch> batch_scratch_;  // lazily built tile buffers
   const util::EngineMetrics* metrics_ = nullptr;
+  util::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace bolt::core

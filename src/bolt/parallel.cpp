@@ -82,31 +82,51 @@ void PartitionedBoltEngine::core_work(std::size_t dict_part,
 }
 
 int PartitionedBoltEngine::predict(std::span<const float> x) {
-  bf_.space().binarize(x, bits_);
+  {
+    util::TraceContext::Span bin(trace_, util::Stage::kBinarize);
+    bf_.space().binarize(x, bits_);
+  }
   std::fill(agg_.begin(), agg_.end(), 0.0);
-  for (std::size_t d = 0; d < plan_.dict_parts; ++d) {
-    for (std::size_t t = 0; t < plan_.table_parts; ++t) {
-      core_work(d, t, bits_, agg_);
+  {
+    // One kScan entry per core's work — the partitioned engine's scan and
+    // probe phases interleave per core, so the breakdown reports them as
+    // a single scan span rather than splitting misleadingly.
+    util::TraceContext::Span scan(trace_, util::Stage::kScan);
+    for (std::size_t d = 0; d < plan_.dict_parts; ++d) {
+      for (std::size_t t = 0; t < plan_.table_parts; ++t) {
+        core_work(d, t, bits_, agg_);
+      }
     }
   }
+  util::TraceContext::Span agg(trace_, util::Stage::kAggregate);
   return forest::argmax_class(agg_);
 }
 
 int PartitionedBoltEngine::predict_threaded(std::span<const float> x,
                                             util::ThreadPool& pool) {
-  bf_.space().binarize(x, bits_);
+  {
+    util::TraceContext::Span bin(trace_, util::Stage::kBinarize);
+    bf_.space().binarize(x, bits_);
+  }
   for (auto& v : core_votes_) std::fill(v.begin(), v.end(), 0.0);
   pool.parallel_for(plan_.cores(), [&](std::size_t core) {
     const std::size_t d = core / plan_.table_parts;
     const std::size_t t = core % plan_.table_parts;
-    if (metrics_ != nullptr) {
+    if (metrics_ != nullptr || trace_ != nullptr) {
       util::Timer timer;
       core_work(d, t, bits_, core_votes_[core]);
-      metrics_->core_work_ns->record(static_cast<double>(timer.elapsed_ns()));
+      const std::int64_t elapsed = timer.elapsed_ns();
+      if (metrics_ != nullptr) {
+        metrics_->core_work_ns->record(static_cast<double>(elapsed));
+      }
+      // kScan entries accumulate concurrently from pool workers (the
+      // context's adds are relaxed atomics); one entry per core.
+      if (trace_ != nullptr) trace_->add(util::Stage::kScan, elapsed);
     } else {
       core_work(d, t, bits_, core_votes_[core]);
     }
   });
+  util::TraceContext::Span agg(trace_, util::Stage::kAggregate);
   std::fill(agg_.begin(), agg_.end(), 0.0);
   for (const auto& v : core_votes_) {
     for (std::size_t c = 0; c < agg_.size(); ++c) agg_[c] += v[c];
@@ -135,7 +155,8 @@ void PartitionedBoltEngine::predict_batch(std::span<const float> rows,
     predict_batch_amortized(bf_, rows.subspan(row_begin * row_stride),
                             row_count, row_stride,
                             out.subspan(row_begin, row_count),
-                            batch_scratch_[task]);
+                            batch_scratch_[task], /*metrics=*/nullptr,
+                            trace_);
   });
 }
 

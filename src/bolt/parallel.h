@@ -85,6 +85,14 @@ class PartitionedBoltEngine {
     metrics_ = metrics;
   }
 
+  /// Request tracing: when attached, predict/predict_threaded record
+  /// binarize, per-core scan (kScan, one entry per core) and aggregation
+  /// spans; predict_batch forwards the context into the amortized kernel
+  /// for its fine-grained breakdown. The context's accumulators are
+  /// relaxed atomics, so pool workers record concurrently. nullptr
+  /// detaches.
+  void attach_trace(util::TraceContext* trace) { trace_ = trace; }
+
   /// Predicates a dictionary partition's entries actually test (common +
   /// uncommon), ascending and deduplicated. A core only encodes these.
   std::span<const std::uint32_t> partition_predicates(
@@ -104,6 +112,7 @@ class PartitionedBoltEngine {
   std::vector<double> agg_;
   std::vector<std::vector<std::uint32_t>> part_preds_;  // per dict partition
   const util::PartitionMetrics* metrics_ = nullptr;
+  util::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace bolt::core

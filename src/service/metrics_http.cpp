@@ -1,0 +1,136 @@
+#include "service/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace bolt::service {
+namespace {
+
+/// Writes the full buffer, swallowing errors — a scraper that hung up
+/// mid-response is its own problem, and this thread must keep serving.
+void write_all(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t w = ::send(fd, data.data() + done, data.size() - done,
+                             MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+std::string http_response(int code, const char* status,
+                          const std::string& body,
+                          const char* content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + ' ' + status +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(util::MetricsRegistry& registry,
+                                     std::uint16_t port,
+                                     std::function<void()> before_scrape)
+    : registry_(registry), before_scrape_(std::move(before_scrape)),
+      port_(port) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start() {
+  if (listen_fd_ >= 0) return;  // already running
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("metrics_http: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("metrics_http: bind/listen 127.0.0.1:" +
+                             std::to_string(port_) + ": " + err);
+  }
+  if (port_ == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsHttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::serve_loop() {
+  // Poll with a short timeout so stop() needs no wakeup machinery: the
+  // accept loop rechecks the flag every 50 ms, which is instant next to
+  // any scrape interval.
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 50);
+    if (r <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::handle(int fd) {
+  // Read until the end of the request head. 8 KB bounds a misbehaving
+  // client; a scrape request is one line plus a few headers.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      break;
+    }
+    head.append(buf, static_cast<std::size_t>(r));
+  }
+  const std::size_t eol = head.find("\r\n");
+  const std::string request_line =
+      eol == std::string::npos ? head : head.substr(0, eol);
+  if (request_line.rfind("GET /metrics", 0) == 0) {
+    if (before_scrape_) before_scrape_();
+    write_all(fd, http_response(
+                      200, "OK", registry_.render_prometheus(),
+                      "text/plain; version=0.0.4; charset=utf-8"));
+  } else {
+    write_all(fd, http_response(404, "Not Found", "not found\n",
+                                "text/plain; charset=utf-8"));
+  }
+}
+
+}  // namespace bolt::service

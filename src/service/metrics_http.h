@@ -1,0 +1,53 @@
+// Minimal HTTP/1.1 exposition endpoint: `GET /metrics` answers the
+// registry's Prometheus text rendering (util/prometheus.h), anything else
+// 404s. One accept thread serves requests sequentially — a scrape is a
+// single small response every few seconds, so concurrency would buy
+// nothing and cost a pool. Binds 127.0.0.1 only: the exposition carries
+// operational detail and this server implements just enough HTTP for a
+// scraper, not for the open internet.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "util/metrics.h"
+
+namespace bolt::service {
+
+class MetricsHttpServer {
+ public:
+  /// `port` 0 asks the kernel for an ephemeral port (tests); the bound
+  /// port is available from port() after start(). `before_scrape` (may be
+  /// null) runs before each snapshot — the server refreshes its uptime
+  /// gauge there.
+  MetricsHttpServer(util::MetricsRegistry& registry, std::uint16_t port,
+                    std::function<void()> before_scrape = nullptr);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds and spawns the accept thread. Throws std::runtime_error when
+  /// the port cannot be bound.
+  void start();
+  /// Stops accepting and joins the thread. Idempotent.
+  void stop();
+
+  /// Port actually bound (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle(int fd);
+
+  util::MetricsRegistry& registry_;
+  std::function<void()> before_scrape_;
+  std::uint16_t port_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace bolt::service

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/trace.h"
+
 namespace bolt::service {
 namespace {
 
@@ -43,6 +45,15 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
   for (const SalientFeature& s : resp.salient) {
     put(out, s.feature);
     put(out, s.score);
+  }
+  if (resp.traced) {
+    put(out, static_cast<std::uint8_t>(resp.trace.size()));
+    put(out, resp.trace_total_ns);
+    for (const TraceSpan& s : resp.trace) {
+      put(out, s.stage);
+      put(out, s.count);
+      put(out, s.total_ns);
+    }
   }
 }
 
@@ -85,8 +96,8 @@ Response decode_response(std::span<const std::uint8_t> frame) {
   // Validate the declared count against the bytes actually present BEFORE
   // reserving (mirrors decode_request): a corrupt peer must not be able to
   // force a multi-GB allocation with a 16-byte frame.
-  if (frame.size() != static_cast<std::uint64_t>(n) *
-                          (sizeof(std::uint32_t) + sizeof(double))) {
+  if (frame.size() < static_cast<std::uint64_t>(n) *
+                         (sizeof(std::uint32_t) + sizeof(double))) {
     throw std::runtime_error("protocol: response size mismatch");
   }
   resp.salient.reserve(n);
@@ -95,6 +106,29 @@ Response decode_response(std::span<const std::uint8_t> frame) {
     s.feature = get<std::uint32_t>(frame);
     s.score = get<double>(frame);
     resp.salient.push_back(s);
+  }
+  // Optional trailing trace section (kFlagTrace responses only).
+  if (!frame.empty()) {
+    const auto num_spans = get<std::uint8_t>(frame);
+    resp.traced = true;
+    resp.trace_total_ns = get<std::uint64_t>(frame);
+    constexpr std::size_t kSpanBytes = sizeof(std::uint8_t) +
+                                       sizeof(std::uint32_t) +
+                                       sizeof(std::uint64_t);
+    if (frame.size() != num_spans * kSpanBytes) {
+      throw std::runtime_error("protocol: trace section size mismatch");
+    }
+    resp.trace.reserve(num_spans);
+    for (std::uint8_t i = 0; i < num_spans; ++i) {
+      TraceSpan s;
+      s.stage = get<std::uint8_t>(frame);
+      s.count = get<std::uint32_t>(frame);
+      s.total_ns = get<std::uint64_t>(frame);
+      if (s.stage >= util::kNumStages) {
+        throw std::runtime_error("protocol: unknown trace stage");
+      }
+      resp.trace.push_back(s);
+    }
   }
   return resp;
 }
@@ -193,6 +227,43 @@ BatchResponse decode_batch_response(std::span<const std::uint8_t> frame) {
   BatchResponse resp;
   resp.classes.resize(n);
   std::memcpy(resp.classes.data(), frame.data(), n * sizeof(std::int32_t));
+  return resp;
+}
+
+void encode_slow_request(const SlowRequest& req,
+                         std::vector<std::uint8_t>& out) {
+  put(out, kSlowRequestMagic);
+  put(out, req.flags);
+}
+
+void encode_slow_response(const SlowResponse& resp,
+                          std::vector<std::uint8_t>& out) {
+  put(out, kSlowResponseMagic);
+  put(out, static_cast<std::uint32_t>(resp.body.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(resp.body.data());
+  out.insert(out.end(), p, p + resp.body.size());
+}
+
+SlowRequest decode_slow_request(std::span<const std::uint8_t> frame) {
+  if (get<std::uint32_t>(frame) != kSlowRequestMagic) {
+    throw std::runtime_error("protocol: bad slow request magic");
+  }
+  SlowRequest req;
+  req.flags = get<std::uint32_t>(frame);
+  if (!frame.empty()) throw std::runtime_error("protocol: trailing bytes");
+  return req;
+}
+
+SlowResponse decode_slow_response(std::span<const std::uint8_t> frame) {
+  if (get<std::uint32_t>(frame) != kSlowResponseMagic) {
+    throw std::runtime_error("protocol: bad slow response magic");
+  }
+  const auto n = get<std::uint32_t>(frame);
+  if (frame.size() != n) {
+    throw std::runtime_error("protocol: slow size mismatch");
+  }
+  SlowResponse resp;
+  resp.body.assign(reinterpret_cast<const char*>(frame.data()), n);
   return resp;
 }
 

@@ -23,6 +23,22 @@
 //   batch request  := u32 magic | u32 flags | u32 num_rows |
 //                     (u32 num_features | f32[num_features])[num_rows]
 //   batch response := u32 magic | u32 num_rows | i32[num_rows]
+//
+// flags bit 1 (kFlagTrace) on a classify request asks the server to echo
+// the request's span breakdown. The response then carries a trailing
+// trace section after the salient list (docs/SERVING.md):
+//   trace := u8 num_spans | u64 total_ns |
+//            (u8 stage, u32 count, u64 total_ns)[num_spans]
+// `stage` indexes util::Stage; `total_ns` on the header is the server-
+// measured request wall time. Decoders that predate the flag reject
+// trailing bytes, which is safe: a client only sees the section if it
+// asked for it.
+//
+// A fourth op retrieves the slow-request capture ring (the K most recent
+// requests whose latency exceeded the server's slow threshold), mirroring
+// the STATS framing:
+//   slow request  := u32 magic | u32 flags          (flags bit 0: JSON)
+//   slow response := u32 magic | u32 num_bytes | u8[num_bytes]
 #pragma once
 
 #include <cstdint>
@@ -39,8 +55,12 @@ constexpr std::uint32_t kStatsRequestMagic = 0x424c5453;   // "BLTS"
 constexpr std::uint32_t kStatsResponseMagic = 0x424c5454;  // "BLTT"
 constexpr std::uint32_t kBatchRequestMagic = 0x424c5455;   // "BLTU"
 constexpr std::uint32_t kBatchResponseMagic = 0x424c5456;  // "BLTV"
+constexpr std::uint32_t kSlowRequestMagic = 0x424c5457;    // "BLTW"
+constexpr std::uint32_t kSlowResponseMagic = 0x424c5458;   // "BLTX"
 constexpr std::uint32_t kFlagExplain = 1u << 0;
+constexpr std::uint32_t kFlagTrace = 1u << 1;
 constexpr std::uint32_t kStatsFlagJson = 1u << 0;
+constexpr std::uint32_t kSlowFlagJson = 1u << 0;
 
 /// Status codes carried in Response::predicted_class (and per row of a
 /// batch response). Real classes are >= 0, so negatives are unambiguous:
@@ -72,9 +92,22 @@ struct SalientFeature {
   double score;
 };
 
+/// One stage's totals in a response's trace section. `stage` is a
+/// util::Stage value; `count` is how many times the stage was entered.
+struct TraceSpan {
+  std::uint8_t stage = 0;
+  std::uint32_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
 struct Response {
   std::int32_t predicted_class = -1;
   std::vector<SalientFeature> salient;
+  /// Trace section (kFlagTrace). `traced` distinguishes "no section"
+  /// from a traced request that recorded zero spans.
+  bool traced = false;
+  std::uint64_t trace_total_ns = 0;  // server-measured request wall time
+  std::vector<TraceSpan> trace;
 };
 
 struct StatsRequest {
@@ -83,6 +116,14 @@ struct StatsRequest {
 
 struct StatsResponse {
   std::string body;  // text or JSON metrics dump
+};
+
+struct SlowRequest {
+  std::uint32_t flags = 0;  // kSlowFlagJson: JSON body
+};
+
+struct SlowResponse {
+  std::string body;  // text or JSON slow-ring dump
 };
 
 /// A batch of samples, stored flat (rows back to back) with a CSR offset
@@ -126,6 +167,11 @@ void encode_batch_request(const BatchRequest& req,
 void encode_batch_response(const BatchResponse& resp,
                            std::vector<std::uint8_t>& out);
 
+void encode_slow_request(const SlowRequest& req,
+                         std::vector<std::uint8_t>& out);
+void encode_slow_response(const SlowResponse& resp,
+                          std::vector<std::uint8_t>& out);
+
 /// Parses a full frame; throws std::runtime_error on malformed input.
 Request decode_request(std::span<const std::uint8_t> frame);
 Response decode_response(std::span<const std::uint8_t> frame);
@@ -133,6 +179,8 @@ StatsRequest decode_stats_request(std::span<const std::uint8_t> frame);
 StatsResponse decode_stats_response(std::span<const std::uint8_t> frame);
 BatchRequest decode_batch_request(std::span<const std::uint8_t> frame);
 BatchResponse decode_batch_response(std::span<const std::uint8_t> frame);
+SlowRequest decode_slow_request(std::span<const std::uint8_t> frame);
+SlowResponse decode_slow_response(std::span<const std::uint8_t> frame);
 
 /// Leading magic of a frame (0 if shorter than 4 bytes) — how the server
 /// dispatches between classification and STATS ops.

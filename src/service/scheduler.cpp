@@ -81,9 +81,10 @@ bool BatchScheduler::enqueue(Pending* p, Status& why) {
 }
 
 BatchScheduler::Result BatchScheduler::classify(
-    std::span<const float> features) {
+    std::span<const float> features, util::TraceContext* trace) {
   Pending p;
   p.features = features;
+  p.trace = trace;
   std::future<Result> fut = p.done.get_future();
   Status why;
   if (!enqueue(&p, why)) return {why, -1};
@@ -93,7 +94,8 @@ BatchScheduler::Result BatchScheduler::classify(
 void BatchScheduler::classify_many(std::span<const float> rows,
                                    std::size_t num_rows,
                                    std::size_t row_stride,
-                                   std::span<Result> out) {
+                                   std::span<Result> out,
+                                   util::TraceContext* trace) {
   std::vector<Pending> pending(num_rows);
   std::vector<std::future<Result>> futures;
   std::vector<std::size_t> submitted;
@@ -101,6 +103,7 @@ void BatchScheduler::classify_many(std::span<const float> rows,
   submitted.reserve(num_rows);
   for (std::size_t i = 0; i < num_rows; ++i) {
     pending[i].features = {rows.data() + i * row_stride, row_stride};
+    pending[i].trace = trace;
     std::future<Result> fut = pending[i].done.get_future();
     Status why;
     if (!enqueue(&pending[i], why)) {
@@ -169,6 +172,12 @@ void BatchScheduler::run_tile(engines::Engine& engine,
           std::chrono::duration<double, std::micro>(now - p->enqueued)
               .count());
     }
+    if (p->trace != nullptr) {
+      p->trace->add(util::Stage::kQueueWait,
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        now - p->enqueued)
+                        .count());
+    }
     if (now > p->deadline) {
       if (record_) expired_->inc();
       p->done.set_value({Status::kExpired, -1});
@@ -189,12 +198,40 @@ void BatchScheduler::run_tile(engines::Engine& engine,
   }
   if (live.empty()) return;
   classes.resize(live.size());
+  // Cross-connection trace handoff: the tile runs as one kernel call, so
+  // its binarize/scan/table_probe/aggregate spans are recorded once into
+  // a tile-level context and merged into each *distinct* requester trace
+  // afterwards (a BATCH request's rows share one trace — merging per row
+  // would multiply the kernel spans).
+  bool any_traced = false;
+  for (Pending* p : live) {
+    if (p->trace != nullptr) {
+      any_traced = true;
+      break;
+    }
+  }
+  util::TraceContext tile_trace;
+  if (any_traced) engine.attach_trace(&tile_trace);
   try {
     engine.predict_batch(rows, live.size(), arity, classes);
   } catch (const std::exception&) {
+    if (any_traced) engine.attach_trace(nullptr);
     // A throwing engine must not leave callers blocked on their futures.
     for (Pending* p : live) p->done.set_value({Status::kError, -1});
     return;
+  }
+  if (any_traced) {
+    engine.attach_trace(nullptr);
+    std::vector<util::TraceContext*> merged;
+    merged.reserve(4);
+    for (Pending* p : live) {
+      if (p->trace == nullptr) continue;
+      if (std::find(merged.begin(), merged.end(), p->trace) != merged.end()) {
+        continue;
+      }
+      merged.push_back(p->trace);
+      p->trace->merge(tile_trace);
+    }
   }
   for (std::size_t i = 0; i < live.size(); ++i) {
     live[i]->done.set_value({Status::kOk, classes[i]});

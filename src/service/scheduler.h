@@ -94,14 +94,25 @@ class BatchScheduler {
   /// `features` must stay alive until this returns (it is borrowed, not
   /// copied, until the worker gathers the tile) and must match the
   /// engine's arity — the server validates before submitting.
-  Result classify(std::span<const float> features);
+  ///
+  /// When `trace` is non-null the worker records the row's queue wait
+  /// into it and merges the tile's kernel spans (binarize/scan/
+  /// table_probe/aggregate) across the cross-connection batch boundary:
+  /// the rows batched together share one tile-level context, merged once
+  /// into each distinct requester's trace. `trace` must stay alive until
+  /// this returns.
+  Result classify(std::span<const float> features,
+                  util::TraceContext* trace = nullptr);
 
   /// Enqueues `num_rows` rows (row i at rows[i * row_stride]) as
   /// independent requests sharing the queue with every other connection,
   /// then waits for all of them. Rows shed by backpressure are answered
-  /// kBusy individually; the rest proceed.
+  /// kBusy individually; the rest proceed. A non-null `trace` is shared
+  /// by every row of the call (per-row queue waits accumulate; each
+  /// tile's kernel spans merge once per tile).
   void classify_many(std::span<const float> rows, std::size_t num_rows,
-                     std::size_t row_stride, std::span<Result> out);
+                     std::size_t row_stride, std::span<Result> out,
+                     util::TraceContext* trace = nullptr);
 
   /// Requests currently queued (not yet gathered into a tile).
   std::size_t queue_depth() const;
@@ -113,6 +124,7 @@ class BatchScheduler {
     std::span<const float> features;  // borrowed from the submitting caller
     Clock::time_point enqueued;
     Clock::time_point deadline;  // Clock::time_point::max() = none
+    util::TraceContext* trace = nullptr;  // borrowed; null = untraced
     std::promise<Result> done;
   };
 

@@ -4,9 +4,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
+#include "util/build_info.h"
 #include "util/timer.h"
 
 namespace bolt::service {
@@ -29,6 +31,19 @@ sockaddr_un make_addr(const std::string& path) {
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
+}
+
+/// Copies a trace's non-empty stages into a response's trace section.
+void fill_trace_section(const util::TraceContext& trace,
+                        std::uint64_t total_ns, Response& resp) {
+  resp.traced = true;
+  resp.trace_total_ns = total_ns;
+  resp.trace.clear();
+  for (std::size_t s = 0; s < util::kNumStages; ++s) {
+    const util::StageTotals t = trace.stage(static_cast<util::Stage>(s));
+    if (t.count == 0) continue;
+    resp.trace.push_back({static_cast<std::uint8_t>(s), t.count, t.total_ns});
+  }
 }
 
 /// Maps a scheduler verdict onto the wire's class-code convention.
@@ -77,9 +92,16 @@ InferenceServer::InferenceServer(
   rejected_connections_ = &metrics_.counter("service.rejected_connections");
   idle_timeouts_ = &metrics_.counter("service.idle_timeouts");
   active_connections_ = &metrics_.gauge("service.active_connections");
+  uptime_seconds_ = &metrics_.gauge("service.uptime_seconds");
+  traced_requests_ = &metrics_.counter("service.traced_requests");
+  slow_captured_ = &metrics_.counter("service.slow_captured");
+  slow_op_requests_ = &metrics_.counter("service.slow_op_requests");
   request_latency_us_ = &metrics_.histogram("service.request_latency_us");
   batch_size_ = &metrics_.histogram(
       "service.batch_size", util::Histogram::exponential_bounds(1, 2.0, 14));
+  slow_ring_ = std::make_unique<util::SlowRing>(
+      options_.trace.slow_ring_capacity, options_.trace.slow_threshold_us);
+  metrics_.set_build_info(util::build_info_labels());
 }
 
 InferenceServer::~InferenceServer() { stop(); }
@@ -103,11 +125,28 @@ void InferenceServer::start() {
                              std::strerror(errno));
   }
   running_.store(true);
+  start_time_ = std::chrono::steady_clock::now();
+  if (options_.metrics_port >= 0) {
+    metrics_http_ = std::make_unique<MetricsHttpServer>(
+        metrics_, static_cast<std::uint16_t>(options_.metrics_port),
+        [this] { update_uptime(); });
+    metrics_http_->start();
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void InferenceServer::update_uptime() {
+  uptime_seconds_->set(std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - start_time_)
+                           .count());
 }
 
 void InferenceServer::stop() {
   if (!running_.exchange(false)) return;
+  if (metrics_http_) {
+    metrics_http_->stop();
+    metrics_http_.reset();
+  }
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   listen_fd_ = -1;
@@ -198,12 +237,32 @@ void InferenceServer::handle_connection(int fd) {
           throw;
         }
         if (record) stats_requests_total_->inc();
+        update_uptime();
         const util::MetricsSnapshot snap = metrics_.snapshot();
         StatsResponse sresp;
         sresp.body =
             (sreq.flags & kStatsFlagJson) ? snap.to_json() : snap.to_text();
         out.clear();
         encode_stats_response(sresp, out);
+        write_frame(fd, out);
+        continue;
+      }
+      if (frame_magic(frame) == kSlowRequestMagic) {
+        // SLOW op: dump the slow-request capture ring. Like STATS, not an
+        // inference request.
+        SlowRequest qreq;
+        try {
+          qreq = decode_slow_request(frame);
+        } catch (const std::exception&) {
+          if (record) malformed_total_->inc();
+          throw;
+        }
+        if (record) slow_op_requests_->inc();
+        SlowResponse sresp;
+        sresp.body = (qreq.flags & kSlowFlagJson) ? slow_ring_->render_json()
+                                                  : slow_ring_->render_text();
+        out.clear();
+        encode_slow_response(sresp, out);
         write_frame(fd, out);
         continue;
       }
@@ -219,17 +278,33 @@ void InferenceServer::handle_connection(int fd) {
           if (record) malformed_total_->inc();
           throw;
         }
+        const std::int64_t batch_decode_ns = batch_timer.elapsed_ns();
         const std::size_t rows = breq.num_rows();
         BatchResponse bresp;
         bresp.classes.assign(rows, kClassError);
         const std::size_t arity = engine->num_features();
+        // Sampled tracing: BATCH requests feed the slow ring (a large
+        // batch is the canonical slow request) but carry no wire trace
+        // section — the breakdown is retrieved post-hoc via SLOW.
+        util::TraceContext batch_trace;
+        util::TraceContext* btrace =
+            sampler_.should_trace() ? &batch_trace : nullptr;
+        if (btrace != nullptr) {
+          btrace->add(util::Stage::kDecode, batch_decode_ns);
+        }
+        const std::uint64_t battr_before =
+            btrace != nullptr ? btrace->attributed_ns() : 0;
+        const std::int64_t binfer_start =
+            btrace != nullptr ? util::TraceContext::now_ns() : 0;
+        if (btrace != nullptr && !scheduler_) engine->attach_trace(btrace);
         if (breq.uniform_arity(arity)) {
           // Fast path: the flat feature buffer is already a contiguous
           // stride-`arity` matrix — zero copies to the kernel (or to the
           // scheduler, which borrows the rows until the tiles complete).
           if (scheduler_) {
             std::vector<BatchScheduler::Result> results(rows);
-            scheduler_->classify_many(breq.features, rows, arity, results);
+            scheduler_->classify_many(breq.features, rows, arity, results,
+                                      btrace);
             for (std::size_t i = 0; i < rows; ++i) {
               bresp.classes[i] = class_code(results[i]);
             }
@@ -250,7 +325,8 @@ void InferenceServer::handle_connection(int fd) {
           }
           if (scheduler_) {
             std::vector<BatchScheduler::Result> results(good_idx.size());
-            scheduler_->classify_many(good, good_idx.size(), arity, results);
+            scheduler_->classify_many(good, good_idx.size(), arity, results,
+                                      btrace);
             for (std::size_t k = 0; k < good_idx.size(); ++k) {
               bresp.classes[good_idx[k]] = class_code(results[k]);
             }
@@ -262,10 +338,24 @@ void InferenceServer::handle_connection(int fd) {
             }
           }
         }
+        if (btrace != nullptr) {
+          if (!scheduler_) engine->attach_trace(nullptr);
+          const std::int64_t wall =
+              util::TraceContext::now_ns() - binfer_start;
+          const auto attributed = static_cast<std::int64_t>(
+              btrace->attributed_ns() - battr_before);
+          btrace->add(util::Stage::kDispatch, wall - attributed);
+        }
         std::uint64_t batch_errors = 0;
         for (std::int32_t c : bresp.classes) batch_errors += c < 0;
         out.clear();
+        const std::int64_t bencode_start =
+            btrace != nullptr ? util::TraceContext::now_ns() : 0;
         encode_batch_response(bresp, out);
+        if (btrace != nullptr) {
+          btrace->add(util::Stage::kEncode,
+                      util::TraceContext::now_ns() - bencode_start);
+        }
         requests_served_.fetch_add(rows, std::memory_order_relaxed);
         if (record) {
           batch_requests_total_->inc();
@@ -273,6 +363,13 @@ void InferenceServer::handle_connection(int fd) {
           requests_total_->inc(rows);
           errors_total_->inc(batch_errors);
           request_latency_us_->record(batch_timer.elapsed_us());
+        }
+        if (btrace != nullptr) {
+          if (record) traced_requests_->inc();
+          const bool captured = slow_ring_->maybe_capture(
+              *btrace, batch_timer.elapsed_us(), "BATCH",
+              static_cast<std::uint32_t>(rows));
+          if (captured && record) slow_captured_->inc();
         }
         write_frame(fd, out);
         continue;
@@ -285,7 +382,22 @@ void InferenceServer::handle_connection(int fd) {
         if (record) malformed_total_->inc();
         throw;  // undecodable peer: drop the connection
       }
+      const std::int64_t decode_ns = request_timer.elapsed_ns();
+      // Arm a trace when the client asked (kFlagTrace echoes the span
+      // breakdown on the response) or the sampler fires (1-in-N, or every
+      // request when a slow threshold is set). Untraced requests pay one
+      // clock read (decode_ns) and the null tests below.
+      const bool client_trace =
+          util::kTracingCompiledIn && (req.flags & kFlagTrace) != 0;
+      util::TraceContext trace_ctx;
+      util::TraceContext* tctx =
+          client_trace || sampler_.should_trace() ? &trace_ctx : nullptr;
+      if (tctx != nullptr) tctx->add(util::Stage::kDecode, decode_ns);
       Response resp;
+      const std::uint64_t attr_before =
+          tctx != nullptr ? tctx->attributed_ns() : 0;
+      const std::int64_t infer_start =
+          tctx != nullptr ? util::TraceContext::now_ns() : 0;
       if (req.features.size() != engine->num_features()) {
         // Arity mismatch: answer with an error class instead of letting a
         // malformed request reach the engine's hot path.
@@ -294,8 +406,13 @@ void InferenceServer::handle_connection(int fd) {
         // Dynamic batching: park this handler on the completion slot while
         // the scheduler aggregates rows from every connection into one
         // amortized-kernel tile. Explanations stay on the per-row path.
-        resp.predicted_class = class_code(scheduler_->classify(req.features));
+        // The trace crosses the batch boundary with the request: the
+        // worker records its queue wait and merges the tile's kernel
+        // spans before the future is fulfilled.
+        resp.predicted_class =
+            class_code(scheduler_->classify(req.features, tctx));
       } else if ((req.flags & kFlagExplain) && bolt_engine != nullptr) {
+        if (tctx != nullptr) engine->attach_trace(tctx);
         core::Explanation explanation(
             bolt_engine->artifact().num_features());
         resp.predicted_class =
@@ -304,12 +421,40 @@ void InferenceServer::handle_connection(int fd) {
           if (explanation.scores()[f] <= 0.0) break;
           resp.salient.push_back({f, explanation.scores()[f]});
         }
+        if (tctx != nullptr) engine->attach_trace(nullptr);
       } else {
+        if (tctx != nullptr) engine->attach_trace(tctx);
         resp.predicted_class =
             static_cast<std::int32_t>(engine->predict(req.features));
+        if (tctx != nullptr) engine->attach_trace(nullptr);
+      }
+      if (tctx != nullptr) {
+        // Dispatch is derived, not measured: inference-layer wall time
+        // minus what the layers below attributed, so the breakdown sums
+        // to the request latency instead of double-counting.
+        const std::int64_t wall = util::TraceContext::now_ns() - infer_start;
+        const auto attributed =
+            static_cast<std::int64_t>(tctx->attributed_ns() - attr_before);
+        tctx->add(util::Stage::kDispatch, wall - attributed);
       }
       out.clear();
+      const std::int64_t encode_start =
+          tctx != nullptr ? util::TraceContext::now_ns() : 0;
       encode_response(resp, out);
+      if (tctx != nullptr) {
+        tctx->add(util::Stage::kEncode,
+                  util::TraceContext::now_ns() - encode_start);
+      }
+      if (client_trace && tctx != nullptr) {
+        // The client asked for the breakdown: attach the trace section
+        // and re-encode. The kEncode span was measured on the first
+        // encode; the re-encode costs only traced requests.
+        fill_trace_section(
+            *tctx, static_cast<std::uint64_t>(request_timer.elapsed_ns()),
+            resp);
+        out.clear();
+        encode_response(resp, out);
+      }
       // Account for the request *before* the response leaves: once a client
       // holds the response, a scrape (STATS or requests_served()) must
       // already include it. The latency histogram therefore covers
@@ -319,6 +464,12 @@ void InferenceServer::handle_connection(int fd) {
         requests_total_->inc();
         if (resp.predicted_class < 0) errors_total_->inc();
         request_latency_us_->record(request_timer.elapsed_us());
+      }
+      if (tctx != nullptr) {
+        if (record) traced_requests_->inc();
+        const bool captured = slow_ring_->maybe_capture(
+            *tctx, request_timer.elapsed_us(), "CLASSIFY", 1);
+        if (captured && record) slow_captured_->inc();
       }
       write_frame(fd, out);
     }
@@ -372,6 +523,31 @@ Response InferenceClient::classify(std::span<const float> features,
     throw std::runtime_error("service: server closed connection");
   }
   return decode_response(buf_);
+}
+
+Response InferenceClient::classify_traced(std::span<const float> features) {
+  Request req;
+  req.flags = kFlagTrace;
+  req.features.assign(features.begin(), features.end());
+  buf_.clear();
+  encode_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  return decode_response(buf_);
+}
+
+std::string InferenceClient::slow(bool json) {
+  SlowRequest req;
+  req.flags = json ? kSlowFlagJson : 0;
+  buf_.clear();
+  encode_slow_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  return decode_slow_response(buf_).body;
 }
 
 std::vector<std::int32_t> InferenceClient::classify_batch(

@@ -12,9 +12,11 @@
 
 #include "baselines/engine.h"
 #include "bolt/engine.h"
+#include "service/metrics_http.h"
 #include "service/protocol.h"
 #include "service/scheduler.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace bolt::service {
 
@@ -41,6 +43,15 @@ struct ServerOptions {
   /// kernel; shed/expired requests answer kClassBusy/kClassExpired.
   /// Explanation requests bypass the scheduler (per-row by nature).
   SchedulerOptions scheduler;
+  /// Request-scoped tracing and the slow-request capture ring
+  /// (docs/OBSERVABILITY.md): trace.sample_every arms 1-in-N requests,
+  /// trace.slow_threshold_us arms every request and captures those that
+  /// exceed it. A client setting kFlagTrace is always traced.
+  util::TraceConfig trace;
+  /// Prometheus exposition over HTTP (`GET /metrics`) on 127.0.0.1:
+  /// -1 disables the endpoint, 0 binds a kernel-assigned ephemeral port
+  /// (tests; read it back via metrics_http_port()), >0 binds that port.
+  std::int32_t metrics_port = -1;
 };
 
 /// Serves one engine on a UNIX-domain-socket path. Connections are handled
@@ -84,14 +95,30 @@ class InferenceServer {
   /// ServerOptions::scheduler.enabled; nullptr otherwise.
   BatchScheduler* scheduler() { return scheduler_.get(); }
 
+  /// The slow-request capture ring (always present; captures only when
+  /// ServerOptions::trace.slow_threshold_us > 0).
+  util::SlowRing& slow_ring() { return *slow_ring_; }
+
+  /// Port the /metrics HTTP endpoint is bound to, or -1 when disabled.
+  /// With ServerOptions::metrics_port == 0 this is the kernel-assigned
+  /// ephemeral port (valid after start()).
+  std::int32_t metrics_http_port() const {
+    return metrics_http_ ? metrics_http_->port() : -1;
+  }
+
  private:
   void accept_loop();
   void handle_connection(int fd);
+  void update_uptime();
 
   std::string socket_path_;
   std::function<std::unique_ptr<engines::Engine>()> factory_;
   ServerOptions options_;
   std::unique_ptr<BatchScheduler> scheduler_;
+  util::TraceSampler sampler_{options_.trace};
+  std::unique_ptr<util::SlowRing> slow_ring_;
+  std::unique_ptr<MetricsHttpServer> metrics_http_;
+  std::chrono::steady_clock::time_point start_time_{};
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
@@ -117,6 +144,10 @@ class InferenceServer {
   util::Counter* rejected_connections_ = nullptr;
   util::Counter* idle_timeouts_ = nullptr;
   util::Gauge* active_connections_ = nullptr;
+  util::Gauge* uptime_seconds_ = nullptr;
+  util::Counter* traced_requests_ = nullptr;
+  util::Counter* slow_captured_ = nullptr;
+  util::Counter* slow_op_requests_ = nullptr;
   util::Histogram* request_latency_us_ = nullptr;
   util::Histogram* batch_size_ = nullptr;
 };
@@ -132,6 +163,16 @@ class InferenceClient {
 
   /// Round-trips one sample. `explain` asks for salient features.
   Response classify(std::span<const float> features, bool explain = false);
+
+  /// Round-trips one sample with kFlagTrace set: the response carries the
+  /// server's per-stage span breakdown (Response::trace) and its measured
+  /// wall time (Response::trace_total_ns). Response::traced stays false
+  /// when the server was built with tracing compiled out.
+  Response classify_traced(std::span<const float> features);
+
+  /// Retrieves the server's slow-request capture ring (SLOW op). Returns
+  /// the text rendering, or JSON when `json` is set.
+  std::string slow(bool json = false);
 
   /// Round-trips a batch of `num_rows` samples of `row_stride` floats each
   /// (row i at rows[i * row_stride]) through the BATCH op: one frame each

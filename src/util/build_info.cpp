@@ -1,0 +1,29 @@
+#include "util/build_info.h"
+
+#ifndef BOLT_BUILD_GIT_DESCRIBE
+#define BOLT_BUILD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef BOLT_BUILD_COMPILER
+#define BOLT_BUILD_COMPILER "unknown"
+#endif
+#ifndef BOLT_BUILD_SANITIZE
+#define BOLT_BUILD_SANITIZE "none"
+#endif
+
+namespace bolt::util {
+
+const char* build_git_describe() { return BOLT_BUILD_GIT_DESCRIBE; }
+
+const char* build_compiler() { return BOLT_BUILD_COMPILER; }
+
+const char* build_sanitizers() { return BOLT_BUILD_SANITIZE; }
+
+std::vector<std::pair<std::string, std::string>> build_info_labels() {
+  return {
+      {"version", build_git_describe()},
+      {"compiler", build_compiler()},
+      {"sanitizers", build_sanitizers()},
+  };
+}
+
+}  // namespace bolt::util

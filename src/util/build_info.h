@@ -1,0 +1,28 @@
+// Build provenance, stamped at compile time by src/util/CMakeLists.txt:
+// git describe of the source tree, the compiler id/version, and any
+// sanitizers the build was configured with. Exported as the
+// `bolt_build_info` constant metric in STATS and /metrics so a scrape
+// can always answer "which binary produced these numbers?".
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bolt::util {
+
+/// `git describe --always --dirty` at configure time ("unknown" outside
+/// a git checkout).
+const char* build_git_describe();
+
+/// Compiler id and version, e.g. "GNU 13.2.0".
+const char* build_compiler();
+
+/// Sanitizers compiled in ("none" when BOLT_SANITIZE is empty).
+const char* build_sanitizers();
+
+/// The labels above as (key, value) pairs, ready for
+/// MetricsRegistry::set_build_info.
+std::vector<std::pair<std::string, std::string>> build_info_labels();
+
+}  // namespace bolt::util

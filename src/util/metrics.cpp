@@ -38,6 +38,8 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   }
   counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
 }
 
 void Histogram::record(double v) {
@@ -46,6 +48,16 @@ void Histogram::record(double v) {
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+  // Extremes: CAS only when v actually extends the range, so the common
+  // record stays two relaxed loads.
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -57,7 +69,23 @@ HistogramSnapshot Histogram::snapshot() const {
   }
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
   return snap;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 std::vector<double> Histogram::default_latency_bounds_us() {
@@ -114,6 +142,10 @@ std::string MetricsSnapshot::to_text() const {
     append_number(out, h.sum);
     out += " mean=";
     append_number(out, h.mean());
+    out += " min=";
+    append_number(out, h.min);
+    out += " max=";
+    append_number(out, h.max);
     out += " p50=";
     append_number(out, h.percentile(50));
     out += " p95=";
@@ -121,6 +153,16 @@ std::string MetricsSnapshot::to_text() const {
     out += " p99=";
     append_number(out, h.percentile(99));
     out += '\n';
+  }
+  if (!build_info.empty()) {
+    out += "bolt_build_info{";
+    bool first = true;
+    for (const auto& [key, value] : build_info) {
+      if (!first) out += ',';
+      first = false;
+      out += key + "=\"" + value + '"';
+    }
+    out += "} 1\n";
   }
   return out;
 }
@@ -147,6 +189,10 @@ std::string MetricsSnapshot::to_json() const {
     first = false;
     out += '"' + name + "\":{\"count\":" + std::to_string(h.count) + ",\"sum\":";
     append_number(out, h.sum);
+    out += ",\"min\":";
+    append_number(out, h.min);
+    out += ",\"max\":";
+    append_number(out, h.max);
     out += ",\"p50\":";
     append_number(out, h.percentile(50));
     out += ",\"p95\":";
@@ -163,7 +209,18 @@ std::string MetricsSnapshot::to_json() const {
     }
     out += "]}";
   }
-  out += "}}";
+  out += "}";
+  if (!build_info.empty()) {
+    out += ",\"build_info\":{";
+    first = true;
+    for (const auto& [key, value] : build_info) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + key + "\":\"" + value + '"';
+    }
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 
@@ -200,7 +257,25 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     snap.histograms.emplace_back(name, h->snapshot());
   }
+  snap.build_info = build_info_;
   return snap;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  return snapshot().to_prometheus();
+}
+
+void MetricsRegistry::set_build_info(
+    std::vector<std::pair<std::string, std::string>> labels) {
+  std::lock_guard lock(mu_);
+  build_info_ = std::move(labels);
+}
+
+void MetricsRegistry::reset_for_testing() {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
 }
 
 EngineMetrics EngineMetrics::in(MetricsRegistry& reg, const std::string& prefix) {

@@ -26,6 +26,7 @@ class Counter {
  public:
   void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
   std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> v_{0};
@@ -38,6 +39,7 @@ class Gauge {
   void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
   void sub(std::int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
   std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::int64_t> v_{0};
@@ -52,6 +54,10 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Exact observed extremes (0 when empty) — bucket bounds cannot
+  /// distinguish a tight p99 from a single huge outlier; these can.
+  double min = 0.0;
+  double max = 0.0;
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
   /// p in [0, 100]. Linear interpolation inside the bucket holding the
@@ -70,6 +76,9 @@ class Histogram {
 
   void record(double v);
   HistogramSnapshot snapshot() const;
+  /// Zeroes every bucket, the count/sum, and the min/max trackers.
+  /// Test/bench-only: concurrent records may be partially lost.
+  void reset();
 
   /// 1-2-5 series from 0.5 to 2e6 — microsecond latencies spanning sub-µs
   /// engine phases to multi-second stalls (21 finite bounds).
@@ -83,17 +92,29 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  // Observed extremes via relaxed CAS loops (contention only when a new
+  // extreme lands, which is self-limiting).
+  std::atomic<double> min_;
+  std::atomic<double> max_;
 };
 
 /// One named snapshot of every metric in a registry, renderable as a text
-/// dump (one metric per line) or JSON — the payload of the STATS wire op.
+/// dump (one metric per line), JSON — the payload of the STATS wire op —
+/// or Prometheus text exposition (served by `GET /metrics`).
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  /// Build provenance labels (`bolt_build_info`): rendered as a labeled
+  /// constant-1 metric in every format when non-empty.
+  std::vector<std::pair<std::string, std::string>> build_info;
 
   std::string to_text() const;
   std::string to_json() const;
+  /// Prometheus text exposition format 0.0.4: `# TYPE` lines, cumulative
+  /// `_bucket{le=...}`/`_sum`/`_count` histogram series, escaped labels.
+  /// Implemented in util/prometheus.cpp.
+  std::string to_prometheus() const;
 };
 
 /// Owns metrics by name. Registration (first lookup of a name) takes a
@@ -110,12 +131,24 @@ class MetricsRegistry {
                            Histogram::default_latency_bounds_us());
 
   MetricsSnapshot snapshot() const;
+  /// snapshot().to_prometheus() — the /metrics endpoint's payload.
+  std::string render_prometheus() const;
+
+  /// Attaches build-provenance labels exported as `bolt_build_info`.
+  void set_build_info(
+      std::vector<std::pair<std::string, std::string>> labels);
+
+  /// Zeroes every registered metric in place (registrations and the
+  /// pointers callers hold stay valid). For benches/tests that compare
+  /// arms against one registry — never call while traffic is live.
+  void reset_for_testing();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::pair<std::string, std::string>> build_info_;
 };
 
 /// Instrumentation bundle an inference engine records into (all pointers

@@ -1,0 +1,372 @@
+#include "util/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace bolt::util {
+namespace {
+
+bool legal_name_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+bool legal_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (!legal_name_char(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+void append_value(std::string& out, double v) {
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+/// le bound rendering: short and round-trippable enough for scrape
+/// pipelines; the validator re-parses whatever this prints.
+void append_bound(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (i == 0 && c >= '0' && c <= '9') out += '_';
+    out += legal_name_char(c, /*first=*/false) ? c : '_';
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + ' ' + std::to_string(v) + '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + ' ' + std::to_string(v) + '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    // Cumulative buckets: our snapshot's counts are per-bucket, the
+    // exposition's are running totals ending in the +Inf catch-all.
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      out += n + "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        append_bound(out, h.bounds[b]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} " + std::to_string(cumulative) + '\n';
+    }
+    out += n + "_sum ";
+    append_value(out, h.sum);
+    out += '\n';
+    out += n + "_count " + std::to_string(h.count) + '\n';
+  }
+  if (!build_info.empty()) {
+    out += "# TYPE bolt_build_info gauge\n";
+    out += "bolt_build_info{";
+    bool first = true;
+    for (const auto& [key, value] : build_info) {
+      if (!first) out += ',';
+      first = false;
+      out += prometheus_name(key) + "=\"" + prometheus_escape_label(value) +
+             '"';
+    }
+    out += "} 1\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+
+  const std::string* label(const std::string& key) const {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+bool fail(std::string* error, std::size_t line_no, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + what;
+  }
+  return false;
+}
+
+bool parse_value(std::string_view token, double* out) {
+  if (token == "+Inf" || token == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  char* end = nullptr;
+  const std::string owned(token);
+  *out = std::strtod(owned.c_str(), &end);
+  return end != nullptr && *end == '\0' && !owned.empty();
+}
+
+/// Parses one sample line into `s`. Accepts an optional trailing
+/// timestamp (an integer) per the exposition format.
+bool parse_sample(std::string_view line, std::size_t line_no, Sample* s,
+                  std::string* error) {
+  std::size_t i = 0;
+  while (i < line.size() && legal_name_char(line[i], i == 0)) ++i;
+  if (i == 0) return fail(error, line_no, "sample has no metric name");
+  s->name = std::string(line.substr(0, i));
+  s->labels.clear();
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t k = i;
+      while (k < line.size() && legal_name_char(line[k], k == i)) ++k;
+      if (k == i) return fail(error, line_no, "empty label name");
+      const std::string key(line.substr(i, k - i));
+      if (k >= line.size() || line[k] != '=') {
+        return fail(error, line_no, "label missing '='");
+      }
+      if (k + 1 >= line.size() || line[k + 1] != '"') {
+        return fail(error, line_no, "label value not quoted");
+      }
+      std::string value;
+      std::size_t v = k + 2;
+      for (;; ++v) {
+        if (v >= line.size()) {
+          return fail(error, line_no, "unterminated label value");
+        }
+        if (line[v] == '\\') {
+          if (v + 1 >= line.size()) {
+            return fail(error, line_no, "dangling backslash in label value");
+          }
+          const char esc = line[v + 1];
+          if (esc != '\\' && esc != '"' && esc != 'n') {
+            return fail(error, line_no, "invalid escape in label value");
+          }
+          value += esc == 'n' ? '\n' : esc;
+          ++v;
+          continue;
+        }
+        if (line[v] == '"') break;
+        value += line[v];
+      }
+      s->labels.emplace_back(key, value);
+      i = v + 1;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      return fail(error, line_no, "unterminated label set");
+    }
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    return fail(error, line_no, "sample missing value separator");
+  }
+  while (i < line.size() && line[i] == ' ') ++i;
+  std::size_t v_end = i;
+  while (v_end < line.size() && line[v_end] != ' ') ++v_end;
+  if (!parse_value(line.substr(i, v_end - i), &s->value)) {
+    return fail(error, line_no, "unparseable sample value");
+  }
+  // Optional timestamp: integer milliseconds.
+  while (v_end < line.size() && line[v_end] == ' ') ++v_end;
+  for (std::size_t t = v_end; t < line.size(); ++t) {
+    if (!std::isdigit(static_cast<unsigned char>(line[t])) &&
+        !(t == v_end && line[t] == '-')) {
+      return fail(error, line_no, "trailing garbage after value");
+    }
+  }
+  return true;
+}
+
+/// Strips a histogram series suffix; returns the base name (or the name
+/// itself when no suffix matches).
+std::string histogram_base(const std::string& name, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+    return name.substr(0, name.size() - n);
+  }
+  return name;
+}
+
+}  // namespace
+
+bool validate_prometheus(std::string_view text, std::string* error) {
+  if (text.empty()) return fail(error, 0, "empty exposition");
+  if (text.back() != '\n') {
+    return fail(error, 0, "exposition must end with a newline");
+  }
+
+  std::map<std::string, std::string> types;  // name -> counter|gauge|...
+  struct HistogramSeries {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    bool has_sum = false;
+    bool has_count = false;
+    double count_value = 0.0;
+  };
+  std::map<std::string, HistogramSeries> histograms;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // `# TYPE <name> <type>`; other comment forms (`# HELP`, plain
+      // comments) pass through unchecked.
+      constexpr std::string_view kType = "# TYPE ";
+      if (line.rfind(kType, 0) == 0) {
+        const std::string_view rest = line.substr(kType.size());
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          return fail(error, line_no, "TYPE line missing type");
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string type(rest.substr(sp + 1));
+        if (!legal_name(name)) {
+          return fail(error, line_no, "illegal metric name in TYPE line");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(error, line_no, "unknown type '" + type + "'");
+        }
+        if (!types.emplace(name, type).second) {
+          return fail(error, line_no, "duplicate TYPE for '" + name + "'");
+        }
+        if (type == "histogram") histograms.emplace(name, HistogramSeries{});
+      }
+      continue;
+    }
+
+    Sample s;
+    if (!parse_sample(line, line_no, &s, error)) return false;
+
+    // Resolve the declared base name: histogram series sample under their
+    // parent's TYPE.
+    std::string base = s.name;
+    auto declared = types.find(base);
+    if (declared == types.end()) {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string stripped = histogram_base(s.name, suffix);
+        auto it = types.find(stripped);
+        if (it != types.end() && it->second == "histogram") {
+          base = stripped;
+          declared = it;
+          break;
+        }
+      }
+    }
+    if (declared == types.end()) {
+      return fail(error, line_no,
+                  "sample '" + s.name + "' has no preceding # TYPE line");
+    }
+
+    if (declared->second == "histogram" && base != s.name) {
+      HistogramSeries& series = histograms[base];
+      if (s.name == base + "_bucket") {
+        const std::string* le = s.label("le");
+        if (le == nullptr) {
+          return fail(error, line_no, "bucket sample missing le label");
+        }
+        double bound = 0.0;
+        if (!parse_value(*le, &bound)) {
+          return fail(error, line_no, "unparseable le bound '" + *le + "'");
+        }
+        series.buckets.emplace_back(bound, s.value);
+      } else if (s.name == base + "_sum") {
+        series.has_sum = true;
+      } else {
+        series.has_count = true;
+        series.count_value = s.value;
+      }
+    }
+  }
+
+  for (const auto& [name, series] : histograms) {
+    if (series.buckets.empty()) {
+      return fail(error, 0, "histogram '" + name + "' has no buckets");
+    }
+    for (std::size_t b = 1; b < series.buckets.size(); ++b) {
+      if (!(series.buckets[b - 1].first < series.buckets[b].first)) {
+        return fail(error, 0,
+                    "histogram '" + name + "' le bounds not ascending");
+      }
+      if (series.buckets[b].second < series.buckets[b - 1].second) {
+        return fail(error, 0,
+                    "histogram '" + name + "' bucket counts decrease");
+      }
+    }
+    if (!std::isinf(series.buckets.back().first)) {
+      return fail(error, 0,
+                  "histogram '" + name + "' missing le=\"+Inf\" bucket");
+    }
+    if (!series.has_sum || !series.has_count) {
+      return fail(error, 0, "histogram '" + name + "' missing _sum/_count");
+    }
+    if (series.buckets.back().second != series.count_value) {
+      return fail(error, 0,
+                  "histogram '" + name + "' +Inf bucket != _count");
+    }
+  }
+  return true;
+}
+
+}  // namespace bolt::util

@@ -1,0 +1,44 @@
+// Prometheus text exposition (format 0.0.4) for MetricsSnapshot, plus a
+// strict grammar validator used by the exposition-format tests and the
+// `promcheck` CI tool.
+//
+// Mapping from the registry's dotted names: '.' and any other character
+// outside [a-zA-Z0-9_:] become '_' (`service.request_latency_us` →
+// `service_request_latency_us`). Counters and gauges render as a `# TYPE`
+// line plus one sample; histograms render cumulative
+// `_bucket{le="..."}` series ending in `le="+Inf"`, then `_sum` and
+// `_count`. Label values are escaped per the exposition spec
+// (backslash, double quote, newline).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/metrics.h"
+
+namespace bolt::util {
+
+/// `name` with every character outside [a-zA-Z0-9_:] replaced by '_'
+/// (and a leading '_' prepended if the first character is a digit).
+std::string prometheus_name(std::string_view name);
+
+/// Label-value escaping: \ -> \\, " -> \", newline -> \n.
+std::string prometheus_escape_label(std::string_view value);
+
+/// Validates Prometheus text exposition. Checks, per the format spec:
+///   - every sample line parses as `name{labels} value` with a legal
+///     metric name and a finite or +Inf value;
+///   - every sample's base name (with `_bucket`/`_sum`/`_count`
+///     stripped for histogram series) was declared by a preceding
+///     `# TYPE` line, and at most one TYPE line exists per name;
+///   - label values are double-quoted with no raw newline and no
+///     dangling backslash escape;
+///   - histogram buckets have strictly ascending `le` bounds,
+///     non-decreasing cumulative counts, end in `le="+Inf"`, and the
+///     +Inf bucket equals the `_count` sample;
+///   - the output ends in a newline.
+/// Returns true when valid; otherwise false with a diagnostic in
+/// `*error` (when non-null).
+bool validate_prometheus(std::string_view text, std::string* error);
+
+}  // namespace bolt::util

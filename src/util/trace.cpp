@@ -1,0 +1,129 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bolt::util {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kDecode: return "decode";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kDispatch: return "dispatch";
+    case Stage::kBinarize: return "binarize";
+    case Stage::kScan: return "scan";
+    case Stage::kTableProbe: return "table_probe";
+    case Stage::kAggregate: return "aggregate";
+    case Stage::kEncode: return "encode";
+  }
+  return "unknown";
+}
+
+SlowRing::SlowRing(std::size_t capacity, std::uint32_t threshold_us)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      threshold_us_(threshold_us) {
+  // Reserve up front: pushes never allocate once the ring is warm.
+  ring_.reserve(capacity_);
+}
+
+bool SlowRing::maybe_capture(const TraceContext& trace, double total_us,
+                             const char* op, std::uint32_t rows) {
+  if (threshold_us_ == 0 || total_us < static_cast<double>(threshold_us_)) {
+    return false;
+  }
+  CapturedTrace captured;
+  captured.op = op;
+  captured.rows = rows;
+  captured.total_us = total_us;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    captured.stages[s] = trace.stage(static_cast<Stage>(s));
+  }
+  std::lock_guard lock(mu_);
+  captured.id = seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(captured));
+  } else {
+    // Evict the oldest: shift is fine at ring capacities of ~dozens and
+    // keeps entries() trivially ordered.
+    ring_.erase(ring_.begin());
+    ring_.push_back(std::move(captured));
+  }
+  return true;
+}
+
+std::vector<CapturedTrace> SlowRing::entries() const {
+  std::lock_guard lock(mu_);
+  return ring_;
+}
+
+std::size_t SlowRing::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t SlowRing::captured_total() const {
+  std::lock_guard lock(mu_);
+  return seq_;
+}
+
+namespace {
+
+void append_us(std::string& out, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  out += buf;
+}
+
+}  // namespace
+
+std::string SlowRing::render_text() const {
+  const std::vector<CapturedTrace> snap = entries();
+  std::string out = "# slow ring: " + std::to_string(snap.size()) +
+                    " captured, capacity " + std::to_string(capacity_) +
+                    ", threshold_us " + std::to_string(threshold_us_) + "\n";
+  for (const CapturedTrace& t : snap) {
+    out += "id=" + std::to_string(t.id) + " op=" + t.op +
+           " rows=" + std::to_string(t.rows) + " total_us=";
+    append_us(out, t.total_us);
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      if (t.stages[s].count == 0) continue;
+      out += ' ';
+      out += stage_name(static_cast<Stage>(s));
+      out += "_us=";
+      append_us(out, static_cast<double>(t.stages[s].total_ns) / 1e3);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SlowRing::render_json() const {
+  const std::vector<CapturedTrace> snap = entries();
+  std::string out = "{\"threshold_us\":" + std::to_string(threshold_us_) +
+                    ",\"capacity\":" + std::to_string(capacity_) +
+                    ",\"entries\":[";
+  bool first_entry = true;
+  for (const CapturedTrace& t : snap) {
+    if (!first_entry) out += ',';
+    first_entry = false;
+    out += "{\"id\":" + std::to_string(t.id) + ",\"op\":\"" + t.op +
+           "\",\"rows\":" + std::to_string(t.rows) + ",\"total_us\":";
+    append_us(out, t.total_us);
+    out += ",\"spans\":{";
+    bool first_span = true;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      if (t.stages[s].count == 0) continue;
+      if (!first_span) out += ',';
+      first_span = false;
+      out += '"';
+      out += stage_name(static_cast<Stage>(s));
+      out += "\":{\"count\":" + std::to_string(t.stages[s].count) +
+             ",\"total_ns\":" + std::to_string(t.stages[s].total_ns) + '}';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace bolt::util

@@ -1,0 +1,244 @@
+// Request-scoped tracing: an allocation-free per-request span recorder
+// that attributes a request's latency to the pipeline stages of the
+// serving stack (decode → queue wait → dispatch → binarize → scan →
+// table probe → aggregate → encode), plus runtime sampling and a
+// slow-request capture ring.
+//
+// Design contract (docs/OBSERVABILITY.md):
+//   - A TraceContext is a fixed array of per-stage accumulators — one
+//     slot per Stage in the taxonomy — so recording never allocates and
+//     a whole trace lives on the requesting handler's stack. Stages may
+//     be entered many times (the batch kernel drains its probe window
+//     repeatedly); each entry adds to the stage's total and count, and
+//     the wire breakdown reports one span per stage.
+//   - Accumulators are relaxed atomics, so a trace can be handed across
+//     the scheduler's cross-connection batch boundary: the connection
+//     handler records decode/encode, a scheduler worker records the
+//     row's queue wait and merges the shared tile's kernel spans, and
+//     the promise/future completion orders the handoff.
+//   - The untraced path costs one predictable nullptr test per probe
+//     site; compiling with -DBOLT_TRACING=0 turns every recording call
+//     into a constexpr no-op (the compile-time-cheap disabled path).
+//
+// Sampling: TraceSampler arms a trace for 1-in-N requests
+// (sample_every) and for *every* request when a slow threshold is set —
+// a request can only enter the slow ring if its spans were recorded, so
+// slow capture implies always-on tracing. Both knobs default to off, in
+// which case no request pays more than the nullptr tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef BOLT_TRACING
+#define BOLT_TRACING 1
+#endif
+
+namespace bolt::util {
+
+/// True when tracing support is compiled in (-DBOLT_TRACING=0 disables).
+inline constexpr bool kTracingCompiledIn = BOLT_TRACING != 0;
+
+/// The span taxonomy (docs/OBSERVABILITY.md). Order is the wire encoding
+/// and the pipeline order a request flows through.
+enum class Stage : std::uint8_t {
+  kDecode = 0,     // wire frame -> Request
+  kQueueWait,      // enqueue -> tile collection (scheduler only)
+  kDispatch,       // inference-layer wall time not attributed below
+  kBinarize,       // input -> predicate bit vector
+  kScan,           // dictionary scan (candidate bitmap + address forming)
+  kTableProbe,     // recombined-table probes + vote accumulation
+  kAggregate,      // vote unpack + argmax
+  kEncode,         // Response -> wire frame
+};
+inline constexpr std::size_t kNumStages = 8;
+
+const char* stage_name(Stage s);
+
+/// One stage's accumulated time within a single trace.
+struct StageTotals {
+  std::uint32_t count = 0;      // times the stage was entered
+  std::uint64_t total_ns = 0;   // summed duration
+};
+
+/// Allocation-free per-request span recorder. Constructed (or reset) by
+/// the connection handler when a request is armed for tracing; recording
+/// sites receive a TraceContext* and skip everything when it is null.
+class TraceContext {
+ public:
+  TraceContext() { reset(); }
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Monotonic clock read, ns. Constant 0 when tracing is compiled out.
+  static std::int64_t now_ns() {
+    if constexpr (!kTracingCompiledIn) return 0;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void reset() {
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      total_ns_[s].store(0, std::memory_order_relaxed);
+      count_[s].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Adds a completed span to `stage`. Negative durations (clock noise on
+  /// derived spans) clamp to zero. Thread-safe (relaxed adds).
+  void add(Stage stage, std::int64_t ns, std::uint32_t entries = 1) {
+    if constexpr (!kTracingCompiledIn) return;
+    const auto s = static_cast<std::size_t>(stage);
+    total_ns_[s].fetch_add(ns > 0 ? static_cast<std::uint64_t>(ns) : 0,
+                           std::memory_order_relaxed);
+    count_[s].fetch_add(entries, std::memory_order_relaxed);
+  }
+
+  /// Folds another trace's accumulators into this one — how a scheduler
+  /// worker shares one tile's kernel spans with every traced row of the
+  /// tile (each distinct trace is merged exactly once).
+  void merge(const TraceContext& other) {
+    if constexpr (!kTracingCompiledIn) return;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      const StageTotals t = other.stage(static_cast<Stage>(s));
+      if (t.count == 0) continue;
+      total_ns_[s].fetch_add(t.total_ns, std::memory_order_relaxed);
+      count_[s].fetch_add(t.count, std::memory_order_relaxed);
+    }
+  }
+
+  StageTotals stage(Stage s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return {count_[i].load(std::memory_order_relaxed),
+            total_ns_[i].load(std::memory_order_relaxed)};
+  }
+
+  /// Total time attributed to any stage so far. The dispatch span is
+  /// derived from this: inference-layer wall time minus the attribution
+  /// delta across the call, so spans sum to the request latency instead
+  /// of double-counting.
+  std::uint64_t attributed_ns() const {
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      sum += total_ns_[s].load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// RAII span: records now()-at-construction .. end() into `stage`.
+  class Span {
+   public:
+    Span(TraceContext* ctx, Stage stage)
+        : ctx_(ctx), stage_(stage),
+          begin_(ctx != nullptr ? now_ns() : 0) {}
+    ~Span() { end(); }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void end() {
+      if (ctx_ == nullptr) return;
+      ctx_->add(stage_, now_ns() - begin_);
+      ctx_ = nullptr;
+    }
+
+   private:
+    TraceContext* ctx_;
+    Stage stage_;
+    std::int64_t begin_;
+  };
+
+ private:
+  std::atomic<std::uint64_t> total_ns_[kNumStages];
+  std::atomic<std::uint32_t> count_[kNumStages];
+};
+
+/// Runtime tracing knobs (ServerOptions::trace).
+struct TraceConfig {
+  /// Trace every Nth request (1 = all, 0 = off). Sampled traces feed the
+  /// slow ring and, when the client set the trace flag, the response.
+  std::uint32_t sample_every = 0;
+  /// Requests whose total latency meets this threshold are captured in
+  /// the slow ring. >0 arms tracing for *every* request (a slow request
+  /// cannot be reconstructed after the fact from an untraced run).
+  /// 0 = slow capture off.
+  std::uint32_t slow_threshold_us = 0;
+  /// Capacity of the slow-request capture ring (most recent K retained).
+  std::size_t slow_ring_capacity = 16;
+
+  bool enabled() const {
+    return kTracingCompiledIn && (sample_every > 0 || slow_threshold_us > 0);
+  }
+};
+
+/// Decides per request whether to arm a trace. Thread-safe; the 1-in-N
+/// counter is one relaxed fetch_add shared by all connection handlers.
+class TraceSampler {
+ public:
+  explicit TraceSampler(const TraceConfig& config) : config_(config) {}
+
+  /// True when this request should record spans (1-in-N hit, or slow
+  /// capture is armed). Requests that set the wire trace flag are traced
+  /// regardless of this answer.
+  bool should_trace() {
+    if (!config_.enabled()) return false;
+    if (config_.slow_threshold_us > 0) return true;
+    return n_.fetch_add(1, std::memory_order_relaxed) %
+               config_.sample_every == 0;
+  }
+
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  TraceConfig config_;
+  std::atomic<std::uint64_t> n_{0};
+};
+
+/// One completed trace retained for post-hoc forensics.
+struct CapturedTrace {
+  std::uint64_t id = 0;        // capture sequence number (monotonic)
+  std::string op;              // "CLASSIFY" / "BATCH"
+  std::uint32_t rows = 1;      // rows carried by the request
+  double total_us = 0.0;       // measured request latency
+  StageTotals stages[kNumStages];
+};
+
+/// Bounded ring of the most recent slow traces. A latency spike leaves
+/// forensic evidence retrievable later via the SLOW protocol op; pushes
+/// take a short mutex (slow requests are rare by definition).
+class SlowRing {
+ public:
+  explicit SlowRing(std::size_t capacity, std::uint32_t threshold_us);
+
+  /// Copies the trace into the ring (evicting the oldest beyond
+  /// capacity) and stamps its capture id; returns true when captured.
+  /// `total_us` below the threshold is ignored (returns false).
+  bool maybe_capture(const TraceContext& trace, double total_us,
+                     const char* op, std::uint32_t rows);
+
+  /// Snapshot, oldest first.
+  std::vector<CapturedTrace> entries() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint32_t threshold_us() const { return threshold_us_; }
+  std::uint64_t captured_total() const;  // lifetime captures (not evictions)
+
+  /// Renderings of the ring for the SLOW op: text (one entry per line,
+  /// `key=value` fields) or JSON.
+  std::string render_text() const;
+  std::string render_json() const;
+
+ private:
+  const std::size_t capacity_;
+  const std::uint32_t threshold_us_;
+  mutable std::mutex mu_;
+  std::vector<CapturedTrace> ring_;  // insertion order, oldest first
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace bolt::util

@@ -1,0 +1,303 @@
+// Integration coverage for the observability layer: request-scoped
+// tracing over the wire (kFlagTrace), the slow-request capture ring and
+// its SLOW protocol op, and the /metrics Prometheus HTTP endpoint.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "../helpers.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/prometheus.h"
+#include "util/trace.h"
+
+namespace bolt::service {
+namespace {
+
+std::string temp_socket(const char* tag) {
+  return ::testing::TempDir() + "/bolt_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+std::uint64_t stat_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    if (text.compare(pos, name.size(), name) == 0 &&
+        pos + name.size() < eol && text[pos + name.size()] == ' ') {
+      return std::stoull(text.substr(pos + name.size() + 1,
+                                     eol - pos - name.size() - 1));
+    }
+    pos = eol + 1;
+  }
+  ADD_FAILURE() << "metric not found: " << name << "\n" << text;
+  return 0;
+}
+
+/// Minimal HTTP GET against 127.0.0.1:`port`; returns the full response
+/// (head + body) or "" on connect failure.
+std::string http_get(std::int32_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: l\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string out;
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+class TraceServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    forest_ = bolt::testing::small_forest(6, 4, 91);
+    inputs_ = bolt::testing::small_dataset(80, 92);
+    artifact_ = std::make_unique<core::BoltForest>(
+        core::BoltForest::build(forest_, {}));
+  }
+
+  std::unique_ptr<InferenceServer> make_server(const char* tag,
+                                               ServerOptions opts) {
+    auto server = std::make_unique<InferenceServer>(
+        temp_socket(tag),
+        [&] { return std::make_unique<core::BoltEngine>(*artifact_); }, opts);
+    server->start();
+    return server;
+  }
+
+  forest::Forest forest_;
+  data::Dataset inputs_{0, 0};
+  std::unique_ptr<core::BoltForest> artifact_;
+};
+
+TEST(Protocol, TraceSectionRoundTrip) {
+  Response resp;
+  resp.predicted_class = 3;
+  resp.traced = true;
+  resp.trace_total_ns = 123456;
+  resp.trace.push_back({static_cast<std::uint8_t>(util::Stage::kDecode),
+                        1, 1000});
+  resp.trace.push_back({static_cast<std::uint8_t>(util::Stage::kScan),
+                        2, 98000});
+  std::vector<std::uint8_t> buf;
+  encode_response(resp, buf);
+  const Response back = decode_response(buf);
+  EXPECT_EQ(back.predicted_class, 3);
+  ASSERT_TRUE(back.traced);
+  EXPECT_EQ(back.trace_total_ns, 123456u);
+  ASSERT_EQ(back.trace.size(), 2u);
+  EXPECT_EQ(back.trace[0].stage,
+            static_cast<std::uint8_t>(util::Stage::kDecode));
+  EXPECT_EQ(back.trace[1].count, 2u);
+  EXPECT_EQ(back.trace[1].total_ns, 98000u);
+
+  // Responses without the section decode as untraced (old-server shape).
+  Response plain;
+  plain.predicted_class = 1;
+  buf.clear();
+  encode_response(plain, buf);
+  EXPECT_FALSE(decode_response(buf).traced);
+
+  // A span naming an out-of-taxonomy stage must be rejected.
+  resp.trace[0].stage = 200;
+  buf.clear();
+  encode_response(resp, buf);
+  EXPECT_THROW(decode_response(buf), std::runtime_error);
+}
+
+TEST(Protocol, SlowRoundTrip) {
+  SlowRequest req;
+  req.flags = kSlowFlagJson;
+  std::vector<std::uint8_t> buf;
+  encode_slow_request(req, buf);
+  EXPECT_EQ(frame_magic(buf), kSlowRequestMagic);
+  EXPECT_EQ(decode_slow_request(buf).flags, kSlowFlagJson);
+  buf.push_back(0);  // trailing byte
+  EXPECT_THROW(decode_slow_request(buf), std::runtime_error);
+
+  SlowResponse resp;
+  resp.body = "# slow ring: 0 captured\n";
+  buf.clear();
+  encode_slow_response(resp, buf);
+  EXPECT_EQ(frame_magic(buf), kSlowResponseMagic);
+  EXPECT_EQ(decode_slow_response(buf).body, resp.body);
+}
+
+TEST_F(TraceServiceFixture, ClassifyTracedEchoesBreakdown) {
+  auto server = make_server("traced", ServerOptions{});
+  InferenceClient client(server->socket_path());
+  for (int i = 0; i < 8; ++i) client.classify(inputs_.row(i));  // warm
+
+  const Response resp = client.classify_traced(inputs_.row(0));
+  EXPECT_EQ(resp.predicted_class, forest_.predict(inputs_.row(0)));
+  if (!util::kTracingCompiledIn) {
+    EXPECT_FALSE(resp.traced);
+    server->stop();
+    return;
+  }
+  ASSERT_TRUE(resp.traced);
+  EXPECT_GT(resp.trace_total_ns, 0u);
+  ASSERT_FALSE(resp.trace.empty());
+
+  bool saw_decode = false, saw_encode = false, saw_dispatch = false;
+  std::uint64_t spans_ns = 0;
+  for (const TraceSpan& s : resp.trace) {
+    ASSERT_LT(s.stage, util::kNumStages);
+    EXPECT_GT(s.count, 0u);
+    spans_ns += s.total_ns;
+    saw_decode |= s.stage == static_cast<std::uint8_t>(util::Stage::kDecode);
+    saw_encode |= s.stage == static_cast<std::uint8_t>(util::Stage::kEncode);
+    saw_dispatch |=
+        s.stage == static_cast<std::uint8_t>(util::Stage::kDispatch);
+  }
+  EXPECT_TRUE(saw_decode);
+  EXPECT_TRUE(saw_encode);
+  EXPECT_TRUE(saw_dispatch);
+  // The derived dispatch span closes the attribution gap: spans can never
+  // exceed the measured wall time by construction (modulo the final
+  // timer read), and must account for most of it.
+  EXPECT_LE(spans_ns, resp.trace_total_ns + resp.trace_total_ns / 10);
+  EXPECT_GE(spans_ns, resp.trace_total_ns / 2);
+
+  // Untraced requests on the same connection stay clean.
+  EXPECT_FALSE(client.classify(inputs_.row(1)).traced);
+
+  const std::string stats = client.stats();
+  EXPECT_GE(stat_value(stats, "service.traced_requests"), 1u);
+  server->stop();
+}
+
+TEST_F(TraceServiceFixture, SchedulerPathRecordsQueueWait) {
+  if (!util::kTracingCompiledIn) GTEST_SKIP();
+  ServerOptions opts;
+  opts.scheduler.enabled = true;
+  opts.scheduler.max_batch_size = 8;
+  opts.scheduler.max_queue_delay_us = 100;
+  auto server = make_server("traced_sched", opts);
+  InferenceClient client(server->socket_path());
+  for (int i = 0; i < 8; ++i) client.classify(inputs_.row(i));  // warm
+
+  const Response resp = client.classify_traced(inputs_.row(0));
+  EXPECT_EQ(resp.predicted_class, forest_.predict(inputs_.row(0)));
+  ASSERT_TRUE(resp.traced);
+  bool saw_queue_wait = false, saw_kernel = false;
+  for (const TraceSpan& s : resp.trace) {
+    saw_queue_wait |=
+        s.stage == static_cast<std::uint8_t>(util::Stage::kQueueWait);
+    saw_kernel |= s.stage == static_cast<std::uint8_t>(util::Stage::kScan);
+  }
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_kernel);
+  server->stop();
+}
+
+TEST_F(TraceServiceFixture, SlowRingCapturesOverThreshold) {
+  if (!util::kTracingCompiledIn) GTEST_SKIP();
+  ServerOptions opts;
+  opts.trace.slow_threshold_us = 1;  // everything is "slow"
+  opts.trace.slow_ring_capacity = 8;
+  auto server = make_server("slow", opts);
+  InferenceClient client(server->socket_path());
+
+  client.classify(inputs_.row(0));
+  // A deliberately large batch: lands in the ring with op=BATCH and the
+  // full kernel breakdown.
+  const std::size_t stride = inputs_.num_features();
+  client.classify_batch({inputs_.raw_features().data(), 64 * stride}, 64,
+                        stride);
+
+  const std::string text = client.slow();
+  EXPECT_NE(text.find("op=CLASSIFY"), std::string::npos) << text;
+  EXPECT_NE(text.find("op=BATCH rows=64"), std::string::npos) << text;
+  EXPECT_NE(text.find("scan_us="), std::string::npos) << text;
+
+  const std::string json = client.slow(/*json=*/true);
+  EXPECT_NE(json.find("\"op\":\"BATCH\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spans\""), std::string::npos) << json;
+
+  EXPECT_EQ(server->slow_ring().captured_total(), 2u);
+  const std::string stats = client.stats();
+  EXPECT_EQ(stat_value(stats, "service.slow_captured"), 2u);
+  EXPECT_GE(stat_value(stats, "service.slow_op_requests"), 2u);
+  server->stop();
+}
+
+TEST_F(TraceServiceFixture, SlowRingStaysEmptyWhenDisarmed) {
+  auto server = make_server("slow_off", ServerOptions{});
+  InferenceClient client(server->socket_path());
+  client.classify(inputs_.row(0));
+  const std::string text = client.slow();
+  EXPECT_NE(text.find("# slow ring: 0 captured"), std::string::npos) << text;
+  server->stop();
+}
+
+TEST_F(TraceServiceFixture, MetricsEndpointServesValidPrometheus) {
+  ServerOptions opts;
+  opts.metrics_port = 0;  // ephemeral
+  auto server = make_server("prom", opts);
+  const std::int32_t port = server->metrics_http_port();
+  ASSERT_GT(port, 0);
+
+  InferenceClient client(server->socket_path());
+  for (int i = 0; i < 5; ++i) client.classify(inputs_.row(i));
+
+  const std::string response = http_get(port, "/metrics");
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string body = http_body(response);
+  std::string error;
+  EXPECT_TRUE(util::validate_prometheus(body, &error)) << error << "\n"
+                                                       << body;
+
+  // The exposition and STATS views are one registry: the request counter
+  // must round-trip the same value (no more requests were sent between).
+  EXPECT_EQ(stat_value(body, "service_requests"), 5u);
+  EXPECT_EQ(stat_value(client.stats(), "service.requests"), 5u);
+
+  // Satellite metrics: build info labels and a live uptime gauge.
+  EXPECT_NE(body.find("bolt_build_info{"), std::string::npos);
+  EXPECT_NE(body.find("compiler="), std::string::npos);
+  EXPECT_NE(body.find("service_uptime_seconds"), std::string::npos);
+  EXPECT_NE(client.stats().find("service.uptime_seconds"),
+            std::string::npos);
+
+  // Unknown paths 404 without wedging the serve loop.
+  EXPECT_NE(http_get(port, "/nope").find("404"), std::string::npos);
+  EXPECT_NE(http_get(port, "/metrics").find("200 OK"), std::string::npos);
+  server->stop();
+  EXPECT_EQ(server->metrics_http_port(), -1);
+}
+
+TEST_F(TraceServiceFixture, MetricsPortDisabledByDefault) {
+  auto server = make_server("prom_off", ServerOptions{});
+  EXPECT_EQ(server->metrics_http_port(), -1);
+  server->stop();
+}
+
+}  // namespace
+}  // namespace bolt::service

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -130,6 +131,87 @@ TEST(Metrics, ConcurrentRecordingIsLossless) {
   // below 2^53 add exactly, so this is deterministic despite the races.
   const double per_thread = (kPerThread / 100) * 4950.0;
   EXPECT_DOUBLE_EQ(snap.sum, per_thread * kThreads);
+}
+
+TEST(Histogram, SnapshotTracksMinAndMax) {
+  Histogram h({10.0, 100.0});
+  h.record(42.0);
+  h.record(3.5);
+  h.record(7000.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 3.5);
+  EXPECT_DOUBLE_EQ(snap.max, 7000.0);
+  // Empty histograms report zero extremes, not sentinel infinities.
+  EXPECT_DOUBLE_EQ(Histogram({1.0}).snapshot().min, 0.0);
+  EXPECT_DOUBLE_EQ(Histogram({1.0}).snapshot().max, 0.0);
+}
+
+TEST(Registry, ResetForTestingZeroesEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(9);
+  reg.gauge("g").set(-3);
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  h.record(1.5);
+  reg.reset_for_testing();
+
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(reg.gauge("g").value(), 0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  // The same references stay registered and usable after the reset.
+  reg.counter("c").inc();
+  h.record(1.0);
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(Metrics, SnapshotRacesWithWritersSafely) {
+  // Writers hammer the registry while a reader snapshots concurrently —
+  // the TSan CI job turns any unsynchronized access here into a failure.
+  // Each snapshot must also be internally sane (monotonic counter view,
+  // bucket sum == count).
+  MetricsRegistry reg;
+  Counter& c = reg.counter("svc.requests");
+  Histogram& h = reg.histogram("svc.lat", {10.0, 50.0, 90.0});
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 30000; ++i) {
+        c.inc();
+        h.record(static_cast<double>(i % 100));
+      }
+    });
+  }
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = reg.snapshot();
+      ASSERT_EQ(snap.counters.size(), 1u);
+      EXPECT_GE(snap.counters[0].second, last);
+      last = snap.counters[0].second;
+      for (const auto& [name, hist] : snap.histograms) {
+        std::uint64_t bucket_sum = 0;
+        for (std::uint64_t n : hist.counts) bucket_sum += n;
+        // Bucket increments and the count increment are separate relaxed
+        // ops, so a mid-record snapshot may be off by the in-flight
+        // records (at most one per writer thread).
+        const std::uint64_t diff = bucket_sum > hist.count
+                                       ? bucket_sum - hist.count
+                                       : hist.count - bucket_sum;
+        EXPECT_LE(diff, 4u);
+      }
+      (void)reg.render_prometheus();  // exposition must be race-free too
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(c.value(), 4u * 30000u);
 }
 
 TEST(Registry, SameNameReturnsSameMetric) {

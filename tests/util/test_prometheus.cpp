@@ -1,0 +1,166 @@
+#include "util/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/metrics.h"
+
+namespace bolt::util {
+namespace {
+
+TEST(PrometheusName, SanitizesIllegalCharacters) {
+  EXPECT_EQ(prometheus_name("service.request_latency_us"),
+            "service_request_latency_us");
+  EXPECT_EQ(prometheus_name("engine.scan-ns"), "engine_scan_ns");
+  EXPECT_EQ(prometheus_name("ok_name:sub"), "ok_name:sub");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name(""), "_");
+  EXPECT_EQ(prometheus_name("a b\tc"), "a_b_c");
+}
+
+TEST(PrometheusEscape, EscapesLabelValues) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape_label("two\nlines"), "two\\nlines");
+}
+
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry reg;
+  reg.counter("service.requests_total").inc(42);
+  reg.gauge("service.active_connections").set(3);
+  Histogram& h = reg.histogram("service.request_latency_us", {1.0, 10.0, 100.0});
+  h.record(0.5);
+  h.record(5.0);
+  h.record(5000.0);
+  reg.set_build_info({{"version", "v1.2.3-4-gabc"},
+                      {"compiler", "GNU 12.2.0"},
+                      {"sanitizers", "none"}});
+  return reg.snapshot();
+}
+
+TEST(PrometheusExposition, RendersAndValidates) {
+  const std::string text = sample_snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE service_requests_total counter\n"
+                      "service_requests_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE service_active_connections gauge\n"
+                      "service_active_connections 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE service_request_latency_us histogram"),
+            std::string::npos);
+  // Cumulative buckets: 1 sample <= 1, 2 <= 10, 2 <= 100, 3 total.
+  EXPECT_NE(text.find("service_request_latency_us_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_request_latency_us_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_request_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_request_latency_us_count 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("bolt_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("version=\"v1.2.3-4-gabc\""), std::string::npos);
+
+  std::string error;
+  EXPECT_TRUE(validate_prometheus(text, &error)) << error;
+}
+
+TEST(PrometheusExposition, EmptyRegistryStillValidates) {
+  MetricsRegistry reg;
+  reg.counter("one").inc();
+  std::string error;
+  EXPECT_TRUE(validate_prometheus(reg.render_prometheus(), &error)) << error;
+}
+
+TEST(PrometheusValidator, RejectsSampleWithoutType) {
+  std::string error;
+  EXPECT_FALSE(validate_prometheus("orphan_metric 5\n", &error));
+  EXPECT_NE(error.find("no preceding # TYPE"), std::string::npos);
+}
+
+TEST(PrometheusValidator, RejectsMissingTrailingNewline) {
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\nx 1", &error));
+  EXPECT_NE(error.find("newline"), std::string::npos);
+}
+
+TEST(PrometheusValidator, RejectsDuplicateType) {
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\n# TYPE x counter\nx 1\n", &error));
+  EXPECT_NE(error.find("duplicate TYPE"), std::string::npos);
+}
+
+TEST(PrometheusValidator, RejectsDescendingBounds) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"10\"} 1\n"
+      "h_bucket{le=\"1\"} 2\n"
+      "h_bucket{le=\"+Inf\"} 2\n"
+      "h_sum 11\n"
+      "h_count 2\n";
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(text, &error));
+  EXPECT_NE(error.find("not ascending"), std::string::npos);
+}
+
+TEST(PrometheusValidator, RejectsDecreasingCumulativeCounts) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"10\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 11\n"
+      "h_count 5\n";
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(text, &error));
+  EXPECT_NE(error.find("decrease"), std::string::npos);
+}
+
+TEST(PrometheusValidator, RejectsMissingInfBucket) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\n"
+      "h_sum 1\n"
+      "h_count 1\n";
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(text, &error));
+  EXPECT_NE(error.find("+Inf"), std::string::npos);
+}
+
+TEST(PrometheusValidator, RejectsInfBucketCountMismatch) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 4\n"
+      "h_sum 1\n"
+      "h_count 5\n";
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(text, &error));
+  EXPECT_NE(error.find("!= _count"), std::string::npos);
+}
+
+TEST(PrometheusValidator, RejectsBadEscapesAndUnterminatedLabels) {
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\nx{l=\"bad\\q\"} 1\n", &error));
+  EXPECT_NE(error.find("invalid escape"), std::string::npos);
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\nx{l=\"open} 1\n", &error));
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\nx{l=\"v\"} not_a_number\n", &error));
+}
+
+TEST(PrometheusValidator, AcceptsEscapedLabelsAndTimestamps) {
+  std::string error;
+  EXPECT_TRUE(validate_prometheus(
+      "# TYPE x counter\nx{l=\"a\\\\b\\\"c\\nd\"} 1\n", &error))
+      << error;
+  EXPECT_TRUE(validate_prometheus(
+      "# TYPE x counter\nx 1 1700000000000\n", &error))
+      << error;
+}
+
+}  // namespace
+}  // namespace bolt::util

@@ -1,0 +1,222 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bolt::util {
+namespace {
+
+TEST(TraceContext, AccumulatesPerStage) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "built with BOLT_TRACING=0";
+  TraceContext t;
+  t.add(Stage::kScan, 100);
+  t.add(Stage::kScan, 50);
+  t.add(Stage::kTableProbe, 30, /*entries=*/4);
+
+  const StageTotals scan = t.stage(Stage::kScan);
+  EXPECT_EQ(scan.count, 2u);
+  EXPECT_EQ(scan.total_ns, 150u);
+  const StageTotals probe = t.stage(Stage::kTableProbe);
+  EXPECT_EQ(probe.count, 4u);
+  EXPECT_EQ(probe.total_ns, 30u);
+  EXPECT_EQ(t.stage(Stage::kDecode).count, 0u);
+  EXPECT_EQ(t.attributed_ns(), 180u);
+}
+
+TEST(TraceContext, NegativeDurationsClampToZero) {
+  // Derived spans (dispatch = wall - attributed) can go negative under
+  // clock noise; the time must clamp while the entry still counts.
+  if (!kTracingCompiledIn) GTEST_SKIP() << "built with BOLT_TRACING=0";
+  TraceContext t;
+  t.add(Stage::kDispatch, -500);
+  EXPECT_EQ(t.stage(Stage::kDispatch).count, 1u);
+  EXPECT_EQ(t.stage(Stage::kDispatch).total_ns, 0u);
+}
+
+TEST(TraceContext, ResetZeroesEverything) {
+  TraceContext t;
+  t.add(Stage::kBinarize, 99);
+  t.reset();
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    EXPECT_EQ(t.stage(static_cast<Stage>(s)).count, 0u);
+    EXPECT_EQ(t.stage(static_cast<Stage>(s)).total_ns, 0u);
+  }
+}
+
+TEST(TraceContext, MergeFoldsAndSkipsEmptyStages) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "built with BOLT_TRACING=0";
+  TraceContext tile;
+  tile.add(Stage::kScan, 1000);
+  tile.add(Stage::kBinarize, 200);
+  TraceContext row;
+  row.add(Stage::kQueueWait, 40);
+  row.merge(tile);
+  EXPECT_EQ(row.stage(Stage::kScan).total_ns, 1000u);
+  EXPECT_EQ(row.stage(Stage::kBinarize).total_ns, 200u);
+  EXPECT_EQ(row.stage(Stage::kQueueWait).total_ns, 40u);
+  // Stages the tile never entered stay untouched (count 0).
+  EXPECT_EQ(row.stage(Stage::kEncode).count, 0u);
+}
+
+TEST(TraceContext, SpanRecordsElapsedAndIsNullSafe) {
+  TraceContext t;
+  {
+    TraceContext::Span s(&t, Stage::kAggregate);
+  }
+  if (kTracingCompiledIn) {
+    EXPECT_EQ(t.stage(Stage::kAggregate).count, 1u);
+  }
+  {
+    TraceContext::Span s(nullptr, Stage::kAggregate);  // must not crash
+    s.end();
+    s.end();  // double end is a no-op
+  }
+  TraceContext::Span s2(&t, Stage::kEncode);
+  s2.end();
+  const std::uint32_t after_end = t.stage(Stage::kEncode).count;
+  s2.end();  // second end records nothing
+  EXPECT_EQ(t.stage(Stage::kEncode).count, after_end);
+}
+
+TEST(TraceContext, ConcurrentAddsAreLossless) {
+  // Scheduler workers add to a shared context concurrently (relaxed
+  // atomics); every span must be accounted for. Run under TSan in CI.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  TraceContext t;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kPerThread; ++j) t.add(Stage::kScan, 3);
+    });
+  }
+  for (auto& th : threads) th.join();
+  if (kTracingCompiledIn) {
+    const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+    EXPECT_EQ(t.stage(Stage::kScan).count, total);
+    EXPECT_EQ(t.stage(Stage::kScan).total_ns, total * 3);
+  }
+}
+
+TEST(TraceSampler, OneInNArmsEveryNth) {
+  TraceConfig cfg;
+  cfg.sample_every = 4;
+  TraceSampler sampler(cfg);
+  int armed = 0;
+  for (int i = 0; i < 100; ++i) armed += sampler.should_trace();
+  EXPECT_EQ(armed, kTracingCompiledIn ? 25 : 0);
+}
+
+TEST(TraceSampler, SlowThresholdArmsEveryRequest) {
+  TraceConfig cfg;
+  cfg.slow_threshold_us = 1000;
+  TraceSampler sampler(cfg);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.should_trace(), kTracingCompiledIn);
+  }
+}
+
+TEST(TraceSampler, DisabledConfigNeverArms) {
+  TraceSampler sampler(TraceConfig{});
+  EXPECT_FALSE(TraceConfig{}.enabled());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(sampler.should_trace());
+}
+
+TEST(StageName, CoversTaxonomy) {
+  EXPECT_STREQ(stage_name(Stage::kDecode), "decode");
+  EXPECT_STREQ(stage_name(Stage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(stage_name(Stage::kTableProbe), "table_probe");
+  EXPECT_STREQ(stage_name(Stage::kEncode), "encode");
+}
+
+TEST(SlowRing, CapturesOnlyAboveThreshold) {
+  SlowRing ring(/*capacity=*/4, /*threshold_us=*/100);
+  TraceContext t;
+  t.add(Stage::kScan, 50'000);
+  EXPECT_FALSE(ring.maybe_capture(t, 99.9, "CLASSIFY", 1));
+  EXPECT_TRUE(ring.maybe_capture(t, 100.0, "CLASSIFY", 1));
+  EXPECT_TRUE(ring.maybe_capture(t, 2500.0, "BATCH", 64));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.captured_total(), 2u);
+
+  const auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].op, "CLASSIFY");
+  EXPECT_EQ(entries[1].op, "BATCH");
+  EXPECT_EQ(entries[1].rows, 64u);
+  EXPECT_EQ(entries[1].stages[static_cast<std::size_t>(Stage::kScan)]
+                .total_ns,
+            kTracingCompiledIn ? 50'000u : 0u);
+}
+
+TEST(SlowRing, ZeroThresholdNeverCaptures) {
+  SlowRing ring(4, 0);
+  TraceContext t;
+  EXPECT_FALSE(ring.maybe_capture(t, 1e9, "CLASSIFY", 1));
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SlowRing, EvictsOldestAtCapacityAndKeepsSeqIds) {
+  SlowRing ring(/*capacity=*/3, /*threshold_us=*/1);
+  TraceContext t;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.maybe_capture(t, 10.0 + i, "CLASSIFY", 1));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.captured_total(), 5u);  // lifetime count survives eviction
+  const auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Oldest two (ids 0, 1) evicted; remaining are in capture order.
+  EXPECT_EQ(entries[0].id, 2u);
+  EXPECT_EQ(entries[1].id, 3u);
+  EXPECT_EQ(entries[2].id, 4u);
+}
+
+TEST(SlowRing, CapacityClampsToAtLeastOne) {
+  SlowRing ring(0, 1);
+  EXPECT_EQ(ring.capacity(), 1u);
+  TraceContext t;
+  EXPECT_TRUE(ring.maybe_capture(t, 5.0, "CLASSIFY", 1));
+  EXPECT_TRUE(ring.maybe_capture(t, 6.0, "CLASSIFY", 1));
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(SlowRing, RendersTextAndJson) {
+  SlowRing ring(4, 50);
+  TraceContext t;
+  t.add(Stage::kScan, 123'000);
+  t.add(Stage::kDecode, 7'000);
+  ring.maybe_capture(t, 456.7, "CLASSIFY", 1);
+
+  const std::string text = ring.render_text();
+  EXPECT_NE(text.find("# slow ring: 1 captured, capacity 4, threshold_us 50"),
+            std::string::npos);
+  EXPECT_NE(text.find("id=0 op=CLASSIFY rows=1 total_us=456.7"),
+            std::string::npos);
+  if (kTracingCompiledIn) {
+    EXPECT_NE(text.find("scan_us=123.0"), std::string::npos);
+    EXPECT_NE(text.find("decode_us=7.0"), std::string::npos);
+  }
+
+  const std::string json = ring.render_json();
+  EXPECT_NE(json.find("\"threshold_us\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"CLASSIFY\""), std::string::npos);
+  if (kTracingCompiledIn) {
+    EXPECT_NE(json.find("\"scan\":{\"count\":1,\"total_ns\":123000}"),
+              std::string::npos);
+  }
+}
+
+TEST(SlowRing, EmptyRingRendersHeaderOnly) {
+  SlowRing ring(8, 100);
+  EXPECT_EQ(ring.render_text(),
+            "# slow ring: 0 captured, capacity 8, threshold_us 100\n");
+  EXPECT_EQ(ring.render_json(),
+            "{\"threshold_us\":100,\"capacity\":8,\"entries\":[]}");
+}
+
+}  // namespace
+}  // namespace bolt::util

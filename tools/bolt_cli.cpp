@@ -10,7 +10,11 @@
 //   bolt verify   --model model.forest --artifact model.bolt [--samples N]
 //   bolt serve    --artifact model.bolt --socket /tmp/bolt.sock
 //                 [--batching ...] [--idle-timeout-ms MS]
+//                 [--metrics-port P] [--trace-sample N]
+//                 [--slow-threshold-us T] [--slow-ring K]
 //   bolt stats    --socket /tmp/bolt.sock [--json]
+//   bolt trace    --socket /tmp/bolt.sock --data test.csv [--count N]
+//   bolt slow     --socket /tmp/bolt.sock [--json]
 //   bolt batch    --data test.csv (--socket /tmp/bolt.sock |
 //                 --artifact model.bolt [--naive]) [--batch N]
 //   bolt inspect  --model model.forest | --artifact model.bolt
@@ -241,6 +245,14 @@ int cmd_serve(const Args& args) {
     opts.scheduler.workers =
         static_cast<std::size_t>(args.get_int("sched-workers", 0));
   }
+  opts.metrics_port =
+      static_cast<std::int32_t>(args.get_int("metrics-port", -1));
+  opts.trace.sample_every =
+      static_cast<std::uint32_t>(args.get_int("trace-sample", 0));
+  opts.trace.slow_threshold_us =
+      static_cast<std::uint32_t>(args.get_int("slow-threshold-us", 0));
+  opts.trace.slow_ring_capacity =
+      static_cast<std::size_t>(args.get_int("slow-ring", 16));
   service::InferenceServer server(
       socket,
       [artifact] { return std::make_unique<core::BoltEngine>(*artifact); },
@@ -252,6 +264,16 @@ int cmd_serve(const Args& args) {
               socket.c_str(), artifact->dictionary().num_entries(),
               artifact->memory_bytes() / 1024,
               opts.scheduler.enabled ? "ON" : "off", socket.c_str());
+  if (server.metrics_http_port() >= 0) {
+    std::printf("prometheus: http://127.0.0.1:%d/metrics\n",
+                server.metrics_http_port());
+  }
+  if (opts.trace.slow_threshold_us > 0) {
+    std::printf("slow-request capture armed at %u us (ring of %zu); "
+                "retrieve with: bolt slow --socket %s\n",
+                opts.trace.slow_threshold_us, opts.trace.slow_ring_capacity,
+                socket.c_str());
+  }
   std::signal(SIGINT, [](int) { g_stop = 1; });
   std::signal(SIGTERM, [](int) { g_stop = 1; });
   while (!g_stop) {
@@ -267,6 +289,50 @@ int cmd_serve(const Args& args) {
 int cmd_stats(const Args& args) {
   service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"));
   const std::string body = client.stats(args.has("json"));
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  if (!body.empty() && body.back() != '\n') std::printf("\n");
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  // Round-trips samples with the trace flag set and prints the server's
+  // per-stage latency breakdown for each — the quickest way to see where
+  // a live server spends a request's time (docs/OBSERVABILITY.md).
+  data::Dataset ds = data::read_csv_file(args.require("data"));
+  if (ds.num_rows() == 0) throw std::runtime_error("no rows in --data");
+  const auto count = static_cast<std::size_t>(
+      std::min<long>(args.get_int("count", 1),
+                     static_cast<long>(ds.num_rows())));
+  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"));
+  for (std::size_t i = 0; i < count; ++i) {
+    const service::Response resp = client.classify_traced(ds.row(i));
+    std::printf("row %zu: class %d", i, resp.predicted_class);
+    if (!resp.traced) {
+      std::printf("  (no trace: server built with BOLT_TRACING=0)\n");
+      continue;
+    }
+    std::printf("  total %.1f us\n",
+                static_cast<double>(resp.trace_total_ns) / 1e3);
+    std::uint64_t spans_ns = 0;
+    for (const service::TraceSpan& s : resp.trace) {
+      spans_ns += s.total_ns;
+      std::printf("  %-12s %9.1f us  (x%u)\n",
+                  util::stage_name(static_cast<util::Stage>(s.stage)),
+                  static_cast<double>(s.total_ns) / 1e3, s.count);
+    }
+    std::printf("  %-12s %9.1f us  (%.0f%% of total)\n", "spans sum",
+                static_cast<double>(spans_ns) / 1e3,
+                resp.trace_total_ns > 0
+                    ? 100.0 * static_cast<double>(spans_ns) /
+                          static_cast<double>(resp.trace_total_ns)
+                    : 0.0);
+  }
+  return 0;
+}
+
+int cmd_slow(const Args& args) {
+  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"));
+  const std::string body = client.slow(args.has("json"));
   std::fwrite(body.data(), 1, body.size(), stdout);
   if (!body.empty() && body.back() != '\n') std::printf("\n");
   return 0;
@@ -407,7 +473,12 @@ usage: bolt <command> [flags]
            [--max-connections N] [--idle-timeout-ms MS]
            [--batching [--max-batch N] [--batch-delay-us D]
             [--queue-capacity Q] [--deadline-us T] [--sched-workers W]]
+           [--metrics-port P] [--trace-sample N]
+           [--slow-threshold-us T] [--slow-ring K]
   stats    [--socket /tmp/bolt.sock] [--json]   scrape a live server
+  trace    --data test.csv [--socket /tmp/bolt.sock] [--count N]
+           per-stage latency breakdown of live requests
+  slow     [--socket /tmp/bolt.sock] [--json]   dump slow-request ring
   batch    --data test.csv (--socket /tmp/bolt.sock |
            --artifact model.bolt [--naive]) [--batch N]
   inspect  --model model.forest | --artifact model.bolt
@@ -430,6 +501,8 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "slow") return cmd_slow(args);
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "inspect") return cmd_inspect(args);

@@ -1,0 +1,35 @@
+// promcheck — validates Prometheus text exposition (format 0.0.4) read
+// from stdin against the strict grammar checks in util/prometheus.h:
+// every sample needs a preceding # TYPE, histogram buckets must be
+// cumulative with ascending le bounds ending at +Inf == _count, labels
+// must be legally escaped, and the body must end with a newline.
+//
+//   bolt serve --artifact m.bolt --metrics-port 9464 &
+//   curl -sf http://127.0.0.1:9464/metrics | promcheck
+//
+// Exits 0 when the exposition is valid, 1 with a diagnostic otherwise.
+// CI uses it to gate the /metrics endpoint (.github/workflows/ci.yml).
+#include <cstdio>
+#include <string>
+
+#include "util/prometheus.h"
+
+int main() {
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    text.append(buf, n);
+  }
+  if (text.empty()) {
+    std::fprintf(stderr, "promcheck: empty input\n");
+    return 1;
+  }
+  std::string error;
+  if (!bolt::util::validate_prometheus(text, &error)) {
+    std::fprintf(stderr, "promcheck: INVALID: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("promcheck: OK (%zu bytes)\n", text.size());
+  return 0;
+}
