@@ -1,9 +1,23 @@
 // Microbenchmarks (google-benchmark) of Bolt's hot-path primitives:
 // predicate binarization, dictionary scan, address formation, recombined
-// table probe, Bloom probe, and end-to-end predict for every engine.
+// table probe, Bloom probe, and end-to-end predict for every engine — plus
+// one per-kernel scan benchmark for every membership kernel this CPU can
+// run (BM_KernelScanRow/<name>, BM_KernelScanTile64/<name>).
+//
+// `bench_micro --kernel_sweep` skips google-benchmark and instead runs the
+// kernel-comparison arm on the serving-scale 100-tree/h=8 MNIST forest:
+// scalar vs every dispatched kernel, per-row and batch-64 tile paths,
+// results to kernel_sweep.csv. Acceptance gate (ISSUE 5): the dispatched
+// kernel must deliver >= 1.3x the scalar single-thread scan throughput
+// (evaluated only when a SIMD kernel is compiled in and the CPU has it;
+// a scalar-only build or CPU passes vacuously).
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
 #include "common.h"
+#include "util/aligned.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -138,6 +152,170 @@ void BM_BoltBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_BoltBuild)->Arg(2)->Arg(4)->Arg(8);
 
+/// One google-benchmark entry per available kernel, on the small fixture.
+void register_kernel_benchmarks() {
+  for (const kernels::KernelOps* k : kernels::available_kernels()) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_KernelScanRow/") + k->name).c_str(),
+        [k](benchmark::State& state) {
+          Fixture& f = fixture();
+          const kernels::ScanLayout& layout = f.bf.scan_layout();
+          const util::BitVector bits =
+              f.bf.space().binarize(f.split.test.row(0));
+          std::vector<std::uint64_t> bitmap(layout.bitmap_words() + 1);
+          for (auto _ : state) {
+            k->scan_row(layout, bits.words().data(), bitmap.data());
+            benchmark::DoNotOptimize(bitmap.data());
+          }
+          state.SetItemsProcessed(state.iterations() *
+                                  static_cast<int64_t>(layout.num_entries()));
+        });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_KernelScanTile64/") + k->name).c_str(),
+        [k](benchmark::State& state) {
+          Fixture& f = fixture();
+          const kernels::ScanLayout& layout = f.bf.scan_layout();
+          const std::size_t wpr = util::words_for_bits(f.bf.space().size());
+          constexpr std::size_t kRows = kernels::kTileRows;
+          util::aligned_vector<std::uint64_t> tile(wpr * kRows, 0);
+          util::BitVector bits(f.bf.space().size());
+          for (std::size_t r = 0; r < kRows; ++r) {
+            f.bf.space().binarize(
+                f.split.test.row(r % f.split.test.num_rows()), bits);
+            for (std::size_t w = 0; w < wpr; ++w) {
+              tile[w * kRows + r] = bits.words()[w];
+            }
+          }
+          util::aligned_vector<std::uint64_t> rowmasks(layout.local_size());
+          for (auto _ : state) {
+            k->scan_tile(layout, tile.data(), kRows, rowmasks.data());
+            benchmark::DoNotOptimize(rowmasks.data());
+          }
+          state.SetItemsProcessed(
+              state.iterations() *
+              static_cast<int64_t>(layout.num_entries() * kRows));
+        });
+  }
+}
+
+/// The kernel-comparison arm: serving-scale forest, every available kernel
+/// against the scalar oracle on both scan shapes, CSV + throughput gate.
+int run_kernel_sweep() {
+  std::printf("kernel sweep: building 100-tree/h=8 MNIST artifact...\n");
+  const Split& split = dataset(Workload::kMnist);
+  const forest::Forest& forest = get_forest(Workload::kMnist, 100, 8);
+  const core::BoltForest bf = build_tuned_bolt(forest, split.test);
+  const kernels::ScanLayout& layout = bf.scan_layout();
+  const std::size_t wpr = util::words_for_bits(bf.space().size());
+  constexpr std::size_t kRows = kernels::kTileRows;
+
+  // 256 binarized test rows, both row-major (per-row arm) and as four
+  // word-major tiles (batch arm).
+  const std::size_t n = std::min<std::size_t>(256, split.test.num_rows());
+  const std::size_t tiles = n / kRows;
+  std::vector<util::BitVector> rows;
+  util::aligned_vector<std::uint64_t> tile_pool(tiles * wpr * kRows, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    rows.push_back(bf.space().binarize(split.test.row(r)));
+    if (r / kRows < tiles) {
+      std::uint64_t* tile = tile_pool.data() + (r / kRows) * wpr * kRows;
+      for (std::size_t w = 0; w < wpr; ++w) {
+        tile[w * kRows + (r % kRows)] = rows.back().words()[w];
+      }
+    }
+  }
+  std::vector<std::uint64_t> bitmap(layout.bitmap_words() + 1);
+  util::aligned_vector<std::uint64_t> rowmasks(layout.local_size());
+
+  // Entry-tests per second, best-of-5 sweeps (row arm scans all n rows,
+  // tile arm scans all full tiles).
+  auto measure = [&](auto&& sweep, std::size_t tests) {
+    sweep();  // warm-up
+    double best_us = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      util::Timer t;
+      sweep();
+      const double us = t.elapsed_us();
+      best_us = rep == 0 ? us : std::min(best_us, us);
+    }
+    return static_cast<double>(tests) / best_us;  // tests per microsecond
+  };
+
+  ResultTable table({"kernel", "lanes", "row Mtests/s", "row speedup",
+                     "tile-64 Mtests/s", "tile speedup"});
+  double scalar_row = 0.0, scalar_tile = 0.0;
+  double dispatched_row = 0.0, dispatched_tile = 0.0;
+  const kernels::KernelOps& dispatched = kernels::select_kernel();
+  for (const kernels::KernelOps* k : kernels::available_kernels()) {
+    const double row_rate = measure(
+        [&] {
+          for (const util::BitVector& bits : rows) {
+            k->scan_row(layout, bits.words().data(), bitmap.data());
+            util::do_not_optimize(bitmap[0]);
+          }
+        },
+        layout.num_entries() * n);
+    const double tile_rate = measure(
+        [&] {
+          for (std::size_t t = 0; t < tiles; ++t) {
+            k->scan_tile(layout, tile_pool.data() + t * wpr * kRows, kRows,
+                         rowmasks.data());
+            util::do_not_optimize(rowmasks[0]);
+          }
+        },
+        layout.num_entries() * tiles * kRows);
+    if (k == &kernels::scalar_kernel()) {
+      scalar_row = row_rate;
+      scalar_tile = tile_rate;
+    }
+    if (k == &dispatched) {
+      dispatched_row = row_rate;
+      dispatched_tile = tile_rate;
+    }
+    table.add_row({k->name, std::to_string(k->lanes), fmt(row_rate, 1),
+                   fmt(row_rate / scalar_row, 2), fmt(tile_rate, 1),
+                   fmt(tile_rate / scalar_tile, 2)});
+  }
+
+  table.print("Scan-kernel throughput (MNIST, 100 trees, h=8, single thread)");
+  table.write_csv("kernel_sweep.csv");
+
+  const bool simd_available = kernels::available_kernels().size() > 1;
+  if (!simd_available) {
+    std::printf("\nonly the scalar kernel is available on this build/CPU; "
+                "the >= 1.3x gate is not applicable.\n");
+    return 0;
+  }
+  const double row_speedup = dispatched_row / scalar_row;
+  const double tile_speedup = dispatched_tile / scalar_tile;
+  const bool pass = row_speedup >= 1.3;
+  std::printf("\ndispatched kernel (%s): row scan %.2fx scalar, tile scan "
+              "%.2fx scalar (acceptance gate: row >= 1.3x: %s)\n",
+              dispatched.name, row_speedup, tile_speedup,
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool sweep = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--kernel_sweep") {
+      sweep = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (sweep) return run_kernel_sweep();
+  register_kernel_benchmarks();
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -74,6 +74,7 @@ BoltForest BoltForest::build(const forest::Forest& forest,
   bf.stats_.num_clusters = clusters.size();
 
   bf.dict_ = Dictionary(clusters, bf.space_.size());
+  bf.layout_ = std::make_shared<const kernels::ScanLayout>(bf.dict_);
 
   // Expansion + recombination: each cluster's table is hashed into the one
   // big table keyed by (entry id, address).
@@ -175,6 +176,7 @@ BoltForest BoltForest::load(std::istream& in) {
   bf.stats_ = stats;
   bf.num_features_ = num_features;
   bf.dict_ = Dictionary::load(in);
+  bf.layout_ = std::make_shared<const kernels::ScanLayout>(bf.dict_);
   bf.table_ = RecombinedTable::load(in);
   bf.results_ = ResultPool::load(in);
   if (util::get<std::uint8_t>(in) != 0) {

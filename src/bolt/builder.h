@@ -7,12 +7,14 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "bolt/bloom.h"
 #include "bolt/cluster.h"
 #include "bolt/dictionary.h"
+#include "bolt/kernels/kernels.h"
 #include "bolt/results.h"
 #include "bolt/table.h"
 #include "forest/predicates.h"
@@ -52,6 +54,11 @@ class BoltForest {
 
   const forest::PredicateSpace& space() const { return space_; }
   const Dictionary& dictionary() const { return dict_; }
+  /// SoA bucketed view of the dictionary the scan kernels run over.
+  /// Derived from the dictionary at build()/load() — never serialized, so
+  /// the artifact format is layout-agnostic. Shared so copies of the
+  /// artifact (planner candidates) don't rebuild it.
+  const kernels::ScanLayout& scan_layout() const { return *layout_; }
   const RecombinedTable& table() const { return table_; }
   const ResultPool& results() const { return results_; }
   const BloomFilter* bloom() const {
@@ -80,6 +87,7 @@ class BoltForest {
 
   forest::PredicateSpace space_;
   Dictionary dict_;
+  std::shared_ptr<const kernels::ScanLayout> layout_;
   RecombinedTable table_;
   ResultPool results_;
   std::optional<BloomFilter> bloom_;

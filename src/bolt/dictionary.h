@@ -95,6 +95,24 @@ class Dictionary {
     return out;
   }
 
+  /// Address formation over a word-major transposed tile (the batch scan
+  /// kernels' layout): word w of row `row` lives at base[w * stride + row].
+  std::uint64_t address_words_strided(std::size_t entry,
+                                      const std::uint64_t* base,
+                                      std::size_t stride,
+                                      std::size_t row) const {
+    const std::uint32_t begin = addr_word_offsets_[entry];
+    const std::uint32_t end = addr_word_offsets_[entry + 1];
+    std::uint64_t out = 0;
+    unsigned shift = 0;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const AddrWord& aw = addr_words_[k];
+      out |= util::pext64_fast(base[aw.word * stride + row], aw.mask) << shift;
+      shift += static_cast<unsigned>(std::popcount(aw.mask));
+    }
+    return out;
+  }
+
   /// Reference address formation from explicit positions (test oracle).
   std::uint64_t address_by_positions(std::size_t entry,
                                      const util::BitVector& bits) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <type_traits>
 
 #include "archsim/cost_model.h"
 #include "baselines/probe.h"
@@ -26,46 +27,49 @@ inline std::int64_t metrics_now_ns(const util::EngineMetrics* metrics) {
 }  // namespace
 
 BoltEngine::BoltEngine(const BoltForest& bf)
-    : bf_(bf), bits_(bf.space().size()), vote_scratch_(bf.num_classes()),
-      candidate_blocks_((bf.dictionary().num_entries() + 63) / 64 + 1) {}
+    : bf_(bf), kernel_(kernels::select_kernel()), bits_(bf.space().size()),
+      vote_scratch_(bf.num_classes()),
+      candidate_blocks_(bf.scan_layout().bitmap_words() + 1) {}
 
 /// The Phase-3 scan shared by all entry points: tests every dictionary
 /// entry, forms addresses, probes the table once per candidate, and calls
 /// `accept(entry, result_idx)` for every accepted lookup.
 ///
-/// Two phases: (1) a branchless sweep computes a candidate bitmap — one
-/// bit per dictionary entry, no data-dependent branches, which is how Bolt
-/// "avoids branching at every node" (§4.3, Figure 12); (2) only the set
-/// bits are visited to form addresses and probe the table.
+/// Two phases: (1) the selected membership kernel computes a branchless
+/// candidate bitmap over the SoA scan layout — one bit per layout lane, no
+/// data-dependent branches, which is how Bolt "avoids branching at every
+/// node" (§4.3, Figure 12); (2) only the set bits are visited — in layout
+/// order, the same order every kernel produces, so accept order (and hence
+/// vote-accumulation order) is kernel-independent — to form addresses and
+/// probe the table.
 template <class Probe, class Accept>
 inline void scan_dictionary(const BoltForest& bf, const util::BitVector& bits,
+                            const kernels::KernelOps& kernel,
                             std::uint64_t* candidate_blocks, Probe probe,
                             Accept&& accept,
                             util::TraceContext* trace = nullptr) {
   const Dictionary& dict = bf.dictionary();
   const RecombinedTable& table = bf.table();
   const BloomFilter* bloom = bf.bloom();
-  const std::size_t entries = dict.num_entries();
-  const std::size_t blocks = (entries + 63) / 64;
+  const kernels::ScanLayout& layout = bf.scan_layout();
+  const std::size_t blocks = layout.bitmap_words();
 
-  // Phase A: branchless candidate bitmap.
+  // Phase A: branchless candidate bitmap via the dispatched kernel.
   const std::int64_t phase_a_start =
       trace != nullptr ? util::TraceContext::now_ns() : 0;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t lo = b * 64;
-    const std::size_t hi = std::min(entries, lo + 64);
-    std::uint64_t word = 0;
-    for (std::size_t e = lo; e < hi; ++e) {
+  kernel.scan_row(layout, bits.words().data(), candidate_blocks);
+  if constexpr (!std::is_empty_v<Probe>) {
+    // Modeled probes (archsim) charge the same per-entry memory and
+    // instruction costs the scalar sweep would, in layout order. NullProbe
+    // is empty, so the uninstrumented path skips this walk entirely.
+    for (std::size_t local = 0; local < layout.local_size(); ++local) {
+      const std::uint32_t e = layout.entry_id(local);
+      if (e == kernels::kInvalidEntry) continue;
       probe.mem(dict.entry_address(e), dict.entry_scan_bytes(e),
                 archsim::MemDep::kParallel);
       probe.instr(archsim::cost::kDictWordOp *
                   std::max<std::size_t>(1, dict.sparse_words(e).size()));
-      // No branch here: the real code ORs the boolean into the bitmap
-      // (this is Bolt's "no branching at every node" property, Figure 12).
-      const bool candidate = dict.matches(e, bits);
-      word |= static_cast<std::uint64_t>(candidate) << (e - lo);
     }
-    candidate_blocks[b] = word;
   }
 
   // Phase B: probe only the candidates.
@@ -77,9 +81,10 @@ inline void scan_dictionary(const BoltForest& bf, const util::BitVector& bits,
   for (std::size_t b = 0; b < blocks; ++b) {
     std::uint64_t word = candidate_blocks[b];
     while (word != 0) {
-      const std::size_t e =
+      const std::size_t local =
           b * 64 + static_cast<std::size_t>(std::countr_zero(word));
       word &= word - 1;
+      const std::size_t e = layout.entry_id(local);
 
       const std::uint64_t address = dict.address(e, bits);
       probe.instr(archsim::cost::kAddressBit * dict.address_bits(e));
@@ -122,7 +127,7 @@ void BoltEngine::vote_bits_impl(const util::BitVector& bits,
   if (results.packed_available()) {
     // Fast path: each accepted slot's whole vote vector is one u64 add.
     std::uint64_t acc = 0;
-    scan_dictionary(bf_, bits, candidate_blocks_.data(), probe,
+    scan_dictionary(bf_, bits, kernel_, candidate_blocks_.data(), probe,
                     [&](std::size_t, std::uint32_t result_idx) {
                       probe.mem(&results.raw()[result_idx], sizeof(std::uint64_t),
                                 archsim::MemDep::kParallel);
@@ -135,7 +140,7 @@ void BoltEngine::vote_bits_impl(const util::BitVector& bits,
     results.unpack(acc, out);
   } else {
     std::fill(out.begin(), out.end(), 0.0);
-    scan_dictionary(bf_, bits, candidate_blocks_.data(), probe,
+    scan_dictionary(bf_, bits, kernel_, candidate_blocks_.data(), probe,
                     [&](std::size_t, std::uint32_t result_idx) {
                       probe.mem(results.votes(result_idx).data(),
                                 bf_.num_classes() * sizeof(float),
@@ -156,7 +161,7 @@ void BoltEngine::record_scan_metrics(std::uint64_t accepted,
   // The phase-A bitmap is still live in the scratch buffer: candidate
   // count is a popcount sweep, no rescan.
   std::uint64_t candidates = 0;
-  const std::size_t blocks = (bf_.dictionary().num_entries() + 63) / 64;
+  const std::size_t blocks = bf_.scan_layout().bitmap_words();
   for (std::size_t b = 0; b < blocks; ++b) {
     candidates += static_cast<std::uint64_t>(std::popcount(candidate_blocks_[b]));
   }
@@ -213,7 +218,8 @@ std::size_t BoltEngine::memory_bytes() const { return bf_.memory_bytes(); }
 
 BatchScratch::BatchScratch(const BoltForest& bf)
     : words_per_row(util::words_for_bits(bf.space().size())),
-      tile_words(kTileRows * words_per_row), packed_acc(kTileRows),
+      tile_t(words_per_row * kTileRows),
+      rowmasks(bf.scan_layout().local_size()), packed_acc(kTileRows),
       votes(kTileRows * bf.num_classes()), row_bits(bf.space().size()),
       probe_entries(kProbeWindow), probe_rows(kProbeWindow),
       probe_slots(kProbeWindow), probe_addrs(kProbeWindow) {}
@@ -225,23 +231,30 @@ namespace {
 /// atomic adds per predict_batch call, not per tile.
 void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
                 std::size_t stride, int* out, BatchScratch& s,
+                const kernels::KernelOps& kernel,
                 std::uint64_t& candidates_total, std::uint64_t& accepted_total,
                 util::TraceContext* trace) {
   const Dictionary& dict = bf.dictionary();
   const RecombinedTable& table = bf.table();
   const ResultPool& results = bf.results();
   const BloomFilter* bloom = bf.bloom();
+  const kernels::ScanLayout& layout = bf.scan_layout();
   const std::size_t wpr = s.words_per_row;
   const std::size_t classes = bf.num_classes();
   const bool packed = results.packed_available();
 
-  // Binarize the tile: one bit row per sample, contiguous so the scan's
-  // inner row loop walks a small L1-resident block.
+  // Binarize the tile into the word-major transpose: word w of row r at
+  // tile_t[w * kTileRows + r], so each predicate word's rows form one
+  // aligned, contiguous run for the kernel's row-group vector loads.
   const bool traced = trace != nullptr;
   const std::int64_t binarize_start = traced ? engine_now_ns() : 0;
+  constexpr std::size_t kTileRows = BatchScratch::kTileRows;
   for (std::size_t r = 0; r < n; ++r) {
     bf.space().binarize({rows + r * stride, stride}, s.row_bits);
-    std::copy_n(s.row_bits.words().data(), wpr, s.tile_words.data() + r * wpr);
+    const std::uint64_t* words = s.row_bits.words().data();
+    for (std::size_t w = 0; w < wpr; ++w) {
+      s.tile_t[w * kTileRows + r] = words[w];
+    }
   }
   if (traced) {
     trace->add(util::Stage::kBinarize, engine_now_ns() - binarize_start);
@@ -252,12 +265,12 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
     std::fill_n(s.votes.begin(), n * classes, 0.0);
   }
 
-  // Entry-major scan: each entry's sparse words are loaded once and tested
-  // against every row (branchless — matches ORs into a tile-wide candidate
-  // bitmap); its address words are then read for just the matching rows
-  // while still cache-hot. This is the single-row Phase A/Phase B with the
-  // loop nest inverted: dictionary misses are paid once per tile instead
-  // of once per row.
+  // Entry-major scan: the kernel loads each entry's sparse words once and
+  // tests them against every row of the tile (branchless — matches OR into
+  // a tile-wide rowmask per entry); the entry's address words are then
+  // read for just the matching rows while still cache-hot. This is the
+  // single-row Phase A/Phase B with the loop nest inverted: dictionary
+  // misses are paid once per tile instead of once per row.
   //
   // Table probes are pipelined rather than issued inline. In the per-row
   // path each probe is a dependent random access — one full cache miss of
@@ -266,8 +279,7 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
   // kProbeWindow at a time: by drain time the slot lines are in flight or
   // resident, so the misses overlap instead of queueing.
   std::uint64_t candidates = 0, accepted = 0;
-  const std::size_t entries = dict.num_entries();
-  const std::uint64_t* tile = s.tile_words.data();
+  const std::uint64_t* tile = s.tile_t.data();
   std::size_t pending = 0;
   // Drain time accumulates separately so the traced scan span excludes
   // the probe window (drains interleave with the entry sweep).
@@ -294,18 +306,17 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
     }
   };
   const std::int64_t scan_start = traced ? engine_now_ns() : 0;
-  for (std::size_t e = 0; e < entries; ++e) {
-    std::uint64_t rowmask = 0;
-    const std::uint64_t* row_words = tile;
-    for (std::size_t r = 0; r < n; ++r, row_words += wpr) {
-      rowmask |= static_cast<std::uint64_t>(dict.matches_words(e, row_words))
-                 << r;
-    }
+  kernel.scan_tile(layout, tile, n, s.rowmasks.data());
+  for (std::size_t local = 0; local < layout.local_size(); ++local) {
+    std::uint64_t rowmask = s.rowmasks[local];
+    if (rowmask == 0) continue;  // padding lanes never match
+    const std::size_t e = layout.entry_id(local);
     candidates += static_cast<std::uint64_t>(std::popcount(rowmask));
     while (rowmask != 0) {
       const std::size_t r = static_cast<std::size_t>(std::countr_zero(rowmask));
       rowmask &= rowmask - 1;
-      const std::uint64_t address = dict.address_words(e, tile + r * wpr);
+      const std::uint64_t address =
+          dict.address_words_strided(e, tile, kTileRows, r);
       if (bloom &&
           !bloom->maybe_contains(static_cast<std::uint32_t>(e), address)) {
         continue;
@@ -346,14 +357,17 @@ void predict_batch_amortized(const BoltForest& bf, std::span<const float> rows,
                              std::size_t num_rows, std::size_t row_stride,
                              std::span<int> out, BatchScratch& scratch,
                              const util::EngineMetrics* metrics,
-                             util::TraceContext* trace) {
+                             util::TraceContext* trace,
+                             const kernels::KernelOps* kernel) {
+  const kernels::KernelOps& k =
+      kernel != nullptr ? *kernel : kernels::select_kernel();
   std::uint64_t candidates = 0, accepted = 0;
   for (std::size_t begin = 0; begin < num_rows;
        begin += BatchScratch::kTileRows) {
     const std::size_t n =
         std::min(BatchScratch::kTileRows, num_rows - begin);
     batch_tile(bf, rows.data() + begin * row_stride, n, row_stride,
-               out.data() + begin, scratch, candidates, accepted, trace);
+               out.data() + begin, scratch, k, candidates, accepted, trace);
   }
   if (metrics != nullptr) {
     // Batch rows feed the same funnel counters as single-sample predicts
@@ -375,7 +389,7 @@ void BoltEngine::predict_batch(std::span<const float> rows,
     batch_scratch_ = std::make_unique<BatchScratch>(bf_);
   }
   predict_batch_amortized(bf_, rows, num_rows, row_stride, out,
-                          *batch_scratch_, metrics_, trace_);
+                          *batch_scratch_, metrics_, trace_, &kernel_);
 }
 
 void BoltEngine::predict_batch_naive(std::span<const float> rows,
@@ -416,7 +430,7 @@ int BoltEngine::predict_explained(std::span<const float> x,
   const ResultPool& results = bf_.results();
 
   scan_dictionary(
-      bf_, bits_, candidate_blocks_.data(), engines::NullProbe{},
+      bf_, bits_, kernel_, candidate_blocks_.data(), engines::NullProbe{},
       [&](std::size_t e, std::uint32_t result_idx) {
         results.accumulate(result_idx, vote_scratch_);
 

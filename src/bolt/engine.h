@@ -28,7 +28,7 @@ struct BatchScratch {
   /// Rows binarized per tile. 64 keeps the whole tile's bit rows inside a
   /// few KB (L1-resident beside the dictionary stream) and lets the kernel
   /// track per-entry matching rows in a single 64-bit row bitmap.
-  static constexpr std::size_t kTileRows = 64;
+  static constexpr std::size_t kTileRows = kernels::kTileRows;
 
   /// Deferred table probes buffered between prefetch and access. 128
   /// outstanding lines (~16 KB of slots + keys) fit L1 beside the tile
@@ -38,7 +38,13 @@ struct BatchScratch {
   explicit BatchScratch(const BoltForest& bf);
 
   std::size_t words_per_row;
-  std::vector<std::uint64_t> tile_words;  // kTileRows x words_per_row
+  /// The binarized tile, *word-major* (transposed): word w of row r is
+  /// tile_t[w * kTileRows + r], so one predicate word's 64 rows are a
+  /// contiguous 64-byte-aligned run — the batch kernels' row-group loads
+  /// are plain aligned vector loads, no gathers.
+  util::aligned_vector<std::uint64_t> tile_t;  // words_per_row x kTileRows
+  /// Per-layout-lane matching-row bitmaps filled by KernelOps::scan_tile.
+  util::aligned_vector<std::uint64_t> rowmasks;  // layout.local_size()
   std::vector<std::uint64_t> packed_acc;  // kTileRows packed-vote accumulators
   std::vector<double> votes;              // kTileRows x num_classes
   util::BitVector row_bits;               // single-row binarize staging
@@ -62,11 +68,15 @@ struct BatchScratch {
 /// (each probe a dependent cache miss) overlap as in-flight loads.
 /// Classifications are bit-identical to per-row `BoltEngine::predict`
 /// (the same tests run in a different order).
+/// `kernel` selects the membership kernel for the tile scan; nullptr means
+/// the process-wide kernels::select_kernel() choice (engines pass the
+/// kernel they captured at construction).
 void predict_batch_amortized(const BoltForest& bf, std::span<const float> rows,
                              std::size_t num_rows, std::size_t row_stride,
                              std::span<int> out, BatchScratch& scratch,
                              const util::EngineMetrics* metrics = nullptr,
-                             util::TraceContext* trace = nullptr);
+                             util::TraceContext* trace = nullptr,
+                             const kernels::KernelOps* kernel = nullptr);
 
 class BoltEngine final : public engines::Engine {
  public:
@@ -122,6 +132,8 @@ class BoltEngine final : public engines::Engine {
                            std::size_t row_stride, std::span<int> out);
 
   const BoltForest& artifact() const { return bf_; }
+  /// The membership kernel this engine dispatches to (fixed at ctor).
+  const kernels::KernelOps& kernel() const { return kernel_; }
 
  private:
   template <class Probe>
@@ -133,6 +145,7 @@ class BoltEngine final : public engines::Engine {
                            std::int64_t elapsed_ns) const;
 
   const BoltForest& bf_;
+  const kernels::KernelOps& kernel_;  // dispatch decision, made once here
   util::BitVector bits_;
   std::vector<double> vote_scratch_;
   std::vector<std::uint64_t> candidate_blocks_;  // phase-A bitmap scratch

@@ -1,0 +1,97 @@
+// Kernel registry and the one-time dispatch decision. Which vector TUs
+// exist is a compile-time fact (BOLT_HAVE_KERNEL_* set by CMake on this
+// file only); which of those this CPU can run is a runtime fact
+// (util::cpu_features). select_kernel() folds both, honoring a
+// BOLT_KERNEL env override with a graceful, noted fallback.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bolt/kernels/kernels.h"
+#include "util/cpu_features.h"
+
+namespace bolt::kernels {
+
+extern const KernelOps kScalarOps;
+#if defined(BOLT_HAVE_KERNEL_AVX2)
+extern const KernelOps kAvx2Ops;
+#endif
+#if defined(BOLT_HAVE_KERNEL_AVX512)
+extern const KernelOps kAvx512Ops;
+#endif
+
+namespace {
+
+constexpr const KernelOps* kCompiled[] = {
+    &kScalarOps,
+#if defined(BOLT_HAVE_KERNEL_AVX2)
+    &kAvx2Ops,
+#endif
+#if defined(BOLT_HAVE_KERNEL_AVX512)
+    &kAvx512Ops,
+#endif
+};
+
+std::vector<const KernelOps*> make_available() {
+  const util::CpuFeatures& cpu = util::cpu_features();
+  std::vector<const KernelOps*> out;
+  for (const KernelOps* k : kCompiled) {
+    if (std::string_view(k->name) == "avx2" && !cpu.can_avx2()) continue;
+    if (std::string_view(k->name) == "avx512" && !cpu.can_avx512()) continue;
+    out.push_back(k);
+  }
+  return out;
+}
+
+const std::vector<const KernelOps*>& available_vec() {
+  static const std::vector<const KernelOps*> avail = make_available();
+  return avail;
+}
+
+std::atomic<const KernelOps*> g_forced{nullptr};
+
+const KernelOps& resolve_default() {
+  const auto& avail = available_vec();
+  if (const char* env = std::getenv("BOLT_KERNEL"); env && *env) {
+    for (const KernelOps* k : avail) {
+      if (std::string_view(k->name) == env) return *k;
+    }
+    std::fprintf(stderr,
+                 "bolt: BOLT_KERNEL=%s is not available on this build/CPU; "
+                 "using %s\n",
+                 env, avail.back()->name);
+  }
+  return *avail.back();
+}
+
+}  // namespace
+
+std::span<const KernelOps* const> compiled_kernels() { return kCompiled; }
+
+std::span<const KernelOps* const> available_kernels() {
+  return available_vec();
+}
+
+const KernelOps& scalar_kernel() { return kScalarOps; }
+
+const KernelOps* find_kernel(std::string_view name) {
+  for (const KernelOps* k : available_vec()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const KernelOps& select_kernel() {
+  if (const KernelOps* forced = g_forced.load(std::memory_order_acquire)) {
+    return *forced;
+  }
+  static const KernelOps& chosen = resolve_default();
+  return chosen;
+}
+
+void force_kernel_for_testing(const KernelOps* kernel) {
+  g_forced.store(kernel, std::memory_order_release);
+}
+
+}  // namespace bolt::kernels

@@ -1,0 +1,165 @@
+// The vectorized dictionary-scan kernel layer.
+//
+// Bolt's Phase-3 scan is a masked-compare sweep over every dictionary
+// entry — pure data parallelism the scalar CSR walk in Dictionary leaves
+// on the table. This layer restructures the sparse-word pool into a SoA
+// layout (ScanLayout) and provides interchangeable membership kernels over
+// it:
+//
+//   scan_row   one binarized sample against all entries; AVX2/AVX-512
+//              test 4/8 *entries* per vector op (the per-sample latency
+//              path: BoltEngine::predict, PartitionedBoltEngine cores);
+//   scan_tile  a 64-row binarized tile against all entries; AVX2/AVX-512
+//              test 4/8 *rows* per vector op (the batch throughput path:
+//              predict_batch_amortized).
+//
+// Layout (built once per artifact/partition from the Dictionary):
+//   - entries are bucketed by sparse-word count, so each bucket's inner
+//     loop has a fixed trip count and no per-entry branches;
+//   - each bucket stores its (word index, mask, expect) triples as three
+//     plane-major pools — plane k holds word k of every entry in the
+//     bucket, contiguous — in 64-byte-aligned storage, so vector loads are
+//     aligned and lanes are adjacent entries;
+//   - buckets are padded to the widest lane count with never-matching
+//     sentinel lanes (mask 0, expect 1), and each bucket starts on a
+//     64-local boundary, so kernels write whole bitmap words and padding
+//     can never leak a candidate bit.
+//
+// Every kernel produces identical bits in an identical order (the layout's
+// local order); the scalar kernel doubles as the portable fallback and as
+// the bit-identity oracle the tests sweep the vector kernels against.
+// Kernel selection happens once at engine build via util::cpu_features —
+// one binary runs everywhere — with a BOLT_KERNEL=scalar|avx2|avx512 env
+// override for debugging and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bolt/dictionary.h"
+#include "util/aligned.h"
+
+namespace bolt::kernels {
+
+/// Rows per batch tile: a tile-wide membership result is one u64 rowmask.
+constexpr std::size_t kTileRows = 64;
+
+/// entry_id() value of padding/gap lanes (never set in any bitmap).
+constexpr std::uint32_t kInvalidEntry = 0xffffffffu;
+
+/// Buckets are padded to the widest kernel's lane count.
+constexpr std::uint32_t kLanePad = 8;
+
+/// SoA view of a Dictionary's sparse-word pool (optionally restricted to
+/// an entry range, for the partitioned engine). Self-contained: owns its
+/// pools, so the source Dictionary may move after construction.
+class ScanLayout {
+ public:
+  struct Bucket {
+    std::uint32_t width;       // sparse words per entry in this bucket
+    std::uint32_t count;       // real entries (excludes padding lanes)
+    std::uint32_t padded;      // count rounded up to kLanePad
+    std::uint32_t local_base;  // first local index; multiple of 64
+    std::size_t plane_offset;  // pool offset of plane 0; plane k starts at
+                               // plane_offset + k * padded
+  };
+
+  ScanLayout() = default;
+  explicit ScanLayout(const core::Dictionary& dict)
+      : ScanLayout(dict, 0, dict.num_entries()) {}
+  /// Layout over dictionary entries [entry_begin, entry_end).
+  ScanLayout(const core::Dictionary& dict, std::size_t entry_begin,
+             std::size_t entry_end);
+
+  /// Entries covered (== entry_end - entry_begin).
+  std::size_t num_entries() const { return num_entries_; }
+  /// Padded local index space; always a multiple of 64 (possibly 0).
+  std::size_t local_size() const { return local_size_; }
+  std::size_t bitmap_words() const { return local_size_ / 64; }
+  /// Maps a local index back to its dictionary entry id (kInvalidEntry for
+  /// padding/gap lanes, whose bits are never set).
+  std::uint32_t entry_id(std::size_t local) const { return perm_[local]; }
+
+  std::span<const Bucket> buckets() const { return buckets_; }
+  const std::uint32_t* widx() const { return widx_.data(); }
+  const std::uint64_t* mask() const { return mask_.data(); }
+  const std::uint64_t* expect() const { return expect_.data(); }
+
+  std::size_t memory_bytes() const;
+
+ private:
+  std::size_t num_entries_ = 0;
+  std::size_t local_size_ = 0;
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> perm_;  // local -> entry id
+  util::aligned_vector<std::uint32_t> widx_;
+  util::aligned_vector<std::uint64_t> mask_;
+  util::aligned_vector<std::uint64_t> expect_;
+};
+
+/// One membership-kernel implementation. All functions fully define their
+/// output: bits beyond real entries are zero, so callers may popcount the
+/// whole result.
+struct KernelOps {
+  const char* name;   // BOLT_KERNEL key: "scalar" | "avx2" | "avx512"
+  const char* label;  // export label with lane count, e.g. "avx2_x4"
+  unsigned lanes;     // entries (scan_row) / rows (scan_tile) per vector op
+
+  /// Membership of one binarized row (laid out as BitVector words) against
+  /// every entry: bitmap[local/64] bit (local%64) is set iff the entry at
+  /// `local` matches. `bitmap` has layout.bitmap_words() words.
+  void (*scan_row)(const ScanLayout& layout, const std::uint64_t* row_words,
+                   std::uint64_t* bitmap);
+
+  /// Membership of a word-major tile — tile_t[w * kTileRows + r] is word w
+  /// of row r — against every entry: rowmasks[local] bit r is set iff row
+  /// r matches that entry. Rows >= num_rows are masked off; `rowmasks` has
+  /// layout.local_size() words.
+  void (*scan_tile)(const ScanLayout& layout, const std::uint64_t* tile_t,
+                    std::size_t num_rows, std::uint64_t* rowmasks);
+};
+
+/// Kernels compiled into this binary (scalar always first).
+std::span<const KernelOps* const> compiled_kernels();
+/// Compiled kernels this CPU can execute (scalar always first).
+std::span<const KernelOps* const> available_kernels();
+const KernelOps& scalar_kernel();
+/// An available kernel by name, or nullptr.
+const KernelOps* find_kernel(std::string_view name);
+
+/// The dispatch decision: the test override if set, else the BOLT_KERNEL
+/// env request (falling back, with a one-line stderr note, when the named
+/// kernel is compiled out or the CPU lacks it), else the widest available
+/// kernel. Engines capture the result once at construction.
+const KernelOps& select_kernel();
+
+/// Overrides select_kernel (nullptr restores normal dispatch). Construct
+/// engines *after* forcing; used by the bit-identity tests and benches.
+void force_kernel_for_testing(const KernelOps* kernel);
+
+namespace detail {
+
+/// Width-0 entries (no common predicates) match every input: set the
+/// bucket's `count` bits. local_base is 64-aligned, so whole words first.
+inline void bitmap_fill_ones(const ScanLayout::Bucket& b,
+                             std::uint64_t* bitmap) {
+  std::size_t word = b.local_base >> 6;
+  std::uint32_t remaining = b.count;
+  while (remaining >= 64) {
+    bitmap[word++] = ~std::uint64_t{0};
+    remaining -= 64;
+  }
+  if (remaining != 0) bitmap[word] |= (std::uint64_t{1} << remaining) - 1;
+}
+
+/// Low `num_rows` bits set (all 64 when the tile is full).
+inline std::uint64_t tile_rows_mask(std::size_t num_rows) {
+  return num_rows >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << num_rows) - 1;
+}
+
+}  // namespace detail
+
+}  // namespace bolt::kernels

@@ -1,0 +1,78 @@
+#include "bolt/kernels/kernels.h"
+
+#include <map>
+
+namespace bolt::kernels {
+namespace {
+
+constexpr std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+ScanLayout::ScanLayout(const core::Dictionary& dict, std::size_t entry_begin,
+                       std::size_t entry_end)
+    : num_entries_(entry_end - entry_begin) {
+  // Bucket entries by sparse-word count; ascending entry order within a
+  // bucket keeps the local order deterministic (tests and the engine's
+  // accept order depend on it being a pure function of the dictionary).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> by_width;
+  for (std::size_t e = entry_begin; e < entry_end; ++e) {
+    const auto width = static_cast<std::uint32_t>(dict.sparse_words(e).size());
+    by_width[width].push_back(static_cast<std::uint32_t>(e));
+  }
+
+  std::size_t pool = 0;
+  std::size_t base = 0;
+  buckets_.reserve(by_width.size());
+  for (const auto& [width, ids] : by_width) {
+    Bucket b;
+    b.width = width;
+    b.count = static_cast<std::uint32_t>(ids.size());
+    b.padded = static_cast<std::uint32_t>(round_up(b.count, kLanePad));
+    b.local_base = static_cast<std::uint32_t>(base);
+    b.plane_offset = pool;
+    buckets_.push_back(b);
+    pool += static_cast<std::size_t>(width) * b.padded;
+    base = round_up(base + b.padded, 64);
+  }
+  local_size_ = base;
+
+  perm_.assign(local_size_, kInvalidEntry);
+  widx_.assign(pool, 0);
+  mask_.assign(pool, 0);
+  expect_.assign(pool, 0);
+
+  std::size_t bucket_i = 0;
+  for (const auto& [width, ids] : by_width) {
+    const Bucket& b = buckets_[bucket_i++];
+    for (std::uint32_t i = 0; i < b.count; ++i) {
+      const std::uint32_t e = ids[i];
+      perm_[b.local_base + i] = e;
+      const auto words = dict.sparse_words(e);
+      for (std::uint32_t k = 0; k < b.width; ++k) {
+        const std::size_t p =
+            b.plane_offset + static_cast<std::size_t>(k) * b.padded + i;
+        widx_[p] = words[k].word;
+        mask_[p] = words[k].mask;
+        expect_[p] = words[k].expect;
+      }
+    }
+    // Padding lanes never match: plane 0 demands a set bit under an empty
+    // mask, so their diff is non-zero for every input (the remaining
+    // planes stay neutral). Word index 0 keeps their gathers in bounds.
+    for (std::uint32_t i = b.count; i < b.padded && b.width > 0; ++i) {
+      expect_[b.plane_offset + i] = 1;
+    }
+  }
+}
+
+std::size_t ScanLayout::memory_bytes() const {
+  return buckets_.size() * sizeof(Bucket) +
+         perm_.size() * sizeof(std::uint32_t) +
+         widx_.size() * sizeof(std::uint32_t) +
+         (mask_.size() + expect_.size()) * sizeof(std::uint64_t);
+}
+
+}  // namespace bolt::kernels

@@ -1,0 +1,101 @@
+// AVX2 membership kernels (this TU alone is compiled with -mavx2; it is
+// only ever called through the dispatch table after util::cpu_features
+// confirms AVX2 plus OS ymm state support).
+//
+// scan_row:  4 entries per vector op — gather word `widx` of 4 adjacent
+//            lanes from the sample's BitVector, masked-compare, reduce the
+//            4 per-lane diffs to 4 bitmap bits via a double movemask.
+// scan_tile: 4 tile rows per vector op — the tile is word-major
+//            (tile_t[w * kTileRows + r]), so the 4 rows' copies of one
+//            predicate word are one aligned vector load; the entry's
+//            mask/expect broadcast across lanes.
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "bolt/kernels/kernels.h"
+
+namespace bolt::kernels {
+namespace {
+
+void scan_row_avx2(const ScanLayout& layout, const std::uint64_t* row_words,
+                   std::uint64_t* bitmap) {
+  std::fill_n(bitmap, layout.bitmap_words(), std::uint64_t{0});
+  const std::uint32_t* widx = layout.widx();
+  const std::uint64_t* mask = layout.mask();
+  const std::uint64_t* expect = layout.expect();
+  const __m256i zero = _mm256_setzero_si256();
+  for (const ScanLayout::Bucket& b : layout.buckets()) {
+    if (b.width == 0) {
+      detail::bitmap_fill_ones(b, bitmap);
+      continue;
+    }
+    for (std::uint32_t i = 0; i < b.padded; i += 4) {
+      __m256i diff = zero;
+      std::size_t p = b.plane_offset + i;
+      for (std::uint32_t k = 0; k < b.width; ++k, p += b.padded) {
+        const __m128i idx =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(widx + p));
+        const __m256i words = _mm256_i32gather_epi64(
+            reinterpret_cast<const long long*>(row_words), idx, 8);
+        const __m256i m =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(mask + p));
+        const __m256i e =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(expect + p));
+        diff = _mm256_or_si256(diff,
+                               _mm256_xor_si256(_mm256_and_si256(words, m), e));
+      }
+      const __m256i eq = _mm256_cmpeq_epi64(diff, zero);
+      const auto bits = static_cast<std::uint64_t>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+      const std::size_t local = b.local_base + i;
+      bitmap[local >> 6] |= bits << (local & 63);
+    }
+  }
+}
+
+void scan_tile_avx2(const ScanLayout& layout, const std::uint64_t* tile_t,
+                    std::size_t num_rows, std::uint64_t* rowmasks) {
+  std::fill_n(rowmasks, layout.local_size(), std::uint64_t{0});
+  const std::uint64_t rows_mask = detail::tile_rows_mask(num_rows);
+  const std::size_t row_groups = (num_rows + 3) / 4;
+  const std::uint32_t* widx = layout.widx();
+  const std::uint64_t* mask = layout.mask();
+  const std::uint64_t* expect = layout.expect();
+  const __m256i zero = _mm256_setzero_si256();
+  for (const ScanLayout::Bucket& b : layout.buckets()) {
+    if (b.width == 0) {
+      std::fill_n(rowmasks + b.local_base, b.count, rows_mask);
+      continue;
+    }
+    for (std::uint32_t i = 0; i < b.count; ++i) {
+      std::uint64_t rm = 0;
+      for (std::size_t rb = 0; rb < row_groups; ++rb) {
+        __m256i diff = zero;
+        std::size_t p = b.plane_offset + i;
+        for (std::uint32_t k = 0; k < b.width; ++k, p += b.padded) {
+          const __m256i words = _mm256_load_si256(reinterpret_cast<const __m256i*>(
+              tile_t + static_cast<std::size_t>(widx[p]) * kTileRows + rb * 4));
+          const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask[p]));
+          const __m256i e =
+              _mm256_set1_epi64x(static_cast<long long>(expect[p]));
+          diff = _mm256_or_si256(
+              diff, _mm256_xor_si256(_mm256_and_si256(words, m), e));
+        }
+        const __m256i eq = _mm256_cmpeq_epi64(diff, zero);
+        const auto bits = static_cast<std::uint64_t>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+        rm |= bits << (rb * 4);
+      }
+      rowmasks[b.local_base + i] = rm & rows_mask;
+    }
+  }
+}
+
+}  // namespace
+
+extern const KernelOps kAvx2Ops;
+const KernelOps kAvx2Ops = {"avx2", "avx2_x4", 4, &scan_row_avx2,
+                            &scan_tile_avx2};
+
+}  // namespace bolt::kernels

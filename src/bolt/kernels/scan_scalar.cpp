@@ -1,0 +1,71 @@
+// Portable membership kernels: the fallback on CPUs (or builds) without
+// SIMD and the bit-identity oracle every vector kernel is swept against.
+// Arithmetic is exactly Dictionary::matches_words — an OR-reduce of masked
+// XORs in the entry's word order — walked in the layout's local order.
+#include <algorithm>
+
+#include "bolt/kernels/kernels.h"
+
+namespace bolt::kernels {
+namespace {
+
+void scan_row_scalar(const ScanLayout& layout, const std::uint64_t* row_words,
+                     std::uint64_t* bitmap) {
+  std::fill_n(bitmap, layout.bitmap_words(), std::uint64_t{0});
+  const std::uint32_t* widx = layout.widx();
+  const std::uint64_t* mask = layout.mask();
+  const std::uint64_t* expect = layout.expect();
+  for (const ScanLayout::Bucket& b : layout.buckets()) {
+    if (b.width == 0) {
+      detail::bitmap_fill_ones(b, bitmap);
+      continue;
+    }
+    for (std::uint32_t i = 0; i < b.count; ++i) {
+      std::uint64_t diff = 0;
+      std::size_t p = b.plane_offset + i;
+      for (std::uint32_t k = 0; k < b.width; ++k, p += b.padded) {
+        diff |= (row_words[widx[p]] & mask[p]) ^ expect[p];
+      }
+      const std::size_t local = b.local_base + i;
+      bitmap[local >> 6] |= static_cast<std::uint64_t>(diff == 0)
+                            << (local & 63);
+    }
+  }
+}
+
+void scan_tile_scalar(const ScanLayout& layout, const std::uint64_t* tile_t,
+                      std::size_t num_rows, std::uint64_t* rowmasks) {
+  std::fill_n(rowmasks, layout.local_size(), std::uint64_t{0});
+  const std::uint64_t rows_mask = detail::tile_rows_mask(num_rows);
+  const std::uint32_t* widx = layout.widx();
+  const std::uint64_t* mask = layout.mask();
+  const std::uint64_t* expect = layout.expect();
+  for (const ScanLayout::Bucket& b : layout.buckets()) {
+    if (b.width == 0) {
+      std::fill_n(rowmasks + b.local_base, b.count, rows_mask);
+      continue;
+    }
+    for (std::uint32_t i = 0; i < b.count; ++i) {
+      std::uint64_t rm = 0;
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        std::uint64_t diff = 0;
+        std::size_t p = b.plane_offset + i;
+        for (std::uint32_t k = 0; k < b.width; ++k, p += b.padded) {
+          diff |= (tile_t[static_cast<std::size_t>(widx[p]) * kTileRows + r] &
+                   mask[p]) ^
+                  expect[p];
+        }
+        rm |= static_cast<std::uint64_t>(diff == 0) << r;
+      }
+      rowmasks[b.local_base + i] = rm;
+    }
+  }
+}
+
+}  // namespace
+
+extern const KernelOps kScalarOps;
+const KernelOps kScalarOps = {"scalar", "scalar_x1", 1, &scan_row_scalar,
+                              &scan_tile_scalar};
+
+}  // namespace bolt::kernels

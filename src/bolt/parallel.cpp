@@ -8,15 +8,18 @@ namespace bolt::core {
 
 PartitionedBoltEngine::PartitionedBoltEngine(const BoltForest& bf,
                                              const PartitionPlan& plan)
-    : bf_(bf), plan_(plan), bits_(bf.space().size()),
-      agg_(bf.num_classes()) {
+    : bf_(bf), plan_(plan), kernel_(kernels::select_kernel()),
+      bits_(bf.space().size()), agg_(bf.num_classes()) {
   core_votes_.assign(plan_.cores(), std::vector<double>(bf.num_classes()));
 
-  // Per-dictionary-partition predicate footprint: what a core must encode.
+  // Per-dictionary-partition SoA layout (a core scans only its own entry
+  // range) and predicate footprint (what a core must encode).
   part_preds_.resize(plan_.dict_parts);
+  part_layouts_.reserve(plan_.dict_parts);
   const Dictionary& dict = bf_.dictionary();
   for (std::size_t part = 0; part < plan_.dict_parts; ++part) {
     const auto [begin, end] = dict_range(part);
+    part_layouts_.emplace_back(dict, begin, end);
     std::vector<std::uint32_t>& preds = part_preds_[part];
     for (std::size_t e = begin; e < end; ++e) {
       for (PathItem item : dict.common_items(e)) {
@@ -53,28 +56,42 @@ void PartitionedBoltEngine::core_work(std::size_t dict_part,
   const RecombinedTable& table = bf_.table();
   const ResultPool& results = bf_.results();
   const BloomFilter* bloom = bf_.bloom();
+  const kernels::ScanLayout& layout = part_layouts_[dict_part];
 
-  const auto [e_begin, e_end] = dict_range(dict_part);
   const auto [s_begin, s_end] = slot_range(table_part);
 
+  // Per-thread candidate bitmap: core_work is const and runs concurrently
+  // from pool workers, so the scratch cannot live on the engine.
+  static thread_local std::vector<std::uint64_t> bitmap;
+  if (bitmap.size() < layout.bitmap_words()) {
+    bitmap.resize(layout.bitmap_words());
+  }
+  kernel_.scan_row(layout, bits.words().data(), bitmap.data());
+
   std::uint64_t discarded = 0;
-  for (std::size_t e = e_begin; e < e_end; ++e) {
-    if (!dict.matches(e, bits)) continue;
-    const std::uint64_t address = dict.address(e, bits);
-    if (bloom &&
-        !bloom->maybe_contains(static_cast<std::uint32_t>(e), address)) {
-      continue;
+  for (std::size_t b = 0; b < layout.bitmap_words(); ++b) {
+    std::uint64_t word = bitmap[b];
+    while (word != 0) {
+      const std::size_t local =
+          b * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      const std::size_t e = layout.entry_id(local);  // global entry id
+      const std::uint64_t address = dict.address(e, bits);
+      if (bloom &&
+          !bloom->maybe_contains(static_cast<std::uint32_t>(e), address)) {
+        continue;
+      }
+      // Partition routing (Figure 4): only probe slots this core owns.
+      const std::size_t slot =
+          table.slot_of(static_cast<std::uint32_t>(e), address);
+      if (slot < s_begin || slot >= s_end) {
+        ++discarded;  // another core owns this slot and performs the lookup
+        continue;
+      }
+      const auto result = table.find(static_cast<std::uint32_t>(e), address);
+      if (!result) continue;
+      results.accumulate(*result, out);
     }
-    // Partition routing (Figure 4): only probe slots this core owns.
-    const std::size_t slot =
-        table.slot_of(static_cast<std::uint32_t>(e), address);
-    if (slot < s_begin || slot >= s_end) {
-      ++discarded;  // another core owns this slot and performs the lookup
-      continue;
-    }
-    const auto result = table.find(static_cast<std::uint32_t>(e), address);
-    if (!result) continue;
-    results.accumulate(*result, out);
   }
   if (metrics_ != nullptr && discarded != 0) {
     metrics_->discarded_lookups->inc(discarded);
@@ -156,7 +173,7 @@ void PartitionedBoltEngine::predict_batch(std::span<const float> rows,
                             row_count, row_stride,
                             out.subspan(row_begin, row_count),
                             batch_scratch_[task], /*metrics=*/nullptr,
-                            trace_);
+                            trace_, &kernel_);
   });
 }
 

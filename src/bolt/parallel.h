@@ -40,7 +40,9 @@ class PartitionedBoltEngine {
   const PartitionPlan& plan() const { return plan_; }
 
   /// Work of core (dict_part, table_part) for a binarized sample:
-  /// accumulates votes into `out` (not cleared). Exposed for tests.
+  /// accumulates votes into `out` (not cleared). Exposed for tests. The
+  /// scan runs the dispatched membership kernel over this dictionary
+  /// partition's own SoA layout (built once at construction).
   void core_work(std::size_t dict_part, std::size_t table_part,
                  const util::BitVector& bits, std::span<double> out) const;
 
@@ -106,6 +108,8 @@ class PartitionedBoltEngine {
 
   const BoltForest& bf_;
   PartitionPlan plan_;
+  const kernels::KernelOps& kernel_;  // dispatch decision, made once here
+  std::vector<kernels::ScanLayout> part_layouts_;  // one per dict partition
   util::BitVector bits_;
   std::vector<BatchScratch> batch_scratch_;  // one per pool worker, lazy
   std::vector<std::vector<double>> core_votes_;

@@ -8,7 +8,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "bolt/kernels/kernels.h"
 #include "util/build_info.h"
+#include "util/cpu_features.h"
 #include "util/timer.h"
 
 namespace bolt::service {
@@ -101,7 +103,13 @@ InferenceServer::InferenceServer(
       "service.batch_size", util::Histogram::exponential_bounds(1, 2.0, 14));
   slow_ring_ = std::make_unique<util::SlowRing>(
       options_.trace.slow_ring_capacity, options_.trace.slow_threshold_us);
-  metrics_.set_build_info(util::build_info_labels());
+  // Runtime dispatch facts beside the compile-time ones: which membership
+  // kernel this process selected and what the CPU offers, so a scrape can
+  // tell a scalar-fallback deployment from a vectorized one.
+  auto build_labels = util::build_info_labels();
+  build_labels.emplace_back("kernel", kernels::select_kernel().label);
+  build_labels.emplace_back("cpu", util::cpu_features_summary());
+  metrics_.set_build_info(std::move(build_labels));
 }
 
 InferenceServer::~InferenceServer() { stop(); }

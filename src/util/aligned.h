@@ -1,0 +1,49 @@
+// Cache-line / vector-register aligned storage. The SIMD scan kernels
+// require their SoA pools and tile buffers on 64-byte boundaries so every
+// AVX2/AVX-512 load is an *aligned* load rather than merely
+// unaligned-tolerant (and so pools never straddle a cache line they could
+// have started).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace bolt::util {
+
+/// Minimal std::allocator replacement with a fixed alignment guarantee.
+template <class T, std::size_t Align = 64>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+  // allocator_traits can't deduce a rebind through the non-type Align
+  // parameter; spell it out.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace bolt::util

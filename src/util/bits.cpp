@@ -3,7 +3,33 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/cpu_features.h"
+
 namespace bolt::util {
+
+#if defined(BOLT_HAVE_PEXT_BMI2)
+// Defined in pext_bmi2.cpp (the only TU built with -mbmi2).
+std::uint64_t pext64_bmi2(std::uint64_t value, std::uint64_t mask);
+#endif
+
+namespace detail {
+namespace {
+
+std::uint64_t pext64_resolve(std::uint64_t value, std::uint64_t mask) {
+  std::uint64_t (*fn)(std::uint64_t, std::uint64_t) = &pext64;
+#if defined(BOLT_HAVE_PEXT_BMI2)
+  if (cpu_features().can_pext()) fn = &pext64_bmi2;
+#endif
+  pext64_dispatch.store(fn, std::memory_order_relaxed);
+  return fn(value, mask);
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t (*)(std::uint64_t, std::uint64_t)> pext64_dispatch{
+    &pext64_resolve};
+
+}  // namespace detail
 
 std::uint64_t pext64(std::uint64_t value, std::uint64_t mask) {
   std::uint64_t out = 0;

@@ -2,6 +2,7 @@
 // bit-granular packed readers/writers used by Bolt's compressed layouts.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstddef>
@@ -21,15 +22,27 @@ constexpr std::size_t words_for_bits(std::size_t nbits) {
 /// Equivalent to the BMI2 PEXT instruction but valid on every target.
 std::uint64_t pext64(std::uint64_t value, std::uint64_t mask);
 
-/// PEXT using the hardware instruction when compiled with BMI2, otherwise
-/// the portable loop. Used on Bolt's address-formation hot path.
+namespace detail {
+/// Runtime PEXT dispatch: starts as a resolver that consults
+/// util::cpu_features once, then stores the hardware BMI2 implementation
+/// (compiled in its own -mbmi2 TU) or the portable loop. An atomic
+/// function pointer so concurrent first calls are race-free; the steady
+/// state is one relaxed load + indirect call.
+extern std::atomic<std::uint64_t (*)(std::uint64_t, std::uint64_t)>
+    pext64_dispatch;
+}  // namespace detail
+
+/// PEXT on Bolt's address-formation hot path. Translation units explicitly
+/// compiled with -mbmi2 (the SIMD kernels) inline the instruction; all
+/// generic code routes through the runtime dispatcher, so one binary is
+/// correct on every x86-64 and still uses hardware PEXT where it exists.
 #if defined(__BMI2__)
 inline std::uint64_t pext64_fast(std::uint64_t value, std::uint64_t mask) {
   return __builtin_ia32_pext_di(value, mask);
 }
 #else
 inline std::uint64_t pext64_fast(std::uint64_t value, std::uint64_t mask) {
-  return pext64(value, mask);
+  return detail::pext64_dispatch.load(std::memory_order_relaxed)(value, mask);
 }
 #endif
 

@@ -1,0 +1,87 @@
+#include "util/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace bolt::util {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// XGETBV(0) via raw encoding — needs no -mxsave compile flag. Only called
+/// after CPUID reports OSXSAVE, so the instruction is always legal here.
+std::uint64_t xgetbv0() {
+  std::uint32_t eax, edx;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  f.sse42 = (ecx >> 20) & 1u;
+  f.popcnt = (ecx >> 23) & 1u;
+  const bool osxsave = (ecx >> 27) & 1u;
+  const bool avx_isa = (ecx >> 28) & 1u;
+
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.bmi1 = (ebx >> 3) & 1u;
+    f.avx2 = (ebx >> 5) & 1u;
+    f.bmi2 = (ebx >> 8) & 1u;
+    f.avx512f = (ebx >> 16) & 1u;
+    f.avx512dq = (ebx >> 17) & 1u;
+    f.avx512bw = (ebx >> 30) & 1u;
+    f.avx512vl = (ebx >> 31) & 1u;
+  }
+
+  if (osxsave) {
+    const std::uint64_t xcr0 = xgetbv0();
+    f.os_avx = (xcr0 & 0x6) == 0x6;        // xmm (bit 1) + ymm (bit 2)
+    f.os_avx512 = (xcr0 & 0xe6) == 0xe6;   // + opmask, zmm0-15, zmm16-31
+  }
+  f.avx = avx_isa && f.os_avx;
+  // An ISA the OS will not preserve is as good as absent.
+  if (!f.os_avx) f.avx2 = false;
+  if (!f.os_avx512) {
+    f.avx512f = f.avx512bw = f.avx512dq = f.avx512vl = false;
+  }
+  return f;
+}
+
+#else
+
+CpuFeatures detect() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string cpu_features_summary() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  auto add = [&s](bool on, const char* name) {
+    if (!on) return;
+    if (!s.empty()) s += ' ';
+    s += name;
+  };
+  add(f.sse42, "sse4.2");
+  add(f.popcnt, "popcnt");
+  add(f.avx, "avx");
+  add(f.avx2, "avx2");
+  add(f.bmi1, "bmi1");
+  add(f.bmi2, "bmi2");
+  add(f.avx512f, "avx512f");
+  add(f.avx512bw, "avx512bw");
+  add(f.avx512dq, "avx512dq");
+  add(f.avx512vl, "avx512vl");
+  return s.empty() ? "none" : s;
+}
+
+}  // namespace bolt::util

@@ -1,0 +1,45 @@
+// Runtime CPU feature detection (CPUID/XGETBV on x86-64, all-false
+// elsewhere), so one binary can carry scalar, AVX2 and AVX-512 variants of
+// the hot kernels and pick at startup. Compile-time flags select what the
+// *compiler* may emit per translation unit; this module decides what the
+// *machine the binary landed on* may execute — the two are deliberately
+// independent (the portability bug this replaces was a global -mbmi2 that
+// made every TU illegal on non-BMI2 CPUs).
+#pragma once
+
+#include <string>
+
+namespace bolt::util {
+
+struct CpuFeatures {
+  // Instruction-set bits (CPUID).
+  bool sse42 = false;
+  bool popcnt = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool bmi1 = false;
+  bool bmi2 = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+  // OS state-save bits (XGETBV): an ISA is only usable when the OS
+  // preserves its registers across context switches.
+  bool os_avx = false;     // XCR0 saves xmm+ymm
+  bool os_avx512 = false;  // XCR0 additionally saves opmask+zmm
+
+  /// The dispatch predicates the kernel registry keys on.
+  bool can_avx2() const { return avx2 && os_avx; }
+  bool can_avx512() const { return avx512f && os_avx512; }
+  bool can_pext() const { return bmi2; }
+};
+
+/// Detected features of the running CPU (memoized; detection runs once).
+const CpuFeatures& cpu_features();
+
+/// Space-separated list of the detected features ("none" when empty),
+/// e.g. "sse4.2 popcnt avx avx2 bmi1 bmi2 avx512f avx512bw avx512dq
+/// avx512vl". Exported as the `cpu` label of bolt_build_info.
+std::string cpu_features_summary();
+
+}  // namespace bolt::util

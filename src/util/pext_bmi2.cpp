@@ -1,0 +1,15 @@
+// The one translation unit compiled with -mbmi2: the hardware PEXT the
+// runtime dispatcher in bits.cpp selects when CPUID reports BMI2. Built
+// only when the compiler supports the flag and BOLT_SIMD is on; the
+// instruction never leaks into generically-compiled code.
+#include <cstdint>
+
+#include <immintrin.h>
+
+namespace bolt::util {
+
+std::uint64_t pext64_bmi2(std::uint64_t value, std::uint64_t mask) {
+  return _pext_u64(value, mask);
+}
+
+}  // namespace bolt::util

@@ -1,0 +1,372 @@
+// Bit-identity suite for the SIMD scan-kernel layer: every kernel compiled
+// into this binary and runnable on this CPU must produce *identical bits*
+// to the scalar oracle — same bitmap, same rowmasks, same engine votes,
+// same classifications — on forest-built and synthetic dictionaries,
+// including the edge geometries (zero entries, many-word entries, padding
+// lanes, tile row counts straddling every vector width).
+#include "bolt/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../helpers.h"
+#include "bolt/builder.h"
+#include "bolt/engine.h"
+#include "bolt/parallel.h"
+#include "util/aligned.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bolt::kernels {
+namespace {
+
+using core::BoltEngine;
+using core::BoltForest;
+using core::Cluster;
+using core::Dictionary;
+
+/// Restores normal dispatch even when an assertion fails mid-test.
+struct ForcedKernel {
+  explicit ForcedKernel(const KernelOps* k) { force_kernel_for_testing(k); }
+  ~ForcedKernel() { force_kernel_for_testing(nullptr); }
+};
+
+util::BitVector random_bits(util::Rng& rng, std::size_t nbits) {
+  util::BitVector bits(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (rng.uniform() < 0.5) bits.set(i);
+  }
+  return bits;
+}
+
+/// Word-major transposed tile (the batch kernels' input layout) from
+/// independently random rows.
+util::aligned_vector<std::uint64_t> random_tile(util::Rng& rng,
+                                                std::size_t words_per_row,
+                                                std::size_t nbits,
+                                                std::vector<util::BitVector>& rows) {
+  util::aligned_vector<std::uint64_t> tile(words_per_row * kTileRows, 0);
+  rows.clear();
+  for (std::size_t r = 0; r < kTileRows; ++r) {
+    rows.push_back(random_bits(rng, nbits));
+    for (std::size_t w = 0; w < words_per_row; ++w) {
+      tile[w * kTileRows + r] = rows.back().words()[w];
+    }
+  }
+  return tile;
+}
+
+/// Synthetic dictionary with a spread of sparse-word counts (0 up to many
+/// words per entry) so the layout gets several buckets, including widths
+/// no forest-built dictionary on the small dataset would produce.
+Dictionary synthetic_dictionary(std::size_t num_predicates,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Cluster> clusters;
+  for (std::size_t width : {0u, 1u, 1u, 2u, 3u, 3u, 3u, 5u, 8u, 12u}) {
+    Cluster c;
+    for (std::size_t k = 0; k < width; ++k) {
+      // One predicate per distinct word so the entry spans `width` words.
+      const auto pred = static_cast<std::uint32_t>(
+          k * 64 + static_cast<std::uint32_t>(rng.uniform() * 63));
+      c.common_items.push_back(
+          core::make_item(pred, rng.uniform() < 0.5 ? 1 : 0));
+    }
+    const auto addr = static_cast<std::uint32_t>(rng.uniform() * 60) + 1;
+    c.uncommon_preds.push_back(addr);
+    clusters.push_back(std::move(c));
+  }
+  return Dictionary(clusters, num_predicates);
+}
+
+void expect_layout_sound(const ScanLayout& layout, const Dictionary& dict,
+                         std::size_t entry_begin, std::size_t entry_end) {
+  EXPECT_EQ(layout.num_entries(), entry_end - entry_begin);
+  EXPECT_EQ(layout.local_size() % 64, 0u);
+  std::vector<bool> seen(dict.num_entries(), false);
+  std::size_t covered = 0;
+  for (std::size_t local = 0; local < layout.local_size(); ++local) {
+    const std::uint32_t e = layout.entry_id(local);
+    if (e == kInvalidEntry) continue;
+    ASSERT_GE(e, entry_begin);
+    ASSERT_LT(e, entry_end);
+    ASSERT_FALSE(seen[e]) << "entry mapped twice";
+    seen[e] = true;
+    ++covered;
+  }
+  EXPECT_EQ(covered, entry_end - entry_begin);
+  for (const ScanLayout::Bucket& b : layout.buckets()) {
+    EXPECT_EQ(b.local_base % 64, 0u);
+    EXPECT_EQ(b.padded % kLanePad, 0u);
+    EXPECT_LE(b.count, b.padded);
+    // Plane-major pools mirror the dictionary's CSR words exactly.
+    for (std::uint32_t i = 0; i < b.count; ++i) {
+      const std::uint32_t e = layout.entry_id(b.local_base + i);
+      const auto words = dict.sparse_words(e);
+      ASSERT_EQ(words.size(), b.width);
+      for (std::uint32_t k = 0; k < b.width; ++k) {
+        const std::size_t p =
+            b.plane_offset + static_cast<std::size_t>(k) * b.padded + i;
+        EXPECT_EQ(layout.widx()[p], words[k].word);
+        EXPECT_EQ(layout.mask()[p], words[k].mask);
+        EXPECT_EQ(layout.expect()[p], words[k].expect);
+      }
+    }
+  }
+}
+
+/// Scalar scan_row against Dictionary::matches, the independent oracle.
+void expect_row_matches_dictionary(const ScanLayout& layout,
+                                   const Dictionary& dict,
+                                   const util::BitVector& bits) {
+  std::vector<std::uint64_t> bitmap(layout.bitmap_words() + 1, ~std::uint64_t{0});
+  scalar_kernel().scan_row(layout, bits.words().data(), bitmap.data());
+  for (std::size_t local = 0; local < layout.local_size(); ++local) {
+    const std::uint32_t e = layout.entry_id(local);
+    const bool bit = (bitmap[local >> 6] >> (local & 63)) & 1u;
+    if (e == kInvalidEntry) {
+      ASSERT_FALSE(bit) << "padding lane " << local << " leaked a candidate";
+    } else {
+      ASSERT_EQ(bit, dict.matches(e, bits)) << "entry " << e;
+    }
+  }
+}
+
+TEST(ScanLayout, ForestBuiltDictionaryIsCoveredExactly) {
+  const BoltForest bf =
+      BoltForest::build(bolt::testing::small_forest(8, 5, 3), {});
+  const Dictionary& dict = bf.dictionary();
+  expect_layout_sound(bf.scan_layout(), dict, 0, dict.num_entries());
+}
+
+TEST(ScanLayout, PartitionRangesCoverTheirEntries) {
+  const BoltForest bf =
+      BoltForest::build(bolt::testing::small_forest(8, 5, 3), {});
+  const Dictionary& dict = bf.dictionary();
+  const std::size_t n = dict.num_entries();
+  const std::size_t mid = n / 2;
+  expect_layout_sound(ScanLayout(dict, 0, mid), dict, 0, mid);
+  expect_layout_sound(ScanLayout(dict, mid, n), dict, mid, n);
+}
+
+TEST(ScanLayout, SyntheticWidthsIncludingManyWordEntries) {
+  const Dictionary dict = synthetic_dictionary(12 * 64, 7);
+  const ScanLayout layout(dict);
+  expect_layout_sound(layout, dict, 0, dict.num_entries());
+  // The width-0 and width-12 clusters must land in distinct buckets.
+  EXPECT_GE(layout.buckets().size(), 5u);
+}
+
+TEST(ScanLayout, ZeroEntryDictionaryIsEmpty) {
+  const Dictionary dict(std::span<const Cluster>{}, 256);
+  const ScanLayout layout(dict);
+  EXPECT_EQ(layout.num_entries(), 0u);
+  EXPECT_EQ(layout.local_size(), 0u);
+  EXPECT_EQ(layout.bitmap_words(), 0u);
+  // Kernels over an empty layout must be harmless no-ops.
+  util::Rng rng(1);
+  const util::BitVector bits = random_bits(rng, 256);
+  std::uint64_t sentinel = 0xabcdefu;
+  for (const KernelOps* k : available_kernels()) {
+    k->scan_row(layout, bits.words().data(), &sentinel);
+    k->scan_tile(layout, bits.words().data(), 0, &sentinel);
+  }
+  EXPECT_EQ(sentinel, 0xabcdefu);
+}
+
+TEST(ScanKernels, ScalarRowMatchesDictionaryOracle) {
+  const BoltForest bf =
+      BoltForest::build(bolt::testing::small_forest(10, 5, 21), {});
+  util::Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    expect_row_matches_dictionary(bf.scan_layout(), bf.dictionary(),
+                                  random_bits(rng, bf.space().size()));
+  }
+}
+
+TEST(ScanKernels, ScalarRowMatchesOracleOnSyntheticWidths) {
+  const std::size_t nbits = 12 * 64;
+  const Dictionary dict = synthetic_dictionary(nbits, 9);
+  const ScanLayout layout(dict);
+  util::Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    expect_row_matches_dictionary(layout, dict, random_bits(rng, nbits));
+  }
+}
+
+TEST(ScanKernels, EveryKernelRowBitIdenticalToScalar) {
+  const BoltForest bf =
+      BoltForest::build(bolt::testing::small_forest(10, 6, 31), {});
+  const ScanLayout& layout = bf.scan_layout();
+  const Dictionary synth = synthetic_dictionary(12 * 64, 33);
+  const ScanLayout synth_layout(synth);
+  util::Rng rng(32);
+  for (int trial = 0; trial < 100; ++trial) {
+    const util::BitVector bits = random_bits(rng, bf.space().size());
+    std::vector<std::uint64_t> oracle(layout.bitmap_words());
+    scalar_kernel().scan_row(layout, bits.words().data(), oracle.data());
+    for (const KernelOps* k : available_kernels()) {
+      std::vector<std::uint64_t> got(layout.bitmap_words(), ~std::uint64_t{0});
+      k->scan_row(layout, bits.words().data(), got.data());
+      ASSERT_EQ(got, oracle) << "kernel " << k->name << " trial " << trial;
+    }
+    const util::BitVector sbits = random_bits(rng, 12 * 64);
+    std::vector<std::uint64_t> soracle(synth_layout.bitmap_words());
+    scalar_kernel().scan_row(synth_layout, sbits.words().data(),
+                             soracle.data());
+    for (const KernelOps* k : available_kernels()) {
+      std::vector<std::uint64_t> got(synth_layout.bitmap_words(),
+                                     ~std::uint64_t{0});
+      k->scan_row(synth_layout, sbits.words().data(), got.data());
+      ASSERT_EQ(got, soracle) << "kernel " << k->name << " trial " << trial;
+    }
+  }
+}
+
+TEST(ScanKernels, EveryKernelTileBitIdenticalToScalar) {
+  const BoltForest bf =
+      BoltForest::build(bolt::testing::small_forest(10, 6, 41), {});
+  const ScanLayout& layout = bf.scan_layout();
+  const std::size_t wpr = util::words_for_bits(bf.space().size());
+  util::Rng rng(42);
+  std::vector<util::BitVector> rows;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto tile = random_tile(rng, wpr, bf.space().size(), rows);
+    // Row counts straddling every vector width and the full-tile case.
+    for (std::size_t num_rows : {std::size_t{1}, std::size_t{3},
+                                 std::size_t{4}, std::size_t{7},
+                                 std::size_t{8}, std::size_t{63},
+                                 std::size_t{64}}) {
+      std::vector<std::uint64_t> oracle(layout.local_size());
+      scalar_kernel().scan_tile(layout, tile.data(), num_rows, oracle.data());
+      // The oracle itself must agree with the per-row dictionary test.
+      for (std::size_t local = 0; local < layout.local_size(); ++local) {
+        const std::uint32_t e = layout.entry_id(local);
+        for (std::size_t r = 0; r < num_rows; ++r) {
+          const bool bit = (oracle[local] >> r) & 1u;
+          const bool want =
+              e != kInvalidEntry && bf.dictionary().matches(e, rows[r]);
+          ASSERT_EQ(bit, want) << "local " << local << " row " << r;
+        }
+        ASSERT_EQ(oracle[local] & ~detail::tile_rows_mask(num_rows), 0u);
+      }
+      for (const KernelOps* k : available_kernels()) {
+        std::vector<std::uint64_t> got(layout.local_size(), ~std::uint64_t{0});
+        k->scan_tile(layout, tile.data(), num_rows, got.data());
+        ASSERT_EQ(got, oracle)
+            << "kernel " << k->name << " num_rows " << num_rows;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, RegistryIsSaneAndScalarAlwaysAvailable) {
+  ASSERT_FALSE(compiled_kernels().empty());
+  ASSERT_FALSE(available_kernels().empty());
+  EXPECT_EQ(compiled_kernels().front(), &scalar_kernel());
+  EXPECT_EQ(available_kernels().front(), &scalar_kernel());
+  EXPECT_EQ(find_kernel("scalar"), &scalar_kernel());
+  EXPECT_EQ(find_kernel("no-such-kernel"), nullptr);
+  for (const KernelOps* k : available_kernels()) {
+    EXPECT_NE(k->scan_row, nullptr);
+    EXPECT_NE(k->scan_tile, nullptr);
+    EXPECT_GE(k->lanes, 1u);
+  }
+}
+
+TEST(KernelDispatch, ForceOverridesSelection) {
+  {
+    ForcedKernel forced(&scalar_kernel());
+    EXPECT_EQ(&select_kernel(), &scalar_kernel());
+  }
+  // After the guard, selection reverts to an available kernel.
+  const KernelOps& chosen = select_kernel();
+  bool listed = false;
+  for (const KernelOps* k : available_kernels()) listed |= (k == &chosen);
+  EXPECT_TRUE(listed);
+}
+
+class EngineKernelIdentity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    artifact_ = std::make_unique<BoltForest>(
+        BoltForest::build(bolt::testing::small_forest(8, 5, 51), {}));
+    inputs_ = bolt::testing::small_dataset(200, 52);
+    ForcedKernel forced(&scalar_kernel());
+    BoltEngine ref(*artifact_);
+    reference_.resize(inputs_.num_rows());
+    reference_votes_.resize(inputs_.num_rows() *
+                            artifact_->num_classes());
+    for (std::size_t i = 0; i < inputs_.num_rows(); ++i) {
+      reference_[i] = ref.predict(inputs_.row(i));
+      ref.vote(inputs_.row(i), {reference_votes_.data() +
+                                    i * artifact_->num_classes(),
+                                artifact_->num_classes()});
+    }
+  }
+
+  std::unique_ptr<BoltForest> artifact_;
+  data::Dataset inputs_{0, 0};
+  std::vector<int> reference_;
+  std::vector<double> reference_votes_;
+};
+
+TEST_F(EngineKernelIdentity, PredictAndVotesIdenticalUnderEveryKernel) {
+  for (const KernelOps* k : available_kernels()) {
+    ForcedKernel forced(k);
+    BoltEngine engine(*artifact_);
+    std::vector<double> votes(artifact_->num_classes());
+    for (std::size_t i = 0; i < inputs_.num_rows(); ++i) {
+      ASSERT_EQ(engine.predict(inputs_.row(i)), reference_[i])
+          << "kernel " << k->name << " row " << i;
+      engine.vote(inputs_.row(i), votes);
+      for (std::size_t c = 0; c < votes.size(); ++c) {
+        // Bit-identity: same accepts in the same (layout) order means the
+        // float accumulation is the same arithmetic — exact equality.
+        ASSERT_EQ(votes[c],
+                  reference_votes_[i * artifact_->num_classes() + c])
+            << "kernel " << k->name << " row " << i << " class " << c;
+      }
+    }
+  }
+}
+
+TEST_F(EngineKernelIdentity, BatchIdenticalUnderEveryKernelAcrossTileEdges) {
+  const float* rows = inputs_.raw_features().data();
+  const std::size_t stride = inputs_.num_features();
+  for (const KernelOps* k : available_kernels()) {
+    ForcedKernel forced(k);
+    BoltEngine engine(*artifact_);
+    for (std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                          std::size_t{65}, std::size_t{200}}) {
+      std::vector<int> out(n, -2);
+      engine.predict_batch({rows, n * stride}, n, stride, out);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], reference_[i])
+            << "kernel " << k->name << " batch " << n << " row " << i;
+      }
+    }
+  }
+}
+
+TEST_F(EngineKernelIdentity, PartitionedIdenticalUnderEveryKernel) {
+  util::ThreadPool pool(3);
+  for (const KernelOps* k : available_kernels()) {
+    ForcedKernel forced(k);
+    for (const core::PartitionPlan plan :
+         {core::PartitionPlan{1, 1}, core::PartitionPlan{3, 1},
+          core::PartitionPlan{2, 2}}) {
+      core::PartitionedBoltEngine part(*artifact_, plan);
+      for (std::size_t i = 0; i < 60; ++i) {
+        ASSERT_EQ(part.predict(inputs_.row(i)), reference_[i])
+            << "kernel " << k->name << " plan " << plan.dict_parts << "x"
+            << plan.table_parts;
+        ASSERT_EQ(part.predict_threaded(inputs_.row(i), pool), reference_[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bolt::kernels

@@ -1,0 +1,52 @@
+// Runtime CPU detection and the dispatched PEXT: the feature flags must be
+// internally consistent (an ISA without OS state support is reported
+// absent), and pext64_fast — whichever implementation the dispatcher
+// resolved — must agree with the portable loop on every input.
+#include "util/cpu_features.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace bolt::util {
+namespace {
+
+TEST(CpuFeatures, DetectionIsMemoizedAndConsistent) {
+  const CpuFeatures& a = cpu_features();
+  const CpuFeatures& b = cpu_features();
+  EXPECT_EQ(&a, &b);
+  // OS-state implications baked into detection.
+  if (a.avx2) EXPECT_TRUE(a.os_avx);
+  if (a.avx512f) EXPECT_TRUE(a.os_avx512);
+  if (a.avx512bw || a.avx512dq || a.avx512vl) EXPECT_TRUE(a.avx512f);
+  EXPECT_EQ(a.can_avx2(), a.avx2 && a.os_avx);
+  EXPECT_EQ(a.can_avx512(), a.avx512f && a.os_avx512);
+  EXPECT_EQ(a.can_pext(), a.bmi2);
+}
+
+TEST(CpuFeatures, SummaryIsNonEmpty) {
+  EXPECT_FALSE(cpu_features_summary().empty());
+}
+
+TEST(CpuFeatures, DispatchedPextMatchesPortableLoop) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint64_t value = rng.next();
+    std::uint64_t mask = rng.next();
+    // Mix in sparse/dense masks, not just uniform ones.
+    if (trial % 3 == 1) mask &= rng.next();
+    if (trial % 3 == 2) mask |= rng.next();
+    ASSERT_EQ(pext64_fast(value, mask), pext64(value, mask))
+        << "value=" << value << " mask=" << mask;
+  }
+  // Edge masks.
+  for (std::uint64_t mask : {std::uint64_t{0}, ~std::uint64_t{0},
+                             std::uint64_t{1}, std::uint64_t{1} << 63}) {
+    ASSERT_EQ(pext64_fast(0x0123456789abcdefull, mask),
+              pext64(0x0123456789abcdefull, mask));
+  }
+}
+
+}  // namespace
+}  // namespace bolt::util
