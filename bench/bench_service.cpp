@@ -226,6 +226,12 @@ int main() {
   constexpr std::size_t kPerClient = 150;
   double speedup_at_16 = 0.0;
   bool identical = true;
+  JsonWriter bench_json;
+  bench_json.begin_object()
+      .field("schema", "bolt-bench-batching-v1")
+      .field("tool", "bench_service")
+      .field("workload", "synth-mnist/100-trees/h8")
+      .begin_array("points");
   for (const int clients : {4, 16, 32}) {
     const SweepPoint off = run_concurrent(clients, kPerClient, false);
     const SweepPoint on = run_concurrent(clients, kPerClient, true);
@@ -238,7 +244,17 @@ int main() {
                    fmt(on.throughput, 0), fmt(speedup, 2),
                    std::to_string(off.mismatches + on.mismatches),
                    std::to_string(off.errors + on.errors)});
+    bench_json.begin_object()
+        .field("clients", static_cast<std::uint64_t>(clients))
+        .field("plain_rps", off.throughput)
+        .field("batched_rps", on.throughput)
+        .field("speedup", speedup)
+        .field("mismatches",
+               static_cast<std::uint64_t>(off.mismatches + on.mismatches))
+        .field("errors", static_cast<std::uint64_t>(off.errors + on.errors))
+        .end_object();
   }
+  bench_json.end_array();
   sweep.print("Dynamic batching under concurrent single-row clients "
               "(MNIST, 100 trees, h=8)");
   sweep.write_csv("service_batching_sweep.csv");
@@ -247,5 +263,10 @@ int main() {
               speedup_at_16, speedup_at_16 >= 1.30 ? "PASS" : "FAIL");
   std::printf("bit-identical to unbatched path: %s\n",
               identical ? "yes" : "NO — MISMATCHES");
+  bench_json.field("best_speedup_at_16_clients", speedup_at_16)
+      .field("gate_speedup", 1.30)
+      .field("bit_identical", identical)
+      .end_object();
+  bench_json.write_file("BENCH_service_batching.json");
   return 0;
 }

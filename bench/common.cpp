@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 
@@ -135,6 +136,153 @@ engines::ServiceModelResult measure_model(engines::Engine& engine,
                                           std::size_t samples) {
   archsim::Machine machine(cfg);
   return engines::model_service(engine, machine, test, samples);
+}
+
+void JsonWriter::comma() {
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::key_prefix(const std::string& key) {
+  comma();
+  out_ += '"';
+  for (char c : key) {
+    if (c == '"' || c == '\\') out_ += '\\';
+    out_ += c;
+  }
+  out_ += "\":";
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& v) {
+  out += '"';
+  for (unsigned char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += '0';
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& key) {
+  key_prefix(key);
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+  key_prefix(key);
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& v) {
+  key_prefix(key);
+  append_json_string(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const char* v) {
+  return field(key, std::string(v));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double v) {
+  key_prefix(key);
+  append_json_number(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t v) {
+  key_prefix(key);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::int64_t v) {
+  key_prefix(key);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool v) {
+  key_prefix(key);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  append_json_number(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  append_json_string(out_, v);
+  return *this;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fwrite(out_.data(), 1, out_.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
 }
 
 ResultTable::ResultTable(std::vector<std::string> columns)

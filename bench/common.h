@@ -11,6 +11,7 @@
 //            here because none of the real Python/R stacks are present.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -62,6 +63,46 @@ engines::ServiceModelResult measure_model(engines::Engine& engine,
                                           const archsim::MachineConfig& cfg,
                                           const data::Dataset& test,
                                           std::size_t samples = 400);
+
+/// Minimal streaming JSON writer for the machine-readable `BENCH_*.json`
+/// result files (docs/BENCHMARKS.md): nesting, comma placement and string
+/// escaping handled internally so harnesses emit schema-valid output with
+/// plain sequential calls. Values are written in call order; keys are the
+/// caller's responsibility (no deduplication). Non-finite doubles are
+/// written as 0 (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  /// Anonymous object: the top-level document or an array element.
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(const std::string& key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key);
+  JsonWriter& end_array();
+
+  JsonWriter& field(const std::string& key, const std::string& v);
+  JsonWriter& field(const std::string& key, const char* v);
+  JsonWriter& field(const std::string& key, double v);
+  JsonWriter& field(const std::string& key, std::uint64_t v);
+  JsonWriter& field(const std::string& key, std::int64_t v);
+  JsonWriter& field(const std::string& key, bool v);
+  /// Bare array elements.
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(const std::string& v);
+
+  /// The document so far. Callers should have balanced every begin_*.
+  const std::string& str() const { return out_; }
+  /// Writes str() to `path`; returns false when the file cannot be opened
+  /// (read-only working directory — mirrors ResultTable::write_csv).
+  bool write_file(const std::string& path) const;
+
+ private:
+  void comma();
+  void key_prefix(const std::string& key);
+
+  std::string out_;
+  std::vector<bool> need_comma_{};  // one flag per open scope
+};
 
 /// Row-oriented results table that prints aligned text and writes CSV.
 class ResultTable {

@@ -1,0 +1,158 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "service/unix_socket.h"
+
+namespace bolt::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A connect failure worth retrying while the budget lasts: the socket
+/// file is not there yet (server still starting) or exists but nobody is
+/// accepting (server binding, or a stale file from a previous run that a
+/// starting server is about to replace).
+bool retryable_connect_errno(int err) {
+  return err == ENOENT || err == ECONNREFUSED;
+}
+
+int connect_with_retry(const std::string& path, const ClientOptions& opts,
+                       std::uint32_t& attempts) {
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::milliseconds(opts.connect_timeout_ms);
+  std::uint32_t backoff_ms = std::max<std::uint32_t>(1, opts.connect_backoff_ms);
+  attempts = 0;
+  for (;;) {
+    const int fd = detail::make_unix_socket();
+    sockaddr_un addr = detail::make_addr(path);
+    ++attempts;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    if (!retryable_connect_errno(err) || Clock::now() >= give_up) {
+      throw std::runtime_error(std::string("service: connect ") + path +
+                               ": " + std::strerror(err) + " (after " +
+                               std::to_string(attempts) + " attempt" +
+                               (attempts == 1 ? "" : "s") + ")");
+    }
+    // Never sleep past the deadline: the final attempt happens as close to
+    // the budget's edge as the backoff grid allows.
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        give_up - Clock::now());
+    const auto sleep_ms = std::min<std::int64_t>(
+        backoff_ms, std::max<std::int64_t>(1, remaining.count()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min<std::uint32_t>(backoff_ms * 2, 100);
+  }
+}
+
+void set_io_deadline(int fd, std::uint32_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+InferenceClient::InferenceClient(const std::string& socket_path)
+    : InferenceClient(socket_path, ClientOptions{}) {}
+
+InferenceClient::InferenceClient(const std::string& socket_path,
+                                 const ClientOptions& opts) {
+  fd_ = connect_with_retry(socket_path, opts, connect_attempts_);
+  if (opts.io_timeout_ms > 0) set_io_deadline(fd_, opts.io_timeout_ms);
+}
+
+InferenceClient::~InferenceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response InferenceClient::classify(std::span<const float> features,
+                                   bool explain) {
+  Request req;
+  req.flags = explain ? kFlagExplain : 0;
+  req.features.assign(features.begin(), features.end());
+  buf_.clear();
+  encode_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  return decode_response(buf_);
+}
+
+Response InferenceClient::classify_traced(std::span<const float> features) {
+  Request req;
+  req.flags = kFlagTrace;
+  req.features.assign(features.begin(), features.end());
+  buf_.clear();
+  encode_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  return decode_response(buf_);
+}
+
+std::string InferenceClient::slow(bool json) {
+  SlowRequest req;
+  req.flags = json ? kSlowFlagJson : 0;
+  buf_.clear();
+  encode_slow_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  return decode_slow_response(buf_).body;
+}
+
+std::vector<std::int32_t> InferenceClient::classify_batch(
+    std::span<const float> rows, std::size_t num_rows,
+    std::size_t row_stride) {
+  BatchRequest req;
+  req.features.assign(rows.begin(),
+                      rows.begin() + static_cast<std::ptrdiff_t>(
+                                         num_rows * row_stride));
+  req.row_offsets.resize(num_rows + 1);
+  for (std::size_t i = 0; i <= num_rows; ++i) {
+    req.row_offsets[i] = static_cast<std::uint32_t>(i * row_stride);
+  }
+  buf_.clear();
+  encode_batch_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  BatchResponse resp = decode_batch_response(buf_);
+  if (resp.classes.size() != num_rows) {
+    throw std::runtime_error("service: batch response row count mismatch");
+  }
+  return std::move(resp.classes);
+}
+
+std::string InferenceClient::stats(bool json) {
+  StatsRequest req;
+  req.flags = json ? kStatsFlagJson : 0;
+  buf_.clear();
+  encode_stats_request(req, buf_);
+  write_frame(fd_, buf_);
+  if (!read_frame(fd_, buf_)) {
+    throw std::runtime_error("service: server closed connection");
+  }
+  return decode_stats_response(buf_).body;
+}
+
+}  // namespace bolt::service

@@ -1,0 +1,86 @@
+// Client for the inference service: connects to a server's UNIX socket,
+// sends samples, and reads classifications (plus the STATS/TRACE/SLOW and
+// BATCH ops — see service/protocol.h for the wire formats).
+//
+// Connection establishment is retried with exponential backoff inside
+// ClientOptions::connect_timeout_ms: a client started concurrently with
+// the server (CI jobs, the load generator's worker fleet) converges as
+// soon as the socket is bound instead of failing on the first
+// ECONNREFUSED/ENOENT. I/O deadlines (ClientOptions::io_timeout_ms) bound
+// every subsequent round trip so a wedged server surfaces as
+// ReadTimeoutError instead of a hung client.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace bolt::service {
+
+/// Connection-establishment and I/O-deadline tunables for InferenceClient.
+struct ClientOptions {
+  /// Total budget for establishing the connection. While the server's
+  /// socket is missing (ENOENT) or not yet accepting (ECONNREFUSED) the
+  /// client retries with exponential backoff until the budget is spent.
+  /// 0 = a single attempt that fails immediately (the historical
+  /// behaviour, still right for "is it up?" probes).
+  std::uint32_t connect_timeout_ms = 0;
+  /// First retry sleep; doubles per attempt, capped at 100 ms so a
+  /// multi-second budget still probes frequently.
+  std::uint32_t connect_backoff_ms = 2;
+  /// Per-operation send/receive deadline (SO_SNDTIMEO/SO_RCVTIMEO). A
+  /// response that does not arrive within it throws ReadTimeoutError.
+  /// 0 = block indefinitely.
+  std::uint32_t io_timeout_ms = 0;
+};
+
+/// Client for the service: connects, sends samples, reads classifications.
+class InferenceClient {
+ public:
+  explicit InferenceClient(const std::string& socket_path);
+  InferenceClient(const std::string& socket_path, const ClientOptions& opts);
+  ~InferenceClient();
+
+  InferenceClient(const InferenceClient&) = delete;
+  InferenceClient& operator=(const InferenceClient&) = delete;
+
+  /// Round-trips one sample. `explain` asks for salient features.
+  Response classify(std::span<const float> features, bool explain = false);
+
+  /// Round-trips one sample with kFlagTrace set: the response carries the
+  /// server's per-stage span breakdown (Response::trace) and its measured
+  /// wall time (Response::trace_total_ns). Response::traced stays false
+  /// when the server was built with tracing compiled out.
+  Response classify_traced(std::span<const float> features);
+
+  /// Retrieves the server's slow-request capture ring (SLOW op). Returns
+  /// the text rendering, or JSON when `json` is set.
+  std::string slow(bool json = false);
+
+  /// Round-trips a batch of `num_rows` samples of `row_stride` floats each
+  /// (row i at rows[i * row_stride]) through the BATCH op: one frame each
+  /// way, classified server-side by the amortized batch kernel. Returns one
+  /// class per row (-1 for arity-mismatched rows).
+  std::vector<std::int32_t> classify_batch(std::span<const float> rows,
+                                           std::size_t num_rows,
+                                           std::size_t row_stride);
+
+  /// Scrapes the server's metrics registry (STATS op). Returns the text
+  /// dump, or JSON when `json` is set.
+  std::string stats(bool json = false);
+
+  /// Connect attempts the constructor made before succeeding (1 when the
+  /// server was already up) — observability for retry-path tests and the
+  /// load generator's connect accounting.
+  std::uint32_t connect_attempts() const { return connect_attempts_; }
+
+ private:
+  int fd_ = -1;
+  std::uint32_t connect_attempts_ = 0;
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace bolt::service

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "bolt/kernels/kernels.h"
+#include "service/unix_socket.h"
 #include "util/build_info.h"
 #include "util/cpu_features.h"
 #include "util/timer.h"
@@ -16,24 +17,8 @@
 namespace bolt::service {
 namespace {
 
-int make_unix_socket() {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw std::runtime_error(std::string("service: socket: ") +
-                             std::strerror(errno));
-  }
-  return fd;
-}
-
-sockaddr_un make_addr(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() + 1 > sizeof(addr.sun_path)) {
-    throw std::runtime_error("service: socket path too long");
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return addr;
-}
+using detail::make_addr;
+using detail::make_unix_socket;
 
 /// Copies a trace's non-empty stages into a response's trace section.
 void fill_trace_section(const util::TraceContext& trace,
@@ -503,95 +488,6 @@ void InferenceServer::handle_connection(int fd) {
     // the handler touches nothing of the server.
     conn_cv_.notify_all();
   }
-}
-
-InferenceClient::InferenceClient(const std::string& socket_path) {
-  fd_ = make_unix_socket();
-  sockaddr_un addr = make_addr(socket_path);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd_);
-    throw std::runtime_error(std::string("service: connect: ") +
-                             std::strerror(errno));
-  }
-}
-
-InferenceClient::~InferenceClient() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Response InferenceClient::classify(std::span<const float> features,
-                                   bool explain) {
-  Request req;
-  req.flags = explain ? kFlagExplain : 0;
-  req.features.assign(features.begin(), features.end());
-  buf_.clear();
-  encode_request(req, buf_);
-  write_frame(fd_, buf_);
-  if (!read_frame(fd_, buf_)) {
-    throw std::runtime_error("service: server closed connection");
-  }
-  return decode_response(buf_);
-}
-
-Response InferenceClient::classify_traced(std::span<const float> features) {
-  Request req;
-  req.flags = kFlagTrace;
-  req.features.assign(features.begin(), features.end());
-  buf_.clear();
-  encode_request(req, buf_);
-  write_frame(fd_, buf_);
-  if (!read_frame(fd_, buf_)) {
-    throw std::runtime_error("service: server closed connection");
-  }
-  return decode_response(buf_);
-}
-
-std::string InferenceClient::slow(bool json) {
-  SlowRequest req;
-  req.flags = json ? kSlowFlagJson : 0;
-  buf_.clear();
-  encode_slow_request(req, buf_);
-  write_frame(fd_, buf_);
-  if (!read_frame(fd_, buf_)) {
-    throw std::runtime_error("service: server closed connection");
-  }
-  return decode_slow_response(buf_).body;
-}
-
-std::vector<std::int32_t> InferenceClient::classify_batch(
-    std::span<const float> rows, std::size_t num_rows,
-    std::size_t row_stride) {
-  BatchRequest req;
-  req.features.assign(rows.begin(),
-                      rows.begin() + static_cast<std::ptrdiff_t>(
-                                         num_rows * row_stride));
-  req.row_offsets.resize(num_rows + 1);
-  for (std::size_t i = 0; i <= num_rows; ++i) {
-    req.row_offsets[i] = static_cast<std::uint32_t>(i * row_stride);
-  }
-  buf_.clear();
-  encode_batch_request(req, buf_);
-  write_frame(fd_, buf_);
-  if (!read_frame(fd_, buf_)) {
-    throw std::runtime_error("service: server closed connection");
-  }
-  BatchResponse resp = decode_batch_response(buf_);
-  if (resp.classes.size() != num_rows) {
-    throw std::runtime_error("service: batch response row count mismatch");
-  }
-  return std::move(resp.classes);
-}
-
-std::string InferenceClient::stats(bool json) {
-  StatsRequest req;
-  req.flags = json ? kStatsFlagJson : 0;
-  buf_.clear();
-  encode_stats_request(req, buf_);
-  write_frame(fd_, buf_);
-  if (!read_frame(fd_, buf_)) {
-    throw std::runtime_error("service: server closed connection");
-  }
-  return decode_stats_response(buf_).body;
 }
 
 }  // namespace bolt::service

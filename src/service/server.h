@@ -12,6 +12,7 @@
 
 #include "baselines/engine.h"
 #include "bolt/engine.h"
+#include "service/client.h"  // re-exported: InferenceClient historically lived here
 #include "service/metrics_http.h"
 #include "service/protocol.h"
 #include "service/scheduler.h"
@@ -150,45 +151,6 @@ class InferenceServer {
   util::Counter* slow_op_requests_ = nullptr;
   util::Histogram* request_latency_us_ = nullptr;
   util::Histogram* batch_size_ = nullptr;
-};
-
-/// Client for the service: connects, sends samples, reads classifications.
-class InferenceClient {
- public:
-  explicit InferenceClient(const std::string& socket_path);
-  ~InferenceClient();
-
-  InferenceClient(const InferenceClient&) = delete;
-  InferenceClient& operator=(const InferenceClient&) = delete;
-
-  /// Round-trips one sample. `explain` asks for salient features.
-  Response classify(std::span<const float> features, bool explain = false);
-
-  /// Round-trips one sample with kFlagTrace set: the response carries the
-  /// server's per-stage span breakdown (Response::trace) and its measured
-  /// wall time (Response::trace_total_ns). Response::traced stays false
-  /// when the server was built with tracing compiled out.
-  Response classify_traced(std::span<const float> features);
-
-  /// Retrieves the server's slow-request capture ring (SLOW op). Returns
-  /// the text rendering, or JSON when `json` is set.
-  std::string slow(bool json = false);
-
-  /// Round-trips a batch of `num_rows` samples of `row_stride` floats each
-  /// (row i at rows[i * row_stride]) through the BATCH op: one frame each
-  /// way, classified server-side by the amortized batch kernel. Returns one
-  /// class per row (-1 for arity-mismatched rows).
-  std::vector<std::int32_t> classify_batch(std::span<const float> rows,
-                                           std::size_t num_rows,
-                                           std::size_t row_stride);
-
-  /// Scrapes the server's metrics registry (STATS op). Returns the text
-  /// dump, or JSON when `json` is set.
-  std::string stats(bool json = false);
-
- private:
-  int fd_ = -1;
-  std::vector<std::uint8_t> buf_;
 };
 
 }  // namespace bolt::service

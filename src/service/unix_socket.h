@@ -1,0 +1,33 @@
+// Internal UNIX-domain-socket helpers shared by the server and client TUs.
+// Not part of the public service API.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace bolt::service::detail {
+
+inline int make_unix_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("service: socket: ") +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+inline sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw std::runtime_error("service: socket path too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace bolt::service::detail

@@ -1,0 +1,143 @@
+// InferenceClient connection-establishment tests: single-shot connect
+// semantics (the historical default), bounded retry-with-backoff against a
+// server that binds its socket late (the CI race the retry exists for),
+// budget exhaustion, and per-op I/O deadlines against a server that
+// accepts but never answers.
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "../helpers.h"
+#include "bolt/engine.h"
+#include "service/server.h"
+
+namespace bolt::service {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+std::string temp_socket(const char* tag) {
+  return ::testing::TempDir() + "/bolt_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Arity-3 engine answering class = (int)row[0]; enough to prove a
+/// round-trip reached a real server.
+class EchoEngine final : public engines::Engine {
+ public:
+  std::string_view name() const override { return "echo"; }
+  std::size_t num_features() const override { return 3; }
+  int predict(std::span<const float> x) override {
+    return static_cast<int>(x[0]);
+  }
+  int predict_traced(std::span<const float> x, archsim::Machine&) override {
+    return predict(x);
+  }
+  void vote(std::span<const float>, std::span<double> out) override {
+    for (auto& v : out) v = 0.0;
+  }
+  void predict_batch(std::span<const float> rows, std::size_t num_rows,
+                     std::size_t row_stride, std::span<int> out) override {
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      out[r] = static_cast<int>(rows[r * row_stride]);
+    }
+  }
+  std::size_t memory_bytes() const override { return 0; }
+};
+
+std::function<std::unique_ptr<engines::Engine>()> echo_factory() {
+  return [] { return std::make_unique<EchoEngine>(); };
+}
+
+TEST(ClientConnect, DefaultOptionsFailImmediatelyWhenSocketMissing) {
+  const std::string path = temp_socket("absent");
+  const auto t0 = Clock::now();
+  EXPECT_THROW(InferenceClient client(path), std::runtime_error);
+  // Zero budget = one attempt, no sleeping: this is the "is it up?" probe
+  // behaviour every pre-existing caller relied on.
+  EXPECT_LT(Clock::now() - t0, 1s);
+}
+
+TEST(ClientConnect, RetriesUntilLateServerBinds) {
+  const std::string path = temp_socket("late");
+  // The server starts well after the client begins connecting — the
+  // loadgen/CI startup race, compressed.
+  std::unique_ptr<InferenceServer> server;
+  std::thread starter([&] {
+    std::this_thread::sleep_for(200ms);
+    server = std::make_unique<InferenceServer>(path, echo_factory(),
+                                               ServerOptions{});
+    server->start();
+  });
+
+  ClientOptions opts;
+  opts.connect_timeout_ms = 5000;
+  InferenceClient client(path, opts);
+  starter.join();
+  // The first attempts ran against a missing socket, so the client must
+  // have retried at least once before converging.
+  EXPECT_GT(client.connect_attempts(), 1u);
+  const auto resp = client.classify(std::vector<float>{7.0f, 0.0f, 0.0f});
+  EXPECT_EQ(resp.predicted_class, 7);
+  server->stop();
+}
+
+TEST(ClientConnect, GivesUpWhenBudgetExhausted) {
+  const std::string path = temp_socket("never");
+  ClientOptions opts;
+  opts.connect_timeout_ms = 150;
+  const auto t0 = Clock::now();
+  EXPECT_THROW(InferenceClient client(path, opts), std::runtime_error);
+  const auto elapsed = Clock::now() - t0;
+  // Must have honoured the budget: not instant, not unbounded.
+  EXPECT_LT(elapsed, 5s);
+}
+
+TEST(ClientConnect, SingleAttemptWhenServerAlreadyUp) {
+  const std::string path = temp_socket("up");
+  InferenceServer server(path, echo_factory(), ServerOptions{});
+  server.start();
+  ClientOptions opts;
+  opts.connect_timeout_ms = 5000;
+  InferenceClient client(path, opts);
+  EXPECT_EQ(client.connect_attempts(), 1u);
+  server.stop();
+}
+
+TEST(ClientConnect, IoDeadlineSurfacesAsReadTimeout) {
+  // A raw listening socket that accepts the connection (kernel backlog)
+  // but never reads or answers: without a deadline classify() would hang
+  // forever; with one it must throw ReadTimeoutError promptly.
+  const std::string path = temp_socket("mute");
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+
+  ClientOptions opts;
+  opts.io_timeout_ms = 100;
+  InferenceClient client(path, opts);
+  const auto t0 = Clock::now();
+  EXPECT_THROW(client.classify(std::vector<float>{1.0f, 0.0f, 0.0f}),
+               ReadTimeoutError);
+  EXPECT_LT(Clock::now() - t0, 5s);
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace bolt::service

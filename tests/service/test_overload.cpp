@@ -1,0 +1,272 @@
+// Scheduler overload regression: open-loop arrivals pushed past queue
+// capacity through the real server socket and through the scheduler
+// directly. Under overload every request must still get exactly one
+// prompt answer — a real class, kClassBusy (-2, shed at admission), or
+// kClassExpired (-3, deadline lapsed in queue) — the accounting must
+// balance (nothing lost, nothing duplicated, nothing computed for shed
+// rows), and the queue must drain back to zero after the burst.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../helpers.h"
+#include "bolt/engine.h"
+#include "loadgen/workload.h"
+#include "service/client.h"
+#include "service/scheduler.h"
+#include "service/server.h"
+
+namespace bolt::service {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+/// Arity-3 engine, class = (int)row[0], with a fixed per-batch stall so a
+/// test can overrun the queue with a modest client fleet.
+class SlowEchoEngine final : public engines::Engine {
+ public:
+  SlowEchoEngine(std::atomic<std::uint64_t>* rows_seen,
+                 std::chrono::milliseconds stall)
+      : rows_seen_(rows_seen), stall_(stall) {}
+
+  std::string_view name() const override { return "slow-echo"; }
+  std::size_t num_features() const override { return 3; }
+  int predict(std::span<const float> x) override {
+    return static_cast<int>(x[0]);
+  }
+  int predict_traced(std::span<const float> x, archsim::Machine&) override {
+    return predict(x);
+  }
+  void vote(std::span<const float>, std::span<double> out) override {
+    for (auto& v : out) v = 0.0;
+  }
+  void predict_batch(std::span<const float> rows, std::size_t num_rows,
+                     std::size_t row_stride, std::span<int> out) override {
+    std::this_thread::sleep_for(stall_);
+    rows_seen_->fetch_add(num_rows);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      out[r] = static_cast<int>(rows[r * row_stride]);
+    }
+  }
+  std::size_t memory_bytes() const override { return 0; }
+
+ private:
+  std::atomic<std::uint64_t>* rows_seen_;
+  std::chrono::milliseconds stall_;
+};
+
+std::string temp_socket(const char* tag) {
+  return ::testing::TempDir() + "/bolt_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+std::uint64_t counter_value(const util::MetricsRegistry& reg,
+                            const std::string& name) {
+  for (const auto& [n, v] : reg.snapshot().counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t gauge_value(const util::MetricsRegistry& reg,
+                         const std::string& name) {
+  for (const auto& [n, v] : reg.snapshot().gauges) {
+    if (n == name) return v;
+  }
+  return -1;
+}
+
+TEST(SchedulerOverload, ShedsPastCapacityWithExactlyOnceAccounting) {
+  const std::string path = temp_socket("overload");
+  std::atomic<std::uint64_t> rows_seen{0};
+  ServerOptions opts;
+  opts.max_connections = 64;
+  opts.scheduler.enabled = true;
+  opts.scheduler.workers = 1;
+  opts.scheduler.max_batch_size = 4;
+  opts.scheduler.max_queue_delay_us = 200;
+  // Smaller than the client fleet: 8 concurrent submissions against a
+  // stalled worker must overrun a 4-deep queue.
+  opts.scheduler.queue_capacity = 4;
+  InferenceServer server(
+      path, [&] { return std::make_unique<SlowEchoEngine>(&rows_seen, 3ms); },
+      opts);
+  server.start();
+
+  // 8 clients firing back-to-back: offered rate far above the ~1.3k rows/s
+  // the stalled engine can drain, so the shallow queue must overflow.
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 50;
+  std::atomic<std::uint64_t> ok{0}, shed{0}, expired{0}, wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      InferenceClient client(path);
+      for (int i = 0; i < kPerClient; ++i) {
+        const int v = c * 1000 + i;
+        const auto resp = client.classify(
+            std::vector<float>{static_cast<float>(v), 0.0f, 0.0f});
+        if (resp.predicted_class == v) {
+          ok.fetch_add(1);
+        } else if (resp.predicted_class == kClassBusy) {
+          shed.fetch_add(1);
+        } else if (resp.predicted_class == kClassExpired) {
+          expired.fetch_add(1);
+        } else {
+          // Any other class means rows were mixed or duplicated across
+          // requests — the failure this regression test exists to catch.
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Every request got exactly one answer and none was mislabelled.
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(ok.load() + shed.load() + expired.load(),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  // Overload actually happened, and shed rows were never computed.
+  EXPECT_GT(shed.load(), 0u);
+  EXPECT_EQ(rows_seen.load(), ok.load());
+  EXPECT_EQ(counter_value(server.metrics(), "scheduler.shed"), shed.load());
+
+  // After the burst the queue must drain to zero and keep serving.
+  InferenceClient probe(path);
+  const auto resp =
+      probe.classify(std::vector<float>{42.0f, 0.0f, 0.0f});
+  EXPECT_EQ(resp.predicted_class, 42);
+  EXPECT_EQ(gauge_value(server.metrics(), "scheduler.queue_depth"), 0);
+  server.stop();
+}
+
+TEST(SchedulerOverload, QueuedRequestsExpirePromptlyUnderDeadline) {
+  const std::string path = temp_socket("deadline");
+  std::atomic<std::uint64_t> rows_seen{0};
+  ServerOptions opts;
+  opts.max_connections = 64;
+  opts.scheduler.enabled = true;
+  opts.scheduler.workers = 1;
+  opts.scheduler.max_batch_size = 1;   // one row per 20 ms stall
+  opts.scheduler.max_queue_delay_us = 0;
+  opts.scheduler.queue_capacity = 256;  // deep queue: expiry, not shedding
+  opts.scheduler.deadline_us = 5000;    // 5 ms << time-to-head under load
+  InferenceServer server(
+      path, [&] { return std::make_unique<SlowEchoEngine>(&rows_seen, 20ms); },
+      opts);
+  server.start();
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 8;
+  std::atomic<std::uint64_t> ok{0}, expired{0}, other{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      InferenceClient client(path);
+      for (int i = 0; i < kPerClient; ++i) {
+        const int v = c * 1000 + i;
+        const auto resp = client.classify(
+            std::vector<float>{static_cast<float>(v), 0.0f, 0.0f});
+        if (resp.predicted_class == v) {
+          ok.fetch_add(1);
+        } else if (resp.predicted_class == kClassExpired) {
+          expired.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const auto elapsed = Clock::now() - t0;
+
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_EQ(ok.load() + expired.load(),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_GT(expired.load(), 0u);
+  // Expired answers must come back promptly, not after the row would have
+  // been computed: 48 rows at 20 ms each would be ~1 s if everything were
+  // computed serially; expiry keeps the run far under the all-computed
+  // bound even on slow CI.
+  EXPECT_LT(elapsed, 30s);
+  EXPECT_EQ(rows_seen.load(), ok.load());
+  EXPECT_EQ(counter_value(server.metrics(), "scheduler.expired"),
+            expired.load());
+  server.stop();
+}
+
+TEST(SchedulerOverload, OpenLoopBurstArrivalsDrainBackToZero) {
+  // Direct scheduler, true open-loop arrivals from the load generator's
+  // burst schedule: each arrival fires at its scheduled offset regardless
+  // of how far behind the scheduler is, exactly like bolt_loadgen's
+  // workers. The whole burst must be answered and the queue must read
+  // empty the moment the last response is out.
+  std::atomic<std::uint64_t> rows_seen{0};
+  util::MetricsRegistry registry;
+  SchedulerOptions opts;
+  opts.enabled = true;
+  opts.workers = 1;
+  opts.max_batch_size = 8;
+  opts.max_queue_delay_us = 200;
+  opts.queue_capacity = 32;
+  BatchScheduler sched(
+      [&] { return std::make_unique<SlowEchoEngine>(&rows_seen, 2ms); }, opts,
+      registry, /*record=*/true);
+  sched.start();
+
+  loadgen::ShapeConfig shape;
+  shape.kind = loadgen::ShapeConfig::Kind::kBurst;
+  shape.rps = 2000.0;
+  shape.burst_size = 64;  // 2x queue capacity arriving at one instant
+  loadgen::ArrivalSchedule schedule(shape, /*seed=*/99);
+
+  constexpr int kArrivals = 192;  // 3 bursts
+  std::atomic<std::uint64_t> ok{0}, busy{0}, expired{0}, wrong{0};
+  const auto start = Clock::now() + 50ms;
+  std::vector<std::thread> arrivals;
+  for (int i = 0; i < kArrivals; ++i) {
+    const auto at = start + std::chrono::microseconds(schedule.next_us());
+    arrivals.emplace_back([&, i, at] {
+      std::this_thread::sleep_until(at);
+      const auto r = sched.classify(
+          std::vector<float>{static_cast<float>(i), 0.0f, 0.0f});
+      switch (r.status) {
+        case BatchScheduler::Status::kOk:
+          if (r.predicted_class == i) {
+            ok.fetch_add(1);
+          } else {
+            wrong.fetch_add(1);
+          }
+          break;
+        case BatchScheduler::Status::kBusy:
+          busy.fetch_add(1);
+          break;
+        case BatchScheduler::Status::kExpired:
+          expired.fetch_add(1);
+          break;
+        default:
+          wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : arrivals) t.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(ok.load() + busy.load() + expired.load(),
+            static_cast<std::uint64_t>(kArrivals));
+  EXPECT_GT(busy.load(), 0u);  // a 64-burst must overrun capacity 32
+  EXPECT_EQ(rows_seen.load(), ok.load());
+  // All callers have their answers, so nothing can still be queued.
+  EXPECT_EQ(sched.queue_depth(), 0u);
+  EXPECT_EQ(counter_value(registry, "scheduler.shed"), busy.load());
+  sched.stop();
+}
+
+}  // namespace
+}  // namespace bolt::service

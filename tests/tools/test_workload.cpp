@@ -1,0 +1,282 @@
+// Unit tests for the load generator's workload-shape library (arrival
+// schedules, op mixes, the replay log format, the latency recorder) and
+// for the shared bench JSON writer that BENCH_*.json files go through.
+#include "loadgen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"  // bench::JsonWriter
+#include "util/rng.h"
+
+namespace bolt::loadgen {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return ::testing::TempDir() + "/bolt_" + tag + "_" +
+         std::to_string(::getpid()) + ".log";
+}
+
+TEST(OpNames, RoundTrip) {
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    Op back;
+    ASSERT_TRUE(parse_op(op_name(op), back)) << op_name(op);
+    EXPECT_EQ(back, op);
+  }
+  Op ignored;
+  EXPECT_FALSE(parse_op("CLASSIFY", ignored));  // names are lowercase
+  EXPECT_FALSE(parse_op("bogus", ignored));
+}
+
+TEST(OpMix, DefaultIsClassifyOnly) {
+  OpMix mix;
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(mix.pick(rng), Op::kClassify);
+  EXPECT_EQ(mix.describe(), "classify=1");
+}
+
+TEST(OpMix, ParseDescribeRoundTrip) {
+  const OpMix mix = OpMix::parse("classify=70,batch=20,trace=5,stats=5");
+  EXPECT_DOUBLE_EQ(mix.weight(Op::kClassify), 70.0);
+  EXPECT_DOUBLE_EQ(mix.weight(Op::kBatch), 20.0);
+  EXPECT_DOUBLE_EQ(mix.weight(Op::kTrace), 5.0);
+  EXPECT_DOUBLE_EQ(mix.weight(Op::kStats), 5.0);
+  EXPECT_DOUBLE_EQ(mix.weight(Op::kExplain), 0.0);
+  EXPECT_EQ(mix.describe(), "classify=70,batch=20,trace=5,stats=5");
+}
+
+TEST(OpMix, PickTracksWeights) {
+  const OpMix mix = OpMix::parse("classify=60,batch=30,stats=10");
+  util::Rng rng(7);
+  std::array<int, kNumOps> hits{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits[static_cast<std::size_t>(mix.pick(rng))]++;
+  }
+  EXPECT_NEAR(hits[static_cast<std::size_t>(Op::kClassify)], 60000, 2000);
+  EXPECT_NEAR(hits[static_cast<std::size_t>(Op::kBatch)], 30000, 2000);
+  EXPECT_NEAR(hits[static_cast<std::size_t>(Op::kStats)], 10000, 1500);
+  EXPECT_EQ(hits[static_cast<std::size_t>(Op::kTrace)], 0);
+  EXPECT_EQ(hits[static_cast<std::size_t>(Op::kExplain)], 0);
+}
+
+TEST(OpMix, RejectsMalformedSpecs) {
+  EXPECT_THROW(OpMix::parse("classify"), std::runtime_error);
+  EXPECT_THROW(OpMix::parse("warp=1"), std::runtime_error);
+  EXPECT_THROW(OpMix::parse("classify=x"), std::runtime_error);
+  EXPECT_THROW(OpMix::parse("classify=-1"), std::runtime_error);
+  EXPECT_THROW(OpMix::parse("classify=0,batch=0"), std::runtime_error);
+}
+
+TEST(ArrivalSchedule, PoissonIsDeterministicPerSeed) {
+  ShapeConfig cfg;
+  cfg.kind = ShapeConfig::Kind::kPoisson;
+  cfg.rps = 500.0;
+  ArrivalSchedule a(cfg, 42), b(cfg, 42), c(cfg, 43);
+  bool any_different = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t ta = a.next_us();
+    EXPECT_EQ(ta, b.next_us());
+    any_different = any_different || ta != c.next_us();
+  }
+  EXPECT_TRUE(any_different);  // a different seed is a different process
+}
+
+TEST(ArrivalSchedule, PoissonMeanRateConverges) {
+  ShapeConfig cfg;
+  cfg.kind = ShapeConfig::Kind::kPoisson;
+  cfg.rps = 1000.0;  // mean gap 1000 us
+  ArrivalSchedule sched(cfg, 7);
+  constexpr int kN = 50000;
+  std::uint64_t last = 0, prev = 0;
+  for (int i = 0; i < kN; ++i) {
+    prev = last;
+    last = sched.next_us();
+    ASSERT_GE(last, prev);  // monotone
+  }
+  const double mean_gap = static_cast<double>(last) / kN;
+  EXPECT_NEAR(mean_gap, 1000.0, 50.0);  // within 5% over 50k arrivals
+}
+
+TEST(ArrivalSchedule, UniformIsExactlyPaced) {
+  ShapeConfig cfg;
+  cfg.kind = ShapeConfig::Kind::kUniform;
+  cfg.rps = 100.0;  // 10 ms gap
+  ArrivalSchedule sched(cfg, 1);
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(sched.next_us(), static_cast<std::uint64_t>(i) * 10000u);
+  }
+}
+
+TEST(ArrivalSchedule, BurstGroupsShareTimestampAtMeanRate) {
+  ShapeConfig cfg;
+  cfg.kind = ShapeConfig::Kind::kBurst;
+  cfg.rps = 1000.0;
+  cfg.burst_size = 8;
+  ArrivalSchedule sched(cfg, 1);
+  std::uint64_t last_burst_t = 0;
+  for (int burst = 0; burst < 5; ++burst) {
+    const std::uint64_t t = sched.next_us();
+    for (std::size_t i = 1; i < cfg.burst_size; ++i) {
+      EXPECT_EQ(sched.next_us(), t);  // whole burst lands at once
+    }
+    if (burst > 0) {
+      // Bursts spaced burst_size/rps apart keep the long-run rate at rps.
+      EXPECT_EQ(t - last_burst_t, 8000u);
+    }
+    last_burst_t = t;
+  }
+}
+
+TEST(ArrivalSchedule, RejectsBadConfig) {
+  ShapeConfig cfg;
+  cfg.rps = 0.0;
+  EXPECT_THROW(ArrivalSchedule(cfg, 1), std::runtime_error);
+  cfg.rps = 100.0;
+  cfg.kind = ShapeConfig::Kind::kBurst;
+  cfg.burst_size = 0;
+  EXPECT_THROW(ArrivalSchedule(cfg, 1), std::runtime_error);
+}
+
+TEST(ShapeNames, RoundTrip) {
+  for (const auto kind :
+       {ShapeConfig::Kind::kPoisson, ShapeConfig::Kind::kUniform,
+        ShapeConfig::Kind::kBurst}) {
+    ShapeConfig::Kind back;
+    ASSERT_TRUE(parse_shape(shape_name(kind), back));
+    EXPECT_EQ(back, kind);
+  }
+  ShapeConfig::Kind ignored;
+  EXPECT_FALSE(parse_shape("bursty", ignored));
+}
+
+TEST(RequestLog, WriteReadRoundTrip) {
+  const std::string path = temp_path("roundtrip");
+  const std::vector<LogEvent> events = {
+      {0, Op::kClassify, 1},
+      {1500, Op::kBatch, 32},
+      {1500, Op::kStats, 1},
+      {999999, Op::kTrace, 1},
+  };
+  ASSERT_TRUE(write_request_log(path, events));
+  const std::vector<LogEvent> back = read_request_log(path);
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i].t_us, events[i].t_us);
+    EXPECT_EQ(back[i].op, events[i].op);
+    EXPECT_EQ(back[i].rows, events[i].rows);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RequestLog, MissingFileAndMalformedLinesThrow) {
+  EXPECT_THROW(read_request_log(temp_path("nonexistent")),
+               std::runtime_error);
+
+  const std::string path = temp_path("malformed");
+  {
+    std::ofstream out(path);
+    out << "# bolt_loadgen replay v1\n100 classify 1\nnot a line\n";
+  }
+  EXPECT_THROW(read_request_log(path), std::runtime_error);
+  std::remove(path.c_str());
+
+  {
+    std::ofstream out(path);
+    out << "100 teleport 1\n";
+  }
+  EXPECT_THROW(read_request_log(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(RequestLog, CommentsSkippedAndZeroRowsClamped) {
+  const std::string path = temp_path("comments");
+  {
+    std::ofstream out(path);
+    out << "# header\n\n# another comment\n10 batch 0\n";
+  }
+  const auto events = read_request_log(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].op, Op::kBatch);
+  EXPECT_EQ(events[0].rows, 1u);  // rows=0 is meaningless; clamp to 1
+  std::remove(path.c_str());
+}
+
+TEST(LatencyRecorder, PercentilesTrackRecordedPopulation) {
+  LatencyRecorder rec;
+  // 1..1000 us uniform: p50 ~ 500, p99 ~ 990. The recorder's geometric
+  // buckets are ~10% wide, so assert within that resolution.
+  for (int us = 1; us <= 1000; ++us) {
+    rec.record_us(static_cast<double>(us));
+  }
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.p50, 500.0, 75.0);
+  EXPECT_NEAR(s.p99, 990.0, 150.0);
+  // min/max are tracked exactly; percentiles read off bucket bounds, so
+  // p999 may land up to one ~10% bucket above the true maximum.
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_NEAR(s.p999, 1000.0, 120.0);
+  EXPECT_GE(s.p999, s.p99);
+  EXPECT_GE(s.p99, s.p95);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_NEAR(s.mean, 500.5, 75.0);
+}
+
+TEST(LatencyRecorder, EmptySummaryIsZero) {
+  LatencyRecorder rec;
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(JsonWriter, NestedStructureAndEscaping) {
+  bench::JsonWriter w;
+  w.begin_object()
+      .field("schema", "test-v1")
+      .field("count", static_cast<std::uint64_t>(3))
+      .field("ratio", 0.5)
+      .field("ok", true)
+      .field("tricky", "a\"b\\c\nd");
+  w.begin_object("nested").field("x", static_cast<std::int64_t>(-7))
+      .end_object();
+  w.begin_array("values");
+  w.value(1.0).value(static_cast<std::uint64_t>(2)).value("three");
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"schema\":\"test-v1\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"tricky\":\"a\\\"b\\\\c\\nd\","
+            "\"nested\":{\"x\":-7},"
+            "\"values\":[1,2,\"three\"]}");
+}
+
+TEST(JsonWriter, NonFiniteNumbersSerializeAsZero) {
+  bench::JsonWriter w;
+  w.begin_object()
+      .field("nan", std::nan(""))
+      .field("inf", std::numeric_limits<double>::infinity())
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"nan\":0,\"inf\":0}");
+}
+
+TEST(JsonWriter, WriteFileAppendsTrailingNewline) {
+  const std::string path = temp_path("json");
+  bench::JsonWriter w;
+  w.begin_object().field("a", static_cast<std::uint64_t>(1)).end_object();
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"a\":1}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bolt::loadgen

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_service_soak.json against the committed baseline.
+
+Stdlib-only, so CI can run it with any python3. The comparison is
+regression-direction-only: a fresh run *slower* than baseline by more than
+the tolerance fails; a faster run prints the improvement and passes (CI
+runners are usually faster than the box that produced the baseline, and an
+improvement should never block a merge — refresh the baseline instead, see
+docs/BENCHMARKS.md).
+
+Checks:
+  * overall p99 latency <= baseline p99 * (1 + --p99-tolerance)
+  * protocol_errors == 0 in the fresh run
+  * client/server request-count match_pct >= --min-match-pct (when the
+    fresh run scraped the server successfully)
+  * the fresh run's own --gate-* verdict ("pass") is true
+
+Exit codes: 0 = pass, 1 = regression, 2 = usage/file/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"bench_diff: {path} is not valid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "bolt-bench-soak-v1":
+        print(
+            f"bench_diff: {path}: expected schema bolt-bench-soak-v1, "
+            f"got {doc.get('schema')!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--fresh", required=True, help="JSON from this run")
+    ap.add_argument(
+        "--p99-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative p99 regression (default 0.25 = +25%%)",
+    )
+    ap.add_argument(
+        "--min-match-pct",
+        type=float,
+        default=99.9,
+        help="required client/server request-count agreement (default 99.9)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+
+    base_p99 = base["latency_us"]["p99"]
+    fresh_p99 = fresh["latency_us"]["p99"]
+    limit = base_p99 * (1.0 + args.p99_tolerance)
+    delta = (fresh_p99 - base_p99) / base_p99 * 100.0 if base_p99 > 0 else 0.0
+    print(
+        f"p99 latency: baseline {base_p99:.0f} us -> fresh {fresh_p99:.0f} us "
+        f"({delta:+.1f}%, limit {limit:.0f} us)"
+    )
+    if base_p99 > 0 and fresh_p99 > limit:
+        failures.append(
+            f"p99 regressed {delta:+.1f}% "
+            f"(> +{args.p99_tolerance * 100:.0f}% tolerance)"
+        )
+    elif delta < -args.p99_tolerance * 100.0:
+        print(
+            "  note: large improvement — consider refreshing the committed "
+            "baseline (docs/BENCHMARKS.md)"
+        )
+
+    proto = fresh["totals"]["protocol_errors"]
+    print(f"protocol errors: {proto}")
+    if proto != 0:
+        failures.append(f"{proto} protocol errors (must be 0)")
+
+    server = fresh.get("server", {})
+    if server.get("scrape_ok"):
+        match = server["match_pct"]
+        print(
+            f"request-count match: {match:.3f}% "
+            f"(client {server['client_expected']} vs "
+            f"server {server['requests_delta']}, "
+            f"min {args.min_match_pct}%)"
+        )
+        if match < args.min_match_pct:
+            failures.append(
+                f"client/server request counts diverge: {match:.3f}% "
+                f"< {args.min_match_pct}%"
+            )
+    else:
+        print("request-count match: server scrape unavailable in fresh run")
+        failures.append("fresh run has no server scrape to cross-check")
+
+    if not fresh.get("pass", False):
+        failures.append("fresh run failed its own --gate-* checks")
+
+    # Context only — throughput is informational, never gated here (the
+    # soak's offered rate is fixed, so responses/s mostly mirrors errors).
+    base_rps = base["totals"].get("responses_per_s", 0.0)
+    fresh_rps = fresh["totals"].get("responses_per_s", 0.0)
+    print(f"responses/s: baseline {base_rps:.0f} -> fresh {fresh_rps:.0f}")
+
+    if failures:
+        print("\nbench_diff: FAIL")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench_diff: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

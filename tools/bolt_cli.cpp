@@ -219,6 +219,19 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+/// Client-side connection options shared by every command that dials a
+/// live server. The 5 s default connect budget (retry with backoff inside
+/// InferenceClient) lets `bolt serve ... & bolt stats` sequences work
+/// without sleep-and-pray startup ordering.
+service::ClientOptions client_options(const Args& args) {
+  service::ClientOptions o;
+  o.connect_timeout_ms =
+      static_cast<std::uint32_t>(args.get_int("connect-timeout-ms", 5000));
+  o.io_timeout_ms =
+      static_cast<std::uint32_t>(args.get_int("io-timeout-ms", 0));
+  return o;
+}
+
 volatile std::sig_atomic_t g_stop = 0;
 
 int cmd_serve(const Args& args) {
@@ -287,7 +300,8 @@ int cmd_serve(const Args& args) {
 }
 
 int cmd_stats(const Args& args) {
-  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"));
+  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"),
+                                  client_options(args));
   const std::string body = client.stats(args.has("json"));
   std::fwrite(body.data(), 1, body.size(), stdout);
   if (!body.empty() && body.back() != '\n') std::printf("\n");
@@ -303,7 +317,8 @@ int cmd_trace(const Args& args) {
   const auto count = static_cast<std::size_t>(
       std::min<long>(args.get_int("count", 1),
                      static_cast<long>(ds.num_rows())));
-  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"));
+  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"),
+                                  client_options(args));
   for (std::size_t i = 0; i < count; ++i) {
     const service::Response resp = client.classify_traced(ds.row(i));
     std::printf("row %zu: class %d", i, resp.predicted_class);
@@ -331,7 +346,8 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_slow(const Args& args) {
-  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"));
+  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"),
+                                  client_options(args));
   const std::string body = client.slow(args.has("json"));
   std::fwrite(body.data(), 1, body.size(), stdout);
   if (!body.empty() && body.back() != '\n') std::printf("\n");
@@ -348,7 +364,7 @@ int cmd_batch(const Args& args) {
   util::Timer timer;
   if (args.has("socket")) {
     // Remote: one BATCH frame per `batch` rows through a live server.
-    service::InferenceClient client(args.get("socket"));
+    service::InferenceClient client(args.get("socket"), client_options(args));
     for (std::size_t begin = 0; begin < ds.num_rows(); begin += batch) {
       const std::size_t n = std::min(batch, ds.num_rows() - begin);
       const auto out = client.classify_batch(
@@ -482,6 +498,10 @@ usage: bolt <command> [flags]
   batch    --data test.csv (--socket /tmp/bolt.sock |
            --artifact model.bolt [--naive]) [--batch N]
   inspect  --model model.forest | --artifact model.bolt
+
+Client commands (stats/trace/slow/batch) also accept
+  [--connect-timeout-ms MS]   retry connect with backoff (default 5000)
+  [--io-timeout-ms MS]        per-op send/recv deadline (default 0 = none)
 )");
 }
 

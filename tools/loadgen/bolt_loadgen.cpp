@@ -1,0 +1,901 @@
+// bolt_loadgen — multi-threaded open-loop soak/replay load generator for
+// the inference server (docs/BENCHMARKS.md).
+//
+//   bolt_loadgen --socket /tmp/bolt.sock --data test.csv
+//     --duration-s 60 --rps 300 --threads 4 --arrival poisson
+//     --mix classify=70,batch=20,trace=5,stats=5 --batch-rows 32
+//     --gate-p99-us 50000 --gate-errors 0 --out BENCH_service_soak.json
+//
+// Each worker thread runs an independent arrival schedule at rps/threads
+// (the superposition is the requested shape at the requested rate) and
+// never closes the loop: arrivals are scheduled in advance, a busy thread
+// records its lateness instead of thinning the offered load. Per-op
+// latency histograms (p50/p95/p99/p999), shed/expired/error counts, and a
+// before/after scrape of the server's own counters cross-check what the
+// client observed against what the server recorded. At exit it prints a
+// human summary, optionally emits a machine-readable BENCH_*.json, and
+// sets the exit code from the --gate-* flags so CI can fail on
+// regressions:
+//   0 = gates passed (or none given)   1 = a gate failed
+//   2 = usage error                    3 = runtime error
+//
+// Chaos arms (--chaos-slow / --chaos-disconnect) exercise the server's
+// slow-loris reaping and mid-frame disconnect handling on throwaway
+// connections; their outcomes are tracked separately and never count as
+// protocol errors.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"  // bench::JsonWriter
+#include "data/csv.h"
+#include "loadgen/workload.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/unix_socket.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bolt;
+using namespace bolt::loadgen;
+using Clock = std::chrono::steady_clock;
+
+/// Minimal `--key value` / `--flag` argument map (args start at argv[1]).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::runtime_error("expected --flag, got: " + key);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && (std::string(argv[i + 1]).rfind("--", 0) != 0 ||
+                           is_number(argv[i + 1]))) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("missing required --" + key);
+    return values_.at(key);
+  }
+  long get_int(const std::string& key, long fallback) const {
+    return has(key) ? std::stol(values_.at(key)) : fallback;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    return has(key) ? std::stod(values_.at(key)) : fallback;
+  }
+
+ private:
+  // "--gate-p99-us --5" is nonsense but "-5" as a value is not; only treat
+  // the next token as a flag when it is not numeric.
+  static bool is_number(const char* s) {
+    if (*s != '-') return false;
+    ++s;
+    return *s >= '0' && *s <= '9';
+  }
+  std::map<std::string, std::string> values_;
+};
+
+struct Config {
+  std::string socket;
+  std::string data;
+  double duration_s = 10.0;
+  double rps = 200.0;
+  std::size_t threads = 4;
+  ShapeConfig shape;
+  OpMix mix;
+  std::size_t batch_rows = 32;
+  std::uint64_t seed = 1;
+  std::string record_path, replay_path;
+  std::size_t chaos_slow = 0, chaos_disconnect = 0;
+  std::uint32_t chaos_dribble_ms = 5;
+  std::uint32_t connect_timeout_ms = 5000;
+  std::uint32_t io_timeout_ms = 10000;
+  std::int32_t metrics_port = -1;
+  // Gates: negative = not gated.
+  double gate_p99_us = -1.0;
+  std::int64_t gate_errors = -1;
+  double gate_match_pct = -1.0;
+  std::string out_path;
+  std::string label = "soak";
+};
+
+/// Client-observed tallies for one op. `sent`/`ok`/... are denominated in
+/// rows (matching the server's service.requests accounting): a CLASSIFY/
+/// TRACE/EXPLAIN op is one row, a BATCH op is batch-rows rows. Latency is
+/// recorded once per *frame* (the unit a client actually waits on).
+struct OpCounts {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> class_errors{0};  // wire class -1
+  std::atomic<std::uint64_t> shed{0};          // wire class -2 (kClassBusy)
+  std::atomic<std::uint64_t> expired{0};       // wire class -3 (kClassExpired)
+  std::atomic<std::uint64_t> protocol_errors{0};  // failed frames
+  LatencyRecorder latency;
+};
+
+struct ChaosCounts {
+  std::atomic<std::uint64_t> slow_sent{0};
+  std::atomic<std::uint64_t> slow_completed{0};
+  std::atomic<std::uint64_t> slow_reaped{0};
+  std::atomic<std::uint64_t> disconnects{0};
+};
+
+struct Shared {
+  std::array<OpCounts, kNumOps> ops;
+  LatencyRecorder all_latency;  // every frame, all ops
+  LatencyRecorder sojourn;      // intended arrival -> response (open loop)
+  std::atomic<std::uint64_t> late_dispatches{0};
+  std::atomic<std::uint64_t> batch_frames{0};
+  /// Responses the server must have counted in service.requests: one per
+  /// CLASSIFY/TRACE/EXPLAIN response received, `rows` per BATCH response.
+  std::atomic<std::uint64_t> server_countable{0};
+  ChaosCounts chaos;
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> fatal{false};
+  Clock::time_point start;
+};
+
+void tally_class(std::int32_t cls, OpCounts& oc) {
+  if (cls >= 0) {
+    oc.ok.fetch_add(1, std::memory_order_relaxed);
+  } else if (cls == service::kClassBusy) {
+    oc.shed.fetch_add(1, std::memory_order_relaxed);
+  } else if (cls == service::kClassExpired) {
+    oc.expired.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    oc.class_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// One worker: open-loop arrivals against a private connection. Never
+/// throws — connection failures are counted and retried per arrival.
+void run_worker(std::size_t tid, const Config& cfg,
+                const data::Dataset& ds, Shared& sh,
+                const std::vector<LogEvent>& replay_events,
+                std::vector<LogEvent>* record_out) {
+  service::ClientOptions copts;
+  copts.connect_timeout_ms = cfg.connect_timeout_ms;
+  copts.io_timeout_ms = cfg.io_timeout_ms;
+  std::unique_ptr<service::InferenceClient> client;
+  try {
+    client = std::make_unique<service::InferenceClient>(cfg.socket, copts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: worker %zu connect: %s\n", tid, e.what());
+    sh.fatal.store(true);
+    sh.ready.fetch_add(1);
+    return;
+  }
+  sh.ready.fetch_add(1);
+  while (!sh.go.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const bool replaying = !cfg.replay_path.empty();
+  ShapeConfig shape = cfg.shape;
+  shape.rps = cfg.rps / static_cast<double>(cfg.threads);
+  ArrivalSchedule sched(shape, cfg.seed * 1000003 + tid);
+  util::Rng rng(cfg.seed * 7919 + tid + 1);
+  const auto duration_us =
+      static_cast<std::uint64_t>(cfg.duration_s * 1e6);
+  const std::size_t stride = ds.num_features();
+  const std::size_t batch_starts =
+      ds.num_rows() > cfg.batch_rows ? ds.num_rows() - cfg.batch_rows + 1 : 1;
+  std::size_t row_idx = tid;
+  std::size_t replay_i = 0;
+
+  for (;;) {
+    std::uint64_t t_us;
+    Op op;
+    std::uint32_t rows = 1;
+    if (replaying) {
+      if (replay_i >= replay_events.size()) break;
+      const LogEvent& e = replay_events[replay_i++];
+      t_us = e.t_us;
+      op = e.op;
+      rows = e.rows;
+    } else {
+      t_us = sched.next_us();
+      if (t_us > duration_us) break;
+      op = cfg.mix.pick(rng);
+      rows = op == Op::kBatch
+                 ? static_cast<std::uint32_t>(
+                       std::min(cfg.batch_rows, ds.num_rows()))
+                 : 1;
+    }
+    if (record_out != nullptr) record_out->push_back({t_us, op, rows});
+
+    const Clock::time_point intended =
+        sh.start + std::chrono::microseconds(t_us);
+    std::this_thread::sleep_until(intended);
+    if (Clock::now() - intended > std::chrono::milliseconds(1)) {
+      sh.late_dispatches.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    OpCounts& oc = sh.ops[static_cast<std::size_t>(op)];
+    oc.sent.fetch_add(op == Op::kBatch ? rows : 1, std::memory_order_relaxed);
+    if (client == nullptr) {
+      // The previous op lost the connection: one quick reattempt per
+      // arrival so a restarted server picks the soak back up.
+      try {
+        service::ClientOptions retry = copts;
+        retry.connect_timeout_ms = std::min<std::uint32_t>(
+            copts.connect_timeout_ms, 500);
+        client = std::make_unique<service::InferenceClient>(cfg.socket, retry);
+      } catch (const std::exception&) {
+        oc.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    const Clock::time_point send_start = Clock::now();
+    try {
+      switch (op) {
+        case Op::kClassify: {
+          const auto resp = client->classify(ds.row(row_idx % ds.num_rows()));
+          tally_class(resp.predicted_class, oc);
+          sh.server_countable.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case Op::kTrace: {
+          const auto resp =
+              client->classify_traced(ds.row(row_idx % ds.num_rows()));
+          tally_class(resp.predicted_class, oc);
+          sh.server_countable.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case Op::kExplain: {
+          const auto resp = client->classify(ds.row(row_idx % ds.num_rows()),
+                                             /*explain=*/true);
+          tally_class(resp.predicted_class, oc);
+          sh.server_countable.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case Op::kBatch: {
+          const std::size_t start = row_idx % batch_starts;
+          const auto classes = client->classify_batch(
+              {ds.raw_features().data() + start * stride,
+               static_cast<std::size_t>(rows) * stride},
+              rows, stride);
+          for (std::int32_t c : classes) tally_class(c, oc);
+          sh.batch_frames.fetch_add(1, std::memory_order_relaxed);
+          sh.server_countable.fetch_add(classes.size(),
+                                        std::memory_order_relaxed);
+          break;
+        }
+        case Op::kStats: {
+          const std::string body = client->stats(/*json=*/true);
+          if (!body.empty()) oc.ok.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+      const double us = std::chrono::duration<double, std::micro>(
+                            Clock::now() - send_start)
+                            .count();
+      oc.latency.record_us(us);
+      sh.all_latency.record_us(us);
+      sh.sojourn.record_us(std::chrono::duration<double, std::micro>(
+                               Clock::now() - intended)
+                               .count());
+    } catch (const std::exception&) {
+      oc.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      client.reset();  // reconnect on the next arrival
+    }
+    row_idx += cfg.threads;
+  }
+}
+
+/// Raw classify frame bytes (4-byte length prefix + payload) for the
+/// chaos arms, which bypass InferenceClient on purpose.
+std::vector<std::uint8_t> raw_classify_frame(std::span<const float> row) {
+  service::Request req;
+  req.features.assign(row.begin(), row.end());
+  std::vector<std::uint8_t> payload;
+  service::encode_request(req, payload);
+  std::vector<std::uint8_t> frame(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(frame.data(), &len, 4);
+  std::memcpy(frame.data() + 4, payload.data(), payload.size());
+  return frame;
+}
+
+int chaos_connect(const std::string& path) {
+  const int fd = service::detail::make_unix_socket();
+  sockaddr_un addr = service::detail::make_addr(path);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Slow-client arm: a valid CLASSIFY frame dribbled a few bytes at a time.
+/// Completes (server answered despite the dribble) or is reaped (server's
+/// idle timeout, or EOF) — both are expected outcomes, tracked separately.
+void chaos_slow_client(const Config& cfg, const data::Dataset& ds,
+                       Shared& sh) {
+  sh.chaos.slow_sent.fetch_add(1, std::memory_order_relaxed);
+  const int fd = chaos_connect(cfg.socket);
+  if (fd < 0) {
+    sh.chaos.slow_reaped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  timeval tv{10, 0};  // bounded wait for the response
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const auto frame = raw_classify_frame(ds.row(0));
+  bool sent = true;
+  for (std::size_t off = 0; off < frame.size() && sent; off += 8) {
+    const std::size_t n = std::min<std::size_t>(8, frame.size() - off);
+    sent = ::send(fd, frame.data() + off, n, MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(n);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg.chaos_dribble_ms));
+  }
+  bool completed = false;
+  if (sent) {
+    try {
+      std::vector<std::uint8_t> resp;
+      completed = service::read_frame(fd, resp);
+    } catch (const std::exception&) {
+      completed = false;
+    }
+  }
+  if (completed) {
+    sh.chaos.slow_completed.fetch_add(1, std::memory_order_relaxed);
+    // The server answered, so it counted this request.
+    sh.server_countable.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    sh.chaos.slow_reaped.fetch_add(1, std::memory_order_relaxed);
+  }
+  ::close(fd);
+}
+
+/// Disconnect arm: half a frame, then a hard close mid-payload.
+void chaos_disconnect_midframe(const Config& cfg, const data::Dataset& ds,
+                               Shared& sh) {
+  const int fd = chaos_connect(cfg.socket);
+  if (fd < 0) return;
+  const auto frame = raw_classify_frame(ds.row(0));
+  const std::size_t half = frame.size() / 2;
+  (void)!::send(fd, frame.data(), half, MSG_NOSIGNAL);
+  ::close(fd);
+  sh.chaos.disconnects.fetch_add(1, std::memory_order_relaxed);
+}
+
+void run_chaos(const Config& cfg, const data::Dataset& ds, Shared& sh,
+               std::uint64_t duration_us) {
+  std::vector<std::uint8_t> is_slow;
+  is_slow.insert(is_slow.end(), cfg.chaos_slow, 1);
+  is_slow.insert(is_slow.end(), cfg.chaos_disconnect, 0);
+  util::Rng rng(cfg.seed * 31337 + 17);
+  rng.shuffle(is_slow);
+  if (is_slow.empty()) return;
+  while (!sh.go.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::uint64_t interval_us =
+      duration_us / (static_cast<std::uint64_t>(is_slow.size()) + 1);
+  for (std::size_t k = 0; k < is_slow.size(); ++k) {
+    std::this_thread::sleep_until(
+        sh.start + std::chrono::microseconds((k + 1) * interval_us));
+    if (is_slow[k]) {
+      chaos_slow_client(cfg, ds, sh);
+    } else {
+      chaos_disconnect_midframe(cfg, ds, sh);
+    }
+  }
+}
+
+/// Extracts `"name":<uint>` from a STATS JSON body (counter section —
+/// metric names are unique across sections, so a plain search suffices).
+bool json_counter(const std::string& body, const std::string& name,
+                  std::uint64_t& out) {
+  const std::string needle = "\"" + name + "\":";
+  const auto pos = body.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = body.c_str() + pos + needle.size();
+  if (*p < '0' || *p > '9') return false;
+  out = std::strtoull(p, nullptr, 10);
+  return true;
+}
+
+struct ServerCounters {
+  bool ok = false;
+  std::uint64_t requests = 0, errors = 0, malformed = 0;
+  std::uint64_t shed = 0, expired = 0, idle_timeouts = 0;
+};
+
+ServerCounters scrape_stats(const Config& cfg) {
+  ServerCounters s;
+  try {
+    service::ClientOptions copts;
+    copts.connect_timeout_ms = cfg.connect_timeout_ms;
+    copts.io_timeout_ms = cfg.io_timeout_ms;
+    service::InferenceClient client(cfg.socket, copts);
+    const std::string body = client.stats(/*json=*/true);
+    s.ok = json_counter(body, "service.requests", s.requests);
+    json_counter(body, "service.errors", s.errors);
+    json_counter(body, "service.malformed_requests", s.malformed);
+    json_counter(body, "scheduler.shed", s.shed);
+    json_counter(body, "scheduler.expired", s.expired);
+    json_counter(body, "service.idle_timeouts", s.idle_timeouts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: stats scrape failed: %s\n", e.what());
+  }
+  return s;
+}
+
+/// GET /metrics over HTTP and pull one un-labelled sample value — the
+/// independent path to the same registry, cross-checking the STATS op.
+bool http_metric(std::int32_t port, const std::string& name, double& out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string req = "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return false;
+  }
+  std::string body;
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof(buf))) > 0) body.append(buf, r);
+  ::close(fd);
+  // Find the exposition line "name <value>" at line start.
+  std::size_t pos = 0;
+  while ((pos = body.find(name + " ", pos)) != std::string::npos) {
+    if (pos == 0 || body[pos - 1] == '\n') {
+      out = std::strtod(body.c_str() + pos + name.size() + 1, nullptr);
+      return true;
+    }
+    pos += name.size();
+  }
+  return false;
+}
+
+void print_summary_line(const char* name, const OpCounts& oc) {
+  const LatencySummary s = oc.latency.summary();
+  std::printf("  %-9s %10llu %10llu %7llu %7llu %7llu %7llu  "
+              "%9.0f %9.0f %9.0f %9.0f\n",
+              name, static_cast<unsigned long long>(oc.sent.load()),
+              static_cast<unsigned long long>(oc.ok.load()),
+              static_cast<unsigned long long>(oc.class_errors.load()),
+              static_cast<unsigned long long>(oc.shed.load()),
+              static_cast<unsigned long long>(oc.expired.load()),
+              static_cast<unsigned long long>(oc.protocol_errors.load()),
+              s.p50, s.p95, s.p99, s.p999);
+}
+
+void json_latency(bench::JsonWriter& w, const char* key,
+                  const LatencySummary& s) {
+  w.begin_object(key)
+      .field("count", s.count)
+      .field("mean", s.mean)
+      .field("min", s.min)
+      .field("max", s.max)
+      .field("p50", s.p50)
+      .field("p95", s.p95)
+      .field("p99", s.p99)
+      .field("p999", s.p999)
+      .end_object();
+}
+
+void usage() {
+  std::fprintf(stderr, R"(bolt_loadgen — open-loop soak/replay load generator (docs/BENCHMARKS.md)
+
+usage: bolt_loadgen --socket PATH --data test.csv [flags]
+
+traffic shape
+  --duration-s S        soak length (default 10)
+  --rps R               total offered arrival rate (default 200)
+  --threads N           worker connections, each rps/N (default 4)
+  --arrival KIND        poisson | uniform | burst (default poisson)
+  --burst-size N        arrivals per burst for --arrival burst (default 32)
+  --mix SPEC            op weights, e.g. classify=70,batch=20,trace=5,stats=5
+  --batch-rows N        rows per BATCH frame (default 32)
+  --seed S              deterministic traffic (default 1)
+record / replay
+  --record FILE         write the generated request log
+  --replay FILE         replay a recorded log (ignores rps/mix/arrival)
+chaos arms
+  --chaos-slow N        N slow-client connections over the run
+  --chaos-disconnect N  N disconnect-mid-frame connections over the run
+  --chaos-dribble-ms MS delay between slow-client chunks (default 5)
+client
+  --connect-timeout-ms MS  connect retry budget (default 5000)
+  --io-timeout-ms MS       per-op send/recv deadline (default 10000)
+cross-check & output
+  --metrics-port P      also scrape http://127.0.0.1:P/metrics
+  --out FILE            write machine-readable BENCH_*.json
+  --label STR           label recorded in the JSON (default "soak")
+gates (exit code 1 when any fails)
+  --gate-p99-us X       overall p99 latency must be <= X
+  --gate-errors N       protocol + class(-1) errors must be <= N
+  --gate-match-pct P    client/server request-count match must be >= P
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  std::vector<LogEvent> replay_events;
+  try {
+    Args args(argc, argv);
+    if (args.has("help")) {
+      usage();
+      return 0;
+    }
+    cfg.socket = args.require("socket");
+    cfg.data = args.require("data");
+    cfg.duration_s = args.get_double("duration-s", 10.0);
+    cfg.rps = args.get_double("rps", 200.0);
+    cfg.threads = static_cast<std::size_t>(args.get_int("threads", 4));
+    if (cfg.threads == 0) throw std::runtime_error("--threads must be > 0");
+    if (!parse_shape(args.get("arrival", "poisson"), cfg.shape.kind)) {
+      throw std::runtime_error("unknown --arrival: " + args.get("arrival"));
+    }
+    cfg.shape.burst_size =
+        static_cast<std::size_t>(args.get_int("burst-size", 32));
+    if (args.has("mix")) cfg.mix = OpMix::parse(args.get("mix"));
+    cfg.batch_rows = static_cast<std::size_t>(args.get_int("batch-rows", 32));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    cfg.record_path = args.get("record");
+    cfg.replay_path = args.get("replay");
+    cfg.chaos_slow = static_cast<std::size_t>(args.get_int("chaos-slow", 0));
+    cfg.chaos_disconnect =
+        static_cast<std::size_t>(args.get_int("chaos-disconnect", 0));
+    cfg.chaos_dribble_ms =
+        static_cast<std::uint32_t>(args.get_int("chaos-dribble-ms", 5));
+    cfg.connect_timeout_ms =
+        static_cast<std::uint32_t>(args.get_int("connect-timeout-ms", 5000));
+    cfg.io_timeout_ms =
+        static_cast<std::uint32_t>(args.get_int("io-timeout-ms", 10000));
+    cfg.metrics_port =
+        static_cast<std::int32_t>(args.get_int("metrics-port", -1));
+    if (args.has("gate-p99-us")) {
+      cfg.gate_p99_us = args.get_double("gate-p99-us", -1.0);
+    }
+    if (args.has("gate-errors")) {
+      cfg.gate_errors = args.get_int("gate-errors", 0);
+    }
+    if (args.has("gate-match-pct")) {
+      cfg.gate_match_pct = args.get_double("gate-match-pct", 99.9);
+    }
+    cfg.out_path = args.get("out");
+    cfg.label = args.get("label", "soak");
+    if (!cfg.replay_path.empty()) {
+      replay_events = read_request_log(cfg.replay_path);
+      if (replay_events.empty()) {
+        throw std::runtime_error("replay log has no events");
+      }
+      std::sort(replay_events.begin(), replay_events.end(),
+                [](const LogEvent& a, const LogEvent& b) {
+                  return a.t_us < b.t_us;
+                });
+      cfg.duration_s =
+          static_cast<double>(replay_events.back().t_us) / 1e6;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bolt_loadgen: %s\n", e.what());
+    usage();
+    return 2;
+  }
+
+  try {
+    const data::Dataset ds = data::read_csv_file(cfg.data);
+    if (ds.num_rows() == 0) throw std::runtime_error("no rows in --data");
+    const auto duration_us =
+        static_cast<std::uint64_t>(cfg.duration_s * 1e6);
+
+    // Before-scrape doubles as the wait-for-server barrier: the client's
+    // connect retry converges as soon as `bolt serve` binds the socket.
+    const ServerCounters before = scrape_stats(cfg);
+
+    auto sh = std::make_unique<Shared>();
+    // Round-robin partition of replay events across workers.
+    std::vector<std::vector<LogEvent>> replay_slices(cfg.threads);
+    if (!replay_events.empty()) {
+      for (std::size_t i = 0; i < replay_events.size(); ++i) {
+        replay_slices[i % cfg.threads].push_back(replay_events[i]);
+      }
+    }
+    std::vector<std::vector<LogEvent>> record_slices(
+        cfg.record_path.empty() ? 0 : cfg.threads);
+
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < cfg.threads; ++t) {
+      workers.emplace_back([&, t] {
+        run_worker(t, cfg, ds, *sh, replay_slices[t],
+                   cfg.record_path.empty() ? nullptr : &record_slices[t]);
+      });
+    }
+    std::thread chaos([&] { run_chaos(cfg, ds, *sh, duration_us); });
+
+    while (sh->ready.load() < cfg.threads) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (sh->fatal.load()) {
+      sh->go.store(true);  // release everyone so joins complete
+      for (auto& w : workers) w.join();
+      chaos.join();
+      std::fprintf(stderr, "bolt_loadgen: worker failed to connect\n");
+      return 3;
+    }
+    sh->start = Clock::now() + std::chrono::milliseconds(20);
+    sh->go.store(true, std::memory_order_release);
+
+    for (auto& w : workers) w.join();
+    chaos.join();
+    const double actual_s = std::chrono::duration<double>(
+                                Clock::now() - sh->start)
+                                .count();
+
+    const ServerCounters after = scrape_stats(cfg);
+    const std::uint64_t server_delta =
+        after.ok && before.ok ? after.requests - before.requests : 0;
+    const std::uint64_t expected = sh->server_countable.load();
+    const double match_pct =
+        after.ok && std::max(server_delta, expected) > 0
+            ? 100.0 * static_cast<double>(std::min(server_delta, expected)) /
+                  static_cast<double>(std::max(server_delta, expected))
+            : 0.0;
+    double http_requests = -1.0;
+    if (cfg.metrics_port > 0) {
+      if (!http_metric(cfg.metrics_port, "service_requests", http_requests)) {
+        std::fprintf(stderr,
+                     "loadgen: /metrics scrape on port %d failed\n",
+                     cfg.metrics_port);
+      }
+    }
+
+    if (!cfg.record_path.empty()) {
+      std::vector<LogEvent> all;
+      for (auto& slice : record_slices) {
+        all.insert(all.end(), slice.begin(), slice.end());
+      }
+      std::sort(all.begin(), all.end(),
+                [](const LogEvent& a, const LogEvent& b) {
+                  return a.t_us < b.t_us;
+                });
+      if (!write_request_log(cfg.record_path, all)) {
+        std::fprintf(stderr, "loadgen: cannot write --record %s\n",
+                     cfg.record_path.c_str());
+      }
+    }
+
+    // ---- totals and gates --------------------------------------------
+    std::uint64_t sent = 0, ok = 0, class_errors = 0, shed = 0, expired = 0,
+                  protocol_errors = 0;
+    for (const OpCounts& oc : sh->ops) {
+      sent += oc.sent.load();
+      ok += oc.ok.load();
+      class_errors += oc.class_errors.load();
+      shed += oc.shed.load();
+      expired += oc.expired.load();
+      protocol_errors += oc.protocol_errors.load();
+    }
+    const LatencySummary all = sh->all_latency.summary();
+    const LatencySummary sojourn = sh->sojourn.summary();
+
+    const bool gate_p99_pass =
+        cfg.gate_p99_us < 0.0 || all.p99 <= cfg.gate_p99_us;
+    const std::uint64_t gated_errors = protocol_errors + class_errors;
+    const bool gate_errors_pass =
+        cfg.gate_errors < 0 ||
+        gated_errors <= static_cast<std::uint64_t>(cfg.gate_errors);
+    const bool gate_match_pass =
+        cfg.gate_match_pct < 0.0 || match_pct >= cfg.gate_match_pct;
+    const bool pass = gate_p99_pass && gate_errors_pass && gate_match_pass;
+
+    // ---- human summary ------------------------------------------------
+    std::printf("\n=== bolt_loadgen %s: %.1f s @ %s %.0f rps x %zu threads "
+                "(mix %s) ===\n",
+                cfg.label.c_str(), actual_s,
+                cfg.replay_path.empty() ? shape_name(cfg.shape.kind)
+                                        : "replay",
+                cfg.rps, cfg.threads, cfg.mix.describe().c_str());
+    std::printf("  %-9s %10s %10s %7s %7s %7s %7s  %9s %9s %9s %9s\n", "op",
+                "rows", "ok", "err", "shed", "expired", "proto", "p50us",
+                "p95us", "p99us", "p999us");
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      if (sh->ops[i].sent.load() == 0) continue;
+      print_summary_line(op_name(static_cast<Op>(i)), sh->ops[i]);
+    }
+    std::printf("  overall p50/p95/p99/p999: %.0f/%.0f/%.0f/%.0f us | "
+                "sojourn p99 %.0f us | late dispatches %llu\n",
+                all.p50, all.p95, all.p99, all.p999, sojourn.p99,
+                static_cast<unsigned long long>(sh->late_dispatches.load()));
+    std::printf("  achieved %.0f responses/s (offered %.0f rps)\n",
+                actual_s > 0 ? static_cast<double>(all.count) / actual_s : 0.0,
+                cfg.rps);
+    if (cfg.chaos_slow + cfg.chaos_disconnect > 0) {
+      std::printf("  chaos: slow %llu sent / %llu completed / %llu reaped; "
+                  "%llu mid-frame disconnects\n",
+                  static_cast<unsigned long long>(sh->chaos.slow_sent.load()),
+                  static_cast<unsigned long long>(
+                      sh->chaos.slow_completed.load()),
+                  static_cast<unsigned long long>(
+                      sh->chaos.slow_reaped.load()),
+                  static_cast<unsigned long long>(
+                      sh->chaos.disconnects.load()));
+    }
+    if (after.ok && before.ok) {
+      std::printf("  server: %llu requests counted vs %llu client-observed "
+                  "(match %.3f%%); shed %llu expired %llu errors %llu\n",
+                  static_cast<unsigned long long>(server_delta),
+                  static_cast<unsigned long long>(expected), match_pct,
+                  static_cast<unsigned long long>(after.shed - before.shed),
+                  static_cast<unsigned long long>(after.expired -
+                                                  before.expired),
+                  static_cast<unsigned long long>(after.errors -
+                                                  before.errors));
+    } else {
+      std::printf("  server: STATS scrape unavailable (metrics off?)\n");
+    }
+    if (http_requests >= 0.0) {
+      std::printf("  /metrics cross-check: service_requests %.0f\n",
+                  http_requests);
+    }
+    if (cfg.gate_p99_us >= 0.0) {
+      std::printf("  gate p99 <= %.0f us: %.0f — %s\n", cfg.gate_p99_us,
+                  all.p99, gate_p99_pass ? "PASS" : "FAIL");
+    }
+    if (cfg.gate_errors >= 0) {
+      std::printf("  gate errors <= %lld: %llu — %s\n",
+                  static_cast<long long>(cfg.gate_errors),
+                  static_cast<unsigned long long>(gated_errors),
+                  gate_errors_pass ? "PASS" : "FAIL");
+    }
+    if (cfg.gate_match_pct >= 0.0) {
+      std::printf("  gate match >= %.2f%%: %.3f%% — %s\n", cfg.gate_match_pct,
+                  match_pct, gate_match_pass ? "PASS" : "FAIL");
+    }
+
+    // ---- machine-readable result (docs/BENCHMARKS.md schema) ----------
+    if (!cfg.out_path.empty()) {
+      bench::JsonWriter w;
+      w.begin_object()
+          .field("schema", "bolt-bench-soak-v1")
+          .field("tool", "bolt_loadgen")
+          .field("label", cfg.label)
+          .field("pass", pass);
+      w.begin_object("config")
+          .field("socket", cfg.socket)
+          .field("duration_s", cfg.duration_s)
+          .field("rps", cfg.rps)
+          .field("threads", static_cast<std::uint64_t>(cfg.threads))
+          .field("arrival", cfg.replay_path.empty()
+                                ? shape_name(cfg.shape.kind)
+                                : "replay")
+          .field("burst_size",
+                 static_cast<std::uint64_t>(cfg.shape.burst_size))
+          .field("mix", cfg.mix.describe())
+          .field("batch_rows", static_cast<std::uint64_t>(cfg.batch_rows))
+          .field("seed", cfg.seed)
+          .field("chaos_slow", static_cast<std::uint64_t>(cfg.chaos_slow))
+          .field("chaos_disconnect",
+                 static_cast<std::uint64_t>(cfg.chaos_disconnect))
+          .field("io_timeout_ms",
+                 static_cast<std::uint64_t>(cfg.io_timeout_ms))
+          .end_object();
+      w.begin_object("totals")
+          .field("sent_rows", sent)
+          .field("ok", ok)
+          .field("class_errors", class_errors)
+          .field("shed", shed)
+          .field("expired", expired)
+          .field("protocol_errors", protocol_errors)
+          .field("late_dispatches", sh->late_dispatches.load())
+          .field("batch_frames", sh->batch_frames.load())
+          .field("duration_s_actual", actual_s)
+          .field("responses_per_s",
+                 actual_s > 0 ? static_cast<double>(all.count) / actual_s
+                              : 0.0)
+          .end_object();
+      json_latency(w, "latency_us", all);
+      json_latency(w, "sojourn_us", sojourn);
+      w.begin_object("ops");
+      for (std::size_t i = 0; i < kNumOps; ++i) {
+        const OpCounts& oc = sh->ops[i];
+        if (oc.sent.load() == 0) continue;
+        w.begin_object(op_name(static_cast<Op>(i)))
+            .field("sent_rows", oc.sent.load())
+            .field("ok", oc.ok.load())
+            .field("class_errors", oc.class_errors.load())
+            .field("shed", oc.shed.load())
+            .field("expired", oc.expired.load())
+            .field("protocol_errors", oc.protocol_errors.load());
+        json_latency(w, "latency_us", oc.latency.summary());
+        w.end_object();
+      }
+      w.end_object();
+      w.begin_object("chaos")
+          .field("slow_sent", sh->chaos.slow_sent.load())
+          .field("slow_completed", sh->chaos.slow_completed.load())
+          .field("slow_reaped", sh->chaos.slow_reaped.load())
+          .field("disconnects", sh->chaos.disconnects.load())
+          .end_object();
+      w.begin_object("server")
+          .field("scrape_ok", after.ok && before.ok)
+          .field("requests_before", before.requests)
+          .field("requests_after", after.requests)
+          .field("requests_delta", server_delta)
+          .field("client_expected", expected)
+          .field("match_pct", match_pct)
+          .field("errors_delta", after.errors - before.errors)
+          .field("shed_delta", after.shed - before.shed)
+          .field("expired_delta", after.expired - before.expired)
+          .field("malformed_delta", after.malformed - before.malformed)
+          .field("idle_timeouts_delta",
+                 after.idle_timeouts - before.idle_timeouts)
+          .field("http_requests", http_requests)
+          .end_object();
+      w.begin_object("gates");
+      w.begin_object("p99_us")
+          .field("enabled", cfg.gate_p99_us >= 0.0)
+          .field("limit", cfg.gate_p99_us)
+          .field("value", all.p99)
+          .field("pass", gate_p99_pass)
+          .end_object();
+      w.begin_object("errors")
+          .field("enabled", cfg.gate_errors >= 0)
+          .field("limit", static_cast<std::int64_t>(cfg.gate_errors))
+          .field("value", gated_errors)
+          .field("pass", gate_errors_pass)
+          .end_object();
+      w.begin_object("match_pct")
+          .field("enabled", cfg.gate_match_pct >= 0.0)
+          .field("limit", cfg.gate_match_pct)
+          .field("value", match_pct)
+          .field("pass", gate_match_pass)
+          .end_object();
+      w.end_object();
+      w.end_object();
+      if (!w.write_file(cfg.out_path)) {
+        std::fprintf(stderr, "loadgen: cannot write --out %s\n",
+                     cfg.out_path.c_str());
+      } else {
+        std::printf("  wrote %s\n", cfg.out_path.c_str());
+      }
+    }
+
+    return pass ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bolt_loadgen: %s\n", e.what());
+    return 3;
+  }
+}

@@ -1,0 +1,225 @@
+#include "loadgen/workload.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace bolt::loadgen {
+
+namespace {
+
+constexpr const char* kOpNames[kNumOps] = {"classify", "batch", "trace",
+                                           "explain", "stats"};
+constexpr const char* kLogHeader = "# bolt_loadgen replay v1";
+
+}  // namespace
+
+const char* op_name(Op op) {
+  const auto i = static_cast<std::size_t>(op);
+  return i < kNumOps ? kOpNames[i] : "?";
+}
+
+bool parse_op(const std::string& name, Op& out) {
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    if (name == kOpNames[i]) {
+      out = static_cast<Op>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+OpMix::OpMix() {
+  weights_[static_cast<std::size_t>(Op::kClassify)] = 1.0;
+  total_ = 1.0;
+}
+
+OpMix OpMix::parse(const std::string& spec) {
+  OpMix mix;
+  mix.weights_ = {};
+  mix.total_ = 0.0;
+  std::istringstream in(spec);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (part.empty()) continue;
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("op mix: expected op=weight, got: " + part);
+    }
+    Op op;
+    if (!parse_op(part.substr(0, eq), op)) {
+      throw std::runtime_error("op mix: unknown op: " + part.substr(0, eq));
+    }
+    double w = 0.0;
+    try {
+      w = std::stod(part.substr(eq + 1));
+    } catch (const std::exception&) {
+      throw std::runtime_error("op mix: bad weight in: " + part);
+    }
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::runtime_error("op mix: weight must be finite and >= 0: " +
+                               part);
+    }
+    mix.weights_[static_cast<std::size_t>(op)] = w;
+  }
+  for (double w : mix.weights_) mix.total_ += w;
+  if (mix.total_ <= 0.0) {
+    throw std::runtime_error("op mix: all weights zero: " + spec);
+  }
+  return mix;
+}
+
+Op OpMix::pick(util::Rng& rng) const {
+  double x = rng.uniform() * total_;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    x -= weights_[i];
+    if (x < 0.0) return static_cast<Op>(i);
+  }
+  // Rounding spill: the last op with weight.
+  for (std::size_t i = kNumOps; i-- > 0;) {
+    if (weights_[i] > 0.0) return static_cast<Op>(i);
+  }
+  return Op::kClassify;
+}
+
+std::string OpMix::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    if (weights_[i] <= 0.0) continue;
+    if (!out.empty()) out += ',';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%g", kOpNames[i], weights_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+const char* shape_name(ShapeConfig::Kind kind) {
+  switch (kind) {
+    case ShapeConfig::Kind::kPoisson:
+      return "poisson";
+    case ShapeConfig::Kind::kUniform:
+      return "uniform";
+    case ShapeConfig::Kind::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+bool parse_shape(const std::string& name, ShapeConfig::Kind& out) {
+  if (name == "poisson") {
+    out = ShapeConfig::Kind::kPoisson;
+  } else if (name == "uniform") {
+    out = ShapeConfig::Kind::kUniform;
+  } else if (name == "burst") {
+    out = ShapeConfig::Kind::kBurst;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ArrivalSchedule::ArrivalSchedule(const ShapeConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  if (cfg_.rps <= 0.0 || !std::isfinite(cfg_.rps)) {
+    throw std::runtime_error("arrival schedule: rps must be positive");
+  }
+  if (cfg_.kind == ShapeConfig::Kind::kBurst && cfg_.burst_size == 0) {
+    throw std::runtime_error("arrival schedule: burst size must be positive");
+  }
+}
+
+std::uint64_t ArrivalSchedule::next_us() {
+  const double mean_gap_us = 1e6 / cfg_.rps;
+  switch (cfg_.kind) {
+    case ShapeConfig::Kind::kPoisson: {
+      // Exponential inter-arrival via inversion; clamp the uniform away
+      // from 0 so the log stays finite.
+      double u = rng_.uniform();
+      if (u < 1e-12) u = 1e-12;
+      t_us_ += -std::log(u) * mean_gap_us;
+      break;
+    }
+    case ShapeConfig::Kind::kUniform:
+      t_us_ += mean_gap_us;
+      break;
+    case ShapeConfig::Kind::kBurst:
+      // burst_size arrivals share one timestamp; bursts are spaced so the
+      // long-run mean rate is still rps.
+      if (burst_left_ == 0) {
+        burst_left_ = cfg_.burst_size;
+        t_us_ += mean_gap_us * static_cast<double>(cfg_.burst_size);
+      }
+      --burst_left_;
+      break;
+  }
+  return static_cast<std::uint64_t>(t_us_);
+}
+
+bool write_request_log(const std::string& path,
+                       const std::vector<LogEvent>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "%s\n", kLogHeader);
+  for (const LogEvent& e : events) {
+    std::fprintf(f, "%llu %s %u\n", static_cast<unsigned long long>(e.t_us),
+                 op_name(e.op), e.rows);
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::vector<LogEvent> read_request_log(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) throw std::runtime_error("replay log: cannot open " + path);
+  std::vector<LogEvent> events;
+  char line[256];
+  std::size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    ++line_no;
+    if (line[0] == '#' || line[0] == '\n') continue;
+    unsigned long long t = 0;
+    char op_buf[32];
+    unsigned rows = 0;
+    if (std::sscanf(line, "%llu %31s %u", &t, op_buf, &rows) != 3) {
+      std::fclose(f);
+      throw std::runtime_error("replay log: malformed line " +
+                               std::to_string(line_no) + " in " + path);
+    }
+    LogEvent e;
+    e.t_us = t;
+    if (!parse_op(op_buf, e.op)) {
+      std::fclose(f);
+      throw std::runtime_error("replay log: unknown op '" +
+                               std::string(op_buf) + "' at line " +
+                               std::to_string(line_no));
+    }
+    e.rows = rows == 0 ? 1 : rows;
+    events.push_back(e);
+  }
+  std::fclose(f);
+  return events;
+}
+
+LatencyRecorder::LatencyRecorder()
+    // ~10 % geometric buckets from 1 µs to ~66 s: fine enough that a p99
+    // or p999 read off the histogram is within one bucket (±10 %) of the
+    // exact order statistic, over the full range a soak can produce.
+    : hist_(util::Histogram::exponential_bounds(1.0, 1.1, 190)) {}
+
+LatencySummary LatencyRecorder::summary() const {
+  const util::HistogramSnapshot snap = hist_.snapshot();
+  LatencySummary s;
+  s.count = snap.count;
+  s.mean = snap.mean();
+  s.min = snap.min;
+  s.max = snap.max;
+  s.p50 = snap.percentile(50);
+  s.p95 = snap.percentile(95);
+  s.p99 = snap.percentile(99);
+  s.p999 = snap.percentile(99.9);
+  return s;
+}
+
+}  // namespace bolt::loadgen

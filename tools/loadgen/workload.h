@@ -1,0 +1,131 @@
+// Workload shapes for the soak/replay load generator (bolt_loadgen) and
+// its tests: arrival processes (Poisson / uniform-paced / burst), weighted
+// op mixes over the service's wire ops, a record/replay request log, and a
+// thread-safe latency recorder with tail percentiles.
+//
+// Everything here is deterministic given a seed, so a recorded soak run is
+// reproducible bit-for-bit by replaying its log — and two loadgen runs
+// with the same flags generate the same traffic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace bolt::loadgen {
+
+/// Operations the generator can issue against a live server. CLASSIFY,
+/// TRACE (CLASSIFY + kFlagTrace) and EXPLAIN round-trip one row; BATCH
+/// round-trips `rows` rows in one frame; STATS scrapes the registry.
+enum class Op : std::uint8_t {
+  kClassify = 0,
+  kBatch,
+  kTrace,
+  kExplain,
+  kStats,
+};
+constexpr std::size_t kNumOps = 5;
+
+const char* op_name(Op op);
+/// Parses a lowercase op name ("classify", "batch", "trace", "explain",
+/// "stats"); returns false on anything else.
+bool parse_op(const std::string& name, Op& out);
+
+/// Weighted mix over ops, e.g. "classify=70,batch=20,trace=5,stats=5".
+/// Weights are relative (need not sum to 100); absent ops weigh 0.
+class OpMix {
+ public:
+  /// Default mix: CLASSIFY only.
+  OpMix();
+  /// Throws std::runtime_error on malformed specs, unknown ops, negative
+  /// weights, or an all-zero mix.
+  static OpMix parse(const std::string& spec);
+
+  Op pick(util::Rng& rng) const;
+  double weight(Op op) const { return weights_[static_cast<std::size_t>(op)]; }
+  /// Canonical "op=weight,..." string of the non-zero entries.
+  std::string describe() const;
+
+ private:
+  std::array<double, kNumOps> weights_{};
+  double total_ = 0.0;
+};
+
+/// Traffic shape of one arrival schedule.
+struct ShapeConfig {
+  enum class Kind {
+    kPoisson,  ///< open-loop Poisson process: exponential inter-arrivals
+    kUniform,  ///< deterministic pacing at exactly 1/rps spacing
+    kBurst,    ///< `burst_size` simultaneous arrivals every burst_size/rps
+  };
+  Kind kind = Kind::kPoisson;
+  /// Mean arrival rate of this schedule (requests per second).
+  double rps = 100.0;
+  /// kBurst only: arrivals per burst.
+  std::size_t burst_size = 32;
+};
+
+const char* shape_name(ShapeConfig::Kind kind);
+bool parse_shape(const std::string& name, ShapeConfig::Kind& out);
+
+/// A monotone stream of arrival offsets (microseconds from schedule
+/// start), deterministic for (config, seed). Superposing N independent
+/// Poisson schedules at rps/N reproduces a single Poisson at rps, so the
+/// generator gives each worker thread its own schedule.
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule(const ShapeConfig& cfg, std::uint64_t seed);
+  /// Offset of the next arrival; never decreases.
+  std::uint64_t next_us();
+
+ private:
+  ShapeConfig cfg_;
+  util::Rng rng_;
+  double t_us_ = 0.0;
+  std::size_t burst_left_ = 0;
+};
+
+/// One request in a recorded traffic log: when it was scheduled (offset
+/// from run start), what op, and how many rows (BATCH; 1 otherwise).
+struct LogEvent {
+  std::uint64_t t_us = 0;
+  Op op = Op::kClassify;
+  std::uint32_t rows = 1;
+};
+
+/// Writes a replayable request log ("# bolt_loadgen replay v1" header,
+/// one "t_us op rows" line per event). Returns false when the file cannot
+/// be opened. Events are written in the order given; record callers sort
+/// by t_us first so replay timelines are monotone per thread.
+bool write_request_log(const std::string& path,
+                       const std::vector<LogEvent>& events);
+/// Reads a log written by write_request_log. Throws std::runtime_error on
+/// missing files or malformed lines.
+std::vector<LogEvent> read_request_log(const std::string& path);
+
+/// Tail summary of one latency population (microseconds).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, p999 = 0.0;
+};
+
+/// Thread-safe latency recorder: a fine-grained geometric histogram
+/// (~10 % bucket resolution from 1 µs to ~60 s) over util::Histogram's
+/// lock-free record path, so every worker thread records into one shared
+/// instance without synchronization.
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+  void record_us(double us) { hist_.record(us); }
+  LatencySummary summary() const;
+
+ private:
+  util::Histogram hist_;
+};
+
+}  // namespace bolt::loadgen
