@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "service/net.h"
 #include "service/unix_socket.h"
 
 namespace bolt::service {
@@ -25,26 +26,53 @@ bool retryable_connect_errno(int err) {
   return err == ENOENT || err == ECONNREFUSED;
 }
 
-int connect_with_retry(const std::string& path, const ClientOptions& opts,
+/// One connect attempt against either transport. Returns the connected fd,
+/// or -1 with errno preserved.
+int try_connect(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    const int fd = detail::make_unix_socket();
+    sockaddr_un addr = detail::make_addr(ep.path);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("service: tcp socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr = detail::make_inet_addr(ep.host, ep.port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    detail::set_tcp_nodelay(fd);
+    return fd;
+  }
+  const int err = errno;
+  ::close(fd);
+  errno = err;
+  return -1;
+}
+
+int connect_with_retry(const Endpoint& ep, const ClientOptions& opts,
                        std::uint32_t& attempts) {
   const Clock::time_point give_up =
       Clock::now() + std::chrono::milliseconds(opts.connect_timeout_ms);
   std::uint32_t backoff_ms = std::max<std::uint32_t>(1, opts.connect_backoff_ms);
   attempts = 0;
   for (;;) {
-    const int fd = detail::make_unix_socket();
-    sockaddr_un addr = detail::make_addr(path);
     ++attempts;
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
-      return fd;
-    }
+    const int fd = try_connect(ep);
+    if (fd >= 0) return fd;
     const int err = errno;
-    ::close(fd);
     if (!retryable_connect_errno(err) || Clock::now() >= give_up) {
-      throw std::runtime_error(std::string("service: connect ") + path +
-                               ": " + std::strerror(err) + " (after " +
-                               std::to_string(attempts) + " attempt" +
-                               (attempts == 1 ? "" : "s") + ")");
+      throw std::runtime_error(std::string("service: connect ") +
+                               ep.describe() + ": " + std::strerror(err) +
+                               " (after " + std::to_string(attempts) +
+                               " attempt" + (attempts == 1 ? "" : "s") + ")");
     }
     // Never sleep past the deadline: the final attempt happens as close to
     // the budget's edge as the backoff grid allows.
@@ -67,12 +95,58 @@ void set_io_deadline(int fd, std::uint32_t timeout_ms) {
 
 }  // namespace
 
+Endpoint Endpoint::unix_socket(std::string socket_path) {
+  Endpoint ep;
+  ep.kind = Kind::kUnix;
+  ep.path = std::move(socket_path);
+  return ep;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint ep;
+  ep.kind = Kind::kTcp;
+  ep.host = std::move(host);
+  ep.port = port;
+  return ep;
+}
+
+Endpoint Endpoint::parse_tcp(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  const std::string host =
+      colon == std::string::npos ? "" : spec.substr(0, colon);
+  const std::string port_str =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  if (port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::runtime_error("service: bad tcp endpoint (want host:port): " +
+                             spec);
+  }
+  const unsigned long port = std::stoul(port_str);
+  if (port == 0 || port > 65535) {
+    throw std::runtime_error("service: tcp port out of range: " + spec);
+  }
+  return tcp(host, static_cast<std::uint16_t>(port));
+}
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + (host.empty() ? std::string("127.0.0.1") : host) + ":" +
+         std::to_string(port);
+}
+
 InferenceClient::InferenceClient(const std::string& socket_path)
     : InferenceClient(socket_path, ClientOptions{}) {}
 
 InferenceClient::InferenceClient(const std::string& socket_path,
+                                 const ClientOptions& opts)
+    : InferenceClient(Endpoint::unix_socket(socket_path), opts) {}
+
+InferenceClient::InferenceClient(const Endpoint& endpoint)
+    : InferenceClient(endpoint, ClientOptions{}) {}
+
+InferenceClient::InferenceClient(const Endpoint& endpoint,
                                  const ClientOptions& opts) {
-  fd_ = connect_with_retry(socket_path, opts, connect_attempts_);
+  fd_ = connect_with_retry(endpoint, opts, connect_attempts_);
   if (opts.io_timeout_ms > 0) set_io_deadline(fd_, opts.io_timeout_ms);
 }
 

@@ -20,6 +20,27 @@
 
 namespace bolt::service {
 
+/// Where a client connects: a UNIX-domain socket path or a TCP host:port
+/// (IPv4; "localhost" maps to 127.0.0.1 without DNS). Both transports speak
+/// the identical binary protocol, so everything above the connect call —
+/// ops, tracing, error codes — is transport-agnostic.
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;          // kUnix: socket path
+  std::string host;          // kTcp: IPv4 dotted quad or "localhost"
+  std::uint16_t port = 0;    // kTcp
+
+  static Endpoint unix_socket(std::string socket_path);
+  static Endpoint tcp(std::string host, std::uint16_t port);
+  /// Parses "host:port" (host optional: ":9000" or "9000" mean loopback).
+  /// Throws std::runtime_error on a missing or non-numeric port.
+  static Endpoint parse_tcp(const std::string& spec);
+
+  /// "unix:<path>" or "tcp:<host>:<port>" — for logs and error messages.
+  std::string describe() const;
+};
+
 /// Connection-establishment and I/O-deadline tunables for InferenceClient.
 struct ClientOptions {
   /// Total budget for establishing the connection. While the server's
@@ -42,6 +63,8 @@ class InferenceClient {
  public:
   explicit InferenceClient(const std::string& socket_path);
   InferenceClient(const std::string& socket_path, const ClientOptions& opts);
+  explicit InferenceClient(const Endpoint& endpoint);
+  InferenceClient(const Endpoint& endpoint, const ClientOptions& opts);
   ~InferenceClient();
 
   InferenceClient(const InferenceClient&) = delete;

@@ -1,0 +1,521 @@
+#include "service/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "bolt/engine.h"
+#include "service/net.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace bolt::service {
+namespace {
+
+// epoll user-data keys below kFirstConnId identify non-connection fds.
+constexpr std::uint64_t kEventFdKey = 1;
+constexpr std::uint64_t kUnixListenerKey = 2;
+constexpr std::uint64_t kTcpListenerKey = 3;
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+// Compact the read buffer once this much consumed prefix accumulates
+// (cheap amortized move instead of per-frame shifting).
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+
+}  // namespace
+
+EventLoop::EventLoop(InferenceServer& server) : server_(server) {}
+
+EventLoop::~EventLoop() { stop(); }
+
+void EventLoop::start() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error(std::string("service: epoll_create1: ") +
+                             std::strerror(errno));
+  }
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (event_fd_ < 0) {
+    const int err = errno;
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw std::runtime_error(std::string("service: eventfd: ") +
+                             std::strerror(err));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kEventFdKey;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  // Take over the server's (already bound + listening) fds: flip them
+  // nonblocking so a connection that vanishes between epoll readiness and
+  // accept() cannot wedge the loop.
+  listeners_.clear();
+  listeners_.push_back({server_.listen_fd_, false, kUnixListenerKey});
+  if (server_.tcp_listen_fd_ >= 0) {
+    listeners_.push_back({server_.tcp_listen_fd_, true, kTcpListenerKey});
+  }
+  for (Listener& l : listeners_) {
+    detail::set_nonblocking(l.fd);
+    epoll_event lev{};
+    lev.events = EPOLLIN;
+    lev.data.u64 = l.key;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, l.fd, &lev);
+    l.armed = true;
+  }
+
+  const std::size_t n = std::max<std::size_t>(1, server_.options_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  loop_thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  if (!loop_thread_.joinable()) return;
+  // 1. Stop accepting: the loop closes the listener fds on next wake.
+  quiesce_.store(true);
+  wake();
+  // 2. Drain the worker pool. The scheduler was stopped by the server
+  //    before this call, so every async completion has fired; joining the
+  //    workers means every completion there will ever be is now posted.
+  {
+    std::lock_guard lock(jobs_mu_);
+    workers_stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  // 3. Grace window: let the loop flush posted completions to peers that
+  //    can take them. A peer that cannot drain its response within the
+  //    window loses it — exactly as if it had disconnected.
+  const Clock::time_point flush_deadline =
+      Clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    {
+      std::lock_guard lock(cq_mu_);
+      if (completions_.empty()) break;
+    }
+    if (Clock::now() >= flush_deadline) break;
+    wake();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // 4. Tear down: the loop thread closes every connection on exit.
+  done_.store(true);
+  wake();
+  loop_thread_.join();
+  {
+    std::lock_guard lock(cq_mu_);
+    completions_.clear();
+  }
+  jobs_.clear();
+  if (event_fd_ >= 0) ::close(event_fd_);
+  event_fd_ = -1;
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  epoll_fd_ = -1;
+}
+
+void EventLoop::wake() {
+  std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(event_fd_, &one, sizeof(one));
+}
+
+void EventLoop::post(Completion&& c) {
+  {
+    std::lock_guard lock(cq_mu_);
+    completions_.push_back(std::move(c));
+  }
+  wake();
+}
+
+void EventLoop::worker_main() {
+  // Engine-per-thread, as everywhere else: engines carry scratch state.
+  std::unique_ptr<engines::Engine> engine = server_.factory_();
+  auto* bolt_engine = dynamic_cast<core::BoltEngine*>(engine.get());
+  if (server_.options_.metrics) {
+    engine->attach_metrics(&server_.engine_metrics_);
+  }
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(jobs_mu_);
+      jobs_cv_.wait(lock,
+                    [this] { return workers_stop_ || !jobs_.empty(); });
+      // Drain-then-exit: accepted frames are answered even during stop so
+      // the exactly-once contract holds across the shutdown edge.
+      if (jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    const std::uint64_t id = job.conn_id;
+    server_.process_frame_async(
+        job.frame, *engine, bolt_engine,
+        [this, id](std::vector<std::uint8_t> payload, bool drop) {
+          post({id, std::move(payload), drop});
+        });
+  }
+}
+
+void EventLoop::run() {
+  std::vector<epoll_event> events(128);
+  bool listeners_closed = false;
+  while (!done_.load(std::memory_order_acquire)) {
+    const Clock::time_point now = Clock::now();
+    if (!listeners_closed) {
+      if (quiesce_.load(std::memory_order_acquire)) {
+        for (Listener& l : listeners_) {
+          if (l.armed) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, l.fd, nullptr);
+          ::close(l.fd);
+          l.fd = -1;
+          l.armed = false;
+        }
+        listeners_closed = true;
+      } else {
+        // Re-arm any listener parked by fd-exhaustion backoff.
+        for (Listener& l : listeners_) {
+          if (l.armed || now < l.rearm_at) continue;
+          epoll_event lev{};
+          lev.events = EPOLLIN;
+          lev.data.u64 = l.key;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, l.fd, &lev);
+          l.armed = true;
+        }
+      }
+    }
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               poll_timeout_ms(now));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: unrecoverable, fall through to teardown
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t key = events[i].data.u64;
+      if (key == kEventFdKey) continue;  // drained below
+      if (key == kUnixListenerKey || key == kTcpListenerKey) {
+        if (listeners_closed) continue;
+        for (Listener& l : listeners_) {
+          if (l.key == key && l.armed) on_listener(l);
+        }
+        continue;
+      }
+      const auto it = conns_.find(key);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      on_conn_event(*it->second, events[i].events);
+    }
+    drain_completions();
+    reap_idle(Clock::now());
+  }
+  // Teardown on the loop thread: nothing else touches conns_, so closing
+  // here cannot race an event in flight.
+  if (!listeners_closed) {
+    for (Listener& l : listeners_) {
+      if (l.fd >= 0) ::close(l.fd);
+      l.fd = -1;
+    }
+  }
+  const bool record = server_.options_.metrics;
+  for (auto& [id, c] : conns_) {
+    ::close(c->fd);
+    if (record) server_.active_connections_->sub(1);
+  }
+  conns_.clear();
+  idle_lru_.clear();
+  conn_count_.store(0, std::memory_order_relaxed);
+}
+
+int EventLoop::poll_timeout_ms(Clock::time_point now) const {
+  std::int64_t timeout = -1;
+  if (!idle_lru_.empty()) {
+    const auto it = conns_.find(idle_lru_.front());
+    if (it != conns_.end()) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          it->second->idle_deadline - now)
+                          .count();
+      timeout = std::max<std::int64_t>(0, ms + 1);
+    }
+  }
+  for (const Listener& l : listeners_) {
+    if (l.armed || l.fd < 0) continue;
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        l.rearm_at - now)
+                        .count();
+    const std::int64_t until = std::max<std::int64_t>(0, ms + 1);
+    timeout = timeout < 0 ? until : std::min(timeout, until);
+  }
+  if (timeout > std::numeric_limits<int>::max()) timeout = -1;
+  return static_cast<int>(timeout);
+}
+
+void EventLoop::disarm_listener(Listener& l) {
+  if (l.armed) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, l.fd, nullptr);
+  l.armed = false;
+  l.rearm_at = Clock::now() + std::chrono::milliseconds(l.backoff_ms);
+  l.backoff_ms = std::min<std::uint32_t>(l.backoff_ms * 2, 100);
+}
+
+void EventLoop::on_listener(Listener& l) {
+  const bool record = server_.options_.metrics;
+  for (;;) {
+    const int fd =
+        ::accept4(l.fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      const int err = errno;
+      if (err == EAGAIN || err == EWOULDBLOCK) return;  // backlog drained
+      if (err == EINTR) continue;
+      if (err == ECONNABORTED || err == EPROTO) {
+        if (record) server_.accept_errors_->inc();
+        continue;
+      }
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // fd exhaustion: shed the head of the backlog via the emergency
+        // spare fd, then park the listener — level-triggered epoll would
+        // otherwise spin hot on the still-pending backlog.
+        if (record) server_.accept_errors_->inc();
+        server_.shed_pending_connection(l.fd);
+        disarm_listener(l);
+        return;
+      }
+      return;  // fatal (listener shut down)
+    }
+    l.backoff_ms = 1;
+    if (l.tcp) detail::set_tcp_nodelay(fd);
+    const std::size_t cap = server_.options_.max_connections;
+    if (cap != 0 && conn_count_.load(std::memory_order_relaxed) >= cap) {
+      server_.rejected_connections_->inc();
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_id_++;
+    conn->tcp = l.tcp;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    if (record) {
+      server_.connections_total_->inc();
+      server_.active_connections_->add(1);
+    }
+    conn_count_.fetch_add(1, std::memory_order_relaxed);
+    Conn& c = *conn;
+    conns_.emplace(c.id, std::move(conn));
+    touch_lru(c);
+  }
+}
+
+void EventLoop::set_interest(Conn& c, bool read, bool write) {
+  if (c.want_read == read && c.want_write == write) return;
+  c.want_read = read;
+  c.want_write = write;
+  epoll_event ev{};
+  ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+  ev.data.u64 = c.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void EventLoop::touch_lru(Conn& c) {
+  const std::uint32_t timeout_ms = server_.options_.idle_timeout_ms;
+  if (timeout_ms == 0) return;
+  if (c.in_lru) idle_lru_.erase(c.lru);
+  idle_lru_.push_back(c.id);
+  c.lru = std::prev(idle_lru_.end());
+  c.in_lru = true;
+  c.idle_deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+void EventLoop::drop_lru(Conn& c) {
+  if (!c.in_lru) return;
+  idle_lru_.erase(c.lru);
+  c.in_lru = false;
+}
+
+void EventLoop::reap_idle(Clock::time_point now) {
+  if (server_.options_.idle_timeout_ms == 0) return;
+  const bool record = server_.options_.metrics;
+  while (!idle_lru_.empty()) {
+    const auto it = conns_.find(idle_lru_.front());
+    if (it == conns_.end()) {
+      idle_lru_.pop_front();  // defensive; close always unlinks
+      continue;
+    }
+    Conn& c = *it->second;
+    if (c.idle_deadline > now) break;
+    if (record) server_.idle_timeouts_->inc();
+    close_conn(c);
+  }
+}
+
+void EventLoop::close_conn(Conn& c) {
+  drop_lru(c);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  if (server_.options_.metrics) server_.active_connections_->sub(1);
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
+  conns_.erase(c.id);  // destroys c — callers return immediately
+}
+
+bool EventLoop::on_conn_event(Conn& c, std::uint32_t ev) {
+  if (ev & EPOLLIN) {
+    if (!read_some(c)) return false;
+  } else if (ev & (EPOLLHUP | EPOLLERR)) {
+    // No readable data and the peer is gone (or the socket errored):
+    // anything still buffered our way can never be delivered.
+    close_conn(c);
+    return false;
+  }
+  if (ev & EPOLLOUT) {
+    if (!flush_write(c)) return false;
+  }
+  return true;
+}
+
+bool EventLoop::read_some(Conn& c) {
+  for (;;) {
+    const std::size_t old_size = c.rbuf.size();
+    c.rbuf.resize(old_size + kReadChunk);
+    const ssize_t n = ::read(c.fd, c.rbuf.data() + old_size, kReadChunk);
+    if (n > 0) {
+      c.rbuf.resize(old_size + static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < kReadChunk) break;
+      continue;
+    }
+    c.rbuf.resize(old_size);
+    if (n == 0) {
+      c.peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(c);
+    return false;
+  }
+  if (!parse_frames(c)) return false;
+  return settle(c);
+}
+
+bool EventLoop::parse_frames(Conn& c) {
+  // Serial connections: at most one frame in flight, matching the strict
+  // request/response protocol. Reads stay armed while parsing is short of
+  // a full frame; they pause (set_interest below) once a frame dispatches.
+  while (!c.in_flight) {
+    const std::size_t avail = c.rbuf.size() - c.rpos;
+    if (avail < sizeof(std::uint32_t)) break;
+    std::uint32_t len = 0;
+    std::memcpy(&len, c.rbuf.data() + c.rpos, sizeof(len));
+    if (len > kMaxFrameBytes) {
+      // Same bound as the blocking read_frame: an oversized length prefix
+      // is an undecodable peer, drop it.
+      close_conn(c);
+      return false;
+    }
+    if (avail - sizeof(len) < len) break;
+    Job job;
+    job.conn_id = c.id;
+    const auto* base = c.rbuf.data() + c.rpos + sizeof(len);
+    job.frame.assign(base, base + len);
+    c.rpos += sizeof(len) + len;
+    c.in_flight = true;
+    drop_lru(c);
+    set_interest(c, /*read=*/false, /*write=*/c.want_write);
+    {
+      std::lock_guard lock(jobs_mu_);
+      jobs_.push_back(std::move(job));
+    }
+    jobs_cv_.notify_one();
+  }
+  if (c.rpos == c.rbuf.size()) {
+    c.rbuf.clear();
+    c.rpos = 0;
+  } else if (c.rpos >= kCompactThreshold) {
+    c.rbuf.erase(c.rbuf.begin(),
+                 c.rbuf.begin() + static_cast<std::ptrdiff_t>(c.rpos));
+    c.rpos = 0;
+  }
+  return true;
+}
+
+bool EventLoop::settle(Conn& c) {
+  if (c.in_flight || c.wpos < c.wbuf.size()) return true;
+  if (c.peer_eof) {
+    // Clean close after the peer's half-close: every complete frame it
+    // sent has been answered and flushed (a trailing partial frame is a
+    // truncation — dropped, same as the blocking read path).
+    close_conn(c);
+    return false;
+  }
+  set_interest(c, /*read=*/true, /*write=*/false);
+  touch_lru(c);
+  return true;
+}
+
+bool EventLoop::flush_write(Conn& c) {
+  while (c.wpos < c.wbuf.size()) {
+    const ssize_t n = ::send(c.fd, c.wbuf.data() + c.wpos,
+                             c.wbuf.size() - c.wpos, MSG_NOSIGNAL);
+    if (n >= 0) {
+      c.wpos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Peer's socket buffer is full: park the remainder and let EPOLLOUT
+      // resume it. Reads stay paused until the response is out.
+      set_interest(c, /*read=*/false, /*write=*/true);
+      return true;
+    }
+    close_conn(c);  // EPIPE/ECONNRESET: peer vanished mid-response
+    return false;
+  }
+  c.wbuf.clear();
+  c.wpos = 0;
+  // Response delivered: serve the next pipelined frame if one is already
+  // buffered, otherwise go back to reading/idle.
+  if (!parse_frames(c)) return false;
+  return settle(c);
+}
+
+void EventLoop::drain_completions() {
+  std::uint64_t junk = 0;
+  [[maybe_unused]] const ssize_t r =
+      ::read(event_fd_, &junk, sizeof(junk));
+  std::vector<Completion> batch;
+  {
+    std::lock_guard lock(cq_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& comp : batch) {
+    const auto it = conns_.find(comp.conn_id);
+    if (it == conns_.end()) continue;  // connection died while in flight
+    Conn& c = *it->second;
+    c.in_flight = false;
+    if (comp.drop) {
+      // Malformed frame: the threaded front end drops the connection
+      // without a response; mirror that.
+      close_conn(c);
+      continue;
+    }
+    const auto len = static_cast<std::uint32_t>(comp.payload.size());
+    std::uint8_t header[sizeof(len)];
+    std::memcpy(header, &len, sizeof(len));
+    c.wbuf.insert(c.wbuf.end(), header, header + sizeof(len));
+    c.wbuf.insert(c.wbuf.end(), comp.payload.begin(), comp.payload.end());
+    flush_write(c);
+  }
+}
+
+}  // namespace bolt::service

@@ -1,0 +1,164 @@
+// Epoll event-loop front end for InferenceServer (docs/SERVING.md
+// "Transports and front ends").
+//
+// The threaded front end spends one OS thread per connection — fine for
+// tens of clients, a scalability wall at thousands (the accept path the
+// ROADMAP's "heavy traffic" target trips over first). This front end holds
+// every connection as nonblocking-fd state inside one epoll loop:
+//
+//   loop thread        worker pool (ServerOptions::workers)
+//   ───────────        ────────────────────────────────────
+//   accept/read ──▶ complete frame ──▶ job queue ──▶ decode + dispatch
+//   write/flush ◀── completion queue ◀── eventfd ◀── encoded response
+//
+// The loop thread never runs inference and never blocks on a peer; workers
+// never touch a socket. Scheduler-eligible frames go through
+// BatchScheduler::classify_async, so no thread parks on a completion —
+// cross-connection tiles can aggregate rows from thousands of connections
+// while the pool stays at `workers` threads. Responses reach the peer via
+// the completion queue + eventfd wakeup; partial writes re-arm EPOLLOUT.
+//
+// Connections are serial (one in-flight frame each — reads pause while a
+// frame is being served, matching the request/response protocol), and
+// idle-timeout reaping uses a uniform-duration LRU list instead of
+// SO_RCVTIMEO: every timeout is the same length, so activity order IS
+// deadline order and reaping is O(1) per reap.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace bolt::service {
+
+class InferenceServer;
+
+/// One instance per started server (FrontEnd::kEventLoop); owned by
+/// InferenceServer, which remains responsible for protocol dispatch and
+/// metrics — this class is purely sockets, buffers, and scheduling glue.
+class EventLoop {
+ public:
+  explicit EventLoop(InferenceServer& server);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Takes ownership of the server's listener fds (flips them
+  /// nonblocking), spawns the worker pool and the loop thread. Throws on
+  /// epoll/eventfd setup failure.
+  void start();
+  /// Quiesces: closes listeners and connections, drains the worker pool,
+  /// joins every thread. Call after BatchScheduler::stop() so async
+  /// completions have already been delivered. Idempotent.
+  void stop();
+
+  /// Live connections (the event-loop analogue of active handler count).
+  std::size_t connection_count() const {
+    return conn_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    bool tcp = false;
+    // Read side: raw bytes accumulate in rbuf; rpos is the parse cursor
+    // (frames are length-prefixed, so a frame is complete when
+    // rbuf.size() - rpos covers prefix + payload).
+    std::vector<std::uint8_t> rbuf;
+    std::size_t rpos = 0;
+    // Write side: the pending encoded response (+ length prefix); wpos is
+    // how much the kernel has taken. Non-empty wbuf ⇒ EPOLLOUT armed.
+    std::vector<std::uint8_t> wbuf;
+    std::size_t wpos = 0;
+    bool in_flight = false;  // frame handed to the pool; reads paused
+    bool peer_eof = false;   // half-close: flush what we owe, then close
+    bool want_read = true;   // EPOLLIN currently armed
+    bool want_write = false; // EPOLLOUT currently armed
+    bool in_lru = false;
+    std::list<std::uint64_t>::iterator lru;  // valid iff in_lru
+    Clock::time_point idle_deadline{};
+  };
+
+  struct Listener {
+    int fd = -1;
+    bool tcp = false;
+    std::uint64_t key = 0;
+    bool armed = false;              // registered with epoll right now
+    Clock::time_point rearm_at{};    // when !armed: retry accept here
+    std::uint32_t backoff_ms = 1;
+  };
+
+  struct Job {
+    std::uint64_t conn_id = 0;
+    std::vector<std::uint8_t> frame;
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::vector<std::uint8_t> payload;
+    bool drop = false;
+  };
+
+  void run();
+  void worker_main();
+  void wake();
+  void post(Completion&& c);
+  void drain_completions();
+
+  void on_listener(Listener& l);
+  void disarm_listener(Listener& l);
+  /// Returns false when the connection was destroyed.
+  bool on_conn_event(Conn& c, std::uint32_t events);
+  bool read_some(Conn& c);
+  bool parse_frames(Conn& c);
+  bool flush_write(Conn& c);
+  /// Close-or-keep decision once a response has fully flushed or EOF was
+  /// seen; re-arms reads and the idle LRU when the connection stays.
+  bool settle(Conn& c);
+  void close_conn(Conn& c);
+  void set_interest(Conn& c, bool read, bool write);
+  void touch_lru(Conn& c);
+  void drop_lru(Conn& c);
+  void reap_idle(Clock::time_point now);
+  int poll_timeout_ms(Clock::time_point now) const;
+
+  InferenceServer& server_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> quiesce_{false};
+  std::atomic<bool> done_{false};
+
+  std::vector<Listener> listeners_;
+  std::uint64_t next_id_ = 16;  // ids below 16 are listener/eventfd keys
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::atomic<std::size_t> conn_count_{0};
+  // Idle reaping: uniform timeout ⇒ the least-recently-active connection
+  // expires first, so a touch-ordered list scans only actual expiries.
+  // Contains exactly the connections that are idle (no in-flight frame,
+  // nothing buffered to write). Empty when idle_timeout_ms == 0.
+  std::list<std::uint64_t> idle_lru_;
+
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool workers_stop_ = false;
+
+  std::mutex cq_mu_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace bolt::service

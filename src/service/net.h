@@ -1,0 +1,97 @@
+// Internal TCP and fd-mode helpers shared by the server, the event-loop
+// front end, and the client TUs. The UNIX-domain counterparts live in
+// unix_socket.h. Not part of the public service API.
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace bolt::service::detail {
+
+inline void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error(std::string("service: fcntl O_NONBLOCK: ") +
+                             std::strerror(errno));
+  }
+}
+
+/// Best effort: latency matters more than the syscall result here (the
+/// protocol is strictly request/response, so Nagle-delayed small frames
+/// would stack an RTT onto every round trip).
+inline void set_tcp_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// IPv4 only, by design: the TCP transport exists for same-host / same-rack
+/// clients that cannot share a filesystem namespace with the server.
+/// "localhost" and "" resolve to loopback without touching DNS.
+inline in_addr parse_ipv4(const std::string& host) {
+  const std::string h =
+      (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+  in_addr a{};
+  if (::inet_pton(AF_INET, h.c_str(), &a) != 1) {
+    throw std::runtime_error("service: not an IPv4 address: " + host);
+  }
+  return a;
+}
+
+inline sockaddr_in make_inet_addr(const std::string& host,
+                                  std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr = parse_ipv4(host);
+  return addr;
+}
+
+/// Creates, binds and listens a TCP socket on 127.0.0.1:`port` (0 = kernel-
+/// assigned; the bound port is written to `bound_port` either way).
+/// SO_REUSEADDR so a restarted server rebinds through TIME_WAIT. Closes the
+/// fd before throwing — no caller cleanup needed on failure.
+inline int make_tcp_listener(std::uint16_t port, int backlog,
+                             std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("service: tcp socket: ") +
+                             std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_inet_addr("127.0.0.1", port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("service: tcp bind: ") +
+                             std::strerror(err));
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("service: tcp listen: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("service: tcp getsockname: ") +
+                             std::strerror(err));
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace bolt::service::detail

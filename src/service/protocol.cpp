@@ -305,7 +305,9 @@ bool read_exact(int fd, void* buf, std::size_t n, bool eof_ok) {
 bool read_frame(int fd, std::vector<std::uint8_t>& frame) {
   std::uint32_t len = 0;
   if (!read_exact(fd, &len, sizeof(len), /*eof_ok=*/true)) return false;
-  if (len > (64u << 20)) throw std::runtime_error("protocol: frame too big");
+  if (len > kMaxFrameBytes) {
+    throw std::runtime_error("protocol: frame too big");
+  }
   frame.resize(len);
   read_exact(fd, frame.data(), len, /*eof_ok=*/false);
   return true;

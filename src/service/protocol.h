@@ -62,6 +62,11 @@ constexpr std::uint32_t kFlagTrace = 1u << 1;
 constexpr std::uint32_t kStatsFlagJson = 1u << 0;
 constexpr std::uint32_t kSlowFlagJson = 1u << 0;
 
+/// Largest accepted frame payload. Shared by the blocking read_frame and
+/// the event loop's incremental parser so both front ends reject oversized
+/// frames at the same boundary.
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
 /// Status codes carried in Response::predicted_class (and per row of a
 /// batch response). Real classes are >= 0, so negatives are unambiguous:
 ///   kClassError   — arity mismatch / malformed row / engine failure

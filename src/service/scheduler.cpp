@@ -80,6 +80,33 @@ bool BatchScheduler::enqueue(Pending* p, Status& why) {
   return true;
 }
 
+void BatchScheduler::complete(Pending* p, Result r) {
+  if (p->done_cb) {
+    // Move the callback out first: it owns the in-flight state that keeps
+    // p->features alive, and must outlive the record it frees.
+    std::function<void(Result)> cb = std::move(p->done_cb);
+    delete p;
+    cb(r);
+    return;
+  }
+  p->done.set_value(r);
+}
+
+void BatchScheduler::classify_async(std::span<const float> features,
+                                    util::TraceContext* trace,
+                                    std::function<void(Result)> done) {
+  auto* p = new Pending;
+  p->features = features;
+  p->trace = trace;
+  p->done_cb = std::move(done);
+  Status why;
+  if (!enqueue(p, why)) {
+    complete(p, {why, -1});
+    return;
+  }
+  // The worker pool now owns answering (and freeing) the record.
+}
+
 BatchScheduler::Result BatchScheduler::classify(
     std::span<const float> features, util::TraceContext* trace) {
   Pending p;
@@ -180,13 +207,13 @@ void BatchScheduler::run_tile(engines::Engine& engine,
     }
     if (now > p->deadline) {
       if (record_) expired_->inc();
-      p->done.set_value({Status::kExpired, -1});
+      complete(p, {Status::kExpired, -1});
       continue;
     }
     if (p->features.size() != arity) {
       // Defensive: the server validates arity before submitting, so this
       // only fires on a misuse of the library API.
-      p->done.set_value({Status::kError, -1});
+      complete(p, {Status::kError, -1});
       continue;
     }
     live.push_back(p);
@@ -217,7 +244,7 @@ void BatchScheduler::run_tile(engines::Engine& engine,
   } catch (const std::exception&) {
     if (any_traced) engine.attach_trace(nullptr);
     // A throwing engine must not leave callers blocked on their futures.
-    for (Pending* p : live) p->done.set_value({Status::kError, -1});
+    for (Pending* p : live) complete(p, {Status::kError, -1});
     return;
   }
   if (any_traced) {
@@ -234,7 +261,7 @@ void BatchScheduler::run_tile(engines::Engine& engine,
     }
   }
   for (std::size_t i = 0; i < live.size(); ++i) {
-    live[i]->done.set_value({Status::kOk, classes[i]});
+    complete(live[i], {Status::kOk, classes[i]});
   }
 }
 

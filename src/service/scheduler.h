@@ -114,6 +114,18 @@ class BatchScheduler {
                      std::size_t row_stride, std::span<Result> out,
                      util::TraceContext* trace = nullptr);
 
+  /// Non-blocking submission for the event-loop front end: enqueues one row
+  /// and returns immediately; `done` is invoked exactly once with the
+  /// verdict — inline when the submission is shed (kBusy/kShutdown),
+  /// otherwise later on a scheduler worker thread. No thread ever parks on
+  /// the completion, so cross-connection tiles can grow past the caller's
+  /// thread count. `features` and `trace` are borrowed and must stay alive
+  /// until `done` runs (the caller keeps the decoded request in its
+  /// in-flight record).
+  void classify_async(std::span<const float> features,
+                      util::TraceContext* trace,
+                      std::function<void(Result)> done);
+
   /// Requests currently queued (not yet gathered into a tile).
   std::size_t queue_depth() const;
 
@@ -126,7 +138,15 @@ class BatchScheduler {
     Clock::time_point deadline;  // Clock::time_point::max() = none
     util::TraceContext* trace = nullptr;  // borrowed; null = untraced
     std::promise<Result> done;
+    /// Async submissions (classify_async) answer through this callback
+    /// instead of the promise; the record is then heap-owned and freed by
+    /// complete(). Blocking submissions leave it empty.
+    std::function<void(Result)> done_cb;
   };
+
+  /// Answers `p` exactly once: invokes done_cb and frees the heap-owned
+  /// record (async path) or fulfils the promise (blocking path).
+  static void complete(Pending* p, Result r);
 
   /// Returns false (with `why` set) when shedding; on success the worker
   /// pool owns answering `p->done`.

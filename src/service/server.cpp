@@ -1,14 +1,20 @@
 #include "service/server.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 #include "bolt/kernels/kernels.h"
+#include "service/event_loop.h"
+#include "service/net.h"
 #include "service/unix_socket.h"
 #include "util/build_info.h"
 #include "util/cpu_features.h"
@@ -77,6 +83,7 @@ InferenceServer::InferenceServer(
   batch_requests_total_ = &metrics_.counter("service.batch_requests");
   connections_total_ = &metrics_.counter("service.connections_total");
   rejected_connections_ = &metrics_.counter("service.rejected_connections");
+  accept_errors_ = &metrics_.counter("service.accept_errors");
   idle_timeouts_ = &metrics_.counter("service.idle_timeouts");
   active_connections_ = &metrics_.gauge("service.active_connections");
   uptime_seconds_ = &metrics_.gauge("service.uptime_seconds");
@@ -97,35 +104,96 @@ InferenceServer::InferenceServer(
   metrics_.set_build_info(std::move(build_labels));
 }
 
-InferenceServer::~InferenceServer() { stop(); }
+InferenceServer::~InferenceServer() {
+  stop();
+  if (spare_fd_ >= 0) ::close(spare_fd_);
+}
+
+void InferenceServer::close_listeners() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+  tcp_listen_fd_ = -1;
+  tcp_port_ = -1;
+}
 
 void InferenceServer::start() {
+  if (running_.load()) return;
   if (options_.scheduler.enabled && scheduler_ == nullptr) {
     scheduler_ = std::make_unique<BatchScheduler>(
         factory_, options_.scheduler, metrics_, options_.metrics);
     scheduler_->start();
   }
-  listen_fd_ = make_unix_socket();
-  ::unlink(socket_path_.c_str());
-  sockaddr_un addr = make_addr(socket_path_);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    throw std::runtime_error(std::string("service: bind: ") +
-                             std::strerror(errno));
+  const int backlog =
+      options_.listen_backlog > 0 ? options_.listen_backlog : SOMAXCONN;
+  bool bound_path = false;
+  try {
+    listen_fd_ = make_unix_socket();
+    ::unlink(socket_path_.c_str());
+    sockaddr_un addr = make_addr(socket_path_);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw std::runtime_error(std::string("service: bind: ") +
+                               std::strerror(errno));
+    }
+    bound_path = true;
+    if (::listen(listen_fd_, backlog) < 0) {
+      throw std::runtime_error(std::string("service: listen: ") +
+                               std::strerror(errno));
+    }
+    if (options_.tcp_port >= 0) {
+      std::uint16_t bound = 0;
+      tcp_listen_fd_ = detail::make_tcp_listener(
+          static_cast<std::uint16_t>(options_.tcp_port), backlog, bound);
+      tcp_port_ = bound;
+    }
+    if (options_.metrics_port >= 0) {
+      metrics_http_ = std::make_unique<MetricsHttpServer>(
+          metrics_, static_cast<std::uint16_t>(options_.metrics_port),
+          [this] { update_uptime(); });
+      metrics_http_->start();
+    }
+  } catch (...) {
+    // A throwing start() must leave no trace: no leaked listen fds, no
+    // stale bound socket path to shadow a later bind, and a scheduler that
+    // a retried start() can rebuild.
+    close_listeners();
+    if (bound_path) ::unlink(socket_path_.c_str());
+    metrics_http_.reset();
+    if (scheduler_) {
+      scheduler_->stop();
+      scheduler_.reset();
+    }
+    throw;
   }
-  if (::listen(listen_fd_, 16) < 0) {
-    throw std::runtime_error(std::string("service: listen: ") +
-                             std::strerror(errno));
+  if (spare_fd_ < 0) {
+    spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
   }
   running_.store(true);
   start_time_ = std::chrono::steady_clock::now();
-  if (options_.metrics_port >= 0) {
-    metrics_http_ = std::make_unique<MetricsHttpServer>(
-        metrics_, static_cast<std::uint16_t>(options_.metrics_port),
-        [this] { update_uptime(); });
-    metrics_http_->start();
+  if (options_.front_end == FrontEnd::kEventLoop) {
+    event_loop_ = std::make_unique<EventLoop>(*this);
+    try {
+      event_loop_->start();
+    } catch (...) {
+      event_loop_.reset();
+      running_.store(false);
+      close_listeners();
+      ::unlink(socket_path_.c_str());
+      if (metrics_http_) {
+        metrics_http_->stop();
+        metrics_http_.reset();
+      }
+      throw;
+    }
+  } else {
+    accept_threads_.emplace_back(
+        [this] { accept_loop(listen_fd_, /*tcp=*/false); });
+    if (tcp_listen_fd_ >= 0) {
+      accept_threads_.emplace_back(
+          [this] { accept_loop(tcp_listen_fd_, /*tcp=*/true); });
+    }
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 void InferenceServer::update_uptime() {
@@ -140,22 +208,39 @@ void InferenceServer::stop() {
     metrics_http_->stop();
     metrics_http_.reset();
   }
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Drain the scheduler first: handlers blocked on a completion future are
-  // released with a real answer (and later submissions shed kShutdown), so
-  // no handler can be parked on inference when we shut its socket down.
-  if (scheduler_) scheduler_->stop();
-  // Handlers are detached and self-reaping: wake any blocked in read() by
-  // shutting their sockets down (a handler owns its fd and closes it on
-  // exit — never close here), then wait for the live count to drain.
-  std::unique_lock lock(conn_mu_);
-  for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
-  conn_cv_.wait(lock, [this] { return active_handlers_ == 0; });
-  connection_fds_.clear();
-  lock.unlock();
+  if (event_loop_) {
+    // Scheduler first: its drain fulfils every async completion, the loop
+    // writes those responses out, then the loop itself quiesces. The event
+    // loop owns (and closes) the listener and connection fds.
+    if (scheduler_) scheduler_->stop();
+    event_loop_->stop();
+    event_loop_.reset();
+    listen_fd_ = -1;
+    tcp_listen_fd_ = -1;
+    tcp_port_ = -1;
+  } else {
+    // Wake the accept threads (shutdown makes a blocked accept() return)
+    // but close the fds only after the join: close() concurrent with
+    // accept() races the fd number being reused by a handler's socket.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (tcp_listen_fd_ >= 0) ::shutdown(tcp_listen_fd_, SHUT_RDWR);
+    for (auto& t : accept_threads_) t.join();
+    accept_threads_.clear();
+    close_listeners();
+    // Drain the scheduler first: handlers blocked on a completion future
+    // are released with a real answer (and later submissions shed
+    // kShutdown), so no handler can be parked on inference when we shut
+    // its socket down.
+    if (scheduler_) scheduler_->stop();
+    // Handlers are detached and self-reaping: wake any blocked in read()
+    // by shutting their sockets down (a handler owns its fd and closes it
+    // on exit — never close here), then wait for the live count to drain.
+    std::unique_lock lock(conn_mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_cv_.wait(lock, [this] { return active_handlers_ == 0; });
+    connection_fds_.clear();
+    lock.unlock();
+  }
   // Destroy only after every handler has exited (none can hold a pointer
   // to it past this line); start() rebuilds it for a restarted server.
   scheduler_.reset();
@@ -163,20 +248,66 @@ void InferenceServer::stop() {
 }
 
 std::size_t InferenceServer::active_handler_count() const {
+  if (event_loop_) return event_loop_->connection_count();
   std::lock_guard lock(conn_mu_);
   return active_handlers_;
 }
 
-void InferenceServer::accept_loop() {
+void InferenceServer::shed_pending_connection(int listen_fd) {
+  std::lock_guard lock(spare_mu_);
+  if (spare_fd_ < 0) return;
+  // Only shed when a connection is actually queued: a blocking accept here
+  // would park holding both the mutex and the released spare slot, and eat
+  // the first healthy connection that arrives after the pressure clears.
+  pollfd pending{listen_fd, POLLIN, 0};
+  if (::poll(&pending, 1, 0) <= 0 || (pending.revents & POLLIN) == 0) {
+    return;
+  }
+  ::close(spare_fd_);
+  spare_fd_ = -1;
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) ::close(fd);
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+void InferenceServer::accept_loop(int listen_fd, bool tcp) {
+  std::uint32_t backoff_ms = 1;
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
+      const int err = errno;
       if (!running_.load()) return;
-      if (errno == EINTR) continue;
+      if (err == EINTR || err == EAGAIN || err == EWOULDBLOCK) continue;
+      if (err == ECONNABORTED || err == EPROTO) {
+        // The peer gave up between connect and accept — its problem, not
+        // the listener's. Count it and take the next one.
+        if (options_.metrics) accept_errors_->inc();
+        continue;
+      }
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // Resource exhaustion is transient: shed the pending connection
+        // via the emergency spare fd so the peer sees EOF (not a hang),
+        // then back off — retrying hot cannot free fds.
+        if (options_.metrics) accept_errors_->inc();
+        shed_pending_connection(listen_fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min<std::uint32_t>(backoff_ms * 2, 100);
+        continue;
+      }
       return;  // listening socket gone
     }
+    backoff_ms = 1;
+    if (tcp) detail::set_tcp_nodelay(fd);
     {
       std::lock_guard lock(conn_mu_);
+      // Re-check under the lock: a connection that won the race against
+      // stop() flipping running_ must not spawn a handler the drain wait
+      // in stop() (which holds this mutex) would never cover.
+      if (!running_.load()) {
+        ::close(fd);
+        return;
+      }
       // Explicit backpressure: beyond the cap, refuse instead of piling up
       // handler threads until OOM.
       if (options_.max_connections != 0 &&
@@ -192,6 +323,418 @@ void InferenceServer::accept_loop() {
     // accumulate); stop() waits on active_handlers_ via conn_cv_.
     std::thread([this, fd] { handle_connection(fd); }).detach();
   }
+}
+
+void InferenceServer::finish_classify(Response& resp,
+                                      util::TraceContext* tctx,
+                                      bool client_trace,
+                                      const ClassifyTiming& timing,
+                                      std::vector<std::uint8_t>& out) {
+  const bool record = options_.metrics;
+  if (tctx != nullptr) {
+    // Dispatch is derived, not measured: inference-layer wall time minus
+    // what the layers below attributed, so the breakdown sums to the
+    // request latency instead of double-counting.
+    const std::int64_t wall =
+        util::TraceContext::now_ns() - timing.infer_start_ns;
+    const auto attributed = static_cast<std::int64_t>(tctx->attributed_ns() -
+                                                      timing.attr_before);
+    tctx->add(util::Stage::kDispatch, wall - attributed);
+  }
+  out.clear();
+  const std::int64_t encode_start =
+      tctx != nullptr ? util::TraceContext::now_ns() : 0;
+  encode_response(resp, out);
+  if (tctx != nullptr) {
+    tctx->add(util::Stage::kEncode,
+              util::TraceContext::now_ns() - encode_start);
+  }
+  const std::int64_t total_ns =
+      util::TraceContext::now_ns() - timing.request_start_ns;
+  if (client_trace && tctx != nullptr) {
+    // The client asked for the breakdown: attach the trace section and
+    // re-encode. The kEncode span was measured on the first encode; the
+    // re-encode costs only traced requests.
+    fill_trace_section(*tctx, static_cast<std::uint64_t>(total_ns), resp);
+    out.clear();
+    encode_response(resp, out);
+  }
+  // Account for the request *before* the response leaves: once a client
+  // holds the response, a scrape (STATS or requests_served()) must
+  // already include it. The latency histogram therefore covers
+  // decode + inference + encode, not the final write syscall.
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (record) {
+    requests_total_->inc();
+    if (resp.predicted_class < 0) errors_total_->inc();
+    request_latency_us_->record(static_cast<double>(total_ns) / 1000.0);
+  }
+  if (tctx != nullptr) {
+    if (record) traced_requests_->inc();
+    const bool captured = slow_ring_->maybe_capture(
+        *tctx, static_cast<double>(total_ns) / 1000.0, "CLASSIFY", 1);
+    if (captured && record) slow_captured_->inc();
+  }
+}
+
+void InferenceServer::finish_batch(BatchResponse& bresp,
+                                   util::TraceContext* btrace,
+                                   const ClassifyTiming& timing,
+                                   std::size_t rows,
+                                   std::vector<std::uint8_t>& out) {
+  const bool record = options_.metrics;
+  if (btrace != nullptr) {
+    const std::int64_t wall =
+        util::TraceContext::now_ns() - timing.infer_start_ns;
+    const auto attributed = static_cast<std::int64_t>(
+        btrace->attributed_ns() - timing.attr_before);
+    btrace->add(util::Stage::kDispatch, wall - attributed);
+  }
+  std::uint64_t batch_errors = 0;
+  for (std::int32_t c : bresp.classes) batch_errors += c < 0;
+  out.clear();
+  const std::int64_t bencode_start =
+      btrace != nullptr ? util::TraceContext::now_ns() : 0;
+  encode_batch_response(bresp, out);
+  if (btrace != nullptr) {
+    btrace->add(util::Stage::kEncode,
+                util::TraceContext::now_ns() - bencode_start);
+  }
+  const std::int64_t total_ns =
+      util::TraceContext::now_ns() - timing.request_start_ns;
+  requests_served_.fetch_add(rows, std::memory_order_relaxed);
+  if (record) {
+    batch_requests_total_->inc();
+    batch_size_->record(static_cast<double>(rows));
+    requests_total_->inc(rows);
+    errors_total_->inc(batch_errors);
+    request_latency_us_->record(static_cast<double>(total_ns) / 1000.0);
+  }
+  if (btrace != nullptr) {
+    if (record) traced_requests_->inc();
+    const bool captured = slow_ring_->maybe_capture(
+        *btrace, static_cast<double>(total_ns) / 1000.0, "BATCH",
+        static_cast<std::uint32_t>(rows));
+    if (captured && record) slow_captured_->inc();
+  }
+}
+
+void InferenceServer::process_frame(std::span<const std::uint8_t> frame,
+                                    engines::Engine& engine,
+                                    core::BoltEngine* bolt_engine,
+                                    std::vector<std::uint8_t>& out) {
+  const bool record = options_.metrics;
+  if (frame_magic(frame) == kStatsRequestMagic) {
+    // STATS op: scrape the registry. Not counted as an inference request;
+    // totals therefore match classification ground truth.
+    StatsRequest sreq;
+    try {
+      sreq = decode_stats_request(frame);
+    } catch (const std::exception&) {
+      if (record) malformed_total_->inc();
+      throw;
+    }
+    if (record) stats_requests_total_->inc();
+    update_uptime();
+    const util::MetricsSnapshot snap = metrics_.snapshot();
+    StatsResponse sresp;
+    sresp.body =
+        (sreq.flags & kStatsFlagJson) ? snap.to_json() : snap.to_text();
+    out.clear();
+    encode_stats_response(sresp, out);
+    return;
+  }
+  if (frame_magic(frame) == kSlowRequestMagic) {
+    // SLOW op: dump the slow-request capture ring. Like STATS, not an
+    // inference request.
+    SlowRequest qreq;
+    try {
+      qreq = decode_slow_request(frame);
+    } catch (const std::exception&) {
+      if (record) malformed_total_->inc();
+      throw;
+    }
+    if (record) slow_op_requests_->inc();
+    SlowResponse sresp;
+    sresp.body = (qreq.flags & kSlowFlagJson) ? slow_ring_->render_json()
+                                              : slow_ring_->render_text();
+    out.clear();
+    encode_slow_response(sresp, out);
+    return;
+  }
+  if (frame_magic(frame) == kBatchRequestMagic) {
+    // BATCH op: N rows in, N classes out, classified by the engine's
+    // amortized batch kernel. Counted as one request per row so the
+    // service totals stay row-denominated.
+    ClassifyTiming timing;
+    timing.request_start_ns = util::TraceContext::now_ns();
+    BatchRequest breq;
+    try {
+      breq = decode_batch_request(frame);
+    } catch (const std::exception&) {
+      if (record) malformed_total_->inc();
+      throw;
+    }
+    const std::int64_t batch_decode_ns =
+        util::TraceContext::now_ns() - timing.request_start_ns;
+    const std::size_t rows = breq.num_rows();
+    BatchResponse bresp;
+    bresp.classes.assign(rows, kClassError);
+    const std::size_t arity = engine.num_features();
+    // Sampled tracing: BATCH requests feed the slow ring (a large batch is
+    // the canonical slow request) but carry no wire trace section — the
+    // breakdown is retrieved post-hoc via SLOW.
+    util::TraceContext batch_trace;
+    util::TraceContext* btrace =
+        sampler_.should_trace() ? &batch_trace : nullptr;
+    if (btrace != nullptr) {
+      btrace->add(util::Stage::kDecode, batch_decode_ns);
+    }
+    timing.attr_before = btrace != nullptr ? btrace->attributed_ns() : 0;
+    timing.infer_start_ns =
+        btrace != nullptr ? util::TraceContext::now_ns() : 0;
+    if (btrace != nullptr && !scheduler_) engine.attach_trace(btrace);
+    if (breq.uniform_arity(arity)) {
+      // Fast path: the flat feature buffer is already a contiguous
+      // stride-`arity` matrix — zero copies to the kernel (or to the
+      // scheduler, which borrows the rows until the tiles complete).
+      if (scheduler_) {
+        std::vector<BatchScheduler::Result> results(rows);
+        scheduler_->classify_many(breq.features, rows, arity, results,
+                                  btrace);
+        for (std::size_t i = 0; i < rows; ++i) {
+          bresp.classes[i] = class_code(results[i]);
+        }
+      } else {
+        engine.predict_batch(breq.features, rows, arity, bresp.classes);
+      }
+    } else {
+      // Mixed batch: arity-mismatched rows answer -1; the rest are
+      // gathered into a contiguous matrix and batch-classified.
+      std::vector<float> good;
+      std::vector<std::size_t> good_idx;
+      good.reserve(breq.features.size());
+      for (std::size_t i = 0; i < rows; ++i) {
+        const auto row = breq.row(i);
+        if (row.size() != arity) continue;
+        good.insert(good.end(), row.begin(), row.end());
+        good_idx.push_back(i);
+      }
+      if (scheduler_) {
+        std::vector<BatchScheduler::Result> results(good_idx.size());
+        scheduler_->classify_many(good, good_idx.size(), arity, results,
+                                  btrace);
+        for (std::size_t k = 0; k < good_idx.size(); ++k) {
+          bresp.classes[good_idx[k]] = class_code(results[k]);
+        }
+      } else {
+        std::vector<int> good_out(good_idx.size());
+        engine.predict_batch(good, good_idx.size(), arity, good_out);
+        for (std::size_t k = 0; k < good_idx.size(); ++k) {
+          bresp.classes[good_idx[k]] = good_out[k];
+        }
+      }
+    }
+    if (btrace != nullptr && !scheduler_) engine.attach_trace(nullptr);
+    finish_batch(bresp, btrace, timing, rows, out);
+    return;
+  }
+  ClassifyTiming timing;
+  timing.request_start_ns = util::TraceContext::now_ns();
+  Request req;
+  try {
+    req = decode_request(frame);
+  } catch (const std::exception&) {
+    if (record) malformed_total_->inc();
+    throw;  // undecodable peer: drop the connection
+  }
+  const std::int64_t decode_ns =
+      util::TraceContext::now_ns() - timing.request_start_ns;
+  // Arm a trace when the client asked (kFlagTrace echoes the span
+  // breakdown on the response) or the sampler fires (1-in-N, or every
+  // request when a slow threshold is set). Untraced requests pay one
+  // clock read (decode_ns) and the null tests below.
+  const bool client_trace =
+      util::kTracingCompiledIn && (req.flags & kFlagTrace) != 0;
+  util::TraceContext trace_ctx;
+  util::TraceContext* tctx =
+      client_trace || sampler_.should_trace() ? &trace_ctx : nullptr;
+  if (tctx != nullptr) tctx->add(util::Stage::kDecode, decode_ns);
+  Response resp;
+  timing.attr_before = tctx != nullptr ? tctx->attributed_ns() : 0;
+  timing.infer_start_ns =
+      tctx != nullptr ? util::TraceContext::now_ns() : 0;
+  if (req.features.size() != engine.num_features()) {
+    // Arity mismatch: answer with an error class instead of letting a
+    // malformed request reach the engine's hot path.
+    resp.predicted_class = kClassError;
+  } else if (scheduler_ && (req.flags & kFlagExplain) == 0) {
+    // Dynamic batching: park this handler on the completion slot while
+    // the scheduler aggregates rows from every connection into one
+    // amortized-kernel tile. Explanations stay on the per-row path.
+    // The trace crosses the batch boundary with the request: the worker
+    // records its queue wait and merges the tile's kernel spans before
+    // the future is fulfilled.
+    resp.predicted_class = class_code(scheduler_->classify(req.features, tctx));
+  } else if ((req.flags & kFlagExplain) && bolt_engine != nullptr) {
+    if (tctx != nullptr) engine.attach_trace(tctx);
+    core::Explanation explanation(bolt_engine->artifact().num_features());
+    resp.predicted_class =
+        bolt_engine->predict_explained(req.features, explanation);
+    for (std::uint32_t f : explanation.top_k(10)) {
+      if (explanation.scores()[f] <= 0.0) break;
+      resp.salient.push_back({f, explanation.scores()[f]});
+    }
+    if (tctx != nullptr) engine.attach_trace(nullptr);
+  } else {
+    if (tctx != nullptr) engine.attach_trace(tctx);
+    resp.predicted_class =
+        static_cast<std::int32_t>(engine.predict(req.features));
+    if (tctx != nullptr) engine.attach_trace(nullptr);
+  }
+  finish_classify(resp, tctx, client_trace, timing, out);
+}
+
+void InferenceServer::process_frame_async(
+    std::span<const std::uint8_t> frame, engines::Engine& engine,
+    core::BoltEngine* bolt_engine, FrameSink done) {
+  const bool record = options_.metrics;
+  const std::uint32_t magic = frame_magic(frame);
+  if (scheduler_ && magic == kRequestMagic) {
+    // In-flight record: owns the decoded request (the scheduler borrows
+    // its feature span) and the trace until the completion fires on a
+    // scheduler worker thread.
+    struct Flight {
+      Request req;
+      util::TraceContext trace;
+      util::TraceContext* tctx = nullptr;
+      bool client_trace = false;
+      ClassifyTiming timing;
+    };
+    auto fl = std::make_shared<Flight>();
+    fl->timing.request_start_ns = util::TraceContext::now_ns();
+    try {
+      fl->req = decode_request(frame);
+    } catch (const std::exception&) {
+      if (record) malformed_total_->inc();
+      done({}, /*drop=*/true);
+      return;
+    }
+    if ((fl->req.flags & kFlagExplain) == 0) {
+      const std::int64_t decode_ns =
+          util::TraceContext::now_ns() - fl->timing.request_start_ns;
+      fl->client_trace =
+          util::kTracingCompiledIn && (fl->req.flags & kFlagTrace) != 0;
+      fl->tctx =
+          fl->client_trace || sampler_.should_trace() ? &fl->trace : nullptr;
+      if (fl->tctx != nullptr) fl->tctx->add(util::Stage::kDecode, decode_ns);
+      fl->timing.attr_before =
+          fl->tctx != nullptr ? fl->tctx->attributed_ns() : 0;
+      fl->timing.infer_start_ns =
+          fl->tctx != nullptr ? util::TraceContext::now_ns() : 0;
+      if (fl->req.features.size() != engine.num_features()) {
+        Response resp;
+        resp.predicted_class = kClassError;
+        std::vector<std::uint8_t> out;
+        finish_classify(resp, fl->tctx, fl->client_trace, fl->timing, out);
+        done(std::move(out), false);
+        return;
+      }
+      scheduler_->classify_async(
+          fl->req.features, fl->tctx,
+          [this, fl, done = std::move(done)](BatchScheduler::Result r) {
+            Response resp;
+            resp.predicted_class = class_code(r);
+            std::vector<std::uint8_t> out;
+            finish_classify(resp, fl->tctx, fl->client_trace, fl->timing,
+                            out);
+            done(std::move(out), false);
+          });
+      return;
+    }
+    // Explain requests bypass the scheduler; fall through to the
+    // synchronous path below (the redundant re-decode only costs
+    // explanation traffic).
+  }
+  if (scheduler_ && magic == kBatchRequestMagic) {
+    struct BatchFlight {
+      BatchRequest breq;
+      BatchResponse bresp;
+      util::TraceContext trace;
+      util::TraceContext* btrace = nullptr;
+      ClassifyTiming timing;
+      std::size_t rows = 0;
+      std::vector<std::size_t> slot;  // submitted row k -> original index
+      std::vector<BatchScheduler::Result> results;
+      std::atomic<std::size_t> remaining{0};
+      FrameSink done;
+    };
+    auto fl = std::make_shared<BatchFlight>();
+    fl->timing.request_start_ns = util::TraceContext::now_ns();
+    try {
+      fl->breq = decode_batch_request(frame);
+    } catch (const std::exception&) {
+      if (record) malformed_total_->inc();
+      done({}, /*drop=*/true);
+      return;
+    }
+    const std::int64_t decode_ns =
+        util::TraceContext::now_ns() - fl->timing.request_start_ns;
+    fl->rows = fl->breq.num_rows();
+    fl->bresp.classes.assign(fl->rows, kClassError);
+    fl->btrace = sampler_.should_trace() ? &fl->trace : nullptr;
+    if (fl->btrace != nullptr) {
+      fl->btrace->add(util::Stage::kDecode, decode_ns);
+    }
+    fl->timing.attr_before =
+        fl->btrace != nullptr ? fl->btrace->attributed_ns() : 0;
+    fl->timing.infer_start_ns =
+        fl->btrace != nullptr ? util::TraceContext::now_ns() : 0;
+    const std::size_t arity = engine.num_features();
+    for (std::size_t i = 0; i < fl->rows; ++i) {
+      if (fl->breq.row(i).size() == arity) fl->slot.push_back(i);
+    }
+    if (fl->slot.empty()) {
+      std::vector<std::uint8_t> out;
+      finish_batch(fl->bresp, fl->btrace, fl->timing, fl->rows, out);
+      done(std::move(out), false);
+      return;
+    }
+    fl->results.resize(fl->slot.size());
+    fl->remaining.store(fl->slot.size(), std::memory_order_relaxed);
+    fl->done = std::move(done);
+    for (std::size_t k = 0; k < fl->slot.size(); ++k) {
+      scheduler_->classify_async(
+          fl->breq.row(fl->slot[k]), fl->btrace,
+          [this, fl, k](BatchScheduler::Result r) {
+            fl->results[k] = r;
+            // The last row to complete finalizes the whole frame; the
+            // release/acquire pair on `remaining` publishes every
+            // results[] write to that finalizer.
+            if (fl->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+              for (std::size_t j = 0; j < fl->slot.size(); ++j) {
+                fl->bresp.classes[fl->slot[j]] = class_code(fl->results[j]);
+              }
+              std::vector<std::uint8_t> out;
+              finish_batch(fl->bresp, fl->btrace, fl->timing, fl->rows,
+                           out);
+              fl->done(std::move(out), false);
+            }
+          });
+    }
+    return;
+  }
+  // Everything else — STATS, SLOW, explain, schedulerless classify/batch —
+  // is answered synchronously on the calling (pool worker) thread.
+  std::vector<std::uint8_t> out;
+  try {
+    process_frame(frame, engine, bolt_engine, out);
+  } catch (const std::exception&) {
+    done({}, /*drop=*/true);
+    return;
+  }
+  done(std::move(out), false);
 }
 
 void InferenceServer::handle_connection(int fd) {
@@ -219,251 +762,7 @@ void InferenceServer::handle_connection(int fd) {
   std::vector<std::uint8_t> frame, out;
   try {
     while (running_.load() && read_frame(fd, frame)) {
-      if (frame_magic(frame) == kStatsRequestMagic) {
-        // STATS op: scrape the registry. Not counted as an inference
-        // request; totals therefore match classification ground truth.
-        StatsRequest sreq;
-        try {
-          sreq = decode_stats_request(frame);
-        } catch (const std::exception&) {
-          if (record) malformed_total_->inc();
-          throw;
-        }
-        if (record) stats_requests_total_->inc();
-        update_uptime();
-        const util::MetricsSnapshot snap = metrics_.snapshot();
-        StatsResponse sresp;
-        sresp.body =
-            (sreq.flags & kStatsFlagJson) ? snap.to_json() : snap.to_text();
-        out.clear();
-        encode_stats_response(sresp, out);
-        write_frame(fd, out);
-        continue;
-      }
-      if (frame_magic(frame) == kSlowRequestMagic) {
-        // SLOW op: dump the slow-request capture ring. Like STATS, not an
-        // inference request.
-        SlowRequest qreq;
-        try {
-          qreq = decode_slow_request(frame);
-        } catch (const std::exception&) {
-          if (record) malformed_total_->inc();
-          throw;
-        }
-        if (record) slow_op_requests_->inc();
-        SlowResponse sresp;
-        sresp.body = (qreq.flags & kSlowFlagJson) ? slow_ring_->render_json()
-                                                  : slow_ring_->render_text();
-        out.clear();
-        encode_slow_response(sresp, out);
-        write_frame(fd, out);
-        continue;
-      }
-      if (frame_magic(frame) == kBatchRequestMagic) {
-        // BATCH op: N rows in, N classes out, classified by the engine's
-        // amortized batch kernel. Counted as one request per row so the
-        // service totals stay row-denominated.
-        util::Timer batch_timer;
-        BatchRequest breq;
-        try {
-          breq = decode_batch_request(frame);
-        } catch (const std::exception&) {
-          if (record) malformed_total_->inc();
-          throw;
-        }
-        const std::int64_t batch_decode_ns = batch_timer.elapsed_ns();
-        const std::size_t rows = breq.num_rows();
-        BatchResponse bresp;
-        bresp.classes.assign(rows, kClassError);
-        const std::size_t arity = engine->num_features();
-        // Sampled tracing: BATCH requests feed the slow ring (a large
-        // batch is the canonical slow request) but carry no wire trace
-        // section — the breakdown is retrieved post-hoc via SLOW.
-        util::TraceContext batch_trace;
-        util::TraceContext* btrace =
-            sampler_.should_trace() ? &batch_trace : nullptr;
-        if (btrace != nullptr) {
-          btrace->add(util::Stage::kDecode, batch_decode_ns);
-        }
-        const std::uint64_t battr_before =
-            btrace != nullptr ? btrace->attributed_ns() : 0;
-        const std::int64_t binfer_start =
-            btrace != nullptr ? util::TraceContext::now_ns() : 0;
-        if (btrace != nullptr && !scheduler_) engine->attach_trace(btrace);
-        if (breq.uniform_arity(arity)) {
-          // Fast path: the flat feature buffer is already a contiguous
-          // stride-`arity` matrix — zero copies to the kernel (or to the
-          // scheduler, which borrows the rows until the tiles complete).
-          if (scheduler_) {
-            std::vector<BatchScheduler::Result> results(rows);
-            scheduler_->classify_many(breq.features, rows, arity, results,
-                                      btrace);
-            for (std::size_t i = 0; i < rows; ++i) {
-              bresp.classes[i] = class_code(results[i]);
-            }
-          } else {
-            engine->predict_batch(breq.features, rows, arity, bresp.classes);
-          }
-        } else {
-          // Mixed batch: arity-mismatched rows answer -1; the rest are
-          // gathered into a contiguous matrix and batch-classified.
-          std::vector<float> good;
-          std::vector<std::size_t> good_idx;
-          good.reserve(breq.features.size());
-          for (std::size_t i = 0; i < rows; ++i) {
-            const auto row = breq.row(i);
-            if (row.size() != arity) continue;
-            good.insert(good.end(), row.begin(), row.end());
-            good_idx.push_back(i);
-          }
-          if (scheduler_) {
-            std::vector<BatchScheduler::Result> results(good_idx.size());
-            scheduler_->classify_many(good, good_idx.size(), arity, results,
-                                      btrace);
-            for (std::size_t k = 0; k < good_idx.size(); ++k) {
-              bresp.classes[good_idx[k]] = class_code(results[k]);
-            }
-          } else {
-            std::vector<int> good_out(good_idx.size());
-            engine->predict_batch(good, good_idx.size(), arity, good_out);
-            for (std::size_t k = 0; k < good_idx.size(); ++k) {
-              bresp.classes[good_idx[k]] = good_out[k];
-            }
-          }
-        }
-        if (btrace != nullptr) {
-          if (!scheduler_) engine->attach_trace(nullptr);
-          const std::int64_t wall =
-              util::TraceContext::now_ns() - binfer_start;
-          const auto attributed = static_cast<std::int64_t>(
-              btrace->attributed_ns() - battr_before);
-          btrace->add(util::Stage::kDispatch, wall - attributed);
-        }
-        std::uint64_t batch_errors = 0;
-        for (std::int32_t c : bresp.classes) batch_errors += c < 0;
-        out.clear();
-        const std::int64_t bencode_start =
-            btrace != nullptr ? util::TraceContext::now_ns() : 0;
-        encode_batch_response(bresp, out);
-        if (btrace != nullptr) {
-          btrace->add(util::Stage::kEncode,
-                      util::TraceContext::now_ns() - bencode_start);
-        }
-        requests_served_.fetch_add(rows, std::memory_order_relaxed);
-        if (record) {
-          batch_requests_total_->inc();
-          batch_size_->record(static_cast<double>(rows));
-          requests_total_->inc(rows);
-          errors_total_->inc(batch_errors);
-          request_latency_us_->record(batch_timer.elapsed_us());
-        }
-        if (btrace != nullptr) {
-          if (record) traced_requests_->inc();
-          const bool captured = slow_ring_->maybe_capture(
-              *btrace, batch_timer.elapsed_us(), "BATCH",
-              static_cast<std::uint32_t>(rows));
-          if (captured && record) slow_captured_->inc();
-        }
-        write_frame(fd, out);
-        continue;
-      }
-      util::Timer request_timer;
-      Request req;
-      try {
-        req = decode_request(frame);
-      } catch (const std::exception&) {
-        if (record) malformed_total_->inc();
-        throw;  // undecodable peer: drop the connection
-      }
-      const std::int64_t decode_ns = request_timer.elapsed_ns();
-      // Arm a trace when the client asked (kFlagTrace echoes the span
-      // breakdown on the response) or the sampler fires (1-in-N, or every
-      // request when a slow threshold is set). Untraced requests pay one
-      // clock read (decode_ns) and the null tests below.
-      const bool client_trace =
-          util::kTracingCompiledIn && (req.flags & kFlagTrace) != 0;
-      util::TraceContext trace_ctx;
-      util::TraceContext* tctx =
-          client_trace || sampler_.should_trace() ? &trace_ctx : nullptr;
-      if (tctx != nullptr) tctx->add(util::Stage::kDecode, decode_ns);
-      Response resp;
-      const std::uint64_t attr_before =
-          tctx != nullptr ? tctx->attributed_ns() : 0;
-      const std::int64_t infer_start =
-          tctx != nullptr ? util::TraceContext::now_ns() : 0;
-      if (req.features.size() != engine->num_features()) {
-        // Arity mismatch: answer with an error class instead of letting a
-        // malformed request reach the engine's hot path.
-        resp.predicted_class = kClassError;
-      } else if (scheduler_ && (req.flags & kFlagExplain) == 0) {
-        // Dynamic batching: park this handler on the completion slot while
-        // the scheduler aggregates rows from every connection into one
-        // amortized-kernel tile. Explanations stay on the per-row path.
-        // The trace crosses the batch boundary with the request: the
-        // worker records its queue wait and merges the tile's kernel
-        // spans before the future is fulfilled.
-        resp.predicted_class =
-            class_code(scheduler_->classify(req.features, tctx));
-      } else if ((req.flags & kFlagExplain) && bolt_engine != nullptr) {
-        if (tctx != nullptr) engine->attach_trace(tctx);
-        core::Explanation explanation(
-            bolt_engine->artifact().num_features());
-        resp.predicted_class =
-            bolt_engine->predict_explained(req.features, explanation);
-        for (std::uint32_t f : explanation.top_k(10)) {
-          if (explanation.scores()[f] <= 0.0) break;
-          resp.salient.push_back({f, explanation.scores()[f]});
-        }
-        if (tctx != nullptr) engine->attach_trace(nullptr);
-      } else {
-        if (tctx != nullptr) engine->attach_trace(tctx);
-        resp.predicted_class =
-            static_cast<std::int32_t>(engine->predict(req.features));
-        if (tctx != nullptr) engine->attach_trace(nullptr);
-      }
-      if (tctx != nullptr) {
-        // Dispatch is derived, not measured: inference-layer wall time
-        // minus what the layers below attributed, so the breakdown sums
-        // to the request latency instead of double-counting.
-        const std::int64_t wall = util::TraceContext::now_ns() - infer_start;
-        const auto attributed =
-            static_cast<std::int64_t>(tctx->attributed_ns() - attr_before);
-        tctx->add(util::Stage::kDispatch, wall - attributed);
-      }
-      out.clear();
-      const std::int64_t encode_start =
-          tctx != nullptr ? util::TraceContext::now_ns() : 0;
-      encode_response(resp, out);
-      if (tctx != nullptr) {
-        tctx->add(util::Stage::kEncode,
-                  util::TraceContext::now_ns() - encode_start);
-      }
-      if (client_trace && tctx != nullptr) {
-        // The client asked for the breakdown: attach the trace section
-        // and re-encode. The kEncode span was measured on the first
-        // encode; the re-encode costs only traced requests.
-        fill_trace_section(
-            *tctx, static_cast<std::uint64_t>(request_timer.elapsed_ns()),
-            resp);
-        out.clear();
-        encode_response(resp, out);
-      }
-      // Account for the request *before* the response leaves: once a client
-      // holds the response, a scrape (STATS or requests_served()) must
-      // already include it. The latency histogram therefore covers
-      // decode + inference + encode, not the final write syscall.
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
-      if (record) {
-        requests_total_->inc();
-        if (resp.predicted_class < 0) errors_total_->inc();
-        request_latency_us_->record(request_timer.elapsed_us());
-      }
-      if (tctx != nullptr) {
-        if (record) traced_requests_->inc();
-        const bool captured = slow_ring_->maybe_capture(
-            *tctx, request_timer.elapsed_us(), "CLASSIFY", 1);
-        if (captured && record) slow_captured_->inc();
-      }
+      process_frame(frame, *engine, bolt_engine, out);
       write_frame(fd, out);
     }
   } catch (const ReadTimeoutError&) {

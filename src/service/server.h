@@ -5,10 +5,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "baselines/engine.h"
 #include "bolt/engine.h"
@@ -21,9 +25,37 @@
 
 namespace bolt::service {
 
+class EventLoop;
+
+/// How the server turns accepted sockets into answered frames.
+enum class FrontEnd : std::uint8_t {
+  /// One detached handler thread per connection (the historical path).
+  /// Simple, but thread count scales with connection count.
+  kThreaded,
+  /// One epoll loop thread plus a fixed pool of ServerOptions::workers
+  /// inference threads; connection count is bounded by fds, not threads
+  /// (docs/SERVING.md "Transports and front ends").
+  kEventLoop,
+};
+
 /// Tunables for InferenceServer beyond the socket path and engine factory.
 struct ServerOptions {
+  /// Inference worker threads for the event-loop front end (each owns one
+  /// engine from the factory). The threaded front end ignores this and
+  /// spawns per connection.
   std::size_t workers = 2;
+  /// Which front end serves connections. Both speak the identical protocol
+  /// and share the op-dispatch code, so responses are bit-identical — the
+  /// soak job A/Bs them.
+  FrontEnd front_end = FrontEnd::kThreaded;
+  /// TCP listener on 127.0.0.1 beside the UNIX socket: -1 disables (UNIX
+  /// only, the historical shape), 0 binds a kernel-assigned ephemeral port
+  /// (read it back via tcp_port()), >0 binds that port. Both listeners
+  /// serve simultaneously from the same front end.
+  std::int32_t tcp_port = -1;
+  /// listen(2) backlog for both listeners. 0 = SOMAXCONN. (The historical
+  /// hardcoded 16 manufactured ECONNREFUSED storms under connect bursts.)
+  std::int32_t listen_backlog = 0;
   /// When false the server records nothing and answers STATS with an empty
   /// registry snapshot — the knob bench_service uses to price the
   /// instrumentation itself.
@@ -82,6 +114,11 @@ class InferenceServer {
   const std::string& socket_path() const { return socket_path_; }
   std::uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// Port the TCP listener is bound to, or -1 when ServerOptions::tcp_port
+  /// is disabled. With tcp_port == 0 this is the kernel-assigned ephemeral
+  /// port (valid after start()).
+  std::int32_t tcp_port() const { return tcp_port_; }
+
   /// Live connection handlers right now (drains to zero after churn — the
   /// regression gate for the historical unbounded handler-thread leak).
   std::size_t active_handler_count() const;
@@ -108,22 +145,78 @@ class InferenceServer {
   }
 
  private:
-  void accept_loop();
+  friend class EventLoop;
+
+  /// Callback a frame's encoded response is delivered through on the async
+  /// path. `drop` asks the front end to close the connection (malformed
+  /// peer) instead of writing.
+  using FrameSink =
+      std::function<void(std::vector<std::uint8_t> payload, bool drop)>;
+
+  /// Timing state threaded from decode to response finalization so both
+  /// front ends account identically (docs/OBSERVABILITY.md).
+  struct ClassifyTiming {
+    std::int64_t request_start_ns = 0;
+    std::uint64_t attr_before = 0;
+    std::int64_t infer_start_ns = 0;
+  };
+
+  void accept_loop(int listen_fd, bool tcp);
   void handle_connection(int fd);
   void update_uptime();
+  void close_listeners();
+  /// Accept hit fd exhaustion: briefly release the reserved emergency fd,
+  /// accept the pending connection, and close it so the peer sees a clean
+  /// EOF instead of hanging in the backlog until its own timeout.
+  void shed_pending_connection(int listen_fd);
+
+  /// Synchronous op dispatch shared by both front ends: decodes `frame`,
+  /// runs the op against `engine`, and leaves the encoded response in
+  /// `out`. Throws on a malformed frame (counted; caller drops the
+  /// connection).
+  void process_frame(std::span<const std::uint8_t> frame,
+                     engines::Engine& engine, core::BoltEngine* bolt_engine,
+                     std::vector<std::uint8_t>& out);
+  /// Asynchronous dispatch for the event-loop front end: scheduler-eligible
+  /// CLASSIFY/BATCH frames are submitted via classify_async and `done`
+  /// fires from a scheduler worker when every row completes; all other ops
+  /// run synchronously on the calling thread and `done` fires inline.
+  /// `done` is invoked exactly once.
+  void process_frame_async(std::span<const std::uint8_t> frame,
+                           engines::Engine& engine,
+                           core::BoltEngine* bolt_engine, FrameSink done);
+  /// Closes out one CLASSIFY: derives the dispatch span, encodes (and
+  /// re-encodes with the trace section when the client asked), and records
+  /// service metrics + slow-ring capture.
+  void finish_classify(Response& resp, util::TraceContext* tctx,
+                       bool client_trace, const ClassifyTiming& timing,
+                       std::vector<std::uint8_t>& out);
+  /// Same closure for one BATCH frame of `rows` rows.
+  void finish_batch(BatchResponse& bresp, util::TraceContext* btrace,
+                    const ClassifyTiming& timing, std::size_t rows,
+                    std::vector<std::uint8_t>& out);
 
   std::string socket_path_;
   std::function<std::unique_ptr<engines::Engine>()> factory_;
   ServerOptions options_;
   std::unique_ptr<BatchScheduler> scheduler_;
+  std::unique_ptr<EventLoop> event_loop_;
   util::TraceSampler sampler_{options_.trace};
   std::unique_ptr<util::SlowRing> slow_ring_;
   std::unique_ptr<MetricsHttpServer> metrics_http_;
   std::chrono::steady_clock::time_point start_time_{};
   int listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  std::int32_t tcp_port_ = -1;
+  // Reserved fd (open on /dev/null) released under EMFILE so accept can
+  // still shed the pending connection cleanly. Lives for the server's
+  // lifetime; guarded by spare_mu_ (both accept threads may hit exhaustion
+  // at once).
+  int spare_fd_ = -1;
+  std::mutex spare_mu_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
-  std::thread accept_thread_;
+  std::vector<std::thread> accept_threads_;
   // Handler threads are detached and self-reaping: each handler removes its
   // fd and decrements active_handlers_ on exit (no per-connection join
   // bookkeeping to grow without bound under churn); stop() shuts every live
@@ -143,6 +236,7 @@ class InferenceServer {
   util::Counter* batch_requests_total_ = nullptr;
   util::Counter* connections_total_ = nullptr;
   util::Counter* rejected_connections_ = nullptr;
+  util::Counter* accept_errors_ = nullptr;
   util::Counter* idle_timeouts_ = nullptr;
   util::Gauge* active_connections_ = nullptr;
   util::Gauge* uptime_seconds_ = nullptr;

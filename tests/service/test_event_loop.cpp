@@ -1,0 +1,498 @@
+// Event-loop front end + TCP transport coverage (docs/SERVING.md
+// "Transports and front ends"): end-to-end ops over both transports,
+// bit-identical responses vs the threaded front end, frame fragmentation
+// and partial-write handling, idle reaping, and the bounded-thread
+// guarantee under 1k+ concurrent connections.
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../helpers.h"
+#include "service/net.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/unix_socket.h"
+
+namespace bolt::service {
+namespace {
+
+std::string temp_socket(const char* tag) {
+  return ::testing::TempDir() + "/bolt_el_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+std::uint64_t stat_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    if (text.compare(pos, name.size(), name) == 0 &&
+        pos + name.size() < eol && text[pos + name.size()] == ' ') {
+      return std::stoull(text.substr(pos + name.size() + 1, eol - pos));
+    }
+    pos = eol + 1;
+  }
+  ADD_FAILURE() << "metric not found: " << name << "\n" << text;
+  return 0;
+}
+
+ServerOptions event_loop_options() {
+  ServerOptions opts;
+  opts.front_end = FrontEnd::kEventLoop;
+  opts.workers = 2;
+  return opts;
+}
+
+int raw_unix_connect(const std::string& path) {
+  const int fd = detail::make_unix_socket();
+  sockaddr_un addr = detail::make_addr(path);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int raw_tcp_connect(std::int32_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr =
+      detail::make_inet_addr("127.0.0.1", static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  detail::set_tcp_nodelay(fd);
+  return fd;
+}
+
+std::vector<std::uint8_t> with_length_prefix(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(frame.data(), &len, 4);
+  std::memcpy(frame.data() + 4, payload.data(), payload.size());
+  return frame;
+}
+
+void send_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << "send: " << std::strerror(errno);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// One raw request/response round trip; returns the response payload
+/// (no length prefix) so callers can compare bytes across transports.
+std::vector<std::uint8_t> raw_round_trip(
+    int fd, std::span<const std::uint8_t> request_payload) {
+  send_all(fd, with_length_prefix(request_payload));
+  std::vector<std::uint8_t> resp;
+  if (!read_frame(fd, resp)) ADD_FAILURE() << "peer closed mid-response";
+  return resp;
+}
+
+class EventLoopFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    forest_ = bolt::testing::small_forest(6, 4, 91);
+    inputs_ = bolt::testing::small_dataset(100, 92);
+    artifact_ = std::make_unique<core::BoltForest>(
+        core::BoltForest::build(forest_, {}));
+  }
+
+  std::function<std::unique_ptr<engines::Engine>()> factory() {
+    return [this] { return std::make_unique<core::BoltEngine>(*artifact_); };
+  }
+
+  forest::Forest forest_;
+  data::Dataset inputs_{0, 0};
+  std::unique_ptr<core::BoltForest> artifact_;
+};
+
+TEST_F(EventLoopFixture, EndToEndAllOps) {
+  const std::string path = temp_socket("e2e");
+  ServerOptions opts = event_loop_options();
+  opts.trace.slow_threshold_us = 1;  // arm the slow ring
+  InferenceServer server(path, factory(), opts);
+  server.start();
+
+  InferenceClient client(path);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(client.classify(inputs_.row(i)).predicted_class,
+              forest_.predict(inputs_.row(i)));
+  }
+  const Response explained = client.classify(inputs_.row(0), /*explain=*/true);
+  EXPECT_EQ(explained.predicted_class, forest_.predict(inputs_.row(0)));
+  EXPECT_FALSE(explained.salient.empty());
+  const Response traced = client.classify_traced(inputs_.row(1));
+  EXPECT_EQ(traced.predicted_class, forest_.predict(inputs_.row(1)));
+  EXPECT_TRUE(traced.traced);
+  const auto classes = client.classify_batch(
+      {inputs_.raw_features().data(), 8 * inputs_.num_features()}, 8,
+      inputs_.num_features());
+  ASSERT_EQ(classes.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(classes[i], forest_.predict(inputs_.row(i)));
+  }
+  EXPECT_FALSE(client.slow(/*json=*/true).empty());
+
+  const std::string stats = client.stats();
+  EXPECT_EQ(stat_value(stats, "service.requests"), 42 + 8u);
+  EXPECT_EQ(stat_value(stats, "service.batch_requests"), 1u);
+  server.stop();
+  EXPECT_EQ(server.active_handler_count(), 0u);
+}
+
+TEST_F(EventLoopFixture, TcpTransportServesBesideUnix) {
+  const std::string path = temp_socket("tcp");
+  ServerOptions opts = event_loop_options();
+  opts.tcp_port = 0;  // kernel-assigned ephemeral port
+  InferenceServer server(path, factory(), opts);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  InferenceClient tcp(Endpoint::tcp(
+      "127.0.0.1", static_cast<std::uint16_t>(server.tcp_port())));
+  InferenceClient unx(path);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const int want = forest_.predict(inputs_.row(i));
+    EXPECT_EQ(tcp.classify(inputs_.row(i)).predicted_class, want);
+    EXPECT_EQ(unx.classify(inputs_.row(i)).predicted_class, want);
+  }
+  EXPECT_FALSE(tcp.stats().empty());
+  server.stop();
+}
+
+TEST_F(EventLoopFixture, EndpointParsing) {
+  const Endpoint ep = Endpoint::parse_tcp("localhost:9000");
+  EXPECT_EQ(ep.host, "localhost");
+  EXPECT_EQ(ep.port, 9000);
+  EXPECT_THROW(Endpoint::parse_tcp("nocolon"), std::runtime_error);
+  EXPECT_THROW(Endpoint::parse_tcp("host:"), std::runtime_error);
+  EXPECT_THROW(Endpoint::parse_tcp("host:0"), std::runtime_error);
+  EXPECT_THROW(Endpoint::parse_tcp("host:99999"), std::runtime_error);
+  EXPECT_THROW(Endpoint::parse_tcp("host:12ab"), std::runtime_error);
+}
+
+// The acceptance bar for the refactor: every transport/front-end pairing
+// answers CLASSIFY / EXPLAIN / BATCH with byte-identical payloads.
+TEST_F(EventLoopFixture, ResponsesBitIdenticalAcrossFrontEnds) {
+  const std::string threaded_path = temp_socket("ident_thr");
+  InferenceServer threaded(threaded_path, factory(), ServerOptions{});
+  threaded.start();
+
+  const std::string el_path = temp_socket("ident_el");
+  ServerOptions opts = event_loop_options();
+  opts.tcp_port = 0;
+  InferenceServer event_loop(el_path, factory(), opts);
+  event_loop.start();
+
+  std::vector<std::vector<std::uint8_t>> requests;
+  for (std::size_t i = 0; i < 5; ++i) {
+    Request req;
+    req.features.assign(inputs_.row(i).begin(), inputs_.row(i).end());
+    if (i == 4) req.flags = kFlagExplain;
+    std::vector<std::uint8_t> payload;
+    encode_request(req, payload);
+    requests.push_back(std::move(payload));
+  }
+  BatchRequest breq;
+  for (std::size_t i = 0; i < 6; ++i) breq.add_row(inputs_.row(i));
+  requests.emplace_back();
+  encode_batch_request(breq, requests.back());
+
+  const int fd_thr = raw_unix_connect(threaded_path);
+  const int fd_el = raw_unix_connect(el_path);
+  const int fd_tcp = raw_tcp_connect(event_loop.tcp_port());
+  ASSERT_GE(fd_thr, 0);
+  ASSERT_GE(fd_el, 0);
+  ASSERT_GE(fd_tcp, 0);
+  for (const auto& payload : requests) {
+    const auto want = raw_round_trip(fd_thr, payload);
+    EXPECT_EQ(raw_round_trip(fd_el, payload), want);
+    EXPECT_EQ(raw_round_trip(fd_tcp, payload), want);
+  }
+  ::close(fd_thr);
+  ::close(fd_el);
+  ::close(fd_tcp);
+  threaded.stop();
+  event_loop.stop();
+}
+
+// A frame dribbled a few bytes at a time must assemble incrementally, and
+// two frames written back-to-back in one send must both be answered
+// (read-buffer compaction keeps the second frame).
+TEST_F(EventLoopFixture, FragmentedAndPipelinedFrames) {
+  const std::string path = temp_socket("frag");
+  InferenceServer server(path, factory(), event_loop_options());
+  server.start();
+
+  Request req;
+  req.features.assign(inputs_.row(3).begin(), inputs_.row(3).end());
+  std::vector<std::uint8_t> payload;
+  encode_request(req, payload);
+  const auto frame = with_length_prefix(payload);
+
+  const int fd = raw_unix_connect(path);
+  ASSERT_GE(fd, 0);
+  for (std::size_t off = 0; off < frame.size(); off += 3) {
+    const std::size_t n = std::min<std::size_t>(3, frame.size() - off);
+    send_all(fd, {frame.data() + off, n});
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<std::uint8_t> resp;
+  ASSERT_TRUE(read_frame(fd, resp));
+  EXPECT_EQ(decode_response(resp).predicted_class,
+            forest_.predict(inputs_.row(3)));
+
+  // Pipelined: both frames in one send; protocol is serial per connection,
+  // so the answers come back in order.
+  std::vector<std::uint8_t> two = frame;
+  two.insert(two.end(), frame.begin(), frame.end());
+  send_all(fd, two);
+  for (int k = 0; k < 2; ++k) {
+    ASSERT_TRUE(read_frame(fd, resp));
+    EXPECT_EQ(decode_response(resp).predicted_class,
+              forest_.predict(inputs_.row(3)));
+  }
+  ::close(fd);
+  server.stop();
+}
+
+// A response bigger than the peer's receive window forces a short write;
+// the loop must park the remainder on EPOLLOUT and finish when the client
+// finally drains. A BATCH over every row with a deliberately tiny client
+// receive buffer and a delayed first read exercises exactly that.
+TEST_F(EventLoopFixture, PartialWritesCompleteLargeResponses) {
+  const std::string path = temp_socket("partial");
+  ServerOptions opts = event_loop_options();
+  opts.tcp_port = 0;
+  InferenceServer server(path, factory(), opts);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  int tiny = 256;  // the kernel clamps to its floor, still far below the frame
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr = detail::make_inet_addr(
+      "127.0.0.1", static_cast<std::uint16_t>(server.tcp_port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  BatchRequest breq;
+  for (std::size_t r = 0; r < 40000; ++r) {
+    breq.add_row(inputs_.row(r % inputs_.num_rows()));
+  }
+  std::vector<std::uint8_t> payload;
+  encode_batch_request(breq, payload);
+  send_all(fd, with_length_prefix(payload));
+  // Let the server hit the short write and park before we start draining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::uint8_t> resp;
+  ASSERT_TRUE(read_frame(fd, resp));
+  const BatchResponse bresp = decode_batch_response(resp);
+  ASSERT_EQ(bresp.classes.size(), 40000u);
+  for (std::size_t r = 0; r < 40000; ++r) {
+    EXPECT_EQ(bresp.classes[r],
+              forest_.predict(inputs_.row(r % inputs_.num_rows())));
+  }
+  ::close(fd);
+  server.stop();
+}
+
+// The point of the front end: >1k concurrent connections without >1k
+// threads. Thread count is read from /proc/self/task (the server runs in
+// this process; idle raw clients add fds, not threads).
+TEST_F(EventLoopFixture, ThousandIdleConnectionsBoundedThreads) {
+  const std::string path = temp_socket("kilo");
+  ServerOptions opts = event_loop_options();
+  opts.max_connections = 1300;
+  InferenceServer server(path, factory(), opts);
+  server.start();
+
+  const auto thread_count = [] {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& e :
+         std::filesystem::directory_iterator("/proc/self/task")) {
+      ++n;
+    }
+    return n;
+  };
+  const std::size_t before = thread_count();
+
+  std::vector<int> fds;
+  for (int i = 0; i < 1100; ++i) {
+    const int fd = raw_unix_connect(path);
+    ASSERT_GE(fd, 0) << "connect " << i << ": " << std::strerror(errno);
+    fds.push_back(fd);
+  }
+  // Wait for the loop to register them all (accept happens on one thread).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.active_handler_count() < fds.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.active_handler_count(), fds.size());
+  // The whole point: connection count grew by 1100, thread count did not.
+  EXPECT_LE(thread_count(), before + 2);
+
+  // The server still answers new work while holding them all open.
+  InferenceClient client(path);
+  EXPECT_EQ(client.classify(inputs_.row(0)).predicted_class,
+            forest_.predict(inputs_.row(0)));
+
+  for (int fd : fds) ::close(fd);
+  while (server.active_handler_count() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(server.active_handler_count(), 1u);  // just the live client
+  server.stop();
+  EXPECT_EQ(server.active_handler_count(), 0u);
+}
+
+TEST_F(EventLoopFixture, IdleConnectionsReaped) {
+  const std::string path = temp_socket("reap");
+  ServerOptions opts = event_loop_options();
+  opts.idle_timeout_ms = 100;
+  InferenceServer server(path, factory(), opts);
+  server.start();
+
+  const int fd = raw_unix_connect(path);
+  ASSERT_GE(fd, 0);
+  // Never send a frame: the loop's timer (not SO_RCVTIMEO — there is no
+  // blocked thread to time out) must close us.
+  std::uint8_t byte;
+  const ssize_t n = ::recv(fd, &byte, 1, 0);
+  EXPECT_EQ(n, 0) << "expected EOF from idle reap";
+  ::close(fd);
+
+  InferenceClient client(path);
+  const std::string stats = client.stats();
+  EXPECT_GE(stat_value(stats, "service.idle_timeouts"), 1u);
+  server.stop();
+}
+
+TEST_F(EventLoopFixture, SchedulerBatchesAcrossConnections) {
+  const std::string path = temp_socket("sched");
+  ServerOptions opts = event_loop_options();
+  opts.scheduler.enabled = true;
+  opts.scheduler.max_batch_size = 8;
+  opts.scheduler.max_queue_delay_us = 200;
+  InferenceServer server(path, factory(), opts);
+  server.start();
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      InferenceClient client(path);
+      for (std::size_t i = c; i < 80; i += 4) {
+        if (client.classify(inputs_.row(i)).predicted_class !=
+            forest_.predict(inputs_.row(i))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 80u);
+  server.stop();
+}
+
+TEST_F(EventLoopFixture, RestartsOnSamePathAndPort) {
+  const std::string path = temp_socket("restart");
+  ServerOptions opts = event_loop_options();
+  opts.tcp_port = 0;
+  InferenceServer first(path, factory(), opts);
+  first.start();
+  const std::int32_t port = first.tcp_port();
+  {
+    InferenceClient client(path);
+    EXPECT_GE(client.classify(inputs_.row(0)).predicted_class, 0);
+  }
+  first.stop();
+
+  opts.tcp_port = port;  // rebind the same port through TIME_WAIT
+  InferenceServer second(path, factory(), opts);
+  second.start();
+  InferenceClient tcp(
+      Endpoint::tcp("127.0.0.1", static_cast<std::uint16_t>(port)));
+  EXPECT_EQ(tcp.classify(inputs_.row(1)).predicted_class,
+            forest_.predict(inputs_.row(1)));
+  second.stop();
+}
+
+TEST_F(EventLoopFixture, MalformedFrameDropsOnlyThatConnection) {
+  const std::string path = temp_socket("malformed");
+  InferenceServer server(path, factory(), event_loop_options());
+  server.start();
+
+  const int bad = raw_unix_connect(path);
+  ASSERT_GE(bad, 0);
+  std::vector<std::uint8_t> junk(32, 0xab);
+  send_all(bad, with_length_prefix(junk));
+  std::uint8_t byte;
+  EXPECT_EQ(::recv(bad, &byte, 1, 0), 0) << "malformed peer must be dropped";
+  ::close(bad);
+
+  // An oversized length prefix is rejected before any allocation.
+  const int huge = raw_unix_connect(path);
+  ASSERT_GE(huge, 0);
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  std::vector<std::uint8_t> prefix(4);
+  std::memcpy(prefix.data(), &len, 4);
+  send_all(huge, prefix);
+  EXPECT_EQ(::recv(huge, &byte, 1, 0), 0) << "oversized frame must drop";
+  ::close(huge);
+
+  InferenceClient client(path);
+  EXPECT_EQ(client.classify(inputs_.row(0)).predicted_class,
+            forest_.predict(inputs_.row(0)));
+  EXPECT_GE(stat_value(client.stats(), "service.malformed_requests"), 1u);
+  server.stop();
+}
+
+TEST_F(EventLoopFixture, EofMidFrameCleansUp) {
+  const std::string path = temp_socket("eof");
+  InferenceServer server(path, factory(), event_loop_options());
+  server.start();
+
+  Request req;
+  req.features.assign(inputs_.row(0).begin(), inputs_.row(0).end());
+  std::vector<std::uint8_t> payload;
+  encode_request(req, payload);
+  const auto frame = with_length_prefix(payload);
+  const int fd = raw_unix_connect(path);
+  ASSERT_GE(fd, 0);
+  send_all(fd, {frame.data(), frame.size() / 2});
+  ::close(fd);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.active_handler_count() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(server.active_handler_count(), 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace bolt::service

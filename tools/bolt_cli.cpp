@@ -232,6 +232,13 @@ service::ClientOptions client_options(const Args& args) {
   return o;
 }
 
+/// Where a client command dials: `--tcp host:port` wins over `--socket`
+/// (both transports speak the identical protocol).
+service::Endpoint client_endpoint(const Args& args) {
+  if (args.has("tcp")) return service::Endpoint::parse_tcp(args.get("tcp"));
+  return service::Endpoint::unix_socket(args.get("socket", "/tmp/bolt.sock"));
+}
+
 volatile std::sig_atomic_t g_stop = 0;
 
 int cmd_serve(const Args& args) {
@@ -245,6 +252,17 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(args.get_int("max-connections", 256));
   opts.idle_timeout_ms =
       static_cast<std::uint32_t>(args.get_int("idle-timeout-ms", 0));
+  opts.tcp_port = static_cast<std::int32_t>(args.get_int("tcp-port", -1));
+  opts.listen_backlog =
+      static_cast<std::int32_t>(args.get_int("listen-backlog", 0));
+  const std::string front_end = args.get("front-end", "threaded");
+  if (front_end == "event-loop" || front_end == "event_loop") {
+    opts.front_end = service::FrontEnd::kEventLoop;
+    opts.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  } else if (front_end != "threaded") {
+    throw std::runtime_error(
+        "--front-end must be threaded or event-loop, got: " + front_end);
+  }
   if (args.has("batching")) {
     opts.scheduler.enabled = true;
     opts.scheduler.max_batch_size =
@@ -272,11 +290,18 @@ int cmd_serve(const Args& args) {
       opts);
   server.start();
   std::printf("serving %s (%zu dictionary entries, %zu KB); Ctrl-C stops\n"
-              "dynamic batching %s; scrape live metrics with: "
+              "front end %s; dynamic batching %s; scrape live metrics with: "
               "bolt stats --socket %s\n",
               socket.c_str(), artifact->dictionary().num_entries(),
               artifact->memory_bytes() / 1024,
+              opts.front_end == service::FrontEnd::kEventLoop ? "event-loop"
+                                                              : "threaded",
               opts.scheduler.enabled ? "ON" : "off", socket.c_str());
+  if (server.tcp_port() >= 0) {
+    std::printf("tcp transport: 127.0.0.1:%d (e.g. bolt stats --tcp "
+                "127.0.0.1:%d)\n",
+                server.tcp_port(), server.tcp_port());
+  }
   if (server.metrics_http_port() >= 0) {
     std::printf("prometheus: http://127.0.0.1:%d/metrics\n",
                 server.metrics_http_port());
@@ -300,7 +325,7 @@ int cmd_serve(const Args& args) {
 }
 
 int cmd_stats(const Args& args) {
-  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"),
+  service::InferenceClient client(client_endpoint(args),
                                   client_options(args));
   const std::string body = client.stats(args.has("json"));
   std::fwrite(body.data(), 1, body.size(), stdout);
@@ -317,7 +342,7 @@ int cmd_trace(const Args& args) {
   const auto count = static_cast<std::size_t>(
       std::min<long>(args.get_int("count", 1),
                      static_cast<long>(ds.num_rows())));
-  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"),
+  service::InferenceClient client(client_endpoint(args),
                                   client_options(args));
   for (std::size_t i = 0; i < count; ++i) {
     const service::Response resp = client.classify_traced(ds.row(i));
@@ -346,7 +371,7 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_slow(const Args& args) {
-  service::InferenceClient client(args.get("socket", "/tmp/bolt.sock"),
+  service::InferenceClient client(client_endpoint(args),
                                   client_options(args));
   const std::string body = client.slow(args.has("json"));
   std::fwrite(body.data(), 1, body.size(), stdout);
@@ -362,9 +387,10 @@ int cmd_batch(const Args& args) {
   std::vector<int> classes(ds.num_rows());
 
   util::Timer timer;
-  if (args.has("socket")) {
+  if (args.has("socket") || args.has("tcp")) {
     // Remote: one BATCH frame per `batch` rows through a live server.
-    service::InferenceClient client(args.get("socket"), client_options(args));
+    service::InferenceClient client(client_endpoint(args),
+                                    client_options(args));
     for (std::size_t begin = 0; begin < ds.num_rows(); begin += batch) {
       const std::size_t n = std::min(batch, ds.num_rows() - begin);
       const auto out = client.classify_batch(
@@ -486,6 +512,9 @@ usage: bolt <command> [flags]
   predict  --artifact model.bolt --data test.csv [--explain K] [--profile]
   verify   --model model.forest --artifact model.bolt [--samples N]
   serve    --artifact model.bolt [--socket /tmp/bolt.sock]
+           [--tcp-port P]              also listen on 127.0.0.1:P (0 = ephemeral)
+           [--front-end threaded|event-loop] [--workers N]
+           [--listen-backlog B]        accept backlog (default SOMAXCONN)
            [--max-connections N] [--idle-timeout-ms MS]
            [--batching [--max-batch N] [--batch-delay-us D]
             [--queue-capacity Q] [--deadline-us T] [--sched-workers W]]
@@ -500,6 +529,7 @@ usage: bolt <command> [flags]
   inspect  --model model.forest | --artifact model.bolt
 
 Client commands (stats/trace/slow/batch) also accept
+  [--tcp HOST:PORT]           dial the TCP transport instead of --socket
   [--connect-timeout-ms MS]   retry connect with backoff (default 5000)
   [--io-timeout-ms MS]        per-op send/recv deadline (default 0 = none)
 )");

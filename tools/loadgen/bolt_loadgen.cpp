@@ -2,6 +2,7 @@
 // the inference server (docs/BENCHMARKS.md).
 //
 //   bolt_loadgen --socket /tmp/bolt.sock --data test.csv
+//     [--tcp HOST:PORT]  (dial the TCP transport instead of --socket)
 //     --duration-s 60 --rps 300 --threads 4 --arrival poisson
 //     --mix classify=70,batch=20,trace=5,stats=5 --batch-rows 32
 //     --gate-p99-us 50000 --gate-errors 0 --out BENCH_service_soak.json
@@ -43,6 +44,7 @@
 #include "data/csv.h"
 #include "loadgen/workload.h"
 #include "service/client.h"
+#include "service/net.h"
 #include "service/protocol.h"
 #include "service/unix_socket.h"
 #include "util/rng.h"
@@ -101,7 +103,8 @@ class Args {
 };
 
 struct Config {
-  std::string socket;
+  std::string socket;  // empty when --tcp is used
+  std::string tcp;     // HOST:PORT, empty when --socket is used
   std::string data;
   double duration_s = 10.0;
   double rps = 200.0;
@@ -123,6 +126,11 @@ struct Config {
   std::string out_path;
   std::string label = "soak";
 };
+
+service::Endpoint endpoint(const Config& cfg) {
+  return cfg.tcp.empty() ? service::Endpoint::unix_socket(cfg.socket)
+                         : service::Endpoint::parse_tcp(cfg.tcp);
+}
 
 /// Client-observed tallies for one op. `sent`/`ok`/... are denominated in
 /// rows (matching the server's service.requests accounting): a CLASSIFY/
@@ -184,7 +192,7 @@ void run_worker(std::size_t tid, const Config& cfg,
   copts.io_timeout_ms = cfg.io_timeout_ms;
   std::unique_ptr<service::InferenceClient> client;
   try {
-    client = std::make_unique<service::InferenceClient>(cfg.socket, copts);
+    client = std::make_unique<service::InferenceClient>(endpoint(cfg), copts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "loadgen: worker %zu connect: %s\n", tid, e.what());
     sh.fatal.store(true);
@@ -246,7 +254,8 @@ void run_worker(std::size_t tid, const Config& cfg,
         service::ClientOptions retry = copts;
         retry.connect_timeout_ms = std::min<std::uint32_t>(
             copts.connect_timeout_ms, 500);
-        client = std::make_unique<service::InferenceClient>(cfg.socket, retry);
+        client =
+            std::make_unique<service::InferenceClient>(endpoint(cfg), retry);
       } catch (const std::exception&) {
         oc.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         continue;
@@ -323,13 +332,25 @@ std::vector<std::uint8_t> raw_classify_frame(std::span<const float> row) {
   return frame;
 }
 
-int chaos_connect(const std::string& path) {
-  const int fd = service::detail::make_unix_socket();
-  sockaddr_un addr = service::detail::make_addr(path);
+int chaos_connect(const Config& cfg) {
+  if (cfg.tcp.empty()) {
+    const int fd = service::detail::make_unix_socket();
+    sockaddr_un addr = service::detail::make_addr(cfg.socket);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const service::Endpoint ep = service::Endpoint::parse_tcp(cfg.tcp);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = service::detail::make_inet_addr(ep.host, ep.port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd);
     return -1;
   }
+  service::detail::set_tcp_nodelay(fd);
   return fd;
 }
 
@@ -339,7 +360,7 @@ int chaos_connect(const std::string& path) {
 void chaos_slow_client(const Config& cfg, const data::Dataset& ds,
                        Shared& sh) {
   sh.chaos.slow_sent.fetch_add(1, std::memory_order_relaxed);
-  const int fd = chaos_connect(cfg.socket);
+  const int fd = chaos_connect(cfg);
   if (fd < 0) {
     sh.chaos.slow_reaped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -377,7 +398,7 @@ void chaos_slow_client(const Config& cfg, const data::Dataset& ds,
 /// Disconnect arm: half a frame, then a hard close mid-payload.
 void chaos_disconnect_midframe(const Config& cfg, const data::Dataset& ds,
                                Shared& sh) {
-  const int fd = chaos_connect(cfg.socket);
+  const int fd = chaos_connect(cfg);
   if (fd < 0) return;
   const auto frame = raw_classify_frame(ds.row(0));
   const std::size_t half = frame.size() / 2;
@@ -435,7 +456,7 @@ ServerCounters scrape_stats(const Config& cfg) {
     service::ClientOptions copts;
     copts.connect_timeout_ms = cfg.connect_timeout_ms;
     copts.io_timeout_ms = cfg.io_timeout_ms;
-    service::InferenceClient client(cfg.socket, copts);
+    service::InferenceClient client(endpoint(cfg), copts);
     const std::string body = client.stats(/*json=*/true);
     s.ok = json_counter(body, "service.requests", s.requests);
     json_counter(body, "service.errors", s.errors);
@@ -516,7 +537,7 @@ void json_latency(bench::JsonWriter& w, const char* key,
 void usage() {
   std::fprintf(stderr, R"(bolt_loadgen — open-loop soak/replay load generator (docs/BENCHMARKS.md)
 
-usage: bolt_loadgen --socket PATH --data test.csv [flags]
+usage: bolt_loadgen (--socket PATH | --tcp HOST:PORT) --data test.csv [flags]
 
 traffic shape
   --duration-s S        soak length (default 10)
@@ -535,6 +556,7 @@ chaos arms
   --chaos-disconnect N  N disconnect-mid-frame connections over the run
   --chaos-dribble-ms MS delay between slow-client chunks (default 5)
 client
+  --tcp HOST:PORT          dial the TCP transport instead of --socket
   --connect-timeout-ms MS  connect retry budget (default 5000)
   --io-timeout-ms MS       per-op send/recv deadline (default 10000)
 cross-check & output
@@ -559,7 +581,14 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     }
-    cfg.socket = args.require("socket");
+    cfg.socket = args.get("socket");
+    cfg.tcp = args.get("tcp");
+    if (cfg.socket.empty() == cfg.tcp.empty()) {
+      throw std::runtime_error("need exactly one of --socket / --tcp");
+    }
+    if (!cfg.tcp.empty()) {
+      (void)service::Endpoint::parse_tcp(cfg.tcp);  // validate early
+    }
     cfg.data = args.require("data");
     cfg.duration_s = args.get_double("duration-s", 10.0);
     cfg.rps = args.get_double("rps", 200.0);
@@ -794,7 +823,7 @@ int main(int argc, char** argv) {
           .field("label", cfg.label)
           .field("pass", pass);
       w.begin_object("config")
-          .field("socket", cfg.socket)
+          .field("endpoint", endpoint(cfg).describe())
           .field("duration_s", cfg.duration_s)
           .field("rps", cfg.rps)
           .field("threads", static_cast<std::uint64_t>(cfg.threads))
