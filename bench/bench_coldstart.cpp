@@ -1,0 +1,269 @@
+// Cold-start and memory-sharing harness for the v2 flat artifact
+// (docs/ARTIFACT_FORMAT.md): how fast a process goes from exec to a ready
+// engine, v1 stream deserialize vs v2 mmap-and-fixup, and how steady-state
+// RSS scales when 8 engines share one read-only mapping vs 8 heap-built
+// forests.
+//
+// Emits BENCH_artifact_coldstart.json (schema bolt-bench-coldstart-v1) and
+// gates in-process:
+//   * v2 map+fixup in the trusted tier (no CRC pass, no O(n) structural
+//     scans — the re-open path for a file this host already packed and
+//     verified, docs/ARTIFACT_FORMAT.md "Trust tiers") must be
+//     >= --gate-speedup times faster than a v1 deserialize of the same
+//     model (default 10x, the ISSUE acceptance bar);
+//   * a mapped forest must own 0 pool bytes (the zero-copy contract).
+// The full-validation and CRC-off-but-validated tiers and the RSS ladder
+// are reported but not gated: full validation streams every element of a
+// file v1 also streams, so its ratio is bounded by memory bandwidth, and
+// CI RSS is too noisy to block merges on.
+//
+// Usage: bench_coldstart [--trees N] [--height H] [--iters N]
+//                        [--gate-speedup X] [--label S] [--out PATH]
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bolt/artifact/mapped.h"
+#include "bolt/artifact/pack.h"
+#include "bolt/bolt.h"
+#include "common.h"
+
+namespace {
+
+using bolt::bench::JsonWriter;
+namespace core = bolt::core;
+namespace artifact = bolt::artifact;
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// VmRSS from /proc/self/status in KiB (0 if unreadable — non-Linux).
+std::uint64_t rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+/// Minimum of `iters` timed runs — the best case is the honest cold-start
+/// number (everything else is scheduler noise on top).
+template <class Fn>
+double min_us(int iters, Fn&& fn) {
+  double best = 1e18;
+  for (int i = 0; i < iters; ++i) {
+    const double t0 = now_us();
+    fn();
+    best = std::min(best, now_us() - t0);
+  }
+  return best;
+}
+
+std::string arg_str(int argc, char** argv, const char* key,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+double arg_num(int argc, char** argv, const char* key, double fallback) {
+  const std::string v = arg_str(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t trees = static_cast<std::size_t>(
+      arg_num(argc, argv, "--trees", 100));
+  const std::size_t height = static_cast<std::size_t>(
+      arg_num(argc, argv, "--height", 8));
+  const int iters = static_cast<int>(arg_num(argc, argv, "--iters", 20));
+  const double gate_speedup = arg_num(argc, argv, "--gate-speedup", 10.0);
+  const std::string label = arg_str(argc, argv, "--label", "local");
+  const std::string out_path =
+      arg_str(argc, argv, "--out", "BENCH_artifact_coldstart.json");
+
+  std::printf("bench_coldstart: mnist %zu trees, height %zu (%d iters)\n",
+              trees, height, iters);
+  const bolt::forest::Forest& forest =
+      bolt::bench::get_forest(bolt::bench::Workload::kMnist, trees, height);
+  const bolt::data::Dataset& test =
+      bolt::bench::dataset(bolt::bench::Workload::kMnist).test;
+  const core::BoltForest built = core::BoltForest::build(forest, {});
+
+  const std::string v1_path =
+      "/tmp/bench_coldstart_" + std::to_string(::getpid()) + ".bolt";
+  const std::string v2_path = v1_path + "v2";
+  built.save_file(v1_path);
+  artifact::write_v2_file(built, v2_path);
+  const auto file_bytes = [](const std::string& p) -> std::uint64_t {
+    std::ifstream in(p, std::ios::binary | std::ios::ate);
+    return static_cast<std::uint64_t>(in.tellg());
+  };
+
+  // --- Cold start: file -> ready-to-predict forest ----------------------
+  const double v1_load_us = min_us(iters, [&] {
+    const core::BoltForest f = core::BoltForest::load_file(v1_path);
+    if (f.num_classes() != built.num_classes()) std::abort();
+  });
+  const double v2_verified_us = min_us(iters, [&] {
+    artifact::OpenOptions opts;
+    opts.verify_checksums = true;
+    const core::BoltForest f =
+        artifact::MappedArtifact::open(v2_path, opts).build_forest();
+    if (f.num_classes() != built.num_classes()) std::abort();
+  });
+  const double v2_validated_us = min_us(iters, [&] {
+    artifact::OpenOptions opts;
+    opts.verify_checksums = false;
+    const core::BoltForest f =
+        artifact::MappedArtifact::open(v2_path, opts).build_forest();
+    if (f.num_classes() != built.num_classes()) std::abort();
+  });
+  const double v2_map_us = min_us(iters, [&] {
+    artifact::OpenOptions opts;
+    opts.verify_checksums = false;
+    opts.validate_structure = false;
+    const core::BoltForest f =
+        artifact::MappedArtifact::open(v2_path, opts).build_forest();
+    if (f.num_classes() != built.num_classes()) std::abort();
+  });
+  const double speedup = v1_load_us / v2_map_us;
+  const double speedup_verified = v1_load_us / v2_verified_us;
+  std::printf("  v1 deserialize:        %10.1f us\n", v1_load_us);
+  std::printf("  v2 map+verify+validate:%10.1f us  (%.1fx)\n", v2_verified_us,
+              speedup_verified);
+  std::printf("  v2 map+validate:       %10.1f us  (%.1fx)\n", v2_validated_us,
+              v1_load_us / v2_validated_us);
+  std::printf("  v2 map+fixup (trusted):%10.1f us  (%.1fx, gate >= %.0fx)\n",
+              v2_map_us, speedup, gate_speedup);
+
+  // --- Zero-copy accounting --------------------------------------------
+  artifact::MappedArtifact mapped = artifact::MappedArtifact::open(v2_path);
+  const core::BoltForest mapped_forest = mapped.build_forest();
+  const std::uint64_t mapped_owned = mapped_forest.owned_bytes();
+  const std::uint64_t heap_owned = built.owned_bytes();
+  std::printf("  pool bytes owned:      heap %zu KB, mapped %zu KB\n",
+              static_cast<std::size_t>(heap_owned / 1024),
+              static_cast<std::size_t>(mapped_owned / 1024));
+
+  // --- RSS ladder: engines sharing one mapping vs heap copies -----------
+  // Touch every engine with a real predict so lazily-faulted pages and
+  // scratch are included, then read VmRSS deltas.
+  const std::span<const float> probe = test.row(0);
+  const std::uint64_t rss_before = rss_kb();
+  std::uint64_t rss_one_mapped = 0, rss_eight_mapped = 0, rss_eight_heap = 0;
+  {
+    std::vector<core::BoltForest> forests;
+    std::vector<std::unique_ptr<core::BoltEngine>> engines;
+    forests.push_back(mapped.build_forest());
+    engines.push_back(std::make_unique<core::BoltEngine>(forests.back()));
+    (void)engines.back()->predict(probe);
+    rss_one_mapped = rss_kb();
+    for (int i = 1; i < 8; ++i) {
+      forests.push_back(mapped.build_forest());
+    }
+    for (int i = 1; i < 8; ++i) {
+      engines.push_back(std::make_unique<core::BoltEngine>(forests[i]));
+      (void)engines.back()->predict(probe);
+    }
+    rss_eight_mapped = rss_kb();
+  }
+  {
+    std::vector<core::BoltForest> forests;
+    std::vector<std::unique_ptr<core::BoltEngine>> engines;
+    for (int i = 0; i < 8; ++i) {
+      forests.push_back(core::BoltForest::load_file(v1_path));
+    }
+    for (int i = 0; i < 8; ++i) {
+      engines.push_back(std::make_unique<core::BoltEngine>(forests[i]));
+      (void)engines.back()->predict(probe);
+    }
+    rss_eight_heap = rss_kb();
+  }
+  std::printf(
+      "  RSS: baseline %llu KB, +1 mapped %llu KB, +8 mapped %llu KB, "
+      "+8 heap %llu KB\n",
+      static_cast<unsigned long long>(rss_before),
+      static_cast<unsigned long long>(rss_one_mapped),
+      static_cast<unsigned long long>(rss_eight_mapped),
+      static_cast<unsigned long long>(rss_eight_heap));
+
+  // --- Gates ------------------------------------------------------------
+  std::vector<std::string> failures;
+  if (speedup < gate_speedup) {
+    failures.push_back("v2 map+fixup only " + std::to_string(speedup) +
+                       "x faster than v1 deserialize (gate " +
+                       std::to_string(gate_speedup) + "x)");
+  }
+  if (mapped_owned != 0) {
+    failures.push_back("mapped forest owns " + std::to_string(mapped_owned) +
+                       " pool bytes (zero-copy contract)");
+  }
+  const bool pass = failures.empty();
+
+  JsonWriter j;
+  j.begin_object()
+      .field("schema", "bolt-bench-coldstart-v1")
+      .field("label", label)
+      .begin_object("model")
+      .field("dataset", "mnist")
+      .field("trees", static_cast<std::uint64_t>(trees))
+      .field("height", static_cast<std::uint64_t>(height))
+      .field("file_bytes_v1", file_bytes(v1_path))
+      .field("file_bytes_v2", file_bytes(v2_path))
+      .end_object()
+      .begin_object("coldstart_us")
+      .field("v1_load", v1_load_us)
+      .field("v2_map_verified", v2_verified_us)
+      .field("v2_map_validated", v2_validated_us)
+      .field("v2_map", v2_map_us)
+      .end_object()
+      .field("speedup_v1_over_v2", speedup)
+      .field("speedup_v1_over_v2_verified", speedup_verified)
+      .begin_object("zero_copy")
+      .field("mapped_owned_bytes", mapped_owned)
+      .field("heap_owned_bytes", heap_owned)
+      .end_object()
+      .begin_object("rss_kb")
+      .field("baseline", rss_before)
+      .field("one_mapped_engine", rss_one_mapped)
+      .field("eight_mapped_engines", rss_eight_mapped)
+      .field("eight_heap_forests", rss_eight_heap)
+      .end_object()
+      .field("gate_speedup", gate_speedup)
+      .field("pass", pass)
+      .end_object();
+  if (!j.write_file(out_path)) {
+    std::fprintf(stderr, "bench_coldstart: cannot write %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  if (!pass) {
+    for (const std::string& f : failures) {
+      std::fprintf(stderr, "bench_coldstart: FAIL: %s\n", f.c_str());
+    }
+    return 1;
+  }
+  std::printf("bench_coldstart: PASS\n");
+  return 0;
+}

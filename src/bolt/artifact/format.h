@@ -1,0 +1,196 @@
+// The BOLT flat v2 artifact format (docs/ARTIFACT_FORMAT.md).
+//
+// v1 ("BOLF") is a sequential binio stream: loading deserializes every
+// pool into fresh heap vectors and then rebuilds the ScanLayout — the
+// dominant cold-start cost. v2 ("BOL2") is a *flat* format designed to be
+// mmap'd and used in place:
+//
+//   [ FileHeader : 64 bytes                      ]  offset 0
+//   [ SectionDesc[num_sections] : 32 bytes each  ]  offset 64
+//   [ ...padding to 64...                        ]
+//   [ section 0 bytes  (offset % 64 == 0)        ]
+//   [ ...padding to 64...                        ]
+//   [ section 1 bytes                            ]
+//   [ ...                                        ]
+//
+// Every section is an array of one POD element type, starts on a 64-byte
+// boundary (so mmap'd pools satisfy the scan kernels' aligned-load
+// contract directly), and carries a CRC32C plus its element size. The
+// header pins byte order and struct ABI, so a mapped file is either
+// byte-for-byte usable or rejected — there is no fixup pass beyond
+// validation. All multi-byte fields are little-endian (the endian_tag
+// check refuses foreign files instead of swapping).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bolt/cluster.h"
+#include "bolt/dictionary.h"
+#include "bolt/kernels/kernels.h"
+#include "forest/predicates.h"
+
+namespace bolt::artifact {
+
+/// "BOL2" little-endian.
+constexpr std::uint32_t kMagicV2 = 0x324c4f42u;
+/// "BOLF" little-endian — the v1 sequential stream (builder.cpp).
+constexpr std::uint32_t kMagicV1 = 0x424f4c46u;
+
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 0;
+
+/// Written as the native u32 0x01020304; reads as 04 03 02 01 on little
+/// endian. A big-endian writer produces the byte-swapped value and the
+/// reader rejects the file.
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+/// All section payloads and the section table start on this boundary —
+/// the scan kernels' aligned-load contract, and a cache-line boundary.
+constexpr std::size_t kSectionAlign = 64;
+
+/// Hard cap on the descriptor table; a v2 writer emits exactly
+/// kNumSections, the reader tolerates up to this many for forward-compat
+/// minor versions that append sections.
+constexpr std::uint32_t kMaxSections = 64;
+
+/// Section kinds, in file order. Every kind is always present (size 0
+/// when the model has no such data — e.g. kTableKeys under byte id-check,
+/// kBloomBits when the filter is disabled).
+enum class SectionKind : std::uint32_t {
+  kMeta = 1,              // MetaSection, exactly one element
+  kPredicates = 2,        // forest::Predicate
+  kDictWordOffsets = 3,   // u32, num_entries + 1
+  kDictWords = 4,         // Dictionary::SparseWord
+  kDictAddrOffsets = 5,   // u32, num_entries + 1
+  kDictAddrPositions = 6, // u32
+  kDictAddrWordOffsets = 7,  // u32, num_entries + 1
+  kDictAddrWords = 8,     // Dictionary::AddrWord
+  kDictCommonOffsets = 9, // u32, num_entries + 1
+  kDictCommonPool = 10,   // core::PathItem (u32)
+  kTableDisplacement = 11,  // u32 (displacement strategy only)
+  kTableResultIdx = 12,   // u32, slot_mask + 1
+  kTableKeys = 13,        // u64 (exact id-check only)
+  kTableId8 = 14,         // u8 (byte id-check only)
+  kResultPool = 15,       // float, size * num_classes
+  kResultPacked = 16,     // u64 (empty when packing unavailable)
+  kBloomBits = 17,        // u64 (empty when no bloom filter)
+  kLayoutBuckets = 18,    // ScanLayout::Bucket
+  kLayoutPerm = 19,       // u32, local_size
+  kLayoutWidx = 20,       // u32, plane pool
+  kLayoutMask = 21,       // u64, plane pool
+  kLayoutExpect = 22,     // u64, plane pool
+  // Derived predicate-space indexes, precomputed at pack time so the
+  // trusted open tier borrows them instead of re-deriving (~hundreds of
+  // KB of writes on every open otherwise).
+  kPredSoaFeatures = 23,  // i32, num_predicates (SoA mirror)
+  kPredSoaThresholds = 24,  // f32, num_predicates (SoA mirror)
+  kPredFeatureOffsets = 25,  // u32, num_features + 1 (CSR index)
+};
+
+constexpr std::uint32_t kNumSections = 25;
+
+const char* section_kind_name(SectionKind kind);
+
+/// Fixed 64-byte file header at offset 0.
+struct FileHeader {
+  std::uint32_t magic;          // kMagicV2
+  std::uint16_t version_major;  // incompatible changes
+  std::uint16_t version_minor;  // additive changes (new optional sections)
+  std::uint32_t endian_tag;     // kEndianTag, written native
+  std::uint32_t abi_tag;        // current_abi_tag() of the writer
+  std::uint64_t file_size;      // total bytes; must equal the mapped length
+  std::uint32_t num_sections;
+  std::uint32_t section_table_crc;  // CRC32C of the descriptor array
+  std::uint32_t header_crc;     // CRC32C of this struct with this field 0
+  std::uint8_t reserved[28];    // zero
+};
+static_assert(sizeof(FileHeader) == 64, "file header must stay 64 bytes");
+
+/// One section descriptor; the table is an array of these at offset 64.
+struct SectionDesc {
+  std::uint32_t kind;       // SectionKind
+  std::uint32_t flags;      // reserved, zero
+  std::uint64_t offset;     // from file start; multiple of kSectionAlign
+  std::uint64_t size;       // payload bytes; multiple of elem_size
+  std::uint32_t crc;        // CRC32C of the payload bytes
+  std::uint32_t elem_size;  // sizeof the element type (ABI cross-check)
+};
+static_assert(sizeof(SectionDesc) == 32, "section desc must stay 32 bytes");
+
+/// Every scalar the flat sections can't carry: model geometry, the build
+/// config and stats (round-tripped for inspect/planner parity with v1),
+/// and the per-structure header fields consumed by the from_views
+/// factories. Fixed-width fields only — this struct *is* the file format.
+struct MetaSection {
+  // Model geometry.
+  std::uint64_t num_classes;
+  std::uint64_t num_features;
+  std::uint64_t num_predicates;     // == kPredicates element count
+  std::uint64_t dict_num_entries;
+
+  // BoltConfig.
+  std::uint64_t cluster_threshold;
+  std::uint64_t cluster_max_table_bits;
+  std::uint32_t cfg_table_strategy;
+  std::uint32_t cfg_table_id_check;
+  std::uint8_t cfg_use_bloom;
+  std::uint8_t has_bloom;           // a BloomFilter is serialized
+  std::uint8_t reserved0[6];
+  std::uint64_t bloom_bits_per_key;
+
+  // BuildStats.
+  std::uint64_t stats_num_predicates;
+  std::uint64_t stats_num_raw_paths;
+  std::uint64_t stats_num_merged_paths;
+  std::uint64_t stats_num_clusters;
+  std::uint64_t stats_table_entries;
+  std::uint64_t stats_table_slots;
+  std::uint64_t stats_distinct_results;
+  double stats_build_seconds;
+
+  // RecombinedTable scalars (RecombinedTable::Scalars).
+  std::uint32_t table_strategy;
+  std::uint32_t table_id_check;
+  std::uint64_t table_seed;
+  std::uint64_t table_num_entries;
+  std::uint32_t table_slot_mask;
+  std::uint32_t table_bucket_mask;
+
+  // ResultPool scalar.
+  std::uint32_t result_field_bits;  // 0 when kResultPacked is empty
+  std::uint32_t reserved1;
+
+  // BloomFilter scalars (meaningful iff has_bloom).
+  std::uint64_t bloom_seed;
+  std::uint64_t bloom_mask;
+  std::uint32_t bloom_k;
+  std::uint32_t reserved2;
+
+  // ScanLayout scalars.
+  std::uint64_t layout_num_entries;
+  std::uint64_t layout_local_size;
+};
+static_assert(sizeof(MetaSection) == 216, "meta section is file format");
+
+/// Element size the reader requires for each kind; 0 means "any" (none
+/// currently). Mismatch is an ABI error, rejected before any view forms.
+std::uint32_t section_elem_size(SectionKind kind);
+
+/// Fingerprint of every struct layout a v2 file embeds raw. Readers whose
+/// compiled layouts differ (padding, field width) refuse the file rather
+/// than misinterpret it.
+constexpr std::uint32_t current_abi_tag() {
+  return static_cast<std::uint32_t>(
+      (sizeof(core::Dictionary::SparseWord) << 24) ^
+      (sizeof(core::Dictionary::AddrWord) << 19) ^
+      (sizeof(core::PathItem) << 14) ^
+      (sizeof(kernels::ScanLayout::Bucket) << 9) ^
+      (sizeof(forest::Predicate) << 4) ^ sizeof(MetaSection));
+}
+
+constexpr std::uint64_t round_up_64(std::uint64_t v) {
+  return (v + (kSectionAlign - 1)) & ~std::uint64_t{kSectionAlign - 1};
+}
+
+}  // namespace bolt::artifact

@@ -1,0 +1,76 @@
+#include "bolt/artifact/handle.h"
+
+#include "bolt/artifact/mapped.h"
+
+namespace bolt::artifact {
+
+ModelHandle::ModelHandle(std::string path)
+    : ModelHandle(std::move(path), Options()) {}
+
+ModelHandle::ModelHandle(std::string path, const Options& opts)
+    : path_(std::move(path)), opts_(opts) {
+  Loaded l = load(path_, opts_);
+  cur_ = std::move(l.forest);
+  version_ = l.version;
+  generation_ = 1;
+}
+
+ModelHandle::Loaded ModelHandle::load(const std::string& path,
+                                      const Options& opts) {
+  const unsigned version = sniff_artifact_version(path);
+  if (version == 1) {
+    return {std::make_shared<const core::BoltForest>(
+                core::BoltForest::load_file(path)),
+            1};
+  }
+  OpenOptions mo;
+  mo.verify_checksums = opts.verify_checksums;
+  mo.validate_structure = opts.validate_structure;
+  MappedArtifact a = MappedArtifact::open(path, mo);
+  return {std::make_shared<const core::BoltForest>(a.build_forest()), 2};
+}
+
+std::shared_ptr<const core::BoltForest> ModelHandle::current() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cur_;
+}
+
+void ModelHandle::reload() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    path = path_;
+  }
+  // Load outside the lock: a slow (or hung) disk must not block current().
+  Loaded l = load(path, opts_);
+  std::lock_guard<std::mutex> lk(mu_);
+  cur_ = std::move(l.forest);
+  version_ = l.version;
+  ++generation_;
+}
+
+void ModelHandle::reload(const std::string& new_path) {
+  Loaded l = load(new_path, opts_);
+  std::lock_guard<std::mutex> lk(mu_);
+  path_ = new_path;
+  cur_ = std::move(l.forest);
+  version_ = l.version;
+  ++generation_;
+}
+
+std::uint64_t ModelHandle::generation() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return generation_;
+}
+
+unsigned ModelHandle::artifact_version() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return version_;
+}
+
+std::string ModelHandle::path() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return path_;
+}
+
+}  // namespace bolt::artifact

@@ -1,0 +1,73 @@
+// ModelHandle: the refcounted indirection between serving and a model's
+// storage — the hot-swap substrate. A handle owns "the current forest" as
+// a shared_ptr; engines constructed through it hold their own reference,
+// so reload() swaps the pointer atomically (under a mutex) while in-flight
+// requests keep the old forest (and its file mapping) alive until the
+// last engine drops it. Dispatches on the artifact magic: v1 "BOLF" is
+// heap-deserialized, v2 "BOL2" is mmap'd zero-copy via MappedArtifact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bolt/builder.h"
+
+namespace bolt::artifact {
+
+class ModelHandle {
+ public:
+  struct Options {
+    /// Verify v2 per-section CRCs at every (re)load.
+    bool verify_checksums = true;
+    /// Run the O(n) structural scans at every (re)load. Turning both
+    /// flags off is the trusted map-and-fixup tier — see the contract on
+    /// artifact::OpenOptions before using it.
+    bool validate_structure = true;
+  };
+
+  /// Loads `path` (v1 or v2, by magic). Throws on any load failure.
+  explicit ModelHandle(std::string path);
+  ModelHandle(std::string path, const Options& opts);
+
+  ModelHandle(const ModelHandle&) = delete;
+  ModelHandle& operator=(const ModelHandle&) = delete;
+
+  /// The current forest; never null. Callers keep the returned reference
+  /// for the duration of use — a concurrent reload cannot invalidate it.
+  std::shared_ptr<const core::BoltForest> current() const;
+
+  /// Re-reads path() and swaps atomically. On failure the current model
+  /// stays in place and the error propagates (a bad artifact on disk
+  /// never takes down serving).
+  void reload();
+  /// Points the handle at a new file and swaps (the hot-swap entry
+  /// point). On failure the path and model are unchanged.
+  void reload(const std::string& new_path);
+
+  /// Monotonic swap count: 1 after construction, +1 per successful
+  /// reload. Exposed through STATS/metrics so rollouts are observable.
+  std::uint64_t generation() const;
+
+  /// 1 (heap v1) or 2 (mapped v2) for the currently served model.
+  unsigned artifact_version() const;
+
+  std::string path() const;
+
+ private:
+  struct Loaded {
+    std::shared_ptr<const core::BoltForest> forest;
+    unsigned version;
+  };
+  static Loaded load(const std::string& path, const Options& opts);
+
+  mutable std::mutex mu_;
+  std::string path_;
+  Options opts_;
+  std::shared_ptr<const core::BoltForest> cur_;
+  unsigned version_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace bolt::artifact

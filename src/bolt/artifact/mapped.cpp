@@ -1,0 +1,328 @@
+#include "bolt/artifact/mapped.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/crc32c.h"
+
+namespace bolt::artifact {
+
+Mapping::~Mapping() {
+  if (base != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(base), len);
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+const char* section_kind_name(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kMeta: return "meta";
+    case SectionKind::kPredicates: return "predicates";
+    case SectionKind::kDictWordOffsets: return "dict.word_offsets";
+    case SectionKind::kDictWords: return "dict.words";
+    case SectionKind::kDictAddrOffsets: return "dict.addr_offsets";
+    case SectionKind::kDictAddrPositions: return "dict.addr_positions";
+    case SectionKind::kDictAddrWordOffsets: return "dict.addr_word_offsets";
+    case SectionKind::kDictAddrWords: return "dict.addr_words";
+    case SectionKind::kDictCommonOffsets: return "dict.common_offsets";
+    case SectionKind::kDictCommonPool: return "dict.common_pool";
+    case SectionKind::kTableDisplacement: return "table.displacement";
+    case SectionKind::kTableResultIdx: return "table.result_idx";
+    case SectionKind::kTableKeys: return "table.keys";
+    case SectionKind::kTableId8: return "table.id8";
+    case SectionKind::kResultPool: return "results.pool";
+    case SectionKind::kResultPacked: return "results.packed";
+    case SectionKind::kBloomBits: return "bloom.bits";
+    case SectionKind::kLayoutBuckets: return "layout.buckets";
+    case SectionKind::kLayoutPerm: return "layout.perm";
+    case SectionKind::kLayoutWidx: return "layout.widx";
+    case SectionKind::kLayoutMask: return "layout.mask";
+    case SectionKind::kLayoutExpect: return "layout.expect";
+    case SectionKind::kPredSoaFeatures: return "predicates.soa_features";
+    case SectionKind::kPredSoaThresholds: return "predicates.soa_thresholds";
+    case SectionKind::kPredFeatureOffsets: return "predicates.feature_offsets";
+  }
+  return "unknown";
+}
+
+std::uint32_t section_elem_size(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kMeta: return sizeof(MetaSection);
+    case SectionKind::kPredicates: return sizeof(forest::Predicate);
+    case SectionKind::kDictWordOffsets:
+    case SectionKind::kDictAddrOffsets:
+    case SectionKind::kDictAddrPositions:
+    case SectionKind::kDictAddrWordOffsets:
+    case SectionKind::kDictCommonOffsets:
+    case SectionKind::kTableDisplacement:
+    case SectionKind::kTableResultIdx:
+    case SectionKind::kLayoutPerm:
+    case SectionKind::kLayoutWidx:
+    case SectionKind::kPredFeatureOffsets:
+      return sizeof(std::uint32_t);
+    case SectionKind::kDictWords: return sizeof(core::Dictionary::SparseWord);
+    case SectionKind::kDictAddrWords:
+      return sizeof(core::Dictionary::AddrWord);
+    case SectionKind::kDictCommonPool: return sizeof(core::PathItem);
+    case SectionKind::kTableKeys:
+    case SectionKind::kResultPacked:
+    case SectionKind::kBloomBits:
+    case SectionKind::kLayoutMask:
+    case SectionKind::kLayoutExpect:
+      return sizeof(std::uint64_t);
+    case SectionKind::kTableId8: return sizeof(std::uint8_t);
+    case SectionKind::kResultPool: return sizeof(float);
+    case SectionKind::kPredSoaFeatures: return sizeof(std::int32_t);
+    case SectionKind::kPredSoaThresholds: return sizeof(float);
+    case SectionKind::kLayoutBuckets:
+      return sizeof(kernels::ScanLayout::Bucket);
+  }
+  return 0;
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("artifact map: " + what);
+}
+
+}  // namespace
+
+MappedArtifact MappedArtifact::open(const std::string& path,
+                                    const OpenOptions& opts) {
+  auto map = std::make_shared<Mapping>();
+  map->fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (map->fd < 0) fail("cannot open " + path);
+  struct stat st{};
+  if (::fstat(map->fd, &st) != 0) fail("cannot stat " + path);
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len < sizeof(FileHeader)) fail("file shorter than header");
+  // MAP_POPULATE prefaults the whole file in one kernel pass — when a
+  // validation sweep is about to stream most of it anyway, one batched
+  // readahead beats hundreds of individual minor faults. The trusted tier
+  // touches only a handful of pages at open, so there it is strictly
+  // upfront cost and pages fault lazily instead (bench_coldstart times
+  // both).
+  const int populate =
+      (opts.verify_checksums || opts.validate_structure) ? MAP_POPULATE : 0;
+  void* base =
+      ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE | populate, map->fd, 0);
+  if (base == MAP_FAILED && populate != 0) {
+    base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, map->fd, 0);
+  }
+  if (base == MAP_FAILED) fail("mmap failed for " + path);
+  map->base = static_cast<const std::uint8_t*>(base);
+  map->len = len;
+
+  // Header: identity, ABI, and self-checksum before trusting any field.
+  FileHeader h{};
+  std::memcpy(&h, map->base, sizeof(h));
+  if (h.magic != kMagicV2) fail("bad magic (not a v2 artifact)");
+  if (h.endian_tag != kEndianTag) fail("foreign byte order");
+  if (h.version_major != kVersionMajor) {
+    fail("unsupported major version " + std::to_string(h.version_major));
+  }
+  if (h.abi_tag != current_abi_tag()) fail("ABI tag mismatch");
+  const std::uint32_t stored_header_crc = h.header_crc;
+  h.header_crc = 0;
+  if (util::crc32c(&h, sizeof(h)) != stored_header_crc) {
+    fail("header checksum mismatch");
+  }
+  if (h.file_size != len) fail("file size mismatch");
+  if (h.num_sections == 0 || h.num_sections > kMaxSections) {
+    fail("implausible section count");
+  }
+
+  // Section table: bounded, checksummed, then each descriptor validated.
+  const std::uint64_t table_bytes =
+      std::uint64_t{h.num_sections} * sizeof(SectionDesc);
+  if (sizeof(FileHeader) + table_bytes > len) fail("section table truncated");
+  const auto* descs =
+      reinterpret_cast<const SectionDesc*>(map->base + sizeof(FileHeader));
+  if (util::crc32c(descs, table_bytes) != h.section_table_crc) {
+    fail("section table checksum mismatch");
+  }
+
+  MappedArtifact a;
+  a.map_ = map;
+  a.sections_ = {descs, h.num_sections};
+  a.validate_structure_ = opts.validate_structure;
+
+  std::uint32_t seen[kMaxSections] = {};
+  for (const SectionDesc& d : a.sections_) {
+    const auto kind = static_cast<SectionKind>(d.kind);
+    const std::uint32_t expect_elem = section_elem_size(kind);
+    if (expect_elem == 0) {
+      // Unknown kind: tolerated only from a newer minor version (forward
+      // compat for appended sections); still bounds-checked below.
+      if (h.version_minor <= kVersionMinor) fail("unknown section kind");
+    } else if (d.elem_size != expect_elem) {
+      fail(std::string("element size mismatch in ") +
+           section_kind_name(kind));
+    }
+    if (d.kind < kMaxSections) {
+      if (seen[d.kind]++ != 0) fail("duplicate section kind");
+    }
+    if (d.offset % kSectionAlign != 0) fail("section offset misaligned");
+    // Overflow-safe bounds: check offset first, then size against the
+    // remainder — offset + size cannot wrap.
+    if (d.offset > len || d.size > len - d.offset) {
+      fail(std::string("section out of bounds: ") + section_kind_name(kind));
+    }
+    if (d.elem_size == 0 || d.size % d.elem_size != 0) {
+      fail("section size not a multiple of element size");
+    }
+    if (opts.verify_checksums) {
+      if (util::crc32c(map->base + d.offset, d.size) != d.crc) {
+        fail(std::string("checksum mismatch in ") + section_kind_name(kind));
+      }
+      a.verified_bytes_ += static_cast<std::size_t>(d.size);
+    }
+  }
+
+  const SectionDesc* md = a.find(SectionKind::kMeta);
+  if (md == nullptr || md->size != sizeof(MetaSection)) {
+    fail("missing or malformed meta section");
+  }
+  a.meta_ = reinterpret_cast<const MetaSection*>(map->base + md->offset);
+  return a;
+}
+
+const SectionDesc* MappedArtifact::find(SectionKind kind) const {
+  for (const SectionDesc& d : sections_) {
+    if (d.kind == static_cast<std::uint32_t>(kind)) return &d;
+  }
+  return nullptr;
+}
+
+core::BoltForest MappedArtifact::build_forest() const {
+  const MetaSection& m = *meta_;
+
+  // Borrow the pack-time derived SoA/CSR sections when present (always,
+  // for files this writer produces); re-derive from the predicate array
+  // for minor-version files that lack them.
+  forest::PredicateSpace space = [&] {
+    const SectionDesc* soa = find(SectionKind::kPredSoaFeatures);
+    if (soa == nullptr) {
+      return forest::PredicateSpace::from_predicates(
+          m.num_features, view<forest::Predicate>(SectionKind::kPredicates));
+    }
+    forest::PredicateSpace::Views pv;
+    pv.predicates = view<forest::Predicate>(SectionKind::kPredicates);
+    pv.soa_features = view<std::int32_t>(SectionKind::kPredSoaFeatures);
+    pv.soa_thresholds = view<float>(SectionKind::kPredSoaThresholds);
+    pv.feature_offsets = view<std::uint32_t>(SectionKind::kPredFeatureOffsets);
+    return forest::PredicateSpace::from_views(m.num_features, pv,
+                                              validate_structure_);
+  }();
+  if (space.size() != m.num_predicates) {
+    fail("predicate count disagrees with meta");
+  }
+
+  core::Dictionary::Views dv;
+  dv.word_offsets = view<std::uint32_t>(SectionKind::kDictWordOffsets);
+  dv.words = view<core::Dictionary::SparseWord>(SectionKind::kDictWords);
+  dv.addr_offsets = view<std::uint32_t>(SectionKind::kDictAddrOffsets);
+  dv.addr_positions = view<std::uint32_t>(SectionKind::kDictAddrPositions);
+  dv.addr_word_offsets =
+      view<std::uint32_t>(SectionKind::kDictAddrWordOffsets);
+  dv.addr_words = view<core::Dictionary::AddrWord>(SectionKind::kDictAddrWords);
+  dv.common_offsets = view<std::uint32_t>(SectionKind::kDictCommonOffsets);
+  dv.common_pool = view<core::PathItem>(SectionKind::kDictCommonPool);
+  core::Dictionary dict = core::Dictionary::from_views(
+      m.dict_num_entries, m.num_predicates, dv, validate_structure_);
+
+  core::RecombinedTable::Scalars ts;
+  ts.strategy = m.table_strategy;
+  ts.id_check = m.table_id_check;
+  ts.seed = m.table_seed;
+  ts.num_entries = m.table_num_entries;
+  ts.slot_mask = m.table_slot_mask;
+  ts.bucket_mask = m.table_bucket_mask;
+  core::RecombinedTable::Views tv;
+  tv.displacement = view<std::uint32_t>(SectionKind::kTableDisplacement);
+  tv.result_idx = view<std::uint32_t>(SectionKind::kTableResultIdx);
+  tv.keys = view<std::uint64_t>(SectionKind::kTableKeys);
+  tv.id8 = view<std::uint8_t>(SectionKind::kTableId8);
+  core::RecombinedTable table = core::RecombinedTable::from_views(ts, tv);
+
+  if (m.num_classes == 0) fail("zero classes");
+  core::ResultPool results = core::ResultPool::from_views(
+      m.num_classes, view<float>(SectionKind::kResultPool),
+      view<std::uint64_t>(SectionKind::kResultPacked), m.result_field_bits);
+
+  // The layout is the v2 win: v1 rebuilds it from the dictionary on every
+  // load; here it is validated in place and borrowed.
+  auto layout = std::make_shared<const kernels::ScanLayout>(
+      kernels::ScanLayout::from_views(
+          m.layout_num_entries, m.layout_local_size,
+          view<kernels::ScanLayout::Bucket>(SectionKind::kLayoutBuckets),
+          view<std::uint32_t>(SectionKind::kLayoutPerm),
+          view<std::uint32_t>(SectionKind::kLayoutWidx),
+          view<std::uint64_t>(SectionKind::kLayoutMask),
+          view<std::uint64_t>(SectionKind::kLayoutExpect),
+          dict.num_entries(), dict.num_predicates(), validate_structure_));
+
+  // Cross-component checks, mirroring the v1 loader plus the layout
+  // coverage requirement (engines scan the full dictionary).
+  if (layout->num_entries() != dict.num_entries()) {
+    fail("layout does not cover the dictionary");
+  }
+  if (validate_structure_) table.validate_result_indices(results.size());
+  if (m.table_id_check > 1 || m.cfg_table_id_check > 1 ||
+      m.cfg_table_strategy > 1) {
+    fail("bad enum in meta");
+  }
+
+  core::BoltForest bf(std::move(space), m.num_classes);
+  bf.num_features_ = m.num_features;
+  bf.dict_ = std::move(dict);
+  bf.layout_ = std::move(layout);
+  bf.table_ = std::move(table);
+  bf.results_ = std::move(results);
+  if (m.has_bloom != 0) {
+    bf.bloom_.emplace(core::BloomFilter::from_views(
+        m.bloom_seed, m.bloom_mask, m.bloom_k,
+        view<std::uint64_t>(SectionKind::kBloomBits)));
+  }
+
+  bf.cfg_.cluster.threshold = m.cluster_threshold;
+  bf.cfg_.cluster.max_table_bits = m.cluster_max_table_bits;
+  bf.cfg_.table.strategy =
+      static_cast<core::TableStrategy>(m.cfg_table_strategy);
+  bf.cfg_.table.id_check = static_cast<core::IdCheck>(m.cfg_table_id_check);
+  bf.cfg_.use_bloom = m.cfg_use_bloom != 0;
+  bf.cfg_.bloom_bits_per_key = m.bloom_bits_per_key;
+
+  bf.stats_.num_predicates = m.stats_num_predicates;
+  bf.stats_.num_raw_paths = m.stats_num_raw_paths;
+  bf.stats_.num_merged_paths = m.stats_num_merged_paths;
+  bf.stats_.num_clusters = m.stats_num_clusters;
+  bf.stats_.table_entries = m.stats_table_entries;
+  bf.stats_.table_slots = m.stats_table_slots;
+  bf.stats_.distinct_results = m.stats_distinct_results;
+  bf.stats_.build_seconds = m.stats_build_seconds;
+
+  bf.mapping_ = map_;
+  return bf;
+}
+
+unsigned sniff_artifact_version(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("artifact: cannot open " + path);
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in) throw std::runtime_error("artifact: cannot read magic: " + path);
+  if (magic == kMagicV1) return 1;
+  if (magic == kMagicV2) return 2;
+  throw std::runtime_error("artifact: unrecognized magic in " + path);
+}
+
+}  // namespace bolt::artifact

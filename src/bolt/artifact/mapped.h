@@ -1,0 +1,120 @@
+// MappedArtifact: mmap a v2 flat artifact, validate it end to end, and
+// expose typed read-only section views plus in-place BoltForest
+// construction (zero copies of the scan pools, table arrays, and result
+// sections — the pools borrow the mapping through VecOrView).
+//
+// Lifetime: the mapping is a refcounted `Mapping`; every BoltForest built
+// from it holds a shared_ptr keepalive, so engines (and copies of the
+// forest) stay valid after the MappedArtifact and any owning ModelHandle
+// are gone. Multiple forests/engines share one read-only mapping — the
+// kernel shares the physical pages across processes too.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "bolt/artifact/format.h"
+#include "bolt/builder.h"
+
+namespace bolt::artifact {
+
+/// The raw mmap; unmapped and closed when the last reference drops.
+struct Mapping {
+  const std::uint8_t* base = nullptr;
+  std::size_t len = 0;
+  int fd = -1;
+
+  Mapping() = default;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping();
+};
+
+/// Trust tiers (docs/ARTIFACT_FORMAT.md "Trust tiers and validation"):
+///   - both flags true (default): full validation — CRC every section
+///     and run every per-element structural scan. Required for files of
+///     unknown provenance; this is what the fuzz suite exercises.
+///   - verify_checksums only: integrity without re-deriving structure.
+///     Sound when the file was produced by `bolt pack` (which validates
+///     structure before writing): the CRCs prove the bytes are exactly
+///     what the packer wrote, so the packer's validation still vouches
+///     for them. Guards against disk/transfer corruption.
+///   - both false ("trusted"): map-and-fixup only — O(1) header/geometry
+///     checks, no per-byte pass at all. This is the instant-cold-start
+///     tier for re-opening a file this host already verified (serving
+///     restarts, fleet-wide model pushes). Never use it on a file an
+///     untrusted party could have written.
+struct OpenOptions {
+  /// Verify every section's CRC32C at open (one hardware-CRC streaming
+  /// pass over the file).
+  bool verify_checksums = true;
+  /// Run the O(n) per-element structural scans (offset monotonicity,
+  /// index bounds, padding-lane invariants) when building the forest.
+  /// O(1) shape and geometry checks run regardless.
+  bool validate_structure = true;
+};
+
+class MappedArtifact {
+ public:
+  /// Maps and validates `path`. Throws std::runtime_error on any
+  /// structural, ABI, bounds, or checksum violation — a file that opens
+  /// is safe to view.
+  static MappedArtifact open(const std::string& path,
+                             const OpenOptions& opts = {});
+
+  const FileHeader& header() const {
+    return *reinterpret_cast<const FileHeader*>(map_->base);
+  }
+  std::span<const SectionDesc> sections() const { return sections_; }
+  /// Descriptor for `kind`, or nullptr if absent (minor-version files).
+  const SectionDesc* find(SectionKind kind) const;
+  const MetaSection& meta() const { return *meta_; }
+  std::size_t file_size() const { return map_->len; }
+
+  /// Typed view of a section's payload inside the mapping. Empty span for
+  /// an empty section.
+  template <class T>
+  std::span<const T> view(SectionKind kind) const {
+    const SectionDesc* d = find(kind);
+    if (d == nullptr || d->size == 0) return {};
+    if (d->elem_size != sizeof(T)) {
+      throw std::runtime_error("artifact view: element size mismatch");
+    }
+    return {reinterpret_cast<const T*>(map_->base + d->offset),
+            static_cast<std::size_t>(d->size / sizeof(T))};
+  }
+
+  /// A section's raw payload bytes (bolt inspect's per-section CRC
+  /// re-check; `d` must be one of sections()).
+  std::span<const std::uint8_t> section_bytes(const SectionDesc& d) const {
+    return {map_->base + d.offset, static_cast<std::size_t>(d.size)};
+  }
+
+  /// Constructs a BoltForest whose pools borrow this mapping (zero
+  /// copies; the forest holds the mapping refcount). Runs every
+  /// from_views structural validation plus the v1 loader's cross-checks;
+  /// with OpenOptions::validate_structure = false only the O(1) tier
+  /// runs (see the trust-tier contract on OpenOptions).
+  core::BoltForest build_forest() const;
+
+  /// Number of bytes of per-section payload whose CRC was verified at
+  /// open (0 when verification was disabled).
+  std::size_t verified_bytes() const { return verified_bytes_; }
+
+ private:
+  MappedArtifact() = default;
+
+  std::shared_ptr<const Mapping> map_;
+  std::span<const SectionDesc> sections_;
+  const MetaSection* meta_ = nullptr;
+  std::size_t verified_bytes_ = 0;
+  bool validate_structure_ = true;
+};
+
+/// Reads the artifact magic of `path`: 1 for v1 "BOLF", 2 for v2 "BOL2".
+/// Throws if the file cannot be read or matches neither.
+unsigned sniff_artifact_version(const std::string& path);
+
+}  // namespace bolt::artifact

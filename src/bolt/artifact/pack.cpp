@@ -1,0 +1,189 @@
+#include "bolt/artifact/pack.h"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "bolt/artifact/format.h"
+#include "util/crc32c.h"
+
+namespace bolt::artifact {
+namespace {
+
+/// Accumulates sections into one contiguous image: reserves aligned
+/// space, copies payloads, and records descriptors for backpatching.
+class ImageBuilder {
+ public:
+  explicit ImageBuilder(std::uint32_t num_sections) {
+    image_.resize(round_up_64(sizeof(FileHeader) +
+                              num_sections * sizeof(SectionDesc)),
+                  0);
+  }
+
+  template <class T>
+  void add(SectionKind kind, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SectionDesc d{};
+    d.kind = static_cast<std::uint32_t>(kind);
+    d.elem_size = sizeof(T);
+    d.size = count * sizeof(T);
+    d.offset = image_.size();  // already 64-aligned (invariant below)
+    if (count != 0) {
+      image_.resize(d.offset + d.size);
+      std::memcpy(image_.data() + d.offset, data, d.size);
+      d.crc = util::crc32c(data, d.size);
+      image_.resize(round_up_64(image_.size()), 0);
+    }
+    descs_.push_back(d);
+  }
+
+  template <class T>
+  void add(SectionKind kind, std::span<const T> s) {
+    add(kind, s.data(), s.size());
+  }
+
+  std::vector<std::uint8_t> finish() {
+    FileHeader h{};
+    h.magic = kMagicV2;
+    h.version_major = kVersionMajor;
+    h.version_minor = kVersionMinor;
+    h.endian_tag = kEndianTag;
+    h.abi_tag = current_abi_tag();
+    h.file_size = image_.size();
+    h.num_sections = static_cast<std::uint32_t>(descs_.size());
+    std::memcpy(image_.data() + sizeof(FileHeader), descs_.data(),
+                descs_.size() * sizeof(SectionDesc));
+    h.section_table_crc =
+        util::crc32c(descs_.data(), descs_.size() * sizeof(SectionDesc));
+    h.header_crc = 0;
+    h.header_crc = util::crc32c(&h, sizeof(h));
+    std::memcpy(image_.data(), &h, sizeof(h));
+    return std::move(image_);
+  }
+
+ private:
+  std::vector<std::uint8_t> image_;
+  std::vector<SectionDesc> descs_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> pack_v2(const core::BoltForest& bf) {
+  const auto& dict = bf.dictionary();
+  const auto& table = bf.table();
+  const auto& results = bf.results();
+  const auto& layout = bf.scan_layout();
+  const core::BloomFilter* bloom = bf.bloom();
+  const core::BoltConfig& cfg = bf.config();
+  const core::BuildStats& st = bf.stats();
+
+  MetaSection m{};
+  m.num_classes = bf.num_classes();
+  m.num_features = bf.num_features();
+  m.num_predicates = bf.space().size();
+  m.dict_num_entries = dict.num_entries();
+
+  m.cluster_threshold = cfg.cluster.threshold;
+  m.cluster_max_table_bits = cfg.cluster.max_table_bits;
+  m.cfg_table_strategy = static_cast<std::uint32_t>(cfg.table.strategy);
+  m.cfg_table_id_check = static_cast<std::uint32_t>(cfg.table.id_check);
+  m.cfg_use_bloom = cfg.use_bloom ? 1 : 0;
+  m.has_bloom = bloom != nullptr ? 1 : 0;
+  m.bloom_bits_per_key = cfg.bloom_bits_per_key;
+
+  m.stats_num_predicates = st.num_predicates;
+  m.stats_num_raw_paths = st.num_raw_paths;
+  m.stats_num_merged_paths = st.num_merged_paths;
+  m.stats_num_clusters = st.num_clusters;
+  m.stats_table_entries = st.table_entries;
+  m.stats_table_slots = st.table_slots;
+  m.stats_distinct_results = st.distinct_results;
+  m.stats_build_seconds = st.build_seconds;
+
+  const auto ts = table.scalars();
+  m.table_strategy = ts.strategy;
+  m.table_id_check = ts.id_check;
+  m.table_seed = ts.seed;
+  m.table_num_entries = ts.num_entries;
+  m.table_slot_mask = ts.slot_mask;
+  m.table_bucket_mask = ts.bucket_mask;
+
+  m.result_field_bits =
+      results.packed_available() ? results.packed_field_bits() : 0;
+
+  if (bloom != nullptr) {
+    m.bloom_seed = bloom->seed();
+    m.bloom_mask = bloom->bit_count() - 1;
+    m.bloom_k = bloom->num_hashes();
+  }
+
+  m.layout_num_entries = layout.num_entries();
+  m.layout_local_size = layout.local_size();
+
+  ImageBuilder ib(kNumSections);
+  ib.add(SectionKind::kMeta, &m, 1);
+  const auto sp = bf.space().pools();
+  ib.add(SectionKind::kPredicates, sp.predicates);
+
+  const auto dp = dict.pools();
+  ib.add(SectionKind::kDictWordOffsets, dp.word_offsets);
+  ib.add(SectionKind::kDictWords, dp.words);
+  ib.add(SectionKind::kDictAddrOffsets, dp.addr_offsets);
+  ib.add(SectionKind::kDictAddrPositions, dp.addr_positions);
+  ib.add(SectionKind::kDictAddrWordOffsets, dp.addr_word_offsets);
+  ib.add(SectionKind::kDictAddrWords, dp.addr_words);
+  ib.add(SectionKind::kDictCommonOffsets, dp.common_offsets);
+  ib.add(SectionKind::kDictCommonPool, dp.common_pool);
+
+  const auto tp = table.pools();
+  ib.add(SectionKind::kTableDisplacement, tp.displacement);
+  ib.add(SectionKind::kTableResultIdx, tp.result_idx);
+  ib.add(SectionKind::kTableKeys, tp.keys);
+  ib.add(SectionKind::kTableId8, tp.id8);
+
+  ib.add(SectionKind::kResultPool, results.raw());
+  ib.add(SectionKind::kResultPacked, results.packed_raw());
+
+  ib.add(SectionKind::kBloomBits,
+         bloom != nullptr ? bloom->bit_words()
+                          : std::span<const std::uint64_t>{});
+
+  ib.add(SectionKind::kLayoutBuckets, layout.buckets());
+  ib.add(SectionKind::kLayoutPerm, layout.perm_span());
+  ib.add(SectionKind::kLayoutWidx,
+         std::span<const std::uint32_t>{layout.widx(),
+                                        layout.plane_pool_size()});
+  ib.add(SectionKind::kLayoutMask,
+         std::span<const std::uint64_t>{layout.mask(),
+                                        layout.plane_pool_size()});
+  ib.add(SectionKind::kLayoutExpect,
+         std::span<const std::uint64_t>{layout.expect(),
+                                        layout.plane_pool_size()});
+
+  // Derived predicate-space indexes: redundant with kPredicates, stored
+  // so a mapped open borrows them instead of re-deriving (the dominant
+  // trusted-tier cold-start cost otherwise).
+  ib.add(SectionKind::kPredSoaFeatures, sp.soa_features);
+  ib.add(SectionKind::kPredSoaThresholds, sp.soa_thresholds);
+  ib.add(SectionKind::kPredFeatureOffsets, sp.feature_offsets);
+
+  return ib.finish();
+}
+
+void write_v2(const core::BoltForest& bf, std::ostream& out) {
+  const std::vector<std::uint8_t> image = pack_v2(bf);
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) throw std::runtime_error("artifact pack: write failed");
+}
+
+void write_v2_file(const core::BoltForest& bf, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("artifact pack: cannot open " + path);
+  write_v2(bf, out);
+  out.flush();
+  if (!out) throw std::runtime_error("artifact pack: write failed: " + path);
+}
+
+}  // namespace bolt::artifact

@@ -1,0 +1,24 @@
+// The v1 -> v2 compiler: serializes a built BoltForest into the flat
+// mmap-able "BOL2" layout (format.h). Packing is an offline step (`bolt
+// pack`); serving opens the result with MappedArtifact at zero pool
+// copies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bolt/builder.h"
+
+namespace bolt::artifact {
+
+/// Serializes `bf` as a v2 flat artifact. The whole image is assembled in
+/// memory (offsets and CRCs are backpatched into the header), so the
+/// stream is written in one pass.
+std::vector<std::uint8_t> pack_v2(const core::BoltForest& bf);
+
+void write_v2(const core::BoltForest& bf, std::ostream& out);
+void write_v2_file(const core::BoltForest& bf, const std::string& path);
+
+}  // namespace bolt::artifact

@@ -27,7 +27,7 @@ void BloomFilter::insert(std::uint32_t entry_id, std::uint64_t address) {
   std::uint64_t pos = h;
   for (unsigned i = 0; i < k_; ++i) {
     const std::uint64_t bit = pos & mask_;
-    bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+    bits_.mut(bit >> 6) |= std::uint64_t{1} << (bit & 63);
     pos += h2;
   }
 }
@@ -52,10 +52,32 @@ BloomFilter BloomFilter::load(std::istream& in) {
   bf.mask_ = util::get<std::uint64_t>(in);
   bf.k_ = util::get<unsigned>(in);
   bf.bits_ = util::get_vec<std::uint64_t>(in);
-  if (bf.bits_.size() * 64 != bf.mask_ + 1) {
+  bf.validate();
+  return bf;
+}
+
+BloomFilter BloomFilter::from_views(std::uint64_t seed, std::uint64_t mask,
+                                    unsigned k,
+                                    std::span<const std::uint64_t> bits) {
+  BloomFilter bf;
+  bf.seed_ = seed;
+  bf.mask_ = mask;
+  bf.k_ = k;
+  bf.bits_ = util::VecOrView<std::uint64_t>::view(bits.data(), bits.size());
+  bf.validate();
+  return bf;
+}
+
+void BloomFilter::validate() const {
+  // The empty-array case must be rejected explicitly: mask_ == 2^64-1
+  // makes mask_ + 1 wrap to 0 and the size check below would pass with no
+  // bits to index.
+  if (bits_.empty() || bits_.size() * 64 != mask_ + 1) {
     throw std::runtime_error("bloom load: bad geometry");
   }
-  return bf;
+  if (k_ < 1 || k_ > 64) {
+    throw std::runtime_error("bloom load: bad hash count");
+  }
 }
 
 }  // namespace bolt::core

@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "util/bits.h"
 #include "util/hash.h"
+#include "util/vec_view.h"
 
 namespace bolt::core {
 
@@ -54,11 +56,25 @@ class BloomFilter {
   void save(std::ostream& out) const;
   static BloomFilter load(std::istream& in);
 
+  std::uint64_t seed() const { return seed_; }
+  std::span<const std::uint64_t> bit_words() const { return bits_; }
+
+  /// Construct over a borrowed (mmap'd) bit array with load()-equivalent
+  /// validation (src/bolt/artifact/).
+  static BloomFilter from_views(std::uint64_t seed, std::uint64_t mask,
+                                unsigned k,
+                                std::span<const std::uint64_t> bits);
+
+  /// Heap bytes owned by the bit array (0 when mapped).
+  std::size_t owned_bytes() const { return bits_.owned_bytes(); }
+
  private:
+  void validate() const;
+
   std::uint64_t seed_ = 0x62100f11;
   std::uint64_t mask_ = 0;
   unsigned k_ = 1;
-  std::vector<std::uint64_t> bits_;
+  util::VecOrView<std::uint64_t> bits_;
 };
 
 }  // namespace bolt::core

@@ -196,6 +196,12 @@ BoltForest BoltForest::load_file(const std::string& path) {
   return load(in);
 }
 
+std::size_t BoltForest::owned_bytes() const {
+  return dict_.owned_bytes() + table_.owned_bytes() + results_.owned_bytes() +
+         space_.owned_bytes() + (bloom_ ? bloom_->owned_bytes() : 0) +
+         (layout_ ? layout_->owned_bytes() : 0);
+}
+
 std::size_t BoltForest::memory_bytes() const {
   return dict_.memory_bytes() + table_.memory_bytes() +
          results_.raw().size() * sizeof(float) +

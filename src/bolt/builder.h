@@ -20,6 +20,10 @@
 #include "forest/predicates.h"
 #include "forest/tree.h"
 
+namespace bolt::artifact {
+class MappedArtifact;
+}
+
 namespace bolt::core {
 
 struct BoltConfig {
@@ -72,6 +76,17 @@ class BoltForest {
   /// Total resident bytes of the inference structures.
   std::size_t memory_bytes() const;
 
+  /// True when the pools borrow a read-only file mapping (a v2 artifact
+  /// opened through bolt::artifact::MappedArtifact) instead of owning
+  /// heap storage.
+  bool mapped() const { return mapping_ != nullptr; }
+
+  /// Heap bytes owned by the dictionary/table/result/bloom/layout pools
+  /// and the predicate space — ~0 for a mapped forest (the zero-copy
+  /// accounting hook asserted by tests and reported by bench_coldstart).
+  /// The small bucket directory is excluded.
+  std::size_t owned_bytes() const;
+
   /// Serializes the built artifact (dictionary, recombined table, result
   /// pool, Bloom filter, predicate space, config, stats) so a compiled
   /// model can be shipped and served without re-running Phase 1.
@@ -81,6 +96,10 @@ class BoltForest {
   static BoltForest load_file(const std::string& path);
 
  private:
+  /// The v2 loader assembles a BoltForest from mapped section views the
+  /// same way load() does from a stream.
+  friend class bolt::artifact::MappedArtifact;
+
   BoltForest(forest::PredicateSpace space, std::size_t num_classes)
       : space_(std::move(space)), results_(num_classes),
         num_classes_(num_classes) {}
@@ -95,6 +114,10 @@ class BoltForest {
   std::size_t num_features_ = 0;
   BuildStats stats_;
   BoltConfig cfg_;
+  /// Keepalive for the mmap'd file a v2-loaded forest's pools borrow
+  /// (type-erased to avoid an include cycle; null when heap-built).
+  /// Copies of the forest share the mapping, so they stay cheap and safe.
+  std::shared_ptr<const void> mapping_;
 };
 
 }  // namespace bolt::core

@@ -33,8 +33,7 @@ Dictionary::Dictionary(std::span<const Cluster> clusters,
     for (const auto& [w, sw] : by_word) words_.push_back(sw);
     word_offsets_.push_back(static_cast<std::uint32_t>(words_.size()));
 
-    addr_positions_.insert(addr_positions_.end(), c.uncommon_preds.begin(),
-                           c.uncommon_preds.end());
+    addr_positions_.append(c.uncommon_preds.begin(), c.uncommon_preds.end());
     addr_offsets_.push_back(static_cast<std::uint32_t>(addr_positions_.size()));
 
     // PEXT windows: group the (ascending) uncommon predicates by word.
@@ -50,8 +49,7 @@ Dictionary::Dictionary(std::span<const Cluster> clusters,
     addr_word_offsets_.push_back(
         static_cast<std::uint32_t>(addr_words_.size()));
 
-    common_pool_.insert(common_pool_.end(), c.common_items.begin(),
-                        c.common_items.end());
+    common_pool_.append(c.common_items.begin(), c.common_items.end());
     common_offsets_.push_back(static_cast<std::uint32_t>(common_pool_.size()));
   }
 }
@@ -92,60 +90,110 @@ Dictionary Dictionary::load(std::istream& in) {
   d.addr_words_ = util::get_vec<AddrWord>(in);
   d.common_offsets_ = util::get_vec<std::uint32_t>(in);
   d.common_pool_ = util::get_vec<PathItem>(in);
-  if (d.word_offsets_.size() != d.num_entries_ + 1 ||
-      d.addr_offsets_.size() != d.num_entries_ + 1 ||
-      d.addr_word_offsets_.size() != d.num_entries_ + 1 ||
-      d.common_offsets_.size() != d.num_entries_ + 1) {
+  d.validate();
+  return d;
+}
+
+Dictionary Dictionary::from_views(std::size_t num_entries,
+                                  std::size_t num_predicates, const Views& v,
+                                  bool deep_validate) {
+  Dictionary d;
+  d.num_entries_ = num_entries;
+  d.num_predicates_ = num_predicates;
+  auto borrow = [](auto& dst, auto span) {
+    dst = std::remove_reference_t<decltype(dst)>::view(span.data(),
+                                                       span.size());
+  };
+  borrow(d.word_offsets_, v.word_offsets);
+  borrow(d.words_, v.words);
+  borrow(d.addr_offsets_, v.addr_offsets);
+  borrow(d.addr_positions_, v.addr_positions);
+  borrow(d.addr_word_offsets_, v.addr_word_offsets);
+  borrow(d.addr_words_, v.addr_words);
+  borrow(d.common_offsets_, v.common_offsets);
+  borrow(d.common_pool_, v.common_pool);
+  d.validate(deep_validate);
+  return d;
+}
+
+void Dictionary::validate(bool deep) const {
+  if (word_offsets_.size() != num_entries_ + 1 ||
+      addr_offsets_.size() != num_entries_ + 1 ||
+      addr_word_offsets_.size() != num_entries_ + 1 ||
+      common_offsets_.size() != num_entries_ + 1) {
     throw std::runtime_error("dictionary load: inconsistent offsets");
   }
   // Bounds validation so a corrupted artifact can never cause
-  // out-of-range reads during inference.
-  auto check_offsets = [&](const std::vector<std::uint32_t>& offs,
+  // out-of-range reads during inference. Every per-element check
+  // accumulates a violation flag branchlessly and throws once at the end:
+  // these passes stream megabytes on the v2 mmap cold-start path, and a
+  // throw branch per element defeats vectorization (docs/ARTIFACT_FORMAT.md
+  // "fixup rules" times this).
+  auto check_offsets = [&](std::span<const std::uint32_t> offs,
                            std::size_t pool) {
-    if (!offs.empty() && offs.front() != 0) {
-      throw std::runtime_error("dictionary load: offsets must start at 0");
-    }
-    for (std::size_t i = 1; i < offs.size(); ++i) {
-      if (offs[i] < offs[i - 1]) {
-        throw std::runtime_error("dictionary load: offsets not monotone");
-      }
-    }
-    if (!offs.empty() && offs.back() != pool) {
+    if (!offs.empty() && (offs.front() != 0 || offs.back() != pool)) {
       throw std::runtime_error("dictionary load: offsets/pool mismatch");
     }
+    if (!deep) return;
+    std::uint32_t bad = 0;
+    for (std::size_t i = 1; i < offs.size(); ++i) {
+      bad |= static_cast<std::uint32_t>(offs[i] < offs[i - 1]);
+    }
+    if (bad != 0) {
+      throw std::runtime_error("dictionary load: offsets not monotone");
+    }
   };
-  check_offsets(d.word_offsets_, d.words_.size());
-  check_offsets(d.addr_offsets_, d.addr_positions_.size());
-  check_offsets(d.addr_word_offsets_, d.addr_words_.size());
-  check_offsets(d.common_offsets_, d.common_pool_.size());
-  const std::size_t nwords = util::words_for_bits(d.num_predicates_);
-  for (const SparseWord& sw : d.words_) {
-    if (sw.word >= nwords || (sw.expect & ~sw.mask) != 0) {
-      throw std::runtime_error("dictionary load: bad sparse word");
-    }
+  check_offsets(word_offsets_, words_.size());
+  check_offsets(addr_offsets_, addr_positions_.size());
+  check_offsets(addr_word_offsets_, addr_words_.size());
+  check_offsets(common_offsets_, common_pool_.size());
+  if (!deep) return;
+  const std::size_t nwords = util::words_for_bits(num_predicates_);
+  std::uint32_t bad_word = 0;
+  for (const SparseWord& sw : words_) {
+    bad_word |= static_cast<std::uint32_t>(sw.word >= nwords) |
+                static_cast<std::uint32_t>((sw.expect & ~sw.mask) != 0);
   }
-  for (const AddrWord& aw : d.addr_words_) {
-    if (aw.word >= nwords) {
-      throw std::runtime_error("dictionary load: bad address word");
-    }
+  if (bad_word != 0) {
+    throw std::runtime_error("dictionary load: bad sparse word");
   }
-  for (std::uint32_t p : d.addr_positions_) {
-    if (p >= d.num_predicates_) {
-      throw std::runtime_error("dictionary load: position out of range");
-    }
+  std::uint32_t bad_addr = 0;
+  for (const AddrWord& aw : addr_words_) {
+    bad_addr |= static_cast<std::uint32_t>(aw.word >= nwords);
   }
-  for (PathItem item : d.common_pool_) {
-    if (item_pred(item) >= d.num_predicates_) {
-      throw std::runtime_error("dictionary load: item out of range");
-    }
+  if (bad_addr != 0) {
+    throw std::runtime_error("dictionary load: bad address word");
+  }
+  std::uint32_t bad_pos = 0;
+  for (std::uint32_t p : addr_positions_) {
+    bad_pos |= static_cast<std::uint32_t>(p >= num_predicates_);
+  }
+  if (bad_pos != 0) {
+    throw std::runtime_error("dictionary load: position out of range");
+  }
+  std::uint32_t bad_item = 0;
+  for (PathItem item : common_pool_) {
+    bad_item |= static_cast<std::uint32_t>(item_pred(item) >= num_predicates_);
+  }
+  if (bad_item != 0) {
+    throw std::runtime_error("dictionary load: item out of range");
   }
   // Per-entry address width must fit the 64-bit address path.
-  for (std::size_t e = 0; e < d.num_entries_; ++e) {
-    if (d.addr_offsets_[e + 1] - d.addr_offsets_[e] > 64) {
-      throw std::runtime_error("dictionary load: address too wide");
-    }
+  std::uint32_t bad_width = 0;
+  for (std::size_t e = 0; e < num_entries_; ++e) {
+    bad_width |=
+        static_cast<std::uint32_t>(addr_offsets_[e + 1] - addr_offsets_[e] > 64);
   }
-  return d;
+  if (bad_width != 0) {
+    throw std::runtime_error("dictionary load: address too wide");
+  }
+}
+
+std::size_t Dictionary::owned_bytes() const {
+  return word_offsets_.owned_bytes() + words_.owned_bytes() +
+         addr_offsets_.owned_bytes() + addr_positions_.owned_bytes() +
+         addr_word_offsets_.owned_bytes() + addr_words_.owned_bytes() +
+         common_offsets_.owned_bytes() + common_pool_.owned_bytes();
 }
 
 }  // namespace bolt::core

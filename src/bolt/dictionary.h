@@ -23,6 +23,7 @@
 
 #include "bolt/cluster.h"
 #include "util/bits.h"
+#include "util/vec_view.h"
 
 namespace bolt::core {
 
@@ -158,6 +159,36 @@ class Dictionary {
   void save(std::ostream& out) const;
   static Dictionary load(std::istream& in);
 
+  /// The dictionary's pools as borrowed read-only spans — how the v2
+  /// mapped artifact constructs a Dictionary in place over mmap'd sections
+  /// with zero copies (src/bolt/artifact/). Runs the same structural
+  /// validation as load(); the spans must outlive the Dictionary (the
+  /// owning BoltForest holds the MappedArtifact refcount).
+  struct Views {
+    std::span<const std::uint32_t> word_offsets;
+    std::span<const SparseWord> words;
+    std::span<const std::uint32_t> addr_offsets;
+    std::span<const std::uint32_t> addr_positions;
+    std::span<const std::uint32_t> addr_word_offsets;
+    std::span<const AddrWord> addr_words;
+    std::span<const std::uint32_t> common_offsets;
+    std::span<const PathItem> common_pool;
+  };
+  /// `deep_validate = false` is the trusted-artifact tier: only O(1)
+  /// shape checks run, the per-element bounds scans are skipped. Callers
+  /// must have established validity another way (pack-time self-check
+  /// plus section CRCs — see docs/ARTIFACT_FORMAT.md "trust tiers").
+  static Dictionary from_views(std::size_t num_entries,
+                               std::size_t num_predicates, const Views& v,
+                               bool deep_validate = true);
+
+  /// The raw pools as spans (the v2 pack writer serializes these verbatim
+  /// into sections; from_views() reconstructs from the mapped bytes).
+  Views pools() const {
+    return {word_offsets_,  words_,      addr_offsets_, addr_positions_,
+            addr_word_offsets_, addr_words_, common_offsets_, common_pool_};
+  }
+
   /// Address of an entry's first sparse word, for archsim tracing.
   /// (data()+offset, not operator[], so entries with empty masks — offset
   /// == size — stay well-defined.)
@@ -172,17 +203,27 @@ class Dictionary {
                sizeof(std::uint32_t);
   }
 
+  /// Heap bytes owned by the pools (0 for a fully mapped dictionary) —
+  /// the zero-copy accounting hook (tests, bench_coldstart).
+  std::size_t owned_bytes() const;
+
  private:
+  /// Structural validation shared by load() and from_views(): every
+  /// invariant inference relies on for memory safety. Throws on violation.
+  /// `deep` gates the O(n) per-element scans; the O(1) shape checks
+  /// always run.
+  void validate(bool deep = true) const;
+
   std::size_t num_entries_ = 0;
   std::size_t num_predicates_ = 0;
-  std::vector<std::uint32_t> word_offsets_;    // num_entries_ + 1
-  std::vector<SparseWord> words_;
-  std::vector<std::uint32_t> addr_offsets_;    // num_entries_ + 1
-  std::vector<std::uint32_t> addr_positions_;  // uncommon predicate ids
-  std::vector<std::uint32_t> addr_word_offsets_;  // num_entries_ + 1
-  std::vector<AddrWord> addr_words_;
-  std::vector<std::uint32_t> common_offsets_;  // num_entries_ + 1
-  std::vector<PathItem> common_pool_;
+  util::VecOrView<std::uint32_t> word_offsets_;    // num_entries_ + 1
+  util::VecOrView<SparseWord> words_;
+  util::VecOrView<std::uint32_t> addr_offsets_;    // num_entries_ + 1
+  util::VecOrView<std::uint32_t> addr_positions_;  // uncommon predicate ids
+  util::VecOrView<std::uint32_t> addr_word_offsets_;  // num_entries_ + 1
+  util::VecOrView<AddrWord> addr_words_;
+  util::VecOrView<std::uint32_t> common_offsets_;  // num_entries_ + 1
+  util::VecOrView<PathItem> common_pool_;
 };
 
 }  // namespace bolt::core

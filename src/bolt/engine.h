@@ -84,6 +84,15 @@ class BoltEngine final : public engines::Engine {
   /// Multiple engines (one per core) can share one artifact.
   explicit BoltEngine(const BoltForest& bf);
 
+  /// Shared-ownership form (the ModelHandle/hot-swap path): the engine
+  /// keeps the forest — and, for a mapped v2 artifact, its file mapping —
+  /// alive for its own lifetime, so a reload that drops the handle's
+  /// reference cannot pull storage out from under in-flight requests.
+  explicit BoltEngine(std::shared_ptr<const BoltForest> bf)
+      : BoltEngine(*bf) {
+    keepalive_ = std::move(bf);
+  }
+
   std::string_view name() const override { return "BOLT"; }
   std::size_t num_features() const override { return bf_.num_features(); }
   int predict(std::span<const float> x) override;
@@ -144,6 +153,7 @@ class BoltEngine final : public engines::Engine {
   void record_scan_metrics(std::uint64_t accepted,
                            std::int64_t elapsed_ns) const;
 
+  std::shared_ptr<const BoltForest> keepalive_;  // set by the shared ctor
   const BoltForest& bf_;
   const kernels::KernelOps& kernel_;  // dispatch decision, made once here
   util::BitVector bits_;

@@ -40,6 +40,7 @@
 
 #include "bolt/dictionary.h"
 #include "util/aligned.h"
+#include "util/vec_view.h"
 
 namespace bolt::kernels {
 
@@ -87,16 +88,52 @@ class ScanLayout {
   const std::uint64_t* mask() const { return mask_.data(); }
   const std::uint64_t* expect() const { return expect_.data(); }
 
+  /// Whole-pool spans for the v2 pack writer (the layout is serialized so
+  /// a mapped artifact skips the rebuild — the dominant v1 cold-start
+  /// cost).
+  std::span<const std::uint32_t> perm_span() const { return perm_; }
+  std::size_t plane_pool_size() const { return widx_.size(); }
+
+  /// Construct over borrowed 64-byte-aligned pools (the mmap'd v2
+  /// sections). Validates every geometric invariant the kernels and
+  /// engines trust — bucket packing, perm bounds, word indexes, and the
+  /// never-match property of padding lanes — against the owning
+  /// dictionary's entry count and predicate space, since a corrupted
+  /// layout that slipped a matching padding lane through would surface
+  /// kInvalidEntry as a real entry id downstream. Throws on violation.
+  /// `deep_validate = false` (the trusted-artifact tier) keeps the
+  /// alignment, size, and bucket-geometry replay checks — they are O(1)
+  /// in the pool size — but skips the per-lane widx/perm/padding scans.
+  static ScanLayout from_views(std::size_t num_entries, std::size_t local_size,
+                               std::span<const Bucket> buckets,
+                               std::span<const std::uint32_t> perm,
+                               std::span<const std::uint32_t> widx,
+                               std::span<const std::uint64_t> mask,
+                               std::span<const std::uint64_t> expect,
+                               std::size_t dict_num_entries,
+                               std::size_t num_predicates,
+                               bool deep_validate = true);
+
+  /// Heap bytes owned by the per-lane pools (0 when fully mapped; the
+  /// small bucket directory is always owned).
+  std::size_t owned_bytes() const {
+    return perm_.owned_bytes() + widx_.owned_bytes() + mask_.owned_bytes() +
+           expect_.owned_bytes();
+  }
+
   std::size_t memory_bytes() const;
 
  private:
   std::size_t num_entries_ = 0;
   std::size_t local_size_ = 0;
   std::vector<Bucket> buckets_;
-  std::vector<std::uint32_t> perm_;  // local -> entry id
-  util::aligned_vector<std::uint32_t> widx_;
-  util::aligned_vector<std::uint64_t> mask_;
-  util::aligned_vector<std::uint64_t> expect_;
+  util::VecOrView<std::uint32_t> perm_;  // local -> entry id
+  util::VecOrView<std::uint32_t, util::AlignedAllocator<std::uint32_t, 64>>
+      widx_;
+  util::VecOrView<std::uint64_t, util::AlignedAllocator<std::uint64_t, 64>>
+      mask_;
+  util::VecOrView<std::uint64_t, util::AlignedAllocator<std::uint64_t, 64>>
+      expect_;
 };
 
 /// One membership-kernel implementation. All functions fully define their

@@ -1,6 +1,10 @@
 #include "bolt/kernels/kernels.h"
 
 #include <map>
+#include <stdexcept>
+#include <string>
+
+#include "util/bits.h"
 
 namespace bolt::kernels {
 namespace {
@@ -49,23 +53,127 @@ ScanLayout::ScanLayout(const core::Dictionary& dict, std::size_t entry_begin,
     const Bucket& b = buckets_[bucket_i++];
     for (std::uint32_t i = 0; i < b.count; ++i) {
       const std::uint32_t e = ids[i];
-      perm_[b.local_base + i] = e;
+      perm_.mut(b.local_base + i) = e;
       const auto words = dict.sparse_words(e);
       for (std::uint32_t k = 0; k < b.width; ++k) {
         const std::size_t p =
             b.plane_offset + static_cast<std::size_t>(k) * b.padded + i;
-        widx_[p] = words[k].word;
-        mask_[p] = words[k].mask;
-        expect_[p] = words[k].expect;
+        widx_.mut(p) = words[k].word;
+        mask_.mut(p) = words[k].mask;
+        expect_.mut(p) = words[k].expect;
       }
     }
     // Padding lanes never match: plane 0 demands a set bit under an empty
     // mask, so their diff is non-zero for every input (the remaining
     // planes stay neutral). Word index 0 keeps their gathers in bounds.
     for (std::uint32_t i = b.count; i < b.padded && b.width > 0; ++i) {
-      expect_[b.plane_offset + i] = 1;
+      expect_.mut(b.plane_offset + i) = 1;
     }
   }
+}
+
+ScanLayout ScanLayout::from_views(std::size_t num_entries,
+                                  std::size_t local_size,
+                                  std::span<const Bucket> buckets,
+                                  std::span<const std::uint32_t> perm,
+                                  std::span<const std::uint32_t> widx,
+                                  std::span<const std::uint64_t> mask,
+                                  std::span<const std::uint64_t> expect,
+                                  std::size_t dict_num_entries,
+                                  std::size_t num_predicates,
+                                  bool deep_validate) {
+  auto fail = [](const char* what) {
+    throw std::runtime_error(std::string("scan layout load: ") + what);
+  };
+
+  // The kernels issue aligned vector loads over the plane pools.
+  for (const void* p : {static_cast<const void*>(widx.data()),
+                        static_cast<const void*>(mask.data()),
+                        static_cast<const void*>(expect.data())}) {
+    if (reinterpret_cast<std::uintptr_t>(p) % 64 != 0) {
+      fail("plane pools not 64-byte aligned");
+    }
+  }
+  if (mask.size() != widx.size() || expect.size() != widx.size()) {
+    fail("plane pool size mismatch");
+  }
+  if (local_size % 64 != 0 || perm.size() != local_size) {
+    fail("bad local index space");
+  }
+
+  // Replay the constructor's packing arithmetic: buckets must be exactly
+  // the deterministic layout build() produces (strictly ascending widths,
+  // sequential plane offsets, 64-aligned bases, kLanePad padding). This is
+  // both the simplest check to reason about and the strictest — any file
+  // that passes is indistinguishable from a rebuilt layout geometrically.
+  std::size_t pool = 0;
+  std::size_t base = 0;
+  std::size_t counted = 0;
+  std::uint32_t prev_width = 0;
+  bool first = true;
+  for (const Bucket& b : buckets) {
+    if (!first && b.width <= prev_width) fail("bucket widths not ascending");
+    first = false;
+    prev_width = b.width;
+    if (b.count == 0 || b.padded != round_up(b.count, kLanePad)) {
+      fail("bad bucket padding");
+    }
+    if (b.local_base != base || b.plane_offset != pool) {
+      fail("bucket offsets out of sequence");
+    }
+    pool += static_cast<std::size_t>(b.width) * b.padded;
+    base = round_up(base + b.padded, 64);
+    counted += b.count;
+  }
+  if (base != local_size || pool != widx.size() || counted != num_entries ||
+      num_entries > dict_num_entries) {
+    fail("bucket totals inconsistent");
+  }
+
+  if (deep_validate) {
+    // Branchless accumulate over the plane pool (streams on the mmap
+    // cold-start path; a throw branch per element defeats vectorization).
+    const std::size_t nwords = util::words_for_bits(num_predicates);
+    std::uint32_t bad_widx = 0;
+    for (std::uint32_t w : widx) {
+      bad_widx |= static_cast<std::uint32_t>(w >= nwords);
+    }
+    if (bad_widx != 0) fail("word index out of range");
+
+    // perm: real lanes must name a dictionary entry the engines can
+    // index; padding and gap lanes must be kInvalidEntry AND provably
+    // never match (plane 0 demands a bit under an empty mask), because
+    // the row kernels evaluate padding lanes and a matching one would
+    // surface kInvalidEntry as an entry id.
+    std::vector<char> is_real(local_size, 0);
+    for (const Bucket& b : buckets) {
+      for (std::uint32_t i = 0; i < b.count; ++i) {
+        if (perm[b.local_base + i] >= dict_num_entries) {
+          fail("perm out of range");
+        }
+        is_real[b.local_base + i] = 1;
+      }
+      for (std::uint32_t i = b.count; i < b.padded && b.width > 0; ++i) {
+        const std::size_t p = b.plane_offset + i;
+        if ((expect[p] & ~mask[p]) == 0) fail("padding lane can match");
+      }
+    }
+    for (std::size_t l = 0; l < local_size; ++l) {
+      if (!is_real[l] && perm[l] != kInvalidEntry) {
+        fail("gap lane not invalid");
+      }
+    }
+  }
+
+  ScanLayout s;
+  s.num_entries_ = num_entries;
+  s.local_size_ = local_size;
+  s.buckets_.assign(buckets.begin(), buckets.end());
+  s.perm_ = util::VecOrView<std::uint32_t>::view(perm.data(), perm.size());
+  s.widx_ = decltype(s.widx_)::view(widx.data(), widx.size());
+  s.mask_ = decltype(s.mask_)::view(mask.data(), mask.size());
+  s.expect_ = decltype(s.expect_)::view(expect.data(), expect.size());
+  return s;
 }
 
 std::size_t ScanLayout::memory_bytes() const {

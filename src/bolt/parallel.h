@@ -16,6 +16,7 @@
 // partitioned computation is equivalent to the single-core engine.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "bolt/builder.h"
@@ -36,6 +37,13 @@ class PartitionedBoltEngine {
  public:
   /// Borrows the artifact (must outlive the engine).
   PartitionedBoltEngine(const BoltForest& bf, const PartitionPlan& plan);
+
+  /// Shared-ownership form (ModelHandle/hot-swap path; see BoltEngine).
+  PartitionedBoltEngine(std::shared_ptr<const BoltForest> bf,
+                        const PartitionPlan& plan)
+      : PartitionedBoltEngine(*bf, plan) {
+    keepalive_ = std::move(bf);
+  }
 
   const PartitionPlan& plan() const { return plan_; }
 
@@ -106,6 +114,7 @@ class PartitionedBoltEngine {
   std::pair<std::size_t, std::size_t> dict_range(std::size_t part) const;
   std::pair<std::size_t, std::size_t> slot_range(std::size_t part) const;
 
+  std::shared_ptr<const BoltForest> keepalive_;  // set by the shared ctor
   const BoltForest& bf_;
   PartitionPlan plan_;
   const kernels::KernelOps& kernel_;  // dispatch decision, made once here

@@ -48,7 +48,7 @@ std::uint32_t ResultPool::intern(std::span<const float> votes) {
     }
   }
   const auto idx = static_cast<std::uint32_t>(size());
-  pool_.insert(pool_.end(), votes.begin(), votes.end());
+  pool_.append(votes.begin(), votes.end());
   it->second = idx;
   return idx;
 }
@@ -93,9 +93,7 @@ ResultPool ResultPool::load(std::istream& in) {
   pool.pool_ = util::get_vec<float>(in);
   pool.packed_ = util::get_vec<std::uint64_t>(in);
   pool.field_bits_ = util::get<unsigned>(in);
-  if (classes == 0 || pool.pool_.size() % classes != 0) {
-    throw std::runtime_error("result pool load: bad geometry");
-  }
+  pool.validate();
   // Rebuild the intern index so post-load intern() keeps deduplicating.
   for (std::size_t r = 0; r < pool.size(); ++r) {
     std::uint64_t h = 0x9e3779b97f4a7c15ULL;
@@ -107,6 +105,34 @@ ResultPool ResultPool::load(std::istream& in) {
     pool.index_.try_emplace(h, static_cast<std::uint32_t>(r));
   }
   return pool;
+}
+
+ResultPool ResultPool::from_views(std::size_t num_classes,
+                                  std::span<const float> pool,
+                                  std::span<const std::uint64_t> packed,
+                                  unsigned field_bits) {
+  ResultPool p(num_classes);
+  p.pool_ = util::VecOrView<float>::view(pool.data(), pool.size());
+  p.packed_ = util::VecOrView<std::uint64_t>::view(packed.data(),
+                                                   packed.size());
+  p.field_bits_ = field_bits;
+  p.validate();
+  return p;
+}
+
+void ResultPool::validate() const {
+  if (num_classes_ == 0 || pool_.size() % num_classes_ != 0) {
+    throw std::runtime_error("result pool load: bad geometry");
+  }
+  // The packed form is trusted by accumulate_packed/unpack: its row count
+  // must match the float pool and the field layout must fit one u64
+  // (an oversized field_bits would make unpack() shift by >= 64).
+  if (!packed_.empty()) {
+    if (packed_.size() != size() || field_bits_ == 0 ||
+        static_cast<std::size_t>(field_bits_) * num_classes_ > 64) {
+      throw std::runtime_error("result pool load: bad packed geometry");
+    }
+  }
 }
 
 std::size_t ResultPool::compressed_bytes() const {

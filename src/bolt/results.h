@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/vec_view.h"
+
 namespace bolt::core {
 
 class ResultPool {
@@ -37,7 +39,8 @@ class ResultPool {
     for (std::size_t c = 0; c < num_classes_; ++c) acc[c] += v[c];
   }
 
-  const std::vector<float>& raw() const { return pool_; }
+  std::span<const float> raw() const { return pool_; }
+  std::span<const std::uint64_t> packed_raw() const { return packed_; }
 
   /// Builds the packed-accumulation form: each vote vector packed into ONE
   /// u64 with fixed-width per-class fields, so the engine accumulates a
@@ -70,6 +73,20 @@ class ResultPool {
   void save(std::ostream& out) const;
   static ResultPool load(std::istream& in);
 
+  /// Construct over borrowed (mmap'd) pools with load()-equivalent
+  /// validation. The intern index is NOT rebuilt: a mapped pool is
+  /// immutable and serving never interns (src/bolt/artifact/).
+  static ResultPool from_views(std::size_t num_classes,
+                               std::span<const float> pool,
+                               std::span<const std::uint64_t> packed,
+                               unsigned field_bits);
+
+  /// Heap bytes owned by the vote pools (0 when fully mapped; the intern
+  /// index is excluded — it is empty for mapped pools).
+  std::size_t owned_bytes() const {
+    return pool_.owned_bytes() + packed_.owned_bytes();
+  }
+
   /// Bytes of the knee-point compressed representation: votes quantized to
   /// integers where exact (plain random forests always are), stored with
   /// the bit width covering the 99th percentile of values; larger values
@@ -83,10 +100,13 @@ class ResultPool {
   }
 
  private:
+  /// Geometry validation shared by load() and from_views().
+  void validate() const;
+
   std::size_t num_classes_;
-  std::vector<float> pool_;  // size() * num_classes_, row-major
+  util::VecOrView<float> pool_;  // size() * num_classes_, row-major
   std::unordered_map<std::uint64_t, std::uint32_t> index_;
-  std::vector<std::uint64_t> packed_;  // empty unless finalize_packed succeeded
+  util::VecOrView<std::uint64_t> packed_;  // empty unless finalize_packed ok
   unsigned field_bits_ = 0;
 };
 

@@ -52,11 +52,11 @@ RecombinedTable RecombinedTable::build(const std::vector<TableEntry>& entries,
   };
 
   auto store = [&](std::size_t slot, const TableEntry& e) {
-    t.result_idx_[slot] = e.result_idx;
+    t.result_idx_.mut(slot) = e.result_idx;
     if (cfg.id_check == IdCheck::kExact) {
-      t.keys_[slot] = pack_key(e.entry_id, e.address);
+      t.keys_.mut(slot) = pack_key(e.entry_id, e.address);
     } else {
-      t.id8_[slot] = static_cast<std::uint8_t>(e.entry_id);
+      t.id8_.mut(slot) = static_cast<std::uint8_t>(e.entry_id);
     }
   };
 
@@ -157,7 +157,7 @@ RecombinedTable RecombinedTable::build(const std::vector<TableEntry>& entries,
             used[placed[k]] = 1;
             store(placed[k], entries[members[k]]);
           }
-          t.displacement_[b] = d;
+          t.displacement_.mut(b) = d;
           found = true;
           break;
         }
@@ -197,25 +197,47 @@ RecombinedTable RecombinedTable::load(std::istream& in) {
   t.result_idx_ = util::get_vec<std::uint32_t>(in);
   t.keys_ = util::get_vec<std::uint64_t>(in);
   t.id8_ = util::get_vec<std::uint8_t>(in);
-  if (t.result_idx_.size() != static_cast<std::size_t>(t.slot_mask_) + 1) {
-    throw std::runtime_error("table load: slot count mismatch");
-  }
-  if (t.strategy_ == TableStrategy::kDisplacement &&
-      t.displacement_.size() != static_cast<std::size_t>(t.bucket_mask_) + 1) {
-    throw std::runtime_error("table load: displacement size mismatch");
-  }
-  if (t.id_check_ == IdCheck::kExact) {
-    if (t.keys_.size() != t.result_idx_.size()) {
-      throw std::runtime_error("table load: key array size mismatch");
-    }
-  } else if (t.id8_.size() != t.result_idx_.size()) {
-    throw std::runtime_error("table load: id8 array size mismatch");
-  }
-  if (static_cast<std::uint32_t>(t.strategy_) > 1 ||
-      static_cast<std::uint32_t>(t.id_check_) > 1) {
+  t.validate();
+  return t;
+}
+
+RecombinedTable RecombinedTable::from_views(const Scalars& s, const Views& v) {
+  RecombinedTable t;
+  t.strategy_ = static_cast<TableStrategy>(s.strategy);
+  t.id_check_ = static_cast<IdCheck>(s.id_check);
+  t.seed_ = s.seed;
+  t.num_entries_ = static_cast<std::size_t>(s.num_entries);
+  t.slot_mask_ = s.slot_mask;
+  t.bucket_mask_ = s.bucket_mask;
+  t.displacement_ = util::VecOrView<std::uint32_t>::view(v.displacement.data(),
+                                                         v.displacement.size());
+  t.result_idx_ = util::VecOrView<std::uint32_t>::view(v.result_idx.data(),
+                                                       v.result_idx.size());
+  t.keys_ = util::VecOrView<std::uint64_t>::view(v.keys.data(), v.keys.size());
+  t.id8_ = util::VecOrView<std::uint8_t>::view(v.id8.data(), v.id8.size());
+  t.validate();
+  return t;
+}
+
+void RecombinedTable::validate() const {
+  if (static_cast<std::uint32_t>(strategy_) > 1 ||
+      static_cast<std::uint32_t>(id_check_) > 1) {
     throw std::runtime_error("table load: bad enum value");
   }
-  return t;
+  if (result_idx_.size() != static_cast<std::size_t>(slot_mask_) + 1) {
+    throw std::runtime_error("table load: slot count mismatch");
+  }
+  if (strategy_ == TableStrategy::kDisplacement &&
+      displacement_.size() != static_cast<std::size_t>(bucket_mask_) + 1) {
+    throw std::runtime_error("table load: displacement size mismatch");
+  }
+  if (id_check_ == IdCheck::kExact) {
+    if (keys_.size() != result_idx_.size()) {
+      throw std::runtime_error("table load: key array size mismatch");
+    }
+  } else if (id8_.size() != result_idx_.size()) {
+    throw std::runtime_error("table load: id8 array size mismatch");
+  }
 }
 
 std::size_t RecombinedTable::memory_bytes() const {

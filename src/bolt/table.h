@@ -31,10 +31,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/vec_view.h"
 
 namespace bolt::core {
 
@@ -139,13 +141,59 @@ class RecombinedTable {
   void save(std::ostream& out) const;
   static RecombinedTable load(std::istream& in);
 
+  /// Scalar header fields the v2 artifact stores in its meta section.
+  struct Scalars {
+    std::uint32_t strategy;
+    std::uint32_t id_check;
+    std::uint64_t seed;
+    std::uint64_t num_entries;
+    std::uint32_t slot_mask;
+    std::uint32_t bucket_mask;
+  };
+  Scalars scalars() const {
+    return {static_cast<std::uint32_t>(strategy_),
+            static_cast<std::uint32_t>(id_check_),
+            seed_,
+            num_entries_,
+            slot_mask_,
+            bucket_mask_};
+  }
+  /// The probe-side arrays as spans (v2 pack writer / mapped loader).
+  struct Views {
+    std::span<const std::uint32_t> displacement;
+    std::span<const std::uint32_t> result_idx;
+    std::span<const std::uint64_t> keys;
+    std::span<const std::uint8_t> id8;
+  };
+  Views pools() const { return {displacement_, result_idx_, keys_, id8_}; }
+  /// Construct over borrowed (mmap'd) arrays with full load() validation;
+  /// the spans must outlive the table (src/bolt/artifact/).
+  static RecombinedTable from_views(const Scalars& s, const Views& v);
+
+  /// Heap bytes owned by the arrays (0 when fully mapped).
+  std::size_t owned_bytes() const {
+    return displacement_.owned_bytes() + result_idx_.owned_bytes() +
+           keys_.owned_bytes() + id8_.owned_bytes();
+  }
+
   /// Throws unless every occupied slot's result index is < pool_size
   /// (artifact-load validation).
   void validate_result_indices(std::size_t pool_size) const {
+    // Branchless accumulation: the slot array is the largest table section
+    // and this runs on the v2 mmap cold-start path — a per-element throw
+    // branch defeats vectorization. kEmpty is the u32 max, so clamping the
+    // pool size to kEmpty makes "r != kEmpty && r >= pool_size" a single
+    // range test.
+    const std::uint32_t limit =
+        pool_size >= kEmpty ? kEmpty
+                            : static_cast<std::uint32_t>(pool_size);
+    std::uint32_t bad = 0;
     for (std::uint32_t r : result_idx_) {
-      if (r != kEmpty && r >= pool_size) {
-        throw std::runtime_error("table: result index out of range");
-      }
+      bad |= static_cast<std::uint32_t>(r != kEmpty) &
+             static_cast<std::uint32_t>(r >= limit);
+    }
+    if (bad != 0) {
+      throw std::runtime_error("table: result index out of range");
     }
   }
 
@@ -171,16 +219,19 @@ class RecombinedTable {
     return static_cast<std::size_t>((h + d * h2) & slot_mask);
   }
 
+  /// Structural validation shared by load() and from_views().
+  void validate() const;
+
   TableStrategy strategy_ = TableStrategy::kDisplacement;
   IdCheck id_check_ = IdCheck::kExact;
   std::uint64_t seed_ = 0;
   std::size_t num_entries_ = 0;
   std::uint32_t slot_mask_ = 0;
   std::uint32_t bucket_mask_ = 0;          // displacement only
-  std::vector<std::uint32_t> displacement_;  // displacement only
-  std::vector<std::uint32_t> result_idx_;    // kEmpty when unused
-  std::vector<std::uint64_t> keys_;          // kExact
-  std::vector<std::uint8_t> id8_;            // kByte
+  util::VecOrView<std::uint32_t> displacement_;  // displacement only
+  util::VecOrView<std::uint32_t> result_idx_;    // kEmpty when unused
+  util::VecOrView<std::uint64_t> keys_;          // kExact
+  util::VecOrView<std::uint8_t> id8_;            // kByte
 };
 
 }  // namespace bolt::core

@@ -1,6 +1,7 @@
 #include "forest/predicates.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/binio.h"
@@ -31,21 +32,30 @@ PredicateSpace::PredicateSpace(const Forest& forest)
 }
 
 void PredicateSpace::build_indexes() {
-  soa_features_.clear();
-  soa_thresholds_.clear();
-  soa_features_.reserve(predicates_.size());
-  soa_thresholds_.reserve(predicates_.size());
+  std::vector<std::int32_t> feats;
+  std::vector<float> thrs;
+  feats.reserve(predicates_.size());
+  thrs.reserve(predicates_.size());
   for (const Predicate& p : predicates_) {
-    soa_features_.push_back(static_cast<std::int32_t>(p.feature));
-    soa_thresholds_.push_back(p.threshold);
+    feats.push_back(static_cast<std::int32_t>(p.feature));
+    thrs.push_back(p.threshold);
   }
+  soa_features_ = std::move(feats);
+  soa_thresholds_ = std::move(thrs);
 
-  used_features_ = 0;
-  feature_offsets_.assign(num_features_ + 1, 0);
-  for (const Predicate& p : predicates_) ++feature_offsets_[p.feature + 1];
+  std::vector<std::uint32_t> offs(num_features_ + 1, 0);
+  for (const Predicate& p : predicates_) ++offs[p.feature + 1];
   for (std::size_t f = 0; f < num_features_; ++f) {
-    if (feature_offsets_[f + 1] != 0) ++used_features_;
-    feature_offsets_[f + 1] += feature_offsets_[f];
+    offs[f + 1] += offs[f];
+  }
+  feature_offsets_ = std::move(offs);
+  count_used_features();
+}
+
+void PredicateSpace::count_used_features() {
+  used_features_ = 0;
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    if (feature_offsets_[f + 1] != feature_offsets_[f]) ++used_features_;
   }
 }
 
@@ -67,6 +77,83 @@ PredicateSpace PredicateSpace::load(std::istream& in) {
     }
   }
   space.build_indexes();
+  return space;
+}
+
+PredicateSpace PredicateSpace::from_predicates(
+    std::size_t num_features, std::span<const Predicate> predicates) {
+  PredicateSpace space;
+  space.num_features_ = num_features;
+  if (space.num_features_ > (1ull << 32)) {
+    throw std::runtime_error("predicate space load: implausible arity");
+  }
+  space.predicates_ =
+      std::vector<Predicate>(predicates.begin(), predicates.end());
+  for (const Predicate& p : space.predicates_) {
+    if (p.feature >= space.num_features_) {
+      throw std::runtime_error("predicate space load: feature out of range");
+    }
+  }
+  space.build_indexes();
+  return space;
+}
+
+PredicateSpace PredicateSpace::from_views(std::size_t num_features,
+                                          const Views& v,
+                                          bool deep_validate) {
+  auto fail = [](const char* what) {
+    throw std::runtime_error(std::string("predicate space load: ") + what);
+  };
+  PredicateSpace space;
+  space.num_features_ = num_features;
+  if (num_features > (1ull << 32)) fail("implausible arity");
+  const std::size_t n = v.predicates.size();
+  if (v.soa_features.size() != n || v.soa_thresholds.size() != n) {
+    fail("SoA mirror size mismatch");
+  }
+  if (v.feature_offsets.size() != num_features + 1) {
+    fail("feature index size mismatch");
+  }
+  if (num_features > 0 &&
+      (v.feature_offsets.front() != 0 || v.feature_offsets.back() != n)) {
+    fail("feature index does not cover predicates");
+  }
+  if (deep_validate) {
+    // The mirrors and the CSR index are redundant with the predicate
+    // array; re-derive element-wise (branchless accumulate — these
+    // stream on the mmap cold-start path).
+    std::uint32_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Predicate& p = v.predicates[i];
+      bad |= static_cast<std::uint32_t>(p.feature >= num_features);
+      bad |= static_cast<std::uint32_t>(
+          v.soa_features[i] != static_cast<std::int32_t>(p.feature));
+      // Bitwise float compare: NaN thresholds must round-trip too.
+      bad |= static_cast<std::uint32_t>(
+          std::memcmp(&v.soa_thresholds[i], &p.threshold, sizeof(float)) != 0);
+    }
+    if (bad != 0) fail("SoA mirror disagrees with predicates");
+    std::uint32_t bad_off = 0;
+    for (std::size_t f = 0; f < num_features; ++f) {
+      bad_off |= static_cast<std::uint32_t>(v.feature_offsets[f + 1] <
+                                            v.feature_offsets[f]);
+    }
+    if (bad_off != 0) fail("feature index not monotone");
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t f = v.predicates[i].feature;
+      bad_off |= static_cast<std::uint32_t>(i < v.feature_offsets[f]) |
+                 static_cast<std::uint32_t>(i >= v.feature_offsets[f + 1]);
+    }
+    if (bad_off != 0) fail("feature index disagrees with predicates");
+  }
+  space.predicates_ = util::VecOrView<Predicate>::view(v.predicates.data(), n);
+  space.soa_features_ =
+      util::VecOrView<std::int32_t>::view(v.soa_features.data(), n);
+  space.soa_thresholds_ =
+      util::VecOrView<float>::view(v.soa_thresholds.data(), n);
+  space.feature_offsets_ = util::VecOrView<std::uint32_t>::view(
+      v.feature_offsets.data(), v.feature_offsets.size());
+  space.count_used_features();
   return space;
 }
 

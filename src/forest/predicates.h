@@ -16,6 +16,7 @@
 
 #include "forest/tree.h"
 #include "util/bits.h"
+#include "util/vec_view.h"
 
 namespace bolt::forest {
 
@@ -65,19 +66,55 @@ class PredicateSpace {
   void save(std::ostream& out) const;
   static PredicateSpace load(std::istream& in);
 
+  /// Reconstruction from a v2 artifact's predicate section, with load()'s
+  /// validation. The predicates are copied and the SoA mirrors and CSR
+  /// index re-derived (the fallback when an artifact lacks the derived
+  /// sections; from_views is the zero-copy path).
+  static PredicateSpace from_predicates(std::size_t num_features,
+                                        std::span<const Predicate> predicates);
+
+  /// The raw arrays as spans (the v2 pack writer serializes all four —
+  /// including the derived SoA mirrors and CSR index — so from_views()
+  /// can borrow them instead of re-deriving on every open).
+  struct Views {
+    std::span<const Predicate> predicates;
+    std::span<const std::int32_t> soa_features;
+    std::span<const float> soa_thresholds;
+    std::span<const std::uint32_t> feature_offsets;
+  };
+  Views pools() const {
+    return {predicates_, soa_features_, soa_thresholds_, feature_offsets_};
+  }
+
+  /// Construct over borrowed (mmap'd) arrays; zero copies, the spans must
+  /// outlive the space. `deep_validate = false` (the trusted-artifact
+  /// tier) runs only O(1)/O(num_features) consistency checks; true
+  /// re-derives nothing but verifies every element of the mirrors and
+  /// index against the predicate array.
+  static PredicateSpace from_views(std::size_t num_features, const Views& v,
+                                   bool deep_validate = true);
+
+  /// Heap bytes owned by the arrays (0 when fully mapped).
+  std::size_t owned_bytes() const {
+    return predicates_.owned_bytes() + soa_features_.owned_bytes() +
+           soa_thresholds_.owned_bytes() + feature_offsets_.owned_bytes();
+  }
+
  private:
   PredicateSpace() = default;
   /// Rebuilds SoA mirrors and CSR indexes from predicates_/num_features_.
   void build_indexes();
+  /// Recomputes used_features_ from the CSR index.
+  void count_used_features();
 
-  std::vector<Predicate> predicates_;
+  util::VecOrView<Predicate> predicates_;
   // Structure-of-arrays mirror of predicates_ for the vectorized
   // (gather/compare/movemask) binarization path.
-  std::vector<std::int32_t> soa_features_;
-  std::vector<float> soa_thresholds_;
+  util::VecOrView<std::int32_t> soa_features_;
+  util::VecOrView<float> soa_thresholds_;
   // CSR-style index: for each input feature, the contiguous range of its
   // predicate IDs (predicates are sorted by feature then threshold).
-  std::vector<std::uint32_t> feature_offsets_;
+  util::VecOrView<std::uint32_t> feature_offsets_;
   std::size_t num_features_ = 0;
   std::size_t used_features_ = 0;
 };

@@ -101,6 +101,9 @@ InferenceServer::InferenceServer(
   auto build_labels = util::build_info_labels();
   build_labels.emplace_back("kernel", kernels::select_kernel().label);
   build_labels.emplace_back("cpu", util::cpu_features_summary());
+  for (const auto& [k, v] : options_.extra_build_labels) {
+    build_labels.emplace_back(k, v);
+  }
   metrics_.set_build_info(std::move(build_labels));
 }
 

@@ -12,6 +12,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "baselines/engine.h"
@@ -85,6 +86,11 @@ struct ServerOptions {
   /// -1 disables the endpoint, 0 binds a kernel-assigned ephemeral port
   /// (tests; read it back via metrics_http_port()), >0 binds that port.
   std::int32_t metrics_port = -1;
+  /// Extra labels appended to bolt_build_info (STATS and /metrics) beside
+  /// the compiled-in and runtime-dispatch facts — the serve front end
+  /// reports the model artifact's version (1=v1 heap, 2=v2 mapped),
+  /// storage mode, and checksum-verification status here.
+  std::vector<std::pair<std::string, std::string>> extra_build_labels = {};
 };
 
 /// Serves one engine on a UNIX-domain-socket path. Connections are handled

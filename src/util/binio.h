@@ -30,12 +30,30 @@ T get(std::istream& in) {
   return v;
 }
 
-template <class T>
-  requires std::is_trivially_copyable_v<T>
-void put_vec(std::ostream& out, const std::vector<T>& v) {
+/// Accepts any contiguous container of trivially-copyable elements
+/// (std::vector, util::aligned_vector, util::VecOrView, std::span).
+template <class Vec>
+  requires std::is_trivially_copyable_v<typename Vec::value_type>
+void put_vec(std::ostream& out, const Vec& v) {
   put(out, static_cast<std::uint64_t>(v.size()));
   out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+            static_cast<std::streamsize>(v.size() *
+                                         sizeof(typename Vec::value_type)));
+}
+
+/// Bytes between the stream's current position and its end, or UINT64_MAX
+/// when the stream is not seekable (pipes). Restores the read position.
+inline std::uint64_t remaining_bytes(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    in.clear();
+    return ~std::uint64_t{0};
+  }
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (!in || end == std::istream::pos_type(-1) || end < pos) return 0;
+  return static_cast<std::uint64_t>(end - pos);
 }
 
 template <class T>
@@ -43,8 +61,16 @@ template <class T>
 std::vector<T> get_vec(std::istream& in, std::uint64_t max_elems = 1ull << 28) {
   const auto n = get<std::uint64_t>(in);
   if (n > max_elems) throw std::runtime_error("binio: implausible size");
-  // Read in bounded chunks: a corrupted length field then costs memory
-  // proportional to the bytes actually present, not to the claimed size.
+  // On seekable streams, reject a count the remaining bytes cannot satisfy
+  // BEFORE any allocation. Divide rather than multiply: n * sizeof(T) on a
+  // hostile 64-bit count can wrap and pass a `<= remaining` check.
+  const std::uint64_t remaining = remaining_bytes(in);
+  if (remaining != ~std::uint64_t{0} && n > remaining / sizeof(T)) {
+    throw std::runtime_error("binio: truncated stream (count exceeds bytes)");
+  }
+  // Read in bounded chunks: on a non-seekable stream a corrupted length
+  // field then costs memory proportional to the bytes actually present,
+  // not to the claimed size.
   constexpr std::uint64_t kChunkElems = 1ull << 16;
   std::vector<T> v;
   std::uint64_t done = 0;

@@ -1,0 +1,91 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <atomic>
+
+#include "util/cpu_features.h"
+
+namespace bolt::util {
+
+#if defined(BOLT_HAVE_CRC32C_SSE42)
+// Defined in crc32c_sse42.cpp (the only TU built with -msse4.2).
+std::uint32_t crc32c_hw(const void* data, std::size_t len, std::uint32_t seed);
+#endif
+
+namespace {
+
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table for the
+// reflected Castagnoli polynomial; table[k][b] extends a CRC whose low byte
+// is b across k additional zero bytes. Built once at first use.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32cTables& tables() {
+  static const Crc32cTables t;
+  return t;
+}
+
+using CrcFn = std::uint32_t (*)(const void*, std::size_t, std::uint32_t);
+
+std::uint32_t crc32c_resolve(const void* data, std::size_t len,
+                             std::uint32_t seed);
+
+std::atomic<CrcFn> crc32c_dispatch{&crc32c_resolve};
+
+std::uint32_t crc32c_resolve(const void* data, std::size_t len,
+                             std::uint32_t seed) {
+  CrcFn fn = &crc32c_sw;
+#if defined(BOLT_HAVE_CRC32C_SSE42)
+  if (cpu_features().sse42) fn = &crc32c_hw;
+#endif
+  crc32c_dispatch.store(fn, std::memory_order_relaxed);
+  return fn(data, len, seed);
+}
+
+}  // namespace
+
+std::uint32_t crc32c_sw(const void* data, std::size_t len,
+                        std::uint32_t seed) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  // Align to 8 so the word loop reads naturally-aligned u64s.
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    c = t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+    --len;
+  }
+  while (len >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    w ^= c;
+    c = t[7][w & 0xff] ^ t[6][(w >> 8) & 0xff] ^ t[5][(w >> 16) & 0xff] ^
+        t[4][(w >> 24) & 0xff] ^ t[3][(w >> 32) & 0xff] ^
+        t[2][(w >> 40) & 0xff] ^ t[1][(w >> 48) & 0xff] ^ t[0][w >> 56];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) c = t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+  return ~c;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  return crc32c_dispatch.load(std::memory_order_relaxed)(data, len, seed);
+}
+
+}  // namespace bolt::util

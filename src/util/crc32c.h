@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected 0x82F63B78) — the
+// per-section checksum of the v2 flat artifact (docs/ARTIFACT_FORMAT.md).
+// Chosen over CRC32 (IEEE) because x86-64 carries it as an instruction
+// (SSE4.2 `crc32`), so verifying a mapped artifact runs at memory speed.
+// Software fallback is slicing-by-8; the hardware path lives in its own TU
+// compiled with -msse4.2 and is selected at runtime via util::cpu_features,
+// mirroring the PEXT dispatch in util/bits.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bolt::util {
+
+/// CRC32C of `len` bytes starting at `data`, continuing from `seed` (pass 0
+/// for a fresh checksum; chain calls by passing the previous return value).
+/// The seed/result are the plain (non-inverted) CRC value.
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+/// Portable slicing-by-8 implementation (the oracle the hardware path is
+/// tested against; also the only path on non-x86 or pre-SSE4.2 hosts).
+std::uint32_t crc32c_sw(const void* data, std::size_t len,
+                        std::uint32_t seed = 0);
+
+}  // namespace bolt::util

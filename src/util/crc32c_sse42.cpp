@@ -1,0 +1,30 @@
+// Hardware CRC32C: the only TU compiled with -msse4.2. Selected at runtime
+// by crc32c.cpp when CPUID reports SSE4.2, so the binary stays legal on
+// older CPUs (same pattern as pext_bmi2.cpp).
+#include <cstddef>
+#include <cstdint>
+
+#include <nmmintrin.h>
+
+namespace bolt::util {
+
+std::uint32_t crc32c_hw(const void* data, std::size_t len,
+                        std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t c = ~seed;
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    c = _mm_crc32_u8(static_cast<std::uint32_t>(c), *p++);
+    --len;
+  }
+  while (len >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) c = _mm_crc32_u8(static_cast<std::uint32_t>(c), *p++);
+  return ~static_cast<std::uint32_t>(c);
+}
+
+}  // namespace bolt::util

@@ -1,0 +1,165 @@
+// Owning-or-borrowed contiguous storage: the substrate that lets one set of
+// model structures (Dictionary, RecombinedTable, ResultPool, BloomFilter,
+// ScanLayout) serve both lifecycles —
+//   * heap-built / v1-deserialized: the container OWNS a vector, and every
+//     builder-side mutator (reserve/push_back/append/assign/resize) works
+//     exactly like std::vector;
+//   * v2 mmap-loaded: the container BORROWS a read-only span inside the
+//     mapping (zero copies; docs/ARTIFACT_FORMAT.md "v2 fixup rules"), and
+//     lifetime is guaranteed by the MappedArtifact refcount held by the
+//     owning BoltForest.
+// Hot paths read through a cached raw pointer, so codegen for data()/
+// operator[] is identical to a plain vector member in both modes.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace bolt::util {
+
+template <class T, class Alloc = std::allocator<T>>
+class VecOrView {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  VecOrView() = default;
+
+  /// Take ownership of an already-built vector.
+  VecOrView(std::vector<T, Alloc>&& v) : owned_(std::move(v)) { sync(); }
+  VecOrView& operator=(std::vector<T, Alloc>&& v) {
+    owned_ = std::move(v);
+    view_ = false;
+    sync();
+    return *this;
+  }
+  /// Cross-allocator adoption copies element-wise into owned storage (used
+  /// by binio get_vec, which always returns a default-allocator vector).
+  template <class A2>
+  VecOrView& operator=(std::vector<T, A2>&& v) {
+    owned_.assign(v.begin(), v.end());
+    view_ = false;
+    sync();
+    return *this;
+  }
+
+  /// Borrow read-only storage owned elsewhere (the mmap case). The caller
+  /// is responsible for keeping [p, p+n) alive and immutable for the
+  /// container's lifetime.
+  static VecOrView view(const T* p, std::size_t n) {
+    VecOrView v;
+    v.view_ = true;
+    v.data_ = p;
+    v.size_ = n;
+    return v;
+  }
+
+  // Copies duplicate owned storage (and re-point at the copy) but share
+  // borrowed storage — exactly the semantics BoltForest copies need.
+  VecOrView(const VecOrView& o) : owned_(o.owned_), view_(o.view_) {
+    data_ = view_ ? o.data_ : owned_.data();
+    size_ = o.size_;
+  }
+  VecOrView(VecOrView&& o) noexcept
+      : owned_(std::move(o.owned_)), view_(o.view_) {
+    // Moving a std::vector transfers its heap buffer, so the cached
+    // pointer stays valid in both modes.
+    data_ = o.data_;
+    size_ = o.size_;
+    o.view_ = false;
+    o.sync();
+  }
+  VecOrView& operator=(const VecOrView& o) {
+    if (this != &o) {
+      owned_ = o.owned_;
+      view_ = o.view_;
+      data_ = view_ ? o.data_ : owned_.data();
+      size_ = o.size_;
+    }
+    return *this;
+  }
+  VecOrView& operator=(VecOrView&& o) noexcept {
+    if (this != &o) {
+      owned_ = std::move(o.owned_);
+      view_ = o.view_;
+      data_ = o.data_;
+      size_ = o.size_;
+      o.view_ = false;
+      o.sync();
+    }
+    return *this;
+  }
+
+  bool is_view() const { return view_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  operator std::span<const T>() const { return {data_, size_}; }
+
+  /// Bytes of heap this container owns (0 when borrowing) — the accounting
+  /// hook behind the zero-copy assertion in tests and bench_coldstart.
+  std::size_t owned_bytes() const { return owned_.size() * sizeof(T); }
+
+  // Builder-side mutators: legal only while owning (asserted). Each keeps
+  // the cached pointer in sync with the vector's buffer. Element mutation
+  // is spelled mut(i), NOT a non-const operator[] — an operator[] overload
+  // would silently shadow the read path on any non-const object and read
+  // the (empty) owned vector in view mode.
+  T& mut(std::size_t i) {
+    assert(!view_);
+    return owned_[i];
+  }
+  void reserve(std::size_t n) {
+    assert(!view_);
+    owned_.reserve(n);
+    sync();
+  }
+  void resize(std::size_t n) {
+    assert(!view_);
+    owned_.resize(n);
+    sync();
+  }
+  void assign(std::size_t n, const T& v) {
+    assert(!view_);
+    owned_.assign(n, v);
+    sync();
+  }
+  void clear() {
+    owned_.clear();
+    view_ = false;
+    sync();
+  }
+  void push_back(const T& v) {
+    assert(!view_);
+    owned_.push_back(v);
+    sync();
+  }
+  template <class It>
+  void append(It first, It last) {
+    assert(!view_);
+    owned_.insert(owned_.end(), first, last);
+    sync();
+  }
+
+ private:
+  void sync() {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+  std::vector<T, Alloc> owned_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool view_ = false;
+};
+
+}  // namespace bolt::util

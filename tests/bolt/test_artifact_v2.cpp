@@ -1,0 +1,366 @@
+// The v2 flat artifact (src/bolt/artifact/): pack -> mmap round trips
+// must be bit-identical to the heap-built engine across every compiled
+// kernel, batch size, and both engines; mapped forests must borrow the
+// mapping with zero pool copies; and the ModelHandle hot-swap substrate
+// must keep old models alive while engines still hold them.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "../helpers.h"
+#include "bolt/artifact/handle.h"
+#include "bolt/artifact/mapped.h"
+#include "bolt/artifact/pack.h"
+#include "bolt/builder.h"
+#include "bolt/engine.h"
+#include "bolt/kernels/kernels.h"
+#include "bolt/parallel.h"
+
+namespace bolt::core {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "/bolt_v2_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+/// Restores normal kernel dispatch when a forcing test scope ends.
+struct KernelGuard {
+  ~KernelGuard() { kernels::force_kernel_for_testing(nullptr); }
+};
+
+struct V2Case {
+  const char* name;
+  BoltConfig cfg;
+};
+
+class ArtifactV2 : public ::testing::TestWithParam<V2Case> {};
+
+TEST_P(ArtifactV2, PackRoundTripBitIdentical) {
+  const forest::Forest forest = bolt::testing::small_forest(8, 5, 211);
+  const data::Dataset inputs = bolt::testing::small_dataset(300, 212);
+  const BoltForest built = BoltForest::build(forest, GetParam().cfg);
+
+  const std::string path = temp_path(GetParam().name);
+  artifact::write_v2_file(built, path);
+  artifact::MappedArtifact mapped = artifact::MappedArtifact::open(path);
+  const BoltForest loaded = mapped.build_forest();
+
+  EXPECT_TRUE(loaded.mapped());
+  EXPECT_FALSE(built.mapped());
+  EXPECT_EQ(loaded.num_classes(), built.num_classes());
+  EXPECT_EQ(loaded.num_features(), built.num_features());
+  EXPECT_EQ(loaded.dictionary().num_entries(),
+            built.dictionary().num_entries());
+  EXPECT_EQ(loaded.table().num_slots(), built.table().num_slots());
+  EXPECT_EQ(loaded.results().size(), built.results().size());
+  EXPECT_EQ(loaded.results().packed_available(),
+            built.results().packed_available());
+  EXPECT_EQ(loaded.bloom() != nullptr, built.bloom() != nullptr);
+  EXPECT_EQ(loaded.stats().table_entries, built.stats().table_entries);
+  EXPECT_EQ(loaded.config().cluster.threshold,
+            built.config().cluster.threshold);
+  EXPECT_EQ(loaded.config().use_bloom, built.config().use_bloom);
+
+  // Votes bit-identical per row under every compiled kernel this CPU runs.
+  KernelGuard guard;
+  for (const kernels::KernelOps* k : kernels::available_kernels()) {
+    kernels::force_kernel_for_testing(k);
+    BoltEngine a(built);
+    BoltEngine b(loaded);
+    std::vector<double> va(forest.num_classes), vb(forest.num_classes);
+    for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+      a.vote(inputs.row(i), va);
+      b.vote(inputs.row(i), vb);
+      for (std::size_t c = 0; c < va.size(); ++c) {
+        ASSERT_EQ(va[c], vb[c]) << k->name << " sample " << i;
+      }
+    }
+
+    // Batched path, including tile-boundary sizes.
+    const std::size_t stride = inputs.num_features();
+    for (std::size_t batch : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{200}}) {
+      const std::size_t n = std::min(batch, inputs.num_rows());
+      std::vector<int> oa(n), ob(n);
+      std::span<const float> rows{inputs.raw_features().data(), n * stride};
+      a.predict_batch(rows, n, stride, oa);
+      b.predict_batch(rows, n, stride, ob);
+      ASSERT_EQ(oa, ob) << k->name << " batch " << batch;
+    }
+  }
+  kernels::force_kernel_for_testing(nullptr);
+
+  // Partitioned engine over the mapped forest agrees with the heap one.
+  PartitionPlan plan;
+  plan.dict_parts = 2;
+  plan.table_parts = 2;
+  PartitionedBoltEngine pa(built, plan);
+  PartitionedBoltEngine pb(loaded, plan);
+  for (std::size_t i = 0; i < 50; ++i) {
+    ASSERT_EQ(pa.predict(inputs.row(i)), pb.predict(inputs.row(i)));
+  }
+
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ArtifactV2,
+    ::testing::Values(
+        V2Case{"default", {}},
+        V2Case{"bloom",
+               [] {
+                 BoltConfig c;
+                 c.use_bloom = true;
+                 return c;
+               }()},
+        V2Case{"byte_seed_search",
+               [] {
+                 BoltConfig c;
+                 c.table.strategy = TableStrategy::kSeedSearch;
+                 c.table.id_check = IdCheck::kByte;
+                 return c;
+               }()}),
+    [](const ::testing::TestParamInfo<V2Case>& p) {
+      return std::string(p.param.name);
+    });
+
+TEST(ArtifactV2Storage, MappedForestIsZeroCopy) {
+  const BoltForest built =
+      BoltForest::build(bolt::testing::small_forest(6, 4, 31), {});
+  EXPECT_GT(built.owned_bytes(), 0u);
+
+  const std::string path = temp_path("zerocopy");
+  artifact::write_v2_file(built, path);
+  artifact::MappedArtifact mapped = artifact::MappedArtifact::open(path);
+  const BoltForest loaded = mapped.build_forest();
+
+  // The zero-copy contract: no pool bytes on the heap, and the pools
+  // point INTO the mapped sections (pointer identity, not just equality).
+  EXPECT_TRUE(loaded.mapped());
+  EXPECT_EQ(loaded.owned_bytes(), 0u);
+  EXPECT_EQ(loaded.dictionary().pools().words.data(),
+            mapped.view<Dictionary::SparseWord>(
+                      artifact::SectionKind::kDictWords)
+                .data());
+  EXPECT_EQ(loaded.table().pools().result_idx.data(),
+            mapped.view<std::uint32_t>(artifact::SectionKind::kTableResultIdx)
+                .data());
+  EXPECT_EQ(loaded.results().raw().data(),
+            mapped.view<float>(artifact::SectionKind::kResultPool).data());
+  EXPECT_EQ(loaded.scan_layout().mask(),
+            mapped.view<std::uint64_t>(artifact::SectionKind::kLayoutMask)
+                .data());
+  EXPECT_EQ(loaded.space().pools().predicates.data(),
+            mapped.view<bolt::forest::Predicate>(
+                      artifact::SectionKind::kPredicates)
+                .data());
+  EXPECT_EQ(loaded.space().pools().soa_thresholds.data(),
+            mapped.view<float>(artifact::SectionKind::kPredSoaThresholds)
+                .data());
+
+  // Copies of a mapped forest share the mapping and stay zero-copy.
+  const BoltForest copy = loaded;
+  EXPECT_TRUE(copy.mapped());
+  EXPECT_EQ(copy.owned_bytes(), 0u);
+  EXPECT_EQ(copy.dictionary().pools().words.data(),
+            loaded.dictionary().pools().words.data());
+
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Storage, ForestOutlivesMappedArtifactAndFile) {
+  const BoltForest built =
+      BoltForest::build(bolt::testing::small_forest(6, 4, 32), {});
+  const std::string path = temp_path("lifetime");
+  artifact::write_v2_file(built, path);
+
+  BoltEngine reference(built);
+  const data::Dataset inputs = bolt::testing::small_dataset(50, 33);
+
+  std::vector<int> expected;
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    expected.push_back(reference.predict(inputs.row(i)));
+  }
+
+  // Open, build, then destroy the MappedArtifact and unlink the file: the
+  // forest's keepalive must hold the mapping (POSIX keeps the inode while
+  // mapped).
+  BoltForest loaded = [&] {
+    artifact::MappedArtifact mapped = artifact::MappedArtifact::open(path);
+    return mapped.build_forest();
+  }();
+  std::remove(path.c_str());
+
+  BoltEngine engine(loaded);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    ASSERT_EQ(engine.predict(inputs.row(i)), expected[i]);
+  }
+}
+
+TEST(ArtifactV2Storage, TrustedOpenMatchesValidated) {
+  // The trusted tier (no CRC pass, no O(n) structural scans — see the
+  // contract on artifact::OpenOptions) must produce a bit-identical
+  // forest on a pristine pack-verified file, stay zero-copy, and still
+  // reject files that fail the always-on O(1) checks.
+  const BoltForest built =
+      BoltForest::build(bolt::testing::small_forest(8, 5, 36), {});
+  const std::string path = temp_path("trusted");
+  artifact::write_v2_file(built, path);
+  const data::Dataset inputs = bolt::testing::small_dataset(100, 37);
+
+  artifact::OpenOptions trusted;
+  trusted.verify_checksums = false;
+  trusted.validate_structure = false;
+  const BoltForest validated =
+      artifact::MappedArtifact::open(path).build_forest();
+  const BoltForest fast =
+      artifact::MappedArtifact::open(path, trusted).build_forest();
+  EXPECT_EQ(fast.owned_bytes(), 0u);
+
+  BoltEngine ev(validated);
+  BoltEngine ef(fast);
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    ASSERT_EQ(ef.predict(inputs.row(i)), ev.predict(inputs.row(i)));
+  }
+
+  // The O(1) tier still runs under trusted open: truncation and a bad
+  // header are rejected before any view forms.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> image((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  const std::string cut = temp_path("trusted_cut");
+  std::ofstream(cut, std::ios::binary)
+      .write(image.data(), static_cast<std::streamsize>(image.size() / 2));
+  EXPECT_THROW(artifact::MappedArtifact::open(cut, trusted),
+               std::runtime_error);
+  std::remove(cut.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Storage, PackedResultsRoundTrip) {
+  // A small plain forest packs votes into u64 fields; the packed section
+  // must survive the round trip (it is the engine's single-add path).
+  const BoltForest built =
+      BoltForest::build(bolt::testing::small_forest(4, 3, 34), {});
+  ASSERT_TRUE(built.results().packed_available());
+
+  const std::string path = temp_path("packed");
+  artifact::write_v2_file(built, path);
+  const BoltForest loaded =
+      artifact::MappedArtifact::open(path).build_forest();
+  EXPECT_TRUE(loaded.results().packed_available());
+  EXPECT_EQ(loaded.results().packed_field_bits(),
+            built.results().packed_field_bits());
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Handle, DispatchesOnMagicAndReloads) {
+  const BoltForest built =
+      BoltForest::build(bolt::testing::small_forest(6, 4, 35), {});
+  const std::string v1_path = temp_path("handle_v1");
+  const std::string v2_path = temp_path("handle_v2");
+  built.save_file(v1_path);
+  artifact::write_v2_file(built, v2_path);
+
+  EXPECT_EQ(artifact::sniff_artifact_version(v1_path), 1u);
+  EXPECT_EQ(artifact::sniff_artifact_version(v2_path), 2u);
+
+  artifact::ModelHandle handle(v1_path);
+  EXPECT_EQ(handle.artifact_version(), 1u);
+  EXPECT_EQ(handle.generation(), 1u);
+  EXPECT_FALSE(handle.current()->mapped());
+
+  // Engines built before a reload keep the old model alive and correct.
+  const data::Dataset inputs = bolt::testing::small_dataset(50, 36);
+  BoltEngine old_engine(handle.current());
+  std::vector<int> expected;
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    expected.push_back(old_engine.predict(inputs.row(i)));
+  }
+
+  handle.reload(v2_path);
+  EXPECT_EQ(handle.artifact_version(), 2u);
+  EXPECT_EQ(handle.generation(), 2u);
+  EXPECT_EQ(handle.path(), v2_path);
+  EXPECT_TRUE(handle.current()->mapped());
+
+  BoltEngine new_engine(handle.current());
+  for (std::size_t i = 0; i < inputs.num_rows(); ++i) {
+    ASSERT_EQ(old_engine.predict(inputs.row(i)), expected[i]);
+    ASSERT_EQ(new_engine.predict(inputs.row(i)), expected[i]);
+  }
+
+  // Same-path reload bumps the generation (picks up a rewritten file).
+  handle.reload();
+  EXPECT_EQ(handle.generation(), 3u);
+
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(ArtifactV2Handle, FailedReloadKeepsCurrentModel) {
+  const BoltForest built =
+      BoltForest::build(bolt::testing::small_forest(6, 4, 37), {});
+  const std::string path = temp_path("handle_fail");
+  artifact::write_v2_file(built, path);
+
+  artifact::ModelHandle handle(path);
+  const auto before = handle.current();
+
+  EXPECT_THROW(handle.reload(temp_path("does_not_exist")),
+               std::runtime_error);
+  EXPECT_EQ(handle.current(), before);
+  EXPECT_EQ(handle.generation(), 1u);
+  EXPECT_EQ(handle.path(), path);
+
+  // Corrupt the file in place: a same-path reload must fail and keep
+  // serving the old model.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    f.put('\xff');
+  }
+  EXPECT_THROW(handle.reload(), std::runtime_error);
+  EXPECT_EQ(handle.current(), before);
+  EXPECT_EQ(handle.generation(), 1u);
+
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactV2Reject, TruncationAndGarbage) {
+  const BoltForest built =
+      BoltForest::build(bolt::testing::small_forest(6, 4, 38), {});
+  const std::vector<std::uint8_t> image = artifact::pack_v2(built);
+  const std::string path = temp_path("reject");
+
+  auto write_bytes = [&](const std::uint8_t* p, std::size_t n) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(p), static_cast<long>(n));
+  };
+
+  // Every truncation point must be rejected (file_size check + bounds).
+  for (std::size_t len :
+       {std::size_t{0}, std::size_t{17}, std::size_t{63}, sizeof(artifact::FileHeader),
+        image.size() / 2, image.size() - 1}) {
+    write_bytes(image.data(), len);
+    EXPECT_THROW(artifact::MappedArtifact::open(path), std::runtime_error)
+        << "truncated to " << len;
+  }
+
+  // Garbage of plausible size.
+  std::vector<std::uint8_t> garbage(4096, 0xa5);
+  write_bytes(garbage.data(), garbage.size());
+  EXPECT_THROW(artifact::MappedArtifact::open(path), std::runtime_error);
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bolt::core

@@ -56,5 +56,34 @@ TEST(BinIo, CustomElementLimit) {
   EXPECT_THROW(get_vec<std::uint8_t>(ss, 50), std::runtime_error);
 }
 
+// Regression: a crafted count that passes the plausibility cap but exceeds
+// the bytes actually present must be rejected before any allocation. The
+// check divides (n > remaining / sizeof(T)) because n * sizeof(T) can wrap.
+TEST(BinIo, HugeCountHeaderRejectedBeforeAllocation) {
+  std::stringstream ss;
+  put(ss, std::uint64_t{1} << 28);  // exactly max_elems: passes the cap
+  put(ss, std::uint64_t{42});       // ... but only 8 payload bytes follow
+  EXPECT_THROW(get_vec<std::uint64_t>(ss), std::runtime_error);
+}
+
+TEST(BinIo, CountTimesSizeofOverflowRejected) {
+  // 2^61 u64 elements would wrap n * sizeof(T) to 0; the divide-based
+  // check must still reject it (with a raised cap to reach that code).
+  std::stringstream ss;
+  put(ss, std::uint64_t{1} << 61);
+  put(ss, std::uint64_t{0});
+  EXPECT_THROW(get_vec<std::uint64_t>(ss, ~std::uint64_t{0}), std::runtime_error);
+}
+
+TEST(BinIo, RemainingBytesRestoresPosition) {
+  std::stringstream ss;
+  put(ss, std::uint32_t{7});
+  put(ss, std::uint32_t{9});
+  EXPECT_EQ(remaining_bytes(ss), 8u);
+  EXPECT_EQ(get<std::uint32_t>(ss), 7u);
+  EXPECT_EQ(remaining_bytes(ss), 4u);
+  EXPECT_EQ(get<std::uint32_t>(ss), 9u);
+}
+
 }  // namespace
 }  // namespace bolt::util

@@ -1,0 +1,70 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace bolt::util {
+namespace {
+
+// RFC 3720 known-answer vectors for CRC32C.
+TEST(Crc32c, KnownVectors) {
+  EXPECT_EQ(crc32c("", 0), 0u);
+  const char* nums = "123456789";
+  EXPECT_EQ(crc32c(nums, 9), 0xE3069283u);
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<std::uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  std::vector<std::uint8_t> inc(32);
+  for (std::size_t i = 0; i < inc.size(); ++i) inc[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(crc32c(inc.data(), inc.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32c, DispatchedMatchesSoftwareOracle) {
+  std::mt19937_64 rng(42);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u, 4097u}) {
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(crc32c(buf.data(), buf.size()), crc32c_sw(buf.data(), buf.size()))
+        << "len=" << len;
+  }
+}
+
+TEST(Crc32c, SeedChainingEqualsOneShot) {
+  std::mt19937_64 rng(7);
+  std::vector<std::uint8_t> buf(777);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  const std::uint32_t whole = crc32c(buf.data(), buf.size());
+  for (std::size_t cut : {1u, 8u, 100u, 776u}) {
+    const std::uint32_t a = crc32c(buf.data(), cut);
+    EXPECT_EQ(crc32c(buf.data() + cut, buf.size() - cut, a), whole)
+        << "cut=" << cut;
+    const std::uint32_t a_sw = crc32c_sw(buf.data(), cut);
+    EXPECT_EQ(crc32c_sw(buf.data() + cut, buf.size() - cut, a_sw), whole);
+  }
+}
+
+TEST(Crc32c, MisalignedStartMatches) {
+  std::vector<std::uint8_t> buf(64 + 15);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::uint8_t>(i * 37);
+  for (std::size_t off = 0; off < 15; ++off) {
+    EXPECT_EQ(crc32c(buf.data() + off, 64), crc32c_sw(buf.data() + off, 64));
+  }
+}
+
+TEST(Crc32c, SingleBitFlipChangesChecksum) {
+  std::vector<std::uint8_t> buf(256, 0xa5);
+  const std::uint32_t base = crc32c(buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); i += 17) {
+    buf[i] ^= 0x10;
+    EXPECT_NE(crc32c(buf.data(), buf.size()), base) << "byte " << i;
+    buf[i] ^= 0x10;
+  }
+}
+
+}  // namespace
+}  // namespace bolt::util

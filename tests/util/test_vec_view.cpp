@@ -1,0 +1,114 @@
+#include "util/vec_view.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace bolt::util {
+namespace {
+
+TEST(VecOrView, OwningBuildsLikeVector) {
+  VecOrView<std::uint32_t> v;
+  EXPECT_TRUE(v.empty());
+  v.reserve(4);
+  v.push_back(1);
+  v.push_back(2);
+  const std::uint32_t extra[] = {3, 4, 5};
+  v.append(std::begin(extra), std::end(extra));
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[4], 5u);
+  EXPECT_EQ(v.front(), 1u);
+  EXPECT_EQ(v.back(), 5u);
+  EXPECT_FALSE(v.is_view());
+  EXPECT_EQ(v.owned_bytes(), 5 * sizeof(std::uint32_t));
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0u), 15u);
+}
+
+TEST(VecOrView, AdoptVectorAndAssignForms) {
+  std::vector<std::uint64_t> src = {10, 20, 30};
+  VecOrView<std::uint64_t> v(std::move(src));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 20u);
+
+  v.assign(2, 9);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 9u);
+
+  v = std::vector<std::uint64_t>{7};
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7u);
+}
+
+TEST(VecOrView, CrossAllocatorAssignment) {
+  // get_vec returns a default-allocator vector; aligned containers adopt
+  // it element-wise into aligned storage.
+  std::vector<std::uint32_t> plain = {1, 2, 3, 4};
+  VecOrView<std::uint32_t, AlignedAllocator<std::uint32_t, 64>> v;
+  v = std::move(plain);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+}
+
+TEST(VecOrView, ViewBorrowsWithoutCopy) {
+  const std::vector<std::uint16_t> backing = {5, 6, 7, 8};
+  auto v = VecOrView<std::uint16_t>::view(backing.data(), backing.size());
+  EXPECT_TRUE(v.is_view());
+  EXPECT_EQ(v.data(), backing.data());
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[2], 7u);
+  EXPECT_EQ(v.owned_bytes(), 0u);
+}
+
+TEST(VecOrView, CopyOfOwningRepoints) {
+  VecOrView<int> a(std::vector<int>{1, 2, 3});
+  VecOrView<int> b = a;
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(b[2], 3);
+  VecOrView<int> c;
+  c = a;
+  EXPECT_NE(a.data(), c.data());
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(VecOrView, CopyOfViewShares) {
+  const std::vector<int> backing = {4, 5};
+  auto a = VecOrView<int>::view(backing.data(), backing.size());
+  VecOrView<int> b = a;
+  EXPECT_EQ(b.data(), backing.data());
+  EXPECT_TRUE(b.is_view());
+}
+
+TEST(VecOrView, MovePreservesPointers) {
+  VecOrView<int> a(std::vector<int>{9, 8, 7});
+  const int* p = a.data();
+  VecOrView<int> b = std::move(a);
+  EXPECT_EQ(b.data(), p);  // vector move transfers the buffer
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT: moved-from is reset to empty-owning
+  EXPECT_FALSE(a.is_view());
+}
+
+TEST(VecOrView, SpanConversion) {
+  VecOrView<float> v(std::vector<float>{1.5f, 2.5f});
+  std::span<const float> s = v;
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], 2.5f);
+}
+
+TEST(VecOrView, ClearResetsViewToOwning) {
+  const std::vector<int> backing = {1};
+  auto v = VecOrView<int>::view(backing.data(), backing.size());
+  v.clear();
+  EXPECT_FALSE(v.is_view());
+  EXPECT_TRUE(v.empty());
+  v.push_back(3);
+  EXPECT_EQ(v[0], 3);
+}
+
+}  // namespace
+}  // namespace bolt::util

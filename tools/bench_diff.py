@@ -23,6 +23,9 @@ import json
 import sys
 
 
+KNOWN_SCHEMAS = ("bolt-bench-soak-v1", "bolt-bench-coldstart-v1")
+
+
 def load(path):
     try:
         with open(path) as f:
@@ -33,14 +36,55 @@ def load(path):
     except json.JSONDecodeError as e:
         print(f"bench_diff: {path} is not valid JSON: {e}", file=sys.stderr)
         sys.exit(2)
-    if doc.get("schema") != "bolt-bench-soak-v1":
+    if doc.get("schema") not in KNOWN_SCHEMAS:
         print(
-            f"bench_diff: {path}: expected schema bolt-bench-soak-v1, "
+            f"bench_diff: {path}: expected schema in {KNOWN_SCHEMAS}, "
             f"got {doc.get('schema')!r}",
             file=sys.stderr,
         )
         sys.exit(2)
     return doc
+
+
+def diff_coldstart(base, fresh, args):
+    """bolt-bench-coldstart-v1 (bench_coldstart): gate the v1->v2 cold-start
+    speedup and the zero-copy contract; RSS is informational."""
+    failures = []
+
+    base_sp = base["speedup_v1_over_v2"]
+    fresh_sp = fresh["speedup_v1_over_v2"]
+    floor = base_sp * (1.0 - args.speedup_tolerance)
+    print(
+        f"v1/v2 cold-start speedup: baseline {base_sp:.1f}x -> fresh "
+        f"{fresh_sp:.1f}x (floor {floor:.1f}x)"
+    )
+    if fresh_sp < floor:
+        failures.append(
+            f"cold-start speedup regressed: {fresh_sp:.1f}x < {floor:.1f}x "
+            f"(baseline {base_sp:.1f}x - {args.speedup_tolerance * 100:.0f}%)"
+        )
+
+    owned = fresh["zero_copy"]["mapped_owned_bytes"]
+    print(f"mapped forest owned pool bytes: {owned}")
+    if owned != 0:
+        failures.append(f"mapped forest owns {owned} pool bytes (must be 0)")
+
+    cs = fresh["coldstart_us"]
+    print(
+        f"cold start us: v1 {cs['v1_load']:.0f}, v2 verified "
+        f"{cs['v2_map_verified']:.0f}, v2 map-only {cs['v2_map']:.0f}"
+    )
+    rss = fresh.get("rss_kb", {})
+    if rss:
+        print(
+            f"rss kb: baseline {rss['baseline']}, 8 mapped engines "
+            f"{rss['eight_mapped_engines']}, 8 heap forests "
+            f"{rss['eight_heap_forests']} (informational)"
+        )
+
+    if not fresh.get("pass", False):
+        failures.append("fresh run failed its own in-process gates")
+    return failures
 
 
 def main():
@@ -59,10 +103,34 @@ def main():
         default=99.9,
         help="required client/server request-count agreement (default 99.9)",
     )
+    ap.add_argument(
+        "--speedup-tolerance",
+        type=float,
+        default=0.5,
+        help="coldstart only: allowed relative speedup regression vs the "
+        "baseline (default 0.5 — cold-start timing is noisy on shared CI)",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+    if base["schema"] != fresh["schema"]:
+        print(
+            f"bench_diff: schema mismatch: baseline {base['schema']!r} vs "
+            f"fresh {fresh['schema']!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    if base["schema"] == "bolt-bench-coldstart-v1":
+        failures = diff_coldstart(base, fresh, args)
+        if failures:
+            print("\nbench_diff: FAIL")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("\nbench_diff: PASS")
+        return 0
 
     failures = []
 

@@ -17,14 +17,22 @@
 //   bolt slow     --socket /tmp/bolt.sock [--json]
 //   bolt batch    --data test.csv (--socket /tmp/bolt.sock |
 //                 --artifact model.bolt [--naive]) [--batch N]
+//   bolt pack     --artifact model.bolt --out model.boltv2
 //   bolt inspect  --model model.forest | --artifact model.bolt
+//
+// Model-file commands accept v1 ("BOLF" stream) and v2 ("BOL2" flat,
+// mmap'd zero-copy) artifacts interchangeably, dispatching on the magic.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "bolt/artifact/handle.h"
+#include "bolt/artifact/mapped.h"
+#include "bolt/artifact/pack.h"
 #include "bolt/bolt.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
@@ -33,6 +41,7 @@
 #include "forest/serialize.h"
 #include "forest/trainer.h"
 #include "service/server.h"
+#include "util/crc32c.h"
 #include "util/timer.h"
 
 namespace {
@@ -164,9 +173,17 @@ int cmd_compress(const Args& args) {
   return 0;
 }
 
+/// Opens a model file of either artifact generation: v1 "BOLF" is
+/// heap-deserialized, v2 "BOL2" is mmap'd zero-copy. Commands that only
+/// read the model go through this so both formats work everywhere.
+std::shared_ptr<const core::BoltForest> load_any_artifact(
+    const std::string& path) {
+  return artifact::ModelHandle(path).current();
+}
+
 int cmd_predict(const Args& args) {
-  const core::BoltForest artifact =
-      core::BoltForest::load_file(args.require("artifact"));
+  const auto artifact_ptr = load_any_artifact(args.require("artifact"));
+  const core::BoltForest& artifact = *artifact_ptr;
   data::Dataset ds = data::read_csv_file(args.require("data"));
   core::BoltEngine engine(artifact);
   const auto explain_k = static_cast<std::size_t>(args.get_int("explain", 0));
@@ -242,10 +259,19 @@ service::Endpoint client_endpoint(const Args& args) {
 volatile std::sig_atomic_t g_stop = 0;
 
 int cmd_serve(const Args& args) {
-  // Leaked on purpose: the artifact must outlive engines for the process
-  // lifetime of the server.
-  auto* artifact = new core::BoltForest(
-      core::BoltForest::load_file(args.require("artifact")));
+  // The handle owns "the current model"; every engine holds its own
+  // shared_ptr, so a future reload can swap the model under a live server
+  // without invalidating in-flight requests. v2 artifacts are mmap'd
+  // zero-copy (all engines share one read-only mapping); v1 loads heap.
+  artifact::ModelHandle::Options handle_opts;
+  // --trust-artifact is the map-and-fixup tier (no CRC pass, no O(n)
+  // structural scans); only for files this host packed and verified.
+  handle_opts.verify_checksums =
+      !args.has("no-verify-checksums") && !args.has("trust-artifact");
+  handle_opts.validate_structure = !args.has("trust-artifact");
+  auto* handle =  // leaked on purpose: outlives engines for process life
+      new artifact::ModelHandle(args.require("artifact"), handle_opts);
+  const std::shared_ptr<const core::BoltForest> artifact = handle->current();
   const std::string socket = args.get("socket", "/tmp/bolt.sock");
   service::ServerOptions opts;
   opts.max_connections =
@@ -284,11 +310,28 @@ int cmd_serve(const Args& args) {
       static_cast<std::uint32_t>(args.get_int("slow-threshold-us", 0));
   opts.trace.slow_ring_capacity =
       static_cast<std::size_t>(args.get_int("slow-ring", 16));
+  opts.extra_build_labels.emplace_back(
+      "artifact_version", std::to_string(handle->artifact_version()));
+  opts.extra_build_labels.emplace_back(
+      "artifact_mode", artifact->mapped() ? "mapped" : "heap");
+  opts.extra_build_labels.emplace_back(
+      "artifact_checksums",
+      handle->artifact_version() == 2
+          ? (!handle_opts.validate_structure
+                 ? "trusted"
+                 : (handle_opts.verify_checksums ? "verified" : "skipped"))
+          : "n/a");
   service::InferenceServer server(
       socket,
-      [artifact] { return std::make_unique<core::BoltEngine>(*artifact); },
+      [handle] {
+        return std::make_unique<core::BoltEngine>(handle->current());
+      },
       opts);
   server.start();
+  std::printf("model %s: artifact v%u (%s storage, pools own %zu KB)\n",
+              handle->path().c_str(), handle->artifact_version(),
+              artifact->mapped() ? "mapped" : "heap",
+              artifact->owned_bytes() / 1024);
   std::printf("serving %s (%zu dictionary entries, %zu KB); Ctrl-C stops\n"
               "front end %s; dynamic batching %s; scrape live metrics with: "
               "bolt stats --socket %s\n",
@@ -400,8 +443,7 @@ int cmd_batch(const Args& args) {
   } else {
     // Local: the amortized batch kernel (or, with --naive, the per-row
     // loop it replaced, for quick A/B runs).
-    const core::BoltForest artifact =
-        core::BoltForest::load_file(args.require("artifact"));
+    const auto artifact = load_any_artifact(args.require("artifact"));
     core::BoltEngine engine(artifact);
     for (std::size_t begin = 0; begin < ds.num_rows(); begin += batch) {
       const std::size_t n = std::min(batch, ds.num_rows() - begin);
@@ -435,11 +477,10 @@ int cmd_batch(const Args& args) {
 
 int cmd_verify(const Args& args) {
   const forest::Forest model = forest::load_forest_file(args.require("model"));
-  const core::BoltForest artifact =
-      core::BoltForest::load_file(args.require("artifact"));
+  const auto artifact = load_any_artifact(args.require("artifact"));
   util::Timer timer;
   const core::VerifyReport report = core::verify(
-      model, artifact,
+      model, *artifact,
       static_cast<std::size_t>(args.get_int("samples", 20000)));
   std::printf("%s verification: checked %llu %s in %.1f ms -> %llu "
               "mismatches\n",
@@ -459,6 +500,37 @@ int cmd_verify(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_pack(const Args& args) {
+  // v1 -> v2 compiler (a v2 input is accepted too and re-packed): load
+  // whichever generation is on disk, emit the flat mmap-able layout, then
+  // re-open the result mapped — which re-verifies every section CRC and
+  // every structural invariant — as a built-in self-check.
+  const std::string in_path = args.require("artifact");
+  const std::string out_path = args.require("out");
+  util::Timer timer;
+  const auto bf = load_any_artifact(in_path);
+  const double load_ms = timer.elapsed_ms();
+  artifact::write_v2_file(*bf, out_path);
+  const double pack_ms = timer.elapsed_ms() - load_ms;
+
+  util::Timer reopen_timer;
+  artifact::MappedArtifact packed = artifact::MappedArtifact::open(out_path);
+  const core::BoltForest check = packed.build_forest();
+  const double reopen_ms = reopen_timer.elapsed_ms();
+  if (check.dictionary().num_entries() != bf->dictionary().num_entries() ||
+      check.table().num_slots() != bf->table().num_slots() ||
+      check.results().size() != bf->results().size()) {
+    throw std::runtime_error("pack self-check: packed model disagrees");
+  }
+  std::printf("packed %s -> %s: %zu KB, %u sections\n", in_path.c_str(),
+              out_path.c_str(), packed.file_size() / 1024,
+              packed.header().num_sections);
+  std::printf("  load %.1f ms, pack %.1f ms; mapped re-open (full CRC + "
+              "validation) %.1f ms, pools own %zu bytes\n",
+              load_ms, pack_ms, reopen_ms, check.owned_bytes());
+  return 0;
+}
+
 int cmd_inspect(const Args& args) {
   if (args.has("model")) {
     const forest::Forest model = forest::load_forest_file(args.get("model"));
@@ -471,10 +543,44 @@ int cmd_inspect(const Args& args) {
     std::printf("  weighted: %s\n", weighted ? "yes (boosted)" : "no");
     return 0;
   }
-  const core::BoltForest artifact =
-      core::BoltForest::load_file(args.require("artifact"));
+  const std::string path = args.require("artifact");
+  const unsigned version = artifact::sniff_artifact_version(path);
+  std::shared_ptr<const core::BoltForest> loaded;
+  if (version == 2) {
+    // v2: the section table is the format — print it before the model
+    // summary, with per-section CRC verification status.
+    artifact::OpenOptions mo;
+    mo.verify_checksums = false;  // verified per section below, reported
+    artifact::MappedArtifact a = artifact::MappedArtifact::open(path, mo);
+    const auto& h = a.header();
+    std::printf("bolt v2 flat artifact: %s (%zu KB)\n", path.c_str(),
+                a.file_size() / 1024);
+    std::printf("  version %u.%u | abi 0x%08x | %u sections | header crc "
+                "0x%08x ok\n",
+                h.version_major, h.version_minor, h.abi_tag, h.num_sections,
+                h.header_crc);
+    std::printf("  %-24s %10s %12s %12s  %s\n", "section", "offset", "bytes",
+                "elems", "crc32c");
+    for (const artifact::SectionDesc& d : a.sections()) {
+      const auto bytes = a.section_bytes(d);
+      const bool ok = util::crc32c(bytes.data(), bytes.size()) == d.crc;
+      std::printf("  %-24s %10llu %12llu %12llu  0x%08x %s\n",
+                  artifact::section_kind_name(
+                      static_cast<artifact::SectionKind>(d.kind)),
+                  static_cast<unsigned long long>(d.offset),
+                  static_cast<unsigned long long>(d.size),
+                  static_cast<unsigned long long>(
+                      d.elem_size ? d.size / d.elem_size : 0),
+                  d.crc, ok ? "ok" : "MISMATCH");
+    }
+    loaded = std::make_shared<const core::BoltForest>(a.build_forest());
+  } else {
+    loaded = load_any_artifact(path);
+  }
+  const core::BoltForest& artifact = *loaded;
   const auto& s = artifact.stats();
-  std::printf("bolt artifact: %zu features, %zu classes\n",
+  std::printf("bolt %s artifact: %zu features, %zu classes\n",
+              version == 2 ? "v2 (mapped)" : "v1 (heap)",
               artifact.num_features(), artifact.num_classes());
   std::printf("  predicates %zu | paths %zu -> merged %zu\n",
               s.num_predicates, s.num_raw_paths, s.num_merged_paths);
@@ -511,7 +617,13 @@ usage: bolt <command> [flags]
            [--plan --calibration calib.csv --cores C]
   predict  --artifact model.bolt --data test.csv [--explain K] [--profile]
   verify   --model model.forest --artifact model.bolt [--samples N]
+  pack     --artifact model.bolt --out model.boltv2
+           compile a v1 stream (or re-pack a v2) into the flat mmap-able
+           v2 layout served zero-copy (docs/ARTIFACT_FORMAT.md)
   serve    --artifact model.bolt [--socket /tmp/bolt.sock]
+           [--no-verify-checksums]     skip v2 per-section CRC at load
+           [--trust-artifact]          v2 map-and-fixup only: skip CRC and
+                                       structural scans (pack-verified files)
            [--tcp-port P]              also listen on 127.0.0.1:P (0 = ephemeral)
            [--front-end threaded|event-loop] [--workers N]
            [--listen-backlog B]        accept backlog (default SOMAXCONN)
@@ -555,6 +667,7 @@ int main(int argc, char** argv) {
     if (cmd == "slow") return cmd_slow(args);
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "pack") return cmd_pack(args);
     if (cmd == "inspect") return cmd_inspect(args);
     usage();
     return 2;
