@@ -104,6 +104,50 @@ int main() {
               "inference cost itself.\n");
 
   // ------------------------------------------------------------------
+  // Timeline overhead: identical servers with the timeline exporter off
+  // vs sampling 1-in-64 requests into the per-thread event rings
+  // (docs/OBSERVABILITY.md "Timeline export"). The gate is the PR's
+  // acceptance criterion: p50 cost of always-on sampled export < 2%.
+  // ------------------------------------------------------------------
+  {
+    const auto run_arm = [&](std::uint32_t sample_every) -> double {
+      const std::string socket = std::string("/tmp/bolt_bench_tl_") +
+                                 std::to_string(sample_every) + ".sock";
+      service::ServerOptions opts;
+      opts.timeline.sample_every = sample_every;
+      service::InferenceServer server(
+          socket, [&] { return std::make_unique<core::BoltEngine>(bf); },
+          opts);
+      server.start();
+      service::InferenceClient client(socket);
+      for (int i = 0; i < 64; ++i) client.classify(split.test.row(i % 64));
+      util::Summary lat;
+      for (std::size_t i = 0; i < n; ++i) {
+        util::Timer t;
+        client.classify(split.test.row(i % split.test.num_rows()));
+        lat.add(t.elapsed_us());
+      }
+      server.stop();
+      return lat.percentile(50);
+    };
+    const double p50_off = run_arm(0);
+    const double p50_on = run_arm(64);
+    // The sampled arm ran last, so the process-global rings now hold its
+    // events — drain once to confirm the export path produces trace JSON.
+    const std::string trace = util::Timeline::instance().drain_chrome_json();
+    const bool has_events = trace.find("\"ph\"") != std::string::npos;
+    const double pct = p50_off > 0.0
+                           ? 100.0 * (p50_on - p50_off) / p50_off
+                           : 0.0;
+    std::printf("\ntimeline overhead (BOLT p50, 1-in-64 sampling): "
+                "off %.2f us -> on %.2f us (%+.2f%%; acceptance gate "
+                "< 2%%) — %s\n",
+                p50_off, p50_on, pct, pct < 2.0 ? "PASS" : "FAIL");
+    std::printf("timeline drain: %zu bytes of trace JSON, events: %s\n",
+                trace.size(), has_events ? "yes" : "NO — EMPTY");
+  }
+
+  // ------------------------------------------------------------------
   // Request-scoped tracing: round-trip one traced request and show the
   // per-stage breakdown. The gate checks attribution quality — the spans
   // must sum to within 10% of the server-measured request latency (the

@@ -1,8 +1,36 @@
 #include "bolt/artifact/handle.h"
 
+#include <atomic>
+
 #include "bolt/artifact/mapped.h"
+#include "util/trace.h"
+#include "util/trace_export.h"
 
 namespace bolt::artifact {
+
+// Rides the served forest's control block (via the shared_ptr aliasing
+// constructor), so its destructor runs exactly when the last engine
+// reference to that generation drops — the end of the generation's drain.
+// reload() stamps retired_ns/retired_gen (while still holding a strong
+// reference, so the destructor cannot race the stamp); the release store
+// of retired_ns publishes retired_gen to the destructor's acquire load.
+struct ModelDrainTag {
+  std::shared_ptr<const core::BoltForest> forest;
+  std::atomic<std::int64_t> retired_ns{0};
+  std::uint64_t retired_gen = 0;
+
+  ~ModelDrainTag() {
+    const std::int64_t retired =
+        retired_ns.load(std::memory_order_acquire);
+    if (retired != 0 && util::timeline_enabled()) {
+      // Unsampled: swaps are rare, and a drain with no matching event is
+      // exactly the gap a timeline consumer would chase.
+      util::timeline_record("model", "drain", retired,
+                            util::TraceContext::now_ns() - retired,
+                            "generation", retired_gen);
+    }
+  }
+};
 
 ModelHandle::ModelHandle(std::string path)
     : ModelHandle(std::move(path), Options()) {}
@@ -11,6 +39,7 @@ ModelHandle::ModelHandle(std::string path, const Options& opts)
     : path_(std::move(path)), opts_(opts) {
   Loaded l = load(path_, opts_);
   cur_ = std::move(l.forest);
+  cur_tag_ = l.tag;
   version_ = l.version;
   generation_ = 1;
 }
@@ -18,21 +47,44 @@ ModelHandle::ModelHandle(std::string path, const Options& opts)
 ModelHandle::Loaded ModelHandle::load(const std::string& path,
                                       const Options& opts) {
   const unsigned version = sniff_artifact_version(path);
+  auto tag = std::make_shared<ModelDrainTag>();
   if (version == 1) {
-    return {std::make_shared<const core::BoltForest>(
-                core::BoltForest::load_file(path)),
-            1};
+    tag->forest = std::make_shared<const core::BoltForest>(
+        core::BoltForest::load_file(path));
+  } else {
+    OpenOptions mo;
+    mo.verify_checksums = opts.verify_checksums;
+    mo.validate_structure = opts.validate_structure;
+    MappedArtifact a = MappedArtifact::open(path, mo);
+    tag->forest =
+        std::make_shared<const core::BoltForest>(a.build_forest());
   }
-  OpenOptions mo;
-  mo.verify_checksums = opts.verify_checksums;
-  mo.validate_structure = opts.validate_structure;
-  MappedArtifact a = MappedArtifact::open(path, mo);
-  return {std::make_shared<const core::BoltForest>(a.build_forest()), 2};
+  // Alias the tag's control block: every engine copy of this pointer
+  // keeps the tag (and through it the forest) alive, and the tag's
+  // destructor marks the moment the generation fully drained.
+  std::shared_ptr<const core::BoltForest> aliased(tag, tag->forest.get());
+  return {std::move(aliased), version == 1 ? 1u : 2u, std::move(tag)};
 }
 
 std::shared_ptr<const core::BoltForest> ModelHandle::current() const {
   std::lock_guard<std::mutex> lk(mu_);
   return cur_;
+}
+
+void ModelHandle::swap_locked(Loaded&& l) {
+  if (std::shared_ptr<ModelDrainTag> old = cur_tag_.lock()) {
+    old->retired_gen = generation_;
+    old->retired_ns.store(util::TraceContext::now_ns(),
+                          std::memory_order_release);
+  }
+  cur_ = std::move(l.forest);
+  cur_tag_ = l.tag;
+  version_ = l.version;
+  ++generation_;
+  if (util::timeline_enabled()) {
+    util::timeline_record("model", "swap", util::TraceContext::now_ns(),
+                          -1, "generation", generation_);
+  }
 }
 
 void ModelHandle::reload() {
@@ -42,20 +94,26 @@ void ModelHandle::reload() {
     path = path_;
   }
   // Load outside the lock: a slow (or hung) disk must not block current().
+  const std::int64_t begin = util::TraceContext::now_ns();
   Loaded l = load(path, opts_);
+  if (util::timeline_enabled()) {
+    util::timeline_record("model", "reload", begin,
+                          util::TraceContext::now_ns() - begin);
+  }
   std::lock_guard<std::mutex> lk(mu_);
-  cur_ = std::move(l.forest);
-  version_ = l.version;
-  ++generation_;
+  swap_locked(std::move(l));
 }
 
 void ModelHandle::reload(const std::string& new_path) {
+  const std::int64_t begin = util::TraceContext::now_ns();
   Loaded l = load(new_path, opts_);
+  if (util::timeline_enabled()) {
+    util::timeline_record("model", "reload", begin,
+                          util::TraceContext::now_ns() - begin);
+  }
   std::lock_guard<std::mutex> lk(mu_);
   path_ = new_path;
-  cur_ = std::move(l.forest);
-  version_ = l.version;
-  ++generation_;
+  swap_locked(std::move(l));
 }
 
 std::uint64_t ModelHandle::generation() const {

@@ -16,6 +16,8 @@
 
 namespace bolt::artifact {
 
+struct ModelDrainTag;
+
 class ModelHandle {
  public:
   struct Options {
@@ -59,13 +61,22 @@ class ModelHandle {
   struct Loaded {
     std::shared_ptr<const core::BoltForest> forest;
     unsigned version;
+    std::shared_ptr<ModelDrainTag> tag;
   };
   static Loaded load(const std::string& path, const Options& opts);
+  /// Stamps the outgoing generation's drain tag and installs the new
+  /// model. Caller must hold mu_.
+  void swap_locked(Loaded&& l);
 
   mutable std::mutex mu_;
   std::string path_;
   Options opts_;
   std::shared_ptr<const core::BoltForest> cur_;
+  // Weak ref to the drain tag riding cur_'s control block: reload() uses
+  // it to stamp the retirement instant on the generation being replaced
+  // (the tag's destructor — the last engine reference dropping — closes
+  // the drain span). Weak so the handle itself never extends the drain.
+  std::weak_ptr<ModelDrainTag> cur_tag_;
   unsigned version_ = 0;
   std::uint64_t generation_ = 0;
 };

@@ -183,7 +183,13 @@ void BoltEngine::vote_impl(std::span<const float> x, std::span<double> out,
     if (metrics_ != nullptr) {
       metrics_->binarize_ns->record(static_cast<double>(elapsed));
     }
-    if (trace_ != nullptr) trace_->add(util::Stage::kBinarize, elapsed);
+    if (trace_ != nullptr) {
+      trace_->add(util::Stage::kBinarize, elapsed);
+      if (trace_->timeline_armed()) {
+        util::timeline_record_stage(util::Stage::kBinarize, binarize_start,
+                                    elapsed);
+      }
+    }
   }
   probe.mem(x.data(), x.size() * sizeof(float), archsim::MemDep::kParallel);
   probe.instr(archsim::cost::kPredicateEval * bf_.space().size());
@@ -257,7 +263,12 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
     }
   }
   if (traced) {
-    trace->add(util::Stage::kBinarize, engine_now_ns() - binarize_start);
+    const std::int64_t binarize_ns = engine_now_ns() - binarize_start;
+    trace->add(util::Stage::kBinarize, binarize_ns);
+    if (trace->timeline_armed()) {
+      util::timeline_record_stage(util::Stage::kBinarize, binarize_start,
+                                  binarize_ns);
+    }
   }
   if (packed) {
     std::fill_n(s.packed_acc.begin(), n, std::uint64_t{0});
@@ -333,9 +344,18 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
   }
   drain();
   if (traced) {
-    trace->add(util::Stage::kScan, engine_now_ns() - scan_start - probe_ns);
+    const std::int64_t scan_ns = engine_now_ns() - scan_start - probe_ns;
+    trace->add(util::Stage::kScan, scan_ns);
     trace->add(util::Stage::kTableProbe, probe_ns,
                std::max<std::uint32_t>(1, drains));
+    if (trace->timeline_armed()) {
+      // The probe drains interleave with the scan sweep, so both spans are
+      // anchored at the sweep start: scan with the probe time carved out,
+      // probes as one aggregate span of the accumulated drain time.
+      util::timeline_record_stage(util::Stage::kScan, scan_start, scan_ns);
+      util::timeline_record_stage(util::Stage::kTableProbe, scan_start,
+                                  probe_ns);
+    }
   }
 
   const std::int64_t aggregate_start = traced ? engine_now_ns() : 0;
@@ -345,7 +365,12 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
     out[r] = forest::argmax_class(votes);
   }
   if (traced) {
-    trace->add(util::Stage::kAggregate, engine_now_ns() - aggregate_start);
+    const std::int64_t aggregate_ns = engine_now_ns() - aggregate_start;
+    trace->add(util::Stage::kAggregate, aggregate_ns);
+    if (trace->timeline_armed()) {
+      util::timeline_record_stage(util::Stage::kAggregate, aggregate_start,
+                                  aggregate_ns);
+    }
   }
   candidates_total += candidates;
   accepted_total += accepted;

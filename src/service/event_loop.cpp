@@ -15,6 +15,8 @@
 #include "service/net.h"
 #include "service/protocol.h"
 #include "service/server.h"
+#include "util/trace.h"
+#include "util/trace_export.h"
 
 namespace bolt::service {
 namespace {
@@ -156,6 +158,13 @@ void EventLoop::worker_main() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
+    if (job.tl_enqueued_ns != 0) {
+      // Readiness→dispatch latency: the frame was complete and queued at
+      // tl_enqueued_ns; a worker only now picked it up.
+      util::timeline_record("loop", "dispatch_wait", job.tl_enqueued_ns,
+                            util::TraceContext::now_ns() -
+                                job.tl_enqueued_ns);
+    }
     const std::uint64_t id = job.conn_id;
     server_.process_frame_async(
         job.frame, *engine, bolt_engine,
@@ -198,6 +207,9 @@ void EventLoop::run() {
       if (errno == EINTR) continue;
       break;  // epoll fd gone: unrecoverable, fall through to teardown
     }
+    const bool tl_on = util::timeline_enabled();
+    const std::int64_t wake_ns =
+        tl_on && n > 0 ? util::TraceContext::now_ns() : 0;
     for (int i = 0; i < n; ++i) {
       const std::uint64_t key = events[i].data.u64;
       if (key == kEventFdKey) continue;  // drained below
@@ -211,6 +223,13 @@ void EventLoop::run() {
       const auto it = conns_.find(key);
       if (it == conns_.end()) continue;  // closed earlier in this batch
       on_conn_event(*it->second, events[i].events);
+    }
+    if (wake_ns != 0 && util::Timeline::instance().sample()) {
+      // One epoll wake: how many fds came ready together and how long
+      // dispatching the whole batch took on the loop thread.
+      util::timeline_record("loop", "epoll_wake", wake_ns,
+                            util::TraceContext::now_ns() - wake_ns,
+                            "batch", static_cast<std::uint64_t>(n));
     }
     drain_completions();
     reap_idle(Clock::now());
@@ -309,6 +328,7 @@ void EventLoop::on_listener(Listener& l) {
     }
     if (record) {
       server_.connections_total_->inc();
+      (l.tcp ? server_.connections_tcp_ : server_.connections_unix_)->inc();
       server_.active_connections_->add(1);
     }
     conn_count_.fetch_add(1, std::memory_order_relaxed);
@@ -426,6 +446,9 @@ bool EventLoop::parse_frames(Conn& c) {
     if (avail - sizeof(len) < len) break;
     Job job;
     job.conn_id = c.id;
+    if (util::timeline_enabled() && util::Timeline::instance().sample()) {
+      job.tl_enqueued_ns = util::TraceContext::now_ns();
+    }
     const auto* base = c.rbuf.data() + c.rpos + sizeof(len);
     job.frame.assign(base, base + len);
     c.rpos += sizeof(len) + len;
@@ -475,11 +498,22 @@ bool EventLoop::flush_write(Conn& c) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       // Peer's socket buffer is full: park the remainder and let EPOLLOUT
       // resume it. Reads stay paused until the response is out.
+      if (c.park_begin_ns == 0 && util::timeline_enabled() &&
+          util::Timeline::instance().sample()) {
+        c.park_begin_ns = util::TraceContext::now_ns();
+      }
       set_interest(c, /*read=*/false, /*write=*/true);
       return true;
     }
     close_conn(c);  // EPIPE/ECONNRESET: peer vanished mid-response
     return false;
+  }
+  if (c.park_begin_ns != 0) {
+    // The parked response finally drained: the span covers first EAGAIN
+    // to last byte accepted by the kernel.
+    util::timeline_record("loop", "write_park", c.park_begin_ns,
+                          util::TraceContext::now_ns() - c.park_begin_ns);
+    c.park_begin_ns = 0;
   }
   c.wbuf.clear();
   c.wpos = 0;

@@ -89,6 +89,10 @@ class EventLoop {
     bool in_lru = false;
     std::list<std::uint64_t>::iterator lru;  // valid iff in_lru
     Clock::time_point idle_deadline{};
+    // Timeline: when the kernel socket buffer filled and this response
+    // parked on EPOLLOUT (0 = not parked / parking not sampled). The
+    // span is emitted when the flush finally completes.
+    std::int64_t park_begin_ns = 0;
   };
 
   struct Listener {
@@ -103,6 +107,10 @@ class EventLoop {
   struct Job {
     std::uint64_t conn_id = 0;
     std::vector<std::uint8_t> frame;
+    // Timeline: when the complete frame was queued for the worker pool
+    // (0 = not sampled). The readiness→dispatch span is emitted by the
+    // worker that picks the job up.
+    std::int64_t tl_enqueued_ns = 0;
   };
 
   struct Completion {

@@ -2,17 +2,23 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
 namespace bolt::service {
 namespace {
+
+// A request line is "<method> <path> HTTP/1.1"; ours are tens of bytes.
+// Anything past this cap is a misbehaving client and answers 414.
+constexpr std::size_t kMaxRequestLine = 2048;
 
 /// Writes the full buffer, swallowing errors — a scraper that hung up
 /// mid-response is its own problem, and this thread must keep serving.
@@ -30,23 +36,33 @@ void write_all(int fd, const std::string& data) {
 }
 
 std::string http_response(int code, const char* status,
-                          const std::string& body,
-                          const char* content_type) {
+                          const std::string& body, const char* content_type,
+                          bool head, const char* extra_header = nullptr) {
   std::string out = "HTTP/1.1 " + std::to_string(code) + ' ' + status +
                     "\r\nContent-Type: " + content_type +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
-  out += body;
+                    "\r\nContent-Length: " + std::to_string(body.size());
+  if (extra_header != nullptr) {
+    out += "\r\n";
+    out += extra_header;
+  }
+  out += "\r\nConnection: close\r\n\r\n";
+  // HEAD: full headers (including the Content-Length a GET would carry),
+  // no body.
+  if (!head) out += body;
   return out;
 }
 
 }  // namespace
 
 MetricsHttpServer::MetricsHttpServer(util::MetricsRegistry& registry,
+                                     std::uint16_t port, AdminHooks hooks)
+    : registry_(registry), hooks_(std::move(hooks)), port_(port) {}
+
+MetricsHttpServer::MetricsHttpServer(util::MetricsRegistry& registry,
                                      std::uint16_t port,
                                      std::function<void()> before_scrape)
-    : registry_(registry), before_scrape_(std::move(before_scrape)),
-      port_(port) {}
+    : MetricsHttpServer(registry, port,
+                        AdminHooks{std::move(before_scrape), {}, {}}) {}
 
 MetricsHttpServer::~MetricsHttpServer() { stop(); }
 
@@ -120,17 +136,124 @@ void MetricsHttpServer::handle(int fd) {
     head.append(buf, static_cast<std::size_t>(r));
   }
   const std::size_t eol = head.find("\r\n");
-  const std::string request_line =
-      eol == std::string::npos ? head : head.substr(0, eol);
-  if (request_line.rfind("GET /metrics", 0) == 0) {
-    if (before_scrape_) before_scrape_();
-    write_all(fd, http_response(
-                      200, "OK", registry_.render_prometheus(),
-                      "text/plain; version=0.0.4; charset=utf-8"));
-  } else {
-    write_all(fd, http_response(404, "Not Found", "not found\n",
-                                "text/plain; charset=utf-8"));
+  if (eol == std::string::npos || eol > kMaxRequestLine) {
+    write_all(fd, http_response(414, "URI Too Long", "request line too long\n",
+                                "text/plain; charset=utf-8", false));
+    return;
   }
+  const std::string request_line = head.substr(0, eol);
+
+  // "<METHOD> <path>[?query] HTTP/..." — exact-path routing (the
+  // historical prefix match answered `GET /metricsfoo` with /metrics).
+  const std::size_t m_end = request_line.find(' ');
+  if (m_end == std::string::npos) {
+    write_all(fd, http_response(400, "Bad Request", "malformed request\n",
+                                "text/plain; charset=utf-8", false));
+    return;
+  }
+  const std::string method = request_line.substr(0, m_end);
+  std::size_t p_end = request_line.find(' ', m_end + 1);
+  if (p_end == std::string::npos) p_end = request_line.size();
+  std::string path = request_line.substr(m_end + 1, p_end - m_end - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  const bool known_path = path == "/metrics" || path == "/healthz" ||
+                          path == "/readyz" || path == "/timeline";
+  if (!known_path) {
+    write_all(fd, http_response(404, "Not Found", "not found\n",
+                                "text/plain; charset=utf-8", false));
+    return;
+  }
+  if (method != "GET" && method != "HEAD") {
+    write_all(fd, http_response(405, "Method Not Allowed",
+                                "method not allowed\n",
+                                "text/plain; charset=utf-8", false,
+                                "Allow: GET, HEAD"));
+    return;
+  }
+  const bool is_head = method == "HEAD";
+
+  if (path == "/metrics") {
+    if (hooks_.before_scrape) hooks_.before_scrape();
+    write_all(fd, http_response(200, "OK", registry_.render_prometheus(),
+                                "text/plain; version=0.0.4; charset=utf-8",
+                                is_head));
+  } else if (path == "/healthz") {
+    write_all(fd, http_response(200, "OK", "ok\n",
+                                "text/plain; charset=utf-8", is_head));
+  } else if (path == "/readyz") {
+    const bool ready = !hooks_.ready || hooks_.ready();
+    if (ready) {
+      write_all(fd, http_response(200, "OK", "ready\n",
+                                  "text/plain; charset=utf-8", is_head));
+    } else {
+      write_all(fd, http_response(503, "Service Unavailable", "not ready\n",
+                                  "text/plain; charset=utf-8", is_head));
+    }
+  } else {  // /timeline
+    if (!hooks_.timeline) {
+      write_all(fd, http_response(404, "Not Found",
+                                  "timeline not enabled\n",
+                                  "text/plain; charset=utf-8", is_head));
+      return;
+    }
+    write_all(fd, http_response(200, "OK", hooks_.timeline(),
+                                "application/json; charset=utf-8",
+                                is_head));
+  }
+}
+
+std::string admin_http_get(const std::string& host, std::uint16_t port,
+                           const std::string& path, int* status,
+                           int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("admin_http_get: socket: ") +
+                             std::strerror(errno));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("admin_http_get: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("admin_http_get: connect " + host + ':' +
+                             std::to_string(port) + ": " + err);
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  write_all(fd, req);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  const std::size_t head_end = resp.find("\r\n\r\n");
+  if (head_end == std::string::npos || resp.rfind("HTTP/", 0) != 0) {
+    throw std::runtime_error("admin_http_get: malformed response");
+  }
+  if (status != nullptr) {
+    const std::size_t sp = resp.find(' ');
+    *status = sp == std::string::npos
+                  ? 0
+                  : std::atoi(resp.c_str() + sp + 1);
+  }
+  return resp.substr(head_end + 4);
 }
 
 }  // namespace bolt::service

@@ -1,29 +1,48 @@
-// Minimal HTTP/1.1 exposition endpoint: `GET /metrics` answers the
-// registry's Prometheus text rendering (util/prometheus.h), anything else
-// 404s. One accept thread serves requests sequentially — a scrape is a
-// single small response every few seconds, so concurrency would buy
-// nothing and cost a pool. Binds 127.0.0.1 only: the exposition carries
-// operational detail and this server implements just enough HTTP for a
-// scraper, not for the open internet.
+// Minimal HTTP/1.1 admin endpoint on 127.0.0.1 — just enough HTTP for a
+// scraper and a probe, not for the open internet. Routes (exact paths,
+// GET and HEAD only; anything else answers 404/405 properly):
+//   GET /metrics   Prometheus text exposition of the registry
+//   GET /healthz   liveness: 200 "ok" whenever the thread serves
+//   GET /readyz    readiness: 200 when the ready hook says yes, else 503
+//                  (the server wires "model loaded and front end
+//                  accepting"; probes gate rollouts on this)
+//   GET /timeline  drains the process timeline rings as Chrome Trace
+//                  Event JSON (util/trace_export.h); load in Perfetto
+// One accept thread serves requests sequentially — each response is one
+// small payload every few seconds, so concurrency would buy nothing.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <thread>
 
 #include "util/metrics.h"
 
 namespace bolt::service {
 
+/// Callbacks the owning server injects into the admin surface. All may be
+/// null: a null `ready` makes /readyz always 200, a null `timeline`
+/// makes /timeline answer 404.
+struct AdminHooks {
+  /// Runs before each /metrics snapshot (uptime/generation refresh).
+  std::function<void()> before_scrape;
+  /// Readiness probe: return true once the server can take traffic.
+  std::function<bool()> ready;
+  /// Produces the /timeline payload (drains the timeline rings).
+  std::function<std::string()> timeline;
+};
+
 class MetricsHttpServer {
  public:
   /// `port` 0 asks the kernel for an ephemeral port (tests); the bound
-  /// port is available from port() after start(). `before_scrape` (may be
-  /// null) runs before each snapshot — the server refreshes its uptime
-  /// gauge there.
+  /// port is available from port() after start().
   MetricsHttpServer(util::MetricsRegistry& registry, std::uint16_t port,
-                    std::function<void()> before_scrape = nullptr);
+                    AdminHooks hooks = {});
+  /// Back-compat shape: just the before-scrape callback.
+  MetricsHttpServer(util::MetricsRegistry& registry, std::uint16_t port,
+                    std::function<void()> before_scrape);
   ~MetricsHttpServer();
 
   MetricsHttpServer(const MetricsHttpServer&) = delete;
@@ -43,11 +62,20 @@ class MetricsHttpServer {
   void handle(int fd);
 
   util::MetricsRegistry& registry_;
-  std::function<void()> before_scrape_;
+  AdminHooks hooks_;
   std::uint16_t port_;
   int listen_fd_ = -1;
   std::thread thread_;
   std::atomic<bool> stopping_{false};
 };
+
+/// Blocking one-shot HTTP GET against a local admin endpoint: connects to
+/// `host:port`, requests `path`, and returns the response body (headers
+/// stripped). The status code lands in `*status` when non-null. Throws
+/// std::runtime_error on connect/IO failure. Shared by the `bolt
+/// timeline` verb, bolt_loadgen's --timeline-out arm, and tests.
+std::string admin_http_get(const std::string& host, std::uint16_t port,
+                           const std::string& path, int* status = nullptr,
+                           int timeout_ms = 5000);
 
 }  // namespace bolt::service

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+#include "util/trace_export.h"
+
 namespace bolt::service {
+namespace {
+
+std::int64_t to_ns(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 BatchScheduler::BatchScheduler(
     std::function<std::unique_ptr<engines::Engine>()> factory,
@@ -190,6 +202,18 @@ void BatchScheduler::run_tile(engines::Engine& engine,
                               std::vector<int>& classes) {
   const std::size_t arity = engine.num_features();
   const Clock::time_point now = Clock::now();
+  // Timeline: sample 1-in-N *tiles*. A sampled tile emits its whole
+  // lifecycle — first-enqueue → tile-close (form), kernel, completion —
+  // each span carrying the tile's row count.
+  const bool tl = util::timeline_enabled() &&
+                  util::Timeline::instance().sample();
+  if (tl && !tile.empty()) {
+    Clock::time_point first = tile.front()->enqueued;
+    for (const Pending* p : tile) first = std::min(first, p->enqueued);
+    util::timeline_record("sched", "tile_form", to_ns(first),
+                          to_ns(now) - to_ns(first), "rows",
+                          tile.size());
+  }
   rows.clear();
   std::vector<Pending*> live;
   live.reserve(tile.size());
@@ -238,17 +262,28 @@ void BatchScheduler::run_tile(engines::Engine& engine,
     }
   }
   util::TraceContext tile_trace;
-  if (any_traced) engine.attach_trace(&tile_trace);
+  // A timeline-sampled tile also attaches the tile trace (and arms it) so
+  // the kernel's internal Spans emit engine-stage timeline events; the
+  // requester-merge below still only runs for genuinely traced requests.
+  if (tl) tile_trace.set_timeline(true);
+  if (any_traced || tl) engine.attach_trace(&tile_trace);
+  const std::int64_t kernel_begin =
+      tl ? util::TraceContext::now_ns() : 0;
   try {
     engine.predict_batch(rows, live.size(), arity, classes);
   } catch (const std::exception&) {
-    if (any_traced) engine.attach_trace(nullptr);
+    if (any_traced || tl) engine.attach_trace(nullptr);
     // A throwing engine must not leave callers blocked on their futures.
     for (Pending* p : live) complete(p, {Status::kError, -1});
     return;
   }
+  const std::int64_t kernel_end = tl ? util::TraceContext::now_ns() : 0;
+  if (tl) {
+    util::timeline_record("sched", "kernel", kernel_begin,
+                          kernel_end - kernel_begin, "rows", live.size());
+  }
+  if (any_traced || tl) engine.attach_trace(nullptr);
   if (any_traced) {
-    engine.attach_trace(nullptr);
     std::vector<util::TraceContext*> merged;
     merged.reserve(4);
     for (Pending* p : live) {
@@ -262,6 +297,11 @@ void BatchScheduler::run_tile(engines::Engine& engine,
   }
   for (std::size_t i = 0; i < live.size(); ++i) {
     complete(live[i], {Status::kOk, classes[i]});
+  }
+  if (tl) {
+    util::timeline_record("sched", "complete", kernel_end,
+                          util::TraceContext::now_ns() - kernel_end, "rows",
+                          live.size());
   }
 }
 

@@ -93,6 +93,18 @@ InferenceServer::InferenceServer(
   request_latency_us_ = &metrics_.histogram("service.request_latency_us");
   batch_size_ = &metrics_.histogram(
       "service.batch_size", util::Histogram::exponential_bounds(1, 2.0, 14));
+  // Labeled series (one sample per label value; /metrics groups them
+  // under one TYPE line). Requests are counted per frame, by wire op.
+  requests_op_classify_ =
+      &metrics_.counter("service.requests_by_op{op=classify}");
+  requests_op_batch_ = &metrics_.counter("service.requests_by_op{op=batch}");
+  requests_op_stats_ = &metrics_.counter("service.requests_by_op{op=stats}");
+  requests_op_slow_ = &metrics_.counter("service.requests_by_op{op=slow}");
+  connections_unix_ =
+      &metrics_.counter("service.connections_by_transport{transport=unix}");
+  connections_tcp_ =
+      &metrics_.counter("service.connections_by_transport{transport=tcp}");
+  model_generation_ = &metrics_.gauge("model.generation");
   slow_ring_ = std::make_unique<util::SlowRing>(
       options_.trace.slow_ring_capacity, options_.trace.slow_threshold_us);
   // Runtime dispatch facts beside the compile-time ones: which membership
@@ -151,9 +163,20 @@ void InferenceServer::start() {
       tcp_port_ = bound;
     }
     if (options_.metrics_port >= 0) {
+      AdminHooks hooks;
+      hooks.before_scrape = [this] { update_uptime(); };
+      // Readiness: the front end is accepting (running_ flips true after
+      // this block, so a probe racing start() correctly sees 503) AND the
+      // caller's extra condition (e.g. "a model is loaded").
+      hooks.ready = [this] {
+        return running_.load() && (!options_.ready || options_.ready());
+      };
+      hooks.timeline = [] {
+        return util::Timeline::instance().drain_chrome_json();
+      };
       metrics_http_ = std::make_unique<MetricsHttpServer>(
           metrics_, static_cast<std::uint16_t>(options_.metrics_port),
-          [this] { update_uptime(); });
+          std::move(hooks));
       metrics_http_->start();
     }
   } catch (...) {
@@ -172,8 +195,11 @@ void InferenceServer::start() {
   if (spare_fd_ < 0) {
     spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
   }
+  // Process-global timeline: this server's knobs win (see ServerOptions).
+  util::Timeline::instance().configure(options_.timeline);
   running_.store(true);
   start_time_ = std::chrono::steady_clock::now();
+  update_uptime();  // model.generation is live from the first STATS/scrape
   if (options_.front_end == FrontEnd::kEventLoop) {
     event_loop_ = std::make_unique<EventLoop>(*this);
     try {
@@ -203,6 +229,10 @@ void InferenceServer::update_uptime() {
   uptime_seconds_->set(std::chrono::duration_cast<std::chrono::seconds>(
                            std::chrono::steady_clock::now() - start_time_)
                            .count());
+  if (options_.model_generation) {
+    model_generation_->set(
+        static_cast<std::int64_t>(options_.model_generation()));
+  }
 }
 
 void InferenceServer::stop() {
@@ -302,6 +332,9 @@ void InferenceServer::accept_loop(int listen_fd, bool tcp) {
     }
     backoff_ms = 1;
     if (tcp) detail::set_tcp_nodelay(fd);
+    if (options_.metrics) {
+      (tcp ? connections_tcp_ : connections_unix_)->inc();
+    }
     {
       std::lock_guard lock(conn_mu_);
       // Re-check under the lock: a connection that won the race against
@@ -369,10 +402,15 @@ void InferenceServer::finish_classify(Response& resp,
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   if (record) {
     requests_total_->inc();
+    requests_op_classify_->inc();
     if (resp.predicted_class < 0) errors_total_->inc();
     request_latency_us_->record(static_cast<double>(total_ns) / 1000.0);
   }
   if (tctx != nullptr) {
+    if (tctx->timeline_armed()) {
+      util::timeline_record("service", "classify", timing.request_start_ns,
+                            total_ns);
+    }
     if (record) traced_requests_->inc();
     const bool captured = slow_ring_->maybe_capture(
         *tctx, static_cast<double>(total_ns) / 1000.0, "CLASSIFY", 1);
@@ -408,12 +446,17 @@ void InferenceServer::finish_batch(BatchResponse& bresp,
   requests_served_.fetch_add(rows, std::memory_order_relaxed);
   if (record) {
     batch_requests_total_->inc();
+    requests_op_batch_->inc();
     batch_size_->record(static_cast<double>(rows));
     requests_total_->inc(rows);
     errors_total_->inc(batch_errors);
     request_latency_us_->record(static_cast<double>(total_ns) / 1000.0);
   }
   if (btrace != nullptr) {
+    if (btrace->timeline_armed()) {
+      util::timeline_record("service", "batch", timing.request_start_ns,
+                            total_ns, "rows", rows);
+    }
     if (record) traced_requests_->inc();
     const bool captured = slow_ring_->maybe_capture(
         *btrace, static_cast<double>(total_ns) / 1000.0, "BATCH",
@@ -437,7 +480,10 @@ void InferenceServer::process_frame(std::span<const std::uint8_t> frame,
       if (record) malformed_total_->inc();
       throw;
     }
-    if (record) stats_requests_total_->inc();
+    if (record) {
+      stats_requests_total_->inc();
+      requests_op_stats_->inc();
+    }
     update_uptime();
     const util::MetricsSnapshot snap = metrics_.snapshot();
     StatsResponse sresp;
@@ -457,7 +503,10 @@ void InferenceServer::process_frame(std::span<const std::uint8_t> frame,
       if (record) malformed_total_->inc();
       throw;
     }
-    if (record) slow_op_requests_->inc();
+    if (record) {
+      slow_op_requests_->inc();
+      requests_op_slow_->inc();
+    }
     SlowResponse sresp;
     sresp.body = (qreq.flags & kSlowFlagJson) ? slow_ring_->render_json()
                                               : slow_ring_->render_text();
@@ -488,8 +537,10 @@ void InferenceServer::process_frame(std::span<const std::uint8_t> frame,
     // the canonical slow request) but carry no wire trace section — the
     // breakdown is retrieved post-hoc via SLOW.
     util::TraceContext batch_trace;
+    const bool batch_tl = util::Timeline::instance().sample();
     util::TraceContext* btrace =
-        sampler_.should_trace() ? &batch_trace : nullptr;
+        sampler_.should_trace() || batch_tl ? &batch_trace : nullptr;
+    if (batch_tl) batch_trace.set_timeline(true);
     if (btrace != nullptr) {
       btrace->add(util::Stage::kDecode, batch_decode_ns);
     }
@@ -560,8 +611,11 @@ void InferenceServer::process_frame(std::span<const std::uint8_t> frame,
   const bool client_trace =
       util::kTracingCompiledIn && (req.flags & kFlagTrace) != 0;
   util::TraceContext trace_ctx;
+  const bool tl_sample = util::Timeline::instance().sample();
   util::TraceContext* tctx =
-      client_trace || sampler_.should_trace() ? &trace_ctx : nullptr;
+      client_trace || sampler_.should_trace() || tl_sample ? &trace_ctx
+                                                           : nullptr;
+  if (tl_sample) trace_ctx.set_timeline(true);
   if (tctx != nullptr) tctx->add(util::Stage::kDecode, decode_ns);
   Response resp;
   timing.attr_before = tctx != nullptr ? tctx->attributed_ns() : 0;
@@ -628,8 +682,11 @@ void InferenceServer::process_frame_async(
           util::TraceContext::now_ns() - fl->timing.request_start_ns;
       fl->client_trace =
           util::kTracingCompiledIn && (fl->req.flags & kFlagTrace) != 0;
-      fl->tctx =
-          fl->client_trace || sampler_.should_trace() ? &fl->trace : nullptr;
+      const bool fl_tl = util::Timeline::instance().sample();
+      fl->tctx = fl->client_trace || sampler_.should_trace() || fl_tl
+                     ? &fl->trace
+                     : nullptr;
+      if (fl_tl) fl->trace.set_timeline(true);
       if (fl->tctx != nullptr) fl->tctx->add(util::Stage::kDecode, decode_ns);
       fl->timing.attr_before =
           fl->tctx != nullptr ? fl->tctx->attributed_ns() : 0;
@@ -685,7 +742,9 @@ void InferenceServer::process_frame_async(
         util::TraceContext::now_ns() - fl->timing.request_start_ns;
     fl->rows = fl->breq.num_rows();
     fl->bresp.classes.assign(fl->rows, kClassError);
-    fl->btrace = sampler_.should_trace() ? &fl->trace : nullptr;
+    const bool bfl_tl = util::Timeline::instance().sample();
+    fl->btrace = sampler_.should_trace() || bfl_tl ? &fl->trace : nullptr;
+    if (bfl_tl) fl->trace.set_timeline(true);
     if (fl->btrace != nullptr) {
       fl->btrace->add(util::Stage::kDecode, decode_ns);
     }

@@ -23,6 +23,7 @@
 #include "service/scheduler.h"
 #include "util/metrics.h"
 #include "util/trace.h"
+#include "util/trace_export.h"
 
 namespace bolt::service {
 
@@ -82,10 +83,24 @@ struct ServerOptions {
   /// trace.slow_threshold_us arms every request and captures those that
   /// exceed it. A client setting kFlagTrace is always traced.
   util::TraceConfig trace;
-  /// Prometheus exposition over HTTP (`GET /metrics`) on 127.0.0.1:
-  /// -1 disables the endpoint, 0 binds a kernel-assigned ephemeral port
-  /// (tests; read it back via metrics_http_port()), >0 binds that port.
+  /// Admin HTTP surface (`GET /metrics`, `/healthz`, `/readyz`,
+  /// `/timeline`) on 127.0.0.1: -1 disables it, 0 binds a
+  /// kernel-assigned ephemeral port (tests; read it back via
+  /// metrics_http_port()), >0 binds that port.
   std::int32_t metrics_port = -1;
+  /// Timeline export (docs/OBSERVABILITY.md "Timeline"): sample_every > 0
+  /// records 1-in-N sampled events from the event loop, scheduler, engine
+  /// stages, and model swaps into the process-wide rings, drained by
+  /// `GET /timeline` as Chrome Trace Event JSON. The timeline is
+  /// process-global; the last started server's config wins.
+  util::TimelineConfig timeline;
+  /// Extra readiness probe ANDed into `GET /readyz` beside "the front end
+  /// is accepting" (e.g. "a model is loaded"). Null = no extra condition.
+  std::function<bool()> ready;
+  /// When set, polled before every STATS snapshot and /metrics scrape to
+  /// refresh the `model.generation` gauge — wire ModelHandle::generation
+  /// here so hot swaps are observable.
+  std::function<std::uint64_t()> model_generation;
   /// Extra labels appended to bolt_build_info (STATS and /metrics) beside
   /// the compiled-in and runtime-dispatch facts — the serve front end
   /// reports the model artifact's version (1=v1 heap, 2=v2 mapped),
@@ -251,6 +266,16 @@ class InferenceServer {
   util::Counter* slow_op_requests_ = nullptr;
   util::Histogram* request_latency_us_ = nullptr;
   util::Histogram* batch_size_ = nullptr;
+  // Labeled series (util/prometheus.h naming convention): request counts
+  // by wire op and connection counts by transport, plus the hot-swap
+  // generation gauge refreshed from ServerOptions::model_generation.
+  util::Counter* requests_op_classify_ = nullptr;
+  util::Counter* requests_op_batch_ = nullptr;
+  util::Counter* requests_op_stats_ = nullptr;
+  util::Counter* requests_op_slow_ = nullptr;
+  util::Counter* connections_unix_ = nullptr;
+  util::Counter* connections_tcp_ = nullptr;
+  util::Gauge* model_generation_ = nullptr;
 };
 
 }  // namespace bolt::service

@@ -32,9 +32,72 @@ void append_value(std::string& out, double v) {
     out += v > 0 ? "+Inf" : "-Inf";
     return;
   }
+  if (std::isnan(v)) {
+    out += "NaN";  // %g would print "nan", which the format does not allow
+    return;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   out += buf;
+}
+
+/// Registry names may carry a `base{key=value,...}` label block (see the
+/// header comment). Splits it; returns false (leaving outputs untouched)
+/// when the name has no well-formed block.
+bool split_labeled_name(
+    const std::string& name, std::string* base,
+    std::vector<std::pair<std::string, std::string>>* labels) {
+  const std::size_t open = name.find('{');
+  if (open == std::string::npos || name.back() != '}' || open == 0) {
+    return false;
+  }
+  std::vector<std::pair<std::string, std::string>> parsed;
+  std::size_t i = open + 1;
+  const std::size_t end = name.size() - 1;
+  while (i < end) {
+    const std::size_t comma = std::min(name.find(',', i), end);
+    const std::size_t eq = name.find('=', i);
+    if (eq == std::string::npos || eq >= comma || eq == i) return false;
+    parsed.emplace_back(name.substr(i, eq - i),
+                        name.substr(eq + 1, comma - eq - 1));
+    i = comma + 1;
+  }
+  if (parsed.empty()) return false;
+  *base = name.substr(0, open);
+  *labels = std::move(parsed);
+  return true;
+}
+
+/// Renders `name` as `sanitized_base{key="escaped value",...}` (or a bare
+/// sanitized name), emitting the base's `# TYPE` line the first time the
+/// base is seen — labeled series of one base must share one TYPE line.
+std::string open_sample(std::string& out, const std::string& name,
+                        const char* type,
+                        std::map<std::string, bool>& typed) {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+  const bool labeled = split_labeled_name(name, &base, &labels);
+  const std::string n = prometheus_name(labeled ? base : name);
+  if (typed.emplace(n, true).second) {
+    out += "# TYPE " + n + ' ' + type + '\n';
+  }
+  std::string sample = n;
+  if (labeled) {
+    sample += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) sample += ',';
+      first = false;
+      // Label names are narrower than metric names: no colon allowed.
+      std::string key = prometheus_name(k);
+      for (char& c : key) {
+        if (c == ':') c = '_';
+      }
+      sample += key + "=\"" + prometheus_escape_label(v) + '"';
+    }
+    sample += '}';
+  }
+  return sample;
 }
 
 /// le bound rendering: short and round-trippable enough for scrape
@@ -75,15 +138,16 @@ std::string prometheus_escape_label(std::string_view value) {
 
 std::string MetricsSnapshot::to_prometheus() const {
   std::string out;
+  // One TYPE line per (sanitized) base name, shared by every labeled
+  // series of that base — the validator rejects duplicate TYPE lines.
+  std::map<std::string, bool> typed;
   for (const auto& [name, v] : counters) {
-    const std::string n = prometheus_name(name);
-    out += "# TYPE " + n + " counter\n";
-    out += n + ' ' + std::to_string(v) + '\n';
+    const std::string sample = open_sample(out, name, "counter", typed);
+    out += sample + ' ' + std::to_string(v) + '\n';
   }
   for (const auto& [name, v] : gauges) {
-    const std::string n = prometheus_name(name);
-    out += "# TYPE " + n + " gauge\n";
-    out += n + ' ' + std::to_string(v) + '\n';
+    const std::string sample = open_sample(out, name, "gauge", typed);
+    out += sample + ' ' + std::to_string(v) + '\n';
   }
   for (const auto& [name, h] : histograms) {
     const std::string n = prometheus_name(name);
@@ -113,8 +177,11 @@ std::string MetricsSnapshot::to_prometheus() const {
     for (const auto& [key, value] : build_info) {
       if (!first) out += ',';
       first = false;
-      out += prometheus_name(key) + "=\"" + prometheus_escape_label(value) +
-             '"';
+      std::string k = prometheus_name(key);
+      for (char& c : k) {
+        if (c == ':') c = '_';  // label names, unlike metric names, ban ':'
+      }
+      out += k + "=\"" + prometheus_escape_label(value) + '"';
     }
     out += "} 1\n";
   }
@@ -175,9 +242,18 @@ bool parse_sample(std::string_view line, std::size_t line_no, Sample* s,
     ++i;
     while (i < line.size() && line[i] != '}') {
       std::size_t k = i;
-      while (k < line.size() && legal_name_char(line[k], k == i)) ++k;
+      while (k < line.size() && legal_name_char(line[k], k == i) &&
+             line[k] != ':') {
+        ++k;  // label names are [a-zA-Z_][a-zA-Z0-9_]* — no colon
+      }
       if (k == i) return fail(error, line_no, "empty label name");
+      if (k < line.size() && line[k] == ':') {
+        return fail(error, line_no, "':' in label name");
+      }
       const std::string key(line.substr(i, k - i));
+      if (s->label(key) != nullptr) {
+        return fail(error, line_no, "duplicate label name '" + key + "'");
+      }
       if (k >= line.size() || line[k] != '=') {
         return fail(error, line_no, "label missing '='");
       }

@@ -9,6 +9,13 @@
 // `_bucket{le="..."}` series ending in `le="+Inf"`, then `_sum` and
 // `_count`. Label values are escaped per the exposition spec
 // (backslash, double quote, newline).
+//
+// Labeled series ride on a naming convention: a registry name of the form
+// `base{key=value,key2=value2}` (raw, unquoted values) renders as a
+// labeled sample — keys sanitized like metric names, values escaped and
+// quoted — and every series of one base shares a single `# TYPE` line,
+// as the format requires. `service.requests_by_op{op=classify}` →
+// `service_requests_by_op{op="classify"} 7`.
 #pragma once
 
 #include <string>
@@ -32,7 +39,8 @@ std::string prometheus_escape_label(std::string_view value);
 ///     stripped for histogram series) was declared by a preceding
 ///     `# TYPE` line, and at most one TYPE line exists per name;
 ///   - label values are double-quoted with no raw newline and no
-///     dangling backslash escape;
+///     dangling or invalid backslash escape; label names are legal
+///     ([a-zA-Z_][a-zA-Z0-9_]*, no colon) and unique within a sample;
 ///   - histogram buckets have strictly ascending `le` bounds,
 ///     non-decreasing cumulative counts, end in `le="+Inf"`, and the
 ///     +Inf bucket equals the `_count` sample;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/trace_export.h"
+
 namespace bolt::util {
 
 const char* stage_name(Stage s) {
@@ -17,6 +19,11 @@ const char* stage_name(Stage s) {
     case Stage::kEncode: return "encode";
   }
   return "unknown";
+}
+
+void timeline_record_stage(Stage s, std::int64_t begin_ns,
+                           std::int64_t dur_ns) {
+  timeline_record("engine", stage_name(s), begin_ns, dur_ns);
 }
 
 SlowRing::SlowRing(std::size_t capacity, std::uint32_t threshold_us)

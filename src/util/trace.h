@@ -59,6 +59,12 @@ inline constexpr std::size_t kNumStages = 8;
 
 const char* stage_name(Stage s);
 
+/// Emits one completed stage span onto the process timeline
+/// (util/trace_export.h) under the "engine" category. Implemented in
+/// trace.cpp; called by Span::end() only for timeline-armed contexts.
+void timeline_record_stage(Stage s, std::int64_t begin_ns,
+                           std::int64_t dur_ns);
+
 /// One stage's accumulated time within a single trace.
 struct StageTotals {
   std::uint32_t count = 0;      // times the stage was entered
@@ -88,6 +94,7 @@ class TraceContext {
       total_ns_[s].store(0, std::memory_order_relaxed);
       count_[s].store(0, std::memory_order_relaxed);
     }
+    timeline_.store(false, std::memory_order_relaxed);
   }
 
   /// Adds a completed span to `stage`. Negative durations (clock noise on
@@ -119,6 +126,18 @@ class TraceContext {
             total_ns_[i].load(std::memory_order_relaxed)};
   }
 
+  /// Arms this context for timeline export: every Span recorded into it
+  /// also lands on the process timeline (util/trace_export.h). Set by the
+  /// server when the timeline sampler picks the request/tile, before the
+  /// context is shared across the scheduler boundary (relaxed atomic —
+  /// the scheduler queue's mutex orders the handoff).
+  void set_timeline(bool armed) {
+    timeline_.store(armed, std::memory_order_relaxed);
+  }
+  bool timeline_armed() const {
+    return timeline_.load(std::memory_order_relaxed);
+  }
+
   /// Total time attributed to any stage so far. The dispatch span is
   /// derived from this: inference-layer wall time minus the attribution
   /// delta across the call, so spans sum to the request latency instead
@@ -143,7 +162,11 @@ class TraceContext {
 
     void end() {
       if (ctx_ == nullptr) return;
-      ctx_->add(stage_, now_ns() - begin_);
+      const std::int64_t now = now_ns();
+      ctx_->add(stage_, now - begin_);
+      if (ctx_->timeline_armed()) {
+        timeline_record_stage(stage_, begin_, now - begin_);
+      }
       ctx_ = nullptr;
     }
 
@@ -156,6 +179,7 @@ class TraceContext {
  private:
   std::atomic<std::uint64_t> total_ns_[kNumStages];
   std::atomic<std::uint32_t> count_[kNumStages];
+  std::atomic<bool> timeline_{false};
 };
 
 /// Runtime tracing knobs (ServerOptions::trace).

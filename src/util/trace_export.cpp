@@ -1,0 +1,237 @@
+#include "util/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace bolt::util {
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v && p < (std::size_t{1} << 20)) p <<= 1;
+  return p;
+}
+
+/// Escapes a string for a JSON string literal. Event names are literals
+/// under our control, but the renderer must stay safe for any input.
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TimelineRing::TimelineRing(std::size_t capacity, std::uint32_t display_tid)
+    : mask_(round_up_pow2(std::max<std::size_t>(capacity, 8)) - 1),
+      display_tid_(display_tid),
+      slots_(std::make_unique<Slot[]>(mask_ + 1)) {}
+
+void TimelineRing::record(const TimelineEvent& e) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  Slot& s = slots_[h & mask_];
+  // Seqlock write: 0 marks the slot in-progress so a concurrent drain
+  // skips it; the release store of h+1 publishes the fields.
+  s.seq.store(0, std::memory_order_release);
+  s.cat.store(e.cat, std::memory_order_relaxed);
+  s.name.store(e.name, std::memory_order_relaxed);
+  s.ts_ns.store(e.ts_ns, std::memory_order_relaxed);
+  s.dur_ns.store(e.dur_ns, std::memory_order_relaxed);
+  s.arg_name.store(e.arg_name, std::memory_order_relaxed);
+  s.arg.store(e.arg, std::memory_order_relaxed);
+  s.seq.store(h + 1, std::memory_order_release);
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t TimelineRing::drain(std::vector<TimelineEvent>& out) {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t cursor = drained_.load(std::memory_order_relaxed);
+  if (cursor > head) cursor = head;  // cursor reset after reset_for_testing
+  std::uint64_t dropped = 0;
+  // Events lapped by the writer are gone; start at the oldest that can
+  // still be resident.
+  const std::uint64_t cap = mask_ + 1;
+  if (head - cursor > cap) {
+    dropped += (head - cursor) - cap;
+    cursor = head - cap;
+  }
+  for (; cursor < head; ++cursor) {
+    Slot& s = slots_[cursor & mask_];
+    const std::uint64_t seq_before = s.seq.load(std::memory_order_acquire);
+    if (seq_before != cursor + 1) {
+      ++dropped;  // overwritten (or mid-overwrite) since we read head
+      continue;
+    }
+    TimelineEvent e;
+    e.cat = s.cat.load(std::memory_order_relaxed);
+    e.name = s.name.load(std::memory_order_relaxed);
+    e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+    e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    e.arg_name = s.arg_name.load(std::memory_order_relaxed);
+    e.arg = s.arg.load(std::memory_order_relaxed);
+    const std::uint64_t seq_after = s.seq.load(std::memory_order_acquire);
+    if (seq_after != cursor + 1) {
+      ++dropped;  // writer lapped us mid-copy
+      continue;
+    }
+    out.push_back(e);
+  }
+  drained_.store(head, std::memory_order_relaxed);
+  return dropped;
+}
+
+Timeline& Timeline::instance() {
+  static Timeline t;
+  return t;
+}
+
+void Timeline::configure(const TimelineConfig& cfg) {
+  if constexpr (!kTimelineCompiledIn) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ring_capacity_ = cfg.ring_capacity == 0 ? 4096 : cfg.ring_capacity;
+  }
+  n_.store(0, std::memory_order_relaxed);
+  sample_every_.store(cfg.sample_every, std::memory_order_relaxed);
+}
+
+TimelineConfig Timeline::config() const {
+  TimelineConfig cfg;
+  cfg.sample_every = sample_every_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  cfg.ring_capacity = ring_capacity_;
+  return cfg;
+}
+
+TimelineRing* Timeline::ring_for_this_thread() {
+  // Shared ownership: the registry's reference keeps the ring readable
+  // after its thread exits, so a drain never touches freed memory.
+  thread_local std::shared_ptr<TimelineRing> ring;
+  if (!ring) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ring = std::make_shared<TimelineRing>(ring_capacity_, next_tid_++);
+    rings_.push_back(ring);
+  }
+  return ring.get();
+}
+
+void Timeline::record(const char* cat, const char* name, std::int64_t ts_ns,
+                      std::int64_t dur_ns, const char* arg_name,
+                      std::uint64_t arg) {
+  if constexpr (!kTimelineCompiledIn) return;
+  if (!enabled()) return;
+  TimelineEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  ring_for_this_thread()->record(e);
+}
+
+void Timeline::record_instant(const char* cat, const char* name,
+                              std::int64_t ts_ns, const char* arg_name,
+                              std::uint64_t arg) {
+  record(cat, name, ts_ns, -1, arg_name, arg);
+}
+
+std::string Timeline::drain_chrome_json() {
+  std::vector<std::pair<std::uint32_t, TimelineEvent>> events;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<TimelineEvent> buf;
+    for (const auto& ring : rings_) {
+      buf.clear();
+      dropped += ring->drain(buf);
+      for (const TimelineEvent& e : buf) {
+        events.emplace_back(ring->display_tid(), e);
+      }
+    }
+  }
+  if (dropped > 0) dropped_.fetch_add(dropped, std::memory_order_relaxed);
+
+  // Chrome Trace Event Format, JSON-object form: a "traceEvents" array of
+  // ph "X" (complete) and ph "i" (instant) events, ts/dur in microseconds.
+  // Perfetto and chrome://tracing load this directly.
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, e] : events) {
+    if (e.name == nullptr) continue;  // defensive: never rendered blank
+    if (!first) out += ',';
+    first = false;
+    char buf[160];
+    const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+    if (e.dur_ns < 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
+                    "\"ts\":%.3f",
+                    tid, ts_us);
+    } else {
+      const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                    "\"dur\":%.3f",
+                    tid, ts_us, dur_us);
+    }
+    out += buf;
+    out += ",\"cat\":\"";
+    append_json_escaped(out, e.cat != nullptr ? e.cat : "event");
+    out += "\",\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += '"';
+    if (e.arg_name != nullptr) {
+      out += ",\"args\":{\"";
+      append_json_escaped(out, e.arg_name);
+      std::snprintf(buf, sizeof(buf), "\":%" PRIu64 "}", e.arg);
+      out += buf;
+    }
+    out += '}';
+  }
+  out += "],\"otherData\":{\"dropped\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, dropped);
+  out += buf;
+  out += "}}";
+  return out;
+}
+
+void Timeline::reset_for_testing() {
+  sample_every_.store(0, std::memory_order_relaxed);
+  n_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  // Rings stay registered — live threads hold thread_local references and
+  // would otherwise keep recording into orphans — but their undrained
+  // events are discarded so the next drain starts clean.
+  std::vector<TimelineEvent> discard;
+  for (const auto& ring : rings_) ring->drain(discard);
+  ring_capacity_ = 4096;
+}
+
+void timeline_record(const char* cat, const char* name, std::int64_t ts_ns,
+                     std::int64_t dur_ns, const char* arg_name,
+                     std::uint64_t arg) {
+  Timeline::instance().record(cat, name, ts_ns, dur_ns, arg_name, arg);
+}
+
+}  // namespace bolt::util

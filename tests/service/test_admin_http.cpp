@@ -1,0 +1,345 @@
+// Admin HTTP surface + timeline export integration (docs/OBSERVABILITY.md
+// "Admin endpoints"): request routing (404/405/HEAD/414), /healthz and
+// /readyz lifecycle, /timeline Chrome Trace JSON with event-loop,
+// scheduler, engine, and generation-swap events, the labeled per-op /
+// per-transport Prometheus series, and the model_generation gauge across
+// a live ModelHandle::reload().
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../helpers.h"
+#include "bolt/artifact/handle.h"
+#include "service/metrics_http.h"
+#include "service/server.h"
+#include "util/prometheus.h"
+#include "util/trace_export.h"
+
+namespace bolt::service {
+namespace {
+
+std::string temp_path(const char* tag, const char* ext) {
+  return ::testing::TempDir() + "/bolt_admin_" + tag + "_" +
+         std::to_string(::getpid()) + ext;
+}
+
+std::uint64_t stat_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    if (text.compare(pos, name.size(), name) == 0 &&
+        pos + name.size() < eol && text[pos + name.size()] == ' ') {
+      return std::stoull(text.substr(pos + name.size() + 1,
+                                     eol - pos - name.size() - 1));
+    }
+    pos = eol + 1;
+  }
+  ADD_FAILURE() << "metric not found: " << name << "\n" << text;
+  return 0;
+}
+
+/// Sends `raw` verbatim to 127.0.0.1:`port` and returns the full response.
+std::string http_raw(std::int32_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)!::write(fd, raw.data(), raw.size());
+  std::string out;
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+class AdminHttpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Timeline::instance().reset_for_testing();
+    forest_ = bolt::testing::small_forest(6, 4, 31);
+    inputs_ = bolt::testing::small_dataset(80, 32);
+    artifact_ = std::make_unique<core::BoltForest>(
+        core::BoltForest::build(forest_, {}));
+  }
+  void TearDown() override { util::Timeline::instance().reset_for_testing(); }
+
+  std::unique_ptr<InferenceServer> make_server(const char* tag,
+                                               ServerOptions opts) {
+    opts.metrics_port = 0;  // ephemeral
+    auto server = std::make_unique<InferenceServer>(
+        temp_path(tag, ".sock"),
+        [&] { return std::make_unique<core::BoltEngine>(*artifact_); }, opts);
+    server->start();
+    return server;
+  }
+
+  forest::Forest forest_;
+  data::Dataset inputs_{0, 0};
+  std::unique_ptr<core::BoltForest> artifact_;
+};
+
+TEST_F(AdminHttpFixture, RoutingAndMethodHandling) {
+  auto server = make_server("routing", ServerOptions{});
+  const std::int32_t port = server->metrics_http_port();
+  ASSERT_GT(port, 0);
+
+  // Exact-path routing: /metrics works, a prefix-extended path does not.
+  int status = 0;
+  admin_http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/metrics",
+                 &status);
+  EXPECT_EQ(status, 200);
+  admin_http_get("127.0.0.1", static_cast<std::uint16_t>(port),
+                 "/metricsfoo", &status);
+  EXPECT_EQ(status, 404);
+  admin_http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/nope",
+                 &status);
+  EXPECT_EQ(status, 404);
+  // A query string does not break path matching.
+  admin_http_get("127.0.0.1", static_cast<std::uint16_t>(port),
+                 "/healthz?verbose=1", &status);
+  EXPECT_EQ(status, 200);
+
+  // Non-GET methods: 405 with the allowed set.
+  const std::string post =
+      http_raw(port, "POST /metrics HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos) << post;
+  EXPECT_NE(post.find("Allow: GET, HEAD"), std::string::npos) << post;
+
+  // HEAD: full headers with the real Content-Length, no body.
+  const std::string head =
+      http_raw(port, "HEAD /healthz HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(head.find("200 OK"), std::string::npos) << head;
+  EXPECT_NE(head.find("Content-Length: 3"), std::string::npos) << head;
+  EXPECT_TRUE(http_body(head).empty()) << head;
+
+  // Malformed request line.
+  EXPECT_NE(http_raw(port, "NONSENSE\r\n\r\n").find("400"),
+            std::string::npos);
+
+  // Request line beyond the cap.
+  const std::string long_req =
+      "GET /" + std::string(4096, 'a') + " HTTP/1.1\r\n\r\n";
+  EXPECT_NE(http_raw(port, long_req).find("414"), std::string::npos);
+  server->stop();
+}
+
+TEST_F(AdminHttpFixture, HealthAndReadiness) {
+  // healthz: the process answers. readyz: serving traffic AND the
+  // optional application hook agrees.
+  std::atomic<bool> app_ready{true};
+  ServerOptions opts;
+  opts.ready = [&app_ready] { return app_ready.load(); };
+  auto server = make_server("ready", opts);
+  const std::int32_t port = server->metrics_http_port();
+  ASSERT_GT(port, 0);
+
+  int status = 0;
+  std::string body = admin_http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/healthz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+  body = admin_http_get("127.0.0.1", static_cast<std::uint16_t>(port),
+                        "/readyz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ready\n");
+
+  app_ready.store(false);
+  body = admin_http_get("127.0.0.1", static_cast<std::uint16_t>(port),
+                        "/readyz", &status);
+  EXPECT_EQ(status, 503);
+  EXPECT_EQ(body, "not ready\n");
+  // Liveness is unaffected by readiness.
+  admin_http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/healthz",
+                 &status);
+  EXPECT_EQ(status, 200);
+  server->stop();
+}
+
+TEST_F(AdminHttpFixture, LabeledSeriesAndPerOpCounters) {
+  auto server = make_server("labels", ServerOptions{});
+  const std::int32_t port = server->metrics_http_port();
+  ASSERT_GT(port, 0);
+
+  InferenceClient client(server->socket_path());
+  for (int i = 0; i < 7; ++i) client.classify(inputs_.row(i));
+  client.stats();
+
+  int status = 0;
+  const std::string body = admin_http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/metrics", &status);
+  ASSERT_EQ(status, 200);
+  std::string error;
+  EXPECT_TRUE(util::validate_prometheus(body, &error)) << error << "\n"
+                                                       << body;
+  EXPECT_EQ(stat_value(body, "service_requests_by_op{op=\"classify\"}"), 7u);
+  EXPECT_GE(stat_value(body, "service_requests_by_op{op=\"stats\"}"), 1u);
+  EXPECT_GE(
+      stat_value(body, "service_connections_by_transport{transport=\"unix\"}"),
+      1u);
+  // One TYPE line per labeled base, as the exposition format requires.
+  EXPECT_EQ(body.find("# TYPE service_requests_by_op counter"),
+            body.rfind("# TYPE service_requests_by_op counter"));
+  EXPECT_NE(body.find("model_generation"), std::string::npos) << body;
+  server->stop();
+}
+
+TEST_F(AdminHttpFixture, EventLoopMetricsUnderConnectionChurn) {
+  if (!util::kTimelineCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  ServerOptions opts;
+  opts.front_end = FrontEnd::kEventLoop;
+  opts.workers = 2;
+  opts.timeline.sample_every = 1;
+  auto server = make_server("churn", opts);
+  const std::int32_t port = server->metrics_http_port();
+  ASSERT_GT(port, 0);
+
+  // Churn: short-lived connections, one classify each.
+  constexpr int kConns = 24;
+  for (int c = 0; c < kConns; ++c) {
+    InferenceClient client(server->socket_path());
+    EXPECT_GE(client.classify(inputs_.row(c % 16)).predicted_class, 0);
+  }
+
+  int status = 0;
+  const std::string body = admin_http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/metrics", &status);
+  ASSERT_EQ(status, 200);
+  std::string error;
+  EXPECT_TRUE(util::validate_prometheus(body, &error)) << error;
+  EXPECT_GE(
+      stat_value(body, "service_connections_by_transport{transport=\"unix\"}"),
+      static_cast<std::uint64_t>(kConns));
+  EXPECT_EQ(stat_value(body, "service_requests"),
+            static_cast<std::uint64_t>(kConns));
+
+  // The event loop fed the timeline: epoll wake batches and the
+  // readiness->dispatch spans are in the drain.
+  const std::string trace = admin_http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/timeline", &status);
+  ASSERT_EQ(status, 200);
+  EXPECT_NE(trace.find("\"cat\":\"loop\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"name\":\"epoll_wake\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"dispatch_wait\""), std::string::npos);
+  server->stop();
+}
+
+TEST_F(AdminHttpFixture, TimelineEndpointDrainsChromeTraceJson) {
+  if (!util::kTimelineCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  ServerOptions opts;
+  opts.timeline.sample_every = 1;
+  opts.scheduler.enabled = true;
+  opts.scheduler.max_batch_size = 8;
+  opts.scheduler.max_queue_delay_us = 100;
+  auto server = make_server("timeline", opts);
+  const std::int32_t port = server->metrics_http_port();
+  ASSERT_GT(port, 0);
+
+  InferenceClient client(server->socket_path());
+  for (int i = 0; i < 16; ++i) client.classify(inputs_.row(i));
+
+  int status = 0;
+  const std::string trace = admin_http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/timeline", &status);
+  ASSERT_EQ(status, 200);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos) << trace;
+  // Request spans, scheduler tile lifecycle, and engine stages all land
+  // in one drain.
+  EXPECT_NE(trace.find("\"cat\":\"service\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"cat\":\"sched\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"name\":\"tile_form\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"kernel\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"engine\""), std::string::npos) << trace;
+
+  // Consumed on drain: an immediate re-scrape is empty but still valid.
+  const std::string again = admin_http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/timeline", &status);
+  ASSERT_EQ(status, 200);
+  EXPECT_NE(again.find("\"traceEvents\":["), std::string::npos) << again;
+  server->stop();
+}
+
+TEST_F(AdminHttpFixture, GenerationGaugeTracksLiveReload) {
+  // Serve through a ModelHandle backed by a real artifact file, reload it
+  // under live traffic, and watch the generation move through STATS, the
+  // Prometheus gauge, and the timeline's swap/drain events.
+  const std::string artifact_path = temp_path("gen", ".bolt");
+  artifact_->save_file(artifact_path);
+  artifact::ModelHandle handle(artifact_path);
+  EXPECT_EQ(handle.generation(), 1u);
+
+  ServerOptions opts;
+  opts.metrics_port = 0;
+  opts.timeline.sample_every = 1;
+  opts.model_generation = [&handle] { return handle.generation(); };
+  InferenceServer server(
+      temp_path("gen", ".sock"),
+      [&handle] { return std::make_unique<core::BoltEngine>(handle.current()); },
+      opts);
+  server.start();
+  const std::int32_t port = server.metrics_http_port();
+  ASSERT_GT(port, 0);
+
+  int status = 0;
+  std::string body = admin_http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/metrics", &status);
+  ASSERT_EQ(status, 200);
+  EXPECT_EQ(stat_value(body, "model_generation"), 1u);
+
+  // Reload while a client hammers the old generation.
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    InferenceClient client(server.socket_path());
+    int i = 0;
+    while (!stop.load()) {
+      EXPECT_GE(client.classify(inputs_.row(i++ % 32)).predicted_class, 0);
+    }
+  });
+  handle.reload();
+  EXPECT_EQ(handle.generation(), 2u);
+  stop.store(true);
+  traffic.join();
+
+  const std::string stats =
+      InferenceClient(server.socket_path()).stats();
+  EXPECT_EQ(stat_value(stats, "model.generation"), 2u);
+  body = admin_http_get("127.0.0.1", static_cast<std::uint16_t>(port),
+                        "/metrics", &status);
+  EXPECT_EQ(stat_value(body, "model_generation"), 2u);
+
+  if (util::kTimelineCompiledIn) {
+    const std::string trace = admin_http_get(
+        "127.0.0.1", static_cast<std::uint16_t>(port), "/timeline", &status);
+    ASSERT_EQ(status, 200);
+    EXPECT_NE(trace.find("\"cat\":\"model\""), std::string::npos) << trace;
+    EXPECT_NE(trace.find("\"name\":\"reload\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"swap\""), std::string::npos);
+    EXPECT_NE(trace.find("\"args\":{\"generation\":2}"), std::string::npos);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace bolt::service

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 #include "util/metrics.h"
@@ -150,6 +151,66 @@ TEST(PrometheusValidator, RejectsBadEscapesAndUnterminatedLabels) {
       "# TYPE x counter\nx{l=\"open} 1\n", &error));
   EXPECT_FALSE(validate_prometheus(
       "# TYPE x counter\nx{l=\"v\"} not_a_number\n", &error));
+}
+
+TEST(PrometheusExposition, LabeledSeriesShareOneTypeLine) {
+  // Registry naming convention: `base{key=value,...}` renders as a
+  // labeled sample; series of one base share a single # TYPE line.
+  MetricsRegistry reg;
+  reg.counter("svc.by_op{op=classify}").inc(7);
+  reg.counter("svc.by_op{op=batch}").inc(2);
+  reg.counter("svc.by_op{op=weird \"op\"\n}").inc(1);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("svc_by_op{op=\"classify\"} 7"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("svc_by_op{op=\"batch\"} 2"), std::string::npos);
+  // Hostile label values are escaped, not mangled.
+  EXPECT_NE(text.find("svc_by_op{op=\"weird \\\"op\\\"\\n\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("# TYPE svc_by_op counter"),
+            text.rfind("# TYPE svc_by_op counter"));
+  std::string error;
+  EXPECT_TRUE(validate_prometheus(text, &error)) << error << "\n" << text;
+}
+
+TEST(PrometheusExposition, MalformedLabelSyntaxFallsBackToFlatName) {
+  MetricsRegistry reg;
+  reg.counter("svc.bad{not_key_value}").inc(1);
+  const std::string text = reg.render_prometheus();
+  // No '=' inside the braces: not the labeled convention, so the whole
+  // name is sanitized flat instead of rendering broken labels.
+  EXPECT_EQ(text.find("svc_bad{"), std::string::npos) << text;
+  std::string error;
+  EXPECT_TRUE(validate_prometheus(text, &error)) << error << "\n" << text;
+}
+
+TEST(PrometheusExposition, NanHistogramSumRendersParseable) {
+  // A NaN fed to a histogram must render as "NaN" (the one spelling the
+  // format accepts), not %g's "nan".
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("svc.lat", {1.0, 10.0});
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("svc_lat_sum NaN"), std::string::npos) << text;
+  std::string error;
+  EXPECT_TRUE(validate_prometheus(text, &error)) << error << "\n" << text;
+}
+
+TEST(PrometheusValidator, RejectsIllegalLabelNames) {
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\nx{bad:name=\"v\"} 1\n", &error));
+  EXPECT_NE(error.find("label name"), std::string::npos) << error;
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\nx{9lives=\"v\"} 1\n", &error));
+}
+
+TEST(PrometheusValidator, RejectsDuplicateLabelNames) {
+  std::string error;
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\nx{a=\"1\",a=\"2\"} 1\n", &error));
+  EXPECT_NE(error.find("duplicate label"), std::string::npos) << error;
 }
 
 TEST(PrometheusValidator, AcceptsEscapedLabelsAndTimestamps) {

@@ -1,0 +1,224 @@
+// Timeline export layer (util/trace_export.h): seqlock ring record/drain
+// semantics, drop accounting under overwrite and concurrent drains, the
+// process-wide sampler, Chrome Trace Event JSON rendering, and the
+// Span -> timeline hand-off when a TraceContext is armed.
+#include "util/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/trace.h"
+
+namespace bolt::util {
+namespace {
+
+/// Minimal structural JSON check: balanced {}/[] outside strings and a
+/// non-empty top-level object. Enough to catch a malformed render without
+/// a JSON parser dependency.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string && !s.empty() && s.front() == '{' &&
+         s.back() == '}';
+}
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Timeline::instance().reset_for_testing(); }
+  void TearDown() override { Timeline::instance().reset_for_testing(); }
+};
+
+TEST_F(TimelineTest, ConfigEnabledSemantics) {
+  TimelineConfig off;
+  EXPECT_FALSE(off.enabled());
+  TimelineConfig on;
+  on.sample_every = 64;
+  EXPECT_EQ(on.enabled(), kTimelineCompiledIn);
+}
+
+TEST_F(TimelineTest, DisabledByDefault) {
+  EXPECT_FALSE(timeline_enabled());
+  EXPECT_FALSE(Timeline::instance().sample());
+  // Recording while disabled is a no-op; the drain is still valid JSON.
+  timeline_record("test", "noop", 100, 50);
+  const std::string json = Timeline::instance().drain_chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos) << json;
+}
+
+TEST_F(TimelineTest, RecordAndDrainRoundTrip) {
+  if (!kTimelineCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TimelineConfig cfg;
+  cfg.sample_every = 1;
+  Timeline::instance().configure(cfg);
+  ASSERT_TRUE(timeline_enabled());
+
+  timeline_record("sched", "kernel", 1'000'000, 250'000, "rows", 32);
+  Timeline::instance().record_instant("model", "swap", 2'000'000,
+                                      "generation", 2);
+
+  const std::string json = Timeline::instance().drain_chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  // Complete span: ph "X", ts/dur in microseconds, single uint arg.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"sched\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"kernel\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":1000.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":250.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"rows\":32}"), std::string::npos) << json;
+  // Instant event: ph "i" with thread scope, no dur.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"swap\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"generation\":2}"), std::string::npos)
+      << json;
+
+  // Drains consume: the second scrape returns a disjoint (empty) window.
+  const std::string again = Timeline::instance().drain_chrome_json();
+  EXPECT_NE(again.find("\"traceEvents\":[]"), std::string::npos) << again;
+}
+
+TEST_F(TimelineTest, SamplerIsOneInN) {
+  if (!kTimelineCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TimelineConfig cfg;
+  cfg.sample_every = 4;
+  Timeline::instance().configure(cfg);
+  int hits = 0;
+  for (int i = 0; i < 400; ++i) hits += Timeline::instance().sample();
+  EXPECT_EQ(hits, 100);
+}
+
+TEST(TimelineRingTest, CapacityRoundsUpAndDrainsInOrder) {
+  TimelineRing ring(5, 7);  // rounds up to 8
+  EXPECT_EQ(ring.display_tid(), 7u);
+  for (int i = 0; i < 3; ++i) {
+    TimelineEvent e;
+    e.cat = "t";
+    e.name = "e";
+    e.ts_ns = i;
+    ring.record(e);
+  }
+  std::vector<TimelineEvent> out;
+  EXPECT_EQ(ring.drain(out), 0u);
+  ASSERT_EQ(out.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i].ts_ns, i);
+  out.clear();
+  EXPECT_EQ(ring.drain(out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TimelineRingTest, OverwriteCountsDroppedKeepsNewest) {
+  TimelineRing ring(8, 1);
+  for (int i = 0; i < 20; ++i) {
+    TimelineEvent e;
+    e.cat = "t";
+    e.name = "e";
+    e.ts_ns = i;
+    ring.record(e);
+  }
+  std::vector<TimelineEvent> out;
+  // 20 recorded into 8 slots: the 12 oldest were lapped.
+  EXPECT_EQ(ring.drain(out), 12u);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out.front().ts_ns, 12);
+  EXPECT_EQ(out.back().ts_ns, 19);
+}
+
+TEST(TimelineRingTest, ConcurrentWriterAndDrainLoseNothingUnaccounted) {
+  constexpr std::uint64_t kEvents = 50'000;
+  TimelineRing ring(256, 1);
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      TimelineEvent e;
+      e.cat = "w";
+      e.name = "e";
+      e.ts_ns = static_cast<std::int64_t>(i);
+      ring.record(e);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::uint64_t drained = 0, dropped = 0;
+  std::vector<TimelineEvent> out;
+  while (!done.load(std::memory_order_acquire)) {
+    out.clear();
+    dropped += ring.drain(out);
+    drained += out.size();
+  }
+  writer.join();
+  out.clear();
+  dropped += ring.drain(out);
+  drained += out.size();
+  // Every event is either delivered or counted as dropped — never silent.
+  EXPECT_EQ(drained + dropped, kEvents);
+  EXPECT_GT(drained, 0u);
+}
+
+TEST_F(TimelineTest, MultiThreadEventsCarryDistinctTids) {
+  if (!kTimelineCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TimelineConfig cfg;
+  cfg.sample_every = 1;
+  Timeline::instance().configure(cfg);
+  std::thread other([] { timeline_record("test", "other_thread", 10, 5); });
+  other.join();
+  timeline_record("test", "main_thread", 20, 5);
+  const std::string json = Timeline::instance().drain_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"other_thread\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"main_thread\""), std::string::npos)
+      << json;
+}
+
+TEST_F(TimelineTest, ArmedTraceContextSpansFeedTheTimeline) {
+  if (!kTimelineCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TimelineConfig cfg;
+  cfg.sample_every = 1;
+  Timeline::instance().configure(cfg);
+
+  TraceContext unarmed;
+  { TraceContext::Span s(&unarmed, Stage::kScan); }
+  std::string json = Timeline::instance().drain_chrome_json();
+  EXPECT_EQ(json.find("\"cat\":\"engine\""), std::string::npos) << json;
+
+  TraceContext armed;
+  armed.set_timeline(true);
+  EXPECT_TRUE(armed.timeline_armed());
+  { TraceContext::Span s(&armed, Stage::kScan); }
+  json = Timeline::instance().drain_chrome_json();
+  EXPECT_NE(json.find("\"cat\":\"engine\""), std::string::npos) << json;
+  EXPECT_NE(json.find(stage_name(Stage::kScan)), std::string::npos) << json;
+
+  armed.reset();
+  EXPECT_FALSE(armed.timeline_armed());  // reset() disarms for reuse
+}
+
+TEST_F(TimelineTest, EscapesHostileNamesInJson) {
+  if (!kTimelineCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TimelineConfig cfg;
+  cfg.sample_every = 1;
+  Timeline::instance().configure(cfg);
+  static const char kEvil[] = "a\"b\\c\nd";
+  timeline_record(kEvil, kEvil, 0, 1, kEvil, 9);
+  const std::string json = Timeline::instance().drain_chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace bolt::util

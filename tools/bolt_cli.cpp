@@ -11,8 +11,10 @@
 //   bolt serve    --artifact model.bolt --socket /tmp/bolt.sock
 //                 [--batching ...] [--idle-timeout-ms MS]
 //                 [--metrics-port P] [--trace-sample N]
+//                 [--timeline-sample N] [--timeline-ring K]
 //                 [--slow-threshold-us T] [--slow-ring K]
 //   bolt stats    --socket /tmp/bolt.sock [--json]
+//   bolt timeline --port P [--host H] [--out trace.json]
 //   bolt trace    --socket /tmp/bolt.sock --data test.csv [--count N]
 //   bolt slow     --socket /tmp/bolt.sock [--json]
 //   bolt batch    --data test.csv (--socket /tmp/bolt.sock |
@@ -40,6 +42,7 @@
 #include "forest/dot_io.h"
 #include "forest/serialize.h"
 #include "forest/trainer.h"
+#include "service/metrics_http.h"
 #include "service/server.h"
 #include "util/crc32c.h"
 #include "util/timer.h"
@@ -257,6 +260,7 @@ service::Endpoint client_endpoint(const Args& args) {
 }
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
 
 int cmd_serve(const Args& args) {
   // The handle owns "the current model"; every engine holds its own
@@ -310,6 +314,13 @@ int cmd_serve(const Args& args) {
       static_cast<std::uint32_t>(args.get_int("slow-threshold-us", 0));
   opts.trace.slow_ring_capacity =
       static_cast<std::size_t>(args.get_int("slow-ring", 16));
+  opts.timeline.sample_every =
+      static_cast<std::uint32_t>(args.get_int("timeline-sample", 0));
+  opts.timeline.ring_capacity =
+      static_cast<std::size_t>(args.get_int("timeline-ring", 4096));
+  // Admin surface: /readyz and the model_generation gauge track the
+  // handle, so rollouts (SIGHUP reloads below) are observable end to end.
+  opts.model_generation = [handle] { return handle->generation(); };
   opts.extra_build_labels.emplace_back(
       "artifact_version", std::to_string(handle->artifact_version()));
   opts.extra_build_labels.emplace_back(
@@ -357,9 +368,25 @@ int cmd_serve(const Args& args) {
   }
   std::signal(SIGINT, [](int) { g_stop = 1; });
   std::signal(SIGTERM, [](int) { g_stop = 1; });
+  std::signal(SIGHUP, [](int) { g_reload = 1; });
   while (!g_stop) {
     struct timespec ts = {0, 200 * 1000 * 1000};
     nanosleep(&ts, nullptr);
+    if (g_reload) {
+      g_reload = 0;
+      // Hot swap: re-read the artifact path and swap generations under
+      // live traffic. A bad file on disk leaves the old model serving.
+      try {
+        handle->reload();
+        std::printf("reloaded %s: generation %llu\n", handle->path().c_str(),
+                    static_cast<unsigned long long>(handle->generation()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "reload failed (still serving generation "
+                     "%llu): %s\n",
+                     static_cast<unsigned long long>(handle->generation()),
+                     e.what());
+      }
+    }
   }
   std::printf("served %lu requests\n",
               static_cast<unsigned long>(server.requests_served()));
@@ -373,6 +400,34 @@ int cmd_stats(const Args& args) {
   const std::string body = client.stats(args.has("json"));
   std::fwrite(body.data(), 1, body.size(), stdout);
   if (!body.empty() && body.back() != '\n') std::printf("\n");
+  return 0;
+}
+
+int cmd_timeline(const Args& args) {
+  // Drains a serving process's timeline rings through the admin HTTP
+  // surface (GET /timeline) as Chrome Trace Event JSON — load the output
+  // in Perfetto / chrome://tracing (docs/OBSERVABILITY.md). The server
+  // must be running with --metrics-port and --timeline-sample.
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  if (port == 0) throw std::runtime_error("missing required --port");
+  const std::string host = args.get("host", "127.0.0.1");
+  int status = 0;
+  const std::string body =
+      service::admin_http_get(host, port, "/timeline", &status);
+  if (status != 200) {
+    throw std::runtime_error("GET /timeline returned " +
+                             std::to_string(status) + ": " + body);
+  }
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"), std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open " + args.get("out"));
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    std::printf("wrote %zu bytes of trace JSON to %s\n", body.size(),
+                args.get("out").c_str());
+  } else {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    if (!body.empty() && body.back() != '\n') std::printf("\n");
+  }
   return 0;
 }
 
@@ -631,8 +686,14 @@ usage: bolt <command> [flags]
            [--batching [--max-batch N] [--batch-delay-us D]
             [--queue-capacity Q] [--deadline-us T] [--sched-workers W]]
            [--metrics-port P] [--trace-sample N]
+           [--timeline-sample N]       emit 1-in-N timeline events
+           [--timeline-ring K]         per-thread event ring size
            [--slow-threshold-us T] [--slow-ring K]
+           SIGHUP hot-swaps the artifact from disk (generation bump)
   stats    [--socket /tmp/bolt.sock] [--json]   scrape a live server
+  timeline --port P [--host H] [--out trace.json]
+           drain the /timeline admin endpoint as Chrome Trace Event JSON
+           (open in Perfetto or chrome://tracing)
   trace    --data test.csv [--socket /tmp/bolt.sock] [--count N]
            per-stage latency breakdown of live requests
   slow     [--socket /tmp/bolt.sock] [--json]   dump slow-request ring
@@ -663,6 +724,7 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "timeline") return cmd_timeline(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "slow") return cmd_slow(args);
     if (cmd == "batch") return cmd_batch(args);

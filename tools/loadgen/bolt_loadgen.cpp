@@ -44,6 +44,7 @@
 #include "data/csv.h"
 #include "loadgen/workload.h"
 #include "service/client.h"
+#include "service/metrics_http.h"
 #include "service/net.h"
 #include "service/protocol.h"
 #include "service/unix_socket.h"
@@ -119,6 +120,7 @@ struct Config {
   std::uint32_t connect_timeout_ms = 5000;
   std::uint32_t io_timeout_ms = 10000;
   std::int32_t metrics_port = -1;
+  std::string timeline_out;  // drain /timeline here after the run
   // Gates: negative = not gated.
   double gate_p99_us = -1.0;
   std::int64_t gate_errors = -1;
@@ -561,6 +563,8 @@ client
   --io-timeout-ms MS       per-op send/recv deadline (default 10000)
 cross-check & output
   --metrics-port P      also scrape http://127.0.0.1:P/metrics
+  --timeline-out FILE   after the run, drain GET /timeline (Chrome Trace
+                        Event JSON) from --metrics-port into FILE
   --out FILE            write machine-readable BENCH_*.json
   --label STR           label recorded in the JSON (default "soak")
 gates (exit code 1 when any fails)
@@ -615,6 +619,10 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_int("io-timeout-ms", 10000));
     cfg.metrics_port =
         static_cast<std::int32_t>(args.get_int("metrics-port", -1));
+    cfg.timeline_out = args.get("timeline-out");
+    if (!cfg.timeline_out.empty() && cfg.metrics_port <= 0) {
+      throw std::runtime_error("--timeline-out requires --metrics-port");
+    }
     if (args.has("gate-p99-us")) {
       cfg.gate_p99_us = args.get_double("gate-p99-us", -1.0);
     }
@@ -708,6 +716,35 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "loadgen: /metrics scrape on port %d failed\n",
                      cfg.metrics_port);
+      }
+    }
+    if (!cfg.timeline_out.empty()) {
+      // Drain the timeline last so the dump covers the whole soak
+      // (serve must be running with --timeline-sample; see
+      // docs/OBSERVABILITY.md for loading the JSON in Perfetto).
+      try {
+        int status = 0;
+        const std::string trace = service::admin_http_get(
+            "127.0.0.1", static_cast<std::uint16_t>(cfg.metrics_port),
+            "/timeline", &status);
+        if (status != 200) {
+          std::fprintf(stderr, "loadgen: GET /timeline returned %d\n",
+                       status);
+        } else {
+          FILE* f = std::fopen(cfg.timeline_out.c_str(), "wb");
+          if (f == nullptr) {
+            std::fprintf(stderr, "loadgen: cannot write --timeline-out %s\n",
+                         cfg.timeline_out.c_str());
+          } else {
+            std::fwrite(trace.data(), 1, trace.size(), f);
+            std::fclose(f);
+            std::printf("  wrote %zu bytes of trace JSON to %s\n",
+                        trace.size(), cfg.timeline_out.c_str());
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "loadgen: timeline drain failed: %s\n",
+                     e.what());
       }
     }
 

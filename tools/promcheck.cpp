@@ -2,19 +2,59 @@
 // from stdin against the strict grammar checks in util/prometheus.h:
 // every sample needs a preceding # TYPE, histogram buckets must be
 // cumulative with ascending le bounds ending at +Inf == _count, labels
-// must be legally escaped, and the body must end with a newline.
+// must be legally escaped and legally named (no ':', no duplicates
+// within a sample), and the body must end with a newline.
 //
 //   bolt serve --artifact m.bolt --metrics-port 9464 &
-//   curl -sf http://127.0.0.1:9464/metrics | promcheck
+//   curl -sf http://127.0.0.1:9464/metrics |
+//     promcheck --expect service_requests_by_op --expect model_generation
+//
+// Each --expect NAME additionally requires at least one sample of that
+// metric name (labeled or not) to be present — CI uses this to pin the
+// labeled per-op/per-transport series and the model_generation gauge.
 //
 // Exits 0 when the exposition is valid, 1 with a diagnostic otherwise.
 // CI uses it to gate the /metrics endpoint (.github/workflows/ci.yml).
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "util/prometheus.h"
 
-int main() {
+namespace {
+
+/// True when `text` contains a sample line for metric `name`: a line
+/// starting with the name followed by '{' (labeled) or ' ' (bare).
+bool has_sample(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (text.compare(pos, name.size(), name) == 0) {
+      const std::size_t after = pos + name.size();
+      if (after < eol && (text[after] == '{' || text[after] == ' ')) {
+        return true;
+      }
+    }
+    pos = eol + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> expected;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
+      expected.emplace_back(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: promcheck [--expect METRIC_NAME]... < exposition\n");
+      return 2;
+    }
+  }
   std::string text;
   char buf[4096];
   std::size_t n;
@@ -29,6 +69,13 @@ int main() {
   if (!bolt::util::validate_prometheus(text, &error)) {
     std::fprintf(stderr, "promcheck: INVALID: %s\n", error.c_str());
     return 1;
+  }
+  for (const std::string& name : expected) {
+    if (!has_sample(text, name)) {
+      std::fprintf(stderr, "promcheck: MISSING expected metric: %s\n",
+                   name.c_str());
+      return 1;
+    }
   }
   std::printf("promcheck: OK (%zu bytes)\n", text.size());
   return 0;
