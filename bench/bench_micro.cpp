@@ -1,16 +1,19 @@
 // Microbenchmarks (google-benchmark) of Bolt's hot-path primitives:
 // predicate binarization, dictionary scan, address formation, recombined
 // table probe, Bloom probe, and end-to-end predict for every engine — plus
-// one per-kernel scan benchmark for every membership kernel this CPU can
-// run (BM_KernelScanRow/<name>, BM_KernelScanTile64/<name>).
+// per-kernel scan and binarize benchmarks for every kernel this CPU can
+// run (BM_KernelScanRow/<name>, BM_KernelScanTile64/<name>,
+// BM_BinarizeRow/<name>, BM_BinarizeTile64/<name>).
 //
 // `bench_micro --kernel_sweep` skips google-benchmark and instead runs the
 // kernel-comparison arm on the serving-scale 100-tree/h=8 MNIST forest:
-// scalar vs every dispatched kernel, per-row and batch-64 tile paths,
-// results to kernel_sweep.csv. Acceptance gate (ISSUE 5): the dispatched
-// kernel must deliver >= 1.3x the scalar single-thread scan throughput
-// (evaluated only when a SIMD kernel is compiled in and the CPU has it;
-// a scalar-only build or CPU passes vacuously).
+// scalar vs every dispatched kernel on the scan shapes (per-row and
+// batch-64 tile) and the binarize shapes (gather row and columnar tile),
+// results to kernel_sweep.csv. Acceptance gates: the dispatched kernel
+// must deliver >= 1.3x scalar single-thread row-scan throughput (ISSUE 5)
+// and >= 1.5x scalar tile-binarize throughput (ISSUE 10) — both evaluated
+// only when a SIMD kernel is compiled in and the CPU has it; a scalar-only
+// build or CPU passes vacuously.
 #include <benchmark/benchmark.h>
 
 #include <string_view>
@@ -195,6 +198,40 @@ void register_kernel_benchmarks() {
               state.iterations() *
               static_cast<int64_t>(layout.num_entries() * kRows));
         });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_BinarizeRow/") + k->name).c_str(),
+        [k](benchmark::State& state) {
+          Fixture& f = fixture();
+          const forest::PredicateSoA soa = f.bf.space().soa();
+          util::BitVector bits(f.bf.space().size());
+          std::size_t i = 0;
+          for (auto _ : state) {
+            k->binarize_row(soa, f.split.test.row(i).data(),
+                            bits.words().data());
+            benchmark::DoNotOptimize(bits.words().data());
+            i = (i + 1) % f.split.test.num_rows();
+          }
+          state.SetItemsProcessed(state.iterations() *
+                                  static_cast<int64_t>(soa.num_predicates));
+        });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_BinarizeTile64/") + k->name).c_str(),
+        [k](benchmark::State& state) {
+          Fixture& f = fixture();
+          const forest::PredicateSoA soa = f.bf.space().soa();
+          constexpr std::size_t kRows = kernels::kTileRows;
+          const std::size_t stride = f.split.test.num_features();
+          const std::size_t wpr = util::words_for_bits(f.bf.space().size());
+          util::aligned_vector<std::uint64_t> tile(wpr * kRows, 0);
+          for (auto _ : state) {
+            k->binarize_tile(soa, f.split.test.raw_features().data(), kRows,
+                             stride, tile.data());
+            benchmark::DoNotOptimize(tile.data());
+          }
+          state.SetItemsProcessed(
+              state.iterations() *
+              static_cast<int64_t>(soa.num_predicates * kRows));
+        });
   }
 }
 
@@ -242,9 +279,18 @@ int run_kernel_sweep() {
   };
 
   ResultTable table({"kernel", "lanes", "row Mtests/s", "row speedup",
-                     "tile-64 Mtests/s", "tile speedup"});
+                     "tile-64 Mtests/s", "tile speedup", "bin-row Mpreds/s",
+                     "bin-row speedup", "bin-tile Mpreds/s",
+                     "bin-tile speedup"});
+  const forest::PredicateSoA soa = bf.space().soa();
+  const std::size_t stride = split.test.num_features();
+  const float* raw_rows = split.test.raw_features().data();
+  util::aligned_vector<std::uint64_t> bin_tile(wpr * kRows, 0);
+  util::BitVector bin_bits(bf.space().size());
   double scalar_row = 0.0, scalar_tile = 0.0;
+  double scalar_bin_row = 0.0, scalar_bin_tile = 0.0;
   double dispatched_row = 0.0, dispatched_tile = 0.0;
+  double dispatched_bin_row = 0.0, dispatched_bin_tile = 0.0;
   const kernels::KernelOps& dispatched = kernels::select_kernel();
   for (const kernels::KernelOps* k : kernels::available_kernels()) {
     const double row_rate = measure(
@@ -264,36 +310,70 @@ int run_kernel_sweep() {
           }
         },
         layout.num_entries() * tiles * kRows);
+    const double bin_row_rate = measure(
+        [&] {
+          for (std::size_t r = 0; r < n; ++r) {
+            k->binarize_row(soa, raw_rows + r * stride,
+                            bin_bits.words().data());
+            util::do_not_optimize(bin_bits.words()[0]);
+          }
+        },
+        soa.num_predicates * n);
+    const double bin_tile_rate = measure(
+        [&] {
+          for (std::size_t t = 0; t < tiles; ++t) {
+            k->binarize_tile(soa, raw_rows + t * kRows * stride, kRows,
+                             stride, bin_tile.data());
+            util::do_not_optimize(bin_tile[0]);
+          }
+        },
+        soa.num_predicates * tiles * kRows);
     if (k == &kernels::scalar_kernel()) {
       scalar_row = row_rate;
       scalar_tile = tile_rate;
+      scalar_bin_row = bin_row_rate;
+      scalar_bin_tile = bin_tile_rate;
     }
     if (k == &dispatched) {
       dispatched_row = row_rate;
       dispatched_tile = tile_rate;
+      dispatched_bin_row = bin_row_rate;
+      dispatched_bin_tile = bin_tile_rate;
     }
     table.add_row({k->name, std::to_string(k->lanes), fmt(row_rate, 1),
                    fmt(row_rate / scalar_row, 2), fmt(tile_rate, 1),
-                   fmt(tile_rate / scalar_tile, 2)});
+                   fmt(tile_rate / scalar_tile, 2), fmt(bin_row_rate, 1),
+                   fmt(bin_row_rate / scalar_bin_row, 2),
+                   fmt(bin_tile_rate, 1),
+                   fmt(bin_tile_rate / scalar_bin_tile, 2)});
   }
 
-  table.print("Scan-kernel throughput (MNIST, 100 trees, h=8, single thread)");
+  table.print(
+      "Scan + binarize kernel throughput (MNIST, 100 trees, h=8, "
+      "single thread)");
   table.write_csv("kernel_sweep.csv");
 
   const bool simd_available = kernels::available_kernels().size() > 1;
   if (!simd_available) {
     std::printf("\nonly the scalar kernel is available on this build/CPU; "
-                "the >= 1.3x gate is not applicable.\n");
+                "the >= 1.3x / >= 1.5x gates are not applicable.\n");
     return 0;
   }
   const double row_speedup = dispatched_row / scalar_row;
   const double tile_speedup = dispatched_tile / scalar_tile;
-  const bool pass = row_speedup >= 1.3;
+  const double bin_row_speedup = dispatched_bin_row / scalar_bin_row;
+  const double bin_tile_speedup = dispatched_bin_tile / scalar_bin_tile;
+  const bool scan_pass = row_speedup >= 1.3;
+  const bool bin_pass = bin_tile_speedup >= 1.5;
   std::printf("\ndispatched kernel (%s): row scan %.2fx scalar, tile scan "
               "%.2fx scalar (acceptance gate: row >= 1.3x: %s)\n",
               dispatched.name, row_speedup, tile_speedup,
-              pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+              scan_pass ? "PASS" : "FAIL");
+  std::printf("dispatched kernel (%s): row binarize %.2fx scalar, tile "
+              "binarize %.2fx scalar (acceptance gate: tile >= 1.5x: %s)\n",
+              dispatched.name, bin_row_speedup, bin_tile_speedup,
+              bin_pass ? "PASS" : "FAIL");
+  return scan_pass && bin_pass ? 0 : 1;
 }
 
 }  // namespace

@@ -177,7 +177,9 @@ void BoltEngine::vote_impl(std::span<const float> x, std::span<double> out,
                            Probe probe) {
   const bool timed = metrics_ != nullptr || trace_ != nullptr;
   const std::int64_t binarize_start = timed ? engine_now_ns() : 0;
-  bf_.space().binarize(x, bits_);
+  // The engine's captured kernel, not the global dispatch hook: one engine
+  // binarizes and scans with the same backend for its whole lifetime.
+  kernel_.binarize_row(bf_.space().soa(), x.data(), bits_.words().data());
   if (timed) {
     const std::int64_t elapsed = engine_now_ns() - binarize_start;
     if (metrics_ != nullptr) {
@@ -226,7 +228,7 @@ BatchScratch::BatchScratch(const BoltForest& bf)
     : words_per_row(util::words_for_bits(bf.space().size())),
       tile_t(words_per_row * kTileRows),
       rowmasks(bf.scan_layout().local_size()), packed_acc(kTileRows),
-      votes(kTileRows * bf.num_classes()), row_bits(bf.space().size()),
+      votes(kTileRows * bf.num_classes()),
       probe_entries(kProbeWindow), probe_rows(kProbeWindow),
       probe_slots(kProbeWindow), probe_addrs(kProbeWindow) {}
 
@@ -239,35 +241,37 @@ void batch_tile(const BoltForest& bf, const float* rows, std::size_t n,
                 std::size_t stride, int* out, BatchScratch& s,
                 const kernels::KernelOps& kernel,
                 std::uint64_t& candidates_total, std::uint64_t& accepted_total,
+                const util::EngineMetrics* metrics,
                 util::TraceContext* trace) {
   const Dictionary& dict = bf.dictionary();
   const RecombinedTable& table = bf.table();
   const ResultPool& results = bf.results();
   const BloomFilter* bloom = bf.bloom();
   const kernels::ScanLayout& layout = bf.scan_layout();
-  const std::size_t wpr = s.words_per_row;
   const std::size_t classes = bf.num_classes();
   const bool packed = results.packed_available();
 
-  // Binarize the tile into the word-major transpose: word w of row r at
-  // tile_t[w * kTileRows + r], so each predicate word's rows form one
-  // aligned, contiguous run for the kernel's row-group vector loads.
+  // Columnar binarize, tile-shaped: the kernel walks predicates in
+  // feature-CSR order, evaluates each split test against all n rows per
+  // vector op, and writes the word-major tile (word w of row r at
+  // tile_t[w * kTileRows + r]) directly — no per-row pass, no explicit
+  // transpose here. Rows >= n binarize to zero words.
   const bool traced = trace != nullptr;
-  const std::int64_t binarize_start = traced ? engine_now_ns() : 0;
+  const bool timed = traced || metrics != nullptr;
+  const std::int64_t binarize_start = timed ? engine_now_ns() : 0;
   constexpr std::size_t kTileRows = BatchScratch::kTileRows;
-  for (std::size_t r = 0; r < n; ++r) {
-    bf.space().binarize({rows + r * stride, stride}, s.row_bits);
-    const std::uint64_t* words = s.row_bits.words().data();
-    for (std::size_t w = 0; w < wpr; ++w) {
-      s.tile_t[w * kTileRows + r] = words[w];
-    }
-  }
-  if (traced) {
+  kernel.binarize_tile(bf.space().soa(), rows, n, stride, s.tile_t.data());
+  if (timed) {
     const std::int64_t binarize_ns = engine_now_ns() - binarize_start;
-    trace->add(util::Stage::kBinarize, binarize_ns);
-    if (trace->timeline_armed()) {
-      util::timeline_record_stage(util::Stage::kBinarize, binarize_start,
-                                  binarize_ns);
+    if (metrics != nullptr) {
+      metrics->binarize_tile_ns->record(static_cast<double>(binarize_ns));
+    }
+    if (traced) {
+      trace->add(util::Stage::kBinarize, binarize_ns);
+      if (trace->timeline_armed()) {
+        util::timeline_record_stage(util::Stage::kBinarize, binarize_start,
+                                    binarize_ns);
+      }
     }
   }
   if (packed) {
@@ -392,7 +396,8 @@ void predict_batch_amortized(const BoltForest& bf, std::span<const float> rows,
     const std::size_t n =
         std::min(BatchScratch::kTileRows, num_rows - begin);
     batch_tile(bf, rows.data() + begin * row_stride, n, row_stride,
-               out.data() + begin, scratch, k, candidates, accepted, trace);
+               out.data() + begin, scratch, k, candidates, accepted, metrics,
+               trace);
   }
   if (metrics != nullptr) {
     // Batch rows feed the same funnel counters as single-sample predicts

@@ -47,7 +47,6 @@ struct BatchScratch {
   util::aligned_vector<std::uint64_t> rowmasks;  // layout.local_size()
   std::vector<std::uint64_t> packed_acc;  // kTileRows packed-vote accumulators
   std::vector<double> votes;              // kTileRows x num_classes
-  util::BitVector row_bits;               // single-row binarize staging
   // Probe pipeline: (entry, row, slot, address) tuples awaiting their
   // prefetched slot lines.
   std::vector<std::uint32_t> probe_entries;  // kProbeWindow
@@ -57,7 +56,9 @@ struct BatchScratch {
 };
 
 /// The amortized batch path (the throughput side of the paper's one-access
-/// claim): binarize a tile of up to BatchScratch::kTileRows rows, then scan
+/// claim): the kernel's columnar binarize_tile writes up to
+/// BatchScratch::kTileRows rows straight into the word-major tile (one
+/// split test evaluated against the whole tile per vector op), then scan
 /// the dictionary *entry-major* — each entry's sparse words are loaded once
 /// and tested against every row of the tile, producing a tile-wide bitmap
 /// of matching rows per entry; the entry's address words are likewise read

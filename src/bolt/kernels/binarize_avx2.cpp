@@ -1,0 +1,69 @@
+// AVX2 binarize kernels (this TU is compiled with -mavx2; see
+// src/bolt/CMakeLists.txt — callers reach these only through KernelOps
+// after the CPU check).
+//
+// binarize_row: the gather/compare/movemask pass over the SoA mirrors — 8
+// predicates per op, accumulated 8 bits at a time into each output word.
+// binarize_tile: the columnar driver with an 8-row-per-op compare — one
+// threshold broadcast against a staged 64-row feature column, no gathers.
+#include <immintrin.h>
+
+#include "bolt/kernels/binarize_impl.h"
+
+namespace bolt::kernels::detail {
+
+void binarize_row_avx2(const forest::PredicateSoA& space, const float* x,
+                       std::uint64_t* out_words) {
+  const std::int32_t* feats = space.features;
+  const float* thrs = space.thresholds;
+  const std::size_t n = space.num_predicates;
+  std::size_t p = 0;
+  std::size_t w = 0;
+  while (p + 8 <= n) {
+    std::uint64_t acc = 0;
+    const std::size_t lo = p;
+    while (p + 8 <= n && p - lo < 64) {
+      const __m256i idx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(feats + p));
+      const __m256 vals = _mm256_i32gather_ps(x, idx, 4);
+      const __m256 thr = _mm256_loadu_ps(thrs + p);
+      const __m256 cmp = _mm256_cmp_ps(vals, thr, _CMP_LE_OQ);
+      acc |= static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(_mm256_movemask_ps(cmp)))
+             << (p - lo);
+      p += 8;
+    }
+    out_words[w++] = acc;
+  }
+  // Scalar tail (fewer than 8 predicates remaining). When the vector loop
+  // stopped mid-word (p % 64 != 0), that word was just written above this
+  // call — merge into it, never into stale memory.
+  if (p < n) {
+    std::uint64_t acc = (p % 64 == 0) ? 0 : out_words[p >> 6];
+    for (; p < n; ++p) {
+      acc |= static_cast<std::uint64_t>(x[feats[p]] <= thrs[p]) << (p & 63);
+    }
+    out_words[(n - 1) >> 6] = acc;
+  }
+}
+
+void binarize_tile_avx2(const forest::PredicateSoA& space, const float* rows,
+                        std::size_t num_rows, std::size_t row_stride,
+                        std::uint64_t* tile_t) {
+  binarize_tile_driver(
+      space, rows, num_rows, row_stride, tile_t,
+      [](const float* col, float t) {
+        const __m256 thr = _mm256_set1_ps(t);
+        std::uint64_t rm = 0;
+        for (std::size_t r = 0; r < kTileRows; r += 8) {
+          const __m256 vals = _mm256_load_ps(col + r);
+          const __m256 cmp = _mm256_cmp_ps(vals, thr, _CMP_LE_OQ);
+          rm |= static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(_mm256_movemask_ps(cmp)))
+                << r;
+        }
+        return rm;
+      });
+}
+
+}  // namespace bolt::kernels::detail

@@ -1,0 +1,66 @@
+// AVX-512 binarize kernels (this TU is compiled with -mavx512f; see
+// src/bolt/CMakeLists.txt — callers reach these only through KernelOps
+// after the CPU check).
+//
+// binarize_row: 16-predicate gather/compare, the compare mask register
+// shifted straight into the word accumulator (16 | 64, so a word is
+// exactly four compares and the inner loop never stops mid-word except at
+// the predicate tail). binarize_tile: the columnar driver with a
+// 16-row-per-op compare — a 64-row column is four compares per threshold.
+#include <immintrin.h>
+
+#include "bolt/kernels/binarize_impl.h"
+
+namespace bolt::kernels::detail {
+
+void binarize_row_avx512(const forest::PredicateSoA& space, const float* x,
+                         std::uint64_t* out_words) {
+  const std::int32_t* feats = space.features;
+  const float* thrs = space.thresholds;
+  const std::size_t n = space.num_predicates;
+  std::size_t p = 0;
+  std::size_t w = 0;
+  while (p + 16 <= n) {
+    std::uint64_t acc = 0;
+    const std::size_t lo = p;
+    while (p + 16 <= n && p - lo < 64) {
+      const __m512i idx = _mm512_loadu_si512(feats + p);
+      const __m512 vals = _mm512_i32gather_ps(idx, x, 4);
+      const __m512 thr = _mm512_loadu_ps(thrs + p);
+      const __mmask16 cmp = _mm512_cmp_ps_mask(vals, thr, _CMP_LE_OQ);
+      acc |= static_cast<std::uint64_t>(cmp) << (p - lo);
+      p += 16;
+    }
+    out_words[w++] = acc;
+  }
+  // Scalar tail (fewer than 16 predicates remaining). When the vector loop
+  // stopped mid-word (p % 64 != 0), that word was just written above this
+  // call — merge into it, never into stale memory.
+  if (p < n) {
+    std::uint64_t acc = (p % 64 == 0) ? 0 : out_words[p >> 6];
+    for (; p < n; ++p) {
+      acc |= static_cast<std::uint64_t>(x[feats[p]] <= thrs[p]) << (p & 63);
+    }
+    out_words[(n - 1) >> 6] = acc;
+  }
+}
+
+void binarize_tile_avx512(const forest::PredicateSoA& space, const float* rows,
+                          std::size_t num_rows, std::size_t row_stride,
+                          std::uint64_t* tile_t) {
+  binarize_tile_driver(
+      space, rows, num_rows, row_stride, tile_t,
+      [](const float* col, float t) {
+        const __m512 thr = _mm512_set1_ps(t);
+        std::uint64_t rm = 0;
+        for (std::size_t r = 0; r < kTileRows; r += 16) {
+          const __m512 vals = _mm512_load_ps(col + r);
+          rm |= static_cast<std::uint64_t>(
+                    _mm512_cmp_ps_mask(vals, thr, _CMP_LE_OQ))
+                << r;
+        }
+        return rm;
+      });
+}
+
+}  // namespace bolt::kernels::detail

@@ -1,0 +1,106 @@
+// Kernel-internal declarations of the binarize implementations, so the
+// KernelOps tables in scan_*.cpp can name functions that live in their
+// ISA-gated sibling TUs (binarize_avx2.cpp is compiled with -mavx2,
+// binarize_avx512.cpp with -mavx512f; taking their address needs no flag).
+// The scalar row binarize is forest::binarize_row_scalar itself — the ops
+// table points straight at the oracle, so "scalar kernel" and "oracle" are
+// literally the same code.
+//
+// The shared helpers here are `static` (internal linkage) on purpose: this
+// header is included by TUs compiled with different ISA flags, and an
+// external-linkage inline would be emitted as one mergeable COMDAT — the
+// linker could keep the -mavx512f copy and hand it to the scalar kernel on
+// a CPU without AVX-512. Internal linkage keeps each TU's copy compiled
+// with that TU's own flags. The tile driver is a template over the per-ISA
+// rowmask functor; each TU's lambda has a unique type, so instantiations
+// never collide either.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "bolt/kernels/kernels.h"
+#include "forest/predicates.h"
+
+namespace bolt::kernels::detail {
+
+void binarize_tile_scalar(const forest::PredicateSoA& space, const float* rows,
+                          std::size_t num_rows, std::size_t row_stride,
+                          std::uint64_t* tile_t);
+
+void binarize_row_avx2(const forest::PredicateSoA& space, const float* x,
+                       std::uint64_t* out_words);
+void binarize_tile_avx2(const forest::PredicateSoA& space, const float* rows,
+                        std::size_t num_rows, std::size_t row_stride,
+                        std::uint64_t* tile_t);
+
+void binarize_row_avx512(const forest::PredicateSoA& space, const float* x,
+                         std::uint64_t* out_words);
+void binarize_tile_avx512(const forest::PredicateSoA& space, const float* rows,
+                          std::size_t num_rows, std::size_t row_stride,
+                          std::uint64_t* tile_t);
+
+/// Stages input feature `f`'s column of the tile: col[r] = rows[r*stride+f]
+/// for r < num_rows. The caller zero-fills col[num_rows, kTileRows) once
+/// per tile (the buffer is reused across features and only the first
+/// num_rows slots are rewritten), so vector lanes beyond the tile read
+/// zeros, never garbage — their compare bits are discarded by the rowmask
+/// AND below. Adjacent features of a row share cache lines, so the staging
+/// working set stays L1-resident across a feature's CSR range.
+static inline void stage_column(const float* rows, std::size_t num_rows,
+                                std::size_t row_stride, std::size_t f,
+                                float* col) {
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    col[r] = rows[r * row_stride + f];
+  }
+}
+
+/// Transposes one buffered group of 64 per-predicate rowmasks into the 64
+/// per-row predicate words of tile word `w` and stores them at
+/// tile_t[w * kTileRows]. Destroys `masks`.
+static inline void flush_tile_word(std::uint64_t masks[kTileRows],
+                                   std::size_t w, std::uint64_t* tile_t) {
+  transpose_64x64(masks);
+  std::copy(masks, masks + kTileRows, tile_t + w * kTileRows);
+}
+
+/// The columnar tile-binarize skeleton shared by every ISA variant: walk
+/// features in CSR order (predicate IDs are dense and feature-sorted, so
+/// the walk visits IDs 0..n-1 exactly once, in order), stage each used
+/// feature's 64-row column once, evaluate every threshold of that feature
+/// against the whole column via `rowmask_of(col, t)` (the per-ISA compare:
+/// 1/8/16 rows per op), and buffer the per-predicate rowmasks until a
+/// 64-predicate group is full, then bit-transpose it into the word-major
+/// tile. Rowmasks are ANDed with tile_rows_mask, so rows >= num_rows
+/// binarize to zero words in every variant — the tile is deterministic and
+/// kernels are bit-comparable.
+template <typename RowMaskFn>
+static inline void binarize_tile_driver(const forest::PredicateSoA& space,
+                                        const float* rows,
+                                        std::size_t num_rows,
+                                        std::size_t row_stride,
+                                        std::uint64_t* tile_t,
+                                        RowMaskFn&& rowmask_of) {
+  const std::size_t n = space.num_predicates;
+  const std::uint64_t rows_mask = tile_rows_mask(num_rows);
+  alignas(64) float col[kTileRows] = {};  // zero tail for lanes >= num_rows
+  alignas(64) std::uint64_t masks[kTileRows];
+  for (std::size_t f = 0; f < space.num_features; ++f) {
+    const std::uint32_t lo = space.feature_offsets[f];
+    const std::uint32_t hi = space.feature_offsets[f + 1];
+    if (lo == hi) continue;
+    stage_column(rows, num_rows, row_stride, f, col);
+    for (std::uint32_t q = lo; q < hi; ++q) {
+      masks[q & 63] = rowmask_of(col, space.thresholds[q]) & rows_mask;
+      if ((q & 63) == 63) flush_tile_word(masks, q >> 6, tile_t);
+    }
+  }
+  if (n % 64 != 0) {
+    std::fill(masks + (n % 64), masks + kTileRows, std::uint64_t{0});
+    flush_tile_word(masks, n / 64, tile_t);
+  }
+}
+
+}  // namespace bolt::kernels::detail

@@ -1,0 +1,24 @@
+// Portable columnar tile binarize: the fallback on CPUs (or builds)
+// without SIMD and — because it runs the exact same driver skeleton, CSR
+// walk, rowmask masking, and transpose as the vector variants — the
+// bit-identity reference for binarize_tile. (The row-shaped scalar
+// binarize is forest::binarize_row_scalar itself; the scalar KernelOps
+// table points straight at it.)
+#include "bolt/kernels/binarize_impl.h"
+
+namespace bolt::kernels::detail {
+
+void binarize_tile_scalar(const forest::PredicateSoA& space, const float* rows,
+                          std::size_t num_rows, std::size_t row_stride,
+                          std::uint64_t* tile_t) {
+  binarize_tile_driver(space, rows, num_rows, row_stride, tile_t,
+                       [](const float* col, float t) {
+                         std::uint64_t rm = 0;
+                         for (std::size_t r = 0; r < kTileRows; ++r) {
+                           rm |= static_cast<std::uint64_t>(col[r] <= t) << r;
+                         }
+                         return rm;
+                       });
+}
+
+}  // namespace bolt::kernels::detail

@@ -2,13 +2,19 @@
 // exist is a compile-time fact (BOLT_HAVE_KERNEL_* set by CMake on this
 // file only); which of those this CPU can run is a runtime fact
 // (util::cpu_features). select_kernel() folds both, honoring a
-// BOLT_KERNEL env override with a graceful, noted fallback.
+// BOLT_KERNEL env override with a graceful, noted fallback. The decision
+// is also pushed down into the forest layer: the selected kernel's
+// binarize_row becomes PredicateSpace::binarize's dispatch target (the
+// pext64_fast pattern — forest cannot link against this layer, so it
+// exposes an atomic hook we install into), both eagerly at static init and
+// on every select/force transition, so non-engine callers vectorize too.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "bolt/kernels/kernels.h"
+#include "forest/predicates.h"
 #include "util/cpu_features.h"
 
 namespace bolt::kernels {
@@ -86,12 +92,34 @@ const KernelOps& select_kernel() {
   if (const KernelOps* forced = g_forced.load(std::memory_order_acquire)) {
     return *forced;
   }
-  static const KernelOps& chosen = resolve_default();
+  static const KernelOps& chosen = []() -> const KernelOps& {
+    const KernelOps& k = resolve_default();
+    forest::set_binarize_row_dispatch(k.binarize_row);
+    return k;
+  }();
   return chosen;
 }
 
 void force_kernel_for_testing(const KernelOps* kernel) {
   g_forced.store(kernel, std::memory_order_release);
+  if (kernel != nullptr) {
+    forest::set_binarize_row_dispatch(kernel->binarize_row);
+  } else {
+    // Back to normal dispatch: reinstall the resolved default (also
+    // re-resolves it if nothing had selected a kernel yet).
+    forest::set_binarize_row_dispatch(select_kernel().binarize_row);
+  }
 }
+
+namespace {
+
+// Any binary linking the kernel layer gets the SIMD binarize hook without
+// having to construct an engine first (planner, verifier, tools).
+const bool g_binarize_hook_installed = [] {
+  (void)select_kernel();
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace bolt::kernels

@@ -25,12 +25,34 @@
 //     64-local boundary, so kernels write whole bitmap words and padding
 //     can never leak a candidate bit.
 //
+// Binarization is part of the same backend interface (the step toward
+// GPU/OpenCL backends: a backend owns both how predicate bits are produced
+// and how the dictionary is scanned over them):
+//
+//   binarize_row   one sample -> predicate bit words; AVX2/AVX-512
+//                  gather 8/16 feature values by the SoA feature index,
+//                  compare against 8/16 thresholds, movemask into the word
+//                  accumulator (the per-sample latency path);
+//   binarize_tile  up to 64 rows -> the word-major tile scan_tile consumes.
+//                  Columnar: predicates are walked in feature-CSR order,
+//                  each input feature's 64-row column is staged once
+//                  (column-major staging tile, L1-resident) and every
+//                  threshold of that feature is evaluated against all rows
+//                  with 8/16-lane compares — one split test against a whole
+//                  tile per vector op, no gathers — producing a per-
+//                  predicate rowmask that a 64x64 bit transpose turns into
+//                  the row-major predicate words. This replaces the old
+//                  row-at-a-time binarize + hand transpose on the batch
+//                  path.
+//
 // Every kernel produces identical bits in an identical order (the layout's
 // local order); the scalar kernel doubles as the portable fallback and as
 // the bit-identity oracle the tests sweep the vector kernels against.
 // Kernel selection happens once at engine build via util::cpu_features —
 // one binary runs everywhere — with a BOLT_KERNEL=scalar|avx2|avx512 env
-// override for debugging and benchmarks.
+// override for debugging and benchmarks. The selected kernel's
+// binarize_row is also installed as forest::PredicateSpace::binarize's
+// dispatch target, so non-engine callers vectorize too.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +63,10 @@
 #include "bolt/dictionary.h"
 #include "util/aligned.h"
 #include "util/vec_view.h"
+
+namespace bolt::forest {
+struct PredicateSoA;
+}  // namespace bolt::forest
 
 namespace bolt::kernels {
 
@@ -156,6 +182,25 @@ struct KernelOps {
   /// layout.local_size() words.
   void (*scan_tile)(const ScanLayout& layout, const std::uint64_t* tile_t,
                     std::size_t num_rows, std::uint64_t* rowmasks);
+
+  /// Binarization of one sample over the predicate space: bit p of
+  /// `out_words` is set iff x[features[p]] <= thresholds[p] (NaN fails;
+  /// see forest::Predicate). Fully defines words
+  /// [0, words_for_bits(num_predicates)); bit-identical to
+  /// forest::binarize_row_scalar. `x` needs space.num_features floats.
+  void (*binarize_row)(const forest::PredicateSoA& space, const float* x,
+                       std::uint64_t* out_words);
+
+  /// Columnar binarization of up to kTileRows row-major samples
+  /// (rows[r * row_stride + f]) straight into the word-major tile
+  /// scan_tile consumes: tile_t[w * kTileRows + r] holds predicate word w
+  /// of row r. All kTileRows row slots of every word are fully defined —
+  /// rows >= num_rows binarize to zero words — so the tile is
+  /// deterministic and kernels are bit-comparable. `tile_t` has
+  /// words_for_bits(num_predicates) * kTileRows words.
+  void (*binarize_tile)(const forest::PredicateSoA& space, const float* rows,
+                        std::size_t num_rows, std::size_t row_stride,
+                        std::uint64_t* tile_t);
 };
 
 /// Kernels compiled into this binary (scalar always first).
@@ -195,6 +240,27 @@ inline void bitmap_fill_ones(const ScanLayout::Bucket& b,
 inline std::uint64_t tile_rows_mask(std::size_t num_rows) {
   return num_rows >= 64 ? ~std::uint64_t{0}
                         : (std::uint64_t{1} << num_rows) - 1;
+}
+
+/// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3, LSB-first):
+/// afterwards, bit c of a[r] equals the former bit r of a[c]. This is how
+/// the columnar binarize kernels turn 64 per-predicate rowmasks into the
+/// 64 per-row predicate words of one tile word. Level j swaps the j-bit of
+/// the row index with the j-bit of the column index, so six levels move
+/// every bit (r, c) to (c, r). `static`: this header is included by TUs
+/// compiled with different ISA flags, and internal linkage keeps each TU's
+/// copy compiled with its own flags (an external inline would be one
+/// mergeable COMDAT — the linker could hand a -mavx512f copy to the scalar
+/// kernel on a CPU without AVX-512).
+static inline void transpose_64x64(std::uint64_t a[64]) {
+  std::uint64_t m = 0xFFFFFFFF00000000ull;  // columns with bit j set
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= (m >> j)) {
+    for (unsigned k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      const std::uint64_t t = (a[k] ^ (a[k | j] << j)) & m;
+      a[k] ^= t;
+      a[k | j] ^= t >> j;
+    }
+  }
 }
 
 }  // namespace detail

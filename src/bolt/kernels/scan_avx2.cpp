@@ -13,6 +13,7 @@
 
 #include <algorithm>
 
+#include "bolt/kernels/binarize_impl.h"
 #include "bolt/kernels/kernels.h"
 
 namespace bolt::kernels {
@@ -95,7 +96,9 @@ void scan_tile_avx2(const ScanLayout& layout, const std::uint64_t* tile_t,
 }  // namespace
 
 extern const KernelOps kAvx2Ops;
-const KernelOps kAvx2Ops = {"avx2", "avx2_x4", 4, &scan_row_avx2,
-                            &scan_tile_avx2};
+const KernelOps kAvx2Ops = {"avx2",          "avx2_x4",
+                            4,               &scan_row_avx2,
+                            &scan_tile_avx2, &detail::binarize_row_avx2,
+                            &detail::binarize_tile_avx2};
 
 }  // namespace bolt::kernels

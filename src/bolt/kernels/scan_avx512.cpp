@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "bolt/kernels/binarize_impl.h"
 #include "bolt/kernels/kernels.h"
 
 namespace bolt::kernels {
@@ -86,7 +87,9 @@ void scan_tile_avx512(const ScanLayout& layout, const std::uint64_t* tile_t,
 }  // namespace
 
 extern const KernelOps kAvx512Ops;
-const KernelOps kAvx512Ops = {"avx512", "avx512_x8", 8, &scan_row_avx512,
-                              &scan_tile_avx512};
+const KernelOps kAvx512Ops = {"avx512",          "avx512_x8",
+                              8,                 &scan_row_avx512,
+                              &scan_tile_avx512, &detail::binarize_row_avx512,
+                              &detail::binarize_tile_avx512};
 
 }  // namespace bolt::kernels

@@ -4,6 +4,7 @@
 // XORs in the entry's word order — walked in the layout's local order.
 #include <algorithm>
 
+#include "bolt/kernels/binarize_impl.h"
 #include "bolt/kernels/kernels.h"
 
 namespace bolt::kernels {
@@ -65,7 +66,9 @@ void scan_tile_scalar(const ScanLayout& layout, const std::uint64_t* tile_t,
 }  // namespace
 
 extern const KernelOps kScalarOps;
-const KernelOps kScalarOps = {"scalar", "scalar_x1", 1, &scan_row_scalar,
-                              &scan_tile_scalar};
+const KernelOps kScalarOps = {"scalar",          "scalar_x1",
+                              1,                 &scan_row_scalar,
+                              &scan_tile_scalar, &forest::binarize_row_scalar,
+                              &detail::binarize_tile_scalar};
 
 }  // namespace bolt::kernels

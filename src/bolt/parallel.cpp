@@ -101,7 +101,9 @@ void PartitionedBoltEngine::core_work(std::size_t dict_part,
 int PartitionedBoltEngine::predict(std::span<const float> x) {
   {
     util::TraceContext::Span bin(trace_, util::Stage::kBinarize);
-    bf_.space().binarize(x, bits_);
+    // The engine's captured kernel (same backend as its scans), not the
+    // global dispatch hook.
+    kernel_.binarize_row(bf_.space().soa(), x.data(), bits_.words().data());
   }
   std::fill(agg_.begin(), agg_.end(), 0.0);
   {
@@ -123,7 +125,7 @@ int PartitionedBoltEngine::predict_threaded(std::span<const float> x,
                                             util::ThreadPool& pool) {
   {
     util::TraceContext::Span bin(trace_, util::Stage::kBinarize);
-    bf_.space().binarize(x, bits_);
+    kernel_.binarize_row(bf_.space().soa(), x.data(), bits_.words().data());
   }
   for (auto& v : core_votes_) std::fill(v.begin(), v.end(), 0.0);
   pool.parallel_for(plan_.cores(), [&](std::size_t core) {

@@ -6,11 +6,48 @@
 
 #include "util/binio.h"
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
-
 namespace bolt::forest {
+
+// Branchless scalar pass over the SoA mirrors, one 64-bit word at a time,
+// with two interleaved register accumulators to halve the OR dependency
+// chain. This is the bit-identity oracle: every SIMD binarize kernel must
+// reproduce these words exactly (NaN fails `<=`, matching _CMP_LE_OQ).
+void binarize_row_scalar(const PredicateSoA& space, const float* x,
+                         std::uint64_t* out_words) {
+  const std::int32_t* feats = space.features;
+  const float* thrs = space.thresholds;
+  const std::size_t n = space.num_predicates;
+  const std::size_t nwords = util::words_for_bits(n);
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const std::size_t lo = w * 64;
+    const std::size_t hi = std::min(n, lo + 64);
+    std::uint64_t acc0 = 0;
+    std::uint64_t acc1 = 0;
+    std::size_t p = lo;
+    for (; p + 1 < hi; p += 2) {
+      acc0 |= static_cast<std::uint64_t>(x[feats[p]] <= thrs[p]) << (p - lo);
+      acc1 |= static_cast<std::uint64_t>(x[feats[p + 1]] <= thrs[p + 1])
+              << (p + 1 - lo);
+    }
+    if (p < hi) {
+      acc0 |= static_cast<std::uint64_t>(x[feats[p]] <= thrs[p]) << (p - lo);
+    }
+    out_words[w] = acc0 | acc1;
+  }
+}
+
+namespace detail {
+// constinit: the default must be constant-initialized so the kernel
+// layer's static-init installer can never be clobbered by TU init order.
+constinit std::atomic<BinarizeRowFn> binarize_row_dispatch{
+    &binarize_row_scalar};
+}  // namespace detail
+
+void set_binarize_row_dispatch(BinarizeRowFn fn) {
+  detail::binarize_row_dispatch.store(fn != nullptr ? fn
+                                                    : &binarize_row_scalar,
+                                      std::memory_order_release);
+}
 
 PredicateSpace::PredicateSpace(const Forest& forest)
     : num_features_(forest.num_features) {
@@ -175,71 +212,11 @@ std::uint32_t PredicateSpace::id_of(std::uint32_t feature,
 void PredicateSpace::binarize(std::span<const float> x,
                               util::BitVector& out) const {
   if (out.size() != predicates_.size()) out.resize(predicates_.size());
-  std::uint64_t* words = out.words().data();
-  const std::size_t n = predicates_.size();
-
-#if defined(__AVX2__)
-  // Vectorized path: gather 8 input values by predicate feature index,
-  // compare against 8 thresholds, movemask into the bit accumulator —
-  // 8 predicates per iteration, fully branchless.
-  {
-    const std::int32_t* feats = soa_features_.data();
-    const float* thrs = soa_thresholds_.data();
-    std::size_t p = 0;
-    std::size_t w = 0;
-    while (p + 8 <= n) {
-      std::uint64_t acc = 0;
-      const std::size_t lo = p;
-      while (p + 8 <= n && p - lo < 64) {
-        const __m256i idx = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i*>(feats + p));
-        const __m256 vals = _mm256_i32gather_ps(x.data(), idx, 4);
-        const __m256 thr = _mm256_loadu_ps(thrs + p);
-        const __m256 cmp = _mm256_cmp_ps(vals, thr, _CMP_LE_OQ);
-        acc |= static_cast<std::uint64_t>(
-                   static_cast<std::uint32_t>(_mm256_movemask_ps(cmp)))
-               << (p - lo);
-        p += 8;
-      }
-      words[w++] = acc;
-    }
-    // Scalar tail (fewer than 8 predicates remaining in the last word).
-    if (p < n) {
-      std::uint64_t acc = (p % 64 == 0) ? 0 : words[p >> 6];
-      for (; p < n; ++p) {
-        acc |= static_cast<std::uint64_t>(x[feats[p]] <= thrs[p]) << (p & 63);
-      }
-      words[n ? ((n - 1) >> 6) : 0] = acc;
-    }
-    return;
-  }
-#else
-  // Branchless scalar pass, one 64-bit word at a time, with two
-  // interleaved register accumulators to halve the OR dependency chain.
-  const Predicate* preds = predicates_.data();
-  const std::size_t nwords = util::words_for_bits(n);
-  for (std::size_t w = 0; w < nwords; ++w) {
-    const std::size_t lo = w * 64;
-    const std::size_t hi = std::min(n, lo + 64);
-    std::uint64_t acc0 = 0;
-    std::uint64_t acc1 = 0;
-    std::size_t p = lo;
-    for (; p + 1 < hi; p += 2) {
-      acc0 |= static_cast<std::uint64_t>(x[preds[p].feature] <=
-                                         preds[p].threshold)
-              << (p - lo);
-      acc1 |= static_cast<std::uint64_t>(x[preds[p + 1].feature] <=
-                                         preds[p + 1].threshold)
-              << (p + 1 - lo);
-    }
-    if (p < hi) {
-      acc0 |= static_cast<std::uint64_t>(x[preds[p].feature] <=
-                                         preds[p].threshold)
-              << (p - lo);
-    }
-    words[w] = acc0 | acc1;
-  }
-#endif
+  // One relaxed load + indirect call (the pext64_fast pattern): the kernel
+  // layer installs its selected SIMD implementation here at startup, so
+  // this is the dispatched path for every caller, not just the engines.
+  detail::binarize_row_dispatch.load(std::memory_order_relaxed)(
+      soa(), x.data(), out.words().data());
 }
 
 util::BitVector PredicateSpace::binarize(std::span<const float> x) const {

@@ -9,6 +9,7 @@
 // dictionary masks, lookup addresses) then operates on predicate bits only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -21,12 +22,56 @@
 namespace bolt::forest {
 
 /// One boolean predicate: `x[feature] <= threshold`.
+///
+/// NaN contract: a NaN feature value fails every predicate — scalar
+/// `x <= t` and the vector kernels' `_CMP_LE_OQ` (ordered, quiet) compare
+/// both yield false for NaN operands, so a NaN input routes "right" at
+/// every split, exactly as float tree traversal would. ±inf follow IEEE
+/// ordering (-inf <= t is true, +inf <= t is false for finite t). Every
+/// binarize path (row, subset, tile; scalar and SIMD) implements this
+/// contract bit-identically; tests feed NaN/±inf through all of them.
 struct Predicate {
   std::uint32_t feature;
   float threshold;
 
   friend bool operator==(const Predicate&, const Predicate&) = default;
 };
+
+/// Borrowed POD view of a PredicateSpace's SoA mirrors and CSR feature
+/// index — the input contract of the binarize kernels (the kernel layer
+/// cannot depend on PredicateSpace itself; engines hand it this view).
+/// Invariants (maintained by PredicateSpace): predicates are sorted by
+/// (feature, threshold) with dense IDs, so feature_offsets' CSR ranges
+/// concatenate to exactly [0, num_predicates) in ID order.
+struct PredicateSoA {
+  const std::int32_t* features;          // num_predicates
+  const float* thresholds;               // num_predicates
+  const std::uint32_t* feature_offsets;  // num_features + 1 (CSR)
+  std::size_t num_predicates;
+  std::size_t num_features;
+};
+
+/// The scalar binarize oracle: bit p of `out_words` is set iff
+/// x[features[p]] <= thresholds[p]. Fully defines words
+/// [0, words_for_bits(num_predicates)); portable, branchless, and the
+/// bit-identity reference every SIMD binarize kernel is swept against.
+/// `x` must have at least `space.num_features` elements.
+void binarize_row_scalar(const PredicateSoA& space, const float* x,
+                         std::uint64_t* out_words);
+
+/// Runtime dispatch seam for PredicateSpace::binarize. Defaults to the
+/// scalar oracle; the kernel layer (bolt::kernels::select_kernel) installs
+/// the selected SIMD implementation at startup, so every caller of
+/// PredicateSpace::binarize — engines, planner, verifier, benches — gets
+/// the vectorized path without a layering inversion (forest cannot link
+/// against the kernel layer). nullptr restores the scalar oracle.
+using BinarizeRowFn = void (*)(const PredicateSoA&, const float*,
+                               std::uint64_t*);
+void set_binarize_row_dispatch(BinarizeRowFn fn);
+
+namespace detail {
+extern std::atomic<BinarizeRowFn> binarize_row_dispatch;
+}  // namespace detail
 
 /// The deduplicated, ordered predicate space of a forest plus fast lookup
 /// from tree nodes to predicate IDs.
@@ -47,9 +92,20 @@ class PredicateSpace {
   std::uint32_t id_of(std::uint32_t feature, float threshold) const;
 
   /// Binarizes a sample: bit p is set iff x[f_p] <= t_p. This is the single
-  /// O(|P|) pass each engine performs before any dictionary work.
+  /// O(|P|) pass each engine performs before any dictionary work. Routes
+  /// through the registered binarize dispatch (the selected SIMD kernel
+  /// when the kernel layer is linked; the scalar oracle otherwise) — all
+  /// implementations are bit-identical, including the NaN contract above.
   void binarize(std::span<const float> x, util::BitVector& out) const;
   util::BitVector binarize(std::span<const float> x) const;
+
+  /// The SoA/CSR view the binarize kernels consume; valid while the space
+  /// is alive (borrows the mirrors rebuilt by build_indexes / mapped by
+  /// from_views).
+  PredicateSoA soa() const {
+    return {soa_features_.data(), soa_thresholds_.data(),
+            feature_offsets_.data(), predicates_.size(), num_features_};
+  }
 
   /// Evaluates only the predicates in `positions` (ascending, deduplicated)
   /// into `out`. Used by the partitioned engine: a core whose dictionary

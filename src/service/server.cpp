@@ -109,9 +109,13 @@ InferenceServer::InferenceServer(
       options_.trace.slow_ring_capacity, options_.trace.slow_threshold_us);
   // Runtime dispatch facts beside the compile-time ones: which membership
   // kernel this process selected and what the CPU offers, so a scrape can
-  // tell a scalar-fallback deployment from a vectorized one.
+  // tell a scalar-fallback deployment from a vectorized one. `binarize`
+  // names the backend producing predicate bits (same KernelOps table as
+  // the scan, so today it always matches `kernel`'s family — the separate
+  // label keeps scrapes stable if the two ever dispatch independently).
   auto build_labels = util::build_info_labels();
   build_labels.emplace_back("kernel", kernels::select_kernel().label);
+  build_labels.emplace_back("binarize", kernels::select_kernel().name);
   build_labels.emplace_back("cpu", util::cpu_features_summary());
   for (const auto& [k, v] : options_.extra_build_labels) {
     build_labels.emplace_back(k, v);

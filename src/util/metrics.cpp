@@ -291,6 +291,8 @@ EngineMetrics EngineMetrics::in(MetricsRegistry& reg, const std::string& prefix)
   m.batch_rows = &reg.counter(prefix + ".batch_rows");
   m.batch_size = &reg.histogram(prefix + ".batch_size",
                                 Histogram::exponential_bounds(1, 2.0, 14));
+  m.binarize_tile_ns = &reg.histogram(
+      prefix + ".binarize_tile_ns", Histogram::exponential_bounds(64, 2.0, 20));
   return m;
 }
 

@@ -158,10 +158,11 @@ struct EngineMetrics {
   Counter* candidates = nullptr;       // dictionary entries matched
   Counter* accepts = nullptr;          // lookups accepted (entry-ID verified)
   Counter* rejected = nullptr;         // candidates dropped (Bloom or ID check)
-  Histogram* binarize_ns = nullptr;    // input binarization time
+  Histogram* binarize_ns = nullptr;    // input binarization time (per row)
   Histogram* scan_ns = nullptr;        // dictionary scan + lookup time
   Counter* batch_rows = nullptr;       // rows classified via the batch kernel
   Histogram* batch_size = nullptr;     // rows per predict_batch call
+  Histogram* binarize_tile_ns = nullptr;  // columnar tile binarize (per tile)
 
   /// Registers `<prefix>.samples` etc. in `reg` and returns the bundle.
   static EngineMetrics in(MetricsRegistry& reg, const std::string& prefix);

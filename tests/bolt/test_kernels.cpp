@@ -10,10 +10,14 @@
 
 #include <vector>
 
+#include <cmath>
+#include <limits>
+
 #include "../helpers.h"
 #include "bolt/builder.h"
 #include "bolt/engine.h"
 #include "bolt/parallel.h"
+#include "forest/predicates.h"
 #include "util/aligned.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -271,7 +275,241 @@ TEST(KernelDispatch, RegistryIsSaneAndScalarAlwaysAvailable) {
   for (const KernelOps* k : available_kernels()) {
     EXPECT_NE(k->scan_row, nullptr);
     EXPECT_NE(k->scan_tile, nullptr);
+    EXPECT_NE(k->binarize_row, nullptr);
+    EXPECT_NE(k->binarize_tile, nullptr);
     EXPECT_GE(k->lanes, 1u);
+  }
+  EXPECT_EQ(scalar_kernel().binarize_row, &forest::binarize_row_scalar);
+}
+
+// Regression for the PR 5 latent bug: -mavx2 is scoped to kernel TUs, so a
+// forest-layer `#if defined(__AVX2__)` binarize path is dead code in every
+// default build. The kernel layer must instead *install* its selected
+// binarize_row into PredicateSpace::binarize's dispatch hook — and keep the
+// hook in sync across force transitions.
+TEST(KernelDispatch, BinarizeHookTracksSelectedKernel) {
+  EXPECT_EQ(forest::detail::binarize_row_dispatch.load(),
+            select_kernel().binarize_row);
+  for (const KernelOps* k : available_kernels()) {
+    ForcedKernel forced(k);
+    EXPECT_EQ(forest::detail::binarize_row_dispatch.load(), k->binarize_row)
+        << "kernel " << k->name;
+  }
+  // The guard restored normal dispatch; the hook must follow it back.
+  EXPECT_EQ(forest::detail::binarize_row_dispatch.load(),
+            select_kernel().binarize_row);
+}
+
+/// Synthetic predicate space: `num_predicates` tests spread over
+/// `num_features` input features with strictly increasing thresholds.
+/// Feature 0 and the last feature are deliberately left without predicates
+/// so the CSR walk crosses empty ranges (including a leading one).
+forest::PredicateSpace synthetic_space(std::size_t num_predicates,
+                                       std::size_t num_features) {
+  const std::size_t used = num_features > 2 ? num_features - 2 : 1;
+  const std::size_t first = num_features > 2 ? 1 : 0;
+  std::vector<forest::Predicate> preds;
+  preds.reserve(num_predicates);
+  for (std::size_t p = 0; p < num_predicates; ++p) {
+    const auto f = static_cast<std::uint32_t>(first + (p * used) / num_predicates);
+    preds.push_back({f, static_cast<float>(p) * 0.013f});
+  }
+  return forest::PredicateSpace::from_predicates(num_features, preds);
+}
+
+std::vector<float> random_sample_for(util::Rng& rng, std::size_t num_features,
+                                     std::size_t num_predicates) {
+  std::vector<float> x(num_features);
+  // Spread across the threshold range so bits come out genuinely mixed.
+  for (float& v : x) {
+    v = static_cast<float>(rng.uniform()) *
+        static_cast<float>(num_predicates) * 0.013f;
+  }
+  return x;
+}
+
+TEST(BinarizeKernels, Transpose64x64MatchesNaiveAndRoundTrips) {
+  util::Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::uint64_t a[64];
+    for (std::uint64_t& w : a) {
+      w = (static_cast<std::uint64_t>(rng.uniform() * 4294967296.0) << 32) ^
+          static_cast<std::uint64_t>(rng.uniform() * 4294967296.0);
+    }
+    std::uint64_t t[64];
+    std::copy(a, a + 64, t);
+    detail::transpose_64x64(t);
+    for (int r = 0; r < 64; ++r) {
+      for (int c = 0; c < 64; ++c) {
+        ASSERT_EQ((t[r] >> c) & 1u, (a[c] >> r) & 1u)
+            << "bit (" << r << ", " << c << ")";
+      }
+    }
+    detail::transpose_64x64(t);
+    for (int r = 0; r < 64; ++r) ASSERT_EQ(t[r], a[r]);
+  }
+}
+
+// The predicate counts exercise every tail shape: sub-lane spaces (1, 3),
+// exact lane/word multiples (8, 64, 128), one-past boundaries (9, 65), and
+// the mid-word vector-loop stop where the scalar tail must merge into a
+// word the vector loop already wrote (67: AVX-512 stops at 64; 74: AVX2
+// stops at 72, 8 bits into word 1).
+constexpr std::size_t kBinarizeSizes[] = {1, 3, 8, 9, 15, 16, 63, 64,
+                                          65, 67, 74, 128, 200};
+
+TEST(BinarizeKernels, EveryKernelRowBitIdenticalToScalarOracle) {
+  util::Rng rng(92);
+  for (const std::size_t n : kBinarizeSizes) {
+    const std::size_t num_features = 7;
+    const forest::PredicateSpace space = synthetic_space(n, num_features);
+    ASSERT_EQ(space.size(), n);
+    const std::size_t nwords = util::words_for_bits(n);
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto x = random_sample_for(rng, num_features, n);
+      std::vector<std::uint64_t> oracle(nwords, 0xdeadbeefdeadbeefull);
+      forest::binarize_row_scalar(space.soa(), x.data(), oracle.data());
+      // The oracle itself must match the predicate definition.
+      for (std::size_t p = 0; p < n; ++p) {
+        const auto& pr = space.predicate(p);
+        ASSERT_EQ((oracle[p >> 6] >> (p & 63)) & 1u,
+                  static_cast<std::uint64_t>(x[pr.feature] <= pr.threshold))
+            << "n " << n << " predicate " << p;
+      }
+      for (const KernelOps* k : available_kernels()) {
+        // Canary prefill: every output word must be fully defined.
+        std::vector<std::uint64_t> got(nwords, 0xabad1deaabad1deaull);
+        k->binarize_row(space.soa(), x.data(), got.data());
+        ASSERT_EQ(got, oracle) << "kernel " << k->name << " n " << n;
+      }
+    }
+  }
+}
+
+TEST(BinarizeKernels, EveryKernelTileBitIdenticalToRowOracle) {
+  util::Rng rng(93);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{130},
+                              std::size_t{200}}) {
+    const std::size_t num_features = 9;
+    const std::size_t stride = num_features + 2;  // row stride > arity
+    const forest::PredicateSpace space = synthetic_space(n, num_features);
+    const std::size_t nwords = util::words_for_bits(n);
+    std::vector<float> rows(kTileRows * stride);
+    for (float& v : rows) {
+      v = static_cast<float>(rng.uniform()) * static_cast<float>(n) * 0.013f;
+    }
+    for (const std::size_t num_rows :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{7},
+          std::size_t{8}, std::size_t{15}, std::size_t{16}, std::size_t{63},
+          std::size_t{64}}) {
+      // Expected tile straight from the row oracle; rows >= num_rows are
+      // zero words by contract.
+      std::vector<std::uint64_t> expected(nwords * kTileRows, 0);
+      std::vector<std::uint64_t> row_words(nwords);
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        forest::binarize_row_scalar(space.soa(), rows.data() + r * stride,
+                                    row_words.data());
+        for (std::size_t w = 0; w < nwords; ++w) {
+          expected[w * kTileRows + r] = row_words[w];
+        }
+      }
+      for (const KernelOps* k : available_kernels()) {
+        util::aligned_vector<std::uint64_t> got(nwords * kTileRows,
+                                                0xabad1deaabad1deaull);
+        k->binarize_tile(space.soa(), rows.data(), num_rows, stride,
+                         got.data());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          ASSERT_EQ(got[i], expected[i])
+              << "kernel " << k->name << " n " << n << " num_rows " << num_rows
+              << " word " << i / kTileRows << " row " << i % kTileRows;
+        }
+      }
+    }
+  }
+}
+
+// NaN fails every predicate (scalar `x <= t` and vector _CMP_LE_OQ agree);
+// ±inf follow IEEE ordering. Row and tile shapes, every kernel.
+TEST(BinarizeKernels, NanAndInfBitIdenticalAcrossKernels) {
+  const std::size_t n = 130;
+  const std::size_t num_features = 9;
+  const forest::PredicateSpace space = synthetic_space(n, num_features);
+  const std::size_t nwords = util::words_for_bits(n);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  util::Rng rng(94);
+
+  // One all-special row plus a tile where specials are scattered.
+  std::vector<float> special(num_features);
+  for (std::size_t f = 0; f < num_features; ++f) {
+    special[f] = f % 3 == 0 ? nan : (f % 3 == 1 ? inf : -inf);
+  }
+  std::vector<std::uint64_t> oracle(nwords);
+  forest::binarize_row_scalar(space.soa(), special.data(), oracle.data());
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& pr = space.predicate(p);
+    const bool bit = (oracle[p >> 6] >> (p & 63)) & 1u;
+    // NaN and +inf fail (thresholds are finite); -inf passes.
+    ASSERT_EQ(bit, pr.feature % 3 == 2) << "predicate " << p;
+  }
+  for (const KernelOps* k : available_kernels()) {
+    std::vector<std::uint64_t> got(nwords, 0xabad1deaabad1deaull);
+    k->binarize_row(space.soa(), special.data(), got.data());
+    ASSERT_EQ(got, oracle) << "kernel " << k->name;
+  }
+
+  const std::size_t stride = num_features;
+  std::vector<float> rows(kTileRows * stride);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double u = rng.uniform();
+    rows[i] = u < 0.1 ? nan
+              : u < 0.2 ? inf
+              : u < 0.3 ? -inf
+                        : static_cast<float>(u) * static_cast<float>(n) * 0.013f;
+  }
+  for (const std::size_t num_rows : {std::size_t{5}, std::size_t{64}}) {
+    std::vector<std::uint64_t> expected(nwords * kTileRows, 0);
+    std::vector<std::uint64_t> row_words(nwords);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      forest::binarize_row_scalar(space.soa(), rows.data() + r * stride,
+                                  row_words.data());
+      for (std::size_t w = 0; w < nwords; ++w) {
+        expected[w * kTileRows + r] = row_words[w];
+      }
+    }
+    for (const KernelOps* k : available_kernels()) {
+      util::aligned_vector<std::uint64_t> got(nwords * kTileRows, 0);
+      k->binarize_tile(space.soa(), rows.data(), num_rows, stride, got.data());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(got[i], expected[i])
+            << "kernel " << k->name << " num_rows " << num_rows;
+      }
+    }
+  }
+}
+
+// PredicateSpace::binarize routes through the installed hook: under every
+// forced kernel it must still produce the oracle's bits (same contract the
+// engines rely on after capturing the kernel directly).
+TEST(BinarizeKernels, PredicateSpaceBinarizeMatchesOracleUnderEveryKernel) {
+  const BoltForest bf =
+      BoltForest::build(bolt::testing::small_forest(8, 5, 95), {});
+  const forest::PredicateSpace& space = bf.space();
+  util::Rng rng(96);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto x =
+        bolt::testing::random_sample(rng, space.soa().num_features);
+    std::vector<std::uint64_t> oracle(util::words_for_bits(space.size()));
+    forest::binarize_row_scalar(space.soa(), x.data(), oracle.data());
+    for (const KernelOps* k : available_kernels()) {
+      ForcedKernel forced(k);
+      const util::BitVector bits = space.binarize(x);
+      for (std::size_t w = 0; w < oracle.size(); ++w) {
+        ASSERT_EQ(bits.words()[w], oracle[w])
+            << "kernel " << k->name << " word " << w;
+      }
+    }
   }
 }
 

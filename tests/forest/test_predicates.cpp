@@ -2,10 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <limits>
+#include <numeric>
+
 #include "../helpers.h"
 
 namespace bolt::forest {
 namespace {
+
+/// Space with `per_feature` predicates on each of features 0..2 (dense IDs
+/// 0..3*per_feature-1, thresholds 0.25*k).
+PredicateSpace three_feature_space(int per_feature) {
+  std::vector<Predicate> preds;
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    for (int k = 0; k < per_feature; ++k) {
+      preds.push_back({f, 0.25f * static_cast<float>(k)});
+    }
+  }
+  return PredicateSpace::from_predicates(3, preds);
+}
 
 TEST(PredicateSpace, DeduplicatesSharedSplits) {
   // tiny_forest: tree0 uses (0, 0.5) and (1, 0.5); tree1 uses (1, 0.25).
@@ -92,6 +108,85 @@ TEST(PredicateSpace, BinarizeHandlesWordBoundaries) {
     for (std::size_t p = 0; p < space.size(); ++p) {
       const auto& pr = space.predicate(p);
       ASSERT_EQ(bits.get(p), x[pr.feature] <= pr.threshold);
+    }
+  }
+}
+
+TEST(PredicateSpace, NanFailsAndInfFollowsIeeeOrderingOnEveryPath) {
+  // The NaN contract (predicates.h): a NaN feature value fails every
+  // predicate on every binarize path; -inf passes and +inf fails any
+  // finite threshold.
+  const PredicateSpace space = three_feature_space(50);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> x = {nan, inf, -inf};
+
+  auto check = [&](const util::BitVector& bits, const char* path) {
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      // Feature 0 is NaN, feature 1 is +inf (both fail), feature 2 is
+      // -inf (passes).
+      ASSERT_EQ(bits.get(p), space.predicate(p).feature == 2)
+          << path << " predicate " << p;
+    }
+  };
+
+  check(space.binarize(x), "binarize(row)");
+
+  util::BitVector oracle(space.size());
+  binarize_row_scalar(space.soa(), x.data(), oracle.words().data());
+  check(oracle, "binarize_row_scalar");
+
+  util::BitVector sub(space.size());
+  std::vector<std::uint32_t> all(space.size());
+  std::iota(all.begin(), all.end(), 0u);
+  space.binarize_subset(x, all, sub);
+  check(sub, "binarize_subset");
+}
+
+TEST(PredicateSpace, BinarizeSubsetEmptyPositionsLeavesBitsUntouched) {
+  const PredicateSpace space = three_feature_space(50);
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> y = {12.0f, 0.0f, -1.0f};
+  util::BitVector out = space.binarize(y);
+  const util::BitVector before = out;
+  space.binarize_subset(x, {}, out);
+  for (std::size_t p = 0; p < space.size(); ++p) {
+    ASSERT_EQ(out.get(p), before.get(p)) << "predicate " << p;
+  }
+}
+
+TEST(PredicateSpace, BinarizeSubsetSinglePredicateUpdatesOnlyThatBit) {
+  const PredicateSpace space = three_feature_space(50);
+  const std::vector<float> x = {100.0f, 100.0f, 100.0f};  // every test false
+  const std::vector<float> y = {-1.0f, -1.0f, -1.0f};     // every test true
+  for (const std::uint32_t pos : {0u, 63u, 64u, 149u}) {
+    util::BitVector out = space.binarize(y);
+    const std::uint32_t positions[] = {pos};
+    space.binarize_subset(x, positions, out);
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      ASSERT_EQ(out.get(p), p != pos) << "pos " << pos << " predicate " << p;
+    }
+  }
+}
+
+TEST(PredicateSpace, BinarizeSubsetSpanningWordBoundary) {
+  const PredicateSpace space = three_feature_space(50);  // 150 predicates
+  util::Rng rng(31);
+  const std::uint32_t positions[] = {5u, 62u, 63u, 64u, 65u, 127u, 128u, 149u};
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto x = bolt::testing::random_sample(rng, 3);
+    const auto y = bolt::testing::random_sample(rng, 3);
+    const util::BitVector full_x = space.binarize(x);
+    util::BitVector out = space.binarize(y);
+    const util::BitVector before = out;
+    space.binarize_subset(x, positions, out);
+    std::size_t k = 0;
+    for (std::size_t p = 0; p < space.size(); ++p) {
+      const bool selected = k < std::size(positions) && positions[k] == p;
+      if (selected) ++k;
+      // Selected bits re-encode from x; everything else keeps y's bits.
+      ASSERT_EQ(out.get(p), selected ? full_x.get(p) : before.get(p))
+          << "predicate " << p;
     }
   }
 }
